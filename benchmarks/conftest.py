@@ -1,0 +1,34 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's artifacts (DESIGN.md's
+experiment index E1..E10) and does three things:
+
+1. times its central operation via pytest-benchmark (the `benchmark`
+   fixture);
+2. asserts the *shape* the paper reports (who wins, by what factor);
+3. writes the regenerated table to ``benchmarks/results/<exp>.txt`` so
+   the numbers behind EXPERIMENTS.md are always reproducible from a
+   plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def record_result(exp_id: str, text: str) -> pathlib.Path:
+    """Write a regenerated experiment table under ``benchmarks/results``.
+
+    Args:
+        exp_id: experiment identifier, e.g. ``"e5_pingpong"``.
+        text: the table/series text to persist.
+
+    Returns:
+        The path written.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{exp_id}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,196 @@
+"""Ablations — the design choices DESIGN.md §5 calls out.
+
+1. **Filter margin** (Listing 1's '>= 2'): margin 1 oscillates, margin 3
+   under-balances; only margin 2 verifies.
+2. **Re-check under lock** (Listing 1 line 12): disabling it commits
+   steals the live state no longer justifies — pairwise gaps stop
+   shrinking monotonically, and the potential certificate's premise dies.
+3. **Interleaving regime**: failure counts vary wildly across regimes;
+   quiescence does not (for the proven policy).
+4. **Snapshot staleness**: the price of lock-free selection, quantified.
+"""
+
+from repro.core.balancer import AttemptOutcome, LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    OverlappedInterleaving,
+    SeededInterleaving,
+    SequentialInterleaving,
+)
+from repro.verify import ModelChecker, StateScope, prove_work_conserving
+
+from conftest import record_result
+
+
+def test_bench_ablation_margin(benchmark):
+    """Regenerate the margin sweep: why Listing 1 says 2."""
+
+    def sweep():
+        scope = StateScope(n_cores=3, max_load=3)
+        return {
+            margin: prove_work_conserving(
+                BalanceCountPolicy(margin=margin), scope
+            )
+            for margin in (1, 2, 3)
+        }
+
+    certs = benchmark(sweep)
+    rows = []
+    for margin, cert in certs.items():
+        refuted = ", ".join(
+            r.obligation.key for r in cert.report.refuted
+        ) or "-"
+        rows.append([
+            margin,
+            "PROVED" if cert.proved else "REFUTED",
+            refuted,
+        ])
+    record_result("ablation_margin", render_table(
+        ["margin", "verdict", "refuted obligations"], rows,
+    ))
+    assert not certs[1].proved
+    assert certs[2].proved
+    assert not certs[3].proved
+
+
+def test_bench_ablation_recheck(benchmark):
+    """Regenerate the re-check ablation (Listing 1 line 12)."""
+
+    def run(recheck: bool):
+        # The victim woke three tasks that are all still queued (no
+        # current task yet) — the classic just-woken core. Three racing
+        # thieves selected it on the same stale snapshot, but live state
+        # only justifies two steals; the third would leave the victim
+        # completely idle. The re-check is what notices.
+        machine = Machine.from_loads([0, 0, 0, 3], dispatch=False)
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                recheck_under_lock=recheck,
+                                check_invariants=False)
+        drained_victims = 0
+        for _ in range(10):
+            record = balancer.run_round(
+                interleaving=AdversarialInterleaving([0, 1, 2])
+            )
+            for attempt in record.successes:
+                if record.loads_after[attempt.victim] == 0:
+                    drained_victims += 1
+        return balancer, drained_victims
+
+    def both():
+        return {True: run(True), False: run(False)}
+
+    results = benchmark(both)
+    rows = []
+    for recheck, (balancer, drained) in results.items():
+        rows.append([
+            "with re-check" if recheck else "NO re-check",
+            balancer.total_successes,
+            balancer.total_failures,
+            drained,
+        ])
+    record_result("ablation_recheck", render_table(
+        ["variant", "successes", "failures", "victims drained idle"],
+        rows,
+    ))
+    # With the re-check the victim is never left idle (steal soundness);
+    # without it, stale-justified steals drain it to zero.
+    assert results[True][1] == 0
+    assert results[False][1] > 0
+
+
+def test_bench_ablation_interleaving(benchmark):
+    """Regenerate the interleaving comparison: failures vary, quiescence
+    does not."""
+
+    def sweep():
+        rows = []
+        for name, make in (
+            ("sequential", SequentialInterleaving),
+            ("concurrent-seeded", lambda: SeededInterleaving(seed=3)),
+            ("overlapped", lambda: OverlappedInterleaving(seed=3)),
+        ):
+            machine = Machine.from_loads([0] * 12 + [12, 12, 12, 12])
+            balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                    interleaving=make(),
+                                    check_invariants=False)
+            rounds = balancer.run_until_work_conserving(max_rounds=200)
+            rows.append([name, rounds, balancer.total_failures])
+        return rows
+
+    rows = benchmark(sweep)
+    record_result("ablation_interleaving", render_table(
+        ["regime", "rounds to quiescence", "failures"], rows,
+    ))
+    for name, rounds, failures in rows:
+        assert rounds is not None, name
+        if name == "sequential":
+            assert failures == 0
+
+
+def test_bench_ablation_balance_interval(benchmark):
+    """How often should rounds fire? CFS says every 4ms; sweep the
+    analogue. Rare balancing wastes cores between rounds (bad ticks up);
+    constant balancing buys little once quiescence is quick."""
+    from repro.core.machine import Machine as _Machine
+    from repro.sim.engine import SimConfig, Simulation
+    from repro.workloads import ChurnWorkload, place_pack
+
+    def run(interval: int):
+        machine = _Machine(n_cores=4)
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                keep_history=False, check_invariants=False)
+        workload = ChurnWorkload(arrival_prob=0.9, work_min=3, work_max=5,
+                                 duration=800, placement=place_pack,
+                                 seed=13)
+        sim = Simulation(machine, balancer, workload=workload,
+                         config=SimConfig(balance_interval=interval))
+        result = sim.run(max_ticks=800)
+        return result.metrics.bad_ticks, result.metrics.finished_tasks
+
+    def sweep():
+        return {interval: run(interval) for interval in (1, 4, 16, 64)}
+
+    results = benchmark(sweep)
+    rows = [[interval, bad, done]
+            for interval, (bad, done) in results.items()]
+    record_result("ablation_interval", render_table(
+        ["balance interval", "bad ticks", "tasks finished"], rows,
+    ))
+    # Waste grows monotonically-ish with the interval; throughput drops.
+    assert results[1][0] <= results[64][0]
+    assert results[1][1] >= results[64][1]
+
+
+def test_bench_ablation_staleness(benchmark):
+    """Quantify stale-selection failures vs fresh-selection (the price
+    and the payoff of lock-free selection)."""
+
+    def run(fresh: bool):
+        machine = Machine.from_loads([0] * 8 + [16, 16])
+        interleaving = (SequentialInterleaving() if fresh
+                        else SeededInterleaving(seed=9))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                interleaving=interleaving,
+                                check_invariants=False)
+        for _ in range(30):
+            balancer.run_round()
+        recheck_failures = sum(
+            1 for record in balancer.rounds for a in record.attempts
+            if a.outcome is AttemptOutcome.RECHECK_FAILED
+        )
+        return balancer.total_successes, recheck_failures
+
+    def both():
+        return {"fresh (locked-equivalent)": run(True),
+                "stale (lock-free)": run(False)}
+
+    results = benchmark(both)
+    rows = [[name, s, f] for name, (s, f) in results.items()]
+    record_result("ablation_staleness", render_table(
+        ["selection", "successes", "recheck failures"], rows,
+    ))
+    assert results["fresh (locked-equivalent)"][1] == 0
+    assert results["stale (lock-free)"][1] > 0

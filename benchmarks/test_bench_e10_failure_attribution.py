@@ -1,0 +1,98 @@
+"""E10 — §4.3 first proof: every failed steal has a concurrent cause.
+
+Regenerates the failure-attribution theorem on live traces: highly
+contended machines (many idle cores racing for few victims), three
+interleaving regimes, thousands of attempts — every optimistic failure
+must carry the identity of the successful steal (or in-flight lock
+holder) that invalidated it. Times the audit over a large trace.
+"""
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy
+from repro.sim.interleave import (
+    OverlappedInterleaving,
+    SeededInterleaving,
+    SequentialInterleaving,
+)
+from repro.verify import (
+    audit_failure_attribution,
+    audit_progress,
+    failure_counts,
+)
+
+from conftest import record_result
+
+
+def contended_trace(interleaving, rounds=40, n_cores=32, seed=5):
+    """Many idle cores, few very loaded ones: maximum steal contention."""
+    loads = [0] * (n_cores - 4) + [n_cores, n_cores, n_cores, n_cores]
+    machine = Machine.from_loads(loads)
+    balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                            interleaving=interleaving,
+                            check_invariants=False)
+    for _ in range(rounds):
+        balancer.run_round()
+    return balancer
+
+
+def test_bench_e10_audit_large_trace(benchmark):
+    """Time the attribution audit over a 32-core contended trace."""
+    balancer = contended_trace(SeededInterleaving(seed=5))
+    result = benchmark(
+        audit_failure_attribution, balancer.policy.name, balancer.rounds
+    )
+    assert result.ok
+
+
+def test_bench_e10_attribution_across_regimes(benchmark):
+    """Regenerate the attribution table across interleaving regimes."""
+
+    def sweep():
+        rows = []
+        for name, interleaving in (
+            ("sequential", SequentialInterleaving()),
+            ("concurrent", SeededInterleaving(seed=5)),
+            ("overlapped", OverlappedInterleaving(seed=5)),
+        ):
+            balancer = contended_trace(interleaving)
+            attribution = audit_failure_attribution(
+                balancer.policy.name, balancer.rounds
+            )
+            progress = audit_progress(
+                balancer.policy.name, balancer.rounds
+            )
+            counts = failure_counts(balancer.rounds)
+            rows.append((name, balancer, attribution, progress, counts))
+        return rows
+
+    rows = benchmark(sweep)
+
+    table_rows = []
+    for name, balancer, attribution, progress, counts in rows:
+        assert attribution.ok, name
+        assert progress.ok, name
+        table_rows.append([
+            name,
+            balancer.total_successes,
+            balancer.total_failures,
+            counts.get("recheck_failed", 0),
+            counts.get("lock_busy", 0),
+            "all attributed",
+        ])
+    table = render_table(
+        ["regime", "successes", "failures", "recheck_failed",
+         "lock_busy", "audit"],
+        table_rows,
+    )
+    record_result("e10_attribution", table)
+
+    by_name = {row[0]: row for row in table_rows}
+    # Sequential cannot fail (fresh selections); concurrent regimes do.
+    assert by_name["sequential"][2] == 0
+    assert by_name["concurrent"][2] > 0
+    # Lock contention only exists when critical sections overlap.
+    assert by_name["sequential"][4] == 0
+    assert by_name["concurrent"][4] == 0
+    assert by_name["overlapped"][4] > 0

@@ -1,0 +1,64 @@
+"""E3 — Listing 2 / Lemma1: exhaustive verification across the policy zoo.
+
+Regenerates the paper's Lemma1 verdict table: the lemma holds for
+Listing 1 and the weighted balancers (§4.2 "the proof is still
+automatically verified"), and refutes the statically unsound mutants.
+Times the exhaustive check at the default verification scope.
+"""
+
+from repro.metrics import render_table
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+from repro.policies.naive import InvertedFilterPolicy
+from repro.verify import StateScope, check_lemma1
+
+from conftest import record_result
+
+SCOPE = StateScope(n_cores=4, max_load=4)
+
+POLICIES = [
+    (BalanceCountPolicy(margin=2), True),
+    (GreedyHalvingPolicy(), True),
+    (WeightedBalancePolicy(), True),
+    (ProvableWeightedPolicy(), True),
+    (NaiveOverloadedPolicy(), True),   # invisible to Lemma1 — §4.3's point
+    (BalanceCountPolicy(margin=1), False),
+    (BalanceCountPolicy(margin=3), False),
+    (InvertedFilterPolicy(), False),
+]
+
+
+def test_bench_e3_lemma1_exhaustive(benchmark):
+    """Time Lemma1 over the 4-core scope for Listing 1."""
+    result = benchmark(check_lemma1, BalanceCountPolicy(margin=2), SCOPE)
+    assert result.ok
+    assert result.states_checked > 0
+
+
+def test_bench_e3_lemma1_verdict_table(benchmark):
+    """Regenerate the verdict table across the policy zoo."""
+
+    def sweep():
+        return [(policy, check_lemma1(policy, SCOPE))
+                for policy, _ in POLICIES]
+
+    results = benchmark(sweep)
+
+    rows = []
+    for (policy, expected_ok), (_, result) in zip(POLICIES, results):
+        assert result.ok == expected_ok, policy.name
+        rows.append([
+            policy.name,
+            "PROVED" if result.ok else "REFUTED",
+            result.states_checked,
+            "" if result.ok else str(result.counterexample.state),
+        ])
+    table = render_table(
+        ["policy", "lemma1", "idle-thief cases", "counterexample"], rows
+    )
+    record_result("e3_lemma1", table)

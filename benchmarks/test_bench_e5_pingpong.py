@@ -1,0 +1,97 @@
+"""E5 — §4.3: automatic rediscovery of the ping-pong counterexample.
+
+The paper constructs the naive filter's failure by hand ("core 0 might
+fail to steal threads forever"). This benchmark regenerates it
+mechanically: the model checker must find the exact lasso
+(0,1,2) -> (0,2,1) -> (0,1,2), and the concrete balancer must replay it
+under the adversarial interleaving. Times the model check.
+"""
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.sim.interleave import AdversarialInterleaving
+from repro.verify import ModelChecker, StateScope
+
+from conftest import record_result
+
+SCOPE = StateScope(n_cores=3, max_load=2)
+
+
+def test_bench_e5_model_check_finds_lasso(benchmark):
+    """Time the full violation search for the naive filter."""
+    analysis = benchmark(
+        lambda: ModelChecker(NaiveOverloadedPolicy()).analyze(SCOPE)
+    )
+    assert analysis.violated
+    assert set(analysis.lasso.cycle) == {(0, 1, 2), (0, 2, 1)}
+
+    lines = [
+        "Naive filter canSteal(stealee) = stealee.load() >= 2:",
+        "  " + analysis.lasso.describe(),
+        f"  states explored: {analysis.states_explored},"
+        f" bad states: {analysis.bad_states}",
+        "",
+        "Listing 1 filter (margin 2) on the same scope:",
+    ]
+    good = ModelChecker(BalanceCountPolicy()).analyze(SCOPE)
+    assert not good.violated
+    lines.append(
+        f"  no violation; exact worst-case N = {good.worst_case_rounds}"
+    )
+    record_result("e5_pingpong", "\n".join(lines))
+
+
+def test_bench_e5_concrete_replay(benchmark):
+    """Time (and validate) 100 adversarial rounds of the live ping-pong."""
+
+    def replay():
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, NaiveOverloadedPolicy(),
+                                check_invariants=False)
+        for _ in range(100):
+            order = [1, 0] if machine.loads()[1] == 1 else [2, 0]
+            balancer.run_round(
+                interleaving=AdversarialInterleaving(order)
+            )
+        return machine, balancer
+
+    machine, balancer = benchmark(replay)
+    # After 100 rounds the idle core is STILL idle: the violation is real.
+    assert machine.core(0).idle
+    assert machine.overloaded_cores()
+    # And every one of its failures had a concurrent cause (attribution).
+    failures = [a for r in balancer.rounds for a in r.failures
+                if a.thief == 0]
+    assert len(failures) == 100
+    assert all(f.invalidated_by for f in failures)
+
+
+def test_bench_e5_failure_rate_table(benchmark):
+    """Per-round failure rates for broken vs proven filter, live."""
+
+    def measure(policy_factory):
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, policy_factory(),
+                                check_invariants=False)
+        for _ in range(50):
+            order = [1, 0] if machine.loads()[1] == 1 else [2, 0]
+            balancer.run_round(interleaving=AdversarialInterleaving(order))
+        return balancer.total_successes, balancer.total_failures
+
+    results = benchmark(
+        lambda: {
+            "naive_overloaded": measure(NaiveOverloadedPolicy),
+            "balance_count(margin=2)": measure(BalanceCountPolicy),
+        }
+    )
+    rows = [[name, s, f] for name, (s, f) in results.items()]
+    record_result(
+        "e5_failure_rates",
+        render_table(["policy", "successes (50 rounds)", "failures"], rows),
+    )
+    # The proven filter stops failing once balanced; the naive one fails
+    # every round forever.
+    assert results["naive_overloaded"][1] >= 50
+    assert results["balance_count(margin=2)"][1] == 0

@@ -1,0 +1,96 @@
+"""E6 — §4.3: the potential-function certificate.
+
+Regenerates the paper's second concurrent proof: d = ΣΣ|load_i - load_j|
+strictly decreases on every successful steal, bounding successes and
+hence rounds. The table compares, per policy: the obligation's verdict,
+the minimum observed decrease, the derived bound N, and the model
+checker's exact worst case — bound >= exact always. Times the exhaustive
+potential sweep.
+"""
+
+from repro.metrics import render_table
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+from repro.verify import (
+    ModelChecker,
+    StateScope,
+    check_potential_decrease,
+    min_observed_decrease,
+    worst_round_bound,
+)
+
+from conftest import record_result
+
+SCOPE = StateScope(n_cores=3, max_load=3)
+
+
+def test_bench_e6_potential_sweep(benchmark):
+    """Time the exhaustive potential-decrease check for Listing 1."""
+    result = benchmark(
+        check_potential_decrease, BalanceCountPolicy(), SCOPE
+    )
+    assert result.ok
+
+
+def test_bench_e6_certificate_table(benchmark):
+    """Regenerate the certificate table across policies."""
+
+    def sweep():
+        rows = []
+        for policy in (
+            BalanceCountPolicy(margin=2),
+            GreedyHalvingPolicy(),
+            ProvableWeightedPolicy(),
+            WeightedBalancePolicy(),
+            NaiveOverloadedPolicy(),
+        ):
+            check = check_potential_decrease(policy, SCOPE)
+            decrease = min_observed_decrease(policy, SCOPE)
+            analysis = ModelChecker(policy).analyze(SCOPE)
+            bound = (
+                worst_round_bound(SCOPE, decrease)
+                if check.ok and decrease and decrease > 0 else None
+            )
+            rows.append((policy.name, check.ok, decrease, bound, analysis))
+        return rows
+
+    rows = benchmark(sweep)
+
+    table_rows = []
+    for name, ok, decrease, bound, analysis in rows:
+        exact = ("VIOLATED" if analysis.violated
+                 else str(analysis.worst_case_rounds))
+        table_rows.append([
+            name,
+            "PROVED" if ok else "REFUTED",
+            decrease if decrease is not None else "-",
+            bound if bound is not None else "-",
+            exact,
+        ])
+    table = render_table(
+        ["policy", "d decreases", "min dec", "bound N", "exact N"],
+        table_rows,
+    )
+    record_result("e6_potential", table)
+
+    by_name = {name: (ok, decrease, bound, analysis)
+               for name, ok, decrease, bound, analysis in rows}
+
+    # The proof composition: potential holds => bound exists and
+    # dominates the exact worst case.
+    for proven in ("balance_count(margin=2)", "greedy_halving(margin=2)"):
+        ok, decrease, bound, analysis = by_name[proven]
+        assert ok and decrease == 4
+        assert bound >= analysis.worst_case_rounds
+
+    # The reproduction finding: weighted (no count margin) and naive both
+    # lose the potential argument AND genuinely violate work conservation.
+    for broken in list(by_name):
+        if "weighted_balance" in broken or broken == "naive_overloaded":
+            ok, _, bound, analysis = by_name[broken]
+            assert not ok and bound is None and analysis.violated

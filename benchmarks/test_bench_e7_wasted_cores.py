@@ -1,0 +1,107 @@
+"""E7 — §1 motivation: wasted cores and their application-level cost.
+
+Regenerates the paper's two motivating measurements on the simulated
+8-core 2-node machine:
+
+* barrier-synchronised scientific app — "many-fold performance
+  degradation": no-balancing must be >= 2x slower than the verified
+  balancer (it is typically 5-8x here);
+* OLTP database with a heavy analytics thread — "up to 25% decrease in
+  throughput": the CFS-like Group-Imbalance baseline must lose 10-35%
+  against the verified balancer.
+
+Times one full simulation of each workload under the verified policy.
+"""
+
+from repro.baselines import CfsLikeBalancer, GlobalQueueBalancer, NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics import relative_loss, render_table, speedup
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import Simulation
+from repro.topology import build_domain_tree, symmetric_numa
+from repro.workloads import BarrierWorkload, OltpWorkload, make_first_k, place_pack
+
+from conftest import record_result
+
+TOPO = symmetric_numa(2, 4)
+
+BALANCERS = {
+    "null": lambda m: NullBalancer(m),
+    "cfs-like": lambda m: CfsLikeBalancer(m, build_domain_tree(TOPO)),
+    "verified": lambda m: LoadBalancer(m, BalanceCountPolicy(),
+                                       check_invariants=False,
+                                       keep_history=False),
+    "ideal": lambda m: GlobalQueueBalancer(m),
+}
+
+
+def run_barrier(kind: str):
+    machine = Machine(topology=TOPO)
+    workload = BarrierWorkload(n_threads=16, n_phases=6, phase_work=25,
+                               placement=place_pack, seed=1)
+    sim = Simulation(machine, BALANCERS[kind](machine), workload=workload)
+    return sim.run(max_ticks=50_000)
+
+
+def run_oltp(kind: str):
+    machine = Machine(topology=TOPO)
+    workload = OltpWorkload(n_workers=10, duration=3000,
+                            placement=make_first_k(5), n_heavy=1, seed=7)
+    sim = Simulation(machine, BALANCERS[kind](machine), workload=workload)
+    result = sim.run(max_ticks=4000)
+    return result, workload
+
+
+def test_bench_e7_barrier_workload(benchmark):
+    """Time the barrier run under the verified balancer; regenerate the
+    makespan table across schedulers."""
+    benchmark(run_barrier, "verified")
+
+    rows = []
+    ticks = {}
+    for kind in BALANCERS:
+        result = run_barrier(kind)
+        assert result.workload_done, kind
+        ticks[kind] = result.ticks
+        rows.append([kind, result.ticks, result.metrics.bad_ticks,
+                     result.metrics.wasted_core_ticks])
+    slowdown = speedup(ticks["null"], ticks["verified"])
+    table = render_table(
+        ["scheduler", "makespan", "bad ticks", "wasted core-ticks"], rows,
+    )
+    table += (
+        f"\n\nno-balancing vs verified slowdown: {slowdown:.1f}x"
+        " (paper: 'many-fold')"
+    )
+    record_result("e7_barrier", table)
+    assert slowdown >= 2.0
+
+
+def test_bench_e7_database_workload(benchmark):
+    """Time the OLTP run under the verified balancer; regenerate the
+    throughput table across schedulers."""
+    benchmark(lambda: run_oltp("verified"))
+
+    rows = []
+    throughput = {}
+    for kind in BALANCERS:
+        result, workload = run_oltp(kind)
+        throughput[kind] = workload.throughput()
+        rows.append([kind, f"{workload.throughput():.4f}",
+                     result.metrics.bad_ticks,
+                     result.metrics.wasted_core_ticks])
+    loss = relative_loss(throughput["verified"], throughput["cfs-like"])
+    table = render_table(
+        ["scheduler", "txn/tick", "bad ticks", "wasted core-ticks"], rows,
+    )
+    table += (
+        f"\n\nCFS-like loss vs verified: {100 * loss:.1f}%"
+        " (paper: 'up to 25%')"
+    )
+    record_result("e7_database", table)
+    assert 0.10 <= loss <= 0.35
+    # Sanity ordering: null <= cfs-like <= verified <= ideal (weakly).
+    assert throughput["null"] <= throughput["cfs-like"] + 1e-9
+    assert throughput["cfs-like"] <= throughput["verified"]
+    assert throughput["verified"] <= throughput["ideal"] + 0.05

@@ -1,0 +1,113 @@
+"""E8 — §5 future work: hierarchical balancing and NUMA-aware choice.
+
+Regenerates the extension claims:
+
+* hierarchical (inter-group, then intra-group) rounds converge to the
+  work-conserving condition, with the same per-level obligations — the
+  group-level filter IS Listing 1's filter on group totals, so the same
+  lemma checker proves it;
+* NUMA-aware choice changes placement quality (remote steals, cache
+  warm-up) but not one proof outcome — the strongest form of
+  choice-irrelevance.
+
+Times a hierarchical convergence run and the NUMA-choice certificate.
+"""
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics import render_table
+from repro.policies import (
+    BalanceCountPolicy,
+    HierarchicalBalancer,
+    NumaAwareChoicePolicy,
+)
+from repro.sim.engine import Simulation
+from repro.topology import CacheModel, build_domain_tree, symmetric_numa
+from repro.verify import StateScope, check_lemma1, prove_work_conserving
+from repro.workloads import ForkJoinWorkload
+
+from conftest import record_result
+
+TOPO = symmetric_numa(2, 4)
+
+
+def test_bench_e8_hierarchical_convergence(benchmark):
+    """Time hierarchical convergence from a fully packed 16-core start."""
+
+    def run():
+        topo = symmetric_numa(4, 4)
+        machine = Machine.from_loads([32] + [0] * 15, topology=topo)
+        balancer = HierarchicalBalancer(
+            machine, build_domain_tree(topo, group_size=2)
+        )
+        rounds = balancer.run_until_work_conserving(max_rounds=300)
+        return machine, rounds
+
+    machine, rounds = benchmark(run)
+    assert rounds is not None
+    assert machine.is_work_conserving_state()
+    assert machine.total_threads() == 32
+
+
+def test_bench_e8_group_level_lemma(benchmark):
+    """The same Lemma1 checker proves the group-level filter: groups are
+    core-shaped (load totals), so §5 costs no new proof machinery."""
+    result = benchmark(
+        check_lemma1, BalanceCountPolicy(),
+        StateScope(n_cores=4, max_load=8),  # 4 groups, total loads 0..8
+    )
+    assert result.ok
+    record_result("e8_group_lemma", str(result))
+
+
+def test_bench_e8_numa_choice_certificate(benchmark):
+    """Time the full certificate for the NUMA-aware choice policy and
+    assert it is IDENTICAL to the default policy's."""
+    scope = StateScope(n_cores=4, max_load=3)
+    numa_cert = benchmark(
+        prove_work_conserving, NumaAwareChoicePolicy(TOPO), scope
+    )
+    base_cert = prove_work_conserving(BalanceCountPolicy(), scope)
+    assert numa_cert.proved and base_cert.proved
+    assert numa_cert.exact_worst_rounds == base_cert.exact_worst_rounds
+    assert numa_cert.potential_bound == base_cert.potential_bound
+
+
+def test_bench_e8_locality_quality(benchmark):
+    """Regenerate the placement-quality table: default vs NUMA choice."""
+    cache = CacheModel(topology=TOPO, llc_group_size=4,
+                       same_node_penalty=1, remote_node_penalty=4)
+
+    def run(policy):
+        machine = Machine(topology=TOPO)
+        balancer = LoadBalancer(machine, policy, check_invariants=False)
+        workload = ForkJoinWorkload(depth=7, node_work=4)
+        sim = Simulation(machine, balancer, workload=workload,
+                         cache_model=cache)
+        result = sim.run(max_ticks=30_000)
+        remote = sum(
+            1 for record in balancer.rounds for a in record.successes
+            if not TOPO.same_node(a.thief, a.victim)
+        )
+        total = sum(len(r.successes) for r in balancer.rounds)
+        return result, remote, total
+
+    def both():
+        return {
+            "default_choice": run(BalanceCountPolicy()),
+            "numa_choice": run(NumaAwareChoicePolicy(TOPO)),
+        }
+
+    results = benchmark(both)
+    rows = []
+    for name, (result, remote, total) in results.items():
+        rows.append([name, result.ticks, total, remote,
+                     result.metrics.warmup_ticks])
+    record_result("e8_locality", render_table(
+        ["policy", "makespan", "steals", "remote steals", "warmup ticks"],
+        rows,
+    ))
+
+    default_remote = results["default_choice"][1]
+    numa_remote = results["numa_choice"][1]
+    assert numa_remote <= default_remote

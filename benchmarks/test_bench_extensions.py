@@ -1,0 +1,112 @@
+"""Extensions — the other two §1 properties: reactivity and fairness.
+
+The paper's introduction names three performance properties no OS is
+proven to have: work conservation (the paper's subject), reactivity
+("a bound on the delay to schedule ready threads"), and fairness
+("fair between threads"). These benchmarks regenerate the other two on
+top of the proven balancer:
+
+* reactivity: a bound *derived from* the work-conservation certificate
+  holds on arrival-driven simulations where no-balancing blows it;
+* fairness: the vruntime local scheduler delivers weight-proportional
+  CPU shares (Jain index ~1.0) where round-robin does not.
+"""
+
+from repro.baselines import NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.metrics import LatencyTracker, fairness_report, render_table
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import SimConfig, Simulation
+from repro.verify import audit_reactivity, derive_reactivity_bound
+from repro.workloads import ChurnWorkload, place_pack
+
+from conftest import record_result
+
+
+def test_bench_ext_reactivity(benchmark):
+    """Regenerate the reactivity contrast under continuous arrivals."""
+    config = SimConfig(balance_interval=4, timeslice=2)
+    bound = derive_reactivity_bound(
+        wc_rounds=8, balance_interval=4, timeslice=2, max_tasks=16,
+    )
+
+    def run(balanced: bool):
+        machine = Machine(n_cores=4)
+        tracker = LatencyTracker()
+        balancer = (
+            LoadBalancer(machine, BalanceCountPolicy(),
+                         check_invariants=False, keep_history=False)
+            if balanced else NullBalancer(machine)
+        )
+        workload = ChurnWorkload(arrival_prob=0.9, work_min=3, work_max=5,
+                                 duration=600, placement=place_pack,
+                                 seed=11)
+        sim = Simulation(machine, balancer, workload=workload,
+                         config=config, latency_tracker=tracker)
+        sim.run(max_ticks=600)
+        worst = max(tracker.max_latency,
+                    tracker.worst_outstanding(sim.clock.now))
+        audit = audit_reactivity("p", tracker, bound, now=sim.clock.now)
+        return worst, audit
+
+    def both():
+        return {"verified": run(True), "null": run(False)}
+
+    results = benchmark(both)
+    rows = [
+        [name, worst, bound.ticks,
+         "WITHIN BOUND" if audit.ok else "VIOLATED"]
+        for name, (worst, audit) in results.items()
+    ]
+    record_result("ext_reactivity", render_table(
+        ["balancer", "worst wait (ticks)", "bound", "audit"], rows,
+    ) + f"\n\nbound decomposition: {bound.describe()}")
+    assert results["verified"][1].ok
+    assert not results["null"][1].ok
+
+
+def test_bench_ext_fairness(benchmark):
+    """Regenerate the weighted-fairness contrast: rr vs fair dispatch."""
+
+    def run(scheduler: str):
+        machine = Machine(n_cores=1)
+        sim = Simulation(
+            machine, NullBalancer(machine),
+            config=SimConfig(timeslice=2, local_scheduler=scheduler),
+        )
+        tasks = [
+            Task(nice=-5, work=None, name="heavy"),
+            Task(nice=0, work=None, name="normal"),
+            Task(nice=5, work=None, name="light"),
+        ]
+        for task in tasks:
+            sim.place(task, 0)
+        for _ in range(3000):
+            sim.tick()
+        return tasks, fairness_report(tasks)
+
+    def both():
+        return {"rr": run("rr"), "fair": run("fair")}
+
+    results = benchmark(both)
+    rows = []
+    for name, (tasks, report) in results.items():
+        shares = " / ".join(
+            f"{report.shares[t.tid]:.2f}" for t in tasks
+        )
+        wants = " / ".join(
+            f"{report.entitlements[t.tid]:.2f}" for t in tasks
+        )
+        rows.append([name, shares, wants,
+                     f"{report.jain_index:.3f}",
+                     f"{report.max_share_error:.2f}"])
+    record_result("ext_fairness", render_table(
+        ["scheduler", "shares (heavy/normal/light)",
+         "entitlements", "jain index", "max error"],
+        rows,
+    ))
+    assert results["fair"][1].jain_index > 0.99
+    assert results["fair"][1].max_share_error < 0.1
+    assert results["rr"][1].max_share_error > 0.3

@@ -1,0 +1,102 @@
+"""Zoo matrix + hierarchical liveness + convergence rates.
+
+Three follow-on artifacts the position paper implies but never had room
+to print:
+
+* the **verdict matrix** (every obligation x the policy zoo) — the
+  full-paper version of Listing 2's single verdict;
+* the **hierarchical liveness table** (§5's extension, verified by
+  deterministic round-map iteration);
+* the **convergence-rate series** (the Xu & Lau analysis thread from
+  related work: contraction factors of d per policy).
+"""
+
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy, GreedyHalvingPolicy
+from repro.verify import (
+    StateScope,
+    analyze_hierarchical,
+    default_zoo,
+    geometric_rate,
+    potential_series,
+    verify_zoo,
+)
+
+from conftest import record_result
+
+
+def test_bench_zoo_matrix(benchmark):
+    """Time the full pipeline across the 9-policy zoo; record the matrix."""
+    report = benchmark(
+        verify_zoo, default_zoo(), StateScope(n_cores=3, max_load=2)
+    )
+    record_result("zoo_matrix", report.render())
+    assert set(report.proved_names) == {
+        "balance_count(margin=2)",
+        "greedy_halving(margin=2)",
+        "provable_weighted(margin=2, margin_weight=30)",
+    }
+
+
+def test_bench_hierarchical_liveness(benchmark):
+    """Time the §5 composed-liveness analysis; record the table."""
+    analysis = benchmark(
+        analyze_hierarchical, StateScope(n_cores=4, max_load=3), 2
+    )
+    assert not analysis.violated
+
+    six = analyze_hierarchical(
+        StateScope(n_cores=6, max_load=2, max_total=8), group_size=2,
+    )
+    assert not six.violated
+    rows = [
+        ["4 cores / 2 groups", analysis.states_checked,
+         analysis.worst_case_rounds],
+        ["6 cores / 3 groups", six.states_checked, six.worst_case_rounds],
+    ]
+    record_result("hierarchical_liveness", render_table(
+        ["configuration", "states", "worst-case hierarchical rounds"],
+        rows,
+    ))
+
+
+def test_bench_refinement(benchmark):
+    """Time the model-vs-implementation cross-validation (the obligation
+    that makes every other verdict transferable to the real balancer)."""
+    from repro.verify import check_refinement
+
+    result = benchmark(
+        check_refinement, BalanceCountPolicy,
+        StateScope(n_cores=3, max_load=3),
+    )
+    assert result.ok
+    record_result("refinement", str(result))
+
+
+def test_bench_convergence_rates(benchmark):
+    """Time convergence profiling; record the contraction-rate series."""
+
+    def sweep():
+        rows = []
+        for n_cores in (4, 8, 16):
+            loads = [6 * n_cores] + [0] * (n_cores - 1)
+            for policy in (BalanceCountPolicy(), GreedyHalvingPolicy()):
+                profile = potential_series(policy, loads, max_rounds=300)
+                rate = geometric_rate(profile.d_series)
+                rows.append([
+                    n_cores, policy.name,
+                    profile.rounds_to_work_conserving,
+                    profile.rounds_to_quiescent,
+                    f"{rate:.3f}",
+                ])
+        return rows
+
+    rows = benchmark(sweep)
+    record_result("convergence_rates", render_table(
+        ["cores", "policy", "rounds to WC", "rounds to balance", "rate"],
+        rows,
+    ))
+    for row in rows:
+        # Everything converges, and contraction is genuine (< 1).
+        assert row[2] is not None and row[3] is not None
+        assert float(row[4]) < 1.0

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose setuptools lacks the
+integrated ``bdist_wheel`` command (``pip install -e . --no-build-isolation
+--no-use-pep517`` takes the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "Towards Proving Optimistic Multicore
+Schedulers" (Lepers et al., HotOS 2017).
+
+The library provides:
+
+* the paper's scheduler model — per-core runqueues, the three-step
+  filter/choice/steal load-balancing abstraction, lock-free selection
+  with optimistic failures (:mod:`repro.core`);
+* concrete policies: Listing 1's balancer, the weighted variant, the
+  §4.3 counterexample, NUMA/cache-aware choices and the §5 hierarchical
+  extension (:mod:`repro.policies`);
+* a verification engine standing in for the Leon toolkit: exhaustive
+  small-scope lemma checking, explicit-state model checking of the
+  concurrent rounds, the potential-function certificate and trace audits
+  (:mod:`repro.verify`);
+* a policy DSL compiled to executable policies, C scheduling-class
+  skeletons and Leon-style Scala (:mod:`repro.dsl`);
+* a discrete-event multicore simulator, workloads and baselines that
+  reproduce the paper's motivation numbers (:mod:`repro.sim`,
+  :mod:`repro.workloads`, :mod:`repro.baselines`).
+
+Quickstart::
+
+    from repro import Machine, LoadBalancer, BalanceCountPolicy
+    from repro.verify import StateScope, prove_work_conserving
+
+    machine = Machine.from_loads([0, 1, 2])
+    balancer = LoadBalancer(machine, BalanceCountPolicy())
+    balancer.run_until_work_conserving()
+
+    cert = prove_work_conserving(BalanceCountPolicy(),
+                                 StateScope(n_cores=3, max_load=4))
+    assert cert.proved
+"""
+
+from repro.core import (
+    AttemptOutcome,
+    Core,
+    CoreSnapshot,
+    LoadBalancer,
+    Machine,
+    Policy,
+    RoundRecord,
+    RunQueue,
+    StealAttempt,
+    Task,
+    TaskState,
+)
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    HierarchicalBalancer,
+    NaiveOverloadedPolicy,
+    NumaAwareChoicePolicy,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttemptOutcome",
+    "Core",
+    "CoreSnapshot",
+    "LoadBalancer",
+    "Machine",
+    "Policy",
+    "RoundRecord",
+    "RunQueue",
+    "StealAttempt",
+    "Task",
+    "TaskState",
+    "BalanceCountPolicy",
+    "GreedyHalvingPolicy",
+    "HierarchicalBalancer",
+    "NaiveOverloadedPolicy",
+    "NumaAwareChoicePolicy",
+    "ProvableWeightedPolicy",
+    "WeightedBalancePolicy",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline schedulers the experiments compare against.
+
+* :class:`CfsLikeBalancer` — the average-based hierarchical balancer with
+  the EuroSys'16 Group Imbalance pathology (what the paper wants to fix);
+* :class:`GlobalQueueBalancer` — the single-queue ideal (upper bound);
+* :class:`NullBalancer` — no balancing at all (lower bound);
+* :class:`RandomStealPolicy` — classic random work stealing (plausible
+  but unprovable).
+"""
+
+from repro.baselines.cfs import CfsLikeBalancer, GroupStats
+from repro.baselines.global_queue import GlobalQueueBalancer, NullBalancer
+from repro.baselines.random_steal import (
+    IdleOnlyRandomStealPolicy,
+    RandomStealPolicy,
+)
+
+__all__ = [
+    "CfsLikeBalancer",
+    "GroupStats",
+    "GlobalQueueBalancer",
+    "NullBalancer",
+    "IdleOnlyRandomStealPolicy",
+    "RandomStealPolicy",
+]

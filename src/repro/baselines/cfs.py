@@ -1,0 +1,195 @@
+"""A CFS-like hierarchical balancer with the wasted-cores pathology.
+
+The paper's motivation rests on Lozi et al. (EuroSys'16): Linux CFS "has
+been shown to leave cores idle while threads are waiting in runqueues".
+The flagship instance is the **Group Imbalance bug**: CFS balances
+scheduling groups by comparing *weighted load averages*; when one group
+contains a single very heavy thread (e.g. a low-niceness analytics
+process), that group's average is high, so its idle cores refuse to pull
+work from other groups whose cores each have threads waiting — the
+averages say "they are less loaded than we are", core-level reality says
+otherwise.
+
+:class:`CfsLikeBalancer` reproduces the mechanism, not the 120k-line
+implementation: hierarchical groups from the domain tree, weighted-load
+*averages* as the inter-group comparison, an imbalance ratio threshold
+(CFS's ``imbalance_pct``), and intra-group balancing on weighted loads.
+Against the library's verified policies — which filter on per-core thread
+counts and are Lemma1-sound — it loses exactly where the paper says it
+should (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.balancer import AttemptOutcome, RoundRecord, StealAttempt
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import TaskState
+from repro.topology.domains import SchedDomain, flat_groups
+
+
+@dataclass
+class GroupStats:
+    """Weighted-load statistics of one scheduling group."""
+
+    gid: int
+    cores: tuple[int, ...]
+    total_weighted: int
+    avg_weighted: float
+
+
+class CfsLikeBalancer:
+    """Average-based hierarchical balancing, Group Imbalance included.
+
+    Exposes ``run_round()`` so the simulator can drive it like any other
+    balancer.
+
+    Attributes:
+        machine: the machine being balanced.
+        groups: leaf groups of the domain tree.
+        imbalance_pct: an idle core pulls from another group only when
+            that group's weighted average exceeds its own group's by this
+            ratio (CFS uses 25%).
+        intra_margin_weight: minimum weighted-load gap for intra-group
+            steals.
+    """
+
+    def __init__(self, machine: Machine, domains: SchedDomain,
+                 imbalance_pct: float = 0.25,
+                 intra_margin_weight: int = 1024,
+                 keep_history: bool = False) -> None:
+        if imbalance_pct < 0:
+            raise ConfigurationError(
+                f"imbalance_pct must be >= 0, got {imbalance_pct}"
+            )
+        self.machine = machine
+        self.groups = tuple(flat_groups(domains))
+        self.imbalance_pct = imbalance_pct
+        self.intra_margin_weight = intra_margin_weight
+        self.keep_history = keep_history
+        self.rounds: list[RoundRecord] = []
+        self.round_index = 0
+        self._group_of_core = {
+            cid: gid
+            for gid, cores in enumerate(self.groups)
+            for cid in cores
+        }
+
+    # ------------------------------------------------------------------
+
+    def group_stats(self) -> list[GroupStats]:
+        """Current weighted-load statistics of every group."""
+        stats = []
+        for gid, cores in enumerate(self.groups):
+            total = sum(
+                self.machine.core(cid).weighted_load for cid in cores
+            )
+            stats.append(GroupStats(
+                gid=gid,
+                cores=cores,
+                total_weighted=total,
+                avg_weighted=total / len(cores),
+            ))
+        return stats
+
+    def _steal_one(self, thief_cid: int, victim_cid: int) -> StealAttempt:
+        """Migrate one task from victim to thief (tail steal)."""
+        victim = self.machine.core(victim_cid)
+        thief = self.machine.core(thief_cid)
+        if victim.runqueue.size == 0:
+            return StealAttempt(
+                round_index=self.round_index,
+                thief=thief_cid,
+                victim=victim_cid,
+                outcome=AttemptOutcome.EMPTY_VICTIM,
+            )
+        task = victim.runqueue.pop_tail()
+        task.state = TaskState.READY
+        thief.runqueue.push(task)
+        return StealAttempt(
+            round_index=self.round_index,
+            thief=thief_cid,
+            victim=victim_cid,
+            outcome=AttemptOutcome.SUCCESS,
+            moved_task_ids=(task.tid,),
+        )
+
+    def _busiest_core(self, cores: tuple[int, ...],
+                      exclude: int | None = None) -> int | None:
+        """Most weighted-loaded core with something stealable."""
+        candidates = [
+            cid for cid in cores
+            if cid != exclude and self.machine.core(cid).runqueue.size >= 1
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda cid: (self.machine.core(cid).weighted_load, -cid),
+        )
+
+    def _balance_core(self, cid: int,
+                      stats: list[GroupStats]) -> StealAttempt | None:
+        """One core's CFS-like balancing decision.
+
+        Intra-group first (cheap, cache-friendly), then inter-group gated
+        on the *average* comparison — the gate that goes wrong.
+        """
+        core = self.machine.core(cid)
+        if not core.idle:
+            return None  # CFS pulls aggressively only when idle
+
+        gid = self._group_of_core[cid]
+        my_group = stats[gid]
+
+        # Intra-group: pull from the busiest sibling if it out-weighs us.
+        sibling = self._busiest_core(my_group.cores, exclude=cid)
+        if sibling is not None:
+            gap = (
+                self.machine.core(sibling).weighted_load
+                - core.weighted_load
+            )
+            if gap >= self.intra_margin_weight:
+                return self._steal_one(cid, sibling)
+
+        # Inter-group: compare weighted AVERAGES (the Group Imbalance
+        # bug): our heavy neighbour inflates my_group.avg_weighted, so
+        # busier-per-core groups look "less loaded" than we are.
+        threshold = my_group.avg_weighted * (1.0 + self.imbalance_pct)
+        busiest_group = None
+        for other in stats:
+            if other.gid == gid:
+                continue
+            if other.avg_weighted <= threshold:
+                continue
+            if (busiest_group is None
+                    or other.avg_weighted > busiest_group.avg_weighted):
+                busiest_group = other
+        if busiest_group is None:
+            return None
+        donor = self._busiest_core(busiest_group.cores)
+        if donor is None:
+            return None
+        return self._steal_one(cid, donor)
+
+    def run_round(self) -> RoundRecord:
+        """One CFS-like balancing pass over all cores."""
+        loads_before = tuple(self.machine.loads())
+        stats = self.group_stats()
+        attempts: list[StealAttempt] = []
+        for core in self.machine.cores:
+            attempt = self._balance_core(core.cid, stats)
+            if attempt is not None:
+                attempts.append(attempt)
+        record = RoundRecord(
+            index=self.round_index,
+            loads_before=loads_before,
+            loads_after=tuple(self.machine.loads()),
+            attempts=attempts,
+        )
+        self.round_index += 1
+        if self.keep_history:
+            self.rounds.append(record)
+        return record

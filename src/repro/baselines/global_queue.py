@@ -1,0 +1,94 @@
+"""The idealised global-queue scheduler: a work-conservation upper bound.
+
+A single shared runqueue is trivially work-conserving — no core can idle
+while the queue holds a task — which is why the paper's model has to work
+so much harder: per-core runqueues are chosen "since having a runqueue
+per core avoids contention issues", and the price is the balancing
+problem being studied. This baseline puts the single-queue ideal back, as
+a teleporting redistribution pass, to upper-bound what any per-core
+balancer could achieve on a workload. It deliberately ignores locks,
+staleness and migration costs; it is a yardstick, not a contender.
+"""
+
+from __future__ import annotations
+
+from repro.core.balancer import AttemptOutcome, RoundRecord, StealAttempt
+from repro.core.machine import Machine
+from repro.core.task import TaskState
+
+
+class GlobalQueueBalancer:
+    """Redistribute ready tasks so no core idles while tasks wait.
+
+    ``run_round()`` repeatedly moves a ready task from the most loaded
+    core to an idle one until either no core is idle or no core has a
+    spare ready task — the fixed point a global queue would maintain
+    continuously.
+    """
+
+    def __init__(self, machine: Machine, keep_history: bool = False) -> None:
+        self.machine = machine
+        self.keep_history = keep_history
+        self.rounds: list[RoundRecord] = []
+        self.round_index = 0
+
+    def run_round(self) -> RoundRecord:
+        """Teleport tasks until the wasted-core condition clears."""
+        loads_before = tuple(self.machine.loads())
+        attempts: list[StealAttempt] = []
+        while True:
+            idle = [core for core in self.machine.cores if core.idle]
+            donors = [
+                core for core in self.machine.cores
+                if core.runqueue.size >= 1 and core.nr_threads >= 2
+            ]
+            if not idle or not donors:
+                break
+            thief = idle[0]
+            victim = max(donors, key=lambda c: (c.nr_threads, -c.cid))
+            task = victim.runqueue.pop_tail()
+            task.state = TaskState.READY
+            thief.runqueue.push(task)
+            attempts.append(StealAttempt(
+                round_index=self.round_index,
+                thief=thief.cid,
+                victim=victim.cid,
+                outcome=AttemptOutcome.SUCCESS,
+                moved_task_ids=(task.tid,),
+            ))
+        record = RoundRecord(
+            index=self.round_index,
+            loads_before=loads_before,
+            loads_after=tuple(self.machine.loads()),
+            attempts=attempts,
+        )
+        self.round_index += 1
+        if self.keep_history:
+            self.rounds.append(record)
+        return record
+
+
+class NullBalancer:
+    """A balancer that never balances: the pathology floor.
+
+    Establishes the worst case for every experiment — whatever imbalance
+    the workload creates persists until tasks finish. The gap between
+    :class:`NullBalancer` and :class:`GlobalQueueBalancer` is the total
+    opportunity a real balancer competes for.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.round_index = 0
+
+    def run_round(self) -> RoundRecord:
+        """Do nothing, faithfully."""
+        loads = tuple(self.machine.loads())
+        record = RoundRecord(
+            index=self.round_index,
+            loads_before=loads,
+            loads_after=loads,
+            attempts=[],
+        )
+        self.round_index += 1
+        return record

@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow a scheduler developer would follow with the
+paper's toolchain:
+
+* ``list-policies`` — the built-in policy zoo;
+* ``verify``        — run the full §4 proof pipeline on a policy;
+* ``hunt``          — model-check only, printing any counterexample lasso;
+* ``campaign``      — randomised fuzzing beyond exhaustive scopes;
+* ``simulate``      — run a workload under a chosen balancer and report
+  wasted-core metrics;
+* ``dsl``           — compile a DSL policy file and emit Python proof
+  results, C, or Scala.
+
+Every command exits 0 on success; ``verify`` exits 2 when the policy is
+refuted (so shell scripts can gate on proofs), and ``dsl`` exits 2 on
+compilation errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core.policy import Policy
+
+
+def _policy_registry() -> dict[str, Callable[[argparse.Namespace], Policy]]:
+    from repro.baselines import IdleOnlyRandomStealPolicy, RandomStealPolicy
+    from repro.policies import (
+        BalanceCountPolicy,
+        GreedyHalvingPolicy,
+        NaiveOverloadedPolicy,
+        ProvableWeightedPolicy,
+        WeightedBalancePolicy,
+    )
+    from repro.policies.naive import (
+        GreedyReadyPolicy,
+        InvertedFilterPolicy,
+        OverStealingPolicy,
+    )
+
+    return {
+        "balance_count": lambda a: BalanceCountPolicy(margin=a.margin),
+        "greedy_halving": lambda a: GreedyHalvingPolicy(margin=a.margin),
+        "weighted": lambda a: WeightedBalancePolicy(),
+        "provable_weighted": lambda a: ProvableWeightedPolicy(),
+        "naive": lambda a: NaiveOverloadedPolicy(),
+        "greedy_ready": lambda a: GreedyReadyPolicy(),
+        "inverted": lambda a: InvertedFilterPolicy(),
+        "over_stealing": lambda a: OverStealingPolicy(),
+        "random_steal": lambda a: RandomStealPolicy(seed=a.seed),
+        "idle_random_steal": lambda a: IdleOnlyRandomStealPolicy(
+            seed=a.seed
+        ),
+    }
+
+
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("policy", help="policy name (see list-policies)")
+    parser.add_argument("--margin", type=int, default=2,
+                        help="margin for balance_count/greedy_halving")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for randomised policies")
+
+
+def _make_policy(args: argparse.Namespace) -> Policy:
+    registry = _policy_registry()
+    if args.policy not in registry:
+        raise SystemExit(
+            f"unknown policy {args.policy!r}; try: {', '.join(registry)}"
+        )
+    return registry[args.policy](args)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list_policies(args: argparse.Namespace) -> int:
+    for name in sorted(_policy_registry()):
+        print(name)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import StateScope, prove_work_conserving
+
+    policy = _make_policy(args)
+    scope = StateScope(n_cores=args.cores, max_load=args.max_load)
+    cert = prove_work_conserving(
+        policy, scope,
+        choice_mode=args.choice_mode,
+        symmetric=args.symmetric,
+    )
+    print(cert.render())
+    return 0 if cert.proved else 2
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.verify import StateScope, default_zoo, verify_zoo
+
+    report = verify_zoo(
+        default_zoo(),
+        StateScope(n_cores=args.cores, max_load=args.max_load),
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.verify import ModelChecker, StateScope
+
+    policy = _make_policy(args)
+    checker = ModelChecker(policy, symmetric=args.symmetric)
+    analysis = checker.analyze(
+        StateScope(n_cores=args.cores, max_load=args.max_load)
+    )
+    if analysis.violated:
+        print(f"VIOLATION: {analysis.lasso.describe()}")
+    else:
+        print(
+            f"no violation; exact worst-case N ="
+            f" {analysis.worst_case_rounds}"
+            f" over {analysis.states_explored} states"
+        )
+    return 0
+
+
+def cmd_refine(args: argparse.Namespace) -> int:
+    from repro.verify import StateScope, check_refinement
+
+    registry = _policy_registry()
+    if args.policy not in registry:
+        raise SystemExit(
+            f"unknown policy {args.policy!r}; try: {', '.join(registry)}"
+        )
+    result = check_refinement(
+        lambda: registry[args.policy](args),
+        StateScope(n_cores=args.cores, max_load=args.max_load),
+    )
+    print(result)
+    return 0 if result.ok else 2
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.verify.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        n_machines=args.machines,
+        max_cores=args.max_cores,
+        max_load=args.max_load,
+        rounds_per_machine=args.rounds,
+        seed=args.seed,
+    )
+    report = run_campaign(lambda: _make_policy(args), config)
+    print(report.describe())
+    for violation in report.violations[:10]:
+        print(f"  {violation}")
+    return 0 if report.clean else 2
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        CfsLikeBalancer,
+        GlobalQueueBalancer,
+        NullBalancer,
+    )
+    from repro.core.balancer import LoadBalancer
+    from repro.core.machine import Machine
+    from repro.metrics import render_table
+    from repro.policies import BalanceCountPolicy, HierarchicalBalancer
+    from repro.sim.engine import Simulation
+    from repro.topology import build_domain_tree, symmetric_numa
+    from repro.workloads import (
+        BarrierWorkload,
+        OltpWorkload,
+        StaticImbalanceWorkload,
+        place_pack,
+    )
+
+    topology = symmetric_numa(args.nodes, args.cores // args.nodes)
+    machine = Machine(topology=topology)
+
+    if args.balancer == "verified":
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+    elif args.balancer == "cfs":
+        balancer = CfsLikeBalancer(machine, build_domain_tree(topology))
+    elif args.balancer == "null":
+        balancer = NullBalancer(machine)
+    elif args.balancer == "ideal":
+        balancer = GlobalQueueBalancer(machine)
+    elif args.balancer == "hierarchical":
+        balancer = HierarchicalBalancer(
+            machine, build_domain_tree(topology)
+        )
+    else:
+        raise SystemExit(f"unknown balancer {args.balancer!r}")
+
+    if args.workload == "barrier":
+        workload = BarrierWorkload(
+            n_threads=2 * args.cores, n_phases=6, phase_work=25,
+            placement=place_pack, seed=args.seed,
+        )
+    elif args.workload == "oltp":
+        workload = OltpWorkload(
+            n_workers=args.cores + args.cores // 2,
+            duration=args.ticks // 2, seed=args.seed,
+        )
+    elif args.workload == "static":
+        loads = [0] * args.cores
+        loads[0] = 2 * args.cores
+        workload = StaticImbalanceWorkload(loads)
+    else:
+        raise SystemExit(f"unknown workload {args.workload!r}")
+
+    sim = Simulation(machine, balancer, workload=workload)
+    result = sim.run(max_ticks=args.ticks)
+    rows = [[key, value] for key, value in result.metrics.summary().items()]
+    print(f"{args.workload} under {args.balancer}"
+          f" ({args.cores} cores, {args.nodes} nodes):")
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_dsl(args: argparse.Namespace) -> int:
+    from repro.core.errors import DslError
+    from repro.dsl import compile_policy, emit_c, emit_scala, parse_policy
+    from repro.verify import StateScope, prove_work_conserving
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+
+    try:
+        decl = parse_policy(source)
+        policy = compile_policy(source)
+    except DslError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.emit == "c":
+        print(emit_c(decl))
+    elif args.emit == "scala":
+        print(emit_scala(decl))
+    else:  # verify
+        cert = prove_work_conserving(
+            policy, StateScope(n_cores=args.cores, max_load=args.max_load)
+        )
+        print(cert.render())
+        return 0 if cert.proved else 2
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Provably work-conserving multicore scheduling"
+                    " (HotOS'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-policies", help="list built-in policies")
+
+    verify = sub.add_parser("verify", help="run the full proof pipeline")
+    _add_policy_args(verify)
+    verify.add_argument("--cores", type=int, default=3)
+    verify.add_argument("--max-load", type=int, default=3)
+    verify.add_argument("--choice-mode", choices=("all", "policy"),
+                        default="all")
+    verify.add_argument("--symmetric", action="store_true")
+
+    zoo = sub.add_parser("zoo", help="verdict matrix over the policy zoo")
+    zoo.add_argument("--cores", type=int, default=3)
+    zoo.add_argument("--max-load", type=int, default=3)
+
+    hunt = sub.add_parser("hunt", help="model-check work conservation")
+    _add_policy_args(hunt)
+    hunt.add_argument("--cores", type=int, default=3)
+    hunt.add_argument("--max-load", type=int, default=2)
+    hunt.add_argument("--symmetric", action="store_true")
+
+    refine = sub.add_parser(
+        "refine", help="cross-validate model vs implementation"
+    )
+    _add_policy_args(refine)
+    refine.add_argument("--cores", type=int, default=3)
+    refine.add_argument("--max-load", type=int, default=3)
+
+    campaign = sub.add_parser("campaign", help="randomised fuzzing")
+    _add_policy_args(campaign)
+    campaign.add_argument("--machines", type=int, default=50)
+    campaign.add_argument("--max-cores", type=int, default=12)
+    campaign.add_argument("--max-load", type=int, default=8)
+    campaign.add_argument("--rounds", type=int, default=30)
+
+    simulate = sub.add_parser("simulate", help="run a workload")
+    simulate.add_argument("--workload",
+                          choices=("barrier", "oltp", "static"),
+                          default="barrier")
+    simulate.add_argument("--balancer",
+                          choices=("verified", "cfs", "null", "ideal",
+                                   "hierarchical"),
+                          default="verified")
+    simulate.add_argument("--cores", type=int, default=8)
+    simulate.add_argument("--nodes", type=int, default=2)
+    simulate.add_argument("--ticks", type=int, default=5000)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    dsl = sub.add_parser("dsl", help="compile a DSL policy file")
+    dsl.add_argument("file", help="policy source path, or - for stdin")
+    dsl.add_argument("--emit", choices=("verify", "c", "scala"),
+                     default="verify")
+    dsl.add_argument("--cores", type=int, default=3)
+    dsl.add_argument("--max-load", type=int, default=3)
+
+    return parser
+
+
+COMMANDS = {
+    "list-policies": cmd_list_policies,
+    "verify": cmd_verify,
+    "zoo": cmd_zoo,
+    "hunt": cmd_hunt,
+    "refine": cmd_refine,
+    "campaign": cmd_campaign,
+    "simulate": cmd_simulate,
+    "dsl": cmd_dsl,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)

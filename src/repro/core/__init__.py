@@ -1,0 +1,80 @@
+"""Core scheduler model: tasks, runqueues, cores, machines, policies,
+and the optimistic three-step load balancer (Figure 1 of the paper)."""
+
+from repro.core.balancer import (
+    FAILED_OUTCOMES,
+    AttemptOutcome,
+    LoadBalancer,
+    RoundRecord,
+    StealAttempt,
+    StealIntent,
+)
+from repro.core.cpu import Core, CoreSnapshot, CoreView, is_idle, is_overloaded
+from repro.core.errors import (
+    ConfigurationError,
+    DslError,
+    DslSyntaxError,
+    DslValidationError,
+    LockProtocolError,
+    ReproError,
+    SchedulingInvariantError,
+    SelectionPhasePurityError,
+    VerificationError,
+)
+from repro.core.machine import Machine
+from repro.core.policy import LoadView, Policy, filter_candidates
+from repro.core.runqueue import (
+    RunQueue,
+    build_runqueue,
+    total_tasks,
+    validate_disjoint,
+)
+from repro.core.task import (
+    MAX_NICE,
+    MIN_NICE,
+    NICE_0_WEIGHT,
+    NICE_TO_WEIGHT,
+    Task,
+    TaskState,
+    make_tasks,
+    nice_to_weight,
+)
+
+__all__ = [
+    "FAILED_OUTCOMES",
+    "AttemptOutcome",
+    "LoadBalancer",
+    "RoundRecord",
+    "StealAttempt",
+    "StealIntent",
+    "Core",
+    "CoreSnapshot",
+    "CoreView",
+    "is_idle",
+    "is_overloaded",
+    "ConfigurationError",
+    "DslError",
+    "DslSyntaxError",
+    "DslValidationError",
+    "LockProtocolError",
+    "ReproError",
+    "SchedulingInvariantError",
+    "SelectionPhasePurityError",
+    "VerificationError",
+    "Machine",
+    "LoadView",
+    "Policy",
+    "filter_candidates",
+    "RunQueue",
+    "build_runqueue",
+    "total_tasks",
+    "validate_disjoint",
+    "MAX_NICE",
+    "MIN_NICE",
+    "NICE_0_WEIGHT",
+    "NICE_TO_WEIGHT",
+    "Task",
+    "TaskState",
+    "make_tasks",
+    "nice_to_weight",
+]

@@ -1,0 +1,591 @@
+"""The optimistic load balancer: Figure 1's three steps, executed.
+
+A *load-balancing round* runs one balancing operation per participating
+core. Each operation is:
+
+1. **Selection phase** (lock-free, read-only): the core takes — or shares
+   — a snapshot of all cores, applies the policy's *filter* (step 1) and
+   *choice* (step 2), producing a :class:`StealIntent` or nothing.
+2. **Stealing phase** (both runqueues locked): the *steal* (step 3)
+   re-checks the filter against live state and migrates tasks when it
+   still holds. Because the selection acted on possibly stale data, the
+   re-check may fail; that failure is recorded — with the concurrent
+   successful steals that *caused* it — rather than treated as an error.
+
+The per-attempt records are the raw material of the verification layer:
+the failure-attribution theorem (§4.3, "if a work-stealing attempt fails,
+it is because another work-stealing attempt performed by another core
+succeeded") is checked directly against :attr:`StealAttempt.invalidated_by`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.core.cpu import Core, CoreSnapshot
+from repro.core.errors import ConfigurationError, SchedulingInvariantError
+from repro.core.machine import Machine
+from repro.core.policy import Policy, filter_candidates
+from repro.core.task import TaskState
+from repro.sim.interleave import ConcurrentInterleaving, Interleaving
+from repro.sim.locks import LockManager
+
+#: Optional override of the policy's step-2 choice, used by the verifier
+#: to quantify over *all* choices and prove choice-irrelevance.
+ChoiceOracle = Callable[[CoreSnapshot, Sequence[CoreSnapshot]], CoreSnapshot]
+
+
+class AttemptOutcome(Enum):
+    """How one core's balancing operation ended."""
+
+    SUCCESS = "success"              #: tasks were migrated
+    NO_CANDIDATES = "no_candidates"  #: the filter kept no core; nothing attempted
+    RECHECK_FAILED = "recheck_failed"  #: filter no longer held under the locks
+    LOCK_BUSY = "lock_busy"          #: a racing steal held a needed lock
+    EMPTY_VICTIM = "empty_victim"    #: filter held but victim had no stealable task
+
+
+#: Outcomes that count as *failed optimistic attempts* (a victim was
+#: selected but nothing was stolen). ``NO_CANDIDATES`` is not a failure:
+#: the core had nobody to steal from, which is the normal idle state.
+FAILED_OUTCOMES = frozenset(
+    {AttemptOutcome.RECHECK_FAILED, AttemptOutcome.LOCK_BUSY,
+     AttemptOutcome.EMPTY_VICTIM}
+)
+
+
+@dataclass(frozen=True)
+class StealIntent:
+    """Output of one core's selection phase.
+
+    Attributes:
+        thief: id of the core that will steal.
+        victim: id of the chosen victim core.
+        observed_thief_version: thief runqueue version at selection time.
+        observed_victim_version: victim runqueue version at selection time.
+        candidates: core ids that passed the filter (for audit).
+    """
+
+    thief: int
+    victim: int
+    observed_thief_version: int
+    observed_victim_version: int
+    candidates: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StealAttempt:
+    """Full record of one core's balancing operation in one round.
+
+    Attributes:
+        round_index: the round this attempt belongs to.
+        thief: id of the stealing core.
+        victim: id of the selected victim, or ``None`` for
+            ``NO_CANDIDATES``.
+        outcome: the :class:`AttemptOutcome`.
+        moved_task_ids: tids migrated (empty unless ``SUCCESS``).
+        observed_victim_version: victim runqueue version at selection.
+        live_victim_version: victim runqueue version at re-check, or
+            ``None`` if the locks were never acquired.
+        invalidated_by: thief ids of *earlier successful* attempts in the
+            same round that mutated this attempt's thief or victim
+            runqueue — the concurrent steals that caused this failure.
+        candidates: core ids that passed the filter at selection.
+    """
+
+    round_index: int
+    thief: int
+    victim: int | None
+    outcome: AttemptOutcome
+    moved_task_ids: tuple[int, ...] = ()
+    observed_victim_version: int | None = None
+    live_victim_version: int | None = None
+    invalidated_by: tuple[int, ...] = ()
+    candidates: tuple[int, ...] = ()
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether tasks were migrated."""
+        return self.outcome is AttemptOutcome.SUCCESS
+
+    @property
+    def failed(self) -> bool:
+        """Whether a selected steal did not happen (optimistic failure)."""
+        return self.outcome in FAILED_OUTCOMES
+
+
+@dataclass
+class RoundRecord:
+    """Everything that happened in one load-balancing round.
+
+    Attributes:
+        index: round number (0-based).
+        loads_before: per-core thread counts entering the round.
+        loads_after: per-core thread counts leaving the round.
+        attempts: one :class:`StealAttempt` per participating core, in
+            execution order.
+    """
+
+    index: int
+    loads_before: tuple[int, ...]
+    loads_after: tuple[int, ...]
+    attempts: list[StealAttempt] = field(default_factory=list)
+
+    @property
+    def successes(self) -> list[StealAttempt]:
+        """Attempts that migrated tasks."""
+        return [a for a in self.attempts if a.succeeded]
+
+    @property
+    def failures(self) -> list[StealAttempt]:
+        """Optimistically failed attempts."""
+        return [a for a in self.attempts if a.failed]
+
+    @property
+    def tasks_moved(self) -> int:
+        """Total tasks migrated during the round."""
+        return sum(len(a.moved_task_ids) for a in self.attempts)
+
+    @property
+    def quiet(self) -> bool:
+        """True when nothing was attempted or moved: a fixpoint round."""
+        return all(
+            a.outcome is AttemptOutcome.NO_CANDIDATES for a in self.attempts
+        )
+
+
+class LoadBalancer:
+    """Executes load-balancing rounds for a machine under a policy.
+
+    Attributes:
+        machine: the :class:`~repro.core.machine.Machine` being balanced.
+        policy: the :class:`~repro.core.policy.Policy` in force.
+        locks: the :class:`~repro.sim.locks.LockManager` implementing the
+            two-runqueue stealing protocol.
+        rounds: history of :class:`RoundRecord` (kept when
+            ``keep_history``).
+    """
+
+    def __init__(self, machine: Machine, policy: Policy,
+                 interleaving: Interleaving | None = None,
+                 keep_history: bool = True,
+                 check_invariants: bool = True,
+                 recheck_under_lock: bool = True) -> None:
+        """Create a balancer.
+
+        Args:
+            machine: machine to balance.
+            policy: three-step policy to run.
+            interleaving: default interleaving for rounds; defaults to the
+                deterministic concurrent regime.
+            keep_history: whether to retain per-round records (disable
+                for very long simulations to bound memory).
+            check_invariants: whether to validate machine invariants after
+                every round (cheap at verification scopes; disable in
+                large benchmarks).
+            recheck_under_lock: re-evaluate the filter against live state
+                inside the locked stealing phase (Listing 1 line 12).
+                Disabling this is an ABLATION ONLY: stale selections then
+                commit steals the filter no longer justifies, and the
+                steal-soundness guarantees (victim not drained past its
+                running task is still physically enforced, but gap
+                shrinkage is not) no longer hold.
+        """
+        self.machine = machine
+        self.policy = policy
+        self.interleaving = interleaving or ConcurrentInterleaving()
+        self.locks = LockManager(machine.n_cores)
+        self.keep_history = keep_history
+        self.check_invariants = check_invariants
+        self.recheck_under_lock = recheck_under_lock
+        self.rounds: list[RoundRecord] = []
+        self.round_index = 0
+        self.total_successes = 0
+        self.total_failures = 0
+        self.total_moved = 0
+
+    # ------------------------------------------------------------------
+    # selection phase (step 1 + step 2)
+    # ------------------------------------------------------------------
+
+    def select(self, thief_cid: int, snapshots: Sequence[CoreSnapshot],
+               choice_oracle: ChoiceOracle | None = None) -> StealIntent | None:
+        """Run the lock-free selection phase for one core.
+
+        Args:
+            thief_cid: the core performing the operation.
+            snapshots: observation of every core (the thief reads its own
+                entry for its self-view).
+            choice_oracle: optional override of the policy's step-2
+                choice, used by the verifier to quantify over choices.
+
+        Returns:
+            A :class:`StealIntent`, or ``None`` when the filter kept no
+            candidate.
+
+        Raises:
+            SchedulingInvariantError: if the choice returns a core outside
+                the filtered candidates — the Listing 1 ``ensuring``
+                clause, enforced at runtime.
+        """
+        thief_snap = snapshots[thief_cid]
+        candidates = filter_candidates(self.policy, thief_snap, snapshots)
+        if not candidates:
+            return None
+        chooser = choice_oracle or self.policy.choose
+        victim = chooser(thief_snap, candidates)
+        if victim not in candidates:
+            raise SchedulingInvariantError(
+                f"policy {self.policy.name}: choice returned core"
+                f" {victim.cid}, not among candidates"
+                f" {[c.cid for c in candidates]}"
+            )
+        return StealIntent(
+            thief=thief_cid,
+            victim=victim.cid,
+            observed_thief_version=thief_snap.version,
+            observed_victim_version=victim.version,
+            candidates=tuple(c.cid for c in candidates),
+        )
+
+    # ------------------------------------------------------------------
+    # stealing phase (step 3)
+    # ------------------------------------------------------------------
+
+    def _migrate(self, thief: Core, victim: Core) -> tuple[int, ...]:
+        """Move ``steal_amount`` tasks from victim tail to thief queue.
+
+        The running task is never stealable; the requested amount is
+        clamped to the victim's ready count.
+        """
+        requested = self.policy.steal_amount(thief, victim)
+        if requested < 1:
+            raise ConfigurationError(
+                f"policy {self.policy.name}: steal_amount returned"
+                f" {requested}, must be >= 1"
+            )
+        amount = min(requested, victim.runqueue.size)
+        moved: list[int] = []
+        for _ in range(amount):
+            task = victim.runqueue.pop_tail()
+            task.state = TaskState.READY
+            thief.runqueue.push(task)
+            moved.append(task.tid)
+        return tuple(moved)
+
+    def execute_steal(self, intent: StealIntent,
+                      prior_successes: Sequence[StealAttempt]) -> StealAttempt:
+        """Run the locked stealing phase for one intent.
+
+        Args:
+            intent: the selection-phase output.
+            prior_successes: successful attempts already executed in this
+                round, used to attribute failures to their cause.
+
+        Returns:
+            The completed :class:`StealAttempt`.
+        """
+        thief = self.machine.core(intent.thief)
+        victim = self.machine.core(intent.victim)
+
+        def blamers() -> tuple[int, ...]:
+            return tuple(
+                a.thief for a in prior_successes
+                if a.succeeded and {a.thief, a.victim} & {intent.thief, intent.victim}
+            )
+
+        with self.locks.pair(intent.thief, intent.thief, intent.victim) as locked:
+            if not locked:
+                return StealAttempt(
+                    round_index=self.round_index,
+                    thief=intent.thief,
+                    victim=intent.victim,
+                    outcome=AttemptOutcome.LOCK_BUSY,
+                    observed_victim_version=intent.observed_victim_version,
+                    invalidated_by=blamers(),
+                    candidates=intent.candidates,
+                )
+            live_version = victim.runqueue.version
+            if self.recheck_under_lock and not self.policy.can_steal(
+                thief, victim
+            ):
+                return StealAttempt(
+                    round_index=self.round_index,
+                    thief=intent.thief,
+                    victim=intent.victim,
+                    outcome=AttemptOutcome.RECHECK_FAILED,
+                    observed_victim_version=intent.observed_victim_version,
+                    live_victim_version=live_version,
+                    invalidated_by=blamers(),
+                    candidates=intent.candidates,
+                )
+            moved = self._migrate(thief, victim)
+            outcome = (
+                AttemptOutcome.SUCCESS if moved else AttemptOutcome.EMPTY_VICTIM
+            )
+            return StealAttempt(
+                round_index=self.round_index,
+                thief=intent.thief,
+                victim=intent.victim,
+                outcome=outcome,
+                moved_task_ids=moved,
+                observed_victim_version=intent.observed_victim_version,
+                live_victim_version=live_version,
+                invalidated_by=blamers() if not moved else (),
+                candidates=intent.candidates,
+            )
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+
+    def run_round(self, interleaving: Interleaving | None = None,
+                  participants: Sequence[int] | None = None,
+                  choice_oracle: ChoiceOracle | None = None) -> RoundRecord:
+        """Execute one full load-balancing round.
+
+        Args:
+            interleaving: overrides the balancer's default interleaving
+                for this round.
+            participants: core ids performing balancing operations;
+                defaults to all cores (CFS balances on every core).
+            choice_oracle: optional step-2 override (verification use).
+
+        Returns:
+            The :class:`RoundRecord` for the round.
+        """
+        inter = interleaving or self.interleaving
+        cids = list(participants) if participants is not None else [
+            core.cid for core in self.machine.cores
+        ]
+        loads_before = tuple(self.machine.loads())
+        attempts: list[StealAttempt] = []
+
+        if inter.fresh_snapshots:
+            self._run_sequential(inter, cids, choice_oracle, attempts)
+        elif getattr(inter, "overlapped", False):
+            self._run_overlapped(inter, cids, choice_oracle, attempts)
+        elif getattr(inter, "pipelined", False):
+            self._run_pipelined(inter, cids, choice_oracle, attempts)
+        else:
+            self._run_concurrent(inter, cids, choice_oracle, attempts)
+
+        self.locks.assert_all_free()
+        if self.check_invariants:
+            self.machine.check_invariants()
+
+        record = RoundRecord(
+            index=self.round_index,
+            loads_before=loads_before,
+            loads_after=tuple(self.machine.loads()),
+            attempts=attempts,
+        )
+        self.round_index += 1
+        self.total_successes += len(record.successes)
+        self.total_failures += len(record.failures)
+        self.total_moved += record.tasks_moved
+        if self.keep_history:
+            self.rounds.append(record)
+        return record
+
+    def _no_candidates(self, cid: int) -> StealAttempt:
+        return StealAttempt(
+            round_index=self.round_index,
+            thief=cid,
+            victim=None,
+            outcome=AttemptOutcome.NO_CANDIDATES,
+        )
+
+    def _run_sequential(self, inter: Interleaving, cids: list[int],
+                        choice_oracle: ChoiceOracle | None,
+                        attempts: list[StealAttempt]) -> None:
+        """§4.2 regime: fresh snapshot before each core's operation."""
+        for cid in inter.participant_order(self.round_index, cids):
+            snapshots = self.machine.snapshot()
+            intent = self.select(cid, snapshots, choice_oracle)
+            if intent is None:
+                attempts.append(self._no_candidates(cid))
+                continue
+            attempts.append(self.execute_steal(intent, attempts))
+
+    def _run_concurrent(self, inter: Interleaving, cids: list[int],
+                        choice_oracle: ChoiceOracle | None,
+                        attempts: list[StealAttempt]) -> None:
+        """§4.3 regime: shared stale snapshot, serialized racing steals."""
+        snapshots = self.machine.snapshot()
+        intents: dict[int, StealIntent] = {}
+        for cid in cids:
+            intent = self.select(cid, snapshots, choice_oracle)
+            if intent is None:
+                attempts.append(self._no_candidates(cid))
+            else:
+                intents[cid] = intent
+        for cid in inter.steal_order(self.round_index, sorted(intents)):
+            attempts.append(self.execute_steal(intents[cid], attempts))
+
+    def _run_pipelined(self, inter: Interleaving, cids: list[int],
+                       choice_oracle: ChoiceOracle | None,
+                       attempts: list[StealAttempt]) -> None:
+        """Op-level regime: each select reads the machine at its own
+        point in the schedule, so selections observe other cores'
+        completed steals — the general lock-free model of §3.1, of which
+        sequential and concurrent are the two extremes."""
+        intents: dict[int, StealIntent | None] = {}
+        for op, cid in inter.op_schedule(self.round_index, cids):
+            if op == "select":
+                snapshots = self.machine.snapshot()
+                intents[cid] = self.select(cid, snapshots, choice_oracle)
+            else:  # steal
+                intent = intents.get(cid)
+                if intent is None:
+                    attempts.append(self._no_candidates(cid))
+                else:
+                    attempts.append(self.execute_steal(intent, attempts))
+
+    def _run_overlapped(self, inter: Interleaving, cids: list[int],
+                        choice_oracle: ChoiceOracle | None,
+                        attempts: list[StealAttempt]) -> None:
+        """§4.3 regime with overlapping critical sections and try-locks.
+
+        Steals advance through three micro-ops — acquire, migrate,
+        release — following the interleaving's micro-op schedule. A
+        failed double-try-lock aborts the attempt with ``LOCK_BUSY``.
+        """
+        snapshots = self.machine.snapshot()
+        intents: dict[int, StealIntent] = {}
+        for cid in cids:
+            intent = self.select(cid, snapshots, choice_oracle)
+            if intent is None:
+                attempts.append(self._no_candidates(cid))
+            else:
+                intents[cid] = intent
+
+        stage: dict[int, int] = {cid: 0 for cid in intents}
+        pending: dict[int, StealAttempt] = {}
+        schedule = inter.schedule_micro_ops(
+            self.round_index, sorted(intents)
+        )
+        for cid in schedule:
+            if cid not in intents or stage.get(cid, 3) >= 3:
+                continue
+            intent = intents[cid]
+            if stage[cid] == 0:
+                if self.locks.try_lock_pair(cid, intent.thief, intent.victim):
+                    stage[cid] = 1
+                else:
+                    stage[cid] = 3
+                    # The cause of a busy lock is the steal holding it —
+                    # in flight, not yet recorded as a success — plus any
+                    # completed steal that touched our runqueues.
+                    holders = {
+                        self.locks.lock_of(intent.thief).holder,
+                        self.locks.lock_of(intent.victim).holder,
+                    } - {None, cid}
+                    completed = {
+                        a.thief for a in attempts
+                        if a.succeeded
+                        and {a.thief, a.victim} & {intent.thief, intent.victim}
+                    }
+                    attempts.append(StealAttempt(
+                        round_index=self.round_index,
+                        thief=intent.thief,
+                        victim=intent.victim,
+                        outcome=AttemptOutcome.LOCK_BUSY,
+                        observed_victim_version=intent.observed_victim_version,
+                        invalidated_by=tuple(sorted(holders | completed)),
+                        candidates=intent.candidates,
+                    ))
+            elif stage[cid] == 1:
+                pending[cid] = self._locked_steal_body(intent, attempts)
+                stage[cid] = 2
+            else:
+                self.locks.unlock_pair(cid, intent.thief, intent.victim)
+                attempts.append(pending.pop(cid))
+                stage[cid] = 3
+        # Drain any steals the (random) schedule left unfinished.
+        for cid, st in sorted(stage.items()):
+            intent = intents[cid]
+            if st == 1:
+                pending[cid] = self._locked_steal_body(intent, attempts)
+                st = 2
+            if st == 2:
+                self.locks.unlock_pair(cid, intent.thief, intent.victim)
+                attempts.append(pending.pop(cid))
+
+    def _locked_steal_body(self, intent: StealIntent,
+                           attempts: list[StealAttempt]) -> StealAttempt:
+        """Re-check + migrate, assuming both locks are already held."""
+        thief = self.machine.core(intent.thief)
+        victim = self.machine.core(intent.victim)
+        live_version = victim.runqueue.version
+        blame = tuple(
+            a.thief for a in attempts
+            if a.succeeded and {a.thief, a.victim} & {intent.thief, intent.victim}
+        )
+        if self.recheck_under_lock and not self.policy.can_steal(
+            thief, victim
+        ):
+            return StealAttempt(
+                round_index=self.round_index,
+                thief=intent.thief,
+                victim=intent.victim,
+                outcome=AttemptOutcome.RECHECK_FAILED,
+                observed_victim_version=intent.observed_victim_version,
+                live_victim_version=live_version,
+                invalidated_by=blame,
+                candidates=intent.candidates,
+            )
+        moved = self._migrate(thief, victim)
+        outcome = AttemptOutcome.SUCCESS if moved else AttemptOutcome.EMPTY_VICTIM
+        return StealAttempt(
+            round_index=self.round_index,
+            thief=intent.thief,
+            victim=intent.victim,
+            outcome=outcome,
+            moved_task_ids=moved,
+            observed_victim_version=intent.observed_victim_version,
+            live_victim_version=live_version,
+            invalidated_by=blame if not moved else (),
+            candidates=intent.candidates,
+        )
+
+    # ------------------------------------------------------------------
+    # convergence driver
+    # ------------------------------------------------------------------
+
+    def run_until_work_conserving(self, max_rounds: int = 1000,
+                                  interleaving: Interleaving | None = None,
+                                  require_stable: bool = False) -> int | None:
+        """Run rounds until no core is idle while another is overloaded.
+
+        This measures the ``N`` of the paper's work-conservation
+        definition on a concrete execution: the number of rounds after
+        which the wasted-core condition no longer holds.
+
+        Args:
+            max_rounds: give up after this many rounds (a correct policy
+                at verification scopes needs far fewer).
+            interleaving: per-call interleaving override.
+            require_stable: when True, additionally require a quiet round
+                (no candidates anywhere) so the state is a fixpoint, not
+                merely momentarily acceptable.
+
+        Returns:
+            The number of rounds executed to reach the condition, or
+            ``None`` if ``max_rounds`` was exhausted first (evidence of a
+            work-conservation violation, e.g. the §4.3 ping-pong).
+        """
+        for done in range(max_rounds + 1):
+            if self.machine.is_work_conserving_state():
+                if not require_stable:
+                    return done
+                record = self.run_round(interleaving=interleaving)
+                if record.quiet:
+                    return done
+                continue
+            if done == max_rounds:
+                break
+            self.run_round(interleaving=interleaving)
+        return None

@@ -1,0 +1,258 @@
+"""Cores and their immutable snapshots.
+
+A :class:`Core` is the live, mutable pairing of a *current task* and a
+*runqueue*, exactly the scheduler model of Section 3.1 of the paper:
+"a scheduler is defined with reference to, for each core of the machine,
+the current thread, if any, that is running on that core, and a runqueue
+containing threads waiting to be scheduled".
+
+A :class:`CoreSnapshot` is the read-only view of a core that the lock-free
+selection phase operates on. Policies receive snapshots in their
+``filter``/``choose`` steps, making the paper's purity requirement
+("the selection phase may not modify runqueues") hold by construction:
+there is simply nothing mutable in scope. Snapshots may be *stale* by the
+time the stealing phase runs — that staleness is the source of optimistic
+failures and the whole subject of Section 4.3.
+
+Both classes implement the structural :class:`CoreView` protocol so a
+policy's ``load``/``can_steal`` code runs unchanged against live cores
+(during the locked re-check) and snapshots (during selection), mirroring
+Listing 1 where ``canSteal`` is evaluated in both phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import SchedulingInvariantError
+from repro.core.runqueue import RunQueue
+from repro.core.task import NICE_0_WEIGHT, Task, TaskState
+
+
+@runtime_checkable
+class CoreView(Protocol):
+    """Structural view of a core, satisfied by ``Core`` and ``CoreSnapshot``.
+
+    Attributes:
+        cid: core id.
+        nr_ready: number of tasks waiting in the runqueue.
+        has_current: whether a task is currently running on the core.
+        weighted_load: CFS-weighted load (runqueue + current task).
+        node: NUMA node the core belongs to.
+    """
+
+    cid: int
+    nr_ready: int
+    has_current: bool
+    weighted_load: int
+    node: int
+
+    @property
+    def nr_threads(self) -> int:
+        """Total threads on the core: current (0 or 1) + runqueue size."""
+        ...
+
+
+def is_idle(view: CoreView) -> bool:
+    """Paper definition (Section 3.1): no current task and empty runqueue."""
+    return not view.has_current and view.nr_ready == 0
+
+
+def is_overloaded(view: CoreView) -> bool:
+    """Paper definition (Listing 2): two or more threads counting current.
+
+    ``isOverloaded`` in Listing 2 reads: if there is a current task the
+    runqueue must hold at least one more; otherwise at least two. Both
+    branches reduce to "total threads >= 2".
+    """
+    if view.has_current:
+        return view.nr_ready >= 1
+    return view.nr_ready >= 2
+
+
+@dataclass(frozen=True)
+class CoreSnapshot:
+    """Immutable observation of a core at a point in (virtual) time.
+
+    Attributes:
+        cid: core id.
+        nr_ready: runqueue size at observation time.
+        has_current: whether a task was running at observation time.
+        weighted_load: weighted load at observation time.
+        node: NUMA node of the core (topology is immutable, never stale).
+        version: runqueue version at observation time; used to attribute
+            later steal failures to the concurrent mutations that caused
+            them (Section 4.3's first proof obligation).
+        ready_task_ids: tids of queued tasks, for locality-aware choice.
+    """
+
+    cid: int
+    nr_ready: int
+    has_current: bool
+    weighted_load: int
+    node: int
+    version: int
+    ready_task_ids: tuple[int, ...] = ()
+
+    @property
+    def nr_threads(self) -> int:
+        """Total threads observed: current (0 or 1) + runqueue size."""
+        return self.nr_ready + (1 if self.has_current else 0)
+
+    @property
+    def idle(self) -> bool:
+        """Whether the observed core was idle."""
+        return is_idle(self)
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the observed core was overloaded."""
+        return is_overloaded(self)
+
+
+class Core:
+    """A live core: current task + runqueue.
+
+    Attributes:
+        cid: core id, dense in ``[0, n_cores)``.
+        node: NUMA node id (0 on non-NUMA machines).
+        runqueue: the core's :class:`~repro.core.runqueue.RunQueue`.
+        current: the running task, or ``None`` when the CPU is idle or
+            only context-switching.
+    """
+
+    __slots__ = ("cid", "node", "runqueue", "current")
+
+    def __init__(self, cid: int, node: int = 0) -> None:
+        self.cid = cid
+        self.node = node
+        self.runqueue = RunQueue(owner=cid)
+        self.current: Task | None = None
+
+    # -- CoreView ------------------------------------------------------
+
+    @property
+    def nr_ready(self) -> int:
+        """Number of tasks waiting in this core's runqueue."""
+        return self.runqueue.size
+
+    @property
+    def has_current(self) -> bool:
+        """Whether a task currently occupies the CPU."""
+        return self.current is not None
+
+    @property
+    def weighted_load(self) -> int:
+        """Weighted load: runqueue weights plus the current task's weight."""
+        load = self.runqueue.weighted_load
+        if self.current is not None:
+            load += self.current.weight
+        return load
+
+    @property
+    def nr_threads(self) -> int:
+        """Total threads on the core: current (0 or 1) + runqueue size."""
+        return self.nr_ready + (1 if self.current is not None else 0)
+
+    @property
+    def idle(self) -> bool:
+        """Paper definition: no current task and an empty runqueue."""
+        return is_idle(self)
+
+    @property
+    def overloaded(self) -> bool:
+        """Paper definition: two or more threads counting the current one."""
+        return is_overloaded(self)
+
+    # -- scheduling ----------------------------------------------------
+
+    def snapshot(self) -> CoreSnapshot:
+        """Take the immutable observation used by the selection phase."""
+        return CoreSnapshot(
+            cid=self.cid,
+            nr_ready=self.runqueue.size,
+            has_current=self.current is not None,
+            weighted_load=self.weighted_load,
+            node=self.node,
+            version=self.runqueue.version,
+            ready_task_ids=tuple(self.runqueue.task_ids()),
+        )
+
+    def pick_next(self) -> Task | None:
+        """Dispatch the head of the runqueue onto the CPU.
+
+        Cores "can only schedule threads that are waiting in their own
+        runqueue" (Section 3.1). If a task is already current it keeps
+        running; otherwise the runqueue head (if any) becomes current.
+
+        Returns:
+            The task now running, or ``None`` if the core stays idle.
+        """
+        if self.current is not None:
+            return self.current
+        if self.runqueue.size == 0:
+            return None
+        task = self.runqueue.pop()
+        task.state = TaskState.RUNNING
+        task.note_migration(self.cid)
+        self.current = task
+        return task
+
+    def preempt(self) -> None:
+        """Move the current task back to the runqueue tail (timeslice end)."""
+        if self.current is None:
+            return
+        task = self.current
+        self.current = None
+        task.state = TaskState.READY
+        self.runqueue.push(task)
+
+    def block_current(self) -> Task:
+        """Take the current task off the CPU without re-queuing it.
+
+        Used when the running task blocks (barrier, I/O). The task leaves
+        the scheduler's visible state entirely, which is how the paper's
+        "thread leaves the runqueues" boundary condition arises.
+
+        Raises:
+            SchedulingInvariantError: if the core has no current task.
+        """
+        if self.current is None:
+            raise SchedulingInvariantError(
+                f"core {self.cid} has no current task to block"
+            )
+        task = self.current
+        self.current = None
+        task.state = TaskState.BLOCKED
+        return task
+
+    def finish_current(self) -> Task:
+        """Retire the current task permanently (it finished its work).
+
+        Raises:
+            SchedulingInvariantError: if the core has no current task.
+        """
+        if self.current is None:
+            raise SchedulingInvariantError(
+                f"core {self.cid} has no current task to finish"
+            )
+        task = self.current
+        self.current = None
+        task.state = TaskState.FINISHED
+        return task
+
+    def load_threads(self) -> int:
+        """Listing 1's default ``load()``: ready size + current size."""
+        return self.nr_threads
+
+    def normalized_weighted_load(self) -> float:
+        """Weighted load expressed in units of one nice-0 task."""
+        return self.weighted_load / NICE_0_WEIGHT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cur = self.current.tid if self.current else "-"
+        return (
+            f"Core({self.cid}, node={self.node}, current={cur},"
+            f" ready={self.nr_ready})"
+        )

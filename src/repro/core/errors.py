@@ -1,0 +1,92 @@
+"""Exception hierarchy for the ``repro`` scheduler library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters.
+
+    Raised eagerly, at construction time, so that a misconfigured
+    simulation fails before any round executes.
+    """
+
+
+class SchedulingInvariantError(ReproError):
+    """A scheduler invariant was violated at runtime.
+
+    These errors indicate a bug in a policy or in the balancer protocol
+    (for example a task appearing on two runqueues at once, or a steal
+    leaving its victim idle). They are never expected during normal
+    operation of a verified policy and therefore fail loudly rather than
+    being silently recorded.
+    """
+
+
+class LockProtocolError(ReproError):
+    """The two-runqueue locking protocol was violated.
+
+    Raised when a core releases a lock it does not hold, acquires locks
+    out of the canonical order, or mutates a runqueue without holding its
+    lock while lock enforcement is enabled.
+    """
+
+
+class SelectionPhasePurityError(ReproError):
+    """A policy mutated shared state during the lock-free selection phase.
+
+    The paper's model (Section 3.1) requires the selection phase to be
+    read-only: "the selection phase may not modify runqueues, and all
+    accesses to shared variables must be read-only". The balancer hands
+    policies immutable snapshots, and the DSL validator rejects mutating
+    expressions; this error is the runtime backstop for hand-written
+    policies that try to cheat.
+    """
+
+
+class VerificationError(ReproError):
+    """A verification run could not be carried out.
+
+    This signals a problem with the verification *setup* (empty scope,
+    inconsistent bounds), not a disproved obligation. Disproved
+    obligations are reported as :class:`~repro.verify.obligations.ProofResult`
+    values carrying a counterexample, because a falsified lemma is a
+    result, not an error.
+    """
+
+
+class DslError(ReproError):
+    """Base class for DSL front-end failures."""
+
+
+class DslSyntaxError(DslError):
+    """The policy source text could not be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the first offending
+    token so error messages can point into the source.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class DslValidationError(DslError):
+    """The policy parsed but violates a static well-formedness rule.
+
+    Examples: a ``filter`` expression that calls a mutating helper, a
+    ``steal`` clause whose amount can exceed the victim's surplus, or a
+    ``choice`` expression that can return a core outside the filtered
+    candidate list.
+    """

@@ -1,0 +1,232 @@
+"""Per-core runqueues.
+
+Each core owns exactly one :class:`RunQueue` (the model shared by Linux,
+FreeBSD, Solaris and Windows, as the paper notes in Section 3.1). The
+runqueue is a plain FIFO of :class:`~repro.core.task.Task` objects with a
+*version counter* that increments on every mutation.
+
+The version counter is the mechanism behind two features of this
+reproduction:
+
+* **Optimistic concurrency.** The lock-free selection phase records the
+  versions it observed; when a steal later fails its locked re-check, the
+  version delta proves that a concurrent mutation (i.e. another core's
+  successful steal) invalidated the observation. This is exactly the
+  failure-attribution argument of Section 4.3 ("if a work-stealing attempt
+  fails, it is because another work-stealing attempt performed by another
+  core succeeded").
+* **Purity enforcement.** Snapshots taken for the selection phase are
+  immutable; any attempt to mutate shared state during selection is a
+  :class:`~repro.core.errors.SelectionPhasePurityError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.core.errors import ConfigurationError, SchedulingInvariantError
+from repro.core.task import Task
+
+
+class RunQueue:
+    """A FIFO queue of ready tasks belonging to one core.
+
+    Attributes:
+        owner: id of the core owning this runqueue.
+        version: mutation counter; increments on every push/pop/remove.
+    """
+
+    __slots__ = ("owner", "version", "_tasks", "_on_mutate")
+
+    def __init__(self, owner: int,
+                 on_mutate: Callable[["RunQueue"], None] | None = None) -> None:
+        """Create an empty runqueue.
+
+        Args:
+            owner: id of the owning core.
+            on_mutate: optional hook invoked *before* each mutation; the
+                lock manager installs one to assert that the mutator holds
+                this runqueue's lock when enforcement is enabled.
+        """
+        self.owner = owner
+        self.version = 0
+        self._tasks: deque[Task] = deque()
+        self._on_mutate = on_mutate
+
+    # ------------------------------------------------------------------
+    # read-only interface (legal during the selection phase)
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ready tasks waiting in the queue."""
+        return len(self._tasks)
+
+    @property
+    def weighted_load(self) -> int:
+        """Sum of the CFS weights of all queued tasks."""
+        return sum(task.weight for task in self._tasks)
+
+    def peek(self) -> Task | None:
+        """Return the task at the head without removing it."""
+        return self._tasks[0] if self._tasks else None
+
+    def peek_tail(self) -> Task | None:
+        """Return the task at the tail without removing it."""
+        return self._tasks[-1] if self._tasks else None
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._tasks
+
+    def task_ids(self) -> list[int]:
+        """Return the tids of queued tasks in FIFO order."""
+        return [task.tid for task in self._tasks]
+
+    # ------------------------------------------------------------------
+    # mutating interface (requires the runqueue lock under enforcement)
+    # ------------------------------------------------------------------
+
+    def _mutating(self) -> None:
+        if self._on_mutate is not None:
+            self._on_mutate(self)
+        self.version += 1
+
+    def push(self, task: Task) -> None:
+        """Append ``task`` to the tail of the queue.
+
+        Raises:
+            SchedulingInvariantError: if the task is already queued here;
+                a task on two positions of a runqueue (or two runqueues)
+                indicates a balancer protocol bug.
+        """
+        if task in self._tasks:
+            raise SchedulingInvariantError(
+                f"task {task.tid} pushed twice onto runqueue of core {self.owner}"
+            )
+        self._mutating()
+        task.note_migration(self.owner)
+        self._tasks.append(task)
+
+    def push_front(self, task: Task) -> None:
+        """Prepend ``task``; used when a preempted current task re-queues."""
+        if task in self._tasks:
+            raise SchedulingInvariantError(
+                f"task {task.tid} pushed twice onto runqueue of core {self.owner}"
+            )
+        self._mutating()
+        task.note_migration(self.owner)
+        self._tasks.appendleft(task)
+
+    def pop(self) -> Task:
+        """Remove and return the head task.
+
+        Raises:
+            SchedulingInvariantError: if the queue is empty.
+        """
+        if not self._tasks:
+            raise SchedulingInvariantError(
+                f"pop from empty runqueue of core {self.owner}"
+            )
+        self._mutating()
+        return self._tasks.popleft()
+
+    def pop_tail(self) -> Task:
+        """Remove and return the tail task (victims give their coldest task).
+
+        Stealing from the tail mirrors CFS, which migrates tasks least
+        likely to be cache-hot on the victim.
+
+        Raises:
+            SchedulingInvariantError: if the queue is empty.
+        """
+        if not self._tasks:
+            raise SchedulingInvariantError(
+                f"pop_tail from empty runqueue of core {self.owner}"
+            )
+        self._mutating()
+        return self._tasks.pop()
+
+    def remove(self, task: Task) -> None:
+        """Remove a specific task from anywhere in the queue.
+
+        Raises:
+            SchedulingInvariantError: if the task is not queued here.
+        """
+        if task not in self._tasks:
+            raise SchedulingInvariantError(
+                f"task {task.tid} not on runqueue of core {self.owner}"
+            )
+        self._mutating()
+        self._tasks.remove(task)
+
+    def clear(self) -> list[Task]:
+        """Remove and return all tasks (used by workload teardown)."""
+        self._mutating()
+        drained = list(self._tasks)
+        self._tasks.clear()
+        return drained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunQueue(core={self.owner}, size={self.size},"
+            f" version={self.version})"
+        )
+
+
+def validate_disjoint(runqueues: list[RunQueue]) -> None:
+    """Assert that no task appears on two runqueues.
+
+    This is the global "thread conservation" invariant the balancer must
+    preserve: a steal moves a task, it never duplicates one.
+
+    Raises:
+        SchedulingInvariantError: naming the duplicated task id.
+    """
+    seen: dict[int, int] = {}
+    for rq in runqueues:
+        for task in rq:
+            if task.tid in seen:
+                raise SchedulingInvariantError(
+                    f"task {task.tid} on runqueues of cores"
+                    f" {seen[task.tid]} and {rq.owner}"
+                )
+            seen[task.tid] = rq.owner
+
+
+def total_tasks(runqueues: list[RunQueue]) -> int:
+    """Total number of ready tasks across ``runqueues``."""
+    return sum(rq.size for rq in runqueues)
+
+
+def build_runqueue(owner: int, sizes_or_tasks: int | list[Task],
+                   nice: int = 0) -> RunQueue:
+    """Build a runqueue pre-populated for tests and enumeration.
+
+    Args:
+        owner: owning core id.
+        sizes_or_tasks: either an integer count of identical nice-``nice``
+            tasks to create, or an explicit list of tasks to enqueue.
+        nice: niceness used when creating tasks from a count.
+
+    Returns:
+        A populated :class:`RunQueue`.
+    """
+    rq = RunQueue(owner)
+    if isinstance(sizes_or_tasks, int):
+        if sizes_or_tasks < 0:
+            raise ConfigurationError(
+                f"task count must be >= 0, got {sizes_or_tasks}"
+            )
+        for _ in range(sizes_or_tasks):
+            rq.push(Task(nice=nice))
+    else:
+        for task in sizes_or_tasks:
+            rq.push(task)
+    return rq

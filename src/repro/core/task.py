@@ -1,0 +1,173 @@
+"""Tasks (threads) scheduled by the simulated multicore machine.
+
+The paper's model treats threads as opaque units of work with an optional
+importance ("niceness") used by weighted load-balancing policies. This
+module provides that unit: a :class:`Task` with CFS-compatible
+nice-to-weight conversion, plus lightweight execution accounting used by
+the discrete-event simulator (:mod:`repro.sim.engine`) to drive workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import ConfigurationError
+
+#: CFS ``sched_prio_to_weight`` table: weight for nice levels -20..19.
+#: Taken from the Linux kernel (kernel/sched/core.c). Nice 0 maps to 1024;
+#: each nice level changes CPU share by ~10%, hence the ~1.25x ratio
+#: between adjacent entries.
+NICE_TO_WEIGHT: tuple[int, ...] = (
+    88761, 71755, 56483, 46273, 36291,
+    29154, 23254, 18705, 14949, 11916,
+    9548, 7620, 6100, 4904, 3906,
+    3121, 2501, 1991, 1586, 1277,
+    1024, 820, 655, 526, 423,
+    335, 272, 215, 172, 137,
+    110, 87, 70, 56, 45,
+    36, 29, 23, 18, 15,
+)
+
+MIN_NICE = -20
+MAX_NICE = 19
+
+#: Weight of a nice-0 task; the unit in which weighted loads are expressed.
+NICE_0_WEIGHT = NICE_TO_WEIGHT[20]
+
+_task_ids = itertools.count()
+
+
+def nice_to_weight(nice: int) -> int:
+    """Convert a niceness level to a CFS load weight.
+
+    Args:
+        nice: niceness in ``[-20, 19]``; lower is more important.
+
+    Returns:
+        The integer weight used when computing weighted runqueue loads.
+
+    Raises:
+        ConfigurationError: if ``nice`` is outside the valid range.
+    """
+    if not MIN_NICE <= nice <= MAX_NICE:
+        raise ConfigurationError(
+            f"nice must be in [{MIN_NICE}, {MAX_NICE}], got {nice}"
+        )
+    return NICE_TO_WEIGHT[nice - MIN_NICE]
+
+
+class TaskState(Enum):
+    """Lifecycle states of a task.
+
+    The work-conservation proofs assume no task enters or leaves the
+    runqueues during balancing (Section 4 of the paper); the simulator
+    uses these states to model the full lifecycle outside of that
+    assumption, and the churn workload exercises the boundary.
+    """
+
+    READY = "ready"        #: waiting in some core's runqueue
+    RUNNING = "running"    #: the current task of some core
+    BLOCKED = "blocked"    #: sleeping (I/O, barrier, lock); on no runqueue
+    FINISHED = "finished"  #: all work complete; on no runqueue
+
+
+@dataclass
+class Task:
+    """A schedulable thread.
+
+    Attributes:
+        tid: unique task id, assigned automatically when not provided.
+        nice: niceness in ``[-20, 19]``; converted to ``weight``.
+        work: total CPU time units this task needs before finishing.
+            ``None`` means the task runs forever (pure balancing studies).
+        name: optional human-readable label used in traces.
+        state: current :class:`TaskState`.
+        executed: CPU time units consumed so far.
+        migrations: number of times the task moved between cores.
+        last_core: id of the core the task last ran or was enqueued on,
+            or ``None`` if it has never been placed. Used by locality-aware
+            choice functions and by migration accounting.
+    """
+
+    tid: int = field(default_factory=lambda: next(_task_ids))
+    nice: int = 0
+    work: int | None = None
+    name: str = ""
+    state: TaskState = TaskState.READY
+    executed: int = 0
+    migrations: int = 0
+    last_core: int | None = None
+
+    def __post_init__(self) -> None:
+        self.weight = nice_to_weight(self.nice)
+        if self.work is not None and self.work < 0:
+            raise ConfigurationError(f"work must be >= 0, got {self.work}")
+
+    @property
+    def remaining(self) -> int | None:
+        """CPU time units left, or ``None`` for an infinite task."""
+        if self.work is None:
+            return None
+        return max(0, self.work - self.executed)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the task has consumed all of its work."""
+        return self.work is not None and self.executed >= self.work
+
+    def run_for(self, units: int) -> int:
+        """Consume up to ``units`` of CPU time.
+
+        Args:
+            units: time units offered by the executing core.
+
+        Returns:
+            The number of units actually consumed (less than ``units``
+            only when the task finishes mid-slice).
+        """
+        if units < 0:
+            raise ConfigurationError(f"units must be >= 0, got {units}")
+        if self.work is None:
+            self.executed += units
+            return units
+        consumable = min(units, self.work - self.executed)
+        self.executed += consumable
+        if self.finished:
+            self.state = TaskState.FINISHED
+        return consumable
+
+    def note_migration(self, dst_core: int) -> None:
+        """Record a migration onto ``dst_core`` for accounting."""
+        if self.last_core is not None and self.last_core != dst_core:
+            self.migrations += 1
+        self.last_core = dst_core
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"task{self.tid}"
+        return (
+            f"Task({label}, nice={self.nice}, state={self.state.value},"
+            f" executed={self.executed}/{self.work})"
+        )
+
+
+def make_tasks(count: int, nice: int = 0, work: int | None = None,
+               name_prefix: str = "t") -> list[Task]:
+    """Create ``count`` identical tasks, convenience for tests and workloads.
+
+    Args:
+        count: number of tasks to create; must be non-negative.
+        nice: niceness applied to every task.
+        work: per-task work units (``None`` for infinite tasks).
+        name_prefix: tasks are named ``{prefix}{index}``.
+
+    Returns:
+        A list of freshly created :class:`Task` objects in READY state.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    return [
+        Task(nice=nice, work=work, name=f"{name_prefix}{i}")
+        for i in range(count)
+    ]

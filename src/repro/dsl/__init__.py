@@ -1,0 +1,89 @@
+"""The scheduling-policy DSL and its three backends.
+
+Pipeline (the paper's Figure-less but central toolchain idea)::
+
+    source text --parse--> PolicyDecl --validate--> (static well-formedness)
+        |--python_backend--> executable Policy  (simulated + verified)
+        |--c_backend-------> C scheduling-class skeleton
+        |--scala_backend---> Leon-style Scala (Listing 1/2 shape)
+"""
+
+from repro.dsl.ast_nodes import (
+    BUILTIN_FUNCTIONS,
+    CHOICE_STRATEGIES,
+    CORE_ATTRIBUTES,
+    AttrRef,
+    BinaryOp,
+    CallFn,
+    ConstRef,
+    Expr,
+    FilterClause,
+    LoadClause,
+    NumberLit,
+    PolicyDecl,
+    StealClause,
+    UnaryOp,
+    referenced_vars,
+    render,
+    walk,
+)
+from repro.dsl.c_backend import emit_c, emit_header
+from repro.dsl.examples import (
+    ALL_SOURCES,
+    HALVING_SOURCE,
+    LISTING1_CONST_SOURCE,
+    LISTING1_SOURCE,
+    NAIVE_SOURCE,
+    NUMA_SOURCE,
+    WEIGHTED_SOURCE,
+)
+from repro.dsl.lexer import Token, TokenKind, tokenize
+from repro.dsl.parser import parse_expression, parse_policy
+from repro.dsl.python_backend import DslPolicy, compile_policy, evaluate
+from repro.dsl.scala_backend import emit_scala
+from repro.dsl.validate import (
+    infer_type,
+    selection_phase_reads,
+    validate_policy,
+)
+
+__all__ = [
+    "BUILTIN_FUNCTIONS",
+    "CHOICE_STRATEGIES",
+    "CORE_ATTRIBUTES",
+    "AttrRef",
+    "BinaryOp",
+    "CallFn",
+    "ConstRef",
+    "Expr",
+    "FilterClause",
+    "LoadClause",
+    "NumberLit",
+    "PolicyDecl",
+    "StealClause",
+    "UnaryOp",
+    "referenced_vars",
+    "render",
+    "walk",
+    "emit_c",
+    "emit_header",
+    "emit_scala",
+    "ALL_SOURCES",
+    "HALVING_SOURCE",
+    "LISTING1_CONST_SOURCE",
+    "LISTING1_SOURCE",
+    "NAIVE_SOURCE",
+    "NUMA_SOURCE",
+    "WEIGHTED_SOURCE",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_expression",
+    "parse_policy",
+    "DslPolicy",
+    "compile_policy",
+    "evaluate",
+    "infer_type",
+    "selection_phase_reads",
+    "validate_policy",
+]

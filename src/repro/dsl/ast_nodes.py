@@ -1,0 +1,215 @@
+"""AST of the scheduling-policy DSL.
+
+The paper's toolchain exposes the three-step abstractions "to kernel
+developers via a domain-specific language (DSL), which is then compiled
+to C code that can be integrated as a scheduling class into the Linux
+kernel, and to Scala code that is verified by the Leon toolkit". This
+package reproduces that pipeline; the AST here is the common intermediate
+form consumed by all three backends
+(:mod:`repro.dsl.python_backend`, :mod:`repro.dsl.c_backend`,
+:mod:`repro.dsl.scala_backend`).
+
+The language is *pure by construction*: there is no assignment, no call
+to anything but the whitelisted math builtins, and the only values in
+scope are the declared core parameters — which is how the DSL guarantees
+the model's requirement that the selection phase "may not modify
+runqueues" without any runtime policing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Attributes of a core that policy expressions may read.
+CORE_ATTRIBUTES = frozenset({
+    "nr_ready",       # tasks waiting in the runqueue
+    "nr_current",     # 1 when a task occupies the CPU, else 0
+    "nr_threads",     # nr_ready + nr_current
+    "weighted_load",  # CFS-weighted load
+    "node",           # NUMA node id
+    "load",           # the policy's own load() metric (recursive)
+})
+
+#: Builtin pure functions callable from expressions, with arities.
+BUILTIN_FUNCTIONS = {
+    "min": 2,
+    "max": 2,
+    "abs": 1,
+}
+
+#: Binary operators, grouped by kind for the light type checker.
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "//", "%"})
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+LOGICAL_OPS = frozenset({"and", "or"})
+
+#: Step-2 choice strategies the DSL can name.
+CHOICE_STRATEGIES = frozenset({
+    "max_load",   # most loaded candidate (the library default)
+    "min_load",   # least loaded candidate
+    "first",      # lowest core id
+    "nearest",    # smallest NUMA distance (needs a topology at compile)
+})
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """Reference to a policy-level named constant (``const margin = 2;``).
+
+    Constants keep tuning parameters named through every backend: the C
+    emitter turns them into ``#define``s, the Scala emitter into ``val``s,
+    so the generated artifacts stay reviewable.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """``var.attr`` — reading one attribute of a bound core parameter.
+
+    Attributes:
+        var: the parameter name (e.g. ``self``, ``stealee``).
+        attr: one of :data:`CORE_ATTRIBUTES`.
+    """
+
+    var: str
+    attr: str
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """``-x`` or ``not x``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Any infix operation: arithmetic, comparison or logical.
+
+    Attributes:
+        op: the operator lexeme (``+``, ``>=``, ``and``, ...).
+        lhs: left operand.
+        rhs: right operand.
+    """
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class CallFn:
+    """A call to a whitelisted builtin (``min``/``max``/``abs``)."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+Expr = Union[NumberLit, ConstRef, AttrRef, UnaryOp, BinaryOp, CallFn]
+
+
+@dataclass(frozen=True)
+class LoadClause:
+    """``load(core) = expr`` — the user-defined load metric."""
+
+    param: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class FilterClause:
+    """``filter(self, stealee) = expr`` — step 1, the object of the proofs."""
+
+    self_param: str
+    stealee_param: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class StealClause:
+    """``steal(self, stealee) = expr`` — step 3's task count."""
+
+    self_param: str
+    stealee_param: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class PolicyDecl:
+    """A complete policy declaration.
+
+    Attributes:
+        name: policy identifier.
+        load: the load metric (defaults to thread count when omitted).
+        filter: the mandatory step-1 filter.
+        steal: step-3 amount (defaults to stealing one task).
+        choice: step-2 strategy name from :data:`CHOICE_STRATEGIES`.
+        constants: named integer constants usable in every clause
+            (``const margin = 2;``), in declaration order.
+    """
+
+    name: str
+    filter: FilterClause
+    load: LoadClause | None = None
+    steal: StealClause | None = None
+    choice: str = "max_load"
+    constants: tuple[tuple[str, int], ...] = ()
+
+    def constant_value(self, name: str) -> int:
+        """Look up a declared constant.
+
+        Raises:
+            KeyError: when no such constant exists.
+        """
+        for declared, value in self.constants:
+            if declared == name:
+                return value
+        raise KeyError(f"no constant named {name!r}")
+
+
+def walk(expr: Expr) -> list[Expr]:
+    """All nodes of ``expr`` in pre-order (for analyses and tests)."""
+    nodes: list[Expr] = [expr]
+    if isinstance(expr, UnaryOp):
+        nodes.extend(walk(expr.operand))
+    elif isinstance(expr, BinaryOp):
+        nodes.extend(walk(expr.lhs))
+        nodes.extend(walk(expr.rhs))
+    elif isinstance(expr, CallFn):
+        for arg in expr.args:
+            nodes.extend(walk(arg))
+    return nodes
+
+
+def referenced_vars(expr: Expr) -> set[str]:
+    """Names of the core parameters an expression reads."""
+    return {node.var for node in walk(expr) if isinstance(node, AttrRef)}
+
+
+def render(expr: Expr) -> str:
+    """Round-trippable text of an expression (fully parenthesised)."""
+    if isinstance(expr, NumberLit):
+        return str(expr.value)
+    if isinstance(expr, ConstRef):
+        return expr.name
+    if isinstance(expr, AttrRef):
+        return f"{expr.var}.{expr.attr}"
+    if isinstance(expr, UnaryOp):
+        sep = " " if expr.op == "not" else ""
+        return f"({expr.op}{sep}{render(expr.operand)})"
+    if isinstance(expr, BinaryOp):
+        return f"({render(expr.lhs)} {expr.op} {render(expr.rhs)})"
+    if isinstance(expr, CallFn):
+        args = ", ".join(render(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unknown expression node {expr!r}")

@@ -1,0 +1,129 @@
+"""Tokenizer for the policy DSL.
+
+Hand-rolled (no regex tables) so that error positions are exact and the
+token stream is trivial to unit-test. Comments run from ``#`` to end of
+line, mirroring the Scala listings in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.errors import DslSyntaxError
+
+
+class TokenKind(Enum):
+    """Lexical categories of the DSL."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    PUNCT = "punct"      # { } ( ) , ; . =
+    OPERATOR = "op"      # + - * // % == != <= >= < > and or not
+    EOF = "eof"
+
+
+#: Keywords that lex as operators, not identifiers.
+WORD_OPERATORS = frozenset({"and", "or", "not"})
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_CHAR_OPS = ("==", "!=", "<=", ">=", "//")
+
+SINGLE_CHAR_OPS = frozenset("+-*%<>")
+
+PUNCTUATION = frozenset("{}(),;.=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: the :class:`TokenKind`.
+        text: the exact source lexeme.
+        line: 1-based source line.
+        column: 1-based source column of the first character.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, ending with an EOF token.
+
+    Raises:
+        DslSyntaxError: on any character outside the language.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> DslSyntaxError:
+        return DslSyntaxError(message, line=line, column=column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        two = source[i:i + 2]
+        if two in MULTI_CHAR_OPS:
+            tokens.append(Token(TokenKind.OPERATOR, two, line, start_col))
+            i += 2
+            column += 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(
+                Token(TokenKind.NUMBER, source[i:j], line, start_col)
+            )
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = (
+                TokenKind.OPERATOR if word in WORD_OPERATORS
+                else TokenKind.IDENT
+            )
+            tokens.append(Token(kind, word, line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OPERATOR, ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

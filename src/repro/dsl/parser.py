@@ -1,0 +1,316 @@
+"""Recursive-descent parser for the policy DSL.
+
+Grammar (EBNF)::
+
+    policy      := "policy" IDENT "{" clause* "}"
+    clause      := const_clause | load_clause | filter_clause
+                 | steal_clause | choice_clause
+    const_clause := "const" IDENT "=" ["-"] NUMBER ";"
+    load_clause := "load" "(" IDENT ")" "=" expr ";"
+    filter_clause := "filter" "(" IDENT "," IDENT ")" "=" expr ";"
+    steal_clause  := "steal" "(" IDENT "," IDENT ")" "=" expr ";"
+    choice_clause := "choice" "=" IDENT ";"
+
+Constants must be declared before use; a bare identifier in an
+expression resolves to a declared constant, anything else is an error.
+
+    expr        := or_expr
+    or_expr     := and_expr ("or" and_expr)*
+    and_expr    := not_expr ("and" not_expr)*
+    not_expr    := "not" not_expr | comparison
+    comparison  := additive (cmp_op additive)?
+    additive    := multiplicative (("+" | "-") multiplicative)*
+    multiplicative := unary (("*" | "//" | "%") unary)*
+    unary       := "-" unary | postfix
+    postfix     := primary ("." IDENT)?
+    primary     := NUMBER | IDENT | builtin "(" expr ("," expr)* ")"
+                 | "(" expr ")"
+
+Comparisons do not chain (``a < b < c`` is a syntax error), matching the
+Scala source the paper verifies with Leon.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DslSyntaxError
+from repro.dsl.ast_nodes import (
+    BUILTIN_FUNCTIONS,
+    COMPARISON_OPS,
+    AttrRef,
+    BinaryOp,
+    CallFn,
+    ConstRef,
+    Expr,
+    FilterClause,
+    LoadClause,
+    NumberLit,
+    PolicyDecl,
+    StealClause,
+    UnaryOp,
+)
+from repro.dsl.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._constants: dict[str, int] = {}
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> DslSyntaxError:
+        token = self.current
+        return DslSyntaxError(message, line=token.line, column=token.column)
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        token = self.current
+        if token.kind is not kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        return self._advance()
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text if text is not None else kind.value
+            raise self.error(
+                f"expected {want!r}, found {self.current.text!r}"
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self.accept(TokenKind.OPERATOR, "or"):
+            expr = BinaryOp("or", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._not_expr()
+        while self.accept(TokenKind.OPERATOR, "and"):
+            expr = BinaryOp("and", expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> Expr:
+        if self.accept(TokenKind.OPERATOR, "not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        expr = self._additive()
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.text in COMPARISON_OPS:
+            self._advance()
+            rhs = self._additive()
+            follow = self.current
+            if (follow.kind is TokenKind.OPERATOR
+                    and follow.text in COMPARISON_OPS):
+                raise self.error("chained comparisons are not supported")
+            return BinaryOp(token.text, expr, rhs)
+        return expr
+
+    def _additive(self) -> Expr:
+        expr = self._multiplicative()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.OPERATOR and token.text in ("+", "-"):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._multiplicative())
+            else:
+                return expr
+
+    def _multiplicative(self) -> Expr:
+        expr = self._unary()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.OPERATOR and token.text in (
+                "*", "//", "%"
+            ):
+                self._advance()
+                expr = BinaryOp(token.text, expr, self._unary())
+            else:
+                return expr
+
+    def _unary(self) -> Expr:
+        if self.accept(TokenKind.OPERATOR, "-"):
+            return UnaryOp("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        if self.accept(TokenKind.PUNCT, "."):
+            attr = self.expect(TokenKind.IDENT)
+            if not isinstance(expr, _Name):
+                raise self.error("attribute access requires a parameter name")
+            return AttrRef(var=expr.name, attr=attr.text)
+        if isinstance(expr, _Name):
+            if expr.name in self._constants:
+                return ConstRef(expr.name)
+            raise self.error(
+                f"bare identifier {expr.name!r}; did you mean"
+                f" '{expr.name}.<attribute>' or a declared constant?"
+            )
+        return expr
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return NumberLit(int(token.text))
+        if token.kind is TokenKind.IDENT:
+            if token.text in BUILTIN_FUNCTIONS:
+                self._advance()
+                self.expect(TokenKind.PUNCT, "(")
+                args = [self.parse_expr()]
+                while self.accept(TokenKind.PUNCT, ","):
+                    args.append(self.parse_expr())
+                self.expect(TokenKind.PUNCT, ")")
+                arity = BUILTIN_FUNCTIONS[token.text]
+                if len(args) != arity:
+                    raise self.error(
+                        f"{token.text} takes {arity} argument(s),"
+                        f" got {len(args)}"
+                    )
+                return CallFn(token.text, tuple(args))
+            self._advance()
+            return _Name(token.text)
+        if self.accept(TokenKind.PUNCT, "("):
+            expr = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            return expr
+        raise self.error(f"expected an expression, found {token.text!r}")
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+
+    def parse_policy(self) -> PolicyDecl:
+        self.expect(TokenKind.IDENT, "policy")
+        name = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, "{")
+
+        load: LoadClause | None = None
+        filter_clause: FilterClause | None = None
+        steal: StealClause | None = None
+        choice: str | None = None
+
+        while not self.accept(TokenKind.PUNCT, "}"):
+            keyword = self.expect(TokenKind.IDENT)
+            if keyword.text == "const":
+                const_name = self.expect(TokenKind.IDENT).text
+                if const_name in self._constants:
+                    raise self.error(
+                        f"duplicate constant {const_name!r}"
+                    )
+                self.expect(TokenKind.PUNCT, "=")
+                negative = self.accept(TokenKind.OPERATOR, "-") is not None
+                number = self.expect(TokenKind.NUMBER)
+                value = int(number.text)
+                self._constants[const_name] = -value if negative else value
+            elif keyword.text == "load":
+                if load is not None:
+                    raise self.error("duplicate load clause")
+                self.expect(TokenKind.PUNCT, "(")
+                param = self.expect(TokenKind.IDENT).text
+                self.expect(TokenKind.PUNCT, ")")
+                self.expect(TokenKind.PUNCT, "=")
+                load = LoadClause(param=param, expr=self.parse_expr())
+            elif keyword.text == "filter":
+                if filter_clause is not None:
+                    raise self.error("duplicate filter clause")
+                self_param, stealee_param = self._two_params()
+                self.expect(TokenKind.PUNCT, "=")
+                filter_clause = FilterClause(
+                    self_param=self_param,
+                    stealee_param=stealee_param,
+                    expr=self.parse_expr(),
+                )
+            elif keyword.text == "steal":
+                if steal is not None:
+                    raise self.error("duplicate steal clause")
+                self_param, stealee_param = self._two_params()
+                self.expect(TokenKind.PUNCT, "=")
+                steal = StealClause(
+                    self_param=self_param,
+                    stealee_param=stealee_param,
+                    expr=self.parse_expr(),
+                )
+            elif keyword.text == "choice":
+                if choice is not None:
+                    raise self.error("duplicate choice clause")
+                self.expect(TokenKind.PUNCT, "=")
+                choice = self.expect(TokenKind.IDENT).text
+            else:
+                raise self.error(
+                    f"unknown clause {keyword.text!r}; expected load,"
+                    " filter, steal or choice"
+                )
+            self.expect(TokenKind.PUNCT, ";")
+
+        if filter_clause is None:
+            raise self.error("policy must declare a filter clause")
+        return PolicyDecl(
+            name=name,
+            filter=filter_clause,
+            load=load,
+            steal=steal,
+            choice=choice or "max_load",
+            constants=tuple(self._constants.items()),
+        )
+
+    def _two_params(self) -> tuple[str, str]:
+        self.expect(TokenKind.PUNCT, "(")
+        first = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, ",")
+        second = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.PUNCT, ")")
+        if first == second:
+            raise self.error("filter/steal parameters must be distinct")
+        return first, second
+
+
+class _Name:
+    """Parser-internal: a bare identifier awaiting attribute access."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def parse_policy(source: str) -> PolicyDecl:
+    """Parse a complete ``policy NAME { ... }`` declaration.
+
+    Raises:
+        DslSyntaxError: with line/column on the first offending token.
+    """
+    parser = _Parser(tokenize(source))
+    decl = parser.parse_policy()
+    parser.expect(TokenKind.EOF)
+    return decl
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone expression (testing and tooling helper)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect(TokenKind.EOF)
+    return expr

@@ -1,0 +1,174 @@
+"""Python backend: compile a DSL policy to an executable ``Policy``.
+
+The compiled object is a first-class :class:`repro.core.policy.Policy`,
+so everything in the library — the balancer, the simulator, and most
+importantly the verification engine — consumes DSL policies exactly like
+hand-written ones. This is the reproduction's version of the paper's
+"one source, two targets" pipeline: the same declaration that produces
+the C scheduling class is the one the proofs run against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cpu import CoreSnapshot, CoreView
+from repro.core.errors import DslValidationError
+from repro.core.policy import Policy
+from repro.dsl.ast_nodes import (
+    AttrRef,
+    BinaryOp,
+    CallFn,
+    ConstRef,
+    Expr,
+    NumberLit,
+    PolicyDecl,
+    UnaryOp,
+)
+from repro.dsl.parser import parse_policy
+from repro.dsl.validate import validate_policy
+
+
+def _read_attr(policy: "DslPolicy", view: CoreView, attr: str) -> float:
+    """Read one core attribute, resolving ``load`` through the policy."""
+    if attr == "load":
+        return policy.load(view)
+    if attr == "nr_current":
+        return 1 if view.has_current else 0
+    if attr == "nr_ready":
+        return view.nr_ready
+    if attr == "nr_threads":
+        return view.nr_threads
+    if attr == "weighted_load":
+        return view.weighted_load
+    if attr == "node":
+        return view.node
+    raise DslValidationError(f"unknown core attribute {attr!r}")
+
+
+def evaluate(policy: "DslPolicy", expr: Expr,
+             env: dict[str, CoreView]) -> float | bool:
+    """Interpret ``expr`` with core parameters bound by ``env``."""
+    if isinstance(expr, NumberLit):
+        return expr.value
+    if isinstance(expr, ConstRef):
+        return policy.decl.constant_value(expr.name)
+    if isinstance(expr, AttrRef):
+        return _read_attr(policy, env[expr.var], expr.attr)
+    if isinstance(expr, UnaryOp):
+        value = evaluate(policy, expr.operand, env)
+        if expr.op == "not":
+            return not value
+        return -value
+    if isinstance(expr, BinaryOp):
+        op = expr.op
+        if op == "and":
+            return bool(evaluate(policy, expr.lhs, env)) and bool(
+                evaluate(policy, expr.rhs, env)
+            )
+        if op == "or":
+            return bool(evaluate(policy, expr.lhs, env)) or bool(
+                evaluate(policy, expr.rhs, env)
+            )
+        lhs = evaluate(policy, expr.lhs, env)
+        rhs = evaluate(policy, expr.rhs, env)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "//":
+            return lhs // rhs
+        if op == "%":
+            return lhs % rhs
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        raise DslValidationError(f"unknown operator {op!r}")
+    if isinstance(expr, CallFn):
+        args = [evaluate(policy, a, env) for a in expr.args]
+        if expr.name == "min":
+            return min(args)
+        if expr.name == "max":
+            return max(args)
+        if expr.name == "abs":
+            return abs(args[0])
+        raise DslValidationError(f"unknown function {expr.name!r}")
+    raise DslValidationError(f"unknown expression node {expr!r}")
+
+
+class DslPolicy(Policy):
+    """A policy compiled from a DSL declaration.
+
+    Attributes:
+        decl: the validated :class:`~repro.dsl.ast_nodes.PolicyDecl`.
+    """
+
+    def __init__(self, decl: PolicyDecl) -> None:
+        validate_policy(decl)
+        self.decl = decl
+        self.name = f"dsl:{decl.name}"
+
+    def load(self, core: CoreView) -> float:
+        """The declared load metric; thread count when omitted."""
+        if self.decl.load is None:
+            return core.nr_threads
+        return evaluate(
+            self, self.decl.load.expr, {self.decl.load.param: core}
+        )
+
+    def can_steal(self, thief: CoreView, stealee: CoreView) -> bool:
+        """Step 1: the declared filter."""
+        clause = self.decl.filter
+        return bool(evaluate(
+            self, clause.expr,
+            {clause.self_param: thief, clause.stealee_param: stealee},
+        ))
+
+    def steal_amount(self, thief: CoreView, stealee: CoreView) -> int:
+        """Step 3: the declared amount; one task when omitted."""
+        if self.decl.steal is None:
+            return 1
+        clause = self.decl.steal
+        amount = evaluate(
+            self, clause.expr,
+            {clause.self_param: thief, clause.stealee_param: stealee},
+        )
+        return int(amount)
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        """Step 2: the declared strategy."""
+        strategy = self.decl.choice
+        if strategy == "max_load":
+            return max(candidates, key=lambda c: (self.load(c), -c.cid))
+        if strategy == "min_load":
+            return min(candidates, key=lambda c: (self.load(c), c.cid))
+        if strategy == "first":
+            return min(candidates, key=lambda c: c.cid)
+        if strategy == "nearest":
+            return min(
+                candidates,
+                key=lambda c: (abs(c.node - thief.node), c.cid),
+            )
+        raise DslValidationError(f"unknown choice strategy {strategy!r}")
+
+
+def compile_policy(source: str) -> DslPolicy:
+    """Parse, validate and compile DSL source into an executable policy.
+
+    Raises:
+        DslSyntaxError: on parse errors.
+        DslValidationError: on static-validation errors.
+    """
+    return DslPolicy(parse_policy(source))

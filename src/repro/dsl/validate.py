@@ -1,0 +1,219 @@
+"""Static validation of parsed policies.
+
+The validator enforces the well-formedness rules that make a DSL policy
+eligible for both compilation targets:
+
+* **scoping** — expressions may only read the attributes of their
+  declared core parameters, and only attributes the core model exposes;
+* **purity** — guaranteed by the grammar (no assignment, no foreign
+  calls), re-checked here defensively over the AST so that AST values
+  constructed programmatically get the same guarantee;
+* **light typing** — the filter must be a boolean expression, load and
+  steal must be numeric; ``and``/``or``/``not`` only combine booleans,
+  arithmetic only combines numbers;
+* **recursion** — ``x.load`` inside the load clause itself would recurse
+  forever and is rejected;
+* **choice** — the strategy must be one the backends implement.
+
+Semantic properties (Lemma1, steal soundness, work conservation) are
+*not* static checks: the compiled policy is handed to
+:mod:`repro.verify`, which is the DSL's analogue of the paper's
+Leon stage.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DslValidationError
+from repro.dsl.ast_nodes import (
+    ARITHMETIC_OPS,
+    BUILTIN_FUNCTIONS,
+    CHOICE_STRATEGIES,
+    COMPARISON_OPS,
+    CORE_ATTRIBUTES,
+    LOGICAL_OPS,
+    AttrRef,
+    BinaryOp,
+    CallFn,
+    ConstRef,
+    Expr,
+    NumberLit,
+    PolicyDecl,
+    UnaryOp,
+    walk,
+)
+
+#: Inferred expression types for the light checker.
+BOOL = "bool"
+NUM = "num"
+
+
+def infer_type(expr: Expr, allowed_vars: frozenset[str],
+               in_load_clause: bool = False,
+               constants: frozenset[str] = frozenset()) -> str:
+    """Infer ``bool``/``num`` for ``expr``, validating as we go.
+
+    Args:
+        expr: the expression to check.
+        allowed_vars: core parameter names legal in this clause.
+        in_load_clause: True when checking the load clause itself, where
+            the recursive ``.load`` attribute is forbidden.
+        constants: declared constant names resolvable in this policy.
+
+    Returns:
+        ``BOOL`` or ``NUM``.
+
+    Raises:
+        DslValidationError: on scoping, attribute or type errors.
+    """
+    if isinstance(expr, NumberLit):
+        return NUM
+    if isinstance(expr, ConstRef):
+        if expr.name not in constants:
+            raise DslValidationError(
+                f"undeclared constant {expr.name!r}"
+            )
+        return NUM
+    if isinstance(expr, AttrRef):
+        if expr.var not in allowed_vars:
+            raise DslValidationError(
+                f"unknown parameter {expr.var!r}; in scope:"
+                f" {sorted(allowed_vars)}"
+            )
+        if expr.attr not in CORE_ATTRIBUTES:
+            raise DslValidationError(
+                f"unknown core attribute {expr.attr!r}; available:"
+                f" {sorted(CORE_ATTRIBUTES)}"
+            )
+        if in_load_clause and expr.attr == "load":
+            raise DslValidationError(
+                "the load clause cannot reference .load (infinite recursion)"
+            )
+        return NUM
+    if isinstance(expr, UnaryOp):
+        operand = infer_type(expr.operand, allowed_vars, in_load_clause,
+                             constants)
+        if expr.op == "not":
+            if operand is not BOOL:
+                raise DslValidationError("'not' requires a boolean operand")
+            return BOOL
+        if expr.op == "-":
+            if operand is not NUM:
+                raise DslValidationError("unary '-' requires a number")
+            return NUM
+        raise DslValidationError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        lhs = infer_type(expr.lhs, allowed_vars, in_load_clause,
+                         constants)
+        rhs = infer_type(expr.rhs, allowed_vars, in_load_clause,
+                         constants)
+        if expr.op in LOGICAL_OPS:
+            if lhs is not BOOL or rhs is not BOOL:
+                raise DslValidationError(
+                    f"{expr.op!r} requires boolean operands"
+                )
+            return BOOL
+        if expr.op in COMPARISON_OPS:
+            if lhs is not NUM or rhs is not NUM:
+                raise DslValidationError(
+                    f"{expr.op!r} compares numbers, not booleans"
+                )
+            return BOOL
+        if expr.op in ARITHMETIC_OPS:
+            if lhs is not NUM or rhs is not NUM:
+                raise DslValidationError(
+                    f"{expr.op!r} requires numeric operands"
+                )
+            return NUM
+        raise DslValidationError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, CallFn):
+        if expr.name not in BUILTIN_FUNCTIONS:
+            raise DslValidationError(
+                f"unknown function {expr.name!r} (purity: only"
+                f" {sorted(BUILTIN_FUNCTIONS)} are callable)"
+            )
+        if len(expr.args) != BUILTIN_FUNCTIONS[expr.name]:
+            raise DslValidationError(
+                f"{expr.name} takes {BUILTIN_FUNCTIONS[expr.name]}"
+                f" argument(s), got {len(expr.args)}"
+            )
+        for arg in expr.args:
+            if infer_type(arg, allowed_vars, in_load_clause,
+                          constants) is not NUM:
+                raise DslValidationError(
+                    f"{expr.name} requires numeric arguments"
+                )
+        return NUM
+    raise DslValidationError(f"unknown expression node {expr!r}")
+
+
+def validate_policy(decl: PolicyDecl) -> None:
+    """Validate a parsed policy, raising on the first problem.
+
+    Raises:
+        DslValidationError: describing the violation.
+    """
+    const_names = frozenset(name for name, _ in decl.constants)
+    if len(const_names) != len(decl.constants):
+        raise DslValidationError("duplicate constant declaration")
+    params: set[str] = {decl.filter.self_param, decl.filter.stealee_param}
+    if decl.load is not None:
+        params.add(decl.load.param)
+    if decl.steal is not None:
+        params.update({decl.steal.self_param, decl.steal.stealee_param})
+    shadowed = const_names & params
+    if shadowed:
+        raise DslValidationError(
+            f"constants {sorted(shadowed)} shadow clause parameters"
+        )
+
+    if decl.load is not None:
+        load_type = infer_type(
+            decl.load.expr,
+            frozenset({decl.load.param}),
+            in_load_clause=True,
+            constants=const_names,
+        )
+        if load_type is not NUM:
+            raise DslValidationError("load clause must be numeric")
+
+    filter_vars = frozenset(
+        {decl.filter.self_param, decl.filter.stealee_param}
+    )
+    filter_type = infer_type(decl.filter.expr, filter_vars,
+                             constants=const_names)
+    if filter_type is not BOOL:
+        raise DslValidationError(
+            "filter clause must be boolean (use a comparison)"
+        )
+
+    if decl.steal is not None:
+        steal_vars = frozenset(
+            {decl.steal.self_param, decl.steal.stealee_param}
+        )
+        steal_type = infer_type(decl.steal.expr, steal_vars,
+                                constants=const_names)
+        if steal_type is not NUM:
+            raise DslValidationError("steal clause must be numeric")
+
+    if decl.choice not in CHOICE_STRATEGIES:
+        raise DslValidationError(
+            f"unknown choice strategy {decl.choice!r}; available:"
+            f" {sorted(CHOICE_STRATEGIES)}"
+        )
+
+
+def selection_phase_reads(decl: PolicyDecl) -> set[str]:
+    """All attributes the selection phase reads, for audit tooling.
+
+    Everything is a read — the language has no writes — so this is the
+    complete shared-state footprint of steps 1 and 2.
+    """
+    reads: set[str] = set()
+    exprs: list[Expr] = [decl.filter.expr]
+    if decl.load is not None:
+        exprs.append(decl.load.expr)
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, AttrRef):
+                reads.add(node.attr)
+    return reads

@@ -1,0 +1,28 @@
+"""Metrics: wasted-core accounting, throughput, latency, fairness, and
+report statistics."""
+
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.fairness import FairnessReport, fairness_report, jain_index
+from repro.metrics.latency import LatencyTracker
+from repro.metrics.stats import (
+    Summary,
+    percentile,
+    relative_loss,
+    render_table,
+    speedup,
+    summarize,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "FairnessReport",
+    "fairness_report",
+    "jain_index",
+    "LatencyTracker",
+    "Summary",
+    "percentile",
+    "relative_loss",
+    "render_table",
+    "speedup",
+    "summarize",
+]

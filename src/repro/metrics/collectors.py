@@ -1,0 +1,119 @@
+"""Runtime metrics for simulated schedules.
+
+The paper's motivating measurements are *wasted-core* measurements: cores
+sitting idle while threads wait in runqueues (Lozi et al.'s "decade of
+wasted cores"), and their downstream effects — longer makespans for
+barrier-synchronised applications, lower throughput for databases. The
+:class:`MetricsCollector` tracks exactly those quantities tick by tick:
+
+* ``bad_ticks`` — ticks during which the machine violated the per-state
+  work-conservation condition (somebody idle while somebody overloaded);
+* ``wasted_core_ticks`` — the integral of idle cores over bad ticks (the
+  area of the "wasted cores" curve);
+* throughput accounting (work units, finished tasks) and migration
+  counts for the locality experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.machine import Machine
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-tick scheduler quality metrics.
+
+    Attributes:
+        ticks: simulated ticks observed.
+        busy_core_ticks: total core-ticks spent running a task.
+        idle_core_ticks: total core-ticks with no current task.
+        bad_ticks: ticks where some core idled while another was
+            overloaded.
+        wasted_core_ticks: idle core-ticks accumulated during bad ticks —
+            the paper's wasted cores, integrated over time.
+        completed_work: task work units executed.
+        warmup_ticks: core-ticks lost to post-migration cache warm-up.
+        finished_tasks: tasks that ran to completion.
+        record_series: when True, keeps per-tick load vectors (memory
+            grows linearly with ticks; meant for plots and debugging).
+        load_series: recorded per-tick load vectors.
+    """
+
+    ticks: int = 0
+    busy_core_ticks: int = 0
+    idle_core_ticks: int = 0
+    bad_ticks: int = 0
+    wasted_core_ticks: int = 0
+    completed_work: int = 0
+    warmup_ticks: int = 0
+    finished_tasks: int = 0
+    record_series: bool = False
+    load_series: list[tuple[int, ...]] = field(default_factory=list)
+
+    def on_tick(self, machine: Machine) -> None:
+        """Record one tick of machine state (called after execution)."""
+        self.ticks += 1
+        idle = 0
+        busy = 0
+        for core in machine.cores:
+            if core.has_current:
+                busy += 1
+            else:
+                idle += 1
+        self.busy_core_ticks += busy
+        self.idle_core_ticks += idle
+        overloaded = any(core.overloaded for core in machine.cores)
+        truly_idle = sum(1 for core in machine.cores if core.idle)
+        if truly_idle and overloaded:
+            self.bad_ticks += 1
+            self.wasted_core_ticks += truly_idle
+        if self.record_series:
+            self.load_series.append(tuple(machine.loads()))
+
+    def on_work(self, units: int) -> None:
+        """Record ``units`` of useful task execution."""
+        self.completed_work += units
+
+    def on_warmup(self, units: int = 1) -> None:
+        """Record core time burned re-warming caches after a migration."""
+        self.warmup_ticks += units
+
+    def on_task_finished(self) -> None:
+        """Record one task running to completion."""
+        self.finished_tasks += 1
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core-ticks spent running tasks (0..1)."""
+        total = self.busy_core_ticks + self.idle_core_ticks
+        return self.busy_core_ticks / total if total else 0.0
+
+    @property
+    def waste_fraction(self) -> float:
+        """Wasted core-ticks as a fraction of all core-ticks."""
+        total = self.busy_core_ticks + self.idle_core_ticks
+        return self.wasted_core_ticks / total if total else 0.0
+
+    def throughput(self) -> float:
+        """Finished tasks per tick (the database experiments' metric)."""
+        return self.finished_tasks / self.ticks if self.ticks else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers for tables and benchmarks."""
+        return {
+            "ticks": float(self.ticks),
+            "utilization": self.utilization,
+            "bad_ticks": float(self.bad_ticks),
+            "wasted_core_ticks": float(self.wasted_core_ticks),
+            "waste_fraction": self.waste_fraction,
+            "completed_work": float(self.completed_work),
+            "finished_tasks": float(self.finished_tasks),
+            "throughput": self.throughput(),
+            "warmup_ticks": float(self.warmup_ticks),
+        }

@@ -1,0 +1,80 @@
+"""Scheduling-latency tracking: the raw material of *reactivity*.
+
+Work conservation is one of three performance properties the paper's
+introduction names; the second is reactivity — "to have a bound on the
+delay to schedule ready threads". This module measures that delay on
+simulator runs: for every task, the time between becoming ready (enqueued
+on some runqueue) and next occupying a CPU. Migrations between runqueues
+do *not* reset the clock — a stolen task has been waiting since it first
+became ready, wherever it waited.
+
+:mod:`repro.verify.reactivity` turns these measurements into an audited
+bound derived from the work-conservation certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import Summary, summarize
+
+
+@dataclass
+class LatencyTracker:
+    """Records ready-to-dispatch delays per task.
+
+    Attributes:
+        samples: completed wait intervals, in ticks, in completion order.
+        waiting_since: tick at which each currently-waiting task became
+            ready (keyed by tid).
+    """
+
+    samples: list[int] = field(default_factory=list)
+    waiting_since: dict[int, int] = field(default_factory=dict)
+
+    def on_enqueued(self, tid: int, now: int) -> None:
+        """A task became ready at tick ``now``.
+
+        Idempotent for tasks already waiting: a steal re-enqueues the
+        task elsewhere, but its wait began at the original enqueue.
+        """
+        self.waiting_since.setdefault(tid, now)
+
+    def on_dispatched(self, tid: int, now: int) -> None:
+        """A task started running at tick ``now``."""
+        started = self.waiting_since.pop(tid, None)
+        if started is not None:
+            self.samples.append(now - started)
+
+    def on_departed(self, tid: int) -> None:
+        """A waiting task left the scheduler (churn); drop its clock."""
+        self.waiting_since.pop(tid, None)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def max_latency(self) -> int:
+        """Largest completed wait, 0 when no sample exists."""
+        return max(self.samples, default=0)
+
+    def still_waiting(self, now: int) -> dict[int, int]:
+        """Current wait duration of every still-queued task."""
+        return {
+            tid: now - since for tid, since in self.waiting_since.items()
+        }
+
+    def worst_outstanding(self, now: int) -> int:
+        """Longest in-progress wait — what a reactivity bound must cover
+        even for tasks that never got dispatched before the run ended."""
+        waits = self.still_waiting(now)
+        return max(waits.values(), default=0)
+
+    def summary(self) -> Summary:
+        """Distribution summary of completed waits.
+
+        Raises:
+            ValueError: when no dispatch was observed.
+        """
+        return summarize([float(s) for s in self.samples])

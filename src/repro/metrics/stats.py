@@ -1,0 +1,142 @@
+"""Small statistics helpers for benchmark reporting.
+
+Kept dependency-light (plain ``statistics``/``math``) so benchmark output
+code has no heavyweight imports; numpy is reserved for the workload
+generators that genuinely need vectorised sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample.
+
+    Attributes:
+        n: sample size.
+        mean: arithmetic mean.
+        stdev: sample standard deviation (0.0 when n < 2).
+        minimum: smallest observation.
+        median: 50th percentile.
+        p95: 95th percentile (nearest-rank).
+        maximum: largest observation.
+    """
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Raises:
+        ValueError: on an empty sample or out-of-range ``q``.
+    """
+    if not values:
+        raise ValueError("percentile of empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    if not values:
+        raise ValueError("summary of empty sample")
+    return Summary(
+        n=len(values),
+        mean=statistics.fmean(values),
+        stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+        minimum=min(values),
+        median=statistics.median(values),
+        p95=percentile(values, 95),
+        maximum=max(values),
+    )
+
+
+def speedup(baseline: float, contender: float) -> float:
+    """How many times faster ``contender`` is than ``baseline``.
+
+    For durations (lower is better): ``speedup(slow, fast) > 1``.
+
+    Raises:
+        ValueError: when ``contender`` is not positive.
+    """
+    if contender <= 0:
+        raise ValueError(f"contender must be > 0, got {contender}")
+    return baseline / contender
+
+
+def relative_loss(good: float, bad: float) -> float:
+    """Fractional throughput loss of ``bad`` versus ``good`` (0..1).
+
+    For rates (higher is better): the paper's "up to 25% decrease in
+    throughput" is ``relative_loss(good, bad) ≈ 0.25``.
+
+    Raises:
+        ValueError: when ``good`` is not positive.
+    """
+    if good <= 0:
+        raise ValueError(f"good must be > 0, got {good}")
+    return (good - bad) / good
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table rendering for benchmark stdout.
+
+    Column widths adapt to content; numbers are right-aligned, text
+    left-aligned, matching how the paper's tables read.
+    """
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str], pad: str = " ") -> str:
+        return " | ".join(
+            cell.rjust(widths[i]) if _numeric(cells, i, text_rows)
+            else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        )
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(cells: Sequence[str], i: int,
+             rows: Sequence[Sequence[str]]) -> bool:
+    sample = rows[0][i] if rows else cells[i]
+    try:
+        float(sample)
+        return True
+    except ValueError:
+        return False

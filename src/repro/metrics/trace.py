@@ -1,0 +1,120 @@
+"""Structured round traces: inspectable, diffable, exportable.
+
+Verification results are only trustworthy if the executions behind them
+can be examined. This module converts balancer histories
+(:class:`~repro.core.balancer.RoundRecord` lists) into plain-dict event
+streams — JSON-serialisable, stable field names — plus round-trip
+loading, so traces can be stored next to benchmark results, diffed across
+runs, and replayed through the audit functions offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.balancer import AttemptOutcome, RoundRecord, StealAttempt
+
+
+def attempt_to_dict(attempt: StealAttempt) -> dict:
+    """Flatten one steal attempt into a JSON-safe dict."""
+    return {
+        "round": attempt.round_index,
+        "thief": attempt.thief,
+        "victim": attempt.victim,
+        "outcome": attempt.outcome.value,
+        "moved": list(attempt.moved_task_ids),
+        "observed_victim_version": attempt.observed_victim_version,
+        "live_victim_version": attempt.live_victim_version,
+        "invalidated_by": list(attempt.invalidated_by),
+        "candidates": list(attempt.candidates),
+    }
+
+
+def attempt_from_dict(data: dict) -> StealAttempt:
+    """Inverse of :func:`attempt_to_dict`."""
+    return StealAttempt(
+        round_index=data["round"],
+        thief=data["thief"],
+        victim=data["victim"],
+        outcome=AttemptOutcome(data["outcome"]),
+        moved_task_ids=tuple(data["moved"]),
+        observed_victim_version=data["observed_victim_version"],
+        live_victim_version=data["live_victim_version"],
+        invalidated_by=tuple(data["invalidated_by"]),
+        candidates=tuple(data["candidates"]),
+    )
+
+
+def round_to_dict(record: RoundRecord) -> dict:
+    """Flatten one round record into a JSON-safe dict."""
+    return {
+        "index": record.index,
+        "loads_before": list(record.loads_before),
+        "loads_after": list(record.loads_after),
+        "attempts": [attempt_to_dict(a) for a in record.attempts],
+    }
+
+
+def round_from_dict(data: dict) -> RoundRecord:
+    """Inverse of :func:`round_to_dict`."""
+    return RoundRecord(
+        index=data["index"],
+        loads_before=tuple(data["loads_before"]),
+        loads_after=tuple(data["loads_after"]),
+        attempts=[attempt_from_dict(a) for a in data["attempts"]],
+    )
+
+
+def dump_trace(rounds: Iterable[RoundRecord]) -> str:
+    """Serialise a round history as JSON Lines (one round per line)."""
+    return "\n".join(
+        json.dumps(round_to_dict(record), separators=(",", ":"))
+        for record in rounds
+    )
+
+
+def load_trace(text: str) -> list[RoundRecord]:
+    """Parse a JSON Lines trace back into round records."""
+    return [
+        round_from_dict(json.loads(line))
+        for line in text.splitlines() if line.strip()
+    ]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Headline numbers of a trace, for summaries and regressions.
+
+    Attributes:
+        rounds: number of rounds.
+        successes: successful steals.
+        failures: optimistic failures.
+        tasks_moved: total migrated tasks.
+        quiet_rounds: rounds with no steal intent anywhere.
+        first_quiet_round: index of the first quiet round, or ``None``.
+    """
+
+    rounds: int
+    successes: int
+    failures: int
+    tasks_moved: int
+    quiet_rounds: int
+    first_quiet_round: int | None
+
+
+def trace_stats(rounds: Sequence[RoundRecord]) -> TraceStats:
+    """Summarise a round history."""
+    successes = sum(len(r.successes) for r in rounds)
+    failures = sum(len(r.failures) for r in rounds)
+    moved = sum(r.tasks_moved for r in rounds)
+    quiet = [r.index for r in rounds if r.quiet]
+    return TraceStats(
+        rounds=len(rounds),
+        successes=successes,
+        failures=failures,
+        tasks_moved=moved,
+        quiet_rounds=len(quiet),
+        first_quiet_round=quiet[0] if quiet else None,
+    )

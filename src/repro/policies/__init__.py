@@ -1,0 +1,50 @@
+"""Scheduling policies expressed in the three-step abstraction.
+
+The package gathers the paper's policies (Listing 1, the weighted
+variant, the §4.3 counterexample), placement-aware choice functions, the
+§5 hierarchical extension, and deliberately broken mutants used to test
+the verifier's teeth.
+"""
+
+from repro.policies.balance_count import BalanceCountPolicy, GreedyHalvingPolicy
+from repro.policies.hierarchical import (
+    GroupView,
+    HierarchicalBalancer,
+    ScopedPolicy,
+    group_view,
+)
+from repro.policies.naive import (
+    GreedyReadyPolicy,
+    InvertedFilterPolicy,
+    NaiveOverloadedPolicy,
+    OverStealingPolicy,
+)
+from repro.policies.numa_aware import (
+    LeastMigrationsChoicePolicy,
+    NumaAwareChoicePolicy,
+    RandomChoicePolicy,
+)
+from repro.policies.weighted import (
+    MIN_TASK_WEIGHT,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+
+__all__ = [
+    "BalanceCountPolicy",
+    "GreedyHalvingPolicy",
+    "GroupView",
+    "HierarchicalBalancer",
+    "ScopedPolicy",
+    "group_view",
+    "GreedyReadyPolicy",
+    "InvertedFilterPolicy",
+    "NaiveOverloadedPolicy",
+    "OverStealingPolicy",
+    "LeastMigrationsChoicePolicy",
+    "NumaAwareChoicePolicy",
+    "RandomChoicePolicy",
+    "MIN_TASK_WEIGHT",
+    "ProvableWeightedPolicy",
+    "WeightedBalancePolicy",
+]

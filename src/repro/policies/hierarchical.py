@@ -1,0 +1,310 @@
+"""Hierarchical load balancing (the paper's Section 5 extension).
+
+"We aim to extend these abstractions to include hierarchical load
+balancing, for instance to allow balancing load between groups of cores,
+and then inside groups, instead of balancing load directly between
+individual cores."
+
+The key observation that makes the extension cheap is that a *group of
+cores is itself a core-shaped thing*: it has a thread count, a ready
+count and a weighted load. :class:`GroupView` exposes exactly the
+:class:`~repro.core.cpu.CoreView` protocol, so Listing 1's filter — and,
+more importantly, Listing 2's Lemma1 and the potential-function argument —
+apply to the *inter-group* level verbatim. The hierarchical round is then:
+
+1. **Inter-group round**: one three-step balancing operation per group,
+   with groups as the "cores": filter on group thread totals, choose the
+   most loaded group, steal one task from the victim group's most loaded
+   core into the thief group's least loaded core (locked + re-checked,
+   exactly like the flat balancer).
+2. **Intra-group rounds**: a standard flat round inside each group, using
+   :class:`ScopedPolicy` to restrict the filter to group members.
+
+Both levels emit ordinary :class:`~repro.core.balancer.StealAttempt`
+records, so the metrics and the failure-attribution audit treat
+hierarchical rounds like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.balancer import (
+    AttemptOutcome,
+    LoadBalancer,
+    RoundRecord,
+    StealAttempt,
+)
+from repro.core.cpu import CoreSnapshot, CoreView
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.core.task import TaskState
+from repro.policies.balance_count import BalanceCountPolicy
+from repro.sim.locks import LockManager
+from repro.topology.domains import SchedDomain, flat_groups
+
+
+class ScopedPolicy(Policy):
+    """Restrict a base policy's filter to an allowed victim set.
+
+    Used for intra-group rounds: a core may only steal from cores of its
+    own group. Everything else — load metric, choice, steal amount —
+    delegates to the base policy, so the scoped policy inherits its proof
+    obligations (restricting the candidate set can only shrink the filter,
+    which preserves completeness; existence is re-checked per group by the
+    hierarchical verification).
+
+    Attributes:
+        base: the policy being scoped.
+        allowed: core ids a thief in this scope may steal from.
+    """
+
+    def __init__(self, base: Policy, allowed: Sequence[int]) -> None:
+        self.base = base
+        self.allowed = frozenset(allowed)
+        self.name = f"scoped({base.name})"
+
+    def load(self, core: CoreView) -> float:
+        return self.base.load(core)
+
+    def can_steal(self, thief: CoreView, stealee: CoreView) -> bool:
+        """Base filter, restricted to in-scope victims."""
+        return stealee.cid in self.allowed and self.base.can_steal(
+            thief, stealee
+        )
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        return self.base.choose(thief, candidates)
+
+    def steal_amount(self, thief: CoreView, stealee: CoreView) -> int:
+        return self.base.steal_amount(thief, stealee)
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """A group of cores exposed through the :class:`CoreView` protocol.
+
+    ``nr_threads``/``nr_ready``/``weighted_load`` are the group totals, so
+    a policy filter written for cores applies to groups unchanged — the
+    formal backbone of the Section 5 extension.
+
+    Attributes:
+        cid: group id (plays the role of a core id at the group level).
+        cores: member core ids.
+        nr_ready: total ready tasks across members.
+        running: number of members with a current task.
+        weighted_load: total weighted load across members.
+        node: NUMA node of the group (groups never span nodes here).
+    """
+
+    cid: int
+    cores: tuple[int, ...]
+    nr_ready: int
+    running: int
+    weighted_load: int
+    node: int = 0
+
+    @property
+    def has_current(self) -> bool:
+        """A group 'has current' when any member is running a task."""
+        return self.running > 0
+
+    @property
+    def nr_threads(self) -> int:
+        """Total threads across the group's members."""
+        return self.nr_ready + self.running
+
+
+def group_view(machine: Machine, gid: int,
+               cores: Sequence[int]) -> GroupView:
+    """Build the :class:`GroupView` of ``cores`` from live machine state."""
+    members = [machine.core(cid) for cid in cores]
+    return GroupView(
+        cid=gid,
+        cores=tuple(cores),
+        nr_ready=sum(core.nr_ready for core in members),
+        running=sum(1 for core in members if core.has_current),
+        weighted_load=sum(core.weighted_load for core in members),
+        node=members[0].node if members else 0,
+    )
+
+
+class HierarchicalBalancer:
+    """Two-level balancer: between groups, then inside groups.
+
+    Exposes the same ``run_round`` / ``run_until_work_conserving``
+    surface as :class:`~repro.core.balancer.LoadBalancer`, so simulations
+    and benchmarks can swap it in directly.
+
+    Attributes:
+        machine: the machine being balanced.
+        groups: tuple of core-id tuples, one per leaf group of the domain
+            tree.
+        group_policy: filter/steal policy applied at the group level
+            (on :class:`GroupView` values).
+        intra_policy: policy applied inside each group.
+    """
+
+    def __init__(self, machine: Machine, domains: SchedDomain,
+                 group_policy: Policy | None = None,
+                 intra_policy: Policy | None = None,
+                 keep_history: bool = True) -> None:
+        self.machine = machine
+        self.groups = tuple(flat_groups(domains))
+        if not self.groups:
+            raise ConfigurationError("domain tree has no leaf groups")
+        self.group_policy = group_policy or BalanceCountPolicy(margin=2)
+        self.intra_policy = intra_policy or BalanceCountPolicy(margin=2)
+        self.locks = LockManager(machine.n_cores)
+        self.keep_history = keep_history
+        self.rounds: list[RoundRecord] = []
+        self.round_index = 0
+        self._intra_balancers = [
+            LoadBalancer(
+                machine,
+                ScopedPolicy(self.intra_policy, cores),
+                keep_history=False,
+            )
+            for cores in self.groups
+        ]
+
+    # ------------------------------------------------------------------
+    # inter-group phase
+    # ------------------------------------------------------------------
+
+    def group_views(self) -> list[GroupView]:
+        """Current :class:`GroupView` of every leaf group."""
+        return [
+            group_view(self.machine, gid, cores)
+            for gid, cores in enumerate(self.groups)
+        ]
+
+    def _agent_core(self, cores: Sequence[int]) -> int:
+        """The group's thief agent: its least loaded member core."""
+        return min(cores, key=lambda cid: (
+            self.machine.core(cid).nr_threads, cid
+        ))
+
+    def _donor_core(self, cores: Sequence[int]) -> int | None:
+        """The victim group's donor: its most loaded member with a ready task."""
+        with_ready = [
+            cid for cid in cores if self.machine.core(cid).nr_ready >= 1
+        ]
+        if not with_ready:
+            return None
+        return max(with_ready, key=lambda cid: (
+            self.machine.core(cid).nr_threads, -cid
+        ))
+
+    def _inter_group_round(self, attempts: list[StealAttempt]) -> None:
+        """One three-step balancing operation per group, groups as cores."""
+        views = self.group_views()
+        intents: list[tuple[int, int]] = []
+        for thief_group in views:
+            candidates = [
+                v for v in views
+                if v.cid != thief_group.cid
+                and self.group_policy.can_steal(thief_group, v)
+            ]
+            if not candidates:
+                continue
+            victim = max(
+                candidates, key=lambda v: (v.nr_threads, -v.cid)
+            )
+            intents.append((thief_group.cid, victim.cid))
+
+        for thief_gid, victim_gid in intents:
+            attempts.append(self._execute_group_steal(thief_gid, victim_gid))
+
+    def _execute_group_steal(self, thief_gid: int,
+                             victim_gid: int) -> StealAttempt:
+        """Locked, re-checked migration of one task between groups."""
+        thief_cid = self._agent_core(self.groups[thief_gid])
+        donor_cid = self._donor_core(self.groups[victim_gid])
+        if donor_cid is None:
+            return StealAttempt(
+                round_index=self.round_index,
+                thief=thief_cid,
+                victim=None,
+                outcome=AttemptOutcome.EMPTY_VICTIM,
+            )
+        with self.locks.pair(thief_cid, thief_cid, donor_cid) as locked:
+            if not locked:
+                return StealAttempt(
+                    round_index=self.round_index,
+                    thief=thief_cid,
+                    victim=donor_cid,
+                    outcome=AttemptOutcome.LOCK_BUSY,
+                )
+            live_thief = group_view(
+                self.machine, thief_gid, self.groups[thief_gid]
+            )
+            live_victim = group_view(
+                self.machine, victim_gid, self.groups[victim_gid]
+            )
+            if not self.group_policy.can_steal(live_thief, live_victim):
+                return StealAttempt(
+                    round_index=self.round_index,
+                    thief=thief_cid,
+                    victim=donor_cid,
+                    outcome=AttemptOutcome.RECHECK_FAILED,
+                )
+            donor = self.machine.core(donor_cid)
+            if donor.runqueue.size == 0:
+                return StealAttempt(
+                    round_index=self.round_index,
+                    thief=thief_cid,
+                    victim=donor_cid,
+                    outcome=AttemptOutcome.EMPTY_VICTIM,
+                )
+            task = donor.runqueue.pop_tail()
+            task.state = TaskState.READY
+            self.machine.core(thief_cid).runqueue.push(task)
+            return StealAttempt(
+                round_index=self.round_index,
+                thief=thief_cid,
+                victim=donor_cid,
+                outcome=AttemptOutcome.SUCCESS,
+                moved_task_ids=(task.tid,),
+            )
+
+    # ------------------------------------------------------------------
+    # full hierarchical round
+    # ------------------------------------------------------------------
+
+    def run_round(self) -> RoundRecord:
+        """Inter-group phase, then one intra-group round per group."""
+        loads_before = tuple(self.machine.loads())
+        attempts: list[StealAttempt] = []
+        self._inter_group_round(attempts)
+        for gid, balancer in enumerate(self._intra_balancers):
+            balancer.round_index = self.round_index
+            record = balancer.run_round(participants=list(self.groups[gid]))
+            attempts.extend(record.attempts)
+        record = RoundRecord(
+            index=self.round_index,
+            loads_before=loads_before,
+            loads_after=tuple(self.machine.loads()),
+            attempts=attempts,
+        )
+        self.round_index += 1
+        if self.keep_history:
+            self.rounds.append(record)
+        return record
+
+    def run_until_work_conserving(self, max_rounds: int = 1000) -> int | None:
+        """Rounds until no core is idle while any core is overloaded.
+
+        Returns:
+            Rounds executed, or ``None`` if ``max_rounds`` was exhausted.
+        """
+        for done in range(max_rounds + 1):
+            if self.machine.is_work_conserving_state():
+                return done
+            if done == max_rounds:
+                break
+            self.run_round()
+        return None

@@ -1,0 +1,110 @@
+"""NUMA- and cache-aware *choice* functions.
+
+The paper's central engineering claim (Section 3.1, restated in the
+conclusion) is that all placement intelligence can live in step 2 — the
+choice — without touching the proofs: "it is possible to implement
+cache-aware or NUMA-aware thread placements in the second step of the
+load balancing without adding any complexity to the proofs. ... The exact
+choice of the core does not matter for the correctness proof."
+
+These policies therefore reuse Listing 1's *proven filter* verbatim and
+only override :meth:`~repro.core.policy.Policy.choose`. The verification
+suite checks them with the exact same obligations as the base policy —
+and additionally model-checks them under a *choice oracle* that ranges
+over every candidate, which is the strongest possible form of the
+choice-irrelevance claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cpu import CoreSnapshot, CoreView
+from repro.policies.balance_count import BalanceCountPolicy
+from repro.topology.numa import NumaTopology
+
+
+class NumaAwareChoicePolicy(BalanceCountPolicy):
+    """Prefer stealing from the thief's own NUMA node.
+
+    Candidates are ranked by (same node first, then highest load, then
+    lowest core id). Stealing locally keeps the migrated task's memory on
+    its node; stealing remotely is still allowed — the filter decides
+    *whether*, the choice only decides *where from* — so work conservation
+    is unaffected.
+
+    Attributes:
+        topology: the machine layout used to compare nodes.
+        margin: inherited Listing 1 margin.
+    """
+
+    def __init__(self, topology: NumaTopology, margin: int = 2) -> None:
+        super().__init__(margin=margin)
+        self.topology = topology
+        self.name = f"numa_choice(margin={margin}, topo={topology.name})"
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        """Rank by locality first, then by load (descending), then id."""
+        thief_node = self.topology.node_of(thief.cid)
+
+        def rank(candidate: CoreSnapshot) -> tuple[int, int, int]:
+            distance = self.topology.distances[thief_node][
+                self.topology.node_of(candidate.cid)
+            ]
+            return (distance, -candidate.nr_threads, candidate.cid)
+
+        return min(candidates, key=rank)
+
+
+class LeastMigrationsChoicePolicy(BalanceCountPolicy):
+    """Cache-aware choice: steal the victim whose task last ran nearby.
+
+    Approximates "giving priority to some core to improve cache locality"
+    (Section 3.1): among filtered candidates, prefer the one at the
+    smallest NUMA distance and, within a node, the closest core id (a
+    proxy for shared LLC in our node-major core numbering).
+
+    Attributes:
+        topology: the machine layout used to compute distances.
+    """
+
+    def __init__(self, topology: NumaTopology, margin: int = 2) -> None:
+        super().__init__(margin=margin)
+        self.topology = topology
+        self.name = f"cache_choice(margin={margin}, topo={topology.name})"
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        """Rank by (distance, |cid gap|, -load)."""
+        def rank(candidate: CoreSnapshot) -> tuple[int, int, int]:
+            distance = self.topology.distance(thief.cid, candidate.cid)
+            return (
+                distance,
+                abs(candidate.cid - thief.cid),
+                -candidate.nr_threads,
+            )
+
+        return min(candidates, key=rank)
+
+
+class RandomChoicePolicy(BalanceCountPolicy):
+    """Seeded-random choice among candidates.
+
+    The degenerate end of the choice spectrum: if the proofs really are
+    choice-irrelevant they must hold for a uniformly random choice too.
+    Deterministic given the seed, so verification runs are reproducible.
+    """
+
+    def __init__(self, seed: int, margin: int = 2) -> None:
+        super().__init__(margin=margin)
+        import random
+
+        self._rng = random.Random(seed)
+        self.seed = seed
+        self.name = f"random_choice(seed={seed}, margin={margin})"
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        """Pick uniformly at random among the filtered candidates."""
+        return candidates[self._rng.randrange(len(candidates))]

@@ -1,0 +1,32 @@
+"""Simulation substrate: virtual time, try-locks, interleavings, and the
+discrete-event multicore engine."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    ConcurrentInterleaving,
+    Interleaving,
+    OverlappedInterleaving,
+    PipelinedInterleaving,
+    RotatingSequentialInterleaving,
+    SeededInterleaving,
+    SequentialInterleaving,
+    all_adversarial_orders,
+)
+from repro.sim.locks import LockManager, LockStats, TryLock
+
+__all__ = [
+    "VirtualClock",
+    "AdversarialInterleaving",
+    "ConcurrentInterleaving",
+    "Interleaving",
+    "OverlappedInterleaving",
+    "PipelinedInterleaving",
+    "RotatingSequentialInterleaving",
+    "SeededInterleaving",
+    "SequentialInterleaving",
+    "all_adversarial_orders",
+    "LockManager",
+    "LockStats",
+    "TryLock",
+]

@@ -1,0 +1,318 @@
+"""The discrete-event multicore simulator.
+
+Executes the paper's scheduler model in virtual time: each tick every
+core runs its current task for one time unit; every ``balance_interval``
+ticks a load-balancing round fires on all cores (CFS's "every 4ms");
+tasks finish, block, wake and migrate under the control of a
+:class:`~repro.workloads.base.Workload`.
+
+The engine is deliberately agnostic about *which* balancer runs — the
+verified three-step :class:`~repro.core.balancer.LoadBalancer`, the
+hierarchical variant, the CFS-like baseline with the wasted-cores
+pathology, or the idealised global queue. Anything exposing
+``run_round()`` plugs in, which is how the motivation experiments (E7)
+compare them under identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.clock import VirtualClock
+from repro.topology.cache import CacheModel
+
+
+@runtime_checkable
+class Balancer(Protocol):
+    """Anything that can run one load-balancing round."""
+
+    def run_round(self) -> object:
+        """Execute one balancing round against the machine."""
+        ...
+
+
+@dataclass
+class SimConfig:
+    """Simulator knobs.
+
+    Attributes:
+        balance_interval: ticks between load-balancing rounds (the
+            model's 4ms analogue).
+        timeslice: ticks a task may run uninterrupted while others wait
+            in the runqueue; round-robin preemption fires after that. In
+            ``fair`` mode it doubles as the preemption granularity in
+            nice-0 vruntime units.
+        max_ticks: default stopping bound for :meth:`Simulation.run`.
+        local_scheduler: per-core dispatch discipline — ``"rr"`` (FIFO +
+            round-robin timeslices, the model's default) or ``"fair"``
+            (CFS-style: pick the queued task with the smallest virtual
+            runtime; vruntime advances inversely to task weight, so CPU
+            shares converge to weight proportions — the §1 "fair between
+            threads" property).
+    """
+
+    balance_interval: int = 4
+    timeslice: int = 2
+    max_ticks: int = 100_000
+    local_scheduler: str = "rr"
+
+    def __post_init__(self) -> None:
+        if self.balance_interval <= 0:
+            raise ConfigurationError("balance_interval must be > 0")
+        if self.timeslice <= 0:
+            raise ConfigurationError("timeslice must be > 0")
+        if self.max_ticks <= 0:
+            raise ConfigurationError("max_ticks must be > 0")
+        if self.local_scheduler not in ("rr", "fair"):
+            raise ConfigurationError(
+                f"local_scheduler must be 'rr' or 'fair',"
+                f" got {self.local_scheduler!r}"
+            )
+
+
+@dataclass
+class SimResult:
+    """What a simulation run produced.
+
+    Attributes:
+        ticks: virtual time consumed.
+        metrics: the :class:`~repro.metrics.collectors.MetricsCollector`.
+        workload_done: whether the workload declared itself finished
+            (False when the run stopped at ``max_ticks``).
+    """
+
+    ticks: int
+    metrics: MetricsCollector
+    workload_done: bool
+
+
+class Simulation:
+    """Drives a machine + balancer + workload through virtual time.
+
+    Attributes:
+        machine: the simulated multicore machine.
+        balancer: the balancing strategy under test.
+        workload: the workload generating and consuming tasks; ``None``
+            runs pure balancing studies on a static task population.
+        cache_model: optional migration-penalty model; when present,
+            tasks pay warm-up ticks after running on a new core.
+        metrics: metrics collector (shared with the caller).
+        clock: the virtual clock.
+    """
+
+    def __init__(self, machine: Machine, balancer: Balancer,
+                 workload: "WorkloadLike | None" = None,
+                 cache_model: CacheModel | None = None,
+                 config: SimConfig | None = None,
+                 metrics: MetricsCollector | None = None,
+                 latency_tracker: "LatencyTrackerLike | None" = None) -> None:
+        self.machine = machine
+        self.balancer = balancer
+        self.workload = workload
+        self.cache_model = cache_model
+        self.config = config or SimConfig()
+        self.metrics = metrics or MetricsCollector()
+        self.latency = latency_tracker
+        self.clock = VirtualClock(
+            balance_interval=self.config.balance_interval
+        )
+        self._slice_used: dict[int, int] = {c.cid: 0 for c in machine.cores}
+        self._warmup_left: dict[int, int] = {}
+        self._last_ran_core: dict[int, int] = {}
+        self._vruntime: dict[int, float] = {}
+        if self.workload is not None:
+            self.workload.attach(self)
+
+    # ------------------------------------------------------------------
+    # placement helper shared with workloads
+    # ------------------------------------------------------------------
+
+    def place(self, task: Task, cid: int) -> None:
+        """Enqueue ``task`` on core ``cid``, applying cache penalties."""
+        if self.config.local_scheduler == "fair":
+            # New arrivals start at the core's current minimum vruntime:
+            # they neither jump the queue nor wait out everyone's history.
+            floor = self._core_min_vruntime(cid)
+            self._vruntime[task.tid] = max(
+                self._vruntime.get(task.tid, 0.0), floor
+            )
+        self.machine.place_task(task, cid)
+        if self.latency is not None:
+            self.latency.on_enqueued(task.tid, self.clock.now)
+
+    def _core_min_vruntime(self, cid: int) -> float:
+        core = self.machine.core(cid)
+        candidates = [
+            self._vruntime.get(t.tid, 0.0) for t in core.runqueue
+        ]
+        if core.current is not None:
+            candidates.append(self._vruntime.get(core.current.tid, 0.0))
+        return min(candidates, default=0.0)
+
+    # ------------------------------------------------------------------
+    # the tick
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the simulation by one time unit."""
+        if self.workload is not None:
+            self.workload.on_tick(self)
+
+        self._dispatch()
+        self._execute()
+        self._preempt()
+
+        self.clock.advance(1)
+        if self.clock.balance_due():
+            self.balancer.run_round()
+            self.clock.mark_balanced()
+            self._dispatch()
+
+        self.metrics.on_tick(self.machine)
+
+    def _dispatch(self) -> None:
+        fair = self.config.local_scheduler == "fair"
+        for core in self.machine.cores:
+            if core.current is not None or core.runqueue.size == 0:
+                continue
+            if fair:
+                chosen = min(
+                    core.runqueue,
+                    key=lambda t: (self._vruntime.get(t.tid, 0.0), t.tid),
+                )
+                if core.runqueue.peek() is not chosen:
+                    core.runqueue.remove(chosen)
+                    core.runqueue.push_front(chosen)
+            task = core.pick_next()
+            assert task is not None
+            self._slice_used[core.cid] = 0
+            if self.latency is not None:
+                self.latency.on_dispatched(task.tid, self.clock.now)
+            if self.cache_model is not None:
+                last = self._last_ran_core.get(task.tid)
+                penalty = self.cache_model.penalty(last, core.cid)
+                if penalty > 0:
+                    self._warmup_left[task.tid] = penalty
+
+    def _execute(self) -> None:
+        for core in self.machine.cores:
+            task = core.current
+            if task is None:
+                continue
+            self._last_ran_core[task.tid] = core.cid
+            warmup = self._warmup_left.get(task.tid, 0)
+            if warmup > 0:
+                self._warmup_left[task.tid] = warmup - 1
+                self.metrics.on_warmup(1)
+                continue
+            consumed = task.run_for(1)
+            self.metrics.on_work(consumed)
+            self._slice_used[core.cid] += 1
+            if self.config.local_scheduler == "fair":
+                from repro.core.task import NICE_0_WEIGHT
+
+                self._vruntime[task.tid] = (
+                    self._vruntime.get(task.tid, 0.0)
+                    + NICE_0_WEIGHT / task.weight
+                )
+            if task.finished:
+                core.finish_current()
+                self._slice_used[core.cid] = 0
+                self.metrics.on_task_finished()
+                if self.workload is not None:
+                    self.workload.on_task_finished(self, task, core.cid)
+
+    def _preempt(self) -> None:
+        fair = self.config.local_scheduler == "fair"
+        for core in self.machine.cores:
+            if core.current is None or core.runqueue.size == 0:
+                continue
+            if fair:
+                current_vr = self._vruntime.get(core.current.tid, 0.0)
+                min_queued = min(
+                    self._vruntime.get(t.tid, 0.0) for t in core.runqueue
+                )
+                should_preempt = (
+                    current_vr >= min_queued + self.config.timeslice
+                )
+            else:
+                should_preempt = (
+                    self._slice_used[core.cid] >= self.config.timeslice
+                )
+            if should_preempt:
+                preempted = core.current
+                core.preempt()
+                self._slice_used[core.cid] = 0
+                if self.latency is not None and preempted is not None:
+                    self.latency.on_enqueued(preempted.tid, self.clock.now)
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+
+    def run(self, max_ticks: int | None = None) -> SimResult:
+        """Run until the workload finishes or ``max_ticks`` elapse.
+
+        Args:
+            max_ticks: overrides the config bound for this run.
+
+        Returns:
+            A :class:`SimResult` with the collected metrics.
+        """
+        bound = max_ticks if max_ticks is not None else self.config.max_ticks
+        done = False
+        for _ in range(bound):
+            if self.workload is not None and self.workload.finished(self):
+                done = True
+                break
+            self.tick()
+        else:
+            done = (
+                self.workload.finished(self)
+                if self.workload is not None else False
+            )
+        return SimResult(
+            ticks=self.clock.now,
+            metrics=self.metrics,
+            workload_done=done,
+        )
+
+
+@runtime_checkable
+class LatencyTrackerLike(Protocol):
+    """Structural interface for scheduling-latency observers."""
+
+    def on_enqueued(self, tid: int, now: int) -> None:
+        """A task became ready at tick ``now``."""
+        ...
+
+    def on_dispatched(self, tid: int, now: int) -> None:
+        """A task started running at tick ``now``."""
+        ...
+
+
+@runtime_checkable
+class WorkloadLike(Protocol):
+    """Structural interface the engine expects of workloads."""
+
+    def attach(self, sim: Simulation) -> None:
+        """Create initial tasks and place them."""
+        ...
+
+    def on_tick(self, sim: Simulation) -> None:
+        """Inject arrivals/wakeups at the start of a tick."""
+        ...
+
+    def on_task_finished(self, sim: Simulation, task: Task,
+                         cid: int) -> None:
+        """React to a task completing its current work."""
+        ...
+
+    def finished(self, sim: Simulation) -> bool:
+        """Whether the workload is complete."""
+        ...

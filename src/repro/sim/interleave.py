@@ -1,0 +1,317 @@
+"""Interleaving strategies for concurrent load-balancing rounds.
+
+Section 4 of the paper studies two regimes:
+
+* the **sequential** setting (§4.2): "core 0 first does all three
+  load-balancing steps in isolation, then core 1 does all three steps,
+  etc." — selections always see fresh state, so steals never fail;
+* the **concurrent** setting (§4.3): all cores select on the same (possibly
+  stale) observations, then their steal operations race; the order in
+  which racing steals hit the locks decides which succeed.
+
+An :class:`Interleaving` reifies those regimes so the same
+:class:`~repro.core.balancer.LoadBalancer` can run under any of them, and
+so the model checker can *quantify over* adversarial orderings — the
+paper's work-conservation definition is ∀-quantified over whatever the
+concurrency does, which here means: over every interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+
+
+class Interleaving(ABC):
+    """Strategy deciding how one round's per-core operations interleave.
+
+    Attributes:
+        fresh_snapshots: when True, each core snapshots the machine
+            immediately before its own selection (the §4.2 sequential
+            regime, in which stale reads — and hence failures — cannot
+            occur). When False, every core selects on the same round-start
+            snapshot vector and the steal operations race.
+    """
+
+    fresh_snapshots: bool = False
+
+    @abstractmethod
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        """Order in which cores perform their balancing operation.
+
+        Args:
+            round_index: monotonically increasing round number.
+            cids: participating core ids in ascending order.
+
+        Returns:
+            A permutation of ``cids``.
+        """
+
+    def steal_order(self, round_index: int,
+                    thief_cids: Sequence[int]) -> list[int]:
+        """Order in which racing steal operations reach the locks.
+
+        Only consulted when ``fresh_snapshots`` is False. Defaults to the
+        participant order.
+
+        Args:
+            round_index: monotonically increasing round number.
+            thief_cids: ids of cores that produced a steal intent.
+
+        Returns:
+            A permutation of ``thief_cids``.
+        """
+        return self.participant_order(round_index, thief_cids)
+
+
+class SequentialInterleaving(Interleaving):
+    """The §4.2 regime: cores balance one after another, in core-id order.
+
+    Selections always run against fresh state, so a steal's locked
+    re-check can never disagree with its selection: failures are
+    impossible, which is what makes the sequential proofs "simple".
+    """
+
+    fresh_snapshots = True
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        return list(cids)
+
+
+class RotatingSequentialInterleaving(Interleaving):
+    """Sequential regime with a rotating starting core.
+
+    Avoids systematically privileging low-numbered cores across rounds;
+    useful in fairness-flavoured experiments.
+    """
+
+    fresh_snapshots = True
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        if not cids:
+            return []
+        pivot = round_index % len(cids)
+        return list(cids[pivot:]) + list(cids[:pivot])
+
+
+class ConcurrentInterleaving(Interleaving):
+    """The §4.3 regime with a deterministic (core-id) steal order.
+
+    All cores select on the round-start snapshot; steals then execute
+    atomically in ascending core-id order. Stale selections make
+    re-check failures possible.
+    """
+
+    fresh_snapshots = False
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        return list(cids)
+
+
+class SeededInterleaving(Interleaving):
+    """Concurrent regime with seeded-random steal ordering.
+
+    A cheap randomised adversary: different seeds explore different race
+    outcomes while staying reproducible. Used by the simulator's default
+    configuration and by the randomised verification campaigns.
+    """
+
+    fresh_snapshots = False
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        order = list(cids)
+        self._rng.shuffle(order)
+        return order
+
+    def steal_order(self, round_index: int,
+                    thief_cids: Sequence[int]) -> list[int]:
+        order = list(thief_cids)
+        self._rng.shuffle(order)
+        return order
+
+
+class AdversarialInterleaving(Interleaving):
+    """Concurrent regime with an explicitly chosen steal permutation.
+
+    The model checker instantiates one of these per branch when it
+    quantifies over all racing outcomes: for each round it enumerates
+    every permutation of the steal intents and explores each resulting
+    successor state.
+    """
+
+    fresh_snapshots = False
+
+    def __init__(self, order: Sequence[int]) -> None:
+        """Args:
+            order: the exact steal order; any intent whose thief is not
+                listed is appended in core-id order (permits partial
+                specifications).
+        """
+        if len(set(order)) != len(order):
+            raise ConfigurationError(f"duplicate cid in order {order!r}")
+        self._order = list(order)
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        listed = [cid for cid in self._order if cid in cids]
+        rest = [cid for cid in cids if cid not in self._order]
+        return listed + rest
+
+    def steal_order(self, round_index: int,
+                    thief_cids: Sequence[int]) -> list[int]:
+        return self.participant_order(round_index, thief_cids)
+
+
+class OverlappedInterleaving(Interleaving):
+    """Concurrent regime where steal critical sections overlap in time.
+
+    Each steal is split into micro-operations — acquire both locks,
+    migrate, release — and a seeded scheduler interleaves the racing
+    attempts at micro-op granularity. A try-lock that finds a runqueue
+    locked by a concurrent steal fails the whole attempt (``LOCK_BUSY``),
+    modelling the paper's refusal to wait on locks: "locking the runqueue
+    of the third core prevents that core from scheduling work".
+
+    The balancer detects this mode via ``overlapped`` and routes steal
+    execution through its micro-op engine.
+    """
+
+    fresh_snapshots = False
+    overlapped = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        order = list(cids)
+        self._rng.shuffle(order)
+        return order
+
+    def schedule_micro_ops(self, round_index: int,
+                           thief_cids: Sequence[int]) -> list[int]:
+        """Produce the micro-op schedule: a sequence of thief ids.
+
+        Each occurrence of a thief id advances that thief's steal by one
+        micro-op. Every thief appears exactly three times (lock, migrate,
+        unlock); the relative order of occurrences is the interleaving.
+        """
+        schedule = [cid for cid in thief_cids for _ in range(3)]
+        self._rng.shuffle(schedule)
+        return schedule
+
+
+class PipelinedInterleaving(Interleaving):
+    """The fully general op-level adversary: selections interleave with
+    steals.
+
+    The two named regimes are the extremes of a spectrum: sequential
+    (each core's select is immediately followed by its steal) and
+    concurrent (all selects strictly before all steals). The model of
+    Section 3.1 allows anything in between — a core may run its lock-free
+    selection *while* another core's steal is mutating runqueues. This
+    interleaving exposes that spectrum: an explicit (or seeded-random)
+    schedule of ``("select", cid)`` / ``("steal", cid)`` operations, each
+    select reading the machine at its own point in time.
+
+    Invariant: a core's select precedes its steal. The balancer validates
+    and auto-completes partial schedules.
+    """
+
+    fresh_snapshots = False
+    pipelined = True
+
+    def __init__(self, schedule: Sequence[tuple[str, int]] | None = None,
+                 seed: int | None = None) -> None:
+        """Args:
+            schedule: explicit op sequence; ops for unlisted cores are
+                appended (select then steal, core order).
+            seed: when no explicit schedule is given, a random valid
+                schedule is drawn per round from this seed.
+        """
+        if schedule is not None:
+            for op, _ in schedule:
+                if op not in ("select", "steal"):
+                    raise ConfigurationError(f"unknown pipeline op {op!r}")
+            for cid in {cid for _, cid in schedule}:
+                ops = [op for op, c in schedule if c == cid]
+                if ops.count("select") > 1 or ops.count("steal") > 1:
+                    raise ConfigurationError(
+                        f"core {cid} appears twice for the same op"
+                    )
+                if ops == ["steal"]:
+                    continue  # select will be auto-prepended
+                if ops and ops[0] != "select":
+                    raise ConfigurationError(
+                        f"core {cid}: steal scheduled before select"
+                    )
+        self._schedule = list(schedule) if schedule is not None else None
+        self._rng = random.Random(seed if seed is not None else 0)
+
+    def participant_order(self, round_index: int,
+                          cids: Sequence[int]) -> list[int]:
+        return list(cids)
+
+    def op_schedule(self, round_index: int,
+                    cids: Sequence[int]) -> list[tuple[str, int]]:
+        """The complete, valid op sequence for this round."""
+        if self._schedule is not None:
+            schedule = list(self._schedule)
+            listed = {cid for _, cid in schedule}
+            # Auto-complete: prepend missing selects, append missing steals.
+            for cid in cids:
+                if cid not in listed:
+                    schedule.append(("select", cid))
+                    schedule.append(("steal", cid))
+                else:
+                    ops = [op for op, c in schedule if c == cid]
+                    if "select" not in ops:
+                        schedule.insert(0, ("select", cid))
+                    if "steal" not in ops:
+                        schedule.append(("steal", cid))
+            return [
+                (op, cid) for op, cid in schedule if cid in cids
+            ]
+        ops = [("select", cid) for cid in cids]
+        ops += [("steal", cid) for cid in cids]
+        while True:
+            self._rng.shuffle(ops)
+            positions = {("select", c): i for i, (o, c) in enumerate(ops)
+                         if o == "select"}
+            valid = all(
+                positions[("select", c)] < i
+                for i, (o, c) in enumerate(ops) if o == "steal"
+            )
+            if valid:
+                return ops
+
+
+def all_adversarial_orders(thief_cids: Sequence[int],
+                           limit: int | None = None) -> list["AdversarialInterleaving"]:
+    """Every steal-order adversary over ``thief_cids``.
+
+    Used by the exhaustive model checker; ``limit`` caps the number of
+    permutations for larger scopes (the checker reports when it truncates,
+    so a silent cap never masquerades as full coverage).
+    """
+    import itertools
+
+    orders = []
+    for i, perm in enumerate(itertools.permutations(thief_cids)):
+        if limit is not None and i >= limit:
+            break
+        orders.append(AdversarialInterleaving(perm))
+    return orders

@@ -1,0 +1,178 @@
+"""Try-locks and the two-runqueue stealing protocol.
+
+Section 3.1 fixes the concurrency discipline this module implements:
+
+* the **selection phase** takes no locks ("the selection phase is
+  lock-less") and is read-only;
+* the **stealing phase** "must be done atomically for correctness (i.e.,
+  no two cores should be able to steal the same thread)"; Figure 1
+  annotates it with "src and dst locked".
+
+The simulator is single-threaded, so these locks never block a real OS
+thread; what they model is the *protocol*: who is allowed to mutate which
+runqueue at which point of an interleaving, which steal attempts collide,
+and how much lock contention a policy generates. Locks are acquired in
+canonical (ascending core id) order, the standard deadlock-avoidance rule
+Linux itself uses for double-runqueue locking.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import LockProtocolError
+
+
+@dataclass
+class LockStats:
+    """Counters describing lock traffic, per runqueue lock.
+
+    Attributes:
+        acquisitions: successful lock acquisitions.
+        failed_trylocks: try-lock attempts that found the lock held.
+        releases: lock releases.
+    """
+
+    acquisitions: int = 0
+    failed_trylocks: int = 0
+    releases: int = 0
+
+
+class TryLock:
+    """A non-blocking mutual-exclusion token for one runqueue.
+
+    Attributes:
+        name: human-readable identifier (``"rq0"`` for core 0's lock).
+        holder: id of the core currently holding the lock, or ``None``.
+        stats: :class:`LockStats` accumulated over the lock's lifetime.
+    """
+
+    __slots__ = ("name", "holder", "stats")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.holder: int | None = None
+        self.stats = LockStats()
+
+    @property
+    def held(self) -> bool:
+        """Whether any core currently holds the lock."""
+        return self.holder is not None
+
+    def try_acquire(self, requester: int) -> bool:
+        """Attempt to take the lock without blocking.
+
+        Args:
+            requester: id of the core attempting the acquisition.
+
+        Returns:
+            True when the lock was free and is now held by ``requester``.
+        """
+        if self.holder is not None:
+            self.stats.failed_trylocks += 1
+            return False
+        self.holder = requester
+        self.stats.acquisitions += 1
+        return True
+
+    def release(self, requester: int) -> None:
+        """Release the lock.
+
+        Raises:
+            LockProtocolError: if ``requester`` does not hold the lock —
+                releasing someone else's lock is always a protocol bug.
+        """
+        if self.holder != requester:
+            raise LockProtocolError(
+                f"core {requester} released {self.name} held by {self.holder}"
+            )
+        self.holder = None
+        self.stats.releases += 1
+
+
+@dataclass
+class LockManager:
+    """All runqueue locks of a machine plus the double-lock protocol.
+
+    Attributes:
+        locks: one :class:`TryLock` per core, indexed by core id.
+    """
+
+    n_cores: int
+    locks: list[TryLock] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.locks = [TryLock(f"rq{cid}") for cid in range(self.n_cores)]
+
+    def lock_of(self, cid: int) -> TryLock:
+        """Return the runqueue lock of core ``cid``."""
+        return self.locks[cid]
+
+    def try_lock_pair(self, requester: int, a: int, b: int) -> bool:
+        """Try to lock the runqueues of cores ``a`` and ``b`` atomically.
+
+        Locks are taken in ascending core-id order (deadlock avoidance);
+        if the second acquisition fails the first is rolled back, so the
+        call either holds both locks or none.
+
+        Args:
+            requester: core performing the steal (usually equals ``a``).
+            a: first core id (conventionally the thief).
+            b: second core id (conventionally the victim).
+
+        Returns:
+            True when both locks are now held by ``requester``.
+        """
+        if a == b:
+            raise LockProtocolError(
+                f"core {requester} double-locking runqueue {a} against itself"
+            )
+        first, second = (a, b) if a < b else (b, a)
+        if not self.locks[first].try_acquire(requester):
+            return False
+        if not self.locks[second].try_acquire(requester):
+            self.locks[first].release(requester)
+            return False
+        return True
+
+    def unlock_pair(self, requester: int, a: int, b: int) -> None:
+        """Release a pair previously taken with :meth:`try_lock_pair`."""
+        first, second = (a, b) if a < b else (b, a)
+        self.locks[second].release(requester)
+        self.locks[first].release(requester)
+
+    @contextmanager
+    def pair(self, requester: int, a: int, b: int) -> Iterator[bool]:
+        """Context manager wrapping try-lock-pair/unlock-pair.
+
+        Yields True when both locks were acquired; the locks (if held)
+        are released on exit regardless of exceptions::
+
+            with lock_manager.pair(thief, thief, victim) as locked:
+                if locked:
+                    ...steal...
+        """
+        locked = self.try_lock_pair(requester, a, b)
+        try:
+            yield locked
+        finally:
+            if locked:
+                self.unlock_pair(requester, a, b)
+
+    def assert_all_free(self) -> None:
+        """Raise unless every lock is free (end-of-round sanity check)."""
+        held = [lock.name for lock in self.locks if lock.held]
+        if held:
+            raise LockProtocolError(
+                f"locks still held at end of round: {', '.join(held)}"
+            )
+
+    def total_contention(self) -> int:
+        """Total failed try-lock attempts across all runqueue locks."""
+        return sum(lock.stats.failed_trylocks for lock in self.locks)
+
+    def total_acquisitions(self) -> int:
+        """Total successful acquisitions across all runqueue locks."""
+        return sum(lock.stats.acquisitions for lock in self.locks)

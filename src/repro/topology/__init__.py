@@ -1,0 +1,32 @@
+"""Machine topology: NUMA nodes, cache domains, scheduling-domain trees.
+
+The topology package is the "modern hardware" substrate the paper's
+Section 1 demands: NUMA-aware thread placement needs node distances, and
+Section 5's hierarchical balancing needs a Linux-style domain tree.
+"""
+
+from repro.topology.cache import CacheModel, LocalityTier, no_cache_model
+from repro.topology.domains import SchedDomain, build_domain_tree, flat_groups
+from repro.topology.numa import (
+    LOCAL_DISTANCE,
+    REMOTE_DISTANCE,
+    NumaTopology,
+    mesh_numa,
+    symmetric_numa,
+    uniform_topology,
+)
+
+__all__ = [
+    "CacheModel",
+    "LocalityTier",
+    "no_cache_model",
+    "SchedDomain",
+    "build_domain_tree",
+    "flat_groups",
+    "LOCAL_DISTANCE",
+    "REMOTE_DISTANCE",
+    "NumaTopology",
+    "mesh_numa",
+    "symmetric_numa",
+    "uniform_topology",
+]

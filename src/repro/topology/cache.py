@@ -1,0 +1,103 @@
+"""Cache-locality cost model.
+
+The paper's step-2 ("choice") heuristics include "giving priority to some
+core to improve cache locality" (Section 3.1). To make those heuristics
+exercise something real, the simulator charges a migration penalty when a
+task resumes on a core that does not share cache with the core it last ran
+on. The penalty model is deliberately simple — a fixed warm-up cost per
+locality tier — because the paper's claim is about *proof structure*
+(locality heuristics cost nothing in proof effort), not about cache
+microarchitecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.core.errors import ConfigurationError
+from repro.topology.numa import NumaTopology
+
+
+class LocalityTier(IntEnum):
+    """How close two cores are, from the point of view of a migrating task."""
+
+    SAME_CORE = 0     #: no migration at all
+    SHARED_LLC = 1    #: same last-level cache (same group)
+    SAME_NODE = 2     #: same NUMA node, different LLC group
+    REMOTE_NODE = 3   #: different NUMA node
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Warm-up penalties (in simulator time units) per locality tier.
+
+    Attributes:
+        topology: the machine layout used to classify migrations.
+        llc_group_size: number of consecutive cores sharing an LLC; when
+            0, the whole NUMA node is treated as one LLC domain.
+        shared_llc_penalty: warm-up cost after migrating within an LLC.
+        same_node_penalty: warm-up cost after migrating across LLCs on
+            one node.
+        remote_node_penalty: warm-up cost after migrating across nodes.
+    """
+
+    topology: NumaTopology
+    llc_group_size: int = 0
+    shared_llc_penalty: int = 0
+    same_node_penalty: int = 1
+    remote_node_penalty: int = 4
+
+    def __post_init__(self) -> None:
+        if self.llc_group_size < 0:
+            raise ConfigurationError(
+                f"llc_group_size must be >= 0, got {self.llc_group_size}"
+            )
+        penalties = (
+            self.shared_llc_penalty,
+            self.same_node_penalty,
+            self.remote_node_penalty,
+        )
+        if any(p < 0 for p in penalties):
+            raise ConfigurationError("penalties must be >= 0")
+
+    def llc_group(self, core: int) -> int:
+        """Identifier of the LLC group of ``core``."""
+        if self.llc_group_size == 0:
+            return self.topology.node_of(core)
+        return core // self.llc_group_size
+
+    def tier(self, src_core: int | None, dst_core: int) -> LocalityTier:
+        """Classify a migration from ``src_core`` to ``dst_core``.
+
+        ``src_core`` may be ``None`` for a task that has never run; such
+        placements are free (nothing to lose).
+        """
+        if src_core is None or src_core == dst_core:
+            return LocalityTier.SAME_CORE
+        if not self.topology.same_node(src_core, dst_core):
+            return LocalityTier.REMOTE_NODE
+        if self.llc_group(src_core) == self.llc_group(dst_core):
+            return LocalityTier.SHARED_LLC
+        return LocalityTier.SAME_NODE
+
+    def penalty(self, src_core: int | None, dst_core: int) -> int:
+        """Warm-up cost charged when a task resumes on ``dst_core``."""
+        tier = self.tier(src_core, dst_core)
+        if tier is LocalityTier.SAME_CORE:
+            return 0
+        if tier is LocalityTier.SHARED_LLC:
+            return self.shared_llc_penalty
+        if tier is LocalityTier.SAME_NODE:
+            return self.same_node_penalty
+        return self.remote_node_penalty
+
+
+def no_cache_model(topology: NumaTopology) -> CacheModel:
+    """A cost model where every migration is free (pure balancing studies)."""
+    return CacheModel(
+        topology=topology,
+        shared_llc_penalty=0,
+        same_node_penalty=0,
+        remote_node_penalty=0,
+    )

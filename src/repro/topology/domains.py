@@ -1,0 +1,157 @@
+"""Hierarchical scheduling domains.
+
+Section 5 of the paper names hierarchical load balancing — "balancing load
+between groups of cores, and then inside groups, instead of balancing load
+directly between individual cores" — as the main extension target of the
+abstractions. Linux organises this exactly the same way with its
+``sched_domain`` tree: SMT siblings inside a core, cores inside an LLC,
+LLCs inside a NUMA node, nodes inside the machine.
+
+This module builds such a tree from a :class:`~repro.topology.numa.NumaTopology`.
+The hierarchical policy (:mod:`repro.policies.hierarchical`) walks the
+tree bottom-up, applying the same three-step filter/choice/steal round at
+every level, with "core" generalised to "group of cores". The proof
+obligations are per-level and identical in shape — which is precisely why
+the paper expects the extension to be cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+from repro.topology.numa import NumaTopology
+
+
+@dataclass
+class SchedDomain:
+    """One node of the scheduling-domain tree.
+
+    Attributes:
+        name: human-readable label, e.g. ``"node1"`` or ``"machine"``.
+        level: 0 for leaves' parents upwards; leaves are individual cores
+            represented implicitly by ``cores`` tuples of size 1.
+        cores: all core ids covered by this domain, ascending.
+        children: sub-domains partitioning ``cores``.
+    """
+
+    name: str
+    level: int
+    cores: tuple[int, ...]
+    children: list["SchedDomain"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ConfigurationError(f"domain {self.name} covers no cores")
+        if self.children:
+            covered = sorted(
+                cid for child in self.children for cid in child.cores
+            )
+            if covered != sorted(self.cores):
+                raise ConfigurationError(
+                    f"children of domain {self.name} do not partition it"
+                )
+
+    @property
+    def is_leaf_group(self) -> bool:
+        """Whether this domain's children are individual cores (no subtree)."""
+        return not self.children
+
+    def walk(self) -> Iterator["SchedDomain"]:
+        """Yield this domain and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def levels(self) -> dict[int, list["SchedDomain"]]:
+        """Group all domains in the subtree by their level."""
+        by_level: dict[int, list[SchedDomain]] = {}
+        for dom in self.walk():
+            by_level.setdefault(dom.level, []).append(dom)
+        return by_level
+
+    def find_leaf_group(self, core: int) -> "SchedDomain":
+        """Return the deepest domain containing ``core``."""
+        if core not in self.cores:
+            raise ConfigurationError(
+                f"core {core} not in domain {self.name}"
+            )
+        for child in self.children:
+            if core in child.cores:
+                return child.find_leaf_group(core)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchedDomain({self.name}, level={self.level}, cores={self.cores})"
+
+
+def build_domain_tree(topology: NumaTopology,
+                      group_size: int | None = None) -> SchedDomain:
+    """Build a two- or three-level domain tree from a NUMA topology.
+
+    The root covers the machine; its children are NUMA nodes; when
+    ``group_size`` is given and smaller than a node, each node is further
+    split into groups of that many cores (modelling shared LLC slices).
+
+    Args:
+        topology: the machine's NUMA layout.
+        group_size: optional intra-node group size; must divide the node
+            size when provided.
+
+    Returns:
+        The root :class:`SchedDomain`.
+    """
+    node_domains: list[SchedDomain] = []
+    for node in range(topology.n_nodes):
+        cores = topology.cores_of(node)
+        children: list[SchedDomain] = []
+        if group_size is not None and group_size < len(cores):
+            if len(cores) % group_size != 0:
+                raise ConfigurationError(
+                    f"group_size {group_size} does not divide node size"
+                    f" {len(cores)}"
+                )
+            for start in range(0, len(cores), group_size):
+                chunk = cores[start:start + group_size]
+                children.append(
+                    SchedDomain(
+                        name=f"node{node}.group{start // group_size}",
+                        level=0,
+                        cores=chunk,
+                    )
+                )
+        node_domains.append(
+            SchedDomain(
+                name=f"node{node}",
+                level=1 if children else 0,
+                cores=cores,
+                children=children,
+            )
+        )
+    root_level = 1 + max(dom.level for dom in node_domains)
+    return SchedDomain(
+        name="machine",
+        level=root_level,
+        cores=tuple(range(topology.n_cores)),
+        children=node_domains,
+    )
+
+
+def flat_groups(root: SchedDomain) -> list[tuple[int, ...]]:
+    """Return the core groups at the deepest level of the tree.
+
+    These are the units the hierarchical balancer treats as "cores" at
+    its innermost level.
+    """
+    leaves: list[tuple[int, ...]] = []
+
+    def visit(dom: SchedDomain) -> None:
+        if dom.is_leaf_group:
+            leaves.append(dom.cores)
+            return
+        for child in dom.children:
+            visit(child)
+
+    visit(root)
+    return leaves

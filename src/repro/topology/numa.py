@@ -1,0 +1,186 @@
+"""NUMA machine topology.
+
+The paper targets "schedulers that could be used in practice, which
+implies that the scheduler should ... implement the complex scheduling
+heuristics used on modern hardware such as NUMA-aware thread placement"
+(Section 1). This module models the hardware side of that requirement:
+which cores share a NUMA node and what the relative access distances
+between nodes are.
+
+Distances follow the ACPI SLIT convention used by Linux: local access is
+10, and remote access costs are expressed relative to it (20 means "2x
+local latency"). The NUMA-aware *choice* functions in
+:mod:`repro.policies.numa_aware` consume these distances; the proofs never
+look at them — which is the paper's point about keeping heuristics inside
+step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+#: Local-node distance in the ACPI SLIT convention.
+LOCAL_DISTANCE = 10
+#: Conventional distance of a one-hop remote node.
+REMOTE_DISTANCE = 20
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Placement of cores onto NUMA nodes plus inter-node distances.
+
+    Attributes:
+        n_cores: total number of cores.
+        n_nodes: number of NUMA nodes; must divide ``n_cores`` when the
+            default round-robin placement is used.
+        core_to_node: tuple mapping core id -> node id.
+        distances: square matrix (tuple of tuples) of node distances in
+            SLIT units; ``distances[i][j]`` is the cost for node ``i`` to
+            access node ``j``.
+    """
+
+    n_cores: int
+    n_nodes: int
+    core_to_node: tuple[int, ...]
+    distances: tuple[tuple[int, ...], ...]
+    name: str = field(default="numa", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be > 0, got {self.n_cores}")
+        if self.n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be > 0, got {self.n_nodes}")
+        if len(self.core_to_node) != self.n_cores:
+            raise ConfigurationError(
+                f"core_to_node has {len(self.core_to_node)} entries"
+                f" for {self.n_cores} cores"
+            )
+        if any(not 0 <= node < self.n_nodes for node in self.core_to_node):
+            raise ConfigurationError("core_to_node references unknown node")
+        if len(self.distances) != self.n_nodes or any(
+            len(row) != self.n_nodes for row in self.distances
+        ):
+            raise ConfigurationError(
+                f"distances must be a {self.n_nodes}x{self.n_nodes} matrix"
+            )
+        for i in range(self.n_nodes):
+            if self.distances[i][i] != LOCAL_DISTANCE:
+                raise ConfigurationError(
+                    f"distances[{i}][{i}] must be {LOCAL_DISTANCE} (local)"
+                )
+            for j in range(self.n_nodes):
+                if self.distances[i][j] < LOCAL_DISTANCE:
+                    raise ConfigurationError(
+                        "remote distance cannot be below local distance"
+                    )
+
+    def node_of(self, core: int) -> int:
+        """Return the NUMA node of ``core``."""
+        return self.core_to_node[core]
+
+    def cores_of(self, node: int) -> tuple[int, ...]:
+        """Return the core ids on ``node`` in ascending order."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(f"unknown node {node}")
+        return tuple(
+            cid for cid, n in enumerate(self.core_to_node) if n == node
+        )
+
+    def distance(self, core_a: int, core_b: int) -> int:
+        """SLIT distance between the nodes of two cores."""
+        return self.distances[self.node_of(core_a)][self.node_of(core_b)]
+
+    def same_node(self, core_a: int, core_b: int) -> bool:
+        """Whether two cores share a NUMA node."""
+        return self.node_of(core_a) == self.node_of(core_b)
+
+    @property
+    def cores_per_node(self) -> int:
+        """Cores on node 0 (all nodes are equal for generated topologies)."""
+        return len(self.cores_of(0))
+
+
+def uniform_topology(n_cores: int) -> NumaTopology:
+    """A single-node (UMA) machine: every core is local to every other."""
+    return NumaTopology(
+        n_cores=n_cores,
+        n_nodes=1,
+        core_to_node=tuple(0 for _ in range(n_cores)),
+        distances=((LOCAL_DISTANCE,),),
+        name=f"uma-{n_cores}",
+    )
+
+
+def symmetric_numa(n_nodes: int, cores_per_node: int,
+                   remote_distance: int = REMOTE_DISTANCE) -> NumaTopology:
+    """A fully connected NUMA machine with one uniform remote distance.
+
+    Models small SMP boxes (2-8 sockets) where every socket is one hop
+    from every other, e.g. a 4-node Opteron or a 2-socket Xeon.
+
+    Args:
+        n_nodes: number of NUMA nodes (sockets).
+        cores_per_node: cores on each node; cores are numbered node-major
+            (cores ``[0, cores_per_node)`` on node 0, and so on).
+        remote_distance: SLIT distance between distinct nodes.
+    """
+    if remote_distance < LOCAL_DISTANCE:
+        raise ConfigurationError(
+            f"remote_distance must be >= {LOCAL_DISTANCE}, got {remote_distance}"
+        )
+    n_cores = n_nodes * cores_per_node
+    core_to_node = tuple(cid // cores_per_node for cid in range(n_cores))
+    distances = tuple(
+        tuple(
+            LOCAL_DISTANCE if i == j else remote_distance
+            for j in range(n_nodes)
+        )
+        for i in range(n_nodes)
+    )
+    return NumaTopology(
+        n_cores=n_cores,
+        n_nodes=n_nodes,
+        core_to_node=core_to_node,
+        distances=distances,
+        name=f"numa-{n_nodes}x{cores_per_node}",
+    )
+
+
+def mesh_numa(side: int, cores_per_node: int,
+              hop_cost: int = 5) -> NumaTopology:
+    """A 2D-mesh NUMA machine where distance grows with Manhattan hops.
+
+    Models larger directory-based machines (e.g. 8-node AMD platforms)
+    where some node pairs are two hops apart. Node ``(r, c)`` has id
+    ``r * side + c``; the distance between two nodes is
+    ``LOCAL_DISTANCE + hop_cost * manhattan_hops``.
+
+    Args:
+        side: mesh side length; the machine has ``side * side`` nodes.
+        cores_per_node: cores per node, numbered node-major.
+        hop_cost: extra SLIT distance per Manhattan hop.
+    """
+    if side <= 0:
+        raise ConfigurationError(f"side must be > 0, got {side}")
+    n_nodes = side * side
+    n_cores = n_nodes * cores_per_node
+
+    def hops(a: int, b: int) -> int:
+        ra, ca = divmod(a, side)
+        rb, cb = divmod(b, side)
+        return abs(ra - rb) + abs(ca - cb)
+
+    distances = tuple(
+        tuple(LOCAL_DISTANCE + hop_cost * hops(i, j) for j in range(n_nodes))
+        for i in range(n_nodes)
+    )
+    core_to_node = tuple(cid // cores_per_node for cid in range(n_cores))
+    return NumaTopology(
+        n_cores=n_cores,
+        n_nodes=n_nodes,
+        core_to_node=core_to_node,
+        distances=distances,
+        name=f"mesh-{side}x{side}x{cores_per_node}",
+    )

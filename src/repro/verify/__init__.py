@@ -1,0 +1,189 @@
+"""Verification of scheduler performance properties.
+
+This package is the reproduction's stand-in for the paper's Leon
+toolchain: bounded-exhaustive lemma checking (§4.2), explicit-state
+model checking of the concurrent rounds (§4.3), the potential-function
+termination certificate, and trace audits of concrete executions — all
+composed by :func:`prove_work_conserving` into a certificate carrying an
+explicit round bound ``N`` or a counterexample lasso.
+"""
+
+from repro.verify.enumeration import (
+    LoadState,
+    StateScope,
+    canonical,
+    count_states,
+    idle_cores_of,
+    is_bad_state,
+    iter_canonical_states,
+    iter_states,
+    overloaded_cores_of,
+    snapshot_from_load,
+    views_of,
+)
+from repro.verify.lemmas import (
+    check_choice_irrelevance,
+    check_filter_soundness,
+    check_lemma1,
+    check_lemma1_weighted_states,
+    check_steal_soundness,
+    simulate_steal,
+    single_heavy_thread_views,
+)
+from repro.verify.model_checker import (
+    Lasso,
+    ModelChecker,
+    WorkConservationAnalysis,
+)
+from repro.verify.obligations import (
+    ALL_OBLIGATIONS,
+    CHOICE_IRRELEVANCE,
+    FAILURE_ATTRIBUTION,
+    FILTER_SOUNDNESS,
+    GOOD_STATE_CLOSURE,
+    LEMMA1,
+    POTENTIAL_DECREASE,
+    PROGRESS,
+    STEAL_SOUNDNESS,
+    WORK_CONSERVATION,
+    Counterexample,
+    Obligation,
+    ProofReport,
+    ProofResult,
+    ProofStatus,
+)
+from repro.verify.potential import (
+    check_potential_decrease,
+    min_observed_decrease,
+    potential,
+    potential_after_steal,
+    round_bound,
+    steal_bound,
+    worst_round_bound,
+)
+from repro.verify.trace_audit import (
+    audit_failure_attribution,
+    audit_load_conservation,
+    audit_progress,
+    failure_counts,
+)
+from repro.verify.transition import (
+    AbstractAttempt,
+    BranchEnumeration,
+    RoundBranch,
+    enumerate_round_branches,
+    round_intents,
+    successors,
+)
+from repro.verify.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    run_campaign,
+)
+from repro.verify.convergence import (
+    BalanceHorizons,
+    ConvergenceProfile,
+    geometric_rate,
+    potential_series,
+    rounds_to_balance,
+)
+from repro.verify.hierarchical import (
+    HierarchicalAnalysis,
+    analyze_hierarchical,
+)
+from repro.verify.refinement import (
+    REFINEMENT,
+    check_refinement,
+)
+from repro.verify.report import (
+    ZooReport,
+    default_zoo,
+    verify_zoo,
+)
+from repro.verify.reactivity import (
+    REACTIVITY,
+    ReactivityBound,
+    audit_reactivity,
+    derive_reactivity_bound,
+)
+from repro.verify.work_conservation import (
+    WorkConservationCertificate,
+    prove_work_conserving,
+)
+
+__all__ = [
+    "LoadState",
+    "StateScope",
+    "canonical",
+    "count_states",
+    "idle_cores_of",
+    "is_bad_state",
+    "iter_canonical_states",
+    "iter_states",
+    "overloaded_cores_of",
+    "snapshot_from_load",
+    "views_of",
+    "check_choice_irrelevance",
+    "check_filter_soundness",
+    "check_lemma1",
+    "check_lemma1_weighted_states",
+    "check_steal_soundness",
+    "simulate_steal",
+    "single_heavy_thread_views",
+    "Lasso",
+    "ModelChecker",
+    "WorkConservationAnalysis",
+    "ALL_OBLIGATIONS",
+    "CHOICE_IRRELEVANCE",
+    "FAILURE_ATTRIBUTION",
+    "FILTER_SOUNDNESS",
+    "GOOD_STATE_CLOSURE",
+    "LEMMA1",
+    "POTENTIAL_DECREASE",
+    "PROGRESS",
+    "STEAL_SOUNDNESS",
+    "WORK_CONSERVATION",
+    "Counterexample",
+    "Obligation",
+    "ProofReport",
+    "ProofResult",
+    "ProofStatus",
+    "check_potential_decrease",
+    "min_observed_decrease",
+    "potential",
+    "potential_after_steal",
+    "round_bound",
+    "steal_bound",
+    "worst_round_bound",
+    "audit_failure_attribution",
+    "audit_load_conservation",
+    "audit_progress",
+    "failure_counts",
+    "AbstractAttempt",
+    "BranchEnumeration",
+    "RoundBranch",
+    "enumerate_round_branches",
+    "round_intents",
+    "successors",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "BalanceHorizons",
+    "ConvergenceProfile",
+    "geometric_rate",
+    "potential_series",
+    "rounds_to_balance",
+    "HierarchicalAnalysis",
+    "analyze_hierarchical",
+    "REFINEMENT",
+    "check_refinement",
+    "ZooReport",
+    "default_zoo",
+    "verify_zoo",
+    "REACTIVITY",
+    "ReactivityBound",
+    "audit_reactivity",
+    "derive_reactivity_bound",
+    "WorkConservationCertificate",
+    "prove_work_conserving",
+]

@@ -1,0 +1,198 @@
+"""Randomised verification campaigns: confidence beyond exhaustive scopes.
+
+Exhaustive checking is exact but bounded; the campaign extends coverage
+probabilistically, the way the paper's authors would fuzz their Leon
+models: random machines far larger than any exhaustive scope, random
+adversarial interleavings, random choice oracles — every per-round
+obligation re-checked on everything that happens. A campaign never
+*proves*; it hunts for counterexamples where proofs cannot reach, and
+reports the ground it covered so "found nothing" is a quantified
+statement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.sim.interleave import AdversarialInterleaving
+from repro.verify.enumeration import is_bad_state
+from repro.verify.obligations import Counterexample
+from repro.verify.potential import potential
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of a randomised campaign.
+
+    Attributes:
+        n_machines: random initial states to explore.
+        max_cores: machines have 2..max_cores cores.
+        max_load: initial per-core loads are 0..max_load.
+        rounds_per_machine: adversarial rounds run per machine.
+        seed: master seed; the whole campaign is reproducible.
+    """
+
+    n_machines: int = 50
+    max_cores: int = 12
+    max_load: int = 8
+    rounds_per_machine: int = 30
+    seed: int = 0
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign observed.
+
+    Attributes:
+        policy_name: the policy fuzzed.
+        machines: machines explored.
+        rounds: total rounds executed.
+        steals: total successful steals.
+        failures: total optimistic failures.
+        violations: counterexamples found (empty = nothing found at this
+            coverage).
+        max_rounds_to_quiescence: worst observed N across machines.
+    """
+
+    policy_name: str
+    machines: int = 0
+    rounds: int = 0
+    steals: int = 0
+    failures: int = 0
+    violations: list[Counterexample] = field(default_factory=list)
+    max_rounds_to_quiescence: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether no obligation was violated anywhere."""
+        return not self.violations
+
+    def describe(self) -> str:
+        verdict = (
+            "no violation found" if self.clean
+            else f"{len(self.violations)} VIOLATION(S)"
+        )
+        return (
+            f"campaign[{self.policy_name}]: {verdict} over"
+            f" {self.machines} machines / {self.rounds} rounds /"
+            f" {self.steals} steals; worst N observed ="
+            f" {self.max_rounds_to_quiescence}"
+        )
+
+
+def _check_round(report: CampaignReport, loads_before: tuple[int, ...],
+                 record) -> None:
+    """Re-check every per-round obligation on one concrete round."""
+    loads_after = record.loads_after
+
+    # Thread conservation.
+    if sum(loads_before) != sum(loads_after):
+        report.violations.append(Counterexample(
+            state=loads_before,
+            detail=f"round {record.index} created/destroyed tasks",
+        ))
+
+    # Failure attribution.
+    for attempt in record.attempts:
+        if attempt.failed and not attempt.invalidated_by:
+            report.violations.append(Counterexample(
+                state=loads_before,
+                detail=(
+                    f"round {record.index}: unattributed failure"
+                    f" {attempt.thief}<-{attempt.victim}"
+                    f" ({attempt.outcome.value})"
+                ),
+            ))
+
+    # Progress: intents imply at least one success.
+    intents = [a for a in record.attempts if a.victim is not None]
+    if intents and not any(a.succeeded for a in intents):
+        report.violations.append(Counterexample(
+            state=loads_before,
+            detail=f"round {record.index}: intents but no steal committed",
+        ))
+
+    # Potential decrease across the round (when anything moved).
+    if any(a.succeeded for a in record.attempts):
+        if potential(loads_after) >= potential(loads_before):
+            report.violations.append(Counterexample(
+                state=loads_before,
+                detail=(
+                    f"round {record.index}: steals did not decrease d"
+                    f" ({potential(loads_before)} ->"
+                    f" {potential(loads_after)})"
+                ),
+            ))
+
+    # Steal soundness: no successful steal drains its victim to idle.
+    for attempt in record.attempts:
+        if attempt.succeeded and loads_after[attempt.victim] == 0:
+            report.violations.append(Counterexample(
+                state=loads_before,
+                detail=(
+                    f"round {record.index}: steal {attempt.thief}<-"
+                    f"{attempt.victim} left the victim idle"
+                ),
+            ))
+
+
+def run_campaign(policy_factory, config: CampaignConfig | None = None,
+                 ) -> CampaignReport:
+    """Fuzz a policy with random machines and adversarial interleavings.
+
+    Args:
+        policy_factory: zero-argument callable producing a fresh policy
+            (policies may hold RNG state, so each machine gets its own).
+        config: campaign parameters.
+
+    Returns:
+        The :class:`CampaignReport`; check ``report.clean``.
+    """
+    config = config or CampaignConfig()
+    rng = random.Random(config.seed)
+    sample_policy: Policy = policy_factory()
+    report = CampaignReport(policy_name=sample_policy.name)
+
+    for _ in range(config.n_machines):
+        n_cores = rng.randint(2, config.max_cores)
+        loads = [rng.randint(0, config.max_load) for _ in range(n_cores)]
+        machine = Machine.from_loads(loads)
+        balancer = LoadBalancer(machine, policy_factory(),
+                                check_invariants=True)
+        report.machines += 1
+
+        quiesced_at: int | None = None
+        for round_no in range(config.rounds_per_machine):
+            order = list(range(n_cores))
+            rng.shuffle(order)
+            loads_before = tuple(machine.loads())
+            record = balancer.run_round(
+                interleaving=AdversarialInterleaving(order)
+            )
+            report.rounds += 1
+            _check_round(report, loads_before, record)
+            if quiesced_at is None and not is_bad_state(
+                tuple(machine.loads())
+            ):
+                quiesced_at = round_no + 1
+
+        report.steals += balancer.total_successes
+        report.failures += balancer.total_failures
+        if quiesced_at is None:
+            report.violations.append(Counterexample(
+                state=tuple(loads),
+                detail=(
+                    f"machine never left the wasted-core condition in"
+                    f" {config.rounds_per_machine} adversarial rounds"
+                ),
+            ))
+        else:
+            report.max_rounds_to_quiescence = max(
+                report.max_rounds_to_quiescence, quiesced_at
+            )
+
+    return report

@@ -1,0 +1,154 @@
+"""Convergence-speed analysis of load balancing.
+
+The related-work section points at Xu & Lau's *Load balancing in parallel
+computers: theory and practice* and says: "We plan to build upon this
+work to prove latency limits on the work-conserving property of our
+scheduler." This module supplies that analysis layer for the simulated
+balancers:
+
+* :func:`potential_series` — the trajectory of the paper's potential
+  ``d`` across rounds, the natural Lyapunov view of balancing;
+* :func:`geometric_rate` — the per-round contraction factor fitted to a
+  trajectory (diffusive balancers contract geometrically; Xu & Lau's
+  dimension-exchange analyses predict rates by topology);
+* :func:`rounds_to_balance` — measured rounds until (a) the wasted-core
+  condition clears and (b) the machine is maximally balanced (all
+  pairwise gaps < margin), the two horizons the paper distinguishes
+  (temporary idleness vs. indefinite waste).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.sim.interleave import Interleaving
+from repro.verify.potential import potential
+
+
+@dataclass(frozen=True)
+class ConvergenceProfile:
+    """One balancing run, viewed through the potential function.
+
+    Attributes:
+        d_series: ``d`` after round 0 (initial), 1, 2, ... .
+        rounds_to_work_conserving: first round index with nobody idle
+            while somebody is overloaded (None if never reached).
+        rounds_to_quiescent: first round after which no steal intent
+            exists anywhere (the balancing fixpoint; None if not reached).
+        total_steals: successful steals over the run.
+        total_failures: optimistic failures over the run.
+    """
+
+    d_series: tuple[int, ...]
+    rounds_to_work_conserving: int | None
+    rounds_to_quiescent: int | None
+    total_steals: int
+    total_failures: int
+
+    @property
+    def monotone(self) -> bool:
+        """Whether ``d`` never increased across the run."""
+        return all(
+            later <= earlier
+            for earlier, later in zip(self.d_series, self.d_series[1:])
+        )
+
+
+def potential_series(policy: Policy, loads: Sequence[int],
+                     max_rounds: int = 200,
+                     interleaving: Interleaving | None = None,
+                     ) -> ConvergenceProfile:
+    """Run the balancer and record the potential trajectory.
+
+    Args:
+        policy: the policy to profile.
+        loads: initial per-core thread counts.
+        max_rounds: cutoff; quiescence usually arrives far earlier.
+        interleaving: optional interleaving override.
+
+    Returns:
+        The :class:`ConvergenceProfile`.
+    """
+    machine = Machine.from_loads(list(loads))
+    balancer = LoadBalancer(machine, policy, interleaving=interleaving,
+                            check_invariants=False)
+    series = [potential(machine.loads())]
+    wc_round: int | None = (
+        0 if machine.is_work_conserving_state() else None
+    )
+    quiet_round: int | None = None
+    for round_no in range(1, max_rounds + 1):
+        record = balancer.run_round()
+        series.append(potential(machine.loads()))
+        if wc_round is None and machine.is_work_conserving_state():
+            wc_round = round_no
+        if record.quiet:
+            quiet_round = round_no
+            break
+    return ConvergenceProfile(
+        d_series=tuple(series),
+        rounds_to_work_conserving=wc_round,
+        rounds_to_quiescent=quiet_round,
+        total_steals=balancer.total_successes,
+        total_failures=balancer.total_failures,
+    )
+
+
+def geometric_rate(d_series: Sequence[int]) -> float | None:
+    """Fit a per-round contraction factor ``r`` with ``d_k ~ d_0 * r^k``.
+
+    Least-squares in log space over the strictly positive prefix of the
+    series. Returns ``None`` when fewer than two positive points exist
+    (nothing to fit — e.g. an already balanced machine).
+    """
+    points = [(k, d) for k, d in enumerate(d_series) if d > 0]
+    if len(points) < 2:
+        return None
+    xs = [k for k, _ in points]
+    ys = [math.log(d) for _, d in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        return None
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / denom
+    return math.exp(slope)
+
+
+@dataclass(frozen=True)
+class BalanceHorizons:
+    """The two convergence horizons of one run.
+
+    Attributes:
+        work_conserving: rounds to the no-wasted-core condition.
+        fully_balanced: rounds to the balancing fixpoint (no intents).
+    """
+
+    work_conserving: int | None
+    fully_balanced: int | None
+
+
+def rounds_to_balance(policy: Policy, loads: Sequence[int],
+                      max_rounds: int = 500,
+                      interleaving: Interleaving | None = None,
+                      ) -> BalanceHorizons:
+    """Measure both convergence horizons for one initial state.
+
+    The paper's property concerns the first horizon — "temporary idleness
+    must not be treated as a violation", only *indefinite* waste is; the
+    second horizon shows how much longer full balance takes.
+    """
+    profile = potential_series(policy, loads, max_rounds=max_rounds,
+                               interleaving=interleaving)
+    return BalanceHorizons(
+        work_conserving=profile.rounds_to_work_conserving,
+        fully_balanced=profile.rounds_to_quiescent,
+    )

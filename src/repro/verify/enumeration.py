@@ -1,0 +1,185 @@
+"""Bounded-exhaustive enumeration of abstract scheduler states.
+
+The verification layer reasons about *abstract states*: per-core thread
+counts, e.g. ``(0, 1, 2)`` for the paper's three-core counterexample.
+This module enumerates every abstract state within a :class:`StateScope`
+and converts abstract states to the snapshot views that real policy code
+consumes — so the properties are checked against the very same
+``can_steal``/``choose``/``steal_amount`` implementations that run in the
+simulator, not against a re-transcription of them.
+
+Abstraction convention
+----------------------
+
+A core with load ``k > 0`` is modelled as one running task plus ``k - 1``
+ready tasks, all nice-0 (the dispatch-eager convention the concrete
+:meth:`repro.core.machine.Machine.from_loads` also uses). Policies whose
+filter depends only on thread counts and weighted totals — every policy in
+this library, and everything the DSL can express — cannot distinguish an
+abstract state from its concrete counterpart, which is what makes checking
+at the abstract level sound for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.cpu import CoreSnapshot
+from repro.core.errors import VerificationError
+from repro.core.task import NICE_0_WEIGHT
+
+#: An abstract machine state: per-core thread counts.
+LoadState = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StateScope:
+    """A finite universe of abstract states.
+
+    Attributes:
+        n_cores: number of cores.
+        max_load: maximum threads per core, inclusive.
+        max_total: optional cap on total threads across cores (prunes the
+            product space; ``None`` means no cap).
+        min_total: optional minimum total threads (e.g. 1 to skip the
+            empty machine).
+    """
+
+    n_cores: int
+    max_load: int
+    max_total: int | None = None
+    min_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise VerificationError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.max_load < 0:
+            raise VerificationError(f"max_load must be >= 0, got {self.max_load}")
+        if self.max_total is not None and self.max_total < self.min_total:
+            raise VerificationError(
+                f"max_total {self.max_total} < min_total {self.min_total}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable scope description for proof reports."""
+        cap = f", total<= {self.max_total}" if self.max_total is not None else ""
+        return f"{self.n_cores} cores, load 0..{self.max_load}{cap}"
+
+    def admits(self, state: Sequence[int]) -> bool:
+        """Whether ``state`` lies inside this scope."""
+        if len(state) != self.n_cores:
+            return False
+        if any(not 0 <= load <= self.max_load for load in state):
+            return False
+        total = sum(state)
+        if total < self.min_total:
+            return False
+        return self.max_total is None or total <= self.max_total
+
+
+def iter_states(scope: StateScope) -> Iterator[LoadState]:
+    """Yield every abstract state in ``scope``, lexicographically.
+
+    The count is ``(max_load + 1) ** n_cores`` before total-capping; keep
+    scopes small enough that exhaustive sweeps stay interactive (the
+    default verification scopes are thousands to a few hundred thousand
+    states).
+    """
+    for state in itertools.product(
+        range(scope.max_load + 1), repeat=scope.n_cores
+    ):
+        total = sum(state)
+        if total < scope.min_total:
+            continue
+        if scope.max_total is not None and total > scope.max_total:
+            continue
+        yield state
+
+
+def count_states(scope: StateScope) -> int:
+    """Number of states :func:`iter_states` will yield for ``scope``."""
+    return sum(1 for _ in iter_states(scope))
+
+
+def canonical(state: Sequence[int]) -> LoadState:
+    """Canonical representative of a state under core renaming.
+
+    Load vectors that are permutations of each other are equivalent for
+    symmetric (topology-free, load-only) policies; canonicalising to the
+    sorted descending form shrinks model-checking state spaces by up to
+    ``n_cores!``.
+    """
+    return tuple(sorted(state, reverse=True))
+
+
+def iter_canonical_states(scope: StateScope) -> Iterator[LoadState]:
+    """Yield one representative per core-renaming equivalence class."""
+    for state in itertools.combinations_with_replacement(
+        range(scope.max_load, -1, -1), scope.n_cores
+    ):
+        total = sum(state)
+        if total < scope.min_total:
+            continue
+        if scope.max_total is not None and total > scope.max_total:
+            continue
+        yield state
+
+
+def snapshot_from_load(cid: int, load: int, node: int = 0,
+                       version: int = 0) -> CoreSnapshot:
+    """Materialise the abstract convention as a :class:`CoreSnapshot`.
+
+    A core with load ``k > 0`` shows one running task and ``k - 1`` ready
+    nice-0 tasks; a core with load 0 is idle.
+    """
+    if load < 0:
+        raise VerificationError(f"load must be >= 0, got {load}")
+    return CoreSnapshot(
+        cid=cid,
+        nr_ready=max(0, load - 1),
+        has_current=load > 0,
+        weighted_load=load * NICE_0_WEIGHT,
+        node=node,
+        version=version,
+    )
+
+
+def views_of(state: Sequence[int],
+             nodes: Sequence[int] | None = None) -> list[CoreSnapshot]:
+    """Snapshot views of every core of an abstract state.
+
+    Args:
+        state: per-core loads.
+        nodes: optional per-core NUMA node ids (defaults to all 0).
+    """
+    if nodes is None:
+        return [snapshot_from_load(cid, load) for cid, load in enumerate(state)]
+    if len(nodes) != len(state):
+        raise VerificationError(
+            f"nodes has {len(nodes)} entries for {len(state)} cores"
+        )
+    return [
+        snapshot_from_load(cid, load, node=nodes[cid])
+        for cid, load in enumerate(state)
+    ]
+
+
+def idle_cores_of(state: Sequence[int]) -> list[int]:
+    """Indices of idle cores (load 0) in an abstract state."""
+    return [cid for cid, load in enumerate(state) if load == 0]
+
+
+def overloaded_cores_of(state: Sequence[int]) -> list[int]:
+    """Indices of overloaded cores (load >= 2) in an abstract state."""
+    return [cid for cid, load in enumerate(state) if load >= 2]
+
+
+def is_bad_state(state: Sequence[int]) -> bool:
+    """Whether the state wastes a core: somebody idle, somebody overloaded.
+
+    This is the negation of the paper's per-state work-conservation
+    condition ``idle(c'_i) => !overloaded(c'_j)``.
+    """
+    return bool(idle_cores_of(state)) and bool(overloaded_cores_of(state))

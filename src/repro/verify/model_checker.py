@@ -1,0 +1,409 @@
+"""Explicit-state model checking of work conservation.
+
+The paper's definition (Section 3.2) asks for an ``N`` such that after
+``N`` load-balancing rounds no core is idle while another is overloaded —
+for *every* initial state, under *every* resolution of the concurrency.
+Over abstract states this is a liveness property of a finite
+nondeterministic transition system, and therefore decidable:
+
+* a **violation** is an infinite execution that remains inside *bad*
+  states (idle-while-overloaded) forever; in a finite graph that is
+  exactly a reachable cycle lying wholly inside the bad region — a
+  *lasso*. The §4.3 ping-pong is such a lasso:
+  ``(0,1,2) -> (0,2,1) -> (0,1,2)``;
+* if the bad region contains no cycle, every execution escapes it within
+  a bounded number of rounds, and the worst case over the (acyclic) bad
+  region is the exact ``N`` of the definition.
+
+The checker explores the *closure* of the scope: steals conserve total
+thread count, so every reachable state lives in the finite simplex of
+vectors with the same total, even when a single core's load exceeds the
+scope's per-core bound (over-stealing policies do that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import Policy
+from repro.verify.enumeration import (
+    LoadState,
+    StateScope,
+    is_bad_state,
+    iter_canonical_states,
+    iter_states,
+)
+from repro.verify.obligations import (
+    GOOD_STATE_CLOSURE,
+    PROGRESS,
+    WORK_CONSERVATION,
+    Counterexample,
+    ProofResult,
+    ProofStatus,
+    timed_check,
+)
+from repro.verify.transition import (
+    DEFAULT_MAX_ORDERS,
+    enumerate_round_branches,
+)
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A witness of non-work-conservation: a reachable bad cycle.
+
+    Attributes:
+        prefix: bad states leading from an initial state to the cycle.
+        cycle: the repeating bad states (first element repeats after the
+            last).
+    """
+
+    prefix: tuple[LoadState, ...]
+    cycle: tuple[LoadState, ...]
+
+    def describe(self) -> str:
+        """Render the lasso the way the paper narrates the ping-pong."""
+        path = " -> ".join(str(s) for s in self.prefix + self.cycle)
+        loop = " -> ".join(str(s) for s in self.cycle + (self.cycle[0],))
+        return f"reachable via {path}; repeats {loop} forever"
+
+
+@dataclass
+class WorkConservationAnalysis:
+    """Result of model-checking work conservation at a scope.
+
+    Attributes:
+        policy_name: the policy analysed.
+        scope: human-readable scope description.
+        sequential: whether the §4.2 regime was analysed instead of §4.3.
+        violated: True when a lasso was found.
+        lasso: the witness, when violated.
+        worst_case_rounds: exact worst-case ``N`` over all scope states
+            (None when violated — no finite N exists).
+        states_explored: number of distinct abstract states visited.
+        bad_states: number of bad states among them.
+        truncated: True when permutation caps were hit; "no violation"
+            then only covers the explored subset.
+    """
+
+    policy_name: str
+    scope: str
+    sequential: bool
+    violated: bool
+    lasso: Lasso | None
+    worst_case_rounds: int | None
+    states_explored: int
+    bad_states: int
+    truncated: bool
+    elapsed_s: float = 0.0
+
+    def to_proof_result(self) -> ProofResult:
+        """Summarise as a :class:`ProofResult` for report composition."""
+        if self.violated:
+            assert self.lasso is not None
+            counterexample = Counterexample(
+                state=self.lasso.cycle[0],
+                detail="work-conservation lasso: " + self.lasso.describe(),
+                data={
+                    "prefix": self.lasso.prefix,
+                    "cycle": self.lasso.cycle,
+                },
+            )
+            status = ProofStatus.REFUTED
+        else:
+            counterexample = None
+            status = ProofStatus.PROVED_AT_SCOPE
+        return ProofResult(
+            obligation=WORK_CONSERVATION,
+            policy_name=self.policy_name,
+            status=status,
+            scope=self.scope,
+            states_checked=self.states_explored,
+            counterexample=counterexample,
+            elapsed_s=self.elapsed_s,
+        )
+
+
+class ModelChecker:
+    """Explores the round transition system of one policy.
+
+    Attributes:
+        policy: the policy under analysis.
+        choice_mode: ``'all'`` quantifies over every candidate choice
+            (default — matches the ∀ in the definition); ``'policy'``
+            fixes the policy's own deterministic choice.
+        max_orders: cap on steal-order permutations per round.
+        symmetric: exploit core-renaming symmetry by canonicalising
+            states (sound for topology-free, load-only policies; cuts the
+            state space by up to n! — disable for NUMA-aware choices
+            combined with ``choice_mode='policy'``).
+    """
+
+    def __init__(self, policy: Policy, choice_mode: str = "all",
+                 max_orders: int = DEFAULT_MAX_ORDERS,
+                 symmetric: bool = False) -> None:
+        self.policy = policy
+        self.choice_mode = choice_mode
+        self.max_orders = max_orders
+        self.symmetric = symmetric
+        self._successor_cache: dict[
+            tuple[LoadState, bool], tuple[frozenset[LoadState], bool]
+        ] = {}
+
+    def _canon(self, state: LoadState) -> LoadState:
+        if not self.symmetric:
+            return state
+        return tuple(sorted(state, reverse=True))
+
+    def successors(self, state: LoadState,
+                   sequential: bool = False) -> tuple[frozenset[LoadState], bool]:
+        """Distinct (canonicalised) successor states and truncation flag."""
+        key = (state, sequential)
+        cached = self._successor_cache.get(key)
+        if cached is not None:
+            return cached
+        enumeration = enumerate_round_branches(
+            self.policy, state,
+            choice_mode=self.choice_mode,
+            sequential=sequential,
+            max_orders=self.max_orders,
+        )
+        result = (
+            frozenset(self._canon(s) for s in enumeration.successor_states()),
+            enumeration.truncated,
+        )
+        self._successor_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # work conservation
+    # ------------------------------------------------------------------
+
+    def analyze(self, scope: StateScope,
+                sequential: bool = False) -> WorkConservationAnalysis:
+        """Model-check work conservation over every state in ``scope``.
+
+        Explores the reachable closure of the scope, finds bad-region
+        lassos, and — absent a lasso — computes the exact worst-case
+        number of rounds to escape the bad region.
+        """
+        with timed_check() as timer:
+            initial = iter_canonical_states(scope) if self.symmetric \
+                else iter_states(scope)
+            frontier = [self._canon(s) for s in initial]
+            seen: set[LoadState] = set(frontier)
+            edges: dict[LoadState, frozenset[LoadState]] = {}
+            truncated = False
+            stack = list(frontier)
+            while stack:
+                state = stack.pop()
+                succ, trunc = self.successors(state, sequential=sequential)
+                truncated = truncated or trunc
+                edges[state] = succ
+                for nxt in succ:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+
+            bad = {s for s in seen if is_bad_state(s)}
+            lasso = _find_bad_lasso(edges, bad)
+            worst = None
+            if lasso is None:
+                worst = _longest_bad_escape(edges, bad)
+
+        return WorkConservationAnalysis(
+            policy_name=self.policy.name,
+            scope=scope.describe(),
+            sequential=sequential,
+            violated=lasso is not None,
+            lasso=lasso,
+            worst_case_rounds=worst,
+            states_explored=len(seen),
+            bad_states=len(bad),
+            truncated=truncated,
+            elapsed_s=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # auxiliary obligations
+    # ------------------------------------------------------------------
+
+    def check_good_state_closure(self, scope: StateScope) -> ProofResult:
+        """Good states must only step to good states (§3.2 persistence)."""
+        checked = 0
+        counterexample: Counterexample | None = None
+        with timed_check() as timer:
+            for state in (iter_canonical_states(scope) if self.symmetric
+                          else iter_states(scope)):
+                state = self._canon(state)
+                if is_bad_state(state):
+                    continue
+                checked += 1
+                succ, _ = self.successors(state)
+                bad_next = [s for s in succ if is_bad_state(s)]
+                if bad_next:
+                    counterexample = Counterexample(
+                        state=state,
+                        detail=(
+                            f"good state reaches bad state {bad_next[0]}"
+                            " in one round"
+                        ),
+                        data={"successor": bad_next[0]},
+                    )
+                    break
+        status = (
+            ProofStatus.REFUTED if counterexample is not None
+            else ProofStatus.PROVED_AT_SCOPE
+        )
+        return ProofResult(
+            obligation=GOOD_STATE_CLOSURE,
+            policy_name=self.policy.name,
+            status=status,
+            scope=scope.describe(),
+            states_checked=checked,
+            counterexample=counterexample,
+            elapsed_s=timer.elapsed,
+        )
+
+    def check_progress(self, scope: StateScope) -> ProofResult:
+        """Every branch out of a bad state commits at least one steal.
+
+        This is the "first executed steal always succeeds" argument: in
+        a bad state Lemma1 gives the idle core a candidate, so the round
+        has intents, and the first steal to execute re-checks against
+        unmutated state and must succeed.
+        """
+        checked = 0
+        counterexample: Counterexample | None = None
+        with timed_check() as timer:
+            for state in (iter_canonical_states(scope) if self.symmetric
+                          else iter_states(scope)):
+                state = self._canon(state)
+                if not is_bad_state(state):
+                    continue
+                enumeration = enumerate_round_branches(
+                    self.policy, state,
+                    choice_mode=self.choice_mode,
+                    max_orders=self.max_orders,
+                )
+                for branch in enumeration.branches:
+                    checked += 1
+                    if branch.attempts and branch.successes == 0:
+                        counterexample = Counterexample(
+                            state=state,
+                            detail=(
+                                "a round with steal intents committed no"
+                                f" steal (order {branch.order})"
+                            ),
+                            data={"order": branch.order},
+                        )
+                        break
+                    if not branch.attempts:
+                        counterexample = Counterexample(
+                            state=state,
+                            detail=(
+                                "bad state produced no steal intent at all"
+                                " (idle core starves with nothing to try)"
+                            ),
+                            data={},
+                        )
+                        break
+                if counterexample is not None:
+                    break
+        status = (
+            ProofStatus.REFUTED if counterexample is not None
+            else ProofStatus.PROVED_AT_SCOPE
+        )
+        return ProofResult(
+            obligation=PROGRESS,
+            policy_name=self.policy.name,
+            status=status,
+            scope=scope.describe(),
+            states_checked=checked,
+            counterexample=counterexample,
+            elapsed_s=timer.elapsed,
+        )
+
+
+# ---------------------------------------------------------------------------
+# graph algorithms
+# ---------------------------------------------------------------------------
+
+
+def _find_bad_lasso(edges: dict[LoadState, frozenset[LoadState]],
+                    bad: set[LoadState]) -> Lasso | None:
+    """Find a cycle lying wholly inside ``bad``, with an access path.
+
+    Iterative DFS with colouring over the bad-only subgraph. Every bad
+    state is a legal initial state (the definition quantifies over all
+    initial states), so any bad cycle is a violation witness.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[LoadState, int] = {s: WHITE for s in bad}
+
+    for root in sorted(bad):
+        if colour[root] != WHITE:
+            continue
+        path: list[LoadState] = []
+        stack: list[tuple[LoadState, iter]] = [
+            (root, iter(sorted(edges.get(root, frozenset()))))
+        ]
+        colour[root] = GREY
+        path.append(root)
+        while stack:
+            state, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in bad:
+                    continue
+                if colour[child] == GREY:
+                    # Found a bad cycle: path[...index(child)...] -> child
+                    start = path.index(child)
+                    return Lasso(
+                        prefix=tuple(path[:start]),
+                        cycle=tuple(path[start:]),
+                    )
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    path.append(child)
+                    stack.append(
+                        (child, iter(sorted(edges.get(child, frozenset()))))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                colour[state] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def _longest_bad_escape(edges: dict[LoadState, frozenset[LoadState]],
+                        bad: set[LoadState]) -> int:
+    """Worst-case rounds to leave the (acyclic) bad region.
+
+    ``escape(s)`` = 0 for good states; for bad states it is
+    ``1 + max(escape(successor))`` — the adversary picks the successor.
+    The maximum over all bad states is the paper's ``N``. Assumes the bad
+    subgraph is acyclic (call only after lasso detection found nothing).
+    """
+    memo: dict[LoadState, int] = {}
+
+    def escape(state: LoadState) -> int:
+        if state not in bad:
+            return 0
+        if state in memo:
+            return memo[state]
+        memo[state] = 1 + max(
+            (escape(succ) for succ in edges.get(state, frozenset())),
+            default=0,
+        )
+        return memo[state]
+
+    worst = 0
+    # Iterative-friendly: process in reverse topological-ish order by
+    # repeatedly calling escape; recursion depth is bounded by the longest
+    # bad chain, which is small at verification scopes.
+    for state in sorted(bad):
+        worst = max(worst, escape(state))
+    return worst

@@ -1,0 +1,297 @@
+"""Proof obligations, results and reports.
+
+The paper's method is to decompose a scheduler "into multiple operations
+that can be verified in isolation, thus simplifying the proving effort".
+This module is the bookkeeping for that decomposition: each isolated
+property is an :class:`Obligation`; checking it against a policy at a
+scope yields a :class:`ProofResult` that is either *proved at scope* or
+*refuted* with a concrete :class:`Counterexample`; a set of results forms
+a :class:`ProofReport`.
+
+"Proved at scope" is this reproduction's honest substitute for Leon's
+unbounded proofs: the obligation was checked exhaustively over every
+state within an explicit finite scope (see
+:mod:`repro.verify.enumeration`). All the paper's obligations are
+∀-statements over integer load vectors whose behaviour classes are small,
+so small-scope exhaustion plus the potential-function certificate (which
+*is* unbounded — see :mod:`repro.verify.potential`) covers the paper's
+proof structure end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class ProofStatus(Enum):
+    """Outcome of checking one obligation."""
+
+    PROVED_AT_SCOPE = "proved_at_scope"  #: held for every state in scope
+    REFUTED = "refuted"                  #: a counterexample was found
+    INAPPLICABLE = "inapplicable"        #: obligation does not apply to this policy
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One isolated property of a policy.
+
+    Attributes:
+        key: stable machine-readable identifier (e.g. ``"lemma1"``).
+        title: short human-readable name.
+        paper_ref: where the obligation comes from in the paper.
+        statement: the property in words, ∀-quantified over the scope.
+    """
+
+    key: str
+    title: str
+    paper_ref: str
+    statement: str
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete state (plus context) falsifying an obligation.
+
+    Attributes:
+        state: the load vector (or richer state) where the property fails.
+        detail: human-readable explanation of what went wrong.
+        data: machine-readable extras (thief/victim ids, trace, ...).
+    """
+
+    state: tuple[Any, ...]
+    detail: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"state={self.state}: {self.detail}"
+
+
+@dataclass
+class ProofResult:
+    """The result of checking one obligation for one policy.
+
+    Attributes:
+        obligation: the property that was checked.
+        policy_name: the policy it was checked against.
+        status: proved at scope / refuted / inapplicable.
+        scope: human-readable description of the scope swept.
+        states_checked: number of (state, case) pairs examined.
+        counterexample: present iff ``status`` is ``REFUTED``.
+        elapsed_s: wall-clock seconds spent checking.
+    """
+
+    obligation: Obligation
+    policy_name: str
+    status: ProofStatus
+    scope: str
+    states_checked: int = 0
+    counterexample: Counterexample | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the obligation holds (at scope) for the policy."""
+        return self.status is not ProofStatus.REFUTED
+
+    def __str__(self) -> str:
+        mark = {
+            ProofStatus.PROVED_AT_SCOPE: "PROVED",
+            ProofStatus.REFUTED: "REFUTED",
+            ProofStatus.INAPPLICABLE: "N/A",
+        }[self.status]
+        base = (
+            f"[{mark}] {self.obligation.key} for {self.policy_name}"
+            f" ({self.states_checked} states, scope: {self.scope})"
+        )
+        if self.counterexample is not None:
+            base += f"\n        counterexample: {self.counterexample}"
+        return base
+
+
+@dataclass
+class ProofReport:
+    """All obligation results for one policy (or one campaign).
+
+    Attributes:
+        policy_name: the policy under verification.
+        results: individual obligation results, in check order.
+    """
+
+    policy_name: str
+    results: list[ProofResult] = field(default_factory=list)
+
+    def add(self, result: ProofResult) -> None:
+        """Append a result to the report."""
+        self.results.append(result)
+
+    @property
+    def all_proved(self) -> bool:
+        """Whether every applicable obligation was proved at scope."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def refuted(self) -> list[ProofResult]:
+        """The obligations that were refuted."""
+        return [r for r in self.results if not r.ok]
+
+    def result_for(self, key: str) -> ProofResult:
+        """Return the result for obligation ``key``.
+
+        Raises:
+            KeyError: when the report holds no such obligation.
+        """
+        for result in self.results:
+            if result.obligation.key == key:
+                return result
+        raise KeyError(f"no result for obligation {key!r}")
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        verdict = "ALL PROVED (at scope)" if self.all_proved else "REFUTED"
+        lines = [
+            f"Proof report for {self.policy_name}: {verdict}",
+            "-" * 64,
+        ]
+        lines.extend(str(result) for result in self.results)
+        return "\n".join(lines)
+
+
+class timed_check:
+    """Context manager measuring the wall-clock time of a check.
+
+    Usage::
+
+        with timed_check() as timer:
+            ...sweep states...
+        result.elapsed_s = timer.elapsed
+    """
+
+    def __enter__(self) -> "timed_check":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+# ---------------------------------------------------------------------------
+# The obligation catalogue (the paper's proof decomposition)
+# ---------------------------------------------------------------------------
+
+LEMMA1 = Obligation(
+    key="lemma1",
+    title="Idle cores want to steal from overloaded cores (Listing 2)",
+    paper_ref="Section 4.2, Listing 2",
+    statement=(
+        "For every idle thief: if any core is overloaded then the filter"
+        " keeps at least one core; and every core the filter keeps is"
+        " overloaded."
+    ),
+)
+
+FILTER_SOUNDNESS = Obligation(
+    key="filter_soundness",
+    title="Filtered victims always have a stealable task",
+    paper_ref="Section 4.2 (soundness of filter)",
+    statement=(
+        "For every thief (idle or not): any core the filter keeps has at"
+        " least one ready task — the running task can never be stolen, so"
+        " selecting a victim without ready tasks guarantees a wasted"
+        " stealing phase."
+    ),
+)
+
+STEAL_SOUNDNESS = Obligation(
+    key="steal_soundness",
+    title="Stealing cannot idle the victim nor overshoot the thief",
+    paper_ref="Section 4.2 (soundness of stealCore)",
+    statement=(
+        "For every pair passing the filter, executing the steal leaves the"
+        " victim non-idle, moves at least one task, and strictly shrinks"
+        " the pairwise absolute load difference without making the thief"
+        " exceed the victim."
+    ),
+)
+
+POTENTIAL_DECREASE = Obligation(
+    key="potential_decrease",
+    title="The load-difference potential strictly decreases per steal",
+    paper_ref="Section 4.3 (second proof)",
+    statement=(
+        "d(c1..cn) = sum over i,j of |load_i - load_j| strictly decreases"
+        " on every successful steal, for every state in scope and every"
+        " filtered pair; hence the number of successful steals from any"
+        " state is at most d/2."
+    ),
+)
+
+CHOICE_IRRELEVANCE = Obligation(
+    key="choice_irrelevance",
+    title="Any candidate choice preserves the steal obligations",
+    paper_ref="Section 3.1 ('the exact choice of the core does not matter')",
+    statement=(
+        "For every state, every thief and every candidate kept by the"
+        " filter (not only the policy's preferred one), the steal"
+        " obligations hold — so step 2 may implement any heuristic."
+    ),
+)
+
+FAILURE_ATTRIBUTION = Obligation(
+    key="failure_attribution",
+    title="Every failed steal is caused by a concurrent successful steal",
+    paper_ref="Section 4.3 (first proof)",
+    statement=(
+        "In every concurrent round, every attempt that selected a victim"
+        " but failed was invalidated by an earlier successful steal (or an"
+        " in-flight lock holder) touching its thief or victim runqueue."
+    ),
+)
+
+WORK_CONSERVATION = Obligation(
+    key="work_conservation",
+    title="After finitely many rounds, no core idles while another overloads",
+    paper_ref="Section 3.2 (definition), Section 4.3 (proof sketch)",
+    statement=(
+        "For every initial state in scope and every adversarial"
+        " interleaving and choice, there is a bounded N after which no"
+        " core is idle while any core is overloaded."
+    ),
+)
+
+PROGRESS = Obligation(
+    key="progress",
+    title="Every round with steal intents commits at least one steal",
+    paper_ref="Section 4.3 (combining the two proofs)",
+    statement=(
+        "In the serialized-concurrent regime, if any core produced a steal"
+        " intent then the first executed attempt succeeds, so non-quiet"
+        " rounds always make progress and failures cannot repeat forever."
+    ),
+)
+
+GOOD_STATE_CLOSURE = Obligation(
+    key="good_state_closure",
+    title="Work-conserving states stay work-conserving",
+    paper_ref="Section 3.2 (the condition must persist, not merely occur)",
+    statement=(
+        "From any state with no idle-while-overloaded condition, every"
+        " successor state under every adversarial round is again free of"
+        " the condition."
+    ),
+)
+
+ALL_OBLIGATIONS = (
+    LEMMA1,
+    FILTER_SOUNDNESS,
+    STEAL_SOUNDNESS,
+    POTENTIAL_DECREASE,
+    CHOICE_IRRELEVANCE,
+    FAILURE_ATTRIBUTION,
+    WORK_CONSERVATION,
+    PROGRESS,
+    GOOD_STATE_CLOSURE,
+)

@@ -1,0 +1,145 @@
+"""Refinement checking: the abstract checker vs. the real balancer.
+
+A model checker's verdicts are claims about the *model*; they transfer to
+the implementation only if the model refines it. This module makes that
+refinement itself a checkable obligation: for every state in a scope,
+every steal-order permutation, and (optionally) every candidate choice,
+execute the round twice —
+
+* abstractly, through :mod:`repro.verify.transition`'s branch executor;
+* concretely, by building the machine with
+  :meth:`~repro.core.machine.Machine.from_loads` and running the real
+  :class:`~repro.core.balancer.LoadBalancer` under an
+  :class:`~repro.sim.interleave.AdversarialInterleaving` with the same
+  order and the same choice oracle —
+
+and demand identical end states and identical per-attempt outcomes. The
+test suite runs this continuously; the CLI exposes it so a user extending
+either side can re-establish the correspondence in one command.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.sim.interleave import AdversarialInterleaving
+from repro.verify.enumeration import StateScope, iter_states
+from repro.verify.obligations import (
+    Counterexample,
+    Obligation,
+    ProofResult,
+    ProofStatus,
+    timed_check,
+)
+from repro.verify.transition import enumerate_round_branches, round_intents
+
+REFINEMENT = Obligation(
+    key="refinement",
+    title="The abstract round executor matches the concrete balancer",
+    paper_ref="methodology (model-to-implementation correspondence)",
+    statement=(
+        "For every scope state, steal order and deterministic choice, the"
+        " abstract transition's end state and per-attempt outcomes equal"
+        " the concrete balancer's."
+    ),
+)
+
+
+def _concrete_round(policy_factory, state, order):
+    """Run one concrete round and return (loads, outcome triples)."""
+    machine = Machine.from_loads(list(state))
+    balancer = LoadBalancer(machine, policy_factory(),
+                            check_invariants=True)
+    record = balancer.run_round(
+        interleaving=AdversarialInterleaving(list(order))
+    )
+    outcomes = [
+        (a.thief, a.victim, a.succeeded)
+        for a in record.attempts if a.victim is not None
+    ]
+    return tuple(machine.loads()), outcomes
+
+
+def check_refinement(policy_factory, scope: StateScope,
+                     max_orders_per_state: int = 24) -> ProofResult:
+    """Cross-validate abstract and concrete execution over a scope.
+
+    Args:
+        policy_factory: zero-argument callable producing fresh policy
+            instances (stateful policies need one per execution).
+        scope: abstract states to sweep.
+        max_orders_per_state: cap on permutations per state; when hit,
+            the scope string records the truncation.
+
+    Returns:
+        PROVED_AT_SCOPE when every comparison matched, otherwise REFUTED
+        with the first mismatch.
+    """
+    sample: Policy = policy_factory()
+    checked = 0
+    truncated = False
+    counterexample: Counterexample | None = None
+
+    with timed_check() as timer:
+        for state in iter_states(scope):
+            intents = round_intents(sample, state, choice_mode="policy")
+            thieves = [t for t, _ in intents]
+            branches = {
+                b.order: b
+                for b in enumerate_round_branches(
+                    sample, state, choice_mode="policy",
+                ).branches
+            }
+            for i, order in enumerate(itertools.permutations(thieves)):
+                if i >= max_orders_per_state:
+                    truncated = True
+                    break
+                checked += 1
+                abstract = branches[order]
+                concrete_loads, concrete_outcomes = _concrete_round(
+                    policy_factory, state, order
+                )
+                abstract_outcomes = [
+                    (a.thief, a.victim, a.succeeded)
+                    for a in abstract.attempts
+                ]
+                if concrete_loads != abstract.state:
+                    counterexample = Counterexample(
+                        state=state,
+                        detail=(
+                            f"order {order}: abstract end state"
+                            f" {abstract.state}, concrete {concrete_loads}"
+                        ),
+                        data={"order": order},
+                    )
+                    break
+                if concrete_outcomes != abstract_outcomes:
+                    counterexample = Counterexample(
+                        state=state,
+                        detail=(
+                            f"order {order}: outcome divergence —"
+                            f" abstract {abstract_outcomes},"
+                            f" concrete {concrete_outcomes}"
+                        ),
+                        data={"order": order},
+                    )
+                    break
+            if counterexample is not None:
+                break
+
+    scope_text = scope.describe()
+    if truncated:
+        scope_text += f" (orders capped at {max_orders_per_state}/state)"
+    return ProofResult(
+        obligation=REFINEMENT,
+        policy_name=sample.name,
+        status=(ProofStatus.REFUTED if counterexample is not None
+                else ProofStatus.PROVED_AT_SCOPE),
+        scope=scope_text,
+        states_checked=checked,
+        counterexample=counterexample,
+        elapsed_s=timer.elapsed,
+    )

@@ -1,0 +1,131 @@
+"""Multi-policy verdict matrices.
+
+One certificate tells you about one policy; the interesting picture —
+which the paper's tables would have shown had it been a full paper — is
+the *matrix*: every obligation crossed with every policy, PROVED/REFUTED
+verdicts aligned so the failure structure is visible at a glance (e.g.
+"naive passes Lemma1 but fails everything concurrent"). Used by the
+``zoo`` CLI command and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.policy import Policy
+from repro.metrics.stats import render_table
+from repro.verify.enumeration import StateScope
+from repro.verify.work_conservation import (
+    WorkConservationCertificate,
+    prove_work_conserving,
+)
+
+#: Obligation columns of the matrix, in pipeline order.
+MATRIX_OBLIGATIONS = (
+    "lemma1",
+    "filter_soundness",
+    "steal_soundness",
+    "choice_irrelevance",
+    "potential_decrease",
+    "progress",
+    "good_state_closure",
+    "work_conservation",
+)
+
+
+@dataclass
+class ZooReport:
+    """Certificates for a set of policies at one scope.
+
+    Attributes:
+        scope: the scope description shared by all rows.
+        certificates: one certificate per policy, in input order.
+    """
+
+    scope: str
+    certificates: list[WorkConservationCertificate]
+
+    def verdict_rows(self) -> list[list[str]]:
+        """Matrix rows: policy, per-obligation verdicts, N, bound."""
+        rows = []
+        for cert in self.certificates:
+            row: list[str] = [cert.policy_name]
+            for key in MATRIX_OBLIGATIONS:
+                try:
+                    row.append("+" if cert.report.result_for(key).ok
+                               else "REFUTED")
+                except KeyError:
+                    row.append("?")
+            row.append(
+                str(cert.exact_worst_rounds)
+                if cert.exact_worst_rounds is not None else "-"
+            )
+            row.append(
+                str(cert.potential_bound)
+                if cert.potential_bound is not None else "-"
+            )
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """The verdict matrix as a monospace table."""
+        headers = ["policy", *[k.replace("_", " ") for k in
+                               MATRIX_OBLIGATIONS], "exact N", "bound N"]
+        table = render_table(headers, self.verdict_rows())
+        proved = sum(1 for c in self.certificates if c.proved)
+        return (
+            f"Verification matrix at scope: {self.scope}\n"
+            f"{table}\n\n"
+            f"{proved}/{len(self.certificates)} policies fully"
+            f" work-conserving at scope."
+        )
+
+    @property
+    def proved_names(self) -> list[str]:
+        """Names of fully proved policies."""
+        return [c.policy_name for c in self.certificates if c.proved]
+
+
+def verify_zoo(policies: Sequence[Policy], scope: StateScope,
+               choice_mode: str = "all",
+               max_orders: int = 720) -> ZooReport:
+    """Run the full pipeline for every policy and assemble the matrix.
+
+    Args:
+        policies: the policies to verify (order is preserved).
+        scope: common verification scope.
+        choice_mode: see :func:`~repro.verify.prove_work_conserving`.
+        max_orders: see :func:`~repro.verify.prove_work_conserving`.
+    """
+    certificates = [
+        prove_work_conserving(policy, scope, choice_mode=choice_mode,
+                              max_orders=max_orders)
+        for policy in policies
+    ]
+    return ZooReport(scope=scope.describe(), certificates=certificates)
+
+
+def default_zoo() -> list[Policy]:
+    """The standard policy line-up used by the CLI and benchmarks."""
+    from repro.baselines import RandomStealPolicy
+    from repro.policies import (
+        BalanceCountPolicy,
+        GreedyHalvingPolicy,
+        NaiveOverloadedPolicy,
+        ProvableWeightedPolicy,
+        WeightedBalancePolicy,
+    )
+    from repro.policies.naive import GreedyReadyPolicy
+
+    return [
+        BalanceCountPolicy(margin=2),
+        GreedyHalvingPolicy(),
+        ProvableWeightedPolicy(),
+        WeightedBalancePolicy(),
+        NaiveOverloadedPolicy(),
+        GreedyReadyPolicy(),
+        RandomStealPolicy(seed=0),
+        BalanceCountPolicy(margin=1),
+        BalanceCountPolicy(margin=3),
+    ]

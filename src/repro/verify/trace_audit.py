@@ -1,0 +1,144 @@
+"""Auditing concrete execution traces against the concurrent-proof claims.
+
+The abstract checkers (:mod:`repro.verify.lemmas`,
+:mod:`repro.verify.model_checker`) quantify over abstract states; this
+module closes the loop on *concrete* executions of the real balancer —
+simulator runs, benchmark runs, randomised campaigns — by validating the
+two trace-level facts the §4.3 proof rests on:
+
+* **failure attribution** — "if a work-stealing attempt fails, it is
+  because another work-stealing attempt performed by another core
+  succeeded": every failed :class:`~repro.core.balancer.StealAttempt`
+  must carry a non-empty ``invalidated_by``;
+* **progress** — every round in which any core produced a steal intent
+  commits at least one steal, so failure cannot repeat unboundedly
+  without successes draining the potential.
+
+Audits return :class:`~repro.verify.obligations.ProofResult` values so
+they compose into the same reports as the exhaustive checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.balancer import RoundRecord
+from repro.verify.obligations import (
+    FAILURE_ATTRIBUTION,
+    PROGRESS,
+    Counterexample,
+    ProofResult,
+    ProofStatus,
+    timed_check,
+)
+
+
+def audit_failure_attribution(policy_name: str,
+                              rounds: Iterable[RoundRecord]) -> ProofResult:
+    """Every failed attempt must name the concurrent steal that caused it.
+
+    A failure with an empty ``invalidated_by`` means the filter admitted a
+    steal that could not succeed even without interference — a policy
+    bug (unsound filter), not an optimistic-concurrency artefact. The
+    margin-1 ablation trips exactly this audit.
+    """
+    checked = 0
+    counterexample: Counterexample | None = None
+    with timed_check() as timer:
+        for record in rounds:
+            for attempt in record.attempts:
+                if not attempt.failed:
+                    continue
+                checked += 1
+                if not attempt.invalidated_by:
+                    counterexample = Counterexample(
+                        state=record.loads_before,
+                        detail=(
+                            f"round {record.index}: attempt"
+                            f" {attempt.thief}<-{attempt.victim} failed"
+                            f" ({attempt.outcome.value}) with no"
+                            " concurrent cause"
+                        ),
+                        data={
+                            "round": record.index,
+                            "thief": attempt.thief,
+                            "victim": attempt.victim,
+                            "outcome": attempt.outcome.value,
+                        },
+                    )
+                    break
+            if counterexample is not None:
+                break
+    status = (
+        ProofStatus.REFUTED if counterexample is not None
+        else ProofStatus.PROVED_AT_SCOPE
+    )
+    return ProofResult(
+        obligation=FAILURE_ATTRIBUTION,
+        policy_name=policy_name,
+        status=status,
+        scope="concrete trace",
+        states_checked=checked,
+        counterexample=counterexample,
+        elapsed_s=timer.elapsed,
+    )
+
+
+def audit_progress(policy_name: str,
+                   rounds: Iterable[RoundRecord]) -> ProofResult:
+    """Every round with at least one intent must commit at least one steal."""
+    checked = 0
+    counterexample: Counterexample | None = None
+    with timed_check() as timer:
+        for record in rounds:
+            intents = [a for a in record.attempts if a.victim is not None]
+            if not intents:
+                continue
+            checked += 1
+            if not any(a.succeeded for a in intents):
+                counterexample = Counterexample(
+                    state=record.loads_before,
+                    detail=(
+                        f"round {record.index} had {len(intents)} steal"
+                        " intents and committed none"
+                    ),
+                    data={"round": record.index},
+                )
+                break
+    status = (
+        ProofStatus.REFUTED if counterexample is not None
+        else ProofStatus.PROVED_AT_SCOPE
+    )
+    return ProofResult(
+        obligation=PROGRESS,
+        policy_name=policy_name,
+        status=status,
+        scope="concrete trace",
+        states_checked=checked,
+        counterexample=counterexample,
+        elapsed_s=timer.elapsed,
+    )
+
+
+def audit_load_conservation(rounds: Sequence[RoundRecord]) -> bool:
+    """Check total threads never change across balancing rounds.
+
+    Steals move tasks; they must never create or destroy them. Returns
+    True when every round conserves the total (the assumption under which
+    the paper's proofs operate: "no thread enters or leaves the
+    runqueues").
+    """
+    return all(
+        sum(record.loads_before) == sum(record.loads_after)
+        for record in rounds
+    )
+
+
+def failure_counts(rounds: Iterable[RoundRecord]) -> dict[str, int]:
+    """Histogram of attempt outcomes across ``rounds`` (for reports)."""
+    counts: dict[str, int] = {}
+    for record in rounds:
+        for attempt in record.attempts:
+            key = attempt.outcome.value
+            counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,304 @@
+"""The nondeterministic round transition system over abstract states.
+
+Work conservation (Section 3.2) quantifies over everything the
+environment controls: which victims the (possibly heuristic) choice step
+picks, and the order in which racing steal operations reach the locks.
+This module materialises one load-balancing round as a *branching*
+transition: from an abstract state it enumerates every combination of
+
+* victim choice per thief — either the policy's own deterministic
+  ``choose`` or, in ``choice_mode='all'``, every filtered candidate (the
+  strongest reading of choice-irrelevance); and
+* steal execution order — every permutation of the racing steals
+  (the adversary of Section 4.3).
+
+Round semantics mirror :class:`repro.core.balancer.LoadBalancer` exactly:
+selection happens on the round-start observation (stale by the time later
+steals run), each steal re-checks the filter against live state under the
+locks, failures are recorded with their causes, and the running task is
+never migrated. The correspondence between this abstract executor and the
+concrete balancer is itself tested (``tests/verify/test_transition.py``
+cross-validates them state by state).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.cpu import CoreSnapshot
+from repro.core.policy import Policy
+from repro.verify.enumeration import LoadState
+
+#: Cap on racing-steal permutations before the enumerator reports
+#: truncation. 8! = 40320 branches per choice assignment is already past
+#: interactive use; scopes that big should use the randomised campaign.
+DEFAULT_MAX_ORDERS = 5040
+
+
+@dataclass(frozen=True)
+class AbstractAttempt:
+    """One thief's steal attempt inside an abstract round branch.
+
+    Attributes:
+        thief: stealing core index.
+        victim: selected victim core index.
+        succeeded: whether tasks moved.
+        moved: number of tasks moved (0 on failure).
+    """
+
+    thief: int
+    victim: int
+    succeeded: bool
+    moved: int
+
+
+@dataclass(frozen=True)
+class RoundBranch:
+    """One fully resolved outcome of a round's nondeterminism.
+
+    Attributes:
+        state: the end-of-round abstract state (per-core loads).
+        attempts: the attempts in execution order.
+        order: the steal execution order (thief indices).
+    """
+
+    state: LoadState
+    attempts: tuple[AbstractAttempt, ...]
+    order: tuple[int, ...]
+
+    @property
+    def successes(self) -> int:
+        """Number of successful steals in this branch."""
+        return sum(1 for a in self.attempts if a.succeeded)
+
+    @property
+    def failures(self) -> int:
+        """Number of failed (selected-but-unsatisfied) attempts."""
+        return sum(1 for a in self.attempts if not a.succeeded)
+
+
+class _LiveState:
+    """Mutable (running, ready) tracking used while executing a round.
+
+    The abstraction convention: at round start every core with load > 0
+    runs one task (``Machine.from_loads`` dispatch-eager convention);
+    tasks gained during the round stay queued until the next dispatch.
+    """
+
+    __slots__ = ("running", "ready")
+
+    def __init__(self, state: Sequence[int]) -> None:
+        self.running = [1 if load > 0 else 0 for load in state]
+        self.ready = [max(0, load - 1) for load in state]
+
+    def view(self, cid: int, node: int = 0) -> CoreSnapshot:
+        from repro.core.task import NICE_0_WEIGHT
+
+        return CoreSnapshot(
+            cid=cid,
+            nr_ready=self.ready[cid],
+            has_current=self.running[cid] == 1,
+            weighted_load=(self.running[cid] + self.ready[cid]) * NICE_0_WEIGHT,
+            node=node,
+            version=0,
+        )
+
+    def loads(self) -> LoadState:
+        return tuple(
+            r + q for r, q in zip(self.running, self.ready)
+        )
+
+
+def round_intents(policy: Policy, state: Sequence[int],
+                  choice_mode: str = "all",
+                  ) -> list[tuple[int, tuple[int, ...]]]:
+    """Selection phase: per-thief victim possibilities.
+
+    Args:
+        policy: the policy under analysis.
+        state: round-start abstract state.
+        choice_mode: ``'all'`` branches over every filtered candidate;
+            ``'policy'`` asks the policy's own ``choose``.
+
+    Returns:
+        ``[(thief, victims)]`` for thieves with non-empty candidate sets,
+        in thief order. ``victims`` is every branchable choice.
+    """
+    live = _LiveState(state)
+    views = [live.view(cid) for cid in range(len(state))]
+    intents: list[tuple[int, tuple[int, ...]]] = []
+    for thief_view in views:
+        candidates = [
+            v for v in views
+            if v.cid != thief_view.cid and policy.can_steal(thief_view, v)
+        ]
+        if not candidates:
+            continue
+        if choice_mode == "all":
+            victims = tuple(v.cid for v in candidates)
+        else:
+            victims = (policy.choose(thief_view, candidates).cid,)
+        intents.append((thief_view.cid, victims))
+    return intents
+
+
+def _execute_serialized(policy: Policy, state: Sequence[int],
+                        assignment: Sequence[tuple[int, int]],
+                        order: Sequence[int]) -> RoundBranch:
+    """Execute one branch: fixed victim assignment, fixed steal order."""
+    live = _LiveState(state)
+    victim_of = dict(assignment)
+    attempts: list[AbstractAttempt] = []
+    for thief in order:
+        victim = victim_of[thief]
+        thief_view = live.view(thief)
+        victim_view = live.view(victim)
+        if not policy.can_steal(thief_view, victim_view):
+            attempts.append(AbstractAttempt(thief, victim, False, 0))
+            continue
+        requested = policy.steal_amount(thief_view, victim_view)
+        moved = min(max(requested, 0), live.ready[victim])
+        if moved == 0:
+            attempts.append(AbstractAttempt(thief, victim, False, 0))
+            continue
+        live.ready[victim] -= moved
+        live.ready[thief] += moved
+        attempts.append(AbstractAttempt(thief, victim, True, moved))
+    return RoundBranch(
+        state=live.loads(),
+        attempts=tuple(attempts),
+        order=tuple(order),
+    )
+
+
+def _execute_sequential(policy: Policy, state: Sequence[int],
+                        order: Sequence[int],
+                        choice_mode: str) -> Iterator[RoundBranch]:
+    """§4.2 regime: each core re-selects on fresh state, in ``order``.
+
+    Still branches over choices when ``choice_mode='all'`` — the §4.2
+    proofs are supposed to hold for any choice.
+    """
+
+    def step(live: _LiveState, position: int,
+             attempts: tuple[AbstractAttempt, ...]) -> Iterator[RoundBranch]:
+        if position == len(order):
+            yield RoundBranch(
+                state=live.loads(), attempts=attempts, order=tuple(order)
+            )
+            return
+        thief = order[position]
+        views = [live.view(cid) for cid in range(len(state))]
+        thief_view = views[thief]
+        candidates = [
+            v for v in views
+            if v.cid != thief and policy.can_steal(thief_view, v)
+        ]
+        if not candidates:
+            yield from step(live, position + 1, attempts)
+            return
+        if choice_mode == "all":
+            victims = [v.cid for v in candidates]
+        else:
+            victims = [policy.choose(thief_view, candidates).cid]
+        for victim in victims:
+            branch_live = _LiveState(live.loads())
+            branch_live.running = list(live.running)
+            branch_live.ready = list(live.ready)
+            victim_view = branch_live.view(victim)
+            requested = policy.steal_amount(
+                branch_live.view(thief), victim_view
+            )
+            moved = min(max(requested, 0), branch_live.ready[victim])
+            if moved > 0:
+                branch_live.ready[victim] -= moved
+                branch_live.ready[thief] += moved
+                attempt = AbstractAttempt(thief, victim, True, moved)
+            else:
+                attempt = AbstractAttempt(thief, victim, False, 0)
+            yield from step(branch_live, position + 1, attempts + (attempt,))
+
+    yield from step(_LiveState(state), 0, ())
+
+
+@dataclass
+class BranchEnumeration:
+    """All branches of one round, with truncation accounting.
+
+    Attributes:
+        branches: the enumerated :class:`RoundBranch` values.
+        truncated: True when the order cap was hit; results are then a
+            subset and "no violation found" claims must say so.
+    """
+
+    branches: list[RoundBranch]
+    truncated: bool = False
+
+    def successor_states(self) -> set[LoadState]:
+        """Distinct end-of-round states across all branches."""
+        return {branch.state for branch in self.branches}
+
+
+def enumerate_round_branches(policy: Policy, state: Sequence[int],
+                             choice_mode: str = "all",
+                             sequential: bool = False,
+                             max_orders: int = DEFAULT_MAX_ORDERS,
+                             ) -> BranchEnumeration:
+    """Enumerate every resolution of a round's nondeterminism.
+
+    Args:
+        policy: policy under analysis.
+        state: round-start abstract state.
+        choice_mode: ``'all'`` or ``'policy'`` (see :func:`round_intents`).
+        sequential: use the §4.2 fresh-snapshot regime instead of the
+            §4.3 stale-snapshot regime.
+        max_orders: cap on steal-order permutations per assignment.
+
+    Returns:
+        A :class:`BranchEnumeration`; when no core has candidates, the
+        single branch is the unchanged state with no attempts.
+    """
+    branches: list[RoundBranch] = []
+    truncated = False
+
+    if sequential:
+        thieves = list(range(len(state)))
+        for i, order in enumerate(itertools.permutations(thieves)):
+            if i >= max_orders:
+                truncated = True
+                break
+            branches.extend(
+                _execute_sequential(policy, state, order, choice_mode)
+            )
+        return BranchEnumeration(branches=branches, truncated=truncated)
+
+    intents = round_intents(policy, state, choice_mode)
+    if not intents:
+        return BranchEnumeration(
+            branches=[RoundBranch(state=tuple(state), attempts=(), order=())]
+        )
+    thieves = [thief for thief, _ in intents]
+    victim_sets = [victims for _, victims in intents]
+    for victim_combo in itertools.product(*victim_sets):
+        assignment = list(zip(thieves, victim_combo))
+        for i, order in enumerate(itertools.permutations(thieves)):
+            if i >= max_orders:
+                truncated = True
+                break
+            branches.append(
+                _execute_serialized(policy, state, assignment, order)
+            )
+    return BranchEnumeration(branches=branches, truncated=truncated)
+
+
+def successors(policy: Policy, state: Sequence[int],
+               choice_mode: str = "all",
+               sequential: bool = False,
+               max_orders: int = DEFAULT_MAX_ORDERS) -> set[LoadState]:
+    """Distinct end-of-round states reachable from ``state`` in one round."""
+    return enumerate_round_branches(
+        policy, state, choice_mode=choice_mode,
+        sequential=sequential, max_orders=max_orders,
+    ).successor_states()

@@ -1,0 +1,153 @@
+"""The top-level work-conservation certificate.
+
+This module assembles the paper's proof out of its isolated pieces, in
+the order Section 4 develops them:
+
+1. **Lemma1** (Listing 2) — idle cores select overloaded cores, all and
+   only them;
+2. **filter/steal soundness** (§4.2) — selected victims are stealable,
+   steals keep victims non-idle and shrink the pairwise gap, under *any*
+   choice (choice-irrelevance);
+3. **potential decrease** (§4.3, second proof) — the global
+   load-difference ``d`` strictly decreases per successful steal, so
+   successes are bounded by ``d / min_decrease``;
+4. **progress** (§4.3, composition) — every round spent in a bad state
+   commits at least one steal;
+5. therefore the bad condition clears within ``N <= d/min_decrease + 1``
+   rounds: **work conservation**, with an explicit ``N``.
+
+Independently, the explicit-state model checker decides the same liveness
+property by exhaustive search and — when the certificate holds — reports
+the *exact* worst-case ``N``, which must be at most the certificate's
+bound. A certificate whose bound undercuts the model checker's exact
+value would indicate a bug in one of the two engines; the test suite
+cross-checks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import Policy
+from repro.verify.enumeration import StateScope
+from repro.verify.lemmas import (
+    check_choice_irrelevance,
+    check_filter_soundness,
+    check_lemma1,
+    check_steal_soundness,
+)
+from repro.verify.model_checker import ModelChecker, WorkConservationAnalysis
+from repro.verify.obligations import ProofReport
+from repro.verify.potential import (
+    check_potential_decrease,
+    min_observed_decrease,
+    worst_round_bound,
+)
+
+
+@dataclass
+class WorkConservationCertificate:
+    """Outcome of the full verification pipeline for one policy.
+
+    Attributes:
+        policy_name: the policy verified.
+        report: per-obligation results (Lemma1, soundness, potential,
+            progress, closure, model-checked work conservation).
+        analysis: the model checker's independent liveness analysis.
+        potential_bound: the certificate's ``N`` (rounds) derived from the
+            potential function, or ``None`` when the potential obligation
+            failed.
+        min_decrease: smallest observed per-steal decrease of ``d``.
+        proved: True when every obligation holds and the model checker
+            found no lasso — the policy is work-conserving at scope with
+            the explicit bound.
+    """
+
+    policy_name: str
+    report: ProofReport
+    analysis: WorkConservationAnalysis
+    potential_bound: int | None
+    min_decrease: int | None
+    proved: bool
+
+    @property
+    def exact_worst_rounds(self) -> int | None:
+        """Model checker's exact worst-case N (None when violated)."""
+        return self.analysis.worst_case_rounds
+
+    def render(self) -> str:
+        """Human-readable certificate summary."""
+        lines = [self.report.render(), ""]
+        if self.analysis.violated:
+            assert self.analysis.lasso is not None
+            lines.append(
+                "Model checker: VIOLATED — " + self.analysis.lasso.describe()
+            )
+        else:
+            lines.append(
+                "Model checker: no violation;"
+                f" exact worst-case N = {self.analysis.worst_case_rounds}"
+                f" over {self.analysis.states_explored} states"
+            )
+        if self.potential_bound is not None:
+            lines.append(
+                f"Potential certificate: N <= {self.potential_bound}"
+                f" (min per-steal decrease of d: {self.min_decrease})"
+            )
+        verdict = "WORK-CONSERVING (at scope)" if self.proved else "NOT PROVED"
+        lines.append(f"Verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def prove_work_conserving(policy: Policy, scope: StateScope,
+                          choice_mode: str = "all",
+                          max_orders: int = 720,
+                          symmetric: bool = False,
+                          ) -> WorkConservationCertificate:
+    """Run the full §4 pipeline for ``policy`` at ``scope``.
+
+    Args:
+        policy: the policy to verify.
+        scope: the finite state universe to sweep.
+        choice_mode: ``'all'`` (default) quantifies over every candidate
+            choice; ``'policy'`` fixes the policy's deterministic choice.
+        max_orders: cap on racing-steal permutations per round.
+        symmetric: exploit core-renaming symmetry (sound for load-only
+            policies).
+
+    Returns:
+        The assembled :class:`WorkConservationCertificate`.
+    """
+    report = ProofReport(policy_name=policy.name)
+    report.add(check_lemma1(policy, scope))
+    report.add(check_filter_soundness(policy, scope))
+    report.add(check_steal_soundness(policy, scope))
+    report.add(check_choice_irrelevance(policy, scope))
+    report.add(check_potential_decrease(policy, scope))
+
+    checker = ModelChecker(
+        policy, choice_mode=choice_mode, max_orders=max_orders,
+        symmetric=symmetric,
+    )
+    report.add(checker.check_progress(scope))
+    report.add(checker.check_good_state_closure(scope))
+    analysis = checker.analyze(scope)
+    report.add(analysis.to_proof_result())
+
+    potential_ok = report.result_for("potential_decrease").ok
+    min_decrease = None
+    bound = None
+    if potential_ok:
+        min_decrease = min_observed_decrease(policy, scope)
+        if min_decrease is not None and min_decrease > 0:
+            bound = worst_round_bound(scope, min_decrease)
+
+    proved = report.all_proved and not analysis.violated
+    return WorkConservationCertificate(
+        policy_name=policy.name,
+        report=report,
+        analysis=analysis,
+        potential_bound=bound,
+        min_decrease=min_decrease,
+        proved=proved,
+    )

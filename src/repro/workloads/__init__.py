@@ -1,0 +1,41 @@
+"""Workloads: the applications driving the motivation experiments."""
+
+from repro.workloads.base import (
+    PLACEMENTS,
+    Placement,
+    Workload,
+    make_first_k,
+    make_random_placement,
+    make_round_robin,
+    place_idlest,
+    place_last_core,
+    place_pack,
+)
+from repro.workloads.churn import ChurnWorkload
+from repro.workloads.database import OltpWorkload
+from repro.workloads.mixed import MixedWorkload
+from repro.workloads.scientific import BarrierWorkload
+from repro.workloads.synthetic import (
+    BurstyArrivalsWorkload,
+    ForkJoinWorkload,
+    StaticImbalanceWorkload,
+)
+
+__all__ = [
+    "PLACEMENTS",
+    "Placement",
+    "Workload",
+    "make_first_k",
+    "make_random_placement",
+    "make_round_robin",
+    "place_idlest",
+    "place_last_core",
+    "place_pack",
+    "ChurnWorkload",
+    "OltpWorkload",
+    "MixedWorkload",
+    "BarrierWorkload",
+    "BurstyArrivalsWorkload",
+    "ForkJoinWorkload",
+    "StaticImbalanceWorkload",
+]

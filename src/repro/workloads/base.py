@@ -1,0 +1,137 @@
+"""Workload framework: placement strategies and the workload base class.
+
+Workloads decide *where tasks wake up*, which is half of the wasted-cores
+story: CFS-like schedulers wake a thread on (or near) the core where it
+last ran, which preserves cache locality but piles threads up when the
+load balancer fails to spread them. The placement strategies here span
+the spectrum the experiments need — from adversarial packing (everything
+on core 0) to the idealised "idlest core" oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+#: A placement strategy maps (machine, task) to a destination core id.
+Placement = Callable[[Machine, Task], int]
+
+
+def place_pack(machine: Machine, task: Task) -> int:
+    """Adversarial packing: everything lands on core 0.
+
+    The worst case for work conservation; used to measure how fast a
+    balancer digs itself out.
+    """
+    return 0
+
+
+def place_last_core(machine: Machine, task: Task) -> int:
+    """CFS-like wakeup: back where the task last ran (core 0 if never).
+
+    Cache-friendly and pathology-friendly: without a working balancer,
+    whatever imbalance existed reproduces itself at every wakeup.
+    """
+    return task.last_core if task.last_core is not None else 0
+
+
+def place_idlest(machine: Machine, task: Task) -> int:
+    """Oracle placement: the least loaded core right now.
+
+    What a perfect wake-balancer would do; gives the upper-bound
+    baseline its advantage.
+    """
+    return min(machine.cores, key=lambda c: (c.nr_threads, c.cid)).cid
+
+
+def make_round_robin() -> Placement:
+    """Round-robin placement with private state (fresh counter per call)."""
+    counter = {"next": 0}
+
+    def place(machine: Machine, task: Task) -> int:
+        cid = counter["next"] % machine.n_cores
+        counter["next"] += 1
+        return cid
+
+    return place
+
+
+def make_random_placement(seed: int) -> Placement:
+    """Seeded uniform-random placement."""
+    rng = random.Random(seed)
+
+    def place(machine: Machine, task: Task) -> int:
+        return rng.randrange(machine.n_cores)
+
+    return place
+
+
+def make_first_k(k: int) -> Placement:
+    """Round-robin over only the first ``k`` cores (skewed wakeups).
+
+    Models the database pathology where connection handlers wake workers
+    on a subset of the machine.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    counter = {"next": 0}
+
+    def place(machine: Machine, task: Task) -> int:
+        cid = counter["next"] % min(k, machine.n_cores)
+        counter["next"] += 1
+        return cid
+
+    return place
+
+
+PLACEMENTS: dict[str, Callable[[], Placement]] = {
+    "pack": lambda: place_pack,
+    "last_core": lambda: place_last_core,
+    "idlest": lambda: place_idlest,
+    "round_robin": make_round_robin,
+}
+
+
+class Workload(ABC):
+    """Base class for simulator workloads.
+
+    Subclasses create tasks in :meth:`attach`, react to completions in
+    :meth:`on_task_finished`, optionally inject arrivals in
+    :meth:`on_tick`, and declare completion via :meth:`finished`.
+
+    Attributes:
+        name: identifier used in benchmark tables.
+        placement: strategy used when (re)placing woken tasks.
+    """
+
+    name: str = "workload"
+
+    def __init__(self, placement: Placement | None = None) -> None:
+        self.placement = placement or place_last_core
+
+    @abstractmethod
+    def attach(self, sim: "Simulation") -> None:
+        """Create the initial task population on ``sim.machine``."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        """Hook for arrivals; default: nothing."""
+
+    def on_task_finished(self, sim: "Simulation", task: Task,
+                         cid: int) -> None:
+        """Hook for completions; default: nothing."""
+
+    @abstractmethod
+    def finished(self, sim: "Simulation") -> bool:
+        """Whether the workload has run to completion."""
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name

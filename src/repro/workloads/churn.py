@@ -1,0 +1,93 @@
+"""Thread churn: the boundary of the paper's proof assumption.
+
+The proofs assume "no thread enters or leaves the runqueues (e.g., no
+thread is created or terminated)", because unconstrained churn can
+perpetually deny the balancer its steals ("one could imagine that threads
+always terminate before being stolen"). This workload creates and
+destroys threads at a configurable rate precisely to probe that boundary:
+
+* the *safety* obligations (no lost tasks, no victim left idle, every
+  failure attributed) must keep holding under churn — they are per-round
+  properties, untouched by the assumption;
+* the *liveness* bound (the N of work conservation) may degrade, and the
+  experiment measures how bad it gets as churn increases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+from repro.core.task import Task
+from repro.workloads.base import Placement, Workload, place_pack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class ChurnWorkload(Workload):
+    """Random task creation and termination at a steady rate.
+
+    Every tick, with probability ``arrival_prob``, a new finite task
+    arrives (placed by the placement strategy, packed by default); task
+    lengths are uniform in ``[work_min, work_max]``, so departures happen
+    naturally as tasks finish. The population hovers around
+    ``arrival_prob * mean_work`` tasks (Little's law).
+
+    Attributes:
+        arrival_prob: per-tick probability of a new task.
+        work_min, work_max: uniform bounds on task length.
+        duration: measurement window in ticks.
+    """
+
+    name = "churn"
+
+    def __init__(self, arrival_prob: float = 0.5, work_min: int = 4,
+                 work_max: int = 20, duration: int = 2000,
+                 placement: Placement | None = None,
+                 seed: int = 0) -> None:
+        super().__init__(placement=placement or place_pack)
+        if not 0 < arrival_prob <= 1:
+            raise ConfigurationError(
+                f"arrival_prob must be in (0, 1], got {arrival_prob}"
+            )
+        if not 1 <= work_min <= work_max:
+            raise ConfigurationError(
+                f"need 1 <= work_min <= work_max, got {work_min}..{work_max}"
+            )
+        if duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {duration}")
+        self.arrival_prob = arrival_prob
+        self.work_min = work_min
+        self.work_max = work_max
+        self.duration = duration
+        self._rng = random.Random(seed)
+        self.arrivals = 0
+        self.departures = 0
+
+    def attach(self, sim: "Simulation") -> None:
+        """No initial population; tasks arrive via :meth:`on_tick`."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        if self._rng.random() >= self.arrival_prob:
+            return
+        self.arrivals += 1
+        task = Task(
+            work=self._rng.randint(self.work_min, self.work_max),
+            name=f"churn{self.arrivals}",
+        )
+        sim.place(task, self.placement(sim.machine, task))
+
+    def on_task_finished(self, sim: "Simulation", task: Task,
+                         cid: int) -> None:
+        self.departures += 1
+
+    def finished(self, sim: "Simulation") -> bool:
+        return sim.clock.now >= self.duration
+
+    def describe(self) -> str:
+        return (
+            f"churn(p={self.arrival_prob}, work {self.work_min}.."
+            f"{self.work_max}, {self.duration} ticks)"
+        )

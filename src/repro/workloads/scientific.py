@@ -1,0 +1,119 @@
+"""Barrier-synchronised scientific workload.
+
+The paper's first motivation number: "we have observed many-fold
+performance degradation in the case of scientific applications". The
+mechanism (from Lozi et al., EuroSys'16) is that barrier-synchronised
+programs run at the speed of their slowest thread; when the scheduler
+piles several threads onto one core while others idle, every phase takes
+as long as the most crowded core needs, and the whole machine waits at
+the barrier.
+
+:class:`BarrierWorkload` reproduces that shape: ``n_threads`` workers
+execute ``n_phases`` phases of ``phase_work`` units each, meeting at a
+barrier after every phase. With a work-conserving balancer the makespan
+approaches ``n_phases * phase_work * ceil(n_threads / n_cores)``; with a
+broken balancer and packed wakeups it approaches
+``n_phases * phase_work * threads_on_most_crowded_core``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError
+from repro.core.task import Task, TaskState
+from repro.workloads.base import Placement, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class BarrierWorkload(Workload):
+    """Fork-join phases with a global barrier between them.
+
+    Attributes:
+        n_threads: worker threads.
+        n_phases: number of compute phases.
+        phase_work: work units per thread per phase (jittered by up to
+            ``jitter`` units with the given seed).
+        jitter: maximum extra work per thread-phase.
+        nice: niceness of the worker threads.
+    """
+
+    name = "barrier"
+
+    def __init__(self, n_threads: int, n_phases: int, phase_work: int,
+                 placement: Placement | None = None,
+                 jitter: int = 0, seed: int = 0, nice: int = 0) -> None:
+        super().__init__(placement=placement)
+        if n_threads < 1 or n_phases < 1 or phase_work < 1:
+            raise ConfigurationError(
+                "n_threads, n_phases and phase_work must all be >= 1"
+            )
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.n_threads = n_threads
+        self.n_phases = n_phases
+        self.phase_work = phase_work
+        self.jitter = jitter
+        self.nice = nice
+        self._rng = random.Random(seed)
+        self._tasks: list[Task] = []
+        self._phase = 0
+        self._arrived: set[int] = set()
+        self._done = False
+
+    # ------------------------------------------------------------------
+
+    def _phase_quota(self) -> int:
+        return self.phase_work + (
+            self._rng.randrange(self.jitter + 1) if self.jitter else 0
+        )
+
+    def attach(self, sim: "Simulation") -> None:
+        """Create the workers and start phase 0."""
+        for i in range(self.n_threads):
+            task = Task(
+                nice=self.nice,
+                work=self._phase_quota(),
+                name=f"barrier_w{i}",
+            )
+            self._tasks.append(task)
+            sim.place(task, self.placement(sim.machine, task))
+
+    def on_task_finished(self, sim: "Simulation", task: Task,
+                         cid: int) -> None:
+        """A worker reached the barrier; release everyone when all arrive."""
+        self._arrived.add(task.tid)
+        if len(self._arrived) < self.n_threads:
+            return
+        self._arrived.clear()
+        self._phase += 1
+        if self._phase >= self.n_phases:
+            self._done = True
+            return
+        for worker in self._tasks:
+            worker.work = worker.executed + self._phase_quota()
+            worker.state = TaskState.READY
+            sim.place(worker, self.placement(sim.machine, worker))
+
+    def finished(self, sim: "Simulation") -> bool:
+        """All phases completed by all workers."""
+        return self._done
+
+    @property
+    def phases_completed(self) -> int:
+        """Number of fully completed phases so far."""
+        return self._phase
+
+    def ideal_makespan(self, n_cores: int) -> int:
+        """Lower bound on ticks with perfect spreading and no jitter."""
+        waves = -(-self.n_threads // n_cores)  # ceil division
+        return self.n_phases * self.phase_work * waves
+
+    def describe(self) -> str:
+        return (
+            f"barrier({self.n_threads} threads x {self.n_phases} phases"
+            f" x {self.phase_work} work)"
+        )

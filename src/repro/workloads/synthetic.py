@@ -1,0 +1,192 @@
+"""Synthetic workloads for balancing studies and stress tests.
+
+These exercise the balancer in isolation from application semantics:
+static imbalances (how fast does the machine reach a work-conserving
+state?), bursty arrivals (does it keep up with churn in the offered
+load?), and fork/join trees (recursive parallelism with skewed spawn
+points).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.task import Task
+from repro.workloads.base import Placement, Workload, place_pack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class StaticImbalanceWorkload(Workload):
+    """A fixed population of infinite tasks, placed per a load vector.
+
+    The purest balancing study: no arrivals, no completions — exactly the
+    "no thread enters or leaves the runqueues" assumption of the paper's
+    proofs. The interesting output is the metrics' ``bad_ticks``: how
+    long the machine stayed in a wasted-core state.
+
+    Attributes:
+        loads: per-core initial thread counts.
+    """
+
+    name = "static_imbalance"
+
+    def __init__(self, loads: Sequence[int]) -> None:
+        super().__init__()
+        if any(load < 0 for load in loads):
+            raise ConfigurationError("loads must be >= 0")
+        self.loads = tuple(loads)
+
+    def attach(self, sim: "Simulation") -> None:
+        if sim.machine.n_cores != len(self.loads):
+            raise ConfigurationError(
+                f"workload has {len(self.loads)} loads for"
+                f" {sim.machine.n_cores} cores"
+            )
+        for cid, load in enumerate(self.loads):
+            for k in range(load):
+                sim.place(Task(work=None, name=f"static_c{cid}_{k}"), cid)
+
+    def finished(self, sim: "Simulation") -> bool:
+        """Never finishes on its own; run with ``max_ticks``."""
+        return False
+
+    def describe(self) -> str:
+        return f"static_imbalance(loads={list(self.loads)})"
+
+
+class BurstyArrivalsWorkload(Workload):
+    """Bernoulli bursts of finite tasks arriving at a placement point.
+
+    Every tick, with probability ``burst_prob``, ``burst_size`` tasks of
+    ``task_work`` units arrive and are placed by the placement strategy
+    (packed by default — the stressful case). Finishes when ``n_bursts``
+    bursts have arrived and every task has completed.
+
+    Attributes:
+        burst_prob: per-tick arrival probability.
+        burst_size: tasks per burst.
+        task_work: work units per task.
+        n_bursts: total bursts to inject.
+    """
+
+    name = "bursty"
+
+    def __init__(self, burst_prob: float = 0.2, burst_size: int = 4,
+                 task_work: int = 8, n_bursts: int = 25,
+                 placement: Placement | None = None,
+                 seed: int = 0) -> None:
+        super().__init__(placement=placement or place_pack)
+        if not 0 < burst_prob <= 1:
+            raise ConfigurationError(
+                f"burst_prob must be in (0, 1], got {burst_prob}"
+            )
+        if burst_size < 1 or task_work < 1 or n_bursts < 1:
+            raise ConfigurationError(
+                "burst_size, task_work and n_bursts must be >= 1"
+            )
+        self.burst_prob = burst_prob
+        self.burst_size = burst_size
+        self.task_work = task_work
+        self.n_bursts = n_bursts
+        self._rng = random.Random(seed)
+        self._bursts_injected = 0
+        self._outstanding = 0
+
+    def attach(self, sim: "Simulation") -> None:
+        """No initial population; bursts arrive via :meth:`on_tick`."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        if self._bursts_injected >= self.n_bursts:
+            return
+        if self._rng.random() >= self.burst_prob:
+            return
+        self._bursts_injected += 1
+        for i in range(self.burst_size):
+            task = Task(
+                work=self.task_work,
+                name=f"burst{self._bursts_injected}_{i}",
+            )
+            self._outstanding += 1
+            sim.place(task, self.placement(sim.machine, task))
+
+    def on_task_finished(self, sim: "Simulation", task: Task,
+                         cid: int) -> None:
+        self._outstanding -= 1
+
+    def finished(self, sim: "Simulation") -> bool:
+        return (
+            self._bursts_injected >= self.n_bursts
+            and self._outstanding == 0
+        )
+
+    def describe(self) -> str:
+        return (
+            f"bursty(p={self.burst_prob}, size={self.burst_size},"
+            f" bursts={self.n_bursts})"
+        )
+
+
+class ForkJoinWorkload(Workload):
+    """A binary fork tree: tasks spawn two children until a depth limit.
+
+    All spawns land on the *parent's* core (the realistic case — fork
+    wakes the child where the parent ran), so the tree keeps re-creating
+    local pileups that the balancer must spread. Finishes when every node
+    of the tree has executed.
+
+    Attributes:
+        depth: tree depth; the tree has ``2**(depth+1) - 1`` tasks.
+        node_work: work units per tree node.
+    """
+
+    name = "fork_join"
+
+    def __init__(self, depth: int = 4, node_work: int = 6) -> None:
+        super().__init__()
+        if depth < 0:
+            raise ConfigurationError(f"depth must be >= 0, got {depth}")
+        if node_work < 1:
+            raise ConfigurationError(f"node_work must be >= 1, got {node_work}")
+        self.depth = depth
+        self.node_work = node_work
+        self._outstanding = 0
+        self._spawned = 0
+        self._task_depth: dict[int, int] = {}
+
+    def attach(self, sim: "Simulation") -> None:
+        root = Task(work=self.node_work, name="fork_root")
+        self._task_depth[root.tid] = 0
+        self._outstanding = 1
+        self._spawned = 1
+        sim.place(root, 0)
+
+    def on_task_finished(self, sim: "Simulation", task: Task,
+                         cid: int) -> None:
+        self._outstanding -= 1
+        depth = self._task_depth.pop(task.tid, self.depth)
+        if depth >= self.depth:
+            return
+        for i in range(2):
+            child = Task(
+                work=self.node_work,
+                name=f"fork_d{depth + 1}_{self._spawned}",
+            )
+            self._task_depth[child.tid] = depth + 1
+            self._outstanding += 1
+            self._spawned += 1
+            sim.place(child, cid)  # children wake on the parent's core
+
+    def finished(self, sim: "Simulation") -> bool:
+        return self._spawned > 0 and self._outstanding == 0
+
+    @property
+    def total_tasks(self) -> int:
+        """Tree size: ``2**(depth+1) - 1`` nodes."""
+        return 2 ** (self.depth + 1) - 1
+
+    def describe(self) -> str:
+        return f"fork_join(depth={self.depth}, node_work={self.node_work})"

@@ -1,0 +1,124 @@
+"""Tests for the CFS-like baseline — including the Group Imbalance bug.
+
+The baseline must be *good enough to be credible* (it balances simple
+imbalances) and *broken in exactly the published way* (weighted-average
+group comparison starves idle cores next to heavy threads).
+"""
+
+import pytest
+
+from repro.baselines import CfsLikeBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.policies import BalanceCountPolicy
+from repro.topology import build_domain_tree, symmetric_numa
+
+TOPO = symmetric_numa(2, 2)  # nodes {0,1} and {2,3}
+
+
+def cfs_machine() -> tuple[Machine, CfsLikeBalancer]:
+    machine = Machine(topology=TOPO)
+    balancer = CfsLikeBalancer(machine, build_domain_tree(TOPO),
+                               keep_history=True)
+    return machine, balancer
+
+
+class TestHealthyBehaviour:
+    def test_balances_simple_intra_group_imbalance(self):
+        machine, balancer = cfs_machine()
+        for i in range(4):
+            machine.place_task(Task(name=f"t{i}"), 0)
+        machine.dispatch_all()
+        for _ in range(5):
+            balancer.run_round()
+        # The idle sibling (core 1) pulled work locally.
+        assert machine.core(1).nr_threads >= 1
+
+    def test_balances_cross_group_when_averages_say_so(self):
+        machine, balancer = cfs_machine()
+        for i in range(6):
+            machine.place_task(Task(name=f"t{i}"), 2)
+        machine.dispatch_all()
+        for _ in range(8):
+            balancer.run_round()
+        # Node 1 average is clearly above node 0's: steals happen.
+        assert machine.core(0).nr_threads + machine.core(1).nr_threads >= 1
+
+    def test_round_records_conserve_tasks(self):
+        machine, balancer = cfs_machine()
+        for i in range(5):
+            machine.place_task(Task(name=f"t{i}"), 0)
+        machine.dispatch_all()
+        record = balancer.run_round()
+        assert sum(record.loads_before) == sum(record.loads_after)
+
+    def test_group_stats(self):
+        machine, balancer = cfs_machine()
+        machine.place_task(Task(nice=0), 0)
+        machine.dispatch_all()
+        stats = balancer.group_stats()
+        assert stats[0].total_weighted == 1024
+        assert stats[0].avg_weighted == 512.0
+        assert stats[1].total_weighted == 0
+
+
+class TestGroupImbalanceBug:
+    """The EuroSys'16 pathology, reconstructed state by state."""
+
+    def _pathological_machine(self) -> tuple[Machine, CfsLikeBalancer]:
+        """Node 0: heavy thread on core 0, core 1 idle.
+        Node 1: two workers per core (overloaded but 'light')."""
+        machine = Machine(topology=TOPO)
+        machine.place_task(Task(nice=-15, name="heavy"), 0)
+        for cid in (2, 3):
+            machine.place_task(Task(name=f"w{cid}a"), cid)
+            machine.place_task(Task(name=f"w{cid}b"), cid)
+        machine.dispatch_all()
+        balancer = CfsLikeBalancer(machine, build_domain_tree(TOPO))
+        return machine, balancer
+
+    def test_idle_core_starves_beside_heavy_thread(self):
+        machine, balancer = self._pathological_machine()
+        assert machine.core(1).idle
+        assert machine.overloaded_cores() == [2, 3]
+        for _ in range(20):
+            balancer.run_round()
+        # The bug: core 1 never pulls, although cores 2 and 3 each have a
+        # waiting thread. Its group's weighted AVERAGE exceeds node 1's.
+        assert machine.core(1).idle
+        assert machine.overloaded_cores() == [2, 3]
+
+    def test_averages_really_are_inverted(self):
+        machine, balancer = self._pathological_machine()
+        stats = balancer.group_stats()
+        assert stats[0].avg_weighted > stats[1].avg_weighted
+
+    def test_verified_policy_fixes_the_same_state(self):
+        machine, _ = self._pathological_machine()
+        verified = LoadBalancer(machine, BalanceCountPolicy())
+        rounds = verified.run_until_work_conserving(max_rounds=10)
+        assert rounds is not None
+        assert not machine.core(1).idle
+
+    def test_without_heavy_thread_cfs_recovers(self):
+        """Control experiment: remove the heavy thread and the same
+        balancer does pull across groups — the bug needs the weight."""
+        machine = Machine(topology=TOPO)
+        for cid in (2, 3):
+            machine.place_task(Task(name=f"w{cid}a"), cid)
+            machine.place_task(Task(name=f"w{cid}b"), cid)
+        machine.dispatch_all()
+        balancer = CfsLikeBalancer(machine, build_domain_tree(TOPO))
+        for _ in range(20):
+            balancer.run_round()
+        assert not machine.core(0).idle or not machine.core(1).idle
+
+
+class TestValidation:
+    def test_negative_imbalance_pct_rejected(self):
+        machine = Machine(topology=TOPO)
+        with pytest.raises(ConfigurationError):
+            CfsLikeBalancer(machine, build_domain_tree(TOPO),
+                            imbalance_pct=-0.1)

@@ -1,0 +1,52 @@
+"""Tests for the ideal and null baselines."""
+
+from repro.baselines import GlobalQueueBalancer, NullBalancer
+from repro.core.machine import Machine
+
+
+class TestGlobalQueue:
+    def test_clears_wasted_cores_in_one_round(self):
+        machine = Machine.from_loads([6, 0, 0, 0])
+        GlobalQueueBalancer(machine).run_round()
+        assert machine.is_work_conserving_state()
+        assert machine.total_threads() == 6
+
+    def test_moves_nothing_when_already_good(self):
+        machine = Machine.from_loads([2, 1])
+        record = GlobalQueueBalancer(machine).run_round()
+        assert record.tasks_moved == 0
+
+    def test_respects_running_tasks(self):
+        # One core with only a running task: nothing stealable.
+        machine = Machine.from_loads([1, 0])
+        record = GlobalQueueBalancer(machine).run_round()
+        assert record.tasks_moved == 0
+        assert machine.loads() == [1, 0]
+
+    def test_spreads_across_many_idle_cores(self):
+        machine = Machine.from_loads([5, 0, 0, 0, 0])
+        GlobalQueueBalancer(machine).run_round()
+        assert machine.idle_cores() == []
+
+    def test_history_when_enabled(self):
+        machine = Machine.from_loads([4, 0])
+        balancer = GlobalQueueBalancer(machine, keep_history=True)
+        balancer.run_round()
+        assert len(balancer.rounds) == 1
+        assert balancer.rounds[0].successes
+
+
+class TestNullBalancer:
+    def test_does_exactly_nothing(self):
+        machine = Machine.from_loads([4, 0])
+        record = NullBalancer(machine).run_round()
+        assert machine.loads() == [4, 0]
+        assert record.attempts == []
+        assert record.loads_before == record.loads_after
+
+    def test_round_index_advances(self):
+        machine = Machine.from_loads([1])
+        balancer = NullBalancer(machine)
+        balancer.run_round()
+        balancer.run_round()
+        assert balancer.round_index == 2

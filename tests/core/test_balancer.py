@@ -1,0 +1,218 @@
+"""Tests for the optimistic load balancer: Figure 1 executed.
+
+Covers the three phases, optimistic failure + attribution, the Listing 1
+``ensuring`` enforcement, clamping, and the convergence driver.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import AttemptOutcome, LoadBalancer
+from repro.core.errors import SchedulingInvariantError
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.policies.naive import OverStealingPolicy
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    ConcurrentInterleaving,
+    SequentialInterleaving,
+)
+
+from tests.conftest import load_states
+
+
+class TestSelectionPhase:
+    def test_idle_core_selects_overloaded_core(self, paper_machine,
+                                               listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        intent = balancer.select(0, paper_machine.snapshot())
+        assert intent is not None
+        assert intent.thief == 0
+        assert intent.victim == 2
+        assert intent.candidates == (2,)
+
+    def test_no_candidates_when_balanced(self, listing1_policy):
+        machine = Machine.from_loads([1, 1, 1])
+        balancer = LoadBalancer(machine, listing1_policy)
+        assert balancer.select(0, machine.snapshot()) is None
+
+    def test_core_never_selects_itself(self, listing1_policy):
+        machine = Machine.from_loads([4, 0])
+        balancer = LoadBalancer(machine, listing1_policy)
+        intent = balancer.select(1, machine.snapshot())
+        assert intent.victim == 0
+
+    def test_choice_must_come_from_candidates(self, paper_machine):
+        class RogueChoice(BalanceCountPolicy):
+            def choose(self, thief, candidates):
+                # Returns a snapshot outside the filtered set.
+                return thief  # type: ignore[return-value]
+
+        balancer = LoadBalancer(paper_machine, RogueChoice())
+        with pytest.raises(SchedulingInvariantError, match="choice returned"):
+            balancer.select(0, paper_machine.snapshot())
+
+    def test_choice_oracle_overrides_policy(self, listing1_policy):
+        machine = Machine.from_loads([0, 3, 4])
+        balancer = LoadBalancer(machine, listing1_policy)
+
+        def pick_first(thief, candidates):
+            return min(candidates, key=lambda c: c.cid)
+
+        intent = balancer.select(0, machine.snapshot(),
+                                 choice_oracle=pick_first)
+        assert intent.victim == 1  # policy alone would pick 2 (higher load)
+
+
+class TestStealingPhase:
+    def test_successful_steal_moves_one_task(self, paper_machine,
+                                             listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        record = balancer.run_round()
+        assert paper_machine.loads() == [1, 1, 1]
+        assert len(record.successes) == 1
+        success = record.successes[0]
+        assert (success.thief, success.victim) == (0, 2)
+        assert len(success.moved_task_ids) == 1
+
+    def test_recheck_failure_is_attributed(self, listing1_policy):
+        # Both idle cores select core 2 (load 3); the loser's failure must
+        # name the winner.
+        machine = Machine.from_loads([0, 0, 3])
+        balancer = LoadBalancer(machine, listing1_policy)
+        record = balancer.run_round(
+            interleaving=AdversarialInterleaving([1, 0])
+        )
+        assert machine.loads() == [0, 1, 2] or machine.loads() == [1, 1, 1]
+        failures = record.failures
+        if failures:  # margin-2 recheck on loads [0, _, 2] still passes
+            assert all(f.invalidated_by for f in failures)
+
+    def test_naive_policy_recheck_failure(self, paper_machine, naive_policy):
+        balancer = LoadBalancer(paper_machine, naive_policy)
+        record = balancer.run_round(
+            interleaving=AdversarialInterleaving([1, 0])
+        )
+        # Core 1 stole the only spare task; core 0's re-check fails.
+        fail = [a for a in record.attempts if a.thief == 0][0]
+        assert fail.outcome is AttemptOutcome.RECHECK_FAILED
+        assert 1 in fail.invalidated_by
+        assert fail.observed_victim_version is not None
+        assert fail.live_victim_version > fail.observed_victim_version
+
+    def test_steal_amount_clamped_to_ready_tasks(self):
+        machine = Machine.from_loads([0, 4])
+        balancer = LoadBalancer(machine, OverStealingPolicy())
+        record = balancer.run_round()
+        # Victim had 3 ready tasks; over-stealer asked for all of them.
+        assert record.successes[0].moved_task_ids
+        assert machine.core(1).nr_threads >= 1  # running task unstealable
+
+    def test_locks_released_after_round(self, paper_machine,
+                                        listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        balancer.run_round()
+        balancer.locks.assert_all_free()
+
+    def test_invariants_checked_by_default(self, paper_machine,
+                                           listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        balancer.run_round()
+        paper_machine.check_invariants()
+
+
+class TestRegimes:
+    def test_sequential_rounds_never_fail(self, listing1_policy):
+        machine = Machine.from_loads([0, 0, 4, 4])
+        balancer = LoadBalancer(machine, listing1_policy,
+                                interleaving=SequentialInterleaving())
+        for _ in range(5):
+            record = balancer.run_round()
+            assert not record.failures
+
+    def test_concurrent_regime_uses_shared_snapshot(self, naive_policy):
+        # With fresh snapshots core 0 would re-target; with stale ones it
+        # insists on core 2 and fails. Distinguishes the two regimes.
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, naive_policy,
+                                interleaving=ConcurrentInterleaving())
+        record = balancer.run_round(
+            interleaving=AdversarialInterleaving([1, 0])
+        )
+        assert any(
+            a.outcome is AttemptOutcome.RECHECK_FAILED
+            for a in record.attempts
+        )
+
+    def test_round_records_loads(self, paper_machine, listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        record = balancer.run_round()
+        assert record.loads_before == (0, 1, 2)
+        assert record.loads_after == (1, 1, 1)
+        assert record.index == 0
+        assert balancer.round_index == 1
+
+    def test_quiet_round_detection(self, listing1_policy):
+        machine = Machine.from_loads([1, 1])
+        balancer = LoadBalancer(machine, listing1_policy)
+        assert balancer.run_round().quiet
+
+    def test_history_can_be_disabled(self, paper_machine, listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy,
+                                keep_history=False)
+        balancer.run_round()
+        assert balancer.rounds == []
+        assert balancer.total_successes == 1
+
+
+class TestConvergence:
+    def test_paper_machine_converges_in_one_round(self, paper_machine,
+                                                  listing1_policy):
+        balancer = LoadBalancer(paper_machine, listing1_policy)
+        assert balancer.run_until_work_conserving() == 1
+
+    def test_already_good_state_needs_zero_rounds(self, listing1_policy):
+        machine = Machine.from_loads([1, 1, 1])
+        balancer = LoadBalancer(machine, listing1_policy)
+        assert balancer.run_until_work_conserving() == 0
+
+    def test_margin3_never_converges_from_stuck_state(self):
+        machine = Machine.from_loads([0, 2])
+        balancer = LoadBalancer(machine, BalanceCountPolicy(margin=3))
+        assert balancer.run_until_work_conserving(max_rounds=20) is None
+
+    def test_require_stable_reaches_fixpoint(self, listing1_policy):
+        machine = Machine.from_loads([0, 0, 6, 6])
+        balancer = LoadBalancer(machine, listing1_policy)
+        rounds = balancer.run_until_work_conserving(require_stable=True,
+                                                    max_rounds=50)
+        assert rounds is not None
+        assert machine.is_work_conserving_state()
+
+    @given(loads=load_states)
+    @settings(max_examples=40, deadline=None)
+    def test_balance_count_always_converges(self, loads):
+        """Property: Listing 1 reaches a work-conserving state from any
+        start, conserving the total thread count."""
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        rounds = balancer.run_until_work_conserving(max_rounds=200)
+        assert rounds is not None
+        assert machine.total_threads() == sum(loads)
+        assert machine.is_work_conserving_state()
+
+    @given(loads=load_states, seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_total_threads_conserved_every_round(self, loads, seed):
+        from repro.sim.interleave import SeededInterleaving
+
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                interleaving=SeededInterleaving(seed),
+                                check_invariants=False)
+        for _ in range(10):
+            record = balancer.run_round()
+            assert sum(record.loads_before) == sum(record.loads_after)

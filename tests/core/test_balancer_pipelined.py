@@ -1,0 +1,152 @@
+"""Tests for the pipelined (op-level) interleaving regime.
+
+The key theorems: the pipelined adversary *subsumes* both named regimes —
+an adjacent select/steal schedule reproduces sequential behaviour exactly,
+an all-selects-first schedule reproduces the concurrent regime exactly —
+and every trace-level obligation (attribution, progress, conservation)
+survives arbitrary valid schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    PipelinedInterleaving,
+    SequentialInterleaving,
+)
+from repro.verify import audit_failure_attribution, audit_progress
+
+from tests.conftest import load_states
+
+
+def run_one_round(policy_factory, loads, interleaving):
+    machine = Machine.from_loads(list(loads))
+    balancer = LoadBalancer(machine, policy_factory())
+    record = balancer.run_round(interleaving=interleaving)
+    return machine, record
+
+
+class TestScheduleValidation:
+    def test_steal_before_select_rejected(self):
+        with pytest.raises(ConfigurationError, match="before select"):
+            PipelinedInterleaving([("steal", 0), ("select", 0)])
+
+    def test_duplicate_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            PipelinedInterleaving([("select", 0), ("select", 0)])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown pipeline"):
+            PipelinedInterleaving([("ponder", 0)])
+
+    def test_partial_schedule_auto_completed(self):
+        inter = PipelinedInterleaving([("select", 1)])
+        schedule = inter.op_schedule(0, [0, 1])
+        assert ("steal", 1) in schedule
+        assert ("select", 0) in schedule
+        # Precedence holds for every core.
+        for cid in (0, 1):
+            assert schedule.index(("select", cid)) < \
+                schedule.index(("steal", cid))
+
+    def test_random_schedules_are_valid(self):
+        inter = PipelinedInterleaving(seed=7)
+        for round_index in range(10):
+            schedule = inter.op_schedule(round_index, [0, 1, 2, 3])
+            for cid in range(4):
+                assert schedule.index(("select", cid)) < \
+                    schedule.index(("steal", cid))
+
+
+class TestRegimeSubsumption:
+    def test_adjacent_schedule_equals_sequential(self):
+        """select_i steal_i select_j steal_j ... == the §4.2 regime."""
+        loads = (0, 0, 4, 4)
+        schedule = []
+        for cid in range(4):
+            schedule += [("select", cid), ("steal", cid)]
+        seq_machine, seq_record = run_one_round(
+            BalanceCountPolicy, loads, SequentialInterleaving()
+        )
+        pipe_machine, pipe_record = run_one_round(
+            BalanceCountPolicy, loads, PipelinedInterleaving(schedule)
+        )
+        assert pipe_machine.loads() == seq_machine.loads()
+        assert len(pipe_record.failures) == len(seq_record.failures) == 0
+
+    def test_selects_first_schedule_equals_concurrent(self):
+        """All selects, then steals in order == the §4.3 regime."""
+        loads = (0, 1, 2)
+        schedule = (
+            [("select", cid) for cid in range(3)]
+            + [("steal", 1), ("steal", 0), ("steal", 2)]
+        )
+        conc_machine, conc_record = run_one_round(
+            NaiveOverloadedPolicy, loads, AdversarialInterleaving([1, 0, 2])
+        )
+        pipe_machine, pipe_record = run_one_round(
+            NaiveOverloadedPolicy, loads, PipelinedInterleaving(schedule)
+        )
+        assert pipe_machine.loads() == conc_machine.loads()
+        pipe_outcomes = [
+            (a.thief, a.outcome) for a in pipe_record.attempts
+            if a.victim is not None
+        ]
+        conc_outcomes = [
+            (a.thief, a.outcome) for a in conc_record.attempts
+            if a.victim is not None
+        ]
+        assert pipe_outcomes == conc_outcomes
+
+    def test_mid_pipeline_select_sees_fresh_state(self):
+        """A select scheduled after another core's steal observes the
+        steal — the behaviour neither extreme regime exhibits: unlike
+        concurrent, core 0's selection already sees the drained victim
+        and re-targets; unlike sequential, core 1 selected stale."""
+        loads = (0, 1, 2)
+        schedule = [
+            ("select", 1), ("steal", 1),   # core 1 steals from core 2
+            ("select", 0), ("steal", 0),   # core 0 selects AFTER that
+        ]
+        machine, record = run_one_round(
+            NaiveOverloadedPolicy, loads, PipelinedInterleaving(schedule)
+        )
+        # Core 0 saw loads (0, 2, 1) and targeted core 1 — successfully.
+        zero_attempt = [a for a in record.attempts if a.thief == 0][0]
+        assert zero_attempt.victim == 1
+        assert zero_attempt.succeeded
+        assert machine.loads() == [1, 1, 1]
+
+
+class TestObligationsUnderPipelining:
+    @given(loads=load_states, seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_obligations_hold_for_listing1(self, loads, seed):
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy())
+        for _ in range(6):
+            balancer.run_round(
+                interleaving=PipelinedInterleaving(seed=seed)
+            )
+        assert audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        ).ok
+        assert audit_progress(balancer.policy.name, balancer.rounds).ok
+        assert machine.total_threads() == sum(loads)
+        machine.check_invariants()
+
+    @given(loads=load_states, seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_convergence_survives_pipelining(self, loads, seed):
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                interleaving=PipelinedInterleaving(seed=seed),
+                                check_invariants=False)
+        rounds = balancer.run_until_work_conserving(max_rounds=300)
+        assert rounds is not None

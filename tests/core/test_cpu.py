@@ -1,0 +1,181 @@
+"""Unit tests for cores and snapshots: the Listing 2 predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cpu import Core, CoreSnapshot, CoreView, is_idle, is_overloaded
+from repro.core.errors import SchedulingInvariantError
+from repro.core.policy import LoadView
+from repro.core.task import Task, TaskState
+
+
+def core_with(n_ready: int, running: bool) -> Core:
+    core = Core(cid=0)
+    if running:
+        core.runqueue.push(Task())
+        core.pick_next()
+    for _ in range(n_ready):
+        core.runqueue.push(Task())
+    return core
+
+
+class TestListing2Predicates:
+    """idle/overloaded exactly as the paper defines them."""
+
+    def test_idle_means_no_current_and_empty_queue(self):
+        assert core_with(0, running=False).idle
+
+    def test_running_core_is_not_idle(self):
+        assert not core_with(0, running=True).idle
+
+    def test_queued_core_is_not_idle(self):
+        assert not core_with(1, running=False).idle
+
+    @pytest.mark.parametrize("n_ready,running,expected", [
+        (0, False, False),   # empty
+        (0, True, False),    # 1 thread
+        (1, True, True),     # current + 1 ready: Listing 2 first branch
+        (1, False, False),   # 1 ready, nothing running
+        (2, False, True),    # 2 ready: Listing 2 second branch
+        (5, True, True),
+    ])
+    def test_overloaded_table(self, n_ready, running, expected):
+        assert core_with(n_ready, running).overloaded is expected
+
+    @given(load=st.integers(min_value=0, max_value=10))
+    def test_overloaded_iff_two_or_more_threads(self, load):
+        """Both Listing 2 branches reduce to nr_threads >= 2."""
+        view = LoadView(cid=0, load_count=load)
+        assert is_overloaded(view) == (load >= 2)
+        assert is_idle(view) == (load == 0)
+
+
+class TestCoreScheduling:
+    def test_pick_next_dispatches_head(self):
+        core = Core(cid=0)
+        first, second = Task(name="first"), Task(name="second")
+        core.runqueue.push(first)
+        core.runqueue.push(second)
+        assert core.pick_next() is first
+        assert first.state is TaskState.RUNNING
+        assert core.nr_ready == 1
+
+    def test_pick_next_keeps_running_task(self):
+        core = core_with(1, running=True)
+        current = core.current
+        assert core.pick_next() is current
+
+    def test_pick_next_on_empty_core_stays_idle(self):
+        core = Core(cid=0)
+        assert core.pick_next() is None
+        assert core.idle
+
+    def test_preempt_requeues_at_tail(self):
+        core = Core(cid=0)
+        a, b = Task(name="a"), Task(name="b")
+        core.runqueue.push(a)
+        core.pick_next()
+        core.runqueue.push(b)
+        core.preempt()
+        assert core.current is None
+        assert core.runqueue.task_ids() == [b.tid, a.tid]
+        assert a.state is TaskState.READY
+
+    def test_preempt_idle_core_is_noop(self):
+        core = Core(cid=0)
+        core.preempt()
+        assert core.idle
+
+    def test_block_current_removes_from_scheduler(self):
+        core = core_with(0, running=True)
+        task = core.block_current()
+        assert task.state is TaskState.BLOCKED
+        assert core.idle
+
+    def test_block_without_current_raises(self):
+        with pytest.raises(SchedulingInvariantError):
+            Core(cid=0).block_current()
+
+    def test_finish_current(self):
+        core = core_with(0, running=True)
+        task = core.finish_current()
+        assert task.state is TaskState.FINISHED
+        assert core.idle
+
+    def test_finish_without_current_raises(self):
+        with pytest.raises(SchedulingInvariantError):
+            Core(cid=0).finish_current()
+
+
+class TestLoads:
+    def test_load_threads_counts_current_plus_ready(self):
+        core = core_with(3, running=True)
+        assert core.load_threads() == 4
+        assert core.nr_threads == 4
+
+    def test_weighted_load_includes_current(self):
+        core = Core(cid=0)
+        core.runqueue.push(Task(nice=-20))
+        core.pick_next()
+        core.runqueue.push(Task(nice=0))
+        assert core.weighted_load == 88761 + 1024
+
+    def test_normalized_weighted_load(self):
+        core = core_with(2, running=False)
+        assert core.normalized_weighted_load() == pytest.approx(2.0)
+
+
+class TestSnapshots:
+    def test_snapshot_reflects_state(self):
+        core = core_with(2, running=True)
+        snap = core.snapshot()
+        assert snap.cid == core.cid
+        assert snap.nr_ready == 2
+        assert snap.has_current
+        assert snap.nr_threads == 3
+        assert snap.weighted_load == core.weighted_load
+        assert snap.version == core.runqueue.version
+        assert len(snap.ready_task_ids) == 2
+
+    def test_snapshot_is_immutable(self):
+        snap = core_with(1, running=True).snapshot()
+        with pytest.raises(AttributeError):
+            snap.nr_ready = 99  # type: ignore[misc]
+
+    def test_snapshot_goes_stale_not_live(self):
+        core = core_with(1, running=True)
+        snap = core.snapshot()
+        core.runqueue.push(Task())
+        assert snap.nr_ready == 1  # unchanged: that's the point
+        assert core.nr_ready == 2
+
+    def test_snapshot_predicates_match_core(self):
+        for n_ready, running in [(0, False), (0, True), (2, True)]:
+            core = core_with(n_ready, running)
+            snap = core.snapshot()
+            assert snap.idle == core.idle
+            assert snap.overloaded == core.overloaded
+
+
+class TestCoreViewProtocol:
+    """Core, CoreSnapshot and LoadView are interchangeable for policies."""
+
+    def test_core_satisfies_protocol(self):
+        assert isinstance(Core(cid=0), CoreView)
+
+    def test_snapshot_satisfies_protocol(self):
+        snap = CoreSnapshot(cid=0, nr_ready=0, has_current=False,
+                            weighted_load=0, node=0, version=0)
+        assert isinstance(snap, CoreView)
+
+    def test_load_view_satisfies_protocol(self):
+        assert isinstance(LoadView(cid=0, load_count=3), CoreView)
+
+    @given(load=st.integers(min_value=0, max_value=8))
+    def test_load_view_convention(self, load):
+        """Load k > 0 means one running task plus k-1 ready tasks."""
+        view = LoadView(cid=0, load_count=load)
+        assert view.nr_threads == load
+        assert view.has_current == (load > 0)
+        assert view.nr_ready == max(0, load - 1)

@@ -1,0 +1,113 @@
+"""Failure injection: the balancer must stay consistent when policies
+misbehave at runtime.
+
+A production scheduler cannot assume its policies are bug-free; the
+balancer's job is to contain the blast radius — locks released, machine
+invariants intact, no task lost — even when a policy throws mid-round.
+"""
+
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import SchedulingInvariantError
+from repro.core.machine import Machine
+from repro.core.policy import Policy
+from repro.policies import BalanceCountPolicy
+
+
+class ExplodesOnRecheck(Policy):
+    """Filter that works during selection, then throws under the locks."""
+
+    name = "explodes_on_recheck"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def can_steal(self, thief, stealee) -> bool:
+        self.calls += 1
+        # Snapshot views are frozen dataclasses; live cores are not.
+        from repro.core.cpu import CoreSnapshot
+
+        if not isinstance(stealee, CoreSnapshot):
+            raise RuntimeError("policy bug under the locks")
+        return stealee.nr_threads - thief.nr_threads >= 2
+
+
+class ExplodesOnChoice(BalanceCountPolicy):
+    """Sound filter; the choice step throws."""
+
+    def __init__(self) -> None:
+        super().__init__(margin=2)
+        self.name = "explodes_on_choice"
+
+    def choose(self, thief, candidates):
+        raise RuntimeError("choice heuristic bug")
+
+
+class NegativeStealAmount(BalanceCountPolicy):
+    """steal_amount returns nonsense."""
+
+    def __init__(self) -> None:
+        super().__init__(margin=2)
+        self.name = "negative_steal"
+
+    def steal_amount(self, thief, stealee) -> int:
+        return -1
+
+
+class TestExceptionContainment:
+    def test_locks_released_when_recheck_throws(self):
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, ExplodesOnRecheck())
+        with pytest.raises(RuntimeError, match="under the locks"):
+            balancer.run_round()
+        # The lock context manager must have cleaned up.
+        balancer.locks.assert_all_free()
+        machine.check_invariants()
+
+    def test_machine_unchanged_when_choice_throws(self):
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, ExplodesOnChoice())
+        before = machine.loads()
+        with pytest.raises(RuntimeError, match="choice heuristic"):
+            balancer.run_round()
+        assert machine.loads() == before
+        machine.check_invariants()
+
+    def test_negative_steal_amount_rejected_loudly(self):
+        from repro.core.errors import ConfigurationError
+
+        machine = Machine.from_loads([0, 3])
+        balancer = LoadBalancer(machine, NegativeStealAmount())
+        with pytest.raises(ConfigurationError, match="steal_amount"):
+            balancer.run_round()
+        balancer.locks.assert_all_free()
+        machine.check_invariants()
+
+    def test_recovery_after_contained_failure(self):
+        """After a policy exception, a healthy policy can take over the
+        same machine — nothing was corrupted."""
+        machine = Machine.from_loads([0, 1, 2])
+        broken = LoadBalancer(machine, ExplodesOnRecheck())
+        with pytest.raises(RuntimeError):
+            broken.run_round()
+        healthy = LoadBalancer(machine, BalanceCountPolicy())
+        assert healthy.run_until_work_conserving() == 1
+        assert machine.loads() == [1, 1, 1]
+
+
+class TestRogueChoiceEnforcement:
+    def test_out_of_candidates_choice_is_a_scheduling_error(self):
+        """Listing 1's 'ensuring' clause, enforced: returning a
+        non-candidate is caught before any steal happens."""
+
+        class RogueChoice(BalanceCountPolicy):
+            def choose(self, thief, candidates):
+                return thief  # not a candidate
+
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, RogueChoice())
+        before = machine.loads()
+        with pytest.raises(SchedulingInvariantError):
+            balancer.run_round()
+        assert machine.loads() == before

@@ -1,0 +1,123 @@
+"""Unit tests for the Machine: construction, state queries, invariants."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import ConfigurationError, SchedulingInvariantError
+from repro.core.machine import Machine
+from repro.core.task import Task, TaskState
+from repro.topology import symmetric_numa
+
+from tests.conftest import load_states
+
+
+class TestConstruction:
+    def test_n_cores(self):
+        machine = Machine(n_cores=4)
+        assert machine.n_cores == 4
+        assert [core.cid for core in machine] == [0, 1, 2, 3]
+
+    def test_needs_cores_or_topology(self):
+        with pytest.raises(ConfigurationError):
+            Machine()
+
+    def test_topology_assigns_nodes(self):
+        machine = Machine(topology=symmetric_numa(2, 2))
+        assert [core.node for core in machine.cores] == [0, 0, 1, 1]
+
+    def test_mismatched_n_cores_and_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(n_cores=3, topology=symmetric_numa(2, 2))
+
+    def test_from_loads_dispatches_by_default(self):
+        machine = Machine.from_loads([0, 1, 3])
+        assert machine.loads() == [0, 1, 3]
+        assert machine.core(0).current is None
+        assert machine.core(1).current is not None
+        assert machine.core(1).nr_ready == 0
+        assert machine.core(2).nr_ready == 2
+
+    def test_from_loads_without_dispatch(self):
+        machine = Machine.from_loads([2], dispatch=False)
+        assert machine.core(0).current is None
+        assert machine.core(0).nr_ready == 2
+
+    def test_from_loads_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Machine.from_loads([1, -1])
+
+    @given(loads=load_states)
+    def test_from_loads_roundtrip(self, loads):
+        machine = Machine.from_loads(list(loads))
+        assert tuple(machine.loads()) == loads
+        assert machine.total_threads() == sum(loads)
+
+
+class TestStateQueries:
+    def test_idle_and_overloaded_cores(self, paper_machine):
+        assert paper_machine.idle_cores() == [0]
+        assert paper_machine.overloaded_cores() == [2]
+
+    def test_work_conserving_state_detection(self):
+        assert not Machine.from_loads([0, 2]).is_work_conserving_state()
+        assert Machine.from_loads([1, 1]).is_work_conserving_state()
+        assert Machine.from_loads([0, 1]).is_work_conserving_state()
+        assert Machine.from_loads([0, 0]).is_work_conserving_state()
+        assert Machine.from_loads([3, 3]).is_work_conserving_state()
+
+    def test_tasks_lists_running_and_queued(self):
+        machine = Machine.from_loads([2, 1])
+        tasks = machine.tasks()
+        assert len(tasks) == 3
+        running = [t for t in tasks if t.state is TaskState.RUNNING]
+        assert len(running) == 2
+
+    def test_weighted_loads(self):
+        machine = Machine(n_cores=2)
+        machine.place_task(Task(nice=-20), 0)
+        machine.dispatch_all()
+        assert machine.weighted_loads() == [88761, 0]
+
+    def test_snapshot_covers_all_cores(self):
+        machine = Machine.from_loads([1, 2, 0])
+        snaps = machine.snapshot()
+        assert [s.cid for s in snaps] == [0, 1, 2]
+        assert [s.nr_threads for s in snaps] == [1, 2, 0]
+
+
+class TestInvariants:
+    def test_healthy_machine_passes(self):
+        Machine.from_loads([0, 1, 2]).check_invariants()
+
+    def test_task_on_two_queues_detected(self):
+        machine = Machine(n_cores=2)
+        task = Task()
+        machine.place_task(task, 0)
+        machine.cores[1].runqueue._tasks.append(task)  # simulate a bug
+        with pytest.raises(SchedulingInvariantError):
+            machine.check_invariants()
+
+    def test_task_current_twice_detected(self):
+        machine = Machine(n_cores=2)
+        task = Task()
+        task.state = TaskState.RUNNING
+        machine.cores[0].current = task
+        machine.cores[1].current = task
+        with pytest.raises(SchedulingInvariantError):
+            machine.check_invariants()
+
+    def test_current_and_queued_detected(self):
+        machine = Machine(n_cores=2)
+        task = Task()
+        machine.place_task(task, 0)
+        dup = machine.cores[0].runqueue.peek()
+        machine.cores[1].current = dup
+        dup.state = TaskState.RUNNING
+        with pytest.raises(SchedulingInvariantError):
+            machine.check_invariants()
+
+    def test_current_in_wrong_state_detected(self):
+        machine = Machine.from_loads([1])
+        machine.core(0).current.state = TaskState.BLOCKED
+        with pytest.raises(SchedulingInvariantError):
+            machine.check_invariants()

@@ -1,0 +1,96 @@
+"""Tests for the Policy base abstraction and filtering helper."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import ConfigurationError
+from repro.core.policy import LoadView, Policy, filter_candidates
+from repro.verify import snapshot_from_load
+
+from tests.conftest import load_states
+
+
+class MinimalPolicy(Policy):
+    """Smallest possible concrete policy: only the filter is defined."""
+
+    name = "minimal"
+
+    def can_steal(self, thief, stealee) -> bool:
+        return stealee.nr_threads - thief.nr_threads >= 2
+
+
+class TestPolicyDefaults:
+    def test_default_load_is_thread_count(self):
+        policy = MinimalPolicy()
+        assert policy.load(LoadView(cid=0, load_count=7)) == 7
+
+    def test_default_steal_amount_is_one(self):
+        policy = MinimalPolicy()
+        assert policy.steal_amount(
+            LoadView(0, 0), LoadView(1, 5)
+        ) == 1
+
+    def test_default_choice_most_loaded_lowest_cid_ties(self):
+        policy = MinimalPolicy()
+        candidates = [snapshot_from_load(3, 4), snapshot_from_load(1, 4),
+                      snapshot_from_load(2, 2)]
+        assert policy.choose(LoadView(0, 0), candidates).cid == 1
+
+    def test_describe_uses_docstring(self):
+        text = MinimalPolicy().describe()
+        assert text.startswith("minimal:")
+        assert "Smallest possible" in text
+
+    def test_repr(self):
+        assert "MinimalPolicy" in repr(MinimalPolicy())
+
+    def test_policy_is_abstract(self):
+        with pytest.raises(TypeError):
+            Policy()  # type: ignore[abstract]
+
+
+class TestFilterCandidates:
+    def test_excludes_self(self):
+        policy = MinimalPolicy()
+        snaps = [snapshot_from_load(0, 0), snapshot_from_load(1, 5)]
+        kept = filter_candidates(policy, snaps[0], snaps)
+        assert [c.cid for c in kept] == [1]
+
+    def test_applies_the_filter(self):
+        policy = MinimalPolicy()
+        snaps = [snapshot_from_load(0, 1), snapshot_from_load(1, 2),
+                 snapshot_from_load(2, 4)]
+        kept = filter_candidates(policy, snaps[0], snaps)
+        assert [c.cid for c in kept] == [2]
+
+    def test_empty_when_nothing_qualifies(self):
+        policy = MinimalPolicy()
+        snaps = [snapshot_from_load(0, 2), snapshot_from_load(1, 2)]
+        assert filter_candidates(policy, snaps[0], snaps) == []
+
+    @given(loads=load_states)
+    def test_candidates_preserve_core_order(self, loads):
+        policy = MinimalPolicy()
+        snaps = [snapshot_from_load(i, load)
+                 for i, load in enumerate(loads)]
+        kept = filter_candidates(policy, snaps[0], snaps)
+        cids = [c.cid for c in kept]
+        assert cids == sorted(cids)
+
+
+class TestLoadView:
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadView(cid=0, load_count=-1)
+
+    def test_zero_load_shape(self):
+        view = LoadView(cid=3, load_count=0)
+        assert not view.has_current
+        assert view.nr_ready == 0
+        assert view.weighted_load == 0
+        assert view.node == 0
+
+    def test_weighted_load_assumes_nice_zero(self):
+        from repro.core.task import NICE_0_WEIGHT
+
+        assert LoadView(0, 3).weighted_load == 3 * NICE_0_WEIGHT

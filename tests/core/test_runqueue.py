@@ -1,0 +1,158 @@
+"""Unit tests for runqueues: FIFO order, versions, invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, SchedulingInvariantError
+from repro.core.runqueue import (
+    RunQueue,
+    build_runqueue,
+    total_tasks,
+    validate_disjoint,
+)
+from repro.core.task import Task
+
+
+class TestFifoBehaviour:
+    def test_push_pop_is_fifo(self):
+        rq = RunQueue(owner=0)
+        tasks = [Task(name=f"t{i}") for i in range(4)]
+        for task in tasks:
+            rq.push(task)
+        assert [rq.pop().name for _ in range(4)] == ["t0", "t1", "t2", "t3"]
+
+    def test_pop_tail_takes_newest(self):
+        rq = build_runqueue(0, [Task(name="old"), Task(name="new")])
+        assert rq.pop_tail().name == "new"
+
+    def test_push_front_jumps_the_queue(self):
+        rq = build_runqueue(0, [Task(name="a")])
+        rq.push_front(Task(name="urgent"))
+        assert rq.pop().name == "urgent"
+
+    def test_peek_does_not_remove(self):
+        rq = build_runqueue(0, 2)
+        head = rq.peek()
+        assert rq.size == 2
+        assert rq.pop() is head
+
+    def test_peek_empty_returns_none(self):
+        rq = RunQueue(owner=0)
+        assert rq.peek() is None
+        assert rq.peek_tail() is None
+
+    def test_remove_from_middle(self):
+        tasks = [Task(name=f"t{i}") for i in range(3)]
+        rq = build_runqueue(0, tasks)
+        rq.remove(tasks[1])
+        assert rq.task_ids() == [tasks[0].tid, tasks[2].tid]
+
+    def test_contains_and_len(self):
+        task = Task()
+        rq = build_runqueue(0, [task])
+        assert task in rq
+        assert len(rq) == 1
+
+    def test_clear_drains_everything(self):
+        rq = build_runqueue(0, 5)
+        drained = rq.clear()
+        assert len(drained) == 5
+        assert rq.size == 0
+
+
+class TestErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingInvariantError):
+            RunQueue(owner=0).pop()
+
+    def test_pop_tail_empty_raises(self):
+        with pytest.raises(SchedulingInvariantError):
+            RunQueue(owner=0).pop_tail()
+
+    def test_double_push_raises(self):
+        rq = RunQueue(owner=0)
+        task = Task()
+        rq.push(task)
+        with pytest.raises(SchedulingInvariantError):
+            rq.push(task)
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(SchedulingInvariantError):
+            RunQueue(owner=0).remove(Task())
+
+    def test_build_runqueue_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            build_runqueue(0, -1)
+
+
+class TestVersioning:
+    def test_version_starts_at_zero(self):
+        assert RunQueue(owner=0).version == 0
+
+    def test_every_mutation_bumps_version(self):
+        rq = RunQueue(owner=0)
+        task = Task()
+        rq.push(task)
+        assert rq.version == 1
+        rq.pop()
+        assert rq.version == 2
+        rq.push(task)
+        rq.remove(task)
+        assert rq.version == 4
+
+    def test_reads_do_not_bump_version(self):
+        rq = build_runqueue(0, 3)
+        before = rq.version
+        _ = rq.size, rq.weighted_load, rq.peek(), list(rq), rq.task_ids()
+        assert rq.version == before
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=40))
+    def test_version_counts_successful_mutations(self, ops):
+        rq = RunQueue(owner=0)
+        mutations = 0
+        for op in ops:
+            if op == "push":
+                rq.push(Task())
+                mutations += 1
+            elif rq.size > 0:
+                rq.pop()
+                mutations += 1
+        assert rq.version == mutations
+
+
+class TestWeightedLoad:
+    def test_weighted_load_sums_task_weights(self):
+        rq = build_runqueue(0, [Task(nice=0), Task(nice=-20), Task(nice=19)])
+        assert rq.weighted_load == 1024 + 88761 + 15
+
+    def test_empty_queue_weighs_nothing(self):
+        assert RunQueue(owner=0).weighted_load == 0
+
+
+class TestGlobalInvariants:
+    def test_disjoint_queues_pass(self):
+        a = build_runqueue(0, 2)
+        b = build_runqueue(1, 3)
+        validate_disjoint([a, b])  # no raise
+
+    def test_shared_task_detected(self):
+        task = Task()
+        a = RunQueue(owner=0)
+        b = RunQueue(owner=1)
+        a.push(task)
+        # Bypass push protection by injecting directly (simulating a bug).
+        b._tasks.append(task)
+        with pytest.raises(SchedulingInvariantError) as exc:
+            validate_disjoint([a, b])
+        assert str(task.tid) in str(exc.value)
+
+    def test_total_tasks(self):
+        queues = [build_runqueue(i, i) for i in range(4)]
+        assert total_tasks(queues) == 0 + 1 + 2 + 3
+
+    def test_push_records_owner_as_last_core(self):
+        rq = RunQueue(owner=7)
+        task = Task()
+        rq.push(task)
+        assert task.last_core == 7

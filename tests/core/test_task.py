@@ -1,0 +1,145 @@
+"""Unit tests for tasks: weights, execution accounting, migrations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.task import (
+    MAX_NICE,
+    MIN_NICE,
+    NICE_0_WEIGHT,
+    NICE_TO_WEIGHT,
+    Task,
+    TaskState,
+    make_tasks,
+    nice_to_weight,
+)
+
+
+class TestNiceToWeight:
+    def test_nice_zero_is_1024(self):
+        assert nice_to_weight(0) == 1024
+        assert NICE_0_WEIGHT == 1024
+
+    def test_table_matches_kernel_extremes(self):
+        assert nice_to_weight(-20) == 88761
+        assert nice_to_weight(19) == 15
+
+    def test_table_is_strictly_decreasing(self):
+        weights = [nice_to_weight(n) for n in range(MIN_NICE, MAX_NICE + 1)]
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_table_has_40_entries(self):
+        assert len(NICE_TO_WEIGHT) == 40
+
+    @pytest.mark.parametrize("nice", [-21, 20, 100, -100])
+    def test_out_of_range_nice_rejected(self, nice):
+        with pytest.raises(ConfigurationError):
+            nice_to_weight(nice)
+
+    def test_adjacent_levels_differ_by_about_25_percent(self):
+        for n in range(MIN_NICE, MAX_NICE):
+            ratio = nice_to_weight(n) / nice_to_weight(n + 1)
+            assert 1.1 < ratio < 1.4
+
+
+class TestTaskLifecycle:
+    def test_defaults(self):
+        task = Task()
+        assert task.nice == 0
+        assert task.weight == 1024
+        assert task.state is TaskState.READY
+        assert task.work is None
+        assert task.remaining is None
+        assert not task.finished
+
+    def test_unique_auto_ids(self):
+        a, b = Task(), Task()
+        assert a.tid != b.tid
+
+    def test_run_for_consumes_work(self):
+        task = Task(work=10)
+        assert task.run_for(4) == 4
+        assert task.executed == 4
+        assert task.remaining == 6
+        assert not task.finished
+
+    def test_run_for_clamps_at_completion(self):
+        task = Task(work=5)
+        consumed = task.run_for(10)
+        assert consumed == 5
+        assert task.finished
+        assert task.state is TaskState.FINISHED
+        assert task.remaining == 0
+
+    def test_infinite_task_never_finishes(self):
+        task = Task(work=None)
+        assert task.run_for(1000) == 1000
+        assert not task.finished
+        assert task.remaining is None
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task(work=-1)
+
+    def test_negative_run_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task(work=5).run_for(-1)
+
+    def test_zero_work_task_is_finished_after_zero_units(self):
+        task = Task(work=0)
+        assert task.run_for(1) == 0
+        assert task.finished
+
+
+class TestMigrationAccounting:
+    def test_first_placement_is_not_a_migration(self):
+        task = Task()
+        task.note_migration(3)
+        assert task.migrations == 0
+        assert task.last_core == 3
+
+    def test_moving_cores_counts(self):
+        task = Task()
+        task.note_migration(0)
+        task.note_migration(1)
+        task.note_migration(1)
+        task.note_migration(2)
+        assert task.migrations == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=30))
+    def test_migration_count_equals_core_changes(self, cores):
+        task = Task()
+        task.migrations = 0
+        task.last_core = None
+        expected = 0
+        prev = None
+        for cid in cores:
+            task.note_migration(cid)
+            if prev is not None and prev != cid:
+                expected += 1
+            prev = cid
+        assert task.migrations == expected
+
+
+class TestMakeTasks:
+    def test_count_and_names(self):
+        tasks = make_tasks(3, name_prefix="w")
+        assert [t.name for t in tasks] == ["w0", "w1", "w2"]
+
+    def test_properties_applied(self):
+        tasks = make_tasks(2, nice=5, work=7)
+        assert all(t.nice == 5 and t.work == 7 for t in tasks)
+
+    def test_zero_tasks(self):
+        assert make_tasks(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tasks(-1)
+
+    @given(nice=st.integers(min_value=-20, max_value=19))
+    def test_weight_always_consistent_with_table(self, nice):
+        task = Task(nice=nice)
+        assert task.weight == nice_to_weight(nice)

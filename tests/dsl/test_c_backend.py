@@ -1,0 +1,145 @@
+"""Tests for the C backend: structure, mappings, and (when a compiler is
+available) an actual compile check of the generated translation unit."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.dsl import ALL_SOURCES, LISTING1_SOURCE, emit_c, emit_header
+from repro.dsl.parser import parse_policy
+
+
+@pytest.fixture
+def listing1_c() -> str:
+    return emit_c(parse_policy(LISTING1_SOURCE))
+
+
+class TestStructure:
+    def test_contains_all_callbacks(self, listing1_c):
+        for symbol in (
+            "balance_count_load",
+            "balance_count_can_steal",
+            "balance_count_steal_amount",
+            "balance_count_choose",
+            "balance_count_sched_class",
+        ):
+            assert symbol in listing1_c
+
+    def test_braces_balanced(self, listing1_c):
+        assert listing1_c.count("{") == listing1_c.count("}")
+        assert listing1_c.count("(") == listing1_c.count(")")
+
+    def test_filter_expression_translated(self, listing1_c):
+        assert "(stealee) - " in listing1_c.replace(
+            "balance_count_load", ""
+        ) or "balance_count_load(stealee)" in listing1_c
+        assert ">= 2L" in listing1_c
+
+    def test_header_embedded_by_default(self, listing1_c):
+        assert "struct core_state" in listing1_c
+        assert "#ifndef SCHED_DSL_H" in listing1_c
+
+    def test_include_mode_references_header(self):
+        c_source = emit_c(parse_policy(LISTING1_SOURCE),
+                          include_header_inline=False)
+        assert '#include "sched_dsl.h"' in c_source
+        assert "#ifndef SCHED_DSL_H" not in c_source
+
+    def test_three_step_comment_documents_protocol(self, listing1_c):
+        assert "step 1 (filter)" in listing1_c
+        assert "step 2 (choice)" in listing1_c
+        assert "step 3 (steal)" in listing1_c
+
+    def test_all_example_sources_emit(self):
+        for name, source in ALL_SOURCES.items():
+            c_source = emit_c(parse_policy(source))
+            assert c_source.count("{") == c_source.count("}"), name
+
+
+class TestOperatorMapping:
+    def test_logical_operators(self):
+        c_source = emit_c(parse_policy("""
+            policy ops {
+                filter(a, b) = b.load >= 2 and not (a.load >= 1)
+                               or b.nr_ready == 3;
+            }
+        """))
+        assert "&&" in c_source
+        assert "||" in c_source
+        assert "!(" in c_source
+
+    def test_integer_division_maps_to_c_division(self):
+        c_source = emit_c(parse_policy("""
+            policy div {
+                filter(a, b) = (b.load - a.load) // 2 >= 1;
+            }
+        """))
+        assert "/ 2L" in c_source
+
+    def test_builtins_map_to_dsl_helpers(self):
+        c_source = emit_c(parse_policy("""
+            policy m {
+                filter(a, b) = max(b.load - a.load, 0) >= 2;
+                steal(a, b) = min(b.nr_ready, abs(b.load - a.load));
+            }
+        """))
+        assert "dsl_max(" in c_source
+        assert "dsl_min(" in c_source
+        assert "dsl_abs(" in c_source
+
+
+class TestChoiceStrategies:
+    @pytest.mark.parametrize("strategy,marker", [
+        ("max_load", "candidate_load > best_load"),
+        ("min_load", "candidate_load < best_load"),
+        ("first", "return 0;"),
+        ("nearest", "best_distance"),
+    ])
+    def test_strategy_bodies(self, strategy, marker):
+        c_source = emit_c(parse_policy(f"""
+            policy c {{
+                filter(a, b) = b.load - a.load >= 2;
+                choice = {strategy};
+            }}
+        """))
+        assert marker in c_source
+
+
+HAVE_CC = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+class TestCompileCheck:
+    def test_generated_c_compiles(self, tmp_path, listing1_c):
+        src = tmp_path / "balance_count.c"
+        src.write_text(listing1_c)
+        compiler = shutil.which("cc") or shutil.which("gcc") \
+            or shutil.which("clang")
+        result = subprocess.run(
+            [compiler, "-std=c99", "-Wall", "-Werror", "-c",
+             str(src), "-o", str(tmp_path / "out.o")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_every_example_source_compiles(self, tmp_path):
+        compiler = shutil.which("cc") or shutil.which("gcc") \
+            or shutil.which("clang")
+        for name, source in ALL_SOURCES.items():
+            src = tmp_path / f"{name}.c"
+            src.write_text(emit_c(parse_policy(source)))
+            result = subprocess.run(
+                [compiler, "-std=c99", "-Wall", "-c", str(src),
+                 "-o", str(tmp_path / f"{name}.o")],
+                capture_output=True, text=True,
+            )
+            assert result.returncode == 0, f"{name}: {result.stderr}"
+
+
+class TestHeader:
+    def test_header_is_self_contained(self):
+        header = emit_header()
+        assert "struct core_state" in header
+        assert "struct sched_dsl_class" in header
+        assert header.count("{") == header.count("}")

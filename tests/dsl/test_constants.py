@@ -1,0 +1,124 @@
+"""Tests for DSL named constants (``const margin = 2;``)."""
+
+import pytest
+
+from repro.core.errors import DslSyntaxError, DslValidationError
+from repro.dsl import (
+    LISTING1_CONST_SOURCE,
+    LISTING1_SOURCE,
+    ConstRef,
+    compile_policy,
+    emit_c,
+    emit_scala,
+    parse_policy,
+    render,
+)
+from repro.verify import StateScope, iter_states, views_of
+
+
+class TestParsing:
+    def test_const_clause_parsed(self):
+        decl = parse_policy(LISTING1_CONST_SOURCE)
+        assert decl.constants == (("margin", 2),)
+        assert decl.constant_value("margin") == 2
+
+    def test_negative_constant(self):
+        decl = parse_policy("""
+            policy p {
+                const bias = -3;
+                filter(a, b) = b.load - a.load >= 2 + bias;
+            }
+        """)
+        assert decl.constant_value("bias") == -3
+
+    def test_constant_reference_becomes_constref(self):
+        decl = parse_policy(LISTING1_CONST_SOURCE)
+        rendered = render(decl.filter.expr)
+        assert "margin" in rendered
+
+    def test_undeclared_name_still_errors(self):
+        with pytest.raises(DslSyntaxError, match="declared constant"):
+            parse_policy(
+                "policy p { filter(a, b) = b.load - a.load >= margin; }"
+            )
+
+    def test_use_before_declaration_errors(self):
+        with pytest.raises(DslSyntaxError):
+            parse_policy("""
+                policy p {
+                    filter(a, b) = b.load - a.load >= margin;
+                    const margin = 2;
+                }
+            """)
+
+    def test_duplicate_constant_rejected(self):
+        with pytest.raises(DslSyntaxError, match="duplicate constant"):
+            parse_policy("""
+                policy p {
+                    const margin = 2;
+                    const margin = 3;
+                    filter(a, b) = b.load - a.load >= margin;
+                }
+            """)
+
+    def test_unknown_constant_lookup_raises(self):
+        decl = parse_policy(LISTING1_CONST_SOURCE)
+        with pytest.raises(KeyError):
+            decl.constant_value("nope")
+
+
+class TestValidation:
+    def test_constant_shadowing_param_rejected(self):
+        from repro.dsl import validate_policy
+
+        with pytest.raises(DslValidationError, match="shadow"):
+            validate_policy(parse_policy("""
+                policy p {
+                    const stealee = 1;
+                    filter(a, stealee) = stealee.load - a.load >= 2;
+                }
+            """))
+
+    def test_programmatic_undeclared_constref_rejected(self):
+        from repro.dsl import FilterClause, PolicyDecl, validate_policy
+        from repro.dsl.ast_nodes import BinaryOp, NumberLit
+
+        decl = PolicyDecl(
+            name="p",
+            filter=FilterClause(
+                self_param="a", stealee_param="b",
+                expr=BinaryOp(">=", ConstRef("ghost"), NumberLit(1)),
+            ),
+        )
+        with pytest.raises(DslValidationError, match="undeclared constant"):
+            validate_policy(decl)
+
+
+class TestBackends:
+    def test_const_policy_equivalent_to_literal_policy(self):
+        const_policy = compile_policy(LISTING1_CONST_SOURCE)
+        literal_policy = compile_policy(LISTING1_SOURCE)
+        for state in iter_states(StateScope(n_cores=2, max_load=5)):
+            thief, stealee = views_of(state)
+            assert const_policy.can_steal(thief, stealee) == \
+                literal_policy.can_steal(thief, stealee)
+
+    def test_c_backend_emits_define(self):
+        c_source = emit_c(parse_policy(LISTING1_CONST_SOURCE))
+        assert "#define MARGIN (2L)" in c_source
+        assert ">= MARGIN" in c_source
+
+    def test_scala_backend_emits_val(self):
+        scala = emit_scala(parse_policy(LISTING1_CONST_SOURCE))
+        assert "val margin: BigInt = BigInt(2)" in scala
+        assert ">= margin" in scala
+
+    def test_const_policy_verifies_like_listing1(self):
+        from repro.verify import prove_work_conserving
+
+        cert = prove_work_conserving(
+            compile_policy(LISTING1_CONST_SOURCE),
+            StateScope(n_cores=3, max_load=3),
+        )
+        assert cert.proved
+        assert cert.exact_worst_rounds == 1

@@ -1,0 +1,81 @@
+"""Tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.core.errors import DslSyntaxError
+from repro.dsl import Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[tuple[str, str]]:
+    return [(t.kind.value, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_numbers(self):
+        assert kinds("foo 42 bar_7") == [
+            ("ident", "foo"), ("number", "42"), ("ident", "bar_7"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) , ; . =") == [
+            ("punct", c) for c in "{}(),;.="
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * % < >") == [
+            ("op", c) for c in ["+", "-", "*", "%", "<", ">"]
+        ]
+
+    def test_multi_char_operators_max_munch(self):
+        assert kinds("<= >= == != //") == [
+            ("op", "<="), ("op", ">="), ("op", "=="), ("op", "!="),
+            ("op", "//"),
+        ]
+
+    def test_word_operators(self):
+        assert kinds("a and b or not c") == [
+            ("ident", "a"), ("op", "and"), ("ident", "b"), ("op", "or"),
+            ("op", "not"), ("ident", "c"),
+        ]
+
+    def test_equals_vs_double_equals(self):
+        assert kinds("= ==") == [("punct", "="), ("op", "==")]
+
+
+class TestCommentsAndWhitespace:
+    def test_comments_stripped_to_eol(self):
+        assert kinds("a # this is a comment\nb") == [
+            ("ident", "a"), ("ident", "b"),
+        ]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  a\t b \r\n c ") == [
+            ("ident", "a"), ("ident", "b"), ("ident", "c"),
+        ]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab cd\n  ef")
+        ab, cd, ef = tokens[:3]
+        assert (ab.line, ab.column) == (1, 1)
+        assert (cd.line, cd.column) == (1, 4)
+        assert (ef.line, ef.column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(DslSyntaxError) as exc:
+            tokenize("abc\n  @")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", ["@", "$x", "a ? b", "x & y", "a / b"])
+    def test_foreign_characters_rejected(self, source):
+        with pytest.raises(DslSyntaxError):
+            tokenize(source)

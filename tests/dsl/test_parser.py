@@ -1,0 +1,156 @@
+"""Tests for the DSL parser: grammar, precedence, error positions."""
+
+import pytest
+
+from repro.core.errors import DslSyntaxError
+from repro.dsl import (
+    AttrRef,
+    BinaryOp,
+    CallFn,
+    NumberLit,
+    UnaryOp,
+    parse_expression,
+    parse_policy,
+    render,
+)
+
+
+class TestExpressionGrammar:
+    def test_attribute_access(self):
+        expr = parse_expression("core.nr_threads")
+        assert expr == AttrRef(var="core", attr="nr_threads")
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert expr.rhs == BinaryOp("*", NumberLit(2), NumberLit(3))
+
+    def test_precedence_add_over_compare(self):
+        expr = parse_expression("a.load - b.load >= 2")
+        assert expr.op == ">="
+        assert expr.lhs.op == "-"
+
+    def test_precedence_compare_over_and_over_or(self):
+        expr = parse_expression("a.load >= 1 and b.load >= 2 or a.load == 0")
+        assert expr.op == "or"
+        assert expr.lhs.op == "and"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary_minus_and_not(self):
+        assert parse_expression("-1") == UnaryOp("-", NumberLit(1))
+        expr = parse_expression("not a.load >= 2")
+        assert expr == UnaryOp("not", parse_expression("a.load >= 2"))
+
+    def test_builtin_calls(self):
+        expr = parse_expression("max(1, a.load)")
+        assert expr == CallFn(
+            "max", (NumberLit(1), AttrRef("a", "load"))
+        )
+
+    def test_nested_calls(self):
+        expr = parse_expression("min(abs(a.load - b.load), 3)")
+        assert isinstance(expr, CallFn)
+        assert isinstance(expr.args[0], CallFn)
+
+    def test_render_roundtrip(self):
+        for source in [
+            "a.load - b.load >= 2",
+            "max(1, (a.load - b.load) // 2)",
+            "not (a.nr_ready == 0) and b.load >= 1",
+        ]:
+            expr = parse_expression(source)
+            assert parse_expression(render(expr)) == expr
+
+
+class TestExpressionErrors:
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(DslSyntaxError, match="chained"):
+            parse_expression("1 < a.load < 3")
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(DslSyntaxError, match="attribute"):
+            parse_expression("core + 1")
+
+    def test_wrong_builtin_arity(self):
+        with pytest.raises(DslSyntaxError):
+            parse_expression("max(1)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(DslSyntaxError):
+            parse_expression("(1 + 2")
+
+    def test_error_position_reported(self):
+        with pytest.raises(DslSyntaxError) as exc:
+            parse_expression("1 + ;")
+        assert exc.value.line == 1
+        assert exc.value.column == 5
+
+
+class TestPolicyGrammar:
+    def test_full_policy(self):
+        decl = parse_policy("""
+            policy demo {
+                load(c) = c.nr_threads;
+                filter(self, other) = other.load - self.load >= 2;
+                steal(self, other) = 1;
+                choice = min_load;
+            }
+        """)
+        assert decl.name == "demo"
+        assert decl.load.param == "c"
+        assert decl.filter.self_param == "self"
+        assert decl.filter.stealee_param == "other"
+        assert decl.choice == "min_load"
+
+    def test_minimal_policy_defaults(self):
+        decl = parse_policy(
+            "policy tiny { filter(a, b) = b.load >= 2; }"
+        )
+        assert decl.load is None
+        assert decl.steal is None
+        assert decl.choice == "max_load"
+
+    def test_filter_is_mandatory(self):
+        with pytest.raises(DslSyntaxError, match="filter"):
+            parse_policy("policy empty { }")
+
+    @pytest.mark.parametrize("clause", [
+        "load(c) = c.nr_threads;",
+        "filter(a, b) = b.load >= 2;",
+        "steal(a, b) = 1;",
+        "choice = first;",
+    ])
+    def test_duplicate_clauses_rejected(self, clause):
+        source = (
+            "policy dup { filter(a, b) = b.load >= 2; "
+            + clause + clause + " }"
+        )
+        if clause.startswith("filter"):
+            source = "policy dup { " + clause + clause + " }"
+        with pytest.raises(DslSyntaxError, match="duplicate"):
+            parse_policy(source)
+
+    def test_identical_params_rejected(self):
+        with pytest.raises(DslSyntaxError, match="distinct"):
+            parse_policy("policy p { filter(a, a) = a.load >= 2; }")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DslSyntaxError, match="unknown clause"):
+            parse_policy(
+                "policy p { filter(a,b) = b.load >= 2; frobnicate = 3; }"
+            )
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_policy("policy p { filter(a,b) = b.load >= 2 }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_policy(
+                "policy p { filter(a,b) = b.load >= 2; } extra"
+            )

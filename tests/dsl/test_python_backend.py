@@ -1,0 +1,164 @@
+"""Tests for the Python backend: compiled DSL policies are real policies.
+
+The headline test is observational equivalence: the DSL transcription of
+Listing 1 must agree with the hand-written
+:class:`~repro.policies.balance_count.BalanceCountPolicy` on every state
+in scope — filter, load, steal amount, choice, and proof outcomes.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import DslValidationError
+from repro.dsl import (
+    ALL_SOURCES,
+    HALVING_SOURCE,
+    LISTING1_SOURCE,
+    NAIVE_SOURCE,
+    compile_policy,
+)
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.verify import (
+    StateScope,
+    iter_states,
+    prove_work_conserving,
+    snapshot_from_load,
+    views_of,
+)
+
+from tests.conftest import load_states
+
+
+class TestCompilation:
+    def test_all_example_sources_compile(self):
+        for name, source in ALL_SOURCES.items():
+            policy = compile_policy(source)
+            assert policy.name.startswith("dsl:"), name
+
+    def test_invalid_source_raises_validation_error(self):
+        with pytest.raises(DslValidationError):
+            compile_policy("policy bad { filter(a, b) = b.load + 1; }")
+
+
+class TestListing1Equivalence:
+    def test_filter_equivalent_on_all_pairs(self):
+        dsl = compile_policy(LISTING1_SOURCE)
+        native = BalanceCountPolicy(margin=2)
+        for state in iter_states(StateScope(n_cores=2, max_load=6)):
+            thief, stealee = views_of(state)
+            assert dsl.can_steal(thief, stealee) == \
+                native.can_steal(thief, stealee), state
+
+    def test_load_and_steal_equivalent(self):
+        dsl = compile_policy(LISTING1_SOURCE)
+        native = BalanceCountPolicy(margin=2)
+        for load in range(6):
+            view = snapshot_from_load(0, load)
+            assert dsl.load(view) == native.load(view)
+        thief, stealee = views_of((0, 4))
+        assert dsl.steal_amount(thief, stealee) == \
+            native.steal_amount(thief, stealee)
+
+    def test_choice_equivalent(self):
+        dsl = compile_policy(LISTING1_SOURCE)
+        native = BalanceCountPolicy(margin=2)
+        thief = snapshot_from_load(0, 0)
+        candidates = [snapshot_from_load(1, 3), snapshot_from_load(2, 5),
+                      snapshot_from_load(3, 5)]
+        assert dsl.choose(thief, candidates).cid == \
+            native.choose(thief, candidates).cid
+
+    def test_identical_proof_outcomes(self, small_scope):
+        dsl_cert = prove_work_conserving(
+            compile_policy(LISTING1_SOURCE), small_scope
+        )
+        native_cert = prove_work_conserving(
+            BalanceCountPolicy(margin=2), small_scope
+        )
+        assert dsl_cert.proved and native_cert.proved
+        assert dsl_cert.exact_worst_rounds == native_cert.exact_worst_rounds
+        assert dsl_cert.potential_bound == native_cert.potential_bound
+
+    @given(loads=load_states)
+    def test_filter_equivalence_property(self, loads):
+        dsl = compile_policy(LISTING1_SOURCE)
+        native = BalanceCountPolicy(margin=2)
+        views = views_of(loads)
+        for thief in views:
+            for stealee in views:
+                if thief.cid == stealee.cid:
+                    continue
+                assert dsl.can_steal(thief, stealee) == \
+                    native.can_steal(thief, stealee)
+
+
+class TestOtherSources:
+    def test_naive_source_matches_native_naive(self, small_scope):
+        dsl = compile_policy(NAIVE_SOURCE)
+        native = NaiveOverloadedPolicy()
+        for state in iter_states(StateScope(n_cores=2, max_load=4)):
+            thief, stealee = views_of(state)
+            assert dsl.can_steal(thief, stealee) == \
+                native.can_steal(thief, stealee)
+
+    def test_naive_source_is_refuted_by_verifier(self):
+        cert = prove_work_conserving(
+            compile_policy(NAIVE_SOURCE), StateScope(n_cores=3, max_load=2)
+        )
+        assert not cert.proved
+        assert cert.analysis.violated
+
+    def test_halving_source_steal_amount(self):
+        dsl = compile_policy(HALVING_SOURCE)
+        thief, stealee = views_of((0, 9))
+        assert dsl.steal_amount(thief, stealee) == 4  # (9-0)//2
+
+    def test_halving_source_proves(self, small_scope):
+        assert prove_work_conserving(
+            compile_policy(HALVING_SOURCE), small_scope
+        ).proved
+
+
+class TestChoiceStrategies:
+    def _compile_with_choice(self, strategy: str):
+        return compile_policy(f"""
+            policy p {{
+                filter(a, b) = b.load - a.load >= 2;
+                choice = {strategy};
+            }}
+        """)
+
+    def test_min_load(self):
+        policy = self._compile_with_choice("min_load")
+        thief = snapshot_from_load(0, 0)
+        candidates = [snapshot_from_load(1, 5), snapshot_from_load(2, 3)]
+        assert policy.choose(thief, candidates).cid == 2
+
+    def test_first(self):
+        policy = self._compile_with_choice("first")
+        thief = snapshot_from_load(0, 0)
+        candidates = [snapshot_from_load(2, 5), snapshot_from_load(1, 3)]
+        assert policy.choose(thief, candidates).cid == 1
+
+    def test_nearest_uses_nodes(self):
+        policy = self._compile_with_choice("nearest")
+        from repro.core.cpu import CoreSnapshot
+
+        thief = CoreSnapshot(cid=0, nr_ready=0, has_current=False,
+                             weighted_load=0, node=1, version=0)
+        near = CoreSnapshot(cid=1, nr_ready=2, has_current=True,
+                            weighted_load=0, node=1, version=0)
+        far = CoreSnapshot(cid=2, nr_ready=4, has_current=True,
+                           weighted_load=0, node=0, version=0)
+        assert policy.choose(thief, [far, near]).cid == 1
+
+
+class TestRuntimeBehaviour:
+    def test_dsl_policy_runs_in_the_balancer(self):
+        from repro.core.balancer import LoadBalancer
+        from repro.core.machine import Machine
+
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, compile_policy(LISTING1_SOURCE))
+        assert balancer.run_until_work_conserving() == 1
+        assert machine.loads() == [1, 1, 1]

@@ -1,0 +1,62 @@
+"""Tests for the Scala/Leon backend: Listing 1/2 shape preservation."""
+
+import pytest
+
+from repro.dsl import ALL_SOURCES, LISTING1_SOURCE, emit_scala
+from repro.dsl.parser import parse_policy
+
+
+@pytest.fixture
+def listing1_scala() -> str:
+    return emit_scala(parse_policy(LISTING1_SOURCE))
+
+
+class TestListingShape:
+    def test_case_class_core(self, listing1_scala):
+        assert "case class Core(" in listing1_scala
+        assert "current: Option[Task]" in listing1_scala
+        assert "ready: List[Task]" in listing1_scala
+
+    def test_three_steps_present(self, listing1_scala):
+        assert "def load(): BigInt" in listing1_scala
+        assert "def canSteal(stealee: Core): Boolean" in listing1_scala
+        assert "def selectCore(cores: List[Core]): Core" in listing1_scala
+        assert "def stealCore(stealee: Core)" in listing1_scala
+
+    def test_ensuring_postcondition_on_choice(self, listing1_scala):
+        """Listing 1 line 10: the Leon ensuring clause on selectCore."""
+        assert "ensuring(res => cores.contains(res))" in listing1_scala
+
+    def test_lemma1_in_listing2_form(self, listing1_scala):
+        assert "def isOverloaded(core: Core): Boolean" in listing1_scala
+        assert "core.ready.size >= 2" in listing1_scala
+        assert "def Lemma1(thief: Core, cores: List[Core])" in listing1_scala
+        assert "cores.exists(c => isOverloaded(c)) ==> " \
+            "cores.exists(c => thief.canSteal(c))" in listing1_scala
+        assert ".holds" in listing1_scala
+
+    def test_filter_expression_translated(self, listing1_scala):
+        assert "stealee.load()" in listing1_scala
+        assert ">= BigInt(2)" in listing1_scala
+
+    def test_braces_balanced(self, listing1_scala):
+        assert listing1_scala.count("{") == listing1_scala.count("}")
+
+    def test_leon_imports(self, listing1_scala):
+        assert "import leon.lang._" in listing1_scala
+
+
+class TestAllSources:
+    def test_every_example_emits_balanced_scala(self):
+        for name, source in ALL_SOURCES.items():
+            scala = emit_scala(parse_policy(source))
+            assert scala.count("{") == scala.count("}"), name
+            assert "def Lemma1" in scala, name
+
+    def test_weighted_source_uses_weighted_load(self):
+        scala = emit_scala(parse_policy(ALL_SOURCES["weighted"]))
+        assert "weightedLoad" in scala
+
+    def test_nearest_choice_uses_node_distance(self):
+        scala = emit_scala(parse_policy(ALL_SOURCES["numa"]))
+        assert "node" in scala

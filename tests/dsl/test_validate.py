@@ -1,0 +1,117 @@
+"""Tests for static validation of DSL policies."""
+
+import pytest
+
+from repro.core.errors import DslValidationError
+from repro.dsl import parse_policy, selection_phase_reads, validate_policy
+from repro.dsl.validate import BOOL, NUM, infer_type
+from repro.dsl.parser import parse_expression
+
+
+def check(source: str) -> None:
+    validate_policy(parse_policy(source))
+
+
+class TestScoping:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(DslValidationError, match="unknown parameter"):
+            check("policy p { filter(a, b) = c.load >= 2; }")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(DslValidationError, match="unknown core attribute"):
+            check("policy p { filter(a, b) = b.magic >= 2; }")
+
+    def test_load_clause_sees_only_its_param(self):
+        with pytest.raises(DslValidationError, match="unknown parameter"):
+            check("""
+                policy p {
+                    load(c) = d.nr_threads;
+                    filter(a, b) = b.load >= 2;
+                }
+            """)
+
+    def test_load_recursion_rejected(self):
+        with pytest.raises(DslValidationError, match="recursion"):
+            check("""
+                policy p {
+                    load(c) = c.load + 1;
+                    filter(a, b) = b.load >= 2;
+                }
+            """)
+
+    def test_filter_may_use_load_attribute(self):
+        check("""
+            policy p {
+                load(c) = c.nr_threads;
+                filter(a, b) = b.load - a.load >= 2;
+            }
+        """)
+
+
+class TestTyping:
+    def test_filter_must_be_boolean(self):
+        with pytest.raises(DslValidationError, match="boolean"):
+            check("policy p { filter(a, b) = b.load - a.load; }")
+
+    def test_steal_must_be_numeric(self):
+        with pytest.raises(DslValidationError, match="numeric"):
+            check("""
+                policy p {
+                    filter(a, b) = b.load >= 2;
+                    steal(a, b) = b.load >= 1;
+                }
+            """)
+
+    def test_and_requires_booleans(self):
+        with pytest.raises(DslValidationError):
+            check("policy p { filter(a, b) = b.load and 2 >= 1; }")
+
+    def test_arithmetic_rejects_booleans(self):
+        with pytest.raises(DslValidationError):
+            check("policy p { filter(a, b) = (b.load >= 1) + 1 >= 2; }")
+
+    def test_comparison_rejects_booleans(self):
+        with pytest.raises(DslValidationError):
+            check("policy p { filter(a, b) = (b.load >= 1) >= (a.load >= 1); }")
+
+    def test_builtin_args_must_be_numeric(self):
+        with pytest.raises(DslValidationError):
+            check("policy p { filter(a, b) = max(b.load >= 1, 2) >= 1; }")
+
+    def test_infer_type_direct(self):
+        allowed = frozenset({"a", "b"})
+        assert infer_type(parse_expression("a.load + 1"), allowed) is NUM
+        assert infer_type(parse_expression("not a.load >= 1"), allowed) is BOOL
+
+
+class TestChoice:
+    def test_known_strategies_accepted(self):
+        for strategy in ("max_load", "min_load", "first", "nearest"):
+            check(f"""
+                policy p {{
+                    filter(a, b) = b.load >= 2;
+                    choice = {strategy};
+                }}
+            """)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DslValidationError, match="choice strategy"):
+            check("""
+                policy p {
+                    filter(a, b) = b.load >= 2;
+                    choice = coin_flip;
+                }
+            """)
+
+
+class TestSelectionPhaseAudit:
+    def test_reads_collected(self):
+        decl = parse_policy("""
+            policy p {
+                load(c) = c.nr_ready + c.nr_current;
+                filter(a, b) = b.load - a.load >= 2 and b.node == a.node;
+            }
+        """)
+        assert selection_phase_reads(decl) == {
+            "nr_ready", "nr_current", "load", "node",
+        }

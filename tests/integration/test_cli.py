@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    """Run the CLI in-process, capturing stdout."""
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        try:
+            code = main(list(argv))
+        except SystemExit as exc:  # argparse errors
+            code = exc.code if isinstance(exc.code, int) else 1
+    return code, buffer.getvalue()
+
+
+class TestListPolicies:
+    def test_lists_the_zoo(self):
+        code, out = run_cli("list-policies")
+        assert code == 0
+        for name in ("balance_count", "naive", "provable_weighted"):
+            assert name in out
+
+
+class TestVerify:
+    def test_proven_policy_exits_zero(self):
+        code, out = run_cli("verify", "balance_count",
+                            "--cores", "3", "--max-load", "3")
+        assert code == 0
+        assert "WORK-CONSERVING" in out
+
+    def test_refuted_policy_exits_two(self):
+        code, out = run_cli("verify", "naive",
+                            "--cores", "3", "--max-load", "2")
+        assert code == 2
+        assert "NOT PROVED" in out
+
+    def test_margin_option(self):
+        code, out = run_cli("verify", "balance_count", "--margin", "3",
+                            "--cores", "2", "--max-load", "2")
+        assert code == 2  # margin 3 under-balances
+
+    def test_unknown_policy_errors(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "does_not_exist"])
+
+
+class TestZoo:
+    def test_zoo_matrix_renders(self):
+        code, out = run_cli("zoo", "--cores", "3", "--max-load", "2")
+        assert code == 0
+        assert "Verification matrix" in out
+        assert "3/9 policies fully work-conserving" in out
+        assert "naive_overloaded" in out
+
+
+class TestHunt:
+    def test_finds_the_pingpong(self):
+        code, out = run_cli("hunt", "naive")
+        assert code == 0
+        assert "VIOLATION" in out
+        assert "(0, 1, 2)" in out
+
+    def test_reports_exact_n_when_clean(self):
+        code, out = run_cli("hunt", "balance_count")
+        assert code == 0
+        assert "exact worst-case N = 1" in out
+
+
+class TestRefine:
+    def test_refinement_passes_for_listing1(self):
+        code, out = run_cli("refine", "balance_count",
+                            "--cores", "3", "--max-load", "2")
+        assert code == 0
+        assert "PROVED" in out
+        assert "refinement" in out
+
+
+class TestCampaign:
+    def test_clean_campaign(self):
+        code, out = run_cli("campaign", "balance_count",
+                            "--machines", "5", "--rounds", "10",
+                            "--max-cores", "6")
+        assert code == 0
+        assert "no violation found" in out
+
+    def test_dirty_campaign_exits_two(self):
+        code, out = run_cli("campaign", "naive",
+                            "--machines", "15", "--rounds", "20",
+                            "--max-cores", "6")
+        assert code == 2
+        assert "VIOLATION" in out
+
+
+class TestSimulate:
+    def test_barrier_simulation(self):
+        code, out = run_cli("simulate", "--workload", "barrier",
+                            "--balancer", "verified",
+                            "--cores", "4", "--nodes", "2",
+                            "--ticks", "3000")
+        assert code == 0
+        assert "utilization" in out
+
+    def test_static_with_hierarchical(self):
+        code, out = run_cli("simulate", "--workload", "static",
+                            "--balancer", "hierarchical",
+                            "--cores", "8", "--nodes", "2",
+                            "--ticks", "500")
+        assert code == 0
+
+
+class TestDsl:
+    def test_compile_and_verify_file(self, tmp_path):
+        from repro.dsl import LISTING1_SOURCE
+
+        source = tmp_path / "policy.dsl"
+        source.write_text(LISTING1_SOURCE)
+        code, out = run_cli("dsl", str(source))
+        assert code == 0
+        assert "WORK-CONSERVING" in out
+
+    def test_emit_c(self, tmp_path):
+        from repro.dsl import LISTING1_SOURCE
+
+        source = tmp_path / "policy.dsl"
+        source.write_text(LISTING1_SOURCE)
+        code, out = run_cli("dsl", str(source), "--emit", "c")
+        assert code == 0
+        assert "struct sched_dsl_class" in out
+
+    def test_emit_scala(self, tmp_path):
+        from repro.dsl import LISTING1_SOURCE
+
+        source = tmp_path / "policy.dsl"
+        source.write_text(LISTING1_SOURCE)
+        code, out = run_cli("dsl", str(source), "--emit", "scala")
+        assert code == 0
+        assert "def Lemma1" in out
+
+    def test_broken_source_exits_two(self, tmp_path):
+        source = tmp_path / "bad.dsl"
+        source.write_text("policy bad { filter(a, b) = b.load + 1; }")
+        code, _ = run_cli("dsl", str(source))
+        assert code == 2
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list-policies"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "balance_count" in result.stdout

@@ -1,0 +1,171 @@
+"""Integration tests: the full pipelines the examples and benchmarks use."""
+
+import pytest
+
+from repro import (
+    BalanceCountPolicy,
+    LoadBalancer,
+    Machine,
+    NaiveOverloadedPolicy,
+)
+from repro.baselines import CfsLikeBalancer, GlobalQueueBalancer, NullBalancer
+from repro.dsl import LISTING1_SOURCE, compile_policy, emit_c, emit_scala
+from repro.dsl.parser import parse_policy
+from repro.metrics import relative_loss, speedup
+from repro.policies import HierarchicalBalancer
+from repro.sim.engine import Simulation
+from repro.topology import build_domain_tree, symmetric_numa
+from repro.verify import (
+    StateScope,
+    audit_failure_attribution,
+    audit_progress,
+    prove_work_conserving,
+)
+from repro.workloads import (
+    BarrierWorkload,
+    OltpWorkload,
+    make_first_k,
+    place_pack,
+)
+
+TOPO = symmetric_numa(2, 4)
+
+
+class TestQuickstartFlow:
+    """Mirror of examples/quickstart.py with assertions."""
+
+    def test_full_flow(self):
+        machine = Machine.from_loads([0, 1, 2])
+        policy = BalanceCountPolicy(margin=2)
+        balancer = LoadBalancer(machine, policy)
+        rounds = balancer.run_until_work_conserving()
+        assert rounds == 1
+        assert machine.loads() == [1, 1, 1]
+
+        cert = prove_work_conserving(policy, StateScope(n_cores=3,
+                                                        max_load=4))
+        assert cert.proved
+        assert cert.exact_worst_rounds == 1
+        assert cert.potential_bound >= cert.exact_worst_rounds
+
+
+class TestDslPipelineFlow:
+    """Mirror of examples/dsl_pipeline.py: one source, three targets."""
+
+    def test_all_three_targets(self):
+        decl = parse_policy(LISTING1_SOURCE)
+        policy = compile_policy(LISTING1_SOURCE)
+        cert = prove_work_conserving(policy,
+                                     StateScope(n_cores=3, max_load=3))
+        assert cert.proved
+
+        c_source = emit_c(decl)
+        scala_source = emit_scala(decl)
+        assert "balance_count_sched_class" in c_source
+        assert ".holds" in scala_source
+
+
+class TestWastedCoresShapes:
+    """Mirror of examples/wasted_cores.py: the paper's §1 numbers.
+
+    Shape targets (DESIGN.md E7): barrier >= 2x slowdown without
+    balancing ('many-fold'); database 10-35% throughput loss for the
+    CFS-like baseline ('up to 25%'). Seeds are fixed: deterministic.
+    """
+
+    def _barrier(self, balancer_factory):
+        machine = Machine(topology=TOPO)
+        workload = BarrierWorkload(n_threads=16, n_phases=6, phase_work=25,
+                                   placement=place_pack, seed=1)
+        sim = Simulation(machine, balancer_factory(machine),
+                         workload=workload)
+        return sim.run(max_ticks=50_000)
+
+    def test_barrier_many_fold_slowdown(self):
+        bad = self._barrier(NullBalancer)
+        good = self._barrier(
+            lambda m: LoadBalancer(m, BalanceCountPolicy(),
+                                   check_invariants=False)
+        )
+        assert bad.workload_done and good.workload_done
+        assert speedup(bad.ticks, good.ticks) >= 2.0
+
+    def test_database_throughput_loss_in_band(self):
+        def run(balancer_factory):
+            machine = Machine(topology=TOPO)
+            workload = OltpWorkload(n_workers=10, duration=3000,
+                                    placement=make_first_k(5),
+                                    n_heavy=1, seed=7)
+            sim = Simulation(machine, balancer_factory(machine),
+                             workload=workload)
+            sim.run(max_ticks=4000)
+            return workload.throughput()
+
+        cfs = run(lambda m: CfsLikeBalancer(m, build_domain_tree(TOPO)))
+        verified = run(
+            lambda m: LoadBalancer(m, BalanceCountPolicy(),
+                                   check_invariants=False)
+        )
+        loss = relative_loss(verified, cfs)
+        assert 0.10 <= loss <= 0.35, f"loss {loss:.3f} out of band"
+
+    def test_verified_close_to_ideal_on_database(self):
+        def run(balancer_factory):
+            machine = Machine(topology=TOPO)
+            workload = OltpWorkload(n_workers=10, duration=3000,
+                                    placement=make_first_k(5),
+                                    n_heavy=1, seed=7)
+            sim = Simulation(machine, balancer_factory(machine),
+                             workload=workload)
+            sim.run(max_ticks=4000)
+            return workload.throughput()
+
+        ideal = run(GlobalQueueBalancer)
+        verified = run(
+            lambda m: LoadBalancer(m, BalanceCountPolicy(),
+                                   check_invariants=False)
+        )
+        assert relative_loss(ideal, verified) <= 0.10
+
+
+class TestCounterexampleFlow:
+    """Mirror of examples/counterexample_hunt.py."""
+
+    def test_naive_refuted_listing1_proved(self):
+        scope = StateScope(n_cores=3, max_load=2)
+        naive = prove_work_conserving(NaiveOverloadedPolicy(), scope)
+        good = prove_work_conserving(BalanceCountPolicy(), scope)
+        assert not naive.proved and naive.analysis.violated
+        assert good.proved
+        cycle = set(naive.analysis.lasso.cycle)
+        assert cycle == {(0, 1, 2), (0, 2, 1)}
+
+
+class TestSimulationAuditsEndToEnd:
+    """Every concrete simulation trace satisfies the §4.3 trace facts."""
+
+    @pytest.mark.parametrize("loads", [
+        [0, 0, 8, 8], [0, 5, 0, 5], [12, 0, 0, 0],
+    ])
+    def test_audits_on_busy_traces(self, loads):
+        machine = Machine.from_loads(loads)
+        balancer = LoadBalancer(machine, BalanceCountPolicy())
+        for _ in range(15):
+            balancer.run_round()
+        assert audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        ).ok
+        assert audit_progress(balancer.policy.name, balancer.rounds).ok
+
+
+class TestHierarchicalFlow:
+    def test_hierarchical_on_numa_machine(self):
+        machine = Machine.from_loads([8, 4, 2, 0, 0, 0, 0, 0],
+                                     topology=TOPO)
+        balancer = HierarchicalBalancer(
+            machine, build_domain_tree(TOPO, group_size=2)
+        )
+        rounds = balancer.run_until_work_conserving(max_rounds=100)
+        assert rounds is not None
+        assert machine.total_threads() == 14
+        assert machine.is_work_conserving_state()

@@ -1,0 +1,40 @@
+"""Every example script must run to completion as a subprocess.
+
+The examples are the library's front door; a broken example is a broken
+deliverable. Each is executed with the repository's interpreter and must
+exit 0 and print its headline result.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "work-conserving",
+    "counterexample_hunt.py": "VIOLATION FOUND",
+    "dsl_pipeline.py": "Target 3",
+    "wasted_cores.py": "slowdown",
+    "numa_placement.py": "hierarchical rounds",
+    "verification_campaign.py": "no violation found",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script].lower() in result.stdout.lower()
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT drifted apart"
+    )

@@ -1,0 +1,167 @@
+"""Cross-module property-based tests (hypothesis).
+
+These properties tie independent components together: randomly generated
+DSL ASTs must round-trip through the parser, randomly generated machines
+must behave identically under the abstract and concrete executors, and
+the balancing fixpoint must be a genuine fixpoint.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy
+from repro.verify import canonical, potential
+
+from tests.conftest import load_states
+
+# ---------------------------------------------------------------------------
+# random DSL expressions
+# ---------------------------------------------------------------------------
+
+_attrs = st.sampled_from(
+    ["nr_ready", "nr_current", "nr_threads", "weighted_load", "node"]
+)
+_vars = st.sampled_from(["self", "stealee"])
+
+
+def _numeric_exprs():
+    from repro.dsl import AttrRef, BinaryOp, CallFn, NumberLit, UnaryOp
+
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=99).map(NumberLit),
+        st.tuples(_vars, _attrs).map(lambda t: AttrRef(*t)),
+    )
+
+    def extend(children):
+        arith = st.sampled_from(["+", "-", "*", "//", "%"])
+        return st.one_of(
+            st.tuples(arith, children, children).map(
+                lambda t: BinaryOp(t[0], t[1], t[2])
+            ),
+            children.map(lambda e: UnaryOp("-", e)),
+            st.tuples(children, children).map(
+                lambda t: CallFn("min", (t[0], t[1]))
+            ),
+            st.tuples(children, children).map(
+                lambda t: CallFn("max", (t[0], t[1]))
+            ),
+            children.map(lambda e: CallFn("abs", (e,))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestDslRoundTrip:
+    @given(expr=_numeric_exprs())
+    @settings(max_examples=150)
+    def test_render_parse_round_trip(self, expr):
+        """render() output re-parses to the identical AST."""
+        from repro.dsl import parse_expression, render
+
+        assert parse_expression(render(expr)) == expr
+
+    @given(expr=_numeric_exprs())
+    @settings(max_examples=100)
+    def test_generated_expressions_type_check_as_numeric(self, expr):
+        from repro.dsl import infer_type
+        from repro.dsl.validate import NUM
+
+        assert infer_type(
+            expr, frozenset({"self", "stealee"})
+        ) is NUM
+
+    @given(expr=_numeric_exprs())
+    @settings(max_examples=100)
+    def test_backends_never_crash_on_valid_filters(self, expr):
+        """Any well-typed numeric expression can anchor a filter, and all
+        three backends accept it."""
+        from repro.dsl import (
+            BinaryOp,
+            FilterClause,
+            NumberLit,
+            PolicyDecl,
+            emit_c,
+            emit_scala,
+        )
+        from repro.dsl.python_backend import DslPolicy
+
+        decl = PolicyDecl(
+            name="generated",
+            filter=FilterClause(
+                self_param="self", stealee_param="stealee",
+                expr=BinaryOp(">=", expr, NumberLit(2)),
+            ),
+        )
+        try:
+            DslPolicy(decl)
+        except ZeroDivisionError:
+            return  # constant-zero divisors are legal syntax, bad luck
+        c_source = emit_c(decl)
+        scala_source = emit_scala(decl)
+        assert c_source.count("{") == c_source.count("}")
+        assert scala_source.count("{") == scala_source.count("}")
+
+
+# ---------------------------------------------------------------------------
+# balancing fixpoints and symmetry
+# ---------------------------------------------------------------------------
+
+
+class TestFixpointProperties:
+    @given(loads=load_states)
+    @settings(max_examples=40, deadline=None)
+    def test_quiescent_state_is_a_true_fixpoint(self, loads):
+        """Once a round is quiet, every further round leaves the loads
+        untouched."""
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        for _ in range(100):
+            if balancer.run_round().quiet:
+                break
+        settled = machine.loads()
+        for _ in range(3):
+            balancer.run_round()
+            assert machine.loads() == settled
+
+    @given(loads=load_states)
+    @settings(max_examples=40, deadline=None)
+    def test_fixpoint_has_all_gaps_below_margin(self, loads):
+        """The quiescent condition is exactly 'no pair differs by >= 2'."""
+        machine = Machine.from_loads(list(loads))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        for _ in range(100):
+            if balancer.run_round().quiet:
+                break
+        final = machine.loads()
+        for a, b in itertools.combinations(final, 2):
+            assert abs(a - b) < 2
+
+    @given(loads=load_states)
+    @settings(max_examples=60, deadline=None)
+    def test_model_checker_symmetry_under_permutation(self, loads):
+        """Permuting core labels cannot change successor sets (modulo
+        the same permutation) for load-only policies — validated via
+        canonical forms."""
+        from repro.verify import successors
+
+        # max_orders must cover every permutation (6 thieves -> 720) or
+        # truncation breaks the symmetry artificially.
+        succ = successors(BalanceCountPolicy(), tuple(loads),
+                          choice_mode="policy", max_orders=720)
+        permuted = tuple(reversed(loads))
+        succ_perm = successors(BalanceCountPolicy(), permuted,
+                               choice_mode="policy", max_orders=720)
+        assert {canonical(s) for s in succ} == \
+            {canonical(s) for s in succ_perm}
+
+    @given(loads=load_states)
+    @settings(max_examples=60, deadline=None)
+    def test_potential_closed_form_matches_definition(self, loads):
+        naive = sum(abs(a - b) for a in loads for b in loads)
+        assert potential(loads) == naive

@@ -1,0 +1,84 @@
+"""Tests for the metrics collector."""
+
+from repro.core.machine import Machine
+from repro.metrics import MetricsCollector
+
+
+class TestTickObservation:
+    def test_busy_and_idle_core_ticks(self):
+        machine = Machine.from_loads([1, 0])
+        metrics = MetricsCollector()
+        metrics.on_tick(machine)
+        assert metrics.ticks == 1
+        assert metrics.busy_core_ticks == 1
+        assert metrics.idle_core_ticks == 1
+
+    def test_bad_tick_detection(self):
+        machine = Machine.from_loads([0, 3])
+        metrics = MetricsCollector()
+        metrics.on_tick(machine)
+        assert metrics.bad_ticks == 1
+        assert metrics.wasted_core_ticks == 1
+
+    def test_good_state_is_not_bad(self):
+        machine = Machine.from_loads([1, 1])
+        metrics = MetricsCollector()
+        metrics.on_tick(machine)
+        assert metrics.bad_ticks == 0
+
+    def test_multiple_idle_cores_weigh_more(self):
+        machine = Machine.from_loads([0, 0, 0, 4])
+        metrics = MetricsCollector()
+        metrics.on_tick(machine)
+        assert metrics.wasted_core_ticks == 3
+
+    def test_series_recording_opt_in(self):
+        machine = Machine.from_loads([1, 2])
+        metrics = MetricsCollector(record_series=True)
+        metrics.on_tick(machine)
+        metrics.on_tick(machine)
+        assert metrics.load_series == [(1, 2), (1, 2)]
+
+    def test_series_off_by_default(self):
+        machine = Machine.from_loads([1, 2])
+        metrics = MetricsCollector()
+        metrics.on_tick(machine)
+        assert metrics.load_series == []
+
+
+class TestDerivedQuantities:
+    def test_utilization(self):
+        machine = Machine.from_loads([1, 0])
+        metrics = MetricsCollector()
+        for _ in range(4):
+            metrics.on_tick(machine)
+        assert metrics.utilization == 0.5
+
+    def test_empty_collector_is_zero(self):
+        metrics = MetricsCollector()
+        assert metrics.utilization == 0.0
+        assert metrics.waste_fraction == 0.0
+        assert metrics.throughput() == 0.0
+
+    def test_throughput(self):
+        machine = Machine.from_loads([1])
+        metrics = MetricsCollector()
+        for _ in range(10):
+            metrics.on_tick(machine)
+        for _ in range(3):
+            metrics.on_task_finished()
+        assert metrics.throughput() == 0.3
+
+    def test_summary_keys(self):
+        metrics = MetricsCollector()
+        metrics.on_tick(Machine.from_loads([1]))
+        metrics.on_work(2)
+        metrics.on_warmup()
+        summary = metrics.summary()
+        for key in ("ticks", "utilization", "bad_ticks",
+                    "wasted_core_ticks", "waste_fraction",
+                    "completed_work", "finished_tasks", "throughput",
+                    "warmup_ticks"):
+            assert key in summary
+        assert summary["completed_work"] == 2.0
+        assert summary["warmup_ticks"] == 1.0

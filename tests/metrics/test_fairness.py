@@ -1,0 +1,125 @@
+"""Tests for weighted-fairness measurement and the fair local scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import NullBalancer
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.metrics import fairness_report, jain_index
+from repro.sim.engine import SimConfig, Simulation
+
+
+class TestJainIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_is_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_bounded_between_one_over_n_and_one(self, values):
+        index = jain_index(values)
+        assert index <= 1.0 + 1e-9
+        if sum(v * v for v in values) > 0:
+            assert index >= 1.0 / len(values) - 1e-9
+
+
+class TestFairnessReport:
+    def test_equal_weights_equal_work_is_fair(self):
+        tasks = [Task(nice=0) for _ in range(3)]
+        for task in tasks:
+            task.executed = 100
+        report = fairness_report(tasks)
+        assert report.jain_index == pytest.approx(1.0)
+        assert report.max_share_error == pytest.approx(0.0)
+
+    def test_weight_proportional_work_is_fair(self):
+        heavy, light = Task(nice=-5), Task(nice=5)
+        # Shares exactly proportional to weights.
+        heavy.executed = heavy.weight
+        light.executed = light.weight
+        report = fairness_report([heavy, light])
+        assert report.jain_index == pytest.approx(1.0)
+        assert report.max_share_error == pytest.approx(0.0)
+
+    def test_equal_split_of_unequal_weights_is_unfair(self):
+        heavy, light = Task(nice=-5), Task(nice=5)
+        heavy.executed = 100
+        light.executed = 100
+        report = fairness_report([heavy, light])
+        assert report.jain_index < 0.9
+        assert report.max_share_error > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report([])
+
+
+class TestFairLocalScheduler:
+    """The §1 'fair between threads' property, on the vruntime engine."""
+
+    def run_two_tasks(self, scheduler: str) -> tuple[Task, Task]:
+        machine = Machine(n_cores=1)
+        sim = Simulation(
+            machine, NullBalancer(machine),
+            config=SimConfig(timeslice=2, local_scheduler=scheduler),
+        )
+        heavy = Task(nice=-5, work=None, name="heavy")   # weight 3121
+        light = Task(nice=5, work=None, name="light")    # weight 335
+        sim.place(heavy, 0)
+        sim.place(light, 0)
+        for _ in range(2000):
+            sim.tick()
+        return heavy, light
+
+    def test_round_robin_splits_time_equally(self):
+        heavy, light = self.run_two_tasks("rr")
+        ratio = heavy.executed / light.executed
+        assert 0.8 <= ratio <= 1.25  # time-fair, not weight-fair
+
+    def test_fair_scheduler_splits_time_by_weight(self):
+        heavy, light = self.run_two_tasks("fair")
+        ratio = heavy.executed / light.executed
+        expected = heavy.weight / light.weight  # ~9.3
+        assert expected * 0.8 <= ratio <= expected * 1.2
+
+    def test_fair_scheduler_fairness_report(self):
+        heavy, light = self.run_two_tasks("fair")
+        report = fairness_report([heavy, light])
+        assert report.jain_index > 0.99
+        assert report.max_share_error < 0.1
+
+    def test_rr_scheduler_fails_weighted_fairness(self):
+        heavy, light = self.run_two_tasks("rr")
+        report = fairness_report([heavy, light])
+        assert report.max_share_error > 0.3
+
+    def test_fair_mode_still_work_conserves(self):
+        from repro.core.balancer import LoadBalancer
+        from repro.policies import BalanceCountPolicy
+
+        machine = Machine(n_cores=4)
+        sim = Simulation(
+            machine,
+            LoadBalancer(machine, BalanceCountPolicy(),
+                         check_invariants=False),
+            config=SimConfig(local_scheduler="fair"),
+        )
+        for i in range(8):
+            sim.place(Task(work=None, nice=(-5 if i % 2 else 5)), 0)
+        for _ in range(100):
+            sim.tick()
+        assert machine.is_work_conserving_state()
+
+    def test_invalid_scheduler_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimConfig(local_scheduler="lottery")

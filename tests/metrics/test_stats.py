@@ -1,0 +1,95 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    percentile,
+    relative_loss,
+    render_table,
+    speedup,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_semantics(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 50) == 5
+        assert percentile(values, 95) == 10
+        assert percentile(values, 100) == 10
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=50),
+           st.integers(0, 100))
+    def test_percentile_is_an_observation(self, values, q):
+        assert percentile(values, q) in values
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([2.0, 4.0, 6.0, 8.0])
+        assert summary.n == 4
+        assert summary.mean == 5.0
+        assert summary.minimum == 2.0
+        assert summary.maximum == 8.0
+        assert summary.median == 5.0
+
+    def test_single_observation_has_zero_stdev(self):
+        assert summarize([3.0]).stdev == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=40))
+    def test_bounds_ordering(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        # fmean can land one ulp outside [min, max] for repeated values.
+        slack = 1e-6 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean \
+            <= summary.maximum + slack
+
+
+class TestRatios:
+    def test_speedup(self):
+        assert speedup(baseline=200, contender=100) == 2.0
+
+    def test_speedup_requires_positive_contender(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_relative_loss(self):
+        assert relative_loss(good=1.0, bad=0.75) == 0.25
+
+    def test_relative_loss_requires_positive_good(self):
+        with pytest.raises(ValueError):
+            relative_loss(0, 1)
+
+
+class TestRenderTable:
+    def test_renders_headers_rows_separator(self):
+        table = render_table(
+            ["name", "value"], [["a", 1.0], ["bcd", 22.5]]
+        )
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "bcd" in lines[3]
+        assert "22.500" in lines[3]
+
+    def test_handles_empty_rows(self):
+        table = render_table(["only", "headers"], [])
+        assert "only" in table

@@ -1,0 +1,88 @@
+"""Tests for trace export/import and stats."""
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.metrics.trace import (
+    dump_trace,
+    load_trace,
+    round_from_dict,
+    round_to_dict,
+    trace_stats,
+)
+from repro.policies import BalanceCountPolicy
+from repro.sim.interleave import AdversarialInterleaving
+
+
+def make_history(loads, rounds=5):
+    machine = Machine.from_loads(loads)
+    balancer = LoadBalancer(machine, BalanceCountPolicy())
+    for _ in range(rounds):
+        balancer.run_round()
+    return balancer.rounds
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        history = make_history([0, 0, 6])
+        for record in history:
+            restored = round_from_dict(round_to_dict(record))
+            assert restored.index == record.index
+            assert restored.loads_before == record.loads_before
+            assert restored.loads_after == record.loads_after
+            assert len(restored.attempts) == len(record.attempts)
+            for a, b in zip(restored.attempts, record.attempts):
+                assert (a.thief, a.victim, a.outcome) == \
+                    (b.thief, b.victim, b.outcome)
+                assert a.moved_task_ids == b.moved_task_ids
+                assert a.invalidated_by == b.invalidated_by
+
+    def test_jsonl_round_trip(self):
+        history = make_history([0, 4, 8])
+        text = dump_trace(history)
+        restored = load_trace(text)
+        assert len(restored) == len(history)
+        assert [r.loads_after for r in restored] == \
+            [r.loads_after for r in history]
+
+    def test_jsonl_is_one_line_per_round(self):
+        history = make_history([0, 3])
+        assert len(dump_trace(history).splitlines()) == len(history)
+
+    def test_load_skips_blank_lines(self):
+        history = make_history([0, 3])
+        text = dump_trace(history) + "\n\n"
+        assert len(load_trace(text)) == len(history)
+
+    def test_audits_work_on_restored_traces(self):
+        """The whole point: traces can be re-audited offline."""
+        from repro.verify import audit_failure_attribution, audit_progress
+
+        machine = Machine.from_loads([0, 0, 3])
+        balancer = LoadBalancer(machine, BalanceCountPolicy())
+        for _ in range(5):
+            balancer.run_round(
+                interleaving=AdversarialInterleaving([1, 0, 2])
+            )
+        restored = load_trace(dump_trace(balancer.rounds))
+        assert audit_failure_attribution("p", restored).ok
+        assert audit_progress("p", restored).ok
+
+
+class TestStats:
+    def test_stats_counts(self):
+        history = make_history([0, 0, 6], rounds=10)
+        stats = trace_stats(history)
+        assert stats.rounds == 10
+        assert stats.successes > 0
+        assert stats.tasks_moved >= stats.successes
+        assert stats.quiet_rounds > 0  # machine settles well within 10
+
+    def test_first_quiet_round(self):
+        history = make_history([1, 1], rounds=3)
+        stats = trace_stats(history)
+        assert stats.first_quiet_round == 0
+
+    def test_never_quiet(self):
+        history = make_history([0, 0, 12], rounds=2)
+        stats = trace_stats(history)
+        assert stats.first_quiet_round is None

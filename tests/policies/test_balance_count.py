@@ -1,0 +1,118 @@
+"""Tests for Listing 1's policy and the halving variant."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.policy import LoadView
+from repro.policies import BalanceCountPolicy, GreedyHalvingPolicy
+
+
+def view(cid: int, load: int) -> LoadView:
+    return LoadView(cid=cid, load_count=load)
+
+
+class TestFilter:
+    """The Listing 1 line-6 condition: stealee.load - self.load >= 2."""
+
+    @pytest.mark.parametrize("thief,stealee,expected", [
+        (0, 2, True),
+        (0, 1, False),
+        (1, 3, True),
+        (1, 2, False),
+        (2, 2, False),
+        (3, 1, False),
+        (0, 0, False),
+    ])
+    def test_margin_two_table(self, thief, stealee, expected):
+        policy = BalanceCountPolicy(margin=2)
+        assert policy.can_steal(view(0, thief), view(1, stealee)) is expected
+
+    @given(
+        thief=st.integers(min_value=0, max_value=20),
+        stealee=st.integers(min_value=0, max_value=20),
+        margin=st.integers(min_value=1, max_value=5),
+    )
+    def test_filter_is_exactly_the_margin_inequality(self, thief, stealee,
+                                                     margin):
+        policy = BalanceCountPolicy(margin=margin)
+        assert policy.can_steal(view(0, thief), view(1, stealee)) == (
+            stealee - thief >= margin
+        )
+
+    def test_load_metric_is_thread_count(self):
+        policy = BalanceCountPolicy()
+        assert policy.load(view(0, 5)) == 5
+
+    def test_steal_amount_is_one(self):
+        policy = BalanceCountPolicy()
+        assert policy.steal_amount(view(0, 0), view(1, 5)) == 1
+
+    def test_margin_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BalanceCountPolicy(margin=0)
+
+    def test_name_encodes_margin(self):
+        assert "margin=2" in BalanceCountPolicy(margin=2).name
+
+
+class TestDefaultChoice:
+    def test_prefers_most_loaded(self):
+        from repro.verify import snapshot_from_load
+
+        policy = BalanceCountPolicy()
+        candidates = [snapshot_from_load(1, 3), snapshot_from_load(2, 5)]
+        assert policy.choose(view(0, 0), candidates).cid == 2
+
+    def test_ties_break_to_lowest_cid(self):
+        from repro.verify import snapshot_from_load
+
+        policy = BalanceCountPolicy()
+        candidates = [snapshot_from_load(2, 4), snapshot_from_load(1, 4)]
+        assert policy.choose(view(0, 0), candidates).cid == 1
+
+
+class TestGreedyHalving:
+    @pytest.mark.parametrize("thief,stealee,expected", [
+        (0, 2, 1),   # gap 2 -> 1
+        (0, 5, 2),   # gap 5 -> 2
+        (1, 7, 3),   # gap 6 -> 3
+        (0, 9, 4),
+    ])
+    def test_steals_half_the_gap(self, thief, stealee, expected):
+        policy = GreedyHalvingPolicy()
+        assert policy.steal_amount(view(0, thief), view(1, stealee)) == expected
+
+    @given(
+        thief=st.integers(min_value=0, max_value=30),
+        stealee=st.integers(min_value=0, max_value=30),
+    )
+    def test_halving_never_overshoots(self, thief, stealee):
+        """After the steal, the thief never exceeds the victim — the
+        property the potential-function proof needs."""
+        policy = GreedyHalvingPolicy()
+        if not policy.can_steal(view(0, thief), view(1, stealee)):
+            return
+        amount = policy.steal_amount(view(0, thief), view(1, stealee))
+        assert amount >= 1
+        assert thief + amount <= stealee - amount
+
+    @given(
+        thief=st.integers(min_value=0, max_value=30),
+        stealee=st.integers(min_value=0, max_value=30),
+    )
+    def test_halving_never_idles_victim(self, thief, stealee):
+        policy = GreedyHalvingPolicy()
+        if not policy.can_steal(view(0, thief), view(1, stealee)):
+            return
+        amount = policy.steal_amount(view(0, thief), view(1, stealee))
+        assert stealee - amount >= 1
+
+    def test_same_filter_as_listing1(self):
+        halving = GreedyHalvingPolicy()
+        listing1 = BalanceCountPolicy()
+        for thief in range(6):
+            for stealee in range(6):
+                assert halving.can_steal(view(0, thief), view(1, stealee)) \
+                    == listing1.can_steal(view(0, thief), view(1, stealee))

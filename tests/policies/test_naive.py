@@ -1,0 +1,85 @@
+"""Tests for the deliberately broken policies (the verifier's prey)."""
+
+from repro.core.policy import LoadView
+from repro.policies import (
+    GreedyReadyPolicy,
+    InvertedFilterPolicy,
+    NaiveOverloadedPolicy,
+    OverStealingPolicy,
+)
+
+
+def view(cid: int, load: int) -> LoadView:
+    return LoadView(cid=cid, load_count=load)
+
+
+class TestNaiveOverloaded:
+    def test_ignores_thief_load(self):
+        policy = NaiveOverloadedPolicy()
+        # A heavily loaded thief may still steal — the §4.3 bug.
+        assert policy.can_steal(view(0, 10), view(1, 2))
+        assert policy.can_steal(view(0, 1), view(1, 2))
+        assert not policy.can_steal(view(0, 0), view(1, 1))
+
+    def test_lemma1_holds_for_idle_thieves(self, small_scope):
+        """The subtle part: for IDLE thieves the naive filter is exactly
+        'victim overloaded', so Listing 2's lemma cannot catch it — only
+        the concurrent analysis can."""
+        from repro.verify import check_lemma1
+
+        assert check_lemma1(NaiveOverloadedPolicy(), small_scope).ok
+
+    def test_steal_soundness_refutes_it(self, small_scope):
+        from repro.verify import check_steal_soundness
+
+        result = check_steal_soundness(NaiveOverloadedPolicy(), small_scope)
+        assert not result.ok
+
+
+class TestGreedyReady:
+    def test_steals_from_anyone_with_ready_task(self):
+        policy = GreedyReadyPolicy()
+        assert policy.can_steal(view(0, 5), view(1, 2))
+        assert not policy.can_steal(view(0, 0), view(1, 1))  # no ready task
+
+    def test_filter_soundness_holds_trivially(self, small_scope):
+        """Greedy-ready never selects an empty victim — its only virtue."""
+        from repro.verify import check_filter_soundness
+
+        assert check_filter_soundness(GreedyReadyPolicy(), small_scope).ok
+
+    def test_but_work_conservation_fails(self):
+        from repro.verify import ModelChecker, StateScope
+
+        analysis = ModelChecker(GreedyReadyPolicy()).analyze(
+            StateScope(n_cores=3, max_load=2)
+        )
+        assert analysis.violated
+
+
+class TestInvertedFilter:
+    def test_steals_downhill(self):
+        policy = InvertedFilterPolicy()
+        assert policy.can_steal(view(0, 4), view(1, 1))
+        assert not policy.can_steal(view(0, 1), view(1, 4))
+
+    def test_lemma1_refutes_it(self, small_scope):
+        from repro.verify import check_lemma1
+
+        result = check_lemma1(InvertedFilterPolicy(), small_scope)
+        assert not result.ok
+        assert "existence" in result.counterexample.detail
+
+
+class TestOverStealing:
+    def test_requests_entire_runqueue(self):
+        policy = OverStealingPolicy()
+        assert policy.steal_amount(view(0, 0), view(1, 5)) == 4  # 4 ready
+
+    def test_steal_soundness_refutes_overshoot(self, small_scope):
+        from repro.verify import check_steal_soundness
+
+        result = check_steal_soundness(OverStealingPolicy(), small_scope)
+        assert not result.ok
+        assert "overshoot" in result.counterexample.detail or \
+            "gap" in result.counterexample.detail

@@ -1,0 +1,97 @@
+"""Tests for NUMA/cache-aware and random choice policies."""
+
+from repro.core.cpu import CoreSnapshot
+from repro.core.task import NICE_0_WEIGHT
+from repro.policies import (
+    LeastMigrationsChoicePolicy,
+    NumaAwareChoicePolicy,
+    RandomChoicePolicy,
+)
+from repro.topology import symmetric_numa
+
+
+def snap(cid: int, load: int, node: int) -> CoreSnapshot:
+    return CoreSnapshot(
+        cid=cid,
+        nr_ready=max(0, load - 1),
+        has_current=load > 0,
+        weighted_load=load * NICE_0_WEIGHT,
+        node=node,
+        version=0,
+    )
+
+
+TOPO = symmetric_numa(2, 2)  # cores 0,1 on node 0; cores 2,3 on node 1
+
+
+class TestNumaAwareChoice:
+    def test_prefers_local_node(self):
+        policy = NumaAwareChoicePolicy(TOPO)
+        thief = snap(0, 0, node=0)
+        # Remote candidate is more loaded, but local wins.
+        candidates = [snap(1, 3, node=0), snap(2, 5, node=1)]
+        assert policy.choose(thief, candidates).cid == 1
+
+    def test_falls_back_to_remote_when_no_local(self):
+        policy = NumaAwareChoicePolicy(TOPO)
+        thief = snap(0, 0, node=0)
+        candidates = [snap(2, 3, node=1), snap(3, 5, node=1)]
+        assert policy.choose(thief, candidates).cid == 3  # higher load
+
+    def test_local_ties_break_by_load(self):
+        policy = NumaAwareChoicePolicy(TOPO)
+        thief = snap(0, 0, node=0)
+        candidates = [snap(1, 2, node=0), snap(2, 2, node=1),
+                      snap(3, 4, node=1)]
+        assert policy.choose(thief, candidates).cid == 1
+
+    def test_filter_is_listing1(self):
+        from repro.core.policy import LoadView
+
+        policy = NumaAwareChoicePolicy(TOPO)
+        assert policy.can_steal(LoadView(0, 0), LoadView(1, 2))
+        assert not policy.can_steal(LoadView(0, 1), LoadView(1, 2))
+
+
+class TestCacheAwareChoice:
+    def test_prefers_nearest_core_id_within_node(self):
+        policy = LeastMigrationsChoicePolicy(TOPO)
+        thief = snap(0, 0, node=0)
+        candidates = [snap(1, 2, node=0), snap(3, 6, node=1)]
+        assert policy.choose(thief, candidates).cid == 1
+
+
+class TestRandomChoice:
+    def test_deterministic_per_seed(self):
+        thief = snap(0, 0, node=0)
+        candidates = [snap(1, 2, 0), snap(2, 3, 0), snap(3, 4, 0)]
+        picks_a = [RandomChoicePolicy(seed=5).choose(thief, candidates).cid
+                   for _ in range(3)]
+        picks_b = [RandomChoicePolicy(seed=5).choose(thief, candidates).cid
+                   for _ in range(3)]
+        assert picks_a == picks_b
+
+    def test_choice_always_among_candidates(self):
+        policy = RandomChoicePolicy(seed=1)
+        thief = snap(0, 0, node=0)
+        candidates = [snap(1, 2, 0), snap(2, 3, 0)]
+        for _ in range(20):
+            assert policy.choose(thief, candidates).cid in (1, 2)
+
+
+class TestChoiceIrrelevanceForPlacementPolicies:
+    """The paper's claim, applied to this module: swapping the choice
+    does not change any proof outcome."""
+
+    def test_identical_certificates(self, small_scope):
+        from repro.policies import BalanceCountPolicy
+        from repro.verify import prove_work_conserving
+
+        base = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        numa = prove_work_conserving(NumaAwareChoicePolicy(TOPO), small_scope)
+        rand = prove_work_conserving(RandomChoicePolicy(seed=3), small_scope)
+        assert base.proved and numa.proved and rand.proved
+        assert base.exact_worst_rounds == numa.exact_worst_rounds \
+            == rand.exact_worst_rounds
+        assert base.potential_bound == numa.potential_bound \
+            == rand.potential_bound

@@ -1,0 +1,138 @@
+"""Tests for weighted balancing: the §4.2 policy and its provable variant."""
+
+from repro.core.cpu import CoreSnapshot
+from repro.core.policy import LoadView
+from repro.core.task import NICE_0_WEIGHT, nice_to_weight
+from repro.policies import (
+    MIN_TASK_WEIGHT,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+
+
+def weighted_view(cid: int, load: int, weight_each: int) -> CoreSnapshot:
+    """A core with ``load`` threads, each weighing ``weight_each``."""
+    return CoreSnapshot(
+        cid=cid,
+        nr_ready=max(0, load - 1),
+        has_current=load > 0,
+        weighted_load=load * weight_each,
+        node=0,
+        version=0,
+    )
+
+
+class TestWeightedFilter:
+    def test_steals_on_weighted_imbalance(self):
+        policy = WeightedBalancePolicy()
+        thief = weighted_view(0, 0, 0)
+        stealee = weighted_view(1, 2, NICE_0_WEIGHT)
+        assert policy.can_steal(thief, stealee)
+
+    def test_min_weight_overloaded_core_is_stealable_by_idle(self):
+        """The default margin is calibrated so ANY overloaded core can be
+        stolen from by an idle core — even all-nice-19 victims."""
+        policy = WeightedBalancePolicy()
+        thief = weighted_view(0, 0, 0)
+        stealee = weighted_view(1, 2, MIN_TASK_WEIGHT)
+        assert policy.can_steal(thief, stealee)
+
+    def test_single_heavy_thread_is_not_a_victim(self):
+        """The trap: huge weighted load, nothing stealable. The structural
+        conjunct must reject it."""
+        policy = WeightedBalancePolicy()
+        thief = weighted_view(0, 0, 0)
+        heavy = weighted_view(1, 1, nice_to_weight(-20))  # 1 thread, w=88761
+        assert heavy.weighted_load > policy.margin_weight
+        assert not policy.can_steal(thief, heavy)
+
+    def test_weight_only_imbalance_with_surplus_allows_steal(self):
+        policy = WeightedBalancePolicy()
+        # Thief runs one nice-0 task; victim runs two heavy tasks.
+        thief = weighted_view(0, 1, NICE_0_WEIGHT)
+        stealee = weighted_view(1, 2, nice_to_weight(-10))
+        assert policy.can_steal(thief, stealee)
+
+    def test_load_metric_is_weighted(self):
+        policy = WeightedBalancePolicy()
+        assert policy.load(weighted_view(0, 2, 500)) == 1000
+
+
+class TestProvableWeighted:
+    def test_requires_thread_count_margin_too(self):
+        policy = ProvableWeightedPolicy()
+        thief = weighted_view(0, 1, NICE_0_WEIGHT)
+        # Weighted gap is huge but count gap is only 1: must refuse.
+        stealee = weighted_view(1, 2, nice_to_weight(-15))
+        assert not policy.can_steal(thief, stealee)
+
+    def test_accepts_when_both_margins_hold(self):
+        policy = ProvableWeightedPolicy()
+        thief = weighted_view(0, 0, 0)
+        stealee = weighted_view(1, 2, NICE_0_WEIGHT)
+        assert policy.can_steal(thief, stealee)
+
+    def test_is_strictly_stronger_than_weighted(self):
+        weighted = WeightedBalancePolicy()
+        provable = ProvableWeightedPolicy()
+        for thief_load in range(5):
+            for stealee_load in range(5):
+                thief = LoadView(cid=0, load_count=thief_load)
+                stealee = LoadView(cid=1, load_count=stealee_load)
+                if provable.can_steal(thief, stealee):
+                    assert weighted.can_steal(thief, stealee)
+
+    def test_rejects_margin_below_two(self):
+        import pytest
+
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ProvableWeightedPolicy(margin=1)
+
+
+class TestVerificationOutcomes:
+    """The reproduction finding: weighted passes Lemma1 but fails the
+    concurrent obligations; the provable variant passes everything."""
+
+    def test_weighted_passes_lemma1(self, small_scope):
+        from repro.verify import check_lemma1
+
+        assert check_lemma1(WeightedBalancePolicy(), small_scope).ok
+
+    def test_weighted_fails_steal_soundness(self, small_scope):
+        from repro.verify import check_steal_soundness
+
+        result = check_steal_soundness(WeightedBalancePolicy(), small_scope)
+        assert not result.ok
+        # The counterexample is a near-equal pair whose gap cannot shrink.
+        assert result.counterexample is not None
+
+    def test_weighted_violates_work_conservation_under_adversary(self):
+        from repro.verify import ModelChecker, StateScope
+
+        checker = ModelChecker(WeightedBalancePolicy())
+        analysis = checker.analyze(StateScope(n_cores=3, max_load=2))
+        assert analysis.violated
+
+    def test_provable_weighted_fully_verifies(self, small_scope):
+        from repro.verify import prove_work_conserving
+
+        cert = prove_work_conserving(ProvableWeightedPolicy(), small_scope)
+        assert cert.proved
+
+    def test_weighted_pingpong_preserves_even_the_weighted_potential(self):
+        """Why no potential function rescues the unguarded weighted
+        policy: the weighted ping-pong swaps a task between two cores, so
+        even d computed over *weighted* loads is exactly preserved — the
+        oscillation is invisible to any symmetric pairwise-difference
+        potential. (This is the deeper reason the fix must strengthen the
+        filter, not the potential.)"""
+        from repro.core.task import NICE_0_WEIGHT, nice_to_weight
+        from repro.verify import potential
+
+        heavy = nice_to_weight(-10)
+        # Cores: idle, [light], [light, heavy]; the heavy task bounces.
+        before = (0, NICE_0_WEIGHT, NICE_0_WEIGHT + heavy)
+        after = (0, NICE_0_WEIGHT + heavy, NICE_0_WEIGHT)
+        assert potential(before) == potential(after)

@@ -1,0 +1,52 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock(balance_interval=4)
+        assert clock.now == 0
+        assert not clock.balance_due()
+        assert clock.time_to_next_balance() == 4
+
+    def test_balance_due_after_interval(self):
+        clock = VirtualClock(balance_interval=4)
+        clock.advance(3)
+        assert not clock.balance_due()
+        clock.advance(1)
+        assert clock.balance_due()
+
+    def test_mark_balanced_schedules_next(self):
+        clock = VirtualClock(balance_interval=4)
+        clock.advance(4)
+        clock.mark_balanced()
+        assert not clock.balance_due()
+        assert clock.time_to_next_balance() == 4
+
+    def test_late_balancing_reschedules_from_now(self):
+        clock = VirtualClock(balance_interval=4)
+        clock.advance(10)  # missed a couple of rounds
+        assert clock.balance_due()
+        clock.mark_balanced()
+        assert clock.time_to_next_balance() == 4
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(7) == 7
+        assert clock.advance(0) == 7
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(balance_interval=0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(now=-5)

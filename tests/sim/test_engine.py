@@ -1,0 +1,153 @@
+"""Tests for the discrete-event engine: ticks, preemption, warm-up."""
+
+import pytest
+
+from repro.baselines import NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import SimConfig, Simulation
+from repro.topology import CacheModel, symmetric_numa
+from repro.workloads import StaticImbalanceWorkload
+from repro.workloads.base import Workload
+
+
+class OneShotWorkload(Workload):
+    """N finite tasks on core 0; finishes when all complete."""
+
+    name = "one_shot"
+
+    def __init__(self, n_tasks: int, work: int):
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.work = work
+        self.done = 0
+
+    def attach(self, sim):
+        for i in range(self.n_tasks):
+            sim.place(Task(work=self.work, name=f"os{i}"), 0)
+
+    def on_task_finished(self, sim, task, cid):
+        self.done += 1
+
+    def finished(self, sim):
+        return self.done >= self.n_tasks
+
+
+class TestTickMechanics:
+    def test_single_task_runs_to_completion(self):
+        machine = Machine(n_cores=1)
+        workload = OneShotWorkload(n_tasks=1, work=5)
+        sim = Simulation(machine, NullBalancer(machine), workload=workload)
+        result = sim.run(max_ticks=100)
+        assert result.workload_done
+        assert result.ticks == 5
+        assert result.metrics.finished_tasks == 1
+        assert result.metrics.completed_work == 5
+
+    def test_parallel_execution_on_multiple_cores(self):
+        machine = Machine(n_cores=4)
+        workload = OneShotWorkload(n_tasks=4, work=10)
+        sim = Simulation(machine, LoadBalancer(machine, BalanceCountPolicy()),
+                         workload=workload)
+        result = sim.run(max_ticks=200)
+        assert result.workload_done
+        # 4 tasks x 10 work on 4 cores with balancing: far less than 40.
+        assert result.ticks < 30
+
+    def test_run_stops_at_max_ticks(self):
+        machine = Machine(n_cores=1)
+        sim = Simulation(machine, NullBalancer(machine),
+                         workload=StaticImbalanceWorkload([3]))
+        result = sim.run(max_ticks=50)
+        assert not result.workload_done
+        assert result.ticks == 50
+
+    def test_balancing_fires_on_interval(self):
+        machine = Machine(n_cores=2)
+        balancer = LoadBalancer(machine, BalanceCountPolicy())
+        sim = Simulation(machine, balancer,
+                         workload=StaticImbalanceWorkload([4, 0]),
+                         config=SimConfig(balance_interval=4))
+        for _ in range(3):
+            sim.tick()
+        assert balancer.round_index == 0
+        sim.tick()
+        assert balancer.round_index == 1
+
+    def test_metrics_observe_bad_ticks(self):
+        machine = Machine(n_cores=2)
+        sim = Simulation(machine, NullBalancer(machine),
+                         workload=StaticImbalanceWorkload([4, 0]))
+        sim.run(max_ticks=20)
+        assert sim.metrics.bad_ticks == 20
+        assert sim.metrics.wasted_core_ticks == 20  # one idle core per tick
+
+
+class TestPreemption:
+    def test_round_robin_shares_the_core(self):
+        machine = Machine(n_cores=1)
+        a, b = Task(work=None, name="a"), Task(work=None, name="b")
+        machine.place_task(a, 0)
+        machine.place_task(b, 0)
+        sim = Simulation(machine, NullBalancer(machine),
+                         config=SimConfig(timeslice=2))
+        for _ in range(8):
+            sim.tick()
+        # With a 2-tick timeslice over 8 ticks both make progress.
+        assert a.executed >= 2
+        assert b.executed >= 2
+
+    def test_lone_task_is_never_preempted(self):
+        machine = Machine(n_cores=1)
+        task = Task(work=None)
+        machine.place_task(task, 0)
+        sim = Simulation(machine, NullBalancer(machine),
+                         config=SimConfig(timeslice=2))
+        for _ in range(10):
+            sim.tick()
+        assert task.executed == 10
+        assert machine.core(0).current is task
+
+
+class TestCacheWarmup:
+    def test_migration_pays_warmup(self):
+        topology = symmetric_numa(2, 1)
+        cache = CacheModel(topology=topology, remote_node_penalty=3)
+        machine = Machine(topology=topology)
+        workload = OneShotWorkload(n_tasks=2, work=10)
+        sim = Simulation(machine, LoadBalancer(machine, BalanceCountPolicy()),
+                         workload=workload, cache_model=cache)
+        result = sim.run(max_ticks=100)
+        assert result.workload_done
+        # The stolen task crossed nodes once: exactly 3 warm-up ticks.
+        assert result.metrics.warmup_ticks == 3
+
+    def test_no_cache_model_no_warmup(self):
+        machine = Machine(n_cores=2)
+        workload = OneShotWorkload(n_tasks=2, work=10)
+        sim = Simulation(machine, LoadBalancer(machine, BalanceCountPolicy()),
+                         workload=workload)
+        result = sim.run(max_ticks=100)
+        assert result.metrics.warmup_ticks == 0
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"balance_interval": 0},
+        {"timeslice": 0},
+        {"max_ticks": 0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimConfig(**kwargs)
+
+    def test_engine_without_workload_runs_pure_balancing(self):
+        machine = Machine.from_loads([6, 0, 0])
+        balancer = LoadBalancer(machine, BalanceCountPolicy())
+        sim = Simulation(machine, balancer)
+        result = sim.run(max_ticks=40)
+        assert result.ticks == 40
+        assert machine.is_work_conserving_state()

@@ -1,0 +1,91 @@
+"""Tests for interleaving strategies."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    ConcurrentInterleaving,
+    OverlappedInterleaving,
+    RotatingSequentialInterleaving,
+    SeededInterleaving,
+    SequentialInterleaving,
+    all_adversarial_orders,
+)
+
+
+class TestSequential:
+    def test_fresh_snapshots_flag(self):
+        assert SequentialInterleaving().fresh_snapshots
+        assert RotatingSequentialInterleaving().fresh_snapshots
+        assert not ConcurrentInterleaving().fresh_snapshots
+
+    def test_identity_order(self):
+        inter = SequentialInterleaving()
+        assert inter.participant_order(0, [0, 1, 2]) == [0, 1, 2]
+
+    def test_rotation_changes_with_round(self):
+        inter = RotatingSequentialInterleaving()
+        assert inter.participant_order(0, [0, 1, 2]) == [0, 1, 2]
+        assert inter.participant_order(1, [0, 1, 2]) == [1, 2, 0]
+        assert inter.participant_order(2, [0, 1, 2]) == [2, 0, 1]
+
+    def test_rotation_empty(self):
+        assert RotatingSequentialInterleaving().participant_order(5, []) == []
+
+
+class TestSeeded:
+    def test_deterministic_given_seed(self):
+        a = SeededInterleaving(seed=42)
+        b = SeededInterleaving(seed=42)
+        cids = list(range(8))
+        assert a.participant_order(0, cids) == b.participant_order(0, cids)
+        assert a.steal_order(0, cids) == b.steal_order(0, cids)
+
+    def test_orders_are_permutations(self):
+        inter = SeededInterleaving(seed=7)
+        order = inter.steal_order(0, [3, 1, 4, 1 + 4])
+        assert sorted(order) == [1, 3, 4, 5]
+
+
+class TestAdversarial:
+    def test_exact_order_respected(self):
+        inter = AdversarialInterleaving([2, 0, 1])
+        assert inter.steal_order(0, [0, 1, 2]) == [2, 0, 1]
+
+    def test_partial_specification_appends_rest(self):
+        inter = AdversarialInterleaving([2])
+        assert inter.steal_order(0, [0, 1, 2]) == [2, 0, 1]
+
+    def test_irrelevant_cids_ignored(self):
+        inter = AdversarialInterleaving([9, 1])
+        assert inter.steal_order(0, [0, 1]) == [1, 0]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialInterleaving([1, 1])
+
+    def test_all_orders_enumerates_factorial(self):
+        orders = all_adversarial_orders([0, 1, 2])
+        assert len(orders) == 6
+        produced = {tuple(o.steal_order(0, [0, 1, 2])) for o in orders}
+        assert len(produced) == 6
+
+    def test_all_orders_honours_limit(self):
+        orders = all_adversarial_orders([0, 1, 2, 3], limit=5)
+        assert len(orders) == 5
+
+
+class TestOverlapped:
+    def test_marker_attribute(self):
+        assert getattr(OverlappedInterleaving(), "overlapped")
+
+    def test_schedule_has_three_micro_ops_per_thief(self):
+        inter = OverlappedInterleaving(seed=3)
+        schedule = inter.schedule_micro_ops(0, [0, 2, 5])
+        assert sorted(schedule) == [0, 0, 0, 2, 2, 2, 5, 5, 5]
+
+    def test_schedule_deterministic_per_seed(self):
+        a = OverlappedInterleaving(seed=11).schedule_micro_ops(0, [0, 1])
+        b = OverlappedInterleaving(seed=11).schedule_micro_ops(0, [0, 1])
+        assert a == b

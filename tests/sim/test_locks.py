@@ -1,0 +1,120 @@
+"""Tests for try-locks and the two-runqueue protocol."""
+
+import pytest
+
+from repro.core.errors import LockProtocolError
+from repro.sim.locks import LockManager, TryLock
+
+
+class TestTryLock:
+    def test_acquire_release_cycle(self):
+        lock = TryLock("rq0")
+        assert not lock.held
+        assert lock.try_acquire(1)
+        assert lock.held
+        assert lock.holder == 1
+        lock.release(1)
+        assert not lock.held
+
+    def test_contended_trylock_fails_without_blocking(self):
+        lock = TryLock("rq0")
+        assert lock.try_acquire(1)
+        assert not lock.try_acquire(2)
+        assert lock.holder == 1
+
+    def test_release_by_non_holder_raises(self):
+        lock = TryLock("rq0")
+        lock.try_acquire(1)
+        with pytest.raises(LockProtocolError):
+            lock.release(2)
+
+    def test_release_unheld_raises(self):
+        with pytest.raises(LockProtocolError):
+            TryLock("rq0").release(0)
+
+    def test_stats_count_traffic(self):
+        lock = TryLock("rq0")
+        lock.try_acquire(1)
+        lock.try_acquire(2)  # fails
+        lock.release(1)
+        assert lock.stats.acquisitions == 1
+        assert lock.stats.failed_trylocks == 1
+        assert lock.stats.releases == 1
+
+
+class TestLockPairProtocol:
+    def test_pair_acquires_both(self):
+        manager = LockManager(n_cores=3)
+        assert manager.try_lock_pair(0, 0, 2)
+        assert manager.lock_of(0).holder == 0
+        assert manager.lock_of(2).holder == 0
+        manager.unlock_pair(0, 0, 2)
+        manager.assert_all_free()
+
+    def test_pair_rolls_back_on_second_failure(self):
+        manager = LockManager(n_cores=3)
+        assert manager.lock_of(2).try_acquire(9)
+        # Core 0 wants (0, 2); lock 2 is busy; lock 0 must be released.
+        assert not manager.try_lock_pair(0, 0, 2)
+        assert not manager.lock_of(0).held
+
+    def test_pair_orders_by_core_id(self):
+        """Both (a,b) and (b,a) must acquire in ascending order, so two
+        steals on the same pair can never deadlock."""
+        manager = LockManager(n_cores=2)
+        assert manager.try_lock_pair(1, 1, 0)
+        manager.unlock_pair(1, 1, 0)
+        manager.assert_all_free()
+
+    def test_self_pair_rejected(self):
+        manager = LockManager(n_cores=2)
+        with pytest.raises(LockProtocolError):
+            manager.try_lock_pair(0, 1, 1)
+
+    def test_context_manager_releases_on_success(self):
+        manager = LockManager(n_cores=2)
+        with manager.pair(0, 0, 1) as locked:
+            assert locked
+            assert manager.lock_of(1).held
+        manager.assert_all_free()
+
+    def test_context_manager_releases_on_exception(self):
+        manager = LockManager(n_cores=2)
+        with pytest.raises(RuntimeError):
+            with manager.pair(0, 0, 1) as locked:
+                assert locked
+                raise RuntimeError("steal blew up")
+        manager.assert_all_free()
+
+    def test_context_manager_reports_contention(self):
+        manager = LockManager(n_cores=2)
+        manager.lock_of(1).try_acquire(7)
+        with manager.pair(0, 0, 1) as locked:
+            assert not locked
+        # Lock 0 was rolled back; lock 1 still held by 7.
+        assert not manager.lock_of(0).held
+        assert manager.lock_of(1).holder == 7
+
+    def test_assert_all_free_detects_leak(self):
+        manager = LockManager(n_cores=2)
+        manager.lock_of(0).try_acquire(0)
+        with pytest.raises(LockProtocolError, match="rq0"):
+            manager.assert_all_free()
+
+    def test_aggregate_counters(self):
+        manager = LockManager(n_cores=3)
+        manager.try_lock_pair(0, 0, 1)
+        # (2, 1) orders ascending, so it tries lock 1 first and fails
+        # before ever touching lock 2.
+        manager.try_lock_pair(2, 2, 1)
+        assert manager.total_acquisitions() == 2
+        assert manager.total_contention() == 1
+
+    def test_rollback_counts_acquisition_and_release(self):
+        manager = LockManager(n_cores=3)
+        manager.lock_of(2).try_acquire(9)
+        # (0, 2): lock 0 acquired, lock 2 busy, lock 0 rolled back.
+        assert not manager.try_lock_pair(0, 0, 2)
+        assert manager.lock_of(0).stats.acquisitions == 1
+        assert manager.lock_of(0).stats.releases == 1
+        assert manager.total_contention() == 1

@@ -1,0 +1,67 @@
+"""Tests for the cache-locality cost model."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topology import (
+    CacheModel,
+    LocalityTier,
+    no_cache_model,
+    symmetric_numa,
+)
+
+
+@pytest.fixture
+def model() -> CacheModel:
+    # 2 nodes x 4 cores; LLC groups of 2 consecutive cores.
+    return CacheModel(
+        topology=symmetric_numa(2, 4),
+        llc_group_size=2,
+        shared_llc_penalty=0,
+        same_node_penalty=1,
+        remote_node_penalty=4,
+    )
+
+
+class TestTiers:
+    def test_same_core(self, model):
+        assert model.tier(3, 3) is LocalityTier.SAME_CORE
+
+    def test_never_ran_is_free(self, model):
+        assert model.tier(None, 5) is LocalityTier.SAME_CORE
+        assert model.penalty(None, 5) == 0
+
+    def test_shared_llc(self, model):
+        assert model.tier(0, 1) is LocalityTier.SHARED_LLC
+
+    def test_same_node_cross_llc(self, model):
+        assert model.tier(0, 2) is LocalityTier.SAME_NODE
+
+    def test_remote_node(self, model):
+        assert model.tier(0, 4) is LocalityTier.REMOTE_NODE
+
+
+class TestPenalties:
+    def test_penalty_values(self, model):
+        assert model.penalty(0, 0) == 0
+        assert model.penalty(0, 1) == 0
+        assert model.penalty(0, 2) == 1
+        assert model.penalty(0, 7) == 4
+
+    def test_no_cache_model_is_free(self):
+        model = no_cache_model(symmetric_numa(2, 2))
+        assert model.penalty(0, 3) == 0
+
+    def test_llc_group_zero_means_whole_node(self):
+        model = CacheModel(topology=symmetric_numa(2, 4), llc_group_size=0,
+                           shared_llc_penalty=0, same_node_penalty=2)
+        assert model.tier(0, 3) is LocalityTier.SHARED_LLC
+        assert model.penalty(0, 3) == 0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(topology=symmetric_numa(2, 2), same_node_penalty=-1)
+
+    def test_negative_group_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(topology=symmetric_numa(2, 2), llc_group_size=-1)

@@ -1,0 +1,89 @@
+"""Tests for scheduling-domain trees."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topology import (
+    SchedDomain,
+    build_domain_tree,
+    flat_groups,
+    symmetric_numa,
+    uniform_topology,
+)
+
+
+class TestTreeConstruction:
+    def test_two_level_tree(self):
+        root = build_domain_tree(symmetric_numa(2, 4))
+        assert root.name == "machine"
+        assert len(root.children) == 2
+        assert root.cores == tuple(range(8))
+        assert root.children[0].cores == (0, 1, 2, 3)
+
+    def test_three_level_tree_with_groups(self):
+        root = build_domain_tree(symmetric_numa(2, 4), group_size=2)
+        node0 = root.children[0]
+        assert len(node0.children) == 2
+        assert node0.children[0].cores == (0, 1)
+        assert node0.children[1].cores == (2, 3)
+        assert root.level == 2
+
+    def test_group_size_must_divide_node(self):
+        with pytest.raises(ConfigurationError):
+            build_domain_tree(symmetric_numa(2, 4), group_size=3)
+
+    def test_uma_machine_tree(self):
+        root = build_domain_tree(uniform_topology(4))
+        assert len(root.children) == 1
+        assert root.children[0].cores == (0, 1, 2, 3)
+
+
+class TestTreeQueries:
+    def test_walk_visits_all_domains(self):
+        root = build_domain_tree(symmetric_numa(2, 4), group_size=2)
+        names = [d.name for d in root.walk()]
+        assert names[0] == "machine"
+        assert "node0" in names
+        assert "node1.group1" in names
+        assert len(names) == 1 + 2 + 4
+
+    def test_levels_grouping(self):
+        root = build_domain_tree(symmetric_numa(2, 4), group_size=2)
+        by_level = root.levels()
+        assert len(by_level[0]) == 4  # leaf groups
+        assert len(by_level[1]) == 2  # nodes
+        assert len(by_level[2]) == 1  # machine
+
+    def test_find_leaf_group(self):
+        root = build_domain_tree(symmetric_numa(2, 4), group_size=2)
+        leaf = root.find_leaf_group(5)
+        assert leaf.cores == (4, 5)
+
+    def test_find_leaf_group_outside_raises(self):
+        root = build_domain_tree(uniform_topology(2))
+        with pytest.raises(ConfigurationError):
+            root.find_leaf_group(7)
+
+    def test_flat_groups(self):
+        root = build_domain_tree(symmetric_numa(2, 2))
+        assert flat_groups(root) == [(0, 1), (2, 3)]
+
+    def test_flat_groups_three_levels(self):
+        root = build_domain_tree(symmetric_numa(2, 4), group_size=2)
+        assert flat_groups(root) == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+
+class TestValidation:
+    def test_children_must_partition(self):
+        with pytest.raises(ConfigurationError):
+            SchedDomain(
+                name="bad", level=1, cores=(0, 1, 2),
+                children=[
+                    SchedDomain(name="a", level=0, cores=(0,)),
+                    SchedDomain(name="b", level=0, cores=(1,)),
+                ],
+            )
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchedDomain(name="empty", level=0, cores=())

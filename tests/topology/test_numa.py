@@ -1,0 +1,101 @@
+"""Tests for NUMA topologies."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topology import (
+    LOCAL_DISTANCE,
+    REMOTE_DISTANCE,
+    NumaTopology,
+    mesh_numa,
+    symmetric_numa,
+    uniform_topology,
+)
+
+
+class TestUniform:
+    def test_single_node(self):
+        topo = uniform_topology(4)
+        assert topo.n_nodes == 1
+        assert all(topo.node_of(c) == 0 for c in range(4))
+        assert topo.distance(0, 3) == LOCAL_DISTANCE
+        assert topo.same_node(0, 3)
+
+
+class TestSymmetric:
+    def test_node_major_numbering(self):
+        topo = symmetric_numa(2, 4)
+        assert topo.cores_of(0) == (0, 1, 2, 3)
+        assert topo.cores_of(1) == (4, 5, 6, 7)
+        assert topo.cores_per_node == 4
+
+    def test_distances(self):
+        topo = symmetric_numa(2, 2)
+        assert topo.distance(0, 1) == LOCAL_DISTANCE
+        assert topo.distance(0, 2) == REMOTE_DISTANCE
+        assert not topo.same_node(1, 2)
+
+    def test_custom_remote_distance(self):
+        topo = symmetric_numa(2, 1, remote_distance=31)
+        assert topo.distance(0, 1) == 31
+
+    def test_remote_below_local_rejected(self):
+        with pytest.raises(ConfigurationError):
+            symmetric_numa(2, 1, remote_distance=5)
+
+
+class TestMesh:
+    def test_manhattan_distances(self):
+        topo = mesh_numa(side=2, cores_per_node=1, hop_cost=5)
+        # Nodes: 0 1 / 2 3 in a 2x2 grid.
+        assert topo.distance(0, 0) == 10
+        assert topo.distance(0, 1) == 15  # one hop
+        assert topo.distance(0, 3) == 20  # two hops (diagonal)
+
+    def test_core_count(self):
+        topo = mesh_numa(side=2, cores_per_node=2)
+        assert topo.n_cores == 8
+        assert topo.n_nodes == 4
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mesh_numa(side=0, cores_per_node=1)
+
+
+class TestValidation:
+    def test_wrong_mapping_length(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(
+                n_cores=2, n_nodes=1, core_to_node=(0,),
+                distances=((10,),),
+            )
+
+    def test_unknown_node_in_mapping(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(
+                n_cores=1, n_nodes=1, core_to_node=(1,),
+                distances=((10,),),
+            )
+
+    def test_wrong_matrix_shape(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(
+                n_cores=2, n_nodes=2, core_to_node=(0, 1),
+                distances=((10, 20),),
+            )
+
+    def test_diagonal_must_be_local(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(
+                n_cores=2, n_nodes=2, core_to_node=(0, 1),
+                distances=((11, 20), (20, 10)),
+            )
+
+    def test_cores_of_unknown_node(self):
+        topo = uniform_topology(2)
+        with pytest.raises(ConfigurationError):
+            topo.cores_of(5)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_topology(0)

@@ -1,0 +1,60 @@
+"""Tests for the randomised verification campaign."""
+
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.policies.naive import OverStealingPolicy
+from repro.verify import CampaignConfig, run_campaign
+
+
+def small_config(**overrides) -> CampaignConfig:
+    defaults = dict(n_machines=15, max_cores=8, max_load=6,
+                    rounds_per_machine=15, seed=3)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestCampaignOnSoundPolicy:
+    def test_listing1_comes_out_clean(self):
+        report = run_campaign(BalanceCountPolicy, small_config())
+        assert report.clean, report.violations[:3]
+        assert report.machines == 15
+        assert report.rounds == 15 * 15
+        assert report.steals > 0
+
+    def test_campaign_is_reproducible(self):
+        a = run_campaign(BalanceCountPolicy, small_config())
+        b = run_campaign(BalanceCountPolicy, small_config())
+        assert (a.steals, a.failures, a.max_rounds_to_quiescence) == \
+            (b.steals, b.failures, b.max_rounds_to_quiescence)
+
+    def test_different_seeds_explore_differently(self):
+        a = run_campaign(BalanceCountPolicy, small_config(seed=1))
+        b = run_campaign(BalanceCountPolicy, small_config(seed=2))
+        assert (a.steals, a.rounds) != (b.steals, b.rounds) or \
+            a.failures != b.failures
+
+    def test_describe_summarises(self):
+        report = run_campaign(BalanceCountPolicy, small_config())
+        text = report.describe()
+        assert "no violation found" in text
+        assert "machines" in text
+
+
+class TestCampaignOnBrokenPolicies:
+    def test_naive_policy_caught(self):
+        """Random adversaries find the ping-pong's symptoms: machines
+        that never leave the wasted-core condition, or potential
+        non-decrease."""
+        report = run_campaign(
+            NaiveOverloadedPolicy,
+            small_config(n_machines=25, rounds_per_machine=25),
+        )
+        assert not report.clean
+
+    def test_over_stealing_caught(self):
+        report = run_campaign(
+            OverStealingPolicy,
+            small_config(n_machines=25),
+        )
+        # Over-stealing breaks potential decrease (overshoot) on some
+        # random machine.
+        assert not report.clean

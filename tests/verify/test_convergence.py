@@ -1,0 +1,107 @@
+"""Tests for convergence-speed analysis."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+)
+from repro.verify import (
+    geometric_rate,
+    potential_series,
+    rounds_to_balance,
+)
+
+from tests.conftest import load_states
+
+
+class TestPotentialSeries:
+    def test_series_starts_at_initial_potential(self):
+        from repro.verify import potential
+
+        profile = potential_series(BalanceCountPolicy(), [0, 1, 2])
+        assert profile.d_series[0] == potential((0, 1, 2))
+
+    def test_series_reaches_fixpoint(self):
+        profile = potential_series(BalanceCountPolicy(), [0, 0, 8, 8])
+        assert profile.rounds_to_quiescent is not None
+        assert profile.rounds_to_work_conserving is not None
+        assert (profile.rounds_to_work_conserving
+                <= profile.rounds_to_quiescent)
+
+    def test_monotone_for_sound_policy(self):
+        profile = potential_series(BalanceCountPolicy(), [12, 0, 0, 0])
+        assert profile.monotone
+
+    def test_not_monotone_is_detectable(self):
+        """Construct a profile by hand to exercise the predicate."""
+        from repro.verify.convergence import ConvergenceProfile
+
+        profile = ConvergenceProfile(
+            d_series=(10, 6, 8), rounds_to_work_conserving=None,
+            rounds_to_quiescent=None, total_steals=0, total_failures=0,
+        )
+        assert not profile.monotone
+
+    def test_already_balanced_machine(self):
+        profile = potential_series(BalanceCountPolicy(), [1, 1, 1])
+        assert profile.rounds_to_work_conserving == 0
+        assert profile.rounds_to_quiescent == 1  # one quiet probe round
+        assert profile.total_steals == 0
+
+    @given(loads=load_states)
+    @settings(max_examples=30, deadline=None)
+    def test_d_never_increases_for_listing1(self, loads):
+        profile = potential_series(BalanceCountPolicy(), list(loads),
+                                   max_rounds=50)
+        assert profile.monotone
+
+
+class TestGeometricRate:
+    def test_halving_contracts_faster_than_single_steal(self):
+        loads = [32, 0, 0, 0]
+        single = potential_series(BalanceCountPolicy(), loads)
+        halving = potential_series(GreedyHalvingPolicy(), loads)
+        rate_single = geometric_rate(single.d_series)
+        rate_halving = geometric_rate(halving.d_series)
+        assert rate_halving < rate_single < 1.0
+
+    def test_rate_of_constant_series_is_one(self):
+        assert geometric_rate([8, 8, 8]) == pytest.approx(1.0)
+
+    def test_too_short_series_returns_none(self):
+        assert geometric_rate([5]) is None
+        assert geometric_rate([0, 0]) is None
+
+    def test_pingpong_has_unit_rate(self):
+        """The naive policy's adversarial oscillation never contracts."""
+        from repro.core.balancer import LoadBalancer
+        from repro.core.machine import Machine
+        from repro.sim.interleave import AdversarialInterleaving
+        from repro.verify import potential
+
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, NaiveOverloadedPolicy(),
+                                check_invariants=False)
+        series = [potential(machine.loads())]
+        for _ in range(10):
+            order = [1, 0] if machine.loads()[1] == 1 else [2, 0]
+            balancer.run_round(interleaving=AdversarialInterleaving(order))
+            series.append(potential(machine.loads()))
+        assert geometric_rate(series) == pytest.approx(1.0)
+
+
+class TestHorizons:
+    def test_work_conserving_before_fully_balanced(self):
+        horizons = rounds_to_balance(BalanceCountPolicy(), [9, 9, 0, 0])
+        assert horizons.work_conserving is not None
+        assert horizons.fully_balanced is not None
+        assert horizons.work_conserving <= horizons.fully_balanced
+
+    def test_unreachable_horizon_is_none(self):
+        # Margin 3 from [0, 2]: stuck forever in the bad condition.
+        horizons = rounds_to_balance(BalanceCountPolicy(margin=3), [0, 2],
+                                     max_rounds=20)
+        assert horizons.work_conserving is None

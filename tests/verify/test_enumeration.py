@@ -1,0 +1,132 @@
+"""Tests for state enumeration and the abstraction convention."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import VerificationError
+from repro.verify import (
+    StateScope,
+    canonical,
+    count_states,
+    idle_cores_of,
+    is_bad_state,
+    iter_canonical_states,
+    iter_states,
+    overloaded_cores_of,
+    snapshot_from_load,
+    views_of,
+)
+
+
+class TestScope:
+    def test_full_product_count(self):
+        scope = StateScope(n_cores=3, max_load=3)
+        assert count_states(scope) == 4 ** 3
+
+    def test_total_cap_prunes(self):
+        scope = StateScope(n_cores=2, max_load=3, max_total=3)
+        states = list(iter_states(scope))
+        assert all(sum(s) <= 3 for s in states)
+        assert (3, 3) not in states
+        assert (0, 3) in states
+
+    def test_min_total_skips_empty(self):
+        scope = StateScope(n_cores=2, max_load=1, min_total=1)
+        assert (0, 0) not in list(iter_states(scope))
+
+    def test_admits(self):
+        scope = StateScope(n_cores=2, max_load=2, max_total=3)
+        assert scope.admits((2, 1))
+        assert not scope.admits((2, 2))   # total 4 > 3
+        assert not scope.admits((3, 0))   # load 3 > 2
+        assert not scope.admits((1, 1, 1))  # wrong arity
+
+    def test_describe_mentions_dimensions(self):
+        text = StateScope(n_cores=4, max_load=2).describe()
+        assert "4 cores" in text and "0..2" in text
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_cores": 0, "max_load": 2},
+        {"n_cores": 2, "max_load": -1},
+        {"n_cores": 2, "max_load": 2, "max_total": 1, "min_total": 2},
+    ])
+    def test_invalid_scope_rejected(self, kwargs):
+        with pytest.raises(VerificationError):
+            StateScope(**kwargs)
+
+
+class TestCanonical:
+    def test_sorted_descending(self):
+        assert canonical((1, 3, 0)) == (3, 1, 0)
+
+    def test_canonical_states_cover_all_classes(self):
+        scope = StateScope(n_cores=3, max_load=2)
+        canon = set(iter_canonical_states(scope))
+        full = {canonical(s) for s in iter_states(scope)}
+        assert canon == full
+
+    def test_canonical_enumeration_is_smaller(self):
+        scope = StateScope(n_cores=4, max_load=4)
+        assert (sum(1 for _ in iter_canonical_states(scope))
+                < count_states(scope))
+
+    @given(state=st.lists(st.integers(0, 5), min_size=1, max_size=6))
+    def test_canonical_is_idempotent_permutation(self, state):
+        canon = canonical(state)
+        assert sorted(canon) == sorted(state)
+        assert canonical(canon) == canon
+
+
+class TestViews:
+    def test_snapshot_from_load_convention(self):
+        snap = snapshot_from_load(2, 3)
+        assert snap.cid == 2
+        assert snap.nr_threads == 3
+        assert snap.has_current
+        assert snap.nr_ready == 2
+
+    def test_zero_load_is_idle(self):
+        snap = snapshot_from_load(0, 0)
+        assert snap.idle
+        assert not snap.has_current
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(VerificationError):
+            snapshot_from_load(0, -1)
+
+    def test_views_of_assigns_cids(self):
+        views = views_of((1, 0, 4))
+        assert [v.cid for v in views] == [0, 1, 2]
+        assert [v.nr_threads for v in views] == [1, 0, 4]
+
+    def test_views_of_with_nodes(self):
+        views = views_of((1, 1), nodes=(0, 1))
+        assert [v.node for v in views] == [0, 1]
+
+    def test_views_of_node_arity_mismatch(self):
+        with pytest.raises(VerificationError):
+            views_of((1, 1), nodes=(0,))
+
+
+class TestBadStates:
+    @pytest.mark.parametrize("state,bad", [
+        ((0, 1, 2), True),
+        ((0, 2), True),
+        ((1, 1, 1), False),
+        ((0, 1), False),    # idle but nobody overloaded
+        ((2, 2), False),    # overloaded but nobody idle
+        ((0, 0), False),
+    ])
+    def test_bad_state_definition(self, state, bad):
+        assert is_bad_state(state) is bad
+
+    def test_idle_and_overloaded_lists(self):
+        assert idle_cores_of((0, 1, 0)) == [0, 2]
+        assert overloaded_cores_of((2, 1, 5)) == [0, 2]
+
+    @given(state=st.lists(st.integers(0, 6), min_size=1, max_size=6))
+    def test_bad_iff_idle_and_overloaded_exist(self, state):
+        assert is_bad_state(state) == (
+            bool(idle_cores_of(state)) and bool(overloaded_cores_of(state))
+        )

@@ -1,0 +1,159 @@
+"""Tests for the §4.2 lemma checkers: Listing 2 and steal soundness.
+
+The suite plays both sides: obligations must be PROVED for the paper's
+policies and REFUTED — with meaningful counterexamples — for each broken
+mutant. A lemma checker that never refutes anything proves nothing.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+    ProvableWeightedPolicy,
+)
+from repro.policies.naive import InvertedFilterPolicy, OverStealingPolicy
+from repro.verify import (
+    StateScope,
+    check_choice_irrelevance,
+    check_filter_soundness,
+    check_lemma1,
+    check_lemma1_weighted_states,
+    check_steal_soundness,
+    simulate_steal,
+    snapshot_from_load,
+)
+from repro.verify.lemmas import single_heavy_thread_views
+
+from tests.conftest import PROVEN_POLICIES, load_states
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_proved_for_sound_policies(self, policy, small_scope):
+        result = check_lemma1(policy, small_scope)
+        assert result.ok, result.counterexample
+        assert result.states_checked > 0
+
+    def test_margin1_fails_completeness(self, small_scope):
+        result = check_lemma1(BalanceCountPolicy(margin=1), small_scope)
+        assert not result.ok
+        assert "completeness" in result.counterexample.detail
+
+    def test_margin3_fails_existence(self, small_scope):
+        result = check_lemma1(BalanceCountPolicy(margin=3), small_scope)
+        assert not result.ok
+        assert "existence" in result.counterexample.detail
+        # The canonical stuck state: someone overloaded at load 2, idle
+        # thief cannot reach it.
+        state = result.counterexample.state
+        assert 0 in state and 2 in state
+
+    def test_inverted_filter_fails(self, small_scope):
+        assert not check_lemma1(InvertedFilterPolicy(), small_scope).ok
+
+    def test_naive_filter_passes_lemma1(self, small_scope):
+        """§4.3's point: the broken filter is invisible to Listing 2."""
+        assert check_lemma1(NaiveOverloadedPolicy(), small_scope).ok
+
+    @given(loads=load_states)
+    @settings(max_examples=60, deadline=None)
+    def test_lemma1_property_beyond_exhaustive_scope(self, loads):
+        """Hypothesis: on random states up to 6 cores / load 6, Listing 1
+        satisfies both Lemma1 directions."""
+        policy = BalanceCountPolicy()
+        views = [snapshot_from_load(i, load) for i, load in enumerate(loads)]
+        for thief in views:
+            if thief.nr_threads != 0:
+                continue
+            others = [v for v in views if v.cid != thief.cid]
+            kept = [v for v in others if policy.can_steal(thief, v)]
+            if any(v.nr_threads >= 2 for v in others):
+                assert kept, f"existence fails at {loads}"
+            assert all(v.nr_threads >= 2 for v in kept), \
+                f"completeness fails at {loads}"
+
+
+class TestFilterSoundness:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_proved_for_sound_policies(self, policy, small_scope):
+        assert check_filter_soundness(policy, small_scope).ok
+
+    def test_margin1_selects_empty_victims(self, small_scope):
+        result = check_filter_soundness(
+            BalanceCountPolicy(margin=1), small_scope
+        )
+        assert not result.ok
+        assert "no ready task" in result.counterexample.detail
+
+
+class TestStealSoundness:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_proved_for_sound_policies(self, policy, small_scope):
+        result = check_steal_soundness(policy, small_scope)
+        assert result.ok, result.counterexample
+
+    def test_over_stealing_refuted(self, small_scope):
+        assert not check_steal_soundness(OverStealingPolicy(),
+                                         small_scope).ok
+
+    def test_naive_refuted_on_loaded_thief(self, small_scope):
+        result = check_steal_soundness(NaiveOverloadedPolicy(), small_scope)
+        assert not result.ok
+        # The failing case has the thief at least as loaded as the victim.
+        data = result.counterexample.data
+        state = result.counterexample.state
+        assert state[data["thief"]] >= state[data["victim"]] - 1
+
+    def test_simulate_steal_clamps_to_ready(self):
+        policy = OverStealingPolicy()
+        thief = snapshot_from_load(0, 0)
+        victim = snapshot_from_load(1, 4)  # 3 ready
+        new_thief, new_victim, moved = simulate_steal(policy, thief, victim)
+        assert moved == 3
+        assert (new_thief, new_victim) == (3, 1)
+
+    def test_simulate_steal_on_empty_victim_moves_nothing(self):
+        policy = BalanceCountPolicy(margin=1)
+        thief = snapshot_from_load(0, 0)
+        victim = snapshot_from_load(1, 1)  # running task only
+        _, _, moved = simulate_steal(policy, thief, victim)
+        assert moved == 0
+
+
+class TestChoiceIrrelevance:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_any_candidate_is_safe(self, policy, small_scope):
+        assert check_choice_irrelevance(policy, small_scope).ok
+
+    def test_naive_fails_for_some_candidate(self, small_scope):
+        result = check_choice_irrelevance(NaiveOverloadedPolicy(),
+                                          small_scope)
+        assert not result.ok
+        assert "choice-irrelevance" in result.counterexample.detail
+
+
+class TestWeightedStateSweeps:
+    def test_listing1_immune_to_weights(self, small_scope):
+        """Thread-count filters cannot be affected by weight scaling."""
+        assert check_lemma1_weighted_states(
+            BalanceCountPolicy(), small_scope
+        ).ok
+
+    def test_provable_weighted_passes_weighted_sweep(self, small_scope):
+        assert check_lemma1_weighted_states(
+            ProvableWeightedPolicy(), small_scope
+        ).ok
+
+    def test_single_heavy_thread_scenario_shape(self):
+        views = single_heavy_thread_views(4, heavy_weight=88761)
+        assert views[0].idle
+        assert views[1].weighted_load == 88761
+        assert views[1].nr_ready == 0  # nothing stealable
+        assert len(views) == 4

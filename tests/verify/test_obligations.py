@@ -1,0 +1,91 @@
+"""Tests for the proof-obligation bookkeeping."""
+
+from repro.verify import (
+    ALL_OBLIGATIONS,
+    LEMMA1,
+    Counterexample,
+    ProofReport,
+    ProofResult,
+    ProofStatus,
+)
+
+
+def make_result(status: ProofStatus, key: str = "lemma1") -> ProofResult:
+    obligation = next(o for o in ALL_OBLIGATIONS if o.key == key)
+    counterexample = None
+    if status is ProofStatus.REFUTED:
+        counterexample = Counterexample(state=(0, 2), detail="broke")
+    return ProofResult(
+        obligation=obligation,
+        policy_name="test_policy",
+        status=status,
+        scope="test scope",
+        states_checked=42,
+        counterexample=counterexample,
+    )
+
+
+class TestObligationCatalogue:
+    def test_keys_are_unique(self):
+        keys = [o.key for o in ALL_OBLIGATIONS]
+        assert len(keys) == len(set(keys))
+
+    def test_every_obligation_cites_the_paper(self):
+        assert all("Section" in o.paper_ref for o in ALL_OBLIGATIONS)
+
+    def test_lemma1_references_listing2(self):
+        assert "Listing 2" in LEMMA1.paper_ref
+
+
+class TestProofResult:
+    def test_proved_is_ok(self):
+        assert make_result(ProofStatus.PROVED_AT_SCOPE).ok
+
+    def test_refuted_is_not_ok(self):
+        assert not make_result(ProofStatus.REFUTED).ok
+
+    def test_inapplicable_is_ok(self):
+        assert make_result(ProofStatus.INAPPLICABLE).ok
+
+    def test_str_contains_verdict_and_scope(self):
+        text = str(make_result(ProofStatus.PROVED_AT_SCOPE))
+        assert "PROVED" in text and "test scope" in text
+
+    def test_str_shows_counterexample(self):
+        text = str(make_result(ProofStatus.REFUTED))
+        assert "counterexample" in text and "broke" in text
+
+
+class TestProofReport:
+    def test_all_proved(self):
+        report = ProofReport(policy_name="p")
+        report.add(make_result(ProofStatus.PROVED_AT_SCOPE))
+        assert report.all_proved
+        assert report.refuted == []
+
+    def test_refuted_collected(self):
+        report = ProofReport(policy_name="p")
+        report.add(make_result(ProofStatus.PROVED_AT_SCOPE))
+        report.add(make_result(ProofStatus.REFUTED, key="steal_soundness"))
+        assert not report.all_proved
+        assert len(report.refuted) == 1
+
+    def test_result_for_key(self):
+        report = ProofReport(policy_name="p")
+        report.add(make_result(ProofStatus.PROVED_AT_SCOPE))
+        assert report.result_for("lemma1").ok
+
+    def test_render_contains_verdict(self):
+        report = ProofReport(policy_name="p")
+        report.add(make_result(ProofStatus.PROVED_AT_SCOPE))
+        assert "ALL PROVED" in report.render()
+        report.add(make_result(ProofStatus.REFUTED))
+        assert "REFUTED" in report.render()
+
+
+class TestCounterexample:
+    def test_str_format(self):
+        ce = Counterexample(state=(0, 1, 2), detail="oops",
+                            data={"thief": 0})
+        assert "state=(0, 1, 2)" in str(ce)
+        assert "oops" in str(ce)

@@ -1,0 +1,160 @@
+"""Tests for the potential function d and the bounded-steals theorem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+    WeightedBalancePolicy,
+)
+from repro.verify import (
+    StateScope,
+    check_potential_decrease,
+    min_observed_decrease,
+    potential,
+    potential_after_steal,
+    round_bound,
+    steal_bound,
+    worst_round_bound,
+)
+
+from tests.conftest import PROVEN_POLICIES, load_states
+
+
+class TestPotentialFunction:
+    def test_paper_formula_small_cases(self):
+        # d = sum over ordered pairs of |li - lj|.
+        assert potential((0, 0)) == 0
+        assert potential((0, 2)) == 4        # |0-2| + |2-0|
+        assert potential((0, 1, 2)) == 8     # 2*(1 + 2 + 1)
+        assert potential((3, 3, 3)) == 0
+
+    def test_matches_naive_double_sum(self):
+        def naive_d(state):
+            return sum(
+                abs(a - b) for a in state for b in state
+            )
+
+        for state in [(0, 1, 2), (5, 0, 3, 3), (1,), (2, 2, 7, 0, 4)]:
+            assert potential(state) == naive_d(state)
+
+    @given(state=load_states)
+    def test_always_even_and_nonnegative(self, state):
+        d = potential(state)
+        assert d >= 0
+        assert d % 2 == 0
+
+    @given(state=load_states)
+    def test_zero_iff_perfectly_balanced(self, state):
+        assert (potential(state) == 0) == (len(set(state)) <= 1)
+
+    @given(state=load_states)
+    def test_permutation_invariant(self, state):
+        assert potential(state) == potential(tuple(reversed(state)))
+        assert potential(state) == potential(tuple(sorted(state)))
+
+    @given(state=load_states, k=st.integers(0, 5))
+    def test_translation_invariant(self, state, k):
+        """Adding k threads to every core changes no pairwise difference."""
+        shifted = tuple(x + k for x in state)
+        assert potential(state) == potential(shifted)
+
+    def test_potential_after_steal(self):
+        assert potential_after_steal((0, 1, 2), thief=0, victim=2,
+                                     moved=1) == potential((1, 1, 1))
+
+
+class TestPotentialDecrease:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_proved_for_sound_policies(self, policy, small_scope):
+        result = check_potential_decrease(policy, small_scope)
+        assert result.ok, result.counterexample
+
+    def test_refuted_for_naive_policy(self, small_scope):
+        result = check_potential_decrease(NaiveOverloadedPolicy(),
+                                          small_scope)
+        assert not result.ok
+        data = result.counterexample.data
+        assert data["d_after"] >= data["d_before"]
+
+    def test_refuted_for_weighted_policy(self, small_scope):
+        """The reproduction finding: d over thread counts does not
+        decrease for weighted stealing between near-equal cores."""
+        assert not check_potential_decrease(WeightedBalancePolicy(),
+                                            small_scope).ok
+
+    @given(
+        thief=st.integers(0, 10), victim=st.integers(0, 10),
+        other=st.lists(st.integers(0, 10), max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_margin2_single_steal_always_decreases_d(self, thief, victim,
+                                                     other):
+        """Hypothesis form of the §4.3 proof's key step: if the filter
+        holds (gap >= 2), moving one task strictly decreases d regardless
+        of the other cores' loads."""
+        if victim - thief < 2:
+            return
+        state = tuple([thief, victim] + other)
+        after = potential_after_steal(state, thief=0, victim=1, moved=1)
+        assert after < potential(state)
+
+    def test_min_observed_decrease_is_four_for_listing1(self, small_scope):
+        """One moved task shrinks the pair's gap by 2; the ordered-pair
+        sum counts it twice: minimum decrease 4."""
+        assert min_observed_decrease(BalanceCountPolicy(),
+                                     small_scope) == 4
+
+    def test_min_observed_none_when_no_steal_possible(self):
+        scope = StateScope(n_cores=2, max_load=1)
+        assert min_observed_decrease(BalanceCountPolicy(), scope) is None
+
+
+class TestBounds:
+    def test_steal_bound_formula(self):
+        assert steal_bound((0, 1, 2), min_decrease=4) == 2
+        assert steal_bound((1, 1, 1), min_decrease=4) == 0
+
+    def test_round_bound_adds_exit_round(self):
+        assert round_bound((0, 1, 2), 4) == 3
+
+    def test_invalid_min_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            steal_bound((0, 2), 0)
+
+    def test_worst_round_bound_covers_scope(self, small_scope):
+        bound = worst_round_bound(small_scope, min_decrease=4)
+        # The most imbalanced scope state (0,0,3): d = 2*(3+3+0) = 12.
+        assert bound == 12 // 4 + 1
+
+    def test_bound_dominates_exact_worst_case(self, small_scope):
+        """The certificate must never undercut reality: the potential
+        bound is an upper bound on the model checker's exact N."""
+        from repro.verify import ModelChecker
+
+        bound = worst_round_bound(small_scope, min_decrease=4)
+        exact = ModelChecker(BalanceCountPolicy()).analyze(
+            small_scope
+        ).worst_case_rounds
+        assert bound >= exact
+
+    @given(state=load_states)
+    @settings(max_examples=50, deadline=None)
+    def test_actual_steals_never_exceed_bound(self, state):
+        """Run Listing 1 to quiescence; total successful steals must stay
+        within d0 / 4."""
+        from repro.core.balancer import LoadBalancer
+        from repro.core.machine import Machine
+
+        machine = Machine.from_loads(list(state))
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        for _ in range(100):
+            record = balancer.run_round()
+            if record.quiet:
+                break
+        assert balancer.total_successes <= steal_bound(state, 4)

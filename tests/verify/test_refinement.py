@@ -1,0 +1,65 @@
+"""Tests for the refinement obligation (model ↔ implementation)."""
+
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    NaiveOverloadedPolicy,
+)
+from repro.verify import StateScope, check_refinement
+
+
+class TestRefinement:
+    def test_listing1_refines(self):
+        result = check_refinement(
+            BalanceCountPolicy, StateScope(n_cores=3, max_load=3)
+        )
+        assert result.ok
+        assert result.states_checked > 0
+
+    def test_naive_policy_refines_too(self):
+        """Refinement is about executor fidelity, not policy quality:
+        the broken policy's behaviour must ALSO match exactly."""
+        result = check_refinement(
+            NaiveOverloadedPolicy, StateScope(n_cores=3, max_load=2)
+        )
+        assert result.ok
+
+    def test_halving_refines(self):
+        result = check_refinement(
+            GreedyHalvingPolicy, StateScope(n_cores=3, max_load=4)
+        )
+        assert result.ok
+
+    def test_truncation_recorded_in_scope(self):
+        result = check_refinement(
+            NaiveOverloadedPolicy,
+            StateScope(n_cores=4, max_load=2),
+            max_orders_per_state=2,
+        )
+        assert result.ok
+        assert "capped" in result.scope
+
+    def test_divergence_is_detected(self):
+        """Mutate the abstraction convention deliberately: a policy whose
+        behaviour depends on runqueue *contents* (ready ids) diverges
+        between abstract views (no task ids) and live cores — refinement
+        must catch exactly this class of policy."""
+        from repro.core.policy import Policy
+
+        class ContentSensitive(Policy):
+            name = "content_sensitive"
+
+            def can_steal(self, thief, stealee) -> bool:
+                ready_ids = getattr(stealee, "ready_task_ids", ())
+                # Live snapshots carry tids; abstract views carry none.
+                # Triggering on their presence makes the two worlds
+                # disagree on otherwise-identical states.
+                if stealee.nr_threads - thief.nr_threads >= 2:
+                    return len(ready_ids) > 0
+                return False
+
+        result = check_refinement(
+            ContentSensitive, StateScope(n_cores=2, max_load=3)
+        )
+        assert not result.ok
+        assert result.counterexample is not None

@@ -1,0 +1,60 @@
+"""Tests for the multi-policy verdict matrix."""
+
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.verify import StateScope, default_zoo, verify_zoo
+from repro.verify.report import MATRIX_OBLIGATIONS
+
+
+class TestZooReport:
+    def test_matrix_shape(self):
+        report = verify_zoo(
+            [BalanceCountPolicy(), NaiveOverloadedPolicy()],
+            StateScope(n_cores=3, max_load=2),
+        )
+        rows = report.verdict_rows()
+        assert len(rows) == 2
+        # policy + obligations + exact N + bound N
+        assert len(rows[0]) == 1 + len(MATRIX_OBLIGATIONS) + 2
+
+    def test_proved_and_refuted_rows(self):
+        report = verify_zoo(
+            [BalanceCountPolicy(), NaiveOverloadedPolicy()],
+            StateScope(n_cores=3, max_load=2),
+        )
+        good, bad = report.verdict_rows()
+        assert "REFUTED" not in good
+        assert "REFUTED" in bad
+        assert report.proved_names == ["balance_count(margin=2)"]
+
+    def test_render_contains_summary_line(self):
+        report = verify_zoo(
+            [BalanceCountPolicy()], StateScope(n_cores=2, max_load=2),
+        )
+        text = report.render()
+        assert "1/1 policies fully work-conserving" in text
+        assert "lemma1" in text
+
+    def test_default_zoo_composition(self):
+        zoo = default_zoo()
+        names = [p.name for p in zoo]
+        assert len(names) == len(set(names))
+        assert any("margin=2" in n for n in names)
+        assert any("naive" in n for n in names)
+
+    def test_default_zoo_known_verdict_structure(self):
+        """The canonical reproduction table: exactly the provable
+        policies prove; the naive filter fails only the concurrent
+        obligations."""
+        report = verify_zoo(default_zoo(), StateScope(n_cores=3, max_load=2))
+        proved = set(report.proved_names)
+        assert proved == {
+            "balance_count(margin=2)",
+            "greedy_halving(margin=2)",
+            "provable_weighted(margin=2, margin_weight=30)",
+        }
+        naive_cert = next(
+            c for c in report.certificates
+            if c.policy_name == "naive_overloaded"
+        )
+        assert naive_cert.report.result_for("lemma1").ok
+        assert not naive_cert.report.result_for("work_conservation").ok

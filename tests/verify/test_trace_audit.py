@@ -1,0 +1,116 @@
+"""Tests for concrete-trace audits: attribution and progress."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.sim.interleave import (
+    AdversarialInterleaving,
+    OverlappedInterleaving,
+    SeededInterleaving,
+)
+from repro.verify import (
+    audit_failure_attribution,
+    audit_load_conservation,
+    audit_progress,
+    failure_counts,
+)
+
+from tests.conftest import load_states
+
+
+def run_rounds(policy, loads, rounds=10, interleaving=None,
+               choice_oracle=None):
+    machine = Machine.from_loads(list(loads))
+    balancer = LoadBalancer(machine, policy, check_invariants=False)
+    for _ in range(rounds):
+        balancer.run_round(interleaving=interleaving,
+                           choice_oracle=choice_oracle)
+    return balancer
+
+
+class TestFailureAttribution:
+    def test_naive_pingpong_failures_are_attributed(self):
+        balancer = run_rounds(
+            NaiveOverloadedPolicy(), (0, 1, 2), rounds=6,
+            interleaving=AdversarialInterleaving([1, 2, 0]),
+        )
+        result = audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        )
+        assert result.ok
+        assert result.states_checked > 0  # there were failures to audit
+
+    def test_margin1_empty_victim_has_no_cause(self):
+        """Margin-1 admits steals from load-1 victims; executed first,
+        such an attempt fails with no concurrent cause: the audit is the
+        check that catches this filter unsoundness at runtime."""
+        def choose_load1(thief, candidates):
+            load1 = [c for c in candidates if c.nr_threads == 1]
+            return load1[0] if load1 else candidates[0]
+
+        balancer = run_rounds(
+            BalanceCountPolicy(margin=1), (0, 1, 2), rounds=1,
+            interleaving=AdversarialInterleaving([0, 1]),
+            choice_oracle=choose_load1,
+        )
+        result = audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        )
+        assert not result.ok
+        assert "no concurrent cause" in result.counterexample.detail
+
+    @given(loads=load_states, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_listing1_attribution_holds_on_random_runs(self, loads, seed):
+        balancer = run_rounds(
+            BalanceCountPolicy(), loads, rounds=8,
+            interleaving=SeededInterleaving(seed),
+        )
+        assert audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        ).ok
+
+    @given(loads=load_states, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_attribution_holds_under_overlapped_locks(self, loads, seed):
+        balancer = run_rounds(
+            BalanceCountPolicy(), loads, rounds=8,
+            interleaving=OverlappedInterleaving(seed=seed),
+        )
+        assert audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        ).ok
+
+
+class TestProgress:
+    def test_listing1_rounds_with_intents_always_commit(self):
+        balancer = run_rounds(BalanceCountPolicy(), (0, 0, 4, 4), rounds=10)
+        assert audit_progress(balancer.policy.name, balancer.rounds).ok
+
+    @given(loads=load_states, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_progress_property_on_random_runs(self, loads, seed):
+        balancer = run_rounds(
+            BalanceCountPolicy(), loads, rounds=8,
+            interleaving=SeededInterleaving(seed),
+        )
+        assert audit_progress(balancer.policy.name, balancer.rounds).ok
+
+
+class TestConservationAndCounts:
+    def test_load_conservation_over_rounds(self):
+        balancer = run_rounds(BalanceCountPolicy(), (0, 3, 5), rounds=10)
+        assert audit_load_conservation(balancer.rounds)
+
+    def test_failure_counts_histogram(self):
+        balancer = run_rounds(
+            NaiveOverloadedPolicy(), (0, 1, 2), rounds=4,
+            interleaving=AdversarialInterleaving([1, 2, 0]),
+        )
+        counts = failure_counts(balancer.rounds)
+        assert counts.get("success", 0) >= 1
+        assert counts.get("recheck_failed", 0) >= 1
+        assert counts.get("no_candidates", 0) >= 1

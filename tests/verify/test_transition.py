@@ -1,0 +1,175 @@
+"""Tests for the abstract round transition — including the load-bearing
+cross-validation against the concrete balancer.
+
+The model checker's verdicts are only as good as the abstract executor's
+fidelity to the real one. ``TestAbstractConcreteCorrespondence`` runs the
+same round — same policy, same victim choices, same steal order — through
+both and demands identical end states, for every state in a small scope
+and every adversarial order.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.balancer import LoadBalancer
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy, NaiveOverloadedPolicy
+from repro.policies.naive import GreedyReadyPolicy
+from repro.sim.interleave import AdversarialInterleaving
+from repro.verify import (
+    StateScope,
+    enumerate_round_branches,
+    iter_states,
+    round_intents,
+    successors,
+)
+
+from tests.conftest import load_states
+
+
+class TestIntents:
+    def test_paper_state_intents(self):
+        intents = round_intents(BalanceCountPolicy(), (0, 1, 2))
+        assert intents == [(0, (2,))]
+
+    def test_choice_mode_all_branches_over_candidates(self):
+        intents = round_intents(BalanceCountPolicy(), (0, 2, 3),
+                                choice_mode="all")
+        assert intents == [(0, (1, 2))]
+
+    def test_choice_mode_policy_fixes_choice(self):
+        intents = round_intents(BalanceCountPolicy(), (0, 2, 3),
+                                choice_mode="policy")
+        assert intents == [(0, (2,))]  # most loaded
+
+    def test_quiet_state_has_no_intents(self):
+        assert round_intents(BalanceCountPolicy(), (1, 1, 1)) == []
+
+
+class TestSerializedBranches:
+    def test_single_intent_single_branch_shape(self):
+        enumeration = enumerate_round_branches(
+            BalanceCountPolicy(), (0, 1, 2)
+        )
+        states = enumeration.successor_states()
+        assert states == {(1, 1, 1)}
+        assert not enumeration.truncated
+
+    def test_pingpong_branches_of_naive_policy(self):
+        """(0,1,2) under the naive filter: the adversary can produce both
+        the fair outcome and the §4.3 failure outcome."""
+        states = successors(NaiveOverloadedPolicy(), (0, 1, 2))
+        assert (1, 1, 1) in states  # core 0 wins the race
+        assert (0, 2, 1) in states  # core 1 wins; core 0 fails
+
+    def test_failed_attempt_recorded(self):
+        enumeration = enumerate_round_branches(
+            NaiveOverloadedPolicy(), (0, 1, 2)
+        )
+        losing = [
+            b for b in enumeration.branches if b.state == (0, 2, 1)
+        ]
+        assert losing
+        assert all(b.failures == 1 for b in losing)
+        assert all(b.successes == 1 for b in losing)
+
+    def test_quiet_round_yields_identity_branch(self):
+        enumeration = enumerate_round_branches(
+            BalanceCountPolicy(), (1, 1)
+        )
+        assert len(enumeration.branches) == 1
+        assert enumeration.branches[0].state == (1, 1)
+        assert enumeration.branches[0].attempts == ()
+
+    def test_truncation_reported(self):
+        # 4 intents -> 24 orders; cap at 2 must set the flag.
+        enumeration = enumerate_round_branches(
+            GreedyReadyPolicy(), (2, 2, 2, 2), max_orders=2
+        )
+        assert enumeration.truncated
+
+
+class TestSequentialBranches:
+    def test_sequential_rounds_cannot_fail(self):
+        enumeration = enumerate_round_branches(
+            BalanceCountPolicy(), (0, 0, 4), sequential=True
+        )
+        assert all(b.failures == 0 for b in enumeration.branches)
+
+    def test_sequential_fresh_selection_retargets(self):
+        """Sequentially, the second idle core re-reads state and targets
+        what is still overloaded — no stale-read failures."""
+        states = successors(BalanceCountPolicy(), (0, 0, 4),
+                            sequential=True)
+        # Each idle core steals one task in some order: (1, 1, 2) always.
+        assert states == {(1, 1, 2)}
+
+
+class TestConservation:
+    @given(loads=load_states)
+    @settings(max_examples=40, deadline=None)
+    def test_every_branch_conserves_total(self, loads):
+        enumeration = enumerate_round_branches(
+            BalanceCountPolicy(), loads, max_orders=24
+        )
+        for branch in enumeration.branches:
+            assert sum(branch.state) == sum(loads)
+
+
+class TestAbstractConcreteCorrespondence:
+    """The abstract executor and the real balancer must agree exactly."""
+
+    @pytest.mark.parametrize("policy_factory", [
+        BalanceCountPolicy,
+        NaiveOverloadedPolicy,
+        GreedyReadyPolicy,
+    ], ids=lambda f: f.__name__)
+    def test_end_states_match_for_every_order(self, policy_factory):
+        scope = StateScope(n_cores=3, max_load=3)
+        for state in iter_states(scope):
+            policy = policy_factory()
+            intents = round_intents(policy, state, choice_mode="policy")
+            thieves = [t for t, _ in intents]
+            for order in itertools.permutations(thieves):
+                # Abstract execution.
+                abstract = {
+                    b.state
+                    for b in enumerate_round_branches(
+                        policy, state, choice_mode="policy"
+                    ).branches
+                    if b.order == order
+                }
+                # Concrete execution with the same steal order.
+                machine = Machine.from_loads(list(state))
+                balancer = LoadBalancer(machine, policy_factory())
+                balancer.run_round(
+                    interleaving=AdversarialInterleaving(list(order))
+                )
+                concrete = tuple(machine.loads())
+                assert concrete in abstract, (
+                    f"state {state}, order {order}: concrete {concrete}"
+                    f" not among abstract {abstract}"
+                )
+
+    def test_attempt_outcomes_match_on_paper_state(self):
+        policy = NaiveOverloadedPolicy()
+        branches = enumerate_round_branches(
+            policy, (0, 1, 2), choice_mode="policy"
+        ).branches
+        adversarial = next(b for b in branches if b.order == (1, 0))
+
+        machine = Machine.from_loads([0, 1, 2])
+        balancer = LoadBalancer(machine, NaiveOverloadedPolicy())
+        record = balancer.run_round(
+            interleaving=AdversarialInterleaving([1, 0])
+        )
+        concrete_outcomes = [
+            (a.thief, a.victim, a.succeeded)
+            for a in record.attempts if a.victim is not None
+        ]
+        abstract_outcomes = [
+            (a.thief, a.victim, a.succeeded) for a in adversarial.attempts
+        ]
+        assert concrete_outcomes == abstract_outcomes

@@ -1,0 +1,111 @@
+"""Tests for the assembled work-conservation certificate (the paper's §4
+pipeline end to end)."""
+
+import pytest
+
+from repro.policies import (
+    BalanceCountPolicy,
+    NaiveOverloadedPolicy,
+    WeightedBalancePolicy,
+)
+from repro.verify import StateScope, prove_work_conserving
+
+from tests.conftest import PROVEN_POLICIES
+
+
+class TestCertificatesForProvenPolicies:
+    @pytest.mark.parametrize("policy", PROVEN_POLICIES,
+                             ids=lambda p: p.name)
+    def test_full_pipeline_proves(self, policy, small_scope):
+        cert = prove_work_conserving(policy, small_scope)
+        assert cert.proved
+        assert cert.report.all_proved
+        assert not cert.analysis.violated
+        assert cert.potential_bound is not None
+        assert cert.exact_worst_rounds is not None
+
+    def test_bound_dominates_exact(self, small_scope):
+        cert = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        assert cert.potential_bound >= cert.exact_worst_rounds
+
+    def test_certificate_renders(self, small_scope):
+        cert = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        text = cert.render()
+        assert "WORK-CONSERVING" in text
+        assert "exact worst-case N" in text
+        assert "lemma1" in text
+
+    def test_obligation_results_accessible_by_key(self, small_scope):
+        cert = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        for key in ("lemma1", "filter_soundness", "steal_soundness",
+                    "choice_irrelevance", "potential_decrease",
+                    "progress", "good_state_closure", "work_conservation"):
+            assert cert.report.result_for(key).ok
+
+    def test_unknown_obligation_key_raises(self, small_scope):
+        cert = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        with pytest.raises(KeyError):
+            cert.report.result_for("does_not_exist")
+
+
+class TestCertificatesForBrokenPolicies:
+    def test_naive_policy_not_proved(self):
+        cert = prove_work_conserving(
+            NaiveOverloadedPolicy(), StateScope(n_cores=3, max_load=2)
+        )
+        assert not cert.proved
+        assert cert.analysis.violated
+        refuted_keys = {r.obligation.key for r in cert.report.refuted}
+        assert "work_conservation" in refuted_keys
+        assert "steal_soundness" in refuted_keys
+        # Lemma1 is NOT refuted — the paper's point about needing more
+        # than the sequential lemma.
+        assert "lemma1" not in refuted_keys
+
+    def test_naive_certificate_renders_violation(self):
+        cert = prove_work_conserving(
+            NaiveOverloadedPolicy(), StateScope(n_cores=3, max_load=2)
+        )
+        text = cert.render()
+        assert "VIOLATED" in text
+        assert "NOT PROVED" in text
+
+    def test_margin1_refutes_lemma1_and_more(self):
+        cert = prove_work_conserving(
+            BalanceCountPolicy(margin=1), StateScope(n_cores=3, max_load=2)
+        )
+        assert not cert.proved
+        refuted_keys = {r.obligation.key for r in cert.report.refuted}
+        assert "lemma1" in refuted_keys
+
+    def test_weighted_policy_without_count_margin_not_proved(self,
+                                                             small_scope):
+        cert = prove_work_conserving(WeightedBalancePolicy(), small_scope)
+        assert not cert.proved
+        # No potential bound: the potential obligation failed.
+        assert cert.potential_bound is None
+
+
+class TestScopeScaling:
+    def test_four_core_scope_proves(self):
+        cert = prove_work_conserving(
+            BalanceCountPolicy(),
+            StateScope(n_cores=4, max_load=3),
+            max_orders=24,
+        )
+        assert cert.proved
+        assert cert.exact_worst_rounds == 2
+
+    def test_symmetric_mode_matches_full(self, small_scope):
+        full = prove_work_conserving(BalanceCountPolicy(), small_scope)
+        sym = prove_work_conserving(BalanceCountPolicy(), small_scope,
+                                    symmetric=True)
+        assert full.proved == sym.proved
+        assert full.exact_worst_rounds == sym.exact_worst_rounds
+
+    def test_policy_choice_mode(self, small_scope):
+        """Restricting to the policy's own deterministic choice is weaker
+        but must still prove for Listing 1."""
+        cert = prove_work_conserving(BalanceCountPolicy(), small_scope,
+                                     choice_mode="policy")
+        assert cert.proved

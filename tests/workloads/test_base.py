@@ -1,0 +1,70 @@
+"""Tests for placement strategies."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.core.task import Task
+from repro.workloads import (
+    make_first_k,
+    make_random_placement,
+    make_round_robin,
+    place_idlest,
+    place_last_core,
+    place_pack,
+)
+
+
+class TestPlacements:
+    def test_pack_always_core_zero(self):
+        machine = Machine(n_cores=4)
+        assert place_pack(machine, Task()) == 0
+
+    def test_last_core_returns_home(self):
+        machine = Machine(n_cores=4)
+        task = Task()
+        task.last_core = 3
+        assert place_last_core(machine, task) == 3
+
+    def test_last_core_defaults_to_zero_for_new_task(self):
+        machine = Machine(n_cores=4)
+        task = Task()
+        assert place_last_core(machine, task) == 0
+
+    def test_idlest_picks_least_loaded(self):
+        machine = Machine.from_loads([2, 0, 1])
+        assert place_idlest(machine, Task()) == 1
+
+    def test_idlest_breaks_ties_by_cid(self):
+        machine = Machine.from_loads([1, 0, 0])
+        assert place_idlest(machine, Task()) == 1
+
+    def test_round_robin_cycles(self):
+        machine = Machine(n_cores=3)
+        place = make_round_robin()
+        assert [place(machine, Task()) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_round_robin_instances_are_independent(self):
+        machine = Machine(n_cores=3)
+        a, b = make_round_robin(), make_round_robin()
+        a(machine, Task())
+        assert b(machine, Task()) == 0
+
+    def test_first_k_stays_in_prefix(self):
+        machine = Machine(n_cores=8)
+        place = make_first_k(3)
+        targets = {place(machine, Task()) for _ in range(20)}
+        assert targets == {0, 1, 2}
+
+    def test_first_k_validates(self):
+        with pytest.raises(ConfigurationError):
+            make_first_k(0)
+
+    def test_random_placement_deterministic_per_seed(self):
+        machine = Machine(n_cores=8)
+        a = make_random_placement(9)
+        b = make_random_placement(9)
+        seq_a = [a(machine, Task()) for _ in range(10)]
+        seq_b = [b(machine, Task()) for _ in range(10)]
+        assert seq_a == seq_b
+        assert all(0 <= cid < 8 for cid in seq_a)

@@ -1,0 +1,67 @@
+"""Tests for the churn workload — the proof assumption's boundary."""
+
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import Simulation
+from repro.verify import audit_failure_attribution, audit_progress
+from repro.workloads import ChurnWorkload
+
+
+def run_churn(**kwargs):
+    machine = Machine(n_cores=4)
+    balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                            check_invariants=True)
+    workload = ChurnWorkload(**kwargs)
+    sim = Simulation(machine, balancer, workload=workload)
+    result = sim.run(max_ticks=kwargs.get("duration", 2000) + 10)
+    return result, workload, balancer
+
+
+class TestChurnSemantics:
+    def test_arrivals_and_departures_happen(self):
+        result, workload, _ = run_churn(arrival_prob=0.8, duration=500,
+                                        seed=4)
+        assert workload.arrivals > 0
+        assert workload.departures > 0
+        assert result.metrics.finished_tasks == workload.departures
+
+    def test_deterministic_per_seed(self):
+        _, w1, _ = run_churn(duration=400, seed=12)
+        _, w2, _ = run_churn(duration=400, seed=12)
+        assert (w1.arrivals, w1.departures) == (w2.arrivals, w2.departures)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"arrival_prob": 0.0},
+        {"arrival_prob": 2.0},
+        {"work_min": 0},
+        {"work_min": 9, "work_max": 3},
+        {"duration": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChurnWorkload(**kwargs)
+
+
+class TestSafetyUnderChurn:
+    """The per-round obligations survive churn, as the theory predicts:
+    they never relied on the no-churn assumption."""
+
+    def test_machine_invariants_hold_every_round(self):
+        # check_invariants=True in run_churn: any task duplication or
+        # state corruption would raise during the run.
+        result, _, _ = run_churn(arrival_prob=0.7, duration=800, seed=6)
+        assert result.ticks >= 800
+
+    def test_attribution_audit_passes_under_churn(self):
+        _, _, balancer = run_churn(arrival_prob=0.7, duration=800, seed=6)
+        assert audit_failure_attribution(
+            balancer.policy.name, balancer.rounds
+        ).ok
+
+    def test_progress_audit_passes_under_churn(self):
+        _, _, balancer = run_churn(arrival_prob=0.7, duration=800, seed=6)
+        assert audit_progress(balancer.policy.name, balancer.rounds).ok

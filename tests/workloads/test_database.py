@@ -1,0 +1,81 @@
+"""Tests for the OLTP workload."""
+
+import pytest
+
+from repro.baselines import GlobalQueueBalancer, NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import Simulation
+from repro.workloads import OltpWorkload, make_first_k
+
+
+def run_oltp(n_cores, balancer_kind, **kwargs):
+    machine = Machine(n_cores=n_cores)
+    if balancer_kind == "null":
+        balancer = NullBalancer(machine)
+    elif balancer_kind == "verified":
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+    else:
+        balancer = GlobalQueueBalancer(machine)
+    workload = OltpWorkload(**kwargs)
+    sim = Simulation(machine, balancer, workload=workload)
+    result = sim.run(max_ticks=kwargs.get("duration", 2000) + 100)
+    return result, workload
+
+
+class TestOltpSemantics:
+    def test_closed_loop_keeps_committing(self):
+        result, workload = run_oltp(
+            2, "verified", n_workers=4, duration=500, seed=3,
+        )
+        assert result.workload_done
+        assert workload.committed > 0
+        assert workload.throughput() == workload.committed / 500
+
+    def test_deterministic_per_seed(self):
+        _, w1 = run_oltp(2, "verified", n_workers=4, duration=400, seed=9)
+        _, w2 = run_oltp(2, "verified", n_workers=4, duration=400, seed=9)
+        assert w1.committed == w2.committed
+
+    def test_heavy_threads_never_commit(self):
+        _, workload = run_oltp(
+            2, "verified", n_workers=2, duration=300, n_heavy=1, seed=1,
+        )
+        # Heavy analytics tasks are infinite; commits come from workers.
+        assert workload.committed > 0
+
+    def test_throughput_scales_with_cores(self):
+        _, small = run_oltp(1, "verified", n_workers=6, duration=800,
+                            seed=5, placement=make_first_k(1))
+        _, big = run_oltp(4, "verified", n_workers=6, duration=800,
+                          seed=5, placement=make_first_k(1))
+        assert big.throughput() > small.throughput()
+
+    def test_describe_mentions_heavy(self):
+        workload = OltpWorkload(n_workers=3, n_heavy=2)
+        assert "heavy" in workload.describe()
+
+
+class TestOltpPathology:
+    def test_balancing_beats_no_balancing(self):
+        kwargs = dict(n_workers=8, duration=1500,
+                      placement=make_first_k(2), seed=7)
+        _, bad = run_oltp(4, "null", **kwargs)
+        _, good = run_oltp(4, "verified", **kwargs)
+        assert good.throughput() > bad.throughput()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_workers": 0},
+        {"n_workers": 1, "txn_min": 0},
+        {"n_workers": 1, "txn_min": 5, "txn_max": 4},
+        {"n_workers": 1, "duration": 0},
+        {"n_workers": 1, "n_heavy": -1},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OltpWorkload(**kwargs)

@@ -1,0 +1,94 @@
+"""Tests for the barrier workload."""
+
+import pytest
+
+from repro.baselines import NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import Simulation
+from repro.workloads import BarrierWorkload, place_pack
+
+
+def run_barrier(n_cores, balanced, **kwargs):
+    machine = Machine(n_cores=n_cores)
+    balancer = (
+        LoadBalancer(machine, BalanceCountPolicy(), check_invariants=False)
+        if balanced else NullBalancer(machine)
+    )
+    workload = BarrierWorkload(**kwargs)
+    sim = Simulation(machine, balancer, workload=workload)
+    return sim.run(max_ticks=100_000), workload
+
+
+class TestBarrierSemantics:
+    def test_all_phases_complete(self):
+        result, workload = run_barrier(
+            2, balanced=True, n_threads=4, n_phases=3, phase_work=5,
+            placement=place_pack,
+        )
+        assert result.workload_done
+        assert workload.phases_completed == 3
+
+    def test_makespan_bounded_below_by_ideal(self):
+        result, workload = run_barrier(
+            4, balanced=True, n_threads=8, n_phases=4, phase_work=10,
+            placement=place_pack,
+        )
+        assert result.ticks >= workload.ideal_makespan(4)
+
+    def test_single_thread_barrier_is_sequential(self):
+        result, workload = run_barrier(
+            2, balanced=True, n_threads=1, n_phases=3, phase_work=7,
+        )
+        assert result.workload_done
+        assert result.ticks >= 21
+
+    def test_jitter_is_deterministic_per_seed(self):
+        r1, _ = run_barrier(2, True, n_threads=4, n_phases=2,
+                            phase_work=5, jitter=3, seed=11,
+                            placement=place_pack)
+        r2, _ = run_barrier(2, True, n_threads=4, n_phases=2,
+                            phase_work=5, jitter=3, seed=11,
+                            placement=place_pack)
+        assert r1.ticks == r2.ticks
+
+    def test_ideal_makespan_formula(self):
+        workload = BarrierWorkload(n_threads=8, n_phases=6, phase_work=25)
+        assert workload.ideal_makespan(4) == 6 * 25 * 2
+        assert workload.ideal_makespan(8) == 6 * 25
+
+    def test_describe(self):
+        workload = BarrierWorkload(n_threads=2, n_phases=3, phase_work=4)
+        assert "2 threads" in workload.describe()
+
+
+class TestBarrierPathology:
+    def test_packed_unbalanced_is_many_fold_slower(self):
+        """The paper's 'many-fold performance degradation', in miniature:
+        8 threads packed on 1 of 4 cores, no balancing."""
+        kwargs = dict(n_threads=8, n_phases=3, phase_work=10,
+                      placement=place_pack)
+        bad, _ = run_barrier(4, balanced=False, **kwargs)
+        good, _ = run_barrier(4, balanced=True, **kwargs)
+        assert bad.ticks >= 2 * good.ticks
+
+    def test_wasted_cores_metric_separates_them(self):
+        kwargs = dict(n_threads=8, n_phases=3, phase_work=10,
+                      placement=place_pack)
+        bad, _ = run_barrier(4, balanced=False, **kwargs)
+        good, _ = run_barrier(4, balanced=True, **kwargs)
+        assert bad.metrics.wasted_core_ticks > good.metrics.wasted_core_ticks
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_threads": 0, "n_phases": 1, "phase_work": 1},
+        {"n_threads": 1, "n_phases": 0, "phase_work": 1},
+        {"n_threads": 1, "n_phases": 1, "phase_work": 0},
+        {"n_threads": 1, "n_phases": 1, "phase_work": 1, "jitter": -1},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BarrierWorkload(**kwargs)

@@ -1,0 +1,128 @@
+"""Tests for synthetic workloads: static, bursty, fork/join."""
+
+import pytest
+
+from repro.baselines import NullBalancer
+from repro.core.balancer import LoadBalancer
+from repro.core.errors import ConfigurationError
+from repro.core.machine import Machine
+from repro.policies import BalanceCountPolicy
+from repro.sim.engine import Simulation
+from repro.workloads import (
+    BurstyArrivalsWorkload,
+    ForkJoinWorkload,
+    StaticImbalanceWorkload,
+)
+
+
+class TestStaticImbalance:
+    def test_places_the_load_vector(self):
+        machine = Machine(n_cores=3)
+        sim = Simulation(machine, NullBalancer(machine),
+                         workload=StaticImbalanceWorkload([3, 0, 1]))
+        assert machine.loads() == [3, 0, 1]
+
+    def test_never_finishes(self):
+        machine = Machine(n_cores=2)
+        sim = Simulation(machine, NullBalancer(machine),
+                         workload=StaticImbalanceWorkload([1, 1]))
+        result = sim.run(max_ticks=30)
+        assert not result.workload_done
+        assert result.ticks == 30
+
+    def test_wrong_arity_rejected_at_attach(self):
+        machine = Machine(n_cores=2)
+        with pytest.raises(ConfigurationError):
+            Simulation(machine, NullBalancer(machine),
+                       workload=StaticImbalanceWorkload([1, 1, 1]))
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticImbalanceWorkload([-1])
+
+    def test_balancer_clears_bad_ticks(self):
+        machine = Machine(n_cores=4)
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        sim = Simulation(machine, balancer,
+                         workload=StaticImbalanceWorkload([8, 0, 0, 0]))
+        result = sim.run(max_ticks=100)
+        # After the first few balancing rounds no tick should be bad.
+        assert result.metrics.bad_ticks < 20
+
+
+class TestBurstyArrivals:
+    def test_all_bursts_eventually_finish(self):
+        machine = Machine(n_cores=4)
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        workload = BurstyArrivalsWorkload(
+            burst_prob=0.5, burst_size=3, task_work=4, n_bursts=6, seed=2,
+        )
+        sim = Simulation(machine, balancer, workload=workload)
+        result = sim.run(max_ticks=10_000)
+        assert result.workload_done
+        assert result.metrics.finished_tasks == 6 * 3
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            machine = Machine(n_cores=2)
+            balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                    check_invariants=False)
+            workload = BurstyArrivalsWorkload(n_bursts=4, seed=seed)
+            sim = Simulation(machine, balancer, workload=workload)
+            return sim.run(max_ticks=10_000).ticks
+
+        assert run(3) == run(3)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"burst_prob": 0.0},
+        {"burst_prob": 1.5},
+        {"burst_size": 0},
+        {"task_work": 0},
+        {"n_bursts": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BurstyArrivalsWorkload(**kwargs)
+
+
+class TestForkJoin:
+    def test_full_tree_executes(self):
+        machine = Machine(n_cores=4)
+        balancer = LoadBalancer(machine, BalanceCountPolicy(),
+                                check_invariants=False)
+        workload = ForkJoinWorkload(depth=3, node_work=2)
+        sim = Simulation(machine, balancer, workload=workload)
+        result = sim.run(max_ticks=10_000)
+        assert result.workload_done
+        assert result.metrics.finished_tasks == workload.total_tasks == 15
+
+    def test_children_spawn_on_parents_core(self):
+        machine = Machine(n_cores=4)
+        workload = ForkJoinWorkload(depth=1, node_work=3)
+        sim = Simulation(machine, NullBalancer(machine), workload=workload)
+        result = sim.run(max_ticks=100)
+        assert result.workload_done
+        # Without balancing, the whole tree ran on core 0.
+        assert result.metrics.finished_tasks == 3
+
+    def test_balancing_speeds_up_the_tree(self):
+        def run(balanced):
+            machine = Machine(n_cores=4)
+            balancer = (
+                LoadBalancer(machine, BalanceCountPolicy(),
+                             check_invariants=False)
+                if balanced else NullBalancer(machine)
+            )
+            workload = ForkJoinWorkload(depth=5, node_work=4)
+            sim = Simulation(machine, balancer, workload=workload)
+            return sim.run(max_ticks=10_000).ticks
+
+        assert run(True) < run(False)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ForkJoinWorkload(depth=-1)
+        with pytest.raises(ConfigurationError):
+            ForkJoinWorkload(node_work=0)
