@@ -65,6 +65,17 @@ def _add_policy_args(parser: argparse.ArgumentParser) -> None:
                         help="seed for randomised policies")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser,
+                  help_text: str | None = None) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=help_text or (
+            "worker processes for sharded verification (1 = serial,"
+            " 0 = one per CPU); verdicts are identical at any value"
+        ),
+    )
+
+
 def _make_policy(args: argparse.Namespace) -> Policy:
     registry = _policy_registry()
     if args.policy not in registry:
@@ -86,12 +97,13 @@ def cmd_list_policies(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify import StateScope, prove_work_conserving
+    from repro.verify import StateScope, prove_work_conserving_parallel
 
     policy = _make_policy(args)
     scope = StateScope(n_cores=args.cores, max_load=args.max_load)
-    cert = prove_work_conserving(
+    cert = prove_work_conserving_parallel(
         policy, scope,
+        jobs=args.jobs,
         choice_mode=args.choice_mode,
         symmetric=args.symmetric,
     )
@@ -105,18 +117,21 @@ def cmd_zoo(args: argparse.Namespace) -> int:
     report = verify_zoo(
         default_zoo(),
         StateScope(n_cores=args.cores, max_load=args.max_load),
+        jobs=args.jobs,
     )
     print(report.render())
     return 0
 
 
 def cmd_hunt(args: argparse.Namespace) -> int:
-    from repro.verify import ModelChecker, StateScope
+    from repro.verify import StateScope, analyze_parallel
 
     policy = _make_policy(args)
-    checker = ModelChecker(policy, symmetric=args.symmetric)
-    analysis = checker.analyze(
-        StateScope(n_cores=args.cores, max_load=args.max_load)
+    analysis = analyze_parallel(
+        policy,
+        StateScope(n_cores=args.cores, max_load=args.max_load),
+        jobs=args.jobs,
+        symmetric=args.symmetric,
     )
     if analysis.violated:
         print(f"VIOLATION: {analysis.lasso.describe()}")
@@ -146,7 +161,8 @@ def cmd_refine(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.verify.campaign import CampaignConfig, run_campaign
+    from repro.verify.campaign import CampaignConfig
+    from repro.verify.parallel import run_campaign_parallel
 
     config = CampaignConfig(
         n_machines=args.machines,
@@ -155,7 +171,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         rounds_per_machine=args.rounds,
         seed=args.seed,
     )
-    report = run_campaign(lambda: _make_policy(args), config)
+    report = run_campaign_parallel(lambda: _make_policy(args), config,
+                                   jobs=args.jobs)
     print(report.describe())
     for violation in report.violations[:10]:
         print(f"  {violation}")
@@ -279,16 +296,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--choice-mode", choices=("all", "policy"),
                         default="all")
     verify.add_argument("--symmetric", action="store_true")
+    _add_jobs_arg(verify)
 
     zoo = sub.add_parser("zoo", help="verdict matrix over the policy zoo")
     zoo.add_argument("--cores", type=int, default=3)
     zoo.add_argument("--max-load", type=int, default=3)
+    _add_jobs_arg(zoo)
 
     hunt = sub.add_parser("hunt", help="model-check work conservation")
     _add_policy_args(hunt)
     hunt.add_argument("--cores", type=int, default=3)
     hunt.add_argument("--max-load", type=int, default=2)
     hunt.add_argument("--symmetric", action="store_true")
+    _add_jobs_arg(hunt)
 
     refine = sub.add_parser(
         "refine", help="cross-validate model vs implementation"
@@ -303,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-cores", type=int, default=12)
     campaign.add_argument("--max-load", type=int, default=8)
     campaign.add_argument("--rounds", type=int, default=30)
+    _add_jobs_arg(campaign, help_text=(
+        "worker processes, one derived fuzzing seed each (1 = serial,"
+        " 0 = one per CPU); coverage depends on the (seed, jobs) pair"
+        " but reproduces exactly for fixed values"
+    ))
 
     simulate = sub.add_parser("simulate", help="run a workload")
     simulate.add_argument("--workload",

@@ -78,11 +78,19 @@ def fairness_report(tasks: Sequence[Task]) -> FairnessReport:
     normalised: list[float] = []
     for task in tasks:
         share = (task.executed / total_executed) if total_executed else 0.0
-        entitlement = task.weight / total_weight
+        # Zero total weight (every task's weight forced to 0) entitles
+        # nobody to anything; report 0.0 instead of dividing by zero.
+        entitlement = (task.weight / total_weight) if total_weight else 0.0
         shares[task.tid] = share
         entitlements[task.tid] = entitlement
-        errors.append(abs(share - entitlement) / entitlement)
-        normalised.append(task.executed / task.weight)
+        if entitlement:
+            errors.append(abs(share - entitlement) / entitlement)
+        else:
+            # Any share achieved against a zero entitlement is pure
+            # excess; the absolute share is the deviation.
+            errors.append(share)
+        normalised.append(task.executed / task.weight if task.weight
+                          else 0.0)
     return FairnessReport(
         n_tasks=len(tasks),
         jain_index=jain_index(normalised),

@@ -6,17 +6,29 @@ model checking of the concurrent rounds (§4.3), the potential-function
 termination certificate, and trace audits of concrete executions — all
 composed by :func:`prove_work_conserving` into a certificate carrying an
 explicit round bound ``N`` or a counterexample lasso.
+
+Every sweep also runs sharded across a process pool
+(:mod:`repro.verify.parallel`, ``--jobs`` on the CLI):
+:func:`prove_work_conserving_parallel`, :func:`analyze_parallel` and
+:func:`run_campaign_parallel` partition the state space with the chunked
+iterators of :mod:`repro.verify.enumeration` and merge per-shard results
+with deterministic reducers, producing verdicts identical to the serial
+path at any worker count.
 """
 
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
     canonical,
+    count_canonical_states,
     count_states,
+    count_states_chunk,
     idle_cores_of,
     is_bad_state,
     iter_canonical_states,
+    iter_canonical_states_chunk,
     iter_states,
+    iter_states_chunk,
     overloaded_cores_of,
     snapshot_from_load,
     views_of,
@@ -52,8 +64,20 @@ from repro.verify.obligations import (
     ProofResult,
     ProofStatus,
 )
+from repro.verify.parallel import (
+    PolicyReplicator,
+    analyze_parallel,
+    derive_campaign_seed,
+    merge_campaign_reports,
+    merge_graphs,
+    merge_proof_results,
+    prove_work_conserving_parallel,
+    resolve_jobs,
+    run_campaign_parallel,
+)
 from repro.verify.potential import (
     check_potential_decrease,
+    max_potential,
     min_observed_decrease,
     potential,
     potential_after_steal,
@@ -115,14 +139,27 @@ __all__ = [
     "LoadState",
     "StateScope",
     "canonical",
+    "count_canonical_states",
     "count_states",
+    "count_states_chunk",
     "idle_cores_of",
     "is_bad_state",
     "iter_canonical_states",
+    "iter_canonical_states_chunk",
     "iter_states",
+    "iter_states_chunk",
     "overloaded_cores_of",
     "snapshot_from_load",
     "views_of",
+    "PolicyReplicator",
+    "analyze_parallel",
+    "derive_campaign_seed",
+    "merge_campaign_reports",
+    "merge_graphs",
+    "merge_proof_results",
+    "prove_work_conserving_parallel",
+    "resolve_jobs",
+    "run_campaign_parallel",
     "check_choice_irrelevance",
     "check_filter_soundness",
     "check_lemma1",
@@ -149,6 +186,7 @@ __all__ = [
     "ProofResult",
     "ProofStatus",
     "check_potential_decrease",
+    "max_potential",
     "min_observed_decrease",
     "potential",
     "potential_after_steal",

@@ -23,6 +23,7 @@ at the abstract level sound for them.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -64,7 +65,7 @@ class StateScope:
 
     def describe(self) -> str:
         """Human-readable scope description for proof reports."""
-        cap = f", total<= {self.max_total}" if self.max_total is not None else ""
+        cap = f", total <= {self.max_total}" if self.max_total is not None else ""
         return f"{self.n_cores} cores, load 0..{self.max_load}{cap}"
 
     def admits(self, state: Sequence[int]) -> bool:
@@ -82,25 +83,159 @@ class StateScope:
 def iter_states(scope: StateScope) -> Iterator[LoadState]:
     """Yield every abstract state in ``scope``, lexicographically.
 
-    The count is ``(max_load + 1) ** n_cores`` before total-capping; keep
-    scopes small enough that exhaustive sweeps stay interactive (the
-    default verification scopes are thousands to a few hundred thousand
-    states).
+    Unconstrained scopes stream straight from :func:`itertools.product`
+    (C speed); total-capped scopes use a prefix-pruned recursion so the
+    cost is proportional to the states *admitted*, not to the raw
+    ``(max_load + 1) ** n_cores`` product — a scope like 12 cores with
+    ``max_total=5`` yields its ~6k states without walking ``11**12``
+    candidates. Both paths produce the identical lexicographic order.
     """
-    for state in itertools.product(
-        range(scope.max_load + 1), repeat=scope.n_cores
-    ):
-        total = sum(state)
-        if total < scope.min_total:
-            continue
-        if scope.max_total is not None and total > scope.max_total:
-            continue
-        yield state
+    n_cores, max_load = scope.n_cores, scope.max_load
+    ceiling = n_cores * max_load
+    max_total = ceiling if scope.max_total is None else min(scope.max_total,
+                                                            ceiling)
+    if max_total >= ceiling and scope.min_total <= 0:
+        yield from itertools.product(range(max_load + 1), repeat=n_cores)
+        return
+
+    state = [0] * n_cores
+
+    def emit(index: int, partial: int) -> Iterator[LoadState]:
+        if index == n_cores:
+            yield tuple(state)
+            return
+        cores_left = n_cores - index - 1
+        for load in range(max_load + 1):
+            total = partial + load
+            if total > max_total:
+                break  # larger loads only overshoot further
+            if total + cores_left * max_load < scope.min_total:
+                continue  # even maxing the rest cannot reach min_total
+            state[index] = load
+            yield from emit(index + 1, total)
+
+    yield from emit(0, 0)
+
+
+def _count_at_most(n_cores: int, max_load: int, total: int) -> int:
+    """Vectors in ``[0, max_load]^n_cores`` with sum at most ``total``.
+
+    Stars and bars with inclusion–exclusion over the per-core caps: the
+    number of solutions of ``x_1 + .. + x_n <= T`` with ``0 <= x_i <= L``
+    is ``sum_j (-1)^j C(n, j) C(T - j(L+1) + n, n)`` over the ``j`` for
+    which ``T - j(L+1) >= 0``.
+    """
+    if total < 0:
+        return 0
+    span = max_load + 1
+    count = 0
+    for j in range(n_cores + 1):
+        slack = total - j * span
+        if slack < 0:
+            break
+        term = math.comb(n_cores, j) * math.comb(slack + n_cores, n_cores)
+        count += term if j % 2 == 0 else -term
+    return count
 
 
 def count_states(scope: StateScope) -> int:
-    """Number of states :func:`iter_states` will yield for ``scope``."""
-    return sum(1 for _ in iter_states(scope))
+    """Number of states :func:`iter_states` will yield for ``scope``.
+
+    Closed form (no enumeration): inclusion–exclusion over the per-core
+    load caps, differenced at the total-load window ``[min_total,
+    max_total]``. Sharding in :mod:`repro.verify.parallel` relies on this
+    to size chunks without walking the product space; the test suite
+    cross-checks it against brute-force enumeration.
+    """
+    ceiling = scope.n_cores * scope.max_load
+    upper = ceiling if scope.max_total is None else min(scope.max_total,
+                                                        ceiling)
+    return (
+        _count_at_most(scope.n_cores, scope.max_load, upper)
+        - _count_at_most(scope.n_cores, scope.max_load, scope.min_total - 1)
+    )
+
+
+def count_canonical_states(scope: StateScope) -> int:
+    """Number of states :func:`iter_canonical_states` will yield.
+
+    Counts multisets of ``n_cores`` loads from ``0..max_load`` whose total
+    lies in the scope's window — equivalently partitions of the total into
+    at most ``n_cores`` parts each at most ``max_load`` — by dynamic
+    programming over part sizes (O(n_cores * max_load * total) time,
+    no enumeration of the state space itself).
+    """
+    ceiling = scope.n_cores * scope.max_load
+    upper = ceiling if scope.max_total is None else min(scope.max_total,
+                                                        ceiling)
+    if upper < scope.min_total:
+        return 0
+    # dp[j][s] = partitions of s into at most j parts, each part <= v,
+    # filled in value by value: a partition either uses no part of size v
+    # (already counted at v - 1) or drops one part of size v and recurses
+    # with one fewer part. Updating row j after row j - 1 within the same
+    # v realises f(v, j, s) = f(v-1, j, s) + f(v, j-1, s-v) in place.
+    dp = [[0] * (upper + 1) for _ in range(scope.n_cores + 1)]
+    for j in range(scope.n_cores + 1):
+        dp[j][0] = 1
+    for value in range(1, scope.max_load + 1):
+        for j in range(1, scope.n_cores + 1):
+            row, prev = dp[j], dp[j - 1]
+            for s in range(value, upper + 1):
+                row[s] += prev[s - value]
+    return sum(dp[scope.n_cores][scope.min_total:upper + 1])
+
+
+def count_states_chunk(scope: StateScope, shard: int, n_shards: int) -> int:
+    """Number of states :func:`iter_states_chunk` yields for one shard.
+
+    Shard ``k`` of ``n`` takes the states whose index in the shared
+    lexicographic enumeration is congruent to ``k`` modulo ``n``; its size
+    follows from :func:`count_states` arithmetically.
+    """
+    _validate_shard(shard, n_shards)
+    total = count_states(scope)
+    if shard >= total:
+        return 0
+    return (total - shard + n_shards - 1) // n_shards
+
+
+def _validate_shard(shard: int, n_shards: int) -> None:
+    if n_shards < 1:
+        raise VerificationError(f"n_shards must be >= 1, got {n_shards}")
+    if not 0 <= shard < n_shards:
+        raise VerificationError(
+            f"shard must be in [0, {n_shards}), got {shard}"
+        )
+
+
+def iter_states_chunk(scope: StateScope, shard: int,
+                      n_shards: int) -> Iterator[LoadState]:
+    """Yield shard ``shard`` of ``n_shards`` of :func:`iter_states`.
+
+    The partition is by round-robin striding over the lexicographic
+    enumeration: shard ``k`` receives the states at indices ``k, k + n,
+    k + 2n, ...``. Shards are therefore pairwise disjoint, their union is
+    exactly :func:`iter_states`, each shard preserves the global
+    lexicographic order on its subsequence, and sizes differ by at most
+    one (round-robin is the load-balanced split of a product space whose
+    "hard" regions cluster).
+    """
+    _validate_shard(shard, n_shards)
+    yield from itertools.islice(iter_states(scope), shard, None, n_shards)
+
+
+def iter_canonical_states_chunk(scope: StateScope, shard: int,
+                                n_shards: int) -> Iterator[LoadState]:
+    """Shard ``shard`` of ``n_shards`` of :func:`iter_canonical_states`.
+
+    Same round-robin striding contract as :func:`iter_states_chunk`, over
+    the canonical (one-per-permutation-class) enumeration.
+    """
+    _validate_shard(shard, n_shards)
+    yield from itertools.islice(
+        iter_canonical_states(scope), shard, None, n_shards
+    )
 
 
 def canonical(state: Sequence[int]) -> LoadState:

@@ -14,11 +14,12 @@ abstract states (:func:`repro.verify.enumeration.views_of`), so a bug in
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.cpu import CoreSnapshot, is_overloaded
 from repro.core.policy import Policy
 from repro.verify.enumeration import (
+    LoadState,
     StateScope,
     iter_states,
     snapshot_from_load,
@@ -57,7 +58,8 @@ def _result(obligation, policy: Policy, scope: StateScope, checked: int,
     )
 
 
-def check_lemma1(policy: Policy, scope: StateScope) -> ProofResult:
+def check_lemma1(policy: Policy, scope: StateScope,
+                 states: Iterable[LoadState] | None = None) -> ProofResult:
     """Listing 2's Lemma1, exhaustively at scope.
 
     For every state and every *idle* thief:
@@ -66,11 +68,18 @@ def check_lemma1(policy: Policy, scope: StateScope) -> ProofResult:
       one core (``cores.exists(isOverloaded) ==> cores.exists(canSteal)``);
     * completeness — every core the filter keeps is overloaded
       (``cores.forall(canSteal ==> isOverloaded)``).
+
+    Args:
+        policy: the policy to check.
+        scope: the state universe (used for the report's scope line).
+        states: optional explicit state set to sweep instead of the whole
+            of ``iter_states(scope)`` — the hook the parallel engine uses
+            to hand each shard its chunk.
     """
     checked = 0
     counterexample: Counterexample | None = None
     with timed_check() as timer:
-        for state in iter_states(scope):
+        for state in (iter_states(scope) if states is None else states):
             views = views_of(state)
             for thief in views:
                 if thief.nr_threads != 0:
@@ -107,17 +116,20 @@ def check_lemma1(policy: Policy, scope: StateScope) -> ProofResult:
     return _result(LEMMA1, policy, scope, checked, counterexample, timer.elapsed)
 
 
-def check_filter_soundness(policy: Policy, scope: StateScope) -> ProofResult:
+def check_filter_soundness(policy: Policy, scope: StateScope,
+                           states: Iterable[LoadState] | None = None,
+                           ) -> ProofResult:
     """Filtered victims must always hold a stealable (ready) task.
 
     Stronger than Lemma1's completeness: quantifies over *all* thieves,
     not only idle ones, because non-idle cores also run balancing
-    operations in the model (Section 3.1).
+    operations in the model (Section 3.1). ``states`` optionally restricts
+    the sweep to one shard's chunk (see :mod:`repro.verify.parallel`).
     """
     checked = 0
     counterexample: Counterexample | None = None
     with timed_check() as timer:
-        for state in iter_states(scope):
+        for state in (iter_states(scope) if states is None else states):
             views = views_of(state)
             for thief in views:
                 for victim in views:
@@ -213,17 +225,20 @@ def _steal_violation(policy: Policy, state: tuple[int, ...],
     return None
 
 
-def check_steal_soundness(policy: Policy, scope: StateScope) -> ProofResult:
+def check_steal_soundness(policy: Policy, scope: StateScope,
+                          states: Iterable[LoadState] | None = None,
+                          ) -> ProofResult:
     """§4.2's stealCore soundness, for every filtered pair in scope.
 
     The steal must move work, must not idle the victim, must strictly
     shrink the pairwise gap, and must not overshoot — the last two are
     exactly what the potential-function proof of §4.3 consumes.
+    ``states`` optionally restricts the sweep to one shard's chunk.
     """
     checked = 0
     counterexample: Counterexample | None = None
     with timed_check() as timer:
-        for state in iter_states(scope):
+        for state in (iter_states(scope) if states is None else states):
             views = views_of(state)
             for thief in views:
                 for victim in views:
@@ -246,7 +261,9 @@ def check_steal_soundness(policy: Policy, scope: StateScope) -> ProofResult:
     )
 
 
-def check_choice_irrelevance(policy: Policy, scope: StateScope) -> ProofResult:
+def check_choice_irrelevance(policy: Policy, scope: StateScope,
+                             states: Iterable[LoadState] | None = None,
+                             ) -> ProofResult:
     """Section 3.1's claim: the choice step cannot break the proofs.
 
     For every state, thief and *every* candidate the filter keeps — not
@@ -254,11 +271,12 @@ def check_choice_irrelevance(policy: Policy, scope: StateScope) -> ProofResult:
     conditions hold. Together with the balancer's runtime enforcement
     that ``choose`` returns a candidate (Listing 1's ``ensuring``), this
     makes arbitrary NUMA/cache heuristics in step 2 proof-free.
+    ``states`` optionally restricts the sweep to one shard's chunk.
     """
     checked = 0
     counterexample: Counterexample | None = None
     with timed_check() as timer:
-        for state in iter_states(scope):
+        for state in (iter_states(scope) if states is None else states):
             views = views_of(state)
             for thief in views:
                 candidates = [

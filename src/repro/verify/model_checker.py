@@ -24,6 +24,7 @@ scope's per-core bound (over-stealing policies do that).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.policy import Policy
 from repro.verify.enumeration import (
@@ -44,8 +45,12 @@ from repro.verify.obligations import (
 )
 from repro.verify.transition import (
     DEFAULT_MAX_ORDERS,
+    BranchEnumeration,
     enumerate_round_branches,
 )
+
+#: An explored transition graph: state -> distinct successor states.
+TransitionGraph = dict["LoadState", frozenset["LoadState"]]
 
 
 @dataclass(frozen=True)
@@ -149,11 +154,42 @@ class ModelChecker:
         self._successor_cache: dict[
             tuple[LoadState, bool], tuple[frozenset[LoadState], bool]
         ] = {}
+        self._branch_cache: dict[tuple[LoadState, bool],
+                                 BranchEnumeration] = {}
 
     def _canon(self, state: LoadState) -> LoadState:
         if not self.symmetric:
             return state
         return tuple(sorted(state, reverse=True))
+
+    def branches(self, state: LoadState,
+                 sequential: bool = False) -> BranchEnumeration:
+        """Round-branch enumeration of ``state``, memoized per checker.
+
+        The memo is keyed on the state as given — under ``symmetric=True``
+        every caller canonicalises first, so the key *is* the canonical
+        state and permutation-equivalent states share one entry. Within a
+        parallel shard (each worker owns one checker) this is the
+        "memoize round-branch transitions" layer: ``analyze``,
+        ``check_progress`` and ``successors`` all hit the same cache
+        instead of re-enumerating the branching structure per obligation.
+
+        Only *bad* states are retained — they are the ones the progress
+        obligation revisits after exploration — so the memo stays bounded
+        by the bad region instead of the whole reachable closure.
+        """
+        key = (state, sequential)
+        cached = self._branch_cache.get(key)
+        if cached is None:
+            cached = enumerate_round_branches(
+                self.policy, state,
+                choice_mode=self.choice_mode,
+                sequential=sequential,
+                max_orders=self.max_orders,
+            )
+            if is_bad_state(state):
+                self._branch_cache[key] = cached
+        return cached
 
     def successors(self, state: LoadState,
                    sequential: bool = False) -> tuple[frozenset[LoadState], bool]:
@@ -162,12 +198,7 @@ class ModelChecker:
         cached = self._successor_cache.get(key)
         if cached is not None:
             return cached
-        enumeration = enumerate_round_branches(
-            self.policy, state,
-            choice_mode=self.choice_mode,
-            sequential=sequential,
-            max_orders=self.max_orders,
-        )
+        enumeration = self.branches(state, sequential=sequential)
         result = (
             frozenset(self._canon(s) for s in enumeration.successor_states()),
             enumeration.truncated,
@@ -179,38 +210,51 @@ class ModelChecker:
     # work conservation
     # ------------------------------------------------------------------
 
-    def analyze(self, scope: StateScope,
-                sequential: bool = False) -> WorkConservationAnalysis:
-        """Model-check work conservation over every state in ``scope``.
+    def explore(self, initial_states: Iterable[LoadState],
+                sequential: bool = False) -> tuple[TransitionGraph, bool]:
+        """Reachable closure of ``initial_states`` as a transition graph.
 
-        Explores the reachable closure of the scope, finds bad-region
-        lassos, and — absent a lasso — computes the exact worst-case
-        number of rounds to escape the bad region.
+        Returns the edge map (every explored state mapped to its distinct
+        canonicalised successors) and whether any enumeration was
+        truncated. Exploration is the expensive half of :meth:`analyze`;
+        the parallel engine calls it per shard and merges the resulting
+        graphs by plain dict union, which is sound because the successor
+        map of a state is a pure function of (policy, state, parameters) —
+        two shards reaching the same state compute identical edges.
         """
-        with timed_check() as timer:
-            initial = iter_canonical_states(scope) if self.symmetric \
-                else iter_states(scope)
-            frontier = [self._canon(s) for s in initial]
-            seen: set[LoadState] = set(frontier)
-            edges: dict[LoadState, frozenset[LoadState]] = {}
-            truncated = False
-            stack = list(frontier)
-            while stack:
-                state = stack.pop()
-                succ, trunc = self.successors(state, sequential=sequential)
-                truncated = truncated or trunc
-                edges[state] = succ
-                for nxt in succ:
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        stack.append(nxt)
+        frontier = [self._canon(s) for s in initial_states]
+        seen: set[LoadState] = set(frontier)
+        edges: TransitionGraph = {}
+        truncated = False
+        stack = list(frontier)
+        while stack:
+            state = stack.pop()
+            succ, trunc = self.successors(state, sequential=sequential)
+            truncated = truncated or trunc
+            edges[state] = succ
+            for nxt in succ:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return edges, truncated
 
-            bad = {s for s in seen if is_bad_state(s)}
-            lasso = _find_bad_lasso(edges, bad)
-            worst = None
-            if lasso is None:
-                worst = _longest_bad_escape(edges, bad)
+    def analyze_graph(self, scope: StateScope, edges: TransitionGraph,
+                      truncated: bool, sequential: bool = False,
+                      elapsed_s: float = 0.0) -> WorkConservationAnalysis:
+        """Run the graph algorithms over an explored transition graph.
 
+        The cheap half of :meth:`analyze`: lasso detection over the bad
+        region and, absent a lasso, the exact worst-case escape depth.
+        Deterministic in the graph alone (iteration is over sorted
+        states), so a merged multi-shard graph yields byte-identical
+        verdicts to a single-process exploration.
+        """
+        seen = set(edges)
+        bad = {s for s in seen if is_bad_state(s)}
+        lasso = _find_bad_lasso(edges, bad)
+        worst = None
+        if lasso is None:
+            worst = _longest_bad_escape(edges, bad)
         return WorkConservationAnalysis(
             policy_name=self.policy.name,
             scope=scope.describe(),
@@ -221,20 +265,52 @@ class ModelChecker:
             states_explored=len(seen),
             bad_states=len(bad),
             truncated=truncated,
-            elapsed_s=timer.elapsed,
+            elapsed_s=elapsed_s,
         )
+
+    def analyze(self, scope: StateScope,
+                sequential: bool = False,
+                initial_states: Iterable[LoadState] | None = None,
+                ) -> WorkConservationAnalysis:
+        """Model-check work conservation over every state in ``scope``.
+
+        Explores the reachable closure of the scope, finds bad-region
+        lassos, and — absent a lasso — computes the exact worst-case
+        number of rounds to escape the bad region. ``initial_states``
+        optionally overrides the scope sweep (the parallel engine's
+        per-shard hook).
+        """
+        with timed_check() as timer:
+            if initial_states is None:
+                initial_states = iter_canonical_states(scope) \
+                    if self.symmetric else iter_states(scope)
+            edges, truncated = self.explore(
+                initial_states, sequential=sequential
+            )
+            analysis = self.analyze_graph(
+                scope, edges, truncated, sequential=sequential
+            )
+        analysis.elapsed_s = timer.elapsed
+        return analysis
 
     # ------------------------------------------------------------------
     # auxiliary obligations
     # ------------------------------------------------------------------
 
-    def check_good_state_closure(self, scope: StateScope) -> ProofResult:
-        """Good states must only step to good states (§3.2 persistence)."""
+    def check_good_state_closure(self, scope: StateScope,
+                                 states: Iterable[LoadState] | None = None,
+                                 ) -> ProofResult:
+        """Good states must only step to good states (§3.2 persistence).
+
+        ``states`` optionally restricts the sweep to one shard's chunk.
+        """
         checked = 0
         counterexample: Counterexample | None = None
         with timed_check() as timer:
-            for state in (iter_canonical_states(scope) if self.symmetric
-                          else iter_states(scope)):
+            if states is None:
+                states = iter_canonical_states(scope) if self.symmetric \
+                    else iter_states(scope)
+            for state in states:
                 state = self._canon(state)
                 if is_bad_state(state):
                     continue
@@ -265,27 +341,28 @@ class ModelChecker:
             elapsed_s=timer.elapsed,
         )
 
-    def check_progress(self, scope: StateScope) -> ProofResult:
+    def check_progress(self, scope: StateScope,
+                       states: Iterable[LoadState] | None = None,
+                       ) -> ProofResult:
         """Every branch out of a bad state commits at least one steal.
 
         This is the "first executed steal always succeeds" argument: in
         a bad state Lemma1 gives the idle core a candidate, so the round
         has intents, and the first steal to execute re-checks against
-        unmutated state and must succeed.
+        unmutated state and must succeed. ``states`` optionally restricts
+        the sweep to one shard's chunk.
         """
         checked = 0
         counterexample: Counterexample | None = None
         with timed_check() as timer:
-            for state in (iter_canonical_states(scope) if self.symmetric
-                          else iter_states(scope)):
+            if states is None:
+                states = iter_canonical_states(scope) if self.symmetric \
+                    else iter_states(scope)
+            for state in states:
                 state = self._canon(state)
                 if not is_bad_state(state):
                     continue
-                enumeration = enumerate_round_branches(
-                    self.policy, state,
-                    choice_mode=self.choice_mode,
-                    max_orders=self.max_orders,
-                )
+                enumeration = self.branches(state)
                 for branch in enumeration.branches:
                     checked += 1
                     if branch.attempts and branch.successes == 0:

@@ -23,10 +23,15 @@ checker measures the actual minimum at scope rather than assuming it.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.core.policy import Policy
-from repro.verify.enumeration import StateScope, iter_states, views_of
+from repro.verify.enumeration import (
+    LoadState,
+    StateScope,
+    iter_states,
+    views_of,
+)
 from repro.verify.lemmas import simulate_steal
 from repro.verify.obligations import (
     POTENTIAL_DECREASE,
@@ -59,8 +64,9 @@ def potential_after_steal(state: Sequence[int], thief: int, victim: int,
     return potential(after)
 
 
-def check_potential_decrease(policy: Policy,
-                             scope: StateScope) -> ProofResult:
+def check_potential_decrease(policy: Policy, scope: StateScope,
+                             states: Iterable[LoadState] | None = None,
+                             ) -> ProofResult:
     """Exhaustively verify that every admissible steal decreases ``d``.
 
     Sweeps every state in scope, every thief, every *candidate* victim
@@ -68,12 +74,13 @@ def check_potential_decrease(policy: Policy,
     choice), simulates the clamped steal, and compares potentials. Also
     records the minimum observed decrease, exposed via the result's
     counterexample-free path through
-    :func:`min_observed_decrease`.
+    :func:`min_observed_decrease`. ``states`` optionally restricts the
+    sweep to one shard's chunk (see :mod:`repro.verify.parallel`).
     """
     checked = 0
     counterexample: Counterexample | None = None
     with timed_check() as timer:
-        for state in iter_states(scope):
+        for state in (iter_states(scope) if states is None else states):
             views = views_of(state)
             d_before = potential(state)
             for thief in views:
@@ -132,15 +139,19 @@ def check_potential_decrease(policy: Policy,
     )
 
 
-def min_observed_decrease(policy: Policy, scope: StateScope) -> int | None:
+def min_observed_decrease(policy: Policy, scope: StateScope,
+                          states: Iterable[LoadState] | None = None,
+                          ) -> int | None:
     """Smallest ``d`` decrease over every admissible steal in scope.
 
     Returns ``None`` when no steal is admissible anywhere in scope, and
     0 or a negative value when some steal fails to decrease ``d`` (the
     potential obligation is then refuted; the bound is meaningless).
+    ``states`` optionally restricts the sweep to one shard's chunk; shard
+    minima merge by ``min`` (ignoring ``None``).
     """
     minimum: int | None = None
-    for state in iter_states(scope):
+    for state in (iter_states(scope) if states is None else states):
         views = views_of(state)
         d_before = potential(state)
         for thief in views:
@@ -182,9 +193,30 @@ def round_bound(state: Sequence[int], min_decrease: int) -> int:
     return steal_bound(state, min_decrease) + 1
 
 
-def worst_round_bound(scope: StateScope, min_decrease: int) -> int:
+def max_potential(scope: StateScope,
+                  states: Iterable[LoadState] | None = None) -> int | None:
+    """Largest ``d`` over the scope (or one shard's chunk of it).
+
+    Because ``//`` and ``+ 1`` are monotone, the worst round bound over a
+    scope is ``max_potential // min_decrease + 1`` — so shards only need
+    to report their local maximum of ``d`` and the reducer takes ``max``.
+    Returns ``None`` for an empty chunk.
+    """
+    return max(
+        (potential(state)
+         for state in (iter_states(scope) if states is None else states)),
+        default=None,
+    )
+
+
+def worst_round_bound(scope: StateScope, min_decrease: int,
+                      states: Iterable[LoadState] | None = None) -> int:
     """The certificate's ``N``: the round bound maximised over the scope."""
-    worst = 0
-    for state in iter_states(scope):
-        worst = max(worst, round_bound(state, min_decrease))
-    return worst
+    if min_decrease <= 0:
+        raise ValueError(
+            f"min_decrease must be positive, got {min_decrease}"
+        )
+    worst_d = max_potential(scope, states)
+    if worst_d is None:
+        return 0
+    return worst_d // min_decrease + 1

@@ -16,9 +16,9 @@ from typing import Sequence
 from repro.core.policy import Policy
 from repro.metrics.stats import render_table
 from repro.verify.enumeration import StateScope
+from repro.verify.parallel import prove_work_conserving_parallel
 from repro.verify.work_conservation import (
     WorkConservationCertificate,
-    prove_work_conserving,
 )
 
 #: Obligation columns of the matrix, in pipeline order.
@@ -89,7 +89,8 @@ class ZooReport:
 
 def verify_zoo(policies: Sequence[Policy], scope: StateScope,
                choice_mode: str = "all",
-               max_orders: int = 720) -> ZooReport:
+               max_orders: int = 720,
+               jobs: int | None = None) -> ZooReport:
     """Run the full pipeline for every policy and assemble the matrix.
 
     Args:
@@ -97,10 +98,15 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
         scope: common verification scope.
         choice_mode: see :func:`~repro.verify.prove_work_conserving`.
         max_orders: see :func:`~repro.verify.prove_work_conserving`.
+        jobs: worker processes per policy; ``None``/``1`` runs serially,
+            and any value yields a byte-identical matrix (see
+            :mod:`repro.verify.parallel`).
     """
     certificates = [
-        prove_work_conserving(policy, scope, choice_mode=choice_mode,
-                              max_orders=max_orders)
+        prove_work_conserving_parallel(
+            policy, scope, jobs=jobs, choice_mode=choice_mode,
+            max_orders=max_orders,
+        )
         for policy in policies
     ]
     return ZooReport(scope=scope.describe(), certificates=certificates)

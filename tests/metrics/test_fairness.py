@@ -61,6 +61,30 @@ class TestFairnessReport:
         with pytest.raises(ValueError):
             fairness_report([])
 
+    def test_all_zero_weights_do_not_divide_by_zero(self):
+        # Weight is recomputed from nice in __post_init__, but callers can
+        # force it (e.g. synthetic accounting tasks); the report must not
+        # raise and must grant zero entitlement to everyone.
+        tasks = [Task(nice=0) for _ in range(3)]
+        for task in tasks:
+            task.weight = 0
+            task.executed = 50
+        report = fairness_report(tasks)
+        assert all(e == 0.0 for e in report.entitlements.values())
+        assert report.max_share_error == pytest.approx(1 / 3)
+        assert report.jain_index == 1.0  # all-zero normalised progress
+
+    def test_single_zero_weight_task_among_weighted(self):
+        weighted, zero = Task(nice=0), Task(nice=0)
+        zero.weight = 0
+        weighted.executed = 90
+        zero.executed = 10
+        report = fairness_report([weighted, zero])
+        assert report.entitlements[zero.tid] == 0.0
+        assert report.entitlements[weighted.tid] == pytest.approx(1.0)
+        # The zero-weight task's error is its (excess) share itself.
+        assert report.max_share_error == pytest.approx(0.1)
+
 
 class TestFairLocalScheduler:
     """The §1 'fair between threads' property, on the vruntime engine."""

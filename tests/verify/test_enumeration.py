@@ -1,5 +1,8 @@
 """Tests for state enumeration and the abstraction convention."""
 
+import itertools
+from collections import Counter
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -8,15 +11,31 @@ from repro.core.errors import VerificationError
 from repro.verify import (
     StateScope,
     canonical,
+    count_canonical_states,
     count_states,
+    count_states_chunk,
     idle_cores_of,
     is_bad_state,
     iter_canonical_states,
+    iter_canonical_states_chunk,
     iter_states,
+    iter_states_chunk,
     overloaded_cores_of,
     snapshot_from_load,
     views_of,
 )
+
+#: Grid of scopes exercising every cap combination; shared by the
+#: closed-form-counting and sharding tests.
+SCOPE_GRID = [
+    StateScope(n_cores=n, max_load=load, max_total=max_total,
+               min_total=min_total)
+    for n in (1, 2, 3, 4)
+    for load in (0, 1, 2, 3)
+    for max_total in (None, 0, 2, 5)
+    for min_total in (0, 1, 3)
+    if max_total is None or max_total >= min_total
+]
 
 
 class TestScope:
@@ -46,6 +65,11 @@ class TestScope:
         text = StateScope(n_cores=4, max_load=2).describe()
         assert "4 cores" in text and "0..2" in text
 
+    def test_describe_renders_total_cap_with_spaces(self):
+        text = StateScope(n_cores=3, max_load=2, max_total=4).describe()
+        assert "total <= 4" in text
+        assert "total<=" not in text
+
     @pytest.mark.parametrize("kwargs", [
         {"n_cores": 0, "max_load": 2},
         {"n_cores": 2, "max_load": -1},
@@ -54,6 +78,81 @@ class TestScope:
     def test_invalid_scope_rejected(self, kwargs):
         with pytest.raises(VerificationError):
             StateScope(**kwargs)
+
+
+class TestClosedFormCounting:
+    """count_states is closed-form; brute force stays as the oracle."""
+
+    @pytest.mark.parametrize("scope", SCOPE_GRID)
+    def test_count_states_matches_enumeration(self, scope):
+        assert count_states(scope) == sum(1 for _ in iter_states(scope))
+
+    @pytest.mark.parametrize("scope", SCOPE_GRID)
+    def test_count_canonical_states_matches_enumeration(self, scope):
+        assert count_canonical_states(scope) == sum(
+            1 for _ in iter_canonical_states(scope)
+        )
+
+    def test_counts_do_not_enumerate_large_scopes(self):
+        # (max_load + 1) ** n_cores = 11 ** 12 here: any enumerating
+        # implementation would time out, the closed form is instant.
+        scope = StateScope(n_cores=12, max_load=10)
+        assert count_states(scope) == 11 ** 12
+        scope_capped = StateScope(n_cores=12, max_load=10, max_total=5)
+        # With total <= 5 << per-core caps this is plain stars and bars.
+        import math
+        assert count_states(scope_capped) == math.comb(5 + 12, 12)
+
+    def test_empty_window_counts_zero(self):
+        scope = StateScope(n_cores=2, max_load=1, min_total=3)
+        assert count_states(scope) == 0
+        assert count_canonical_states(scope) == 0
+
+
+class TestChunkedIteration:
+    """Sharding: disjoint chunks, exact union, arithmetic sizing."""
+
+    @pytest.mark.parametrize("scope", SCOPE_GRID)
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_shard_union_is_exact_partition(self, scope, n_shards):
+        chunks = [list(iter_states_chunk(scope, shard, n_shards))
+                  for shard in range(n_shards)]
+        union = [state for chunk in chunks for state in chunk]
+        assert len(union) == len(set(union)), "shards overlap"
+        assert sorted(union) == sorted(iter_states(scope))
+
+    @pytest.mark.parametrize("scope", SCOPE_GRID)
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_chunk_sizes_follow_closed_form(self, scope, n_shards):
+        for shard in range(n_shards):
+            assert count_states_chunk(scope, shard, n_shards) == sum(
+                1 for _ in iter_states_chunk(scope, shard, n_shards)
+            )
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_canonical_shard_union_is_exact_partition(self, n_shards):
+        scope = StateScope(n_cores=4, max_load=3)
+        chunks = [list(iter_canonical_states_chunk(scope, shard, n_shards))
+                  for shard in range(n_shards)]
+        union = [state for chunk in chunks for state in chunk]
+        assert len(union) == len(set(union))
+        assert sorted(union) == sorted(iter_canonical_states(scope))
+
+    def test_chunks_preserve_enumeration_order(self):
+        scope = StateScope(n_cores=3, max_load=2)
+        full = list(iter_states(scope))
+        for shard in range(3):
+            assert list(iter_states_chunk(scope, shard, 3)) == full[shard::3]
+
+    @pytest.mark.parametrize("shard,n_shards", [
+        (0, 0), (-1, 2), (2, 2), (5, 3),
+    ])
+    def test_invalid_shard_rejected(self, shard, n_shards):
+        scope = StateScope(n_cores=2, max_load=1)
+        with pytest.raises(VerificationError):
+            list(iter_states_chunk(scope, shard, n_shards))
+        with pytest.raises(VerificationError):
+            count_states_chunk(scope, shard, n_shards)
 
 
 class TestCanonical:
@@ -76,6 +175,28 @@ class TestCanonical:
         canon = canonical(state)
         assert sorted(canon) == sorted(state)
         assert canonical(canon) == canon
+
+    @pytest.mark.parametrize("scope", SCOPE_GRID)
+    def test_exactly_one_representative_per_permutation_class(self, scope):
+        """iter_canonical_states = iter_states quotiented by renaming.
+
+        Every permutation class of the full enumeration maps to exactly
+        one canonical state (same total, same multiset of loads), no
+        canonical state appears twice, and none falls outside the image
+        of the full enumeration.
+        """
+        classes = Counter(canonical(s) for s in iter_states(scope))
+        reps = list(iter_canonical_states(scope))
+        assert len(reps) == len(set(reps)), "duplicate representative"
+        assert set(reps) == set(classes), "class set mismatch"
+        for rep in reps:
+            # The representative is a member of its own class: a
+            # permutation of some enumerated state with equal total.
+            assert canonical(rep) == rep
+            assert scope.admits(rep)
+            # And its class size is the multiset-permutation count.
+            arrangements = len(set(itertools.permutations(rep)))
+            assert classes[rep] == arrangements
 
 
 class TestViews:
