@@ -1,0 +1,78 @@
+"""Distributed verification engine: equivalence + dispatch-cost artifact.
+
+Two artifacts the distributed engine (PR: coordinator/worker shard
+dispatch) must keep producing:
+
+* **equivalence** — the full certificate for the seed policy must render
+  *byte-identical* across the serial path, the in-process transport, and
+  real TCP subprocess workers; the wire boundary may never change a
+  verdict, a counterexample, or a state count;
+* **dispatch cost** — wall-clock of the pipeline under each engine at
+  the seed scope, recorded as a table. At scopes this small the network
+  engines are expected to *lose* to serial (frame + pickle overhead
+  dominates); the artifact exists to quantify that floor, the same way
+  ``parallel_scaling.txt`` quantifies the pool's crossover.
+"""
+
+import time
+
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy
+from repro.verify import (
+    Coordinator,
+    InProcessTransport,
+    LocalWorkerPool,
+    StateScope,
+    prove_work_conserving,
+    prove_work_conserving_distributed,
+)
+
+from conftest import record_result
+
+SEED_SCOPE = StateScope(n_cores=3, max_load=2)
+
+
+def test_bench_distributed_equivalence(benchmark):
+    """Serial, in-process transport, and TCP subprocess workers agree."""
+    serial = prove_work_conserving(BalanceCountPolicy(), SEED_SCOPE)
+
+    def in_process_proof():
+        coordinator = Coordinator([
+            InProcessTransport("bench-a"), InProcessTransport("bench-b"),
+        ])
+        return prove_work_conserving_distributed(
+            BalanceCountPolicy(), SEED_SCOPE, coordinator
+        )
+
+    in_process = benchmark(in_process_proof)
+
+    start = time.perf_counter()
+    with LocalWorkerPool(2) as coordinator:
+        spawn_s = time.perf_counter() - start
+        start = time.perf_counter()
+        over_tcp = prove_work_conserving_distributed(
+            BalanceCountPolicy(), SEED_SCOPE, coordinator
+        )
+        tcp_s = time.perf_counter() - start
+
+    assert in_process.render() == serial.render()
+    assert over_tcp.render() == serial.render()
+
+    start = time.perf_counter()
+    prove_work_conserving(BalanceCountPolicy(), SEED_SCOPE)
+    serial_s = time.perf_counter() - start
+
+    rows = [
+        ["serial", f"{serial_s:.3f}", "-"],
+        ["distributed/in-process x2", "(benchmarked)", "-"],
+        ["distributed/tcp x2 subprocess", f"{tcp_s:.3f}",
+         f"{spawn_s:.3f}"],
+    ]
+    table = render_table(["engine", "pipeline s", "worker spawn s"], rows)
+    record_result(
+        "distributed_equivalence",
+        "Distributed engine equivalence at seed scope"
+        f" ({SEED_SCOPE.describe()}):\n"
+        "all three engines render byte-identical certificates.\n\n"
+        + table,
+    )

@@ -10,7 +10,17 @@ paper's toolchain:
 * ``simulate``      — run a workload under a chosen balancer and report
   wasted-core metrics;
 * ``dsl``           — compile a DSL policy file and emit Python proof
-  results, C, or Scala.
+  results, C, or Scala;
+* ``worker``        — serve verification shards to a remote coordinator
+  (the other end of ``--workers``/``--distributed``).
+
+``verify``, ``zoo``, ``hunt`` and ``campaign`` accept three engine
+selectors: ``--jobs N`` (local process pool), ``--distributed N``
+(spawn N localhost worker subprocesses and dispatch shards over TCP),
+and ``--workers HOST:PORT,...`` (dispatch to already-running ``worker``
+processes anywhere on the network). Verdicts are identical under all of
+them — see :mod:`repro.verify.parallel` and
+:mod:`repro.verify.distributed`.
 
 Every command exits 0 on success; ``verify`` exits 2 when the policy is
 refuted (so shell scripts can gate on proofs), and ``dsl`` exits 2 on
@@ -20,8 +30,9 @@ compilation errors.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.policy import Policy
 
@@ -65,15 +76,100 @@ def _add_policy_args(parser: argparse.ArgumentParser) -> None:
                         help="seed for randomised policies")
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for worker counts: an integer >= 1.
+
+    Rejects ``0`` and negatives with a one-line argparse error (exit
+    code 2) instead of whatever downstream traceback a nonsensical pool
+    size would eventually produce.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value}); worker counts"
+            " cannot be zero or negative"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for intervals: a float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds (got {value})"
+        )
+    return value
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser,
                   help_text: str | None = None) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_positive_int, default=1,
         help=help_text or (
-            "worker processes for sharded verification (1 = serial,"
-            " 0 = one per CPU); verdicts are identical at any value"
+            "worker processes for sharded verification (default 1 ="
+            " serial); verdicts are identical at any value"
         ),
     )
+
+
+def _add_distributed_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--distributed", type=_positive_int, metavar="N", default=None,
+        help="spawn N localhost worker subprocesses and dispatch shards"
+             " to them over TCP (the reference distributed deployment)",
+    )
+    group.add_argument(
+        "--workers", metavar="HOST:PORT[,HOST:PORT...]", default=None,
+        help="dispatch shards to these already-running workers (start"
+             " each with: python -m repro worker --listen HOST:PORT)",
+    )
+
+
+@contextlib.contextmanager
+def _open_coordinator(args: argparse.Namespace) -> Iterator[object | None]:
+    """Yield a Coordinator per the CLI flags, or ``None`` for local runs.
+
+    Owns the whole distributed lifecycle: subprocess spawn/teardown for
+    ``--distributed``, connect/close for ``--workers``. Transport or
+    handshake failures become clean ``SystemExit`` messages.
+    """
+    distributed = getattr(args, "distributed", None)
+    workers = getattr(args, "workers", None)
+    if distributed is None and workers is None:
+        yield None
+        return
+    if getattr(args, "jobs", 1) > 1:
+        raise SystemExit(
+            "--jobs cannot be combined with --distributed/--workers:"
+            " pick one engine"
+        )
+    from repro.core.errors import VerificationError
+    from repro.verify.distributed import LocalWorkerPool, connect_workers
+
+    try:
+        if workers is not None:
+            coordinator = connect_workers(workers.split(","))
+            try:
+                yield coordinator
+            finally:
+                coordinator.close()
+        else:
+            with LocalWorkerPool(distributed) as coordinator:
+                yield coordinator
+    except VerificationError as exc:
+        raise SystemExit(f"distributed run failed: {exc}") from exc
 
 
 def _make_policy(args: argparse.Namespace) -> Policy:
@@ -97,16 +193,28 @@ def cmd_list_policies(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify import StateScope, prove_work_conserving_parallel
+    from repro.verify import (
+        StateScope,
+        prove_work_conserving_distributed,
+        prove_work_conserving_parallel,
+    )
 
     policy = _make_policy(args)
     scope = StateScope(n_cores=args.cores, max_load=args.max_load)
-    cert = prove_work_conserving_parallel(
-        policy, scope,
-        jobs=args.jobs,
-        choice_mode=args.choice_mode,
-        symmetric=args.symmetric,
-    )
+    with _open_coordinator(args) as coordinator:
+        if coordinator is not None:
+            cert = prove_work_conserving_distributed(
+                policy, scope, coordinator,
+                choice_mode=args.choice_mode,
+                symmetric=args.symmetric,
+            )
+        else:
+            cert = prove_work_conserving_parallel(
+                policy, scope,
+                jobs=args.jobs,
+                choice_mode=args.choice_mode,
+                symmetric=args.symmetric,
+            )
     print(cert.render())
     return 0 if cert.proved else 2
 
@@ -114,30 +222,42 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_zoo(args: argparse.Namespace) -> int:
     from repro.verify import StateScope, default_zoo, verify_zoo
 
-    report = verify_zoo(
-        default_zoo(),
-        StateScope(n_cores=args.cores, max_load=args.max_load),
-        jobs=args.jobs,
-    )
+    with _open_coordinator(args) as coordinator:
+        report = verify_zoo(
+            default_zoo(),
+            StateScope(n_cores=args.cores, max_load=args.max_load),
+            jobs=args.jobs,
+            coordinator=coordinator,
+        )
     print(report.render())
     return 0
 
 
 def cmd_hunt(args: argparse.Namespace) -> int:
-    from repro.verify import StateScope, analyze_parallel
+    from repro.verify import (
+        StateScope,
+        analyze_distributed,
+        analyze_parallel,
+    )
 
     policy = _make_policy(args)
-    analysis = analyze_parallel(
-        policy,
-        StateScope(n_cores=args.cores, max_load=args.max_load),
-        jobs=args.jobs,
-        symmetric=args.symmetric,
-    )
+    scope = StateScope(n_cores=args.cores, max_load=args.max_load)
+    with _open_coordinator(args) as coordinator:
+        if coordinator is not None:
+            analysis = analyze_distributed(
+                policy, scope, coordinator, symmetric=args.symmetric,
+            )
+        else:
+            analysis = analyze_parallel(
+                policy, scope,
+                jobs=args.jobs,
+                symmetric=args.symmetric,
+            )
     if analysis.violated:
         print(f"VIOLATION: {analysis.lasso.describe()}")
     else:
         print(
-            f"no violation; exact worst-case N ="
+            "no violation; exact worst-case N ="
             f" {analysis.worst_case_rounds}"
             f" over {analysis.states_explored} states"
         )
@@ -162,6 +282,7 @@ def cmd_refine(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.verify.campaign import CampaignConfig
+    from repro.verify.distributed import run_campaign_distributed
     from repro.verify.parallel import run_campaign_parallel
 
     config = CampaignConfig(
@@ -171,8 +292,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         rounds_per_machine=args.rounds,
         seed=args.seed,
     )
-    report = run_campaign_parallel(lambda: _make_policy(args), config,
-                                   jobs=args.jobs)
+    with _open_coordinator(args) as coordinator:
+        if coordinator is not None:
+            report = run_campaign_distributed(
+                lambda: _make_policy(args), config, coordinator
+            )
+        else:
+            report = run_campaign_parallel(lambda: _make_policy(args),
+                                           config, jobs=args.jobs)
     print(report.describe())
     for violation in report.violations[:10]:
         print(f"  {violation}")
@@ -274,6 +401,25 @@ def cmd_dsl(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.errors import VerificationError
+    from repro.verify.distributed import WorkerServer, parse_endpoint
+
+    try:
+        host, port = parse_endpoint(args.listen)
+    except VerificationError as exc:
+        raise SystemExit(
+            f"--listen expects HOST:PORT (port 0 = OS-assigned): {exc}"
+        ) from exc
+    server = WorkerServer(host=host, port=port,
+                          heartbeat_s=args.heartbeat)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
@@ -297,11 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="all")
     verify.add_argument("--symmetric", action="store_true")
     _add_jobs_arg(verify)
+    _add_distributed_args(verify)
 
     zoo = sub.add_parser("zoo", help="verdict matrix over the policy zoo")
     zoo.add_argument("--cores", type=int, default=3)
     zoo.add_argument("--max-load", type=int, default=3)
     _add_jobs_arg(zoo)
+    _add_distributed_args(zoo)
 
     hunt = sub.add_parser("hunt", help="model-check work conservation")
     _add_policy_args(hunt)
@@ -309,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--max-load", type=int, default=2)
     hunt.add_argument("--symmetric", action="store_true")
     _add_jobs_arg(hunt)
+    _add_distributed_args(hunt)
 
     refine = sub.add_parser(
         "refine", help="cross-validate model vs implementation"
@@ -324,10 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-load", type=int, default=8)
     campaign.add_argument("--rounds", type=int, default=30)
     _add_jobs_arg(campaign, help_text=(
-        "worker processes, one derived fuzzing seed each (1 = serial,"
-        " 0 = one per CPU); coverage depends on the (seed, jobs) pair"
-        " but reproduces exactly for fixed values"
+        "worker processes, one derived fuzzing seed each (default 1 ="
+        " serial); coverage depends on the (seed, workers) pair but"
+        " reproduces exactly for fixed values"
     ))
+    _add_distributed_args(campaign)
 
     simulate = sub.add_parser("simulate", help="run a workload")
     simulate.add_argument("--workload",
@@ -349,6 +499,20 @@ def build_parser() -> argparse.ArgumentParser:
     dsl.add_argument("--cores", type=int, default=3)
     dsl.add_argument("--max-load", type=int, default=3)
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve verification shards to a remote coordinator",
+    )
+    worker.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="address to listen on (port 0 = OS-assigned; the chosen"
+             " port is announced on stdout)",
+    )
+    worker.add_argument(
+        "--heartbeat", type=_positive_float, default=1.0,
+        help="seconds between heartbeat frames while a task runs",
+    )
+
     return parser
 
 
@@ -361,6 +525,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "simulate": cmd_simulate,
     "dsl": cmd_dsl,
+    "worker": cmd_worker,
 }
 
 

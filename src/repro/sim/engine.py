@@ -70,7 +70,7 @@ class SimConfig:
             raise ConfigurationError("max_ticks must be > 0")
         if self.local_scheduler not in ("rr", "fair"):
             raise ConfigurationError(
-                f"local_scheduler must be 'rr' or 'fair',"
+                "local_scheduler must be 'rr' or 'fair',"
                 f" got {self.local_scheduler!r}"
             )
 

@@ -14,6 +14,14 @@ Every sweep also runs sharded across a process pool
 iterators of :mod:`repro.verify.enumeration` and merge per-shard results
 with deterministic reducers, producing verdicts identical to the serial
 path at any worker count.
+
+The same shards can leave the machine: :mod:`repro.verify.distributed`
+(``--distributed N`` / ``--workers host:port,...`` on the CLI) dispatches
+them to remote workers over the versioned wire protocol of
+:mod:`repro.verify.wire` — with heartbeat/timeout, shard reassignment on
+worker loss, and a batched frontier exchange per BFS level — and folds
+the results through the same reducers, again with identical verdicts.
+See ``docs/distributed.md``.
 """
 
 from repro.verify.enumeration import (
@@ -67,13 +75,39 @@ from repro.verify.obligations import (
 from repro.verify.parallel import (
     PolicyReplicator,
     analyze_parallel,
+    assemble_certificate,
+    bfs_closure,
     derive_campaign_seed,
+    make_campaign_tasks,
+    make_shard_specs,
     merge_campaign_reports,
     merge_graphs,
     merge_proof_results,
     prove_work_conserving_parallel,
     resolve_jobs,
     run_campaign_parallel,
+)
+from repro.verify.distributed import (
+    Coordinator,
+    InProcessTransport,
+    LocalWorkerPool,
+    SocketTransport,
+    TaskFailed,
+    WorkerLost,
+    WorkerRuntime,
+    WorkerServer,
+    analyze_distributed,
+    connect_workers,
+    parse_endpoint,
+    prove_work_conserving_distributed,
+    run_campaign_distributed,
+)
+from repro.verify.wire import (
+    WIRE_VERSION,
+    WireMessage,
+    WireProtocolError,
+    decode_message,
+    encode_message,
 )
 from repro.verify.potential import (
     check_potential_decrease,
@@ -153,13 +187,35 @@ __all__ = [
     "views_of",
     "PolicyReplicator",
     "analyze_parallel",
+    "assemble_certificate",
+    "bfs_closure",
     "derive_campaign_seed",
+    "make_campaign_tasks",
+    "make_shard_specs",
     "merge_campaign_reports",
     "merge_graphs",
     "merge_proof_results",
     "prove_work_conserving_parallel",
     "resolve_jobs",
     "run_campaign_parallel",
+    "Coordinator",
+    "InProcessTransport",
+    "LocalWorkerPool",
+    "SocketTransport",
+    "TaskFailed",
+    "WorkerLost",
+    "WorkerRuntime",
+    "WorkerServer",
+    "analyze_distributed",
+    "connect_workers",
+    "parse_endpoint",
+    "prove_work_conserving_distributed",
+    "run_campaign_distributed",
+    "WIRE_VERSION",
+    "WireMessage",
+    "WireProtocolError",
+    "decode_message",
+    "encode_message",
     "check_choice_irrelevance",
     "check_filter_soundness",
     "check_lemma1",

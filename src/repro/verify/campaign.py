@@ -186,7 +186,7 @@ def run_campaign(policy_factory, config: CampaignConfig | None = None,
             report.violations.append(Counterexample(
                 state=tuple(loads),
                 detail=(
-                    f"machine never left the wasted-core condition in"
+                    "machine never left the wasted-core condition in"
                     f" {config.rounds_per_machine} adversarial rounds"
                 ),
             ))

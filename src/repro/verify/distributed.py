@@ -1,0 +1,960 @@
+"""Distributed verification: coordinator/worker shard dispatch.
+
+:mod:`repro.verify.parallel` made the §4 pipeline shard-parallel on one
+host; this module lets the shards leave the machine. A
+:class:`Coordinator` hands the same :class:`~repro.verify.parallel.
+ShardSpec`/campaign-slice tasks to workers over a pluggable transport,
+collects the picklable shard results, and folds them through the
+*unchanged* merge reducers — so the distributed verdict is byte-identical
+to the pool engine's, which is byte-identical to the serial path.
+
+Architecture
+------------
+
+* **Transports** (:class:`WorkerClient` implementations) — where a task
+  runs:
+
+  - :class:`InProcessTransport` executes tasks in the coordinator
+    process, round-tripping every message through the wire encoding
+    (tests and a zero-setup fallback);
+  - :class:`SocketTransport` speaks the length-prefixed frame protocol
+    of :mod:`repro.verify.wire` over TCP to a ``python -m repro worker
+    --listen HOST:PORT`` process anywhere on the network;
+  - :class:`LocalWorkerPool` spawns ``N`` worker subprocesses on
+    localhost (each listening on an OS-assigned port) and connects a
+    :class:`SocketTransport` to each — the reference deployment behind
+    ``--distributed N``, exercising the full network stack without
+    needing a second machine.
+
+* **Scheduling** — :meth:`Coordinator.map` fans a task list across all
+  live workers (one dispatch thread per worker pulling from a shared
+  queue) and returns results in task order. Workers send heartbeat
+  frames while computing; a worker that disconnects, times out past the
+  coordinator's patience, or dies mid-task is retired and its in-flight
+  task is *reassigned* to the survivors — a lost worker degrades to
+  re-dispatch instead of a hung proof. Reassignment is sound because
+  every task is a pure function of its payload: re-running shard ``k``
+  elsewhere yields the identical shard result.
+
+* **BFS frontier exchange** — the model checker's closure exploration
+  reuses :func:`~repro.verify.parallel.bfs_closure` with chunks shipped
+  as :class:`~repro.verify.wire.ExpandTask` batches: one round trip per
+  BFS level, with the coordinator deduplicating canonical states between
+  levels, so exploration works over high-latency links (cost per level
+  is one exchange, not one per state). Workers memoize one
+  :class:`~repro.verify.model_checker.ModelChecker` per checker config,
+  so their transition caches persist across every level of a proof.
+
+Determinism: shard count is fixed at dispatch time (one shard per worker
+known at the start of the run), merge reducers are order-independent,
+and reassignment re-runs pure tasks — so worker deaths, scheduling, and
+network timing cannot change a verdict.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import traceback
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import VerificationError
+from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.verify.enumeration import (
+    StateScope,
+    iter_canonical_states,
+    iter_states,
+)
+from repro.verify.model_checker import (
+    ModelChecker,
+    TransitionGraph,
+    WorkConservationAnalysis,
+)
+from repro.verify.obligations import timed_check
+from repro.verify.parallel import (
+    LivenessShardResult,
+    SweepShardResult,
+    assemble_certificate,
+    bfs_closure,
+    liveness_shard_worker,
+    make_campaign_tasks,
+    make_shard_specs,
+    merge_campaign_reports,
+    sweep_shard_worker,
+)
+from repro.verify.transition import DEFAULT_MAX_ORDERS
+from repro.verify.wire import (
+    ERROR,
+    FORMAT_JSON,
+    HEARTBEAT,
+    HELLO,
+    PING,
+    PONG,
+    RESULT,
+    SHUTDOWN,
+    TASK,
+    CampaignTask,
+    CheckerConfig,
+    ConnectionClosed,
+    ExpandTask,
+    LivenessTask,
+    SweepTask,
+    WireMessage,
+    WireProtocolError,
+    decode_message,
+    encode_message,
+    hello_payload,
+    recv_message,
+    send_message,
+)
+from repro.verify.work_conservation import WorkConservationCertificate
+
+#: Default seconds between worker heartbeat frames during a task.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: Default seconds of frame silence before a worker is presumed dead.
+DEFAULT_PATIENCE_S = 30.0
+
+#: Default cap on how many times one task may be reassigned.
+DEFAULT_MAX_REASSIGNMENTS = 3
+
+
+class WorkerLost(VerificationError):
+    """Transport-level worker failure; the coordinator reassigns."""
+
+
+class TaskFailed(VerificationError):
+    """A task raised inside a worker; deterministic, so never reassigned."""
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` with a validated port range.
+
+    The single parser behind ``--listen``, ``--workers`` and
+    :func:`connect_workers`, so every surface rejects a malformed
+    endpoint with the same one-line error instead of a downstream
+    ``bind()``/``connect()`` traceback.
+
+    Raises:
+        VerificationError: not ``HOST:PORT``, or port outside 0..65535.
+    """
+    host, _, port_text = text.strip().rpartition(":")
+    if not host or not port_text.isdigit():
+        raise VerificationError(
+            f"endpoint {text!r} is not HOST:PORT"
+        )
+    port = int(port_text)
+    if port > 65535:
+        raise VerificationError(
+            f"endpoint {text!r}: port must be 0..65535"
+        )
+    return host, port
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Arm TCP keepalive so a half-open peer cannot wedge a blocking read.
+
+    A coordinator host that hard-crashes (no FIN) would otherwise leave
+    the single-connection worker blocked in ``recv`` forever, deaf to
+    every future coordinator. With these (platform-gated) knobs the OS
+    declares the peer dead after ~2 minutes of silence and the read
+    fails over to the accept loop.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for name, value in (("TCP_KEEPIDLE", 60), ("TCP_KEEPINTVL", 10),
+                            ("TCP_KEEPCNT", 6)):
+            if hasattr(socket, name):
+                sock.setsockopt(socket.IPPROTO_TCP,
+                                getattr(socket, name), value)
+    except OSError:
+        pass  # keepalive is an optimisation, never a requirement
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerRuntime:
+    """Executes wire task payloads; the single worker-side entry point.
+
+    Keeps one memoized :class:`ModelChecker` per distinct
+    :class:`CheckerConfig` so successive :class:`ExpandTask` batches of
+    the same proof hit warm transition caches — the worker-side half of
+    the "within each shard" memoization the pool engine gets from its
+    process initializer.
+    """
+
+    def __init__(self) -> None:
+        self._checkers: dict[bytes, ModelChecker] = {}
+
+    def _checker_for(self, config: CheckerConfig) -> ModelChecker:
+        key = config.cache_key()
+        checker = self._checkers.get(key)
+        if checker is None:
+            checker = ModelChecker(
+                config.policy,
+                choice_mode=config.choice_mode,
+                max_orders=config.max_orders,
+                symmetric=config.symmetric,
+            )
+            self._checkers[key] = checker
+        return checker
+
+    def execute(self, task: Any) -> Any:
+        """Run one task payload and return its (picklable) result.
+
+        Raises:
+            WireProtocolError: payload is not a known task type.
+        """
+        if isinstance(task, SweepTask):
+            return sweep_shard_worker(task.spec)
+        if isinstance(task, LivenessTask):
+            return liveness_shard_worker(task.spec)
+        if isinstance(task, ExpandTask):
+            return self._expand(task)
+        if isinstance(task, CampaignTask):
+            return run_campaign(task.replicator, task.config)
+        raise WireProtocolError(
+            f"unknown task payload {type(task).__name__!r}"
+        )
+
+    def _expand(self, task: ExpandTask) -> tuple[TransitionGraph, bool]:
+        checker = self._checker_for(task.config)
+        edges: TransitionGraph = {}
+        truncated = False
+        for state in task.states:
+            succ, trunc = checker.successors(state,
+                                             sequential=task.sequential)
+            truncated = truncated or trunc
+            edges[state] = succ
+        return edges, truncated
+
+
+class WorkerServer:
+    """A TCP worker: accepts coordinators, executes tasks, heartbeats.
+
+    One coordinator connection is served at a time (shard dispatch gives
+    every worker exactly one coordinator); after a coordinator
+    disconnects the server keeps accepting, so a long-lived ``python -m
+    repro worker --listen`` terminal serves any number of consecutive
+    proof runs. A ``shutdown`` frame stops the server for good.
+
+    Attributes:
+        host: bind address.
+        port: bind port (0 lets the OS choose; see :attr:`bound_port`).
+        heartbeat_s: seconds between heartbeat frames during a task.
+    """
+
+    #: Floor on the heartbeat interval: below this a task would spin the
+    #: serving thread and flood the socket instead of computing.
+    MIN_HEARTBEAT_S = 0.05
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat_s = max(heartbeat_s, self.MIN_HEARTBEAT_S)
+        self.bound_port: int | None = None
+        self._shutdown = threading.Event()
+        self._server: socket.socket | None = None
+
+    def shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to stop after the current connection."""
+        self._shutdown.set()
+
+    def serve_forever(
+        self, announce: Callable[[str], None] | None = None,
+        ready: threading.Event | None = None,
+    ) -> None:
+        """Bind, announce ``listening on HOST:PORT``, and serve.
+
+        Args:
+            announce: sink for the one announcement line (defaults to
+                printing on stdout, which ``LocalWorkerPool`` parses to
+                learn OS-assigned ports).
+            ready: optional event set once the socket is listening
+                (threaded tests synchronise on it).
+        """
+        with socket.create_server(
+            (self.host, self.port), reuse_port=False
+        ) as server:
+            self._server = server
+            self.bound_port = server.getsockname()[1]
+            line = f"repro-worker listening on {self.host}:{self.bound_port}"
+            if announce is None:
+                print(line, flush=True)
+            else:
+                announce(line)
+            if ready is not None:
+                ready.set()
+            server.settimeout(0.2)
+            while not self._shutdown.is_set():
+                try:
+                    conn, _addr = server.accept()
+                except socket.timeout:
+                    continue
+                with conn:
+                    conn.settimeout(None)
+                    _enable_keepalive(conn)
+                    self._serve_connection(conn)
+        self._server = None
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Serve one coordinator until it hangs up or shuts us down.
+
+        Each connection gets a private :class:`WorkerRuntime`: checker
+        memos only pay off within one proof run (one connection), and a
+        task thread orphaned by a vanished coordinator must not share
+        mutable state with the next coordinator's tasks. (The orphan
+        itself runs to completion of its one task and exits — pure
+        Python compute cannot be cancelled preemptively.)
+        """
+        runtime = WorkerRuntime()
+        while True:
+            try:
+                message = recv_message(conn)
+            except (ConnectionClosed, OSError):
+                return
+            except WireProtocolError as exc:
+                # Tell the peer why before hanging up — this is how a
+                # coordinator from another release learns it is a
+                # version mismatch rather than a dead worker.
+                try:
+                    send_message(
+                        conn,
+                        WireMessage(kind=ERROR,
+                                    payload={"traceback": str(exc)}),
+                        fmt=FORMAT_JSON,
+                    )
+                except OSError:
+                    pass
+                return
+            try:
+                if message.kind == HELLO:
+                    send_message(
+                        conn, WireMessage(kind=HELLO,
+                                          payload=hello_payload()),
+                        fmt=FORMAT_JSON,
+                    )
+                elif message.kind == PING:
+                    send_message(conn, WireMessage(kind=PONG),
+                                 fmt=FORMAT_JSON)
+                elif message.kind == SHUTDOWN:
+                    self._shutdown.set()
+                    return
+                elif message.kind == TASK:
+                    self._serve_task(conn, message, runtime)
+                else:
+                    return  # kinds a worker never receives
+            except (ConnectionClosed, OSError):
+                return
+
+    def _serve_task(self, conn: socket.socket, message: WireMessage,
+                    runtime: WorkerRuntime) -> None:
+        """Execute one task, heartbeating until the result is ready."""
+        box: list[tuple[str, Any]] = []
+
+        def run() -> None:
+            try:
+                box.append((RESULT, runtime.execute(message.payload)))
+            except BaseException:
+                box.append((ERROR, traceback.format_exc()))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        while True:
+            thread.join(self.heartbeat_s)
+            if not thread.is_alive():
+                break
+            send_message(
+                conn,
+                WireMessage(kind=HEARTBEAT, task_id=message.task_id),
+                fmt=FORMAT_JSON,
+            )
+        kind, value = box[0]
+        if kind == RESULT:
+            send_message(conn, WireMessage(kind=RESULT,
+                                           task_id=message.task_id,
+                                           payload=value))
+        else:
+            send_message(
+                conn,
+                WireMessage(kind=ERROR, task_id=message.task_id,
+                            payload={"traceback": value}),
+                fmt=FORMAT_JSON,
+            )
+
+
+# ---------------------------------------------------------------------------
+# coordinator side: transports
+# ---------------------------------------------------------------------------
+
+
+class WorkerClient:
+    """One dispatchable worker, however its tasks actually run.
+
+    Subclasses implement :meth:`submit` (run one task payload to
+    completion, raising :class:`WorkerLost` on transport death and
+    :class:`TaskFailed` on an in-task exception) and :meth:`close`.
+    A client is used by at most one coordinator thread at a time.
+    """
+
+    name = "worker"
+
+    def submit(self, task_id: int, payload: Any) -> Any:
+        raise NotImplementedError
+
+    def close(self, shutdown: bool = False) -> None:
+        """Release the transport; ``shutdown`` also stops the worker."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class InProcessTransport(WorkerClient):
+    """Executes tasks in the coordinator process, through the wire.
+
+    Every task and result round-trips through
+    :func:`~repro.verify.wire.encode_message` /
+    :func:`~repro.verify.wire.decode_message`, so anything that would not
+    survive a real network hop fails here too — which is what makes the
+    in-process equivalence tests meaningful.
+    """
+
+    def __init__(self, name: str = "in-process") -> None:
+        self.name = name
+        self._runtime = WorkerRuntime()
+
+    def submit(self, task_id: int, payload: Any) -> Any:
+        request = decode_message(encode_message(
+            WireMessage(kind=TASK, task_id=task_id, payload=payload)
+        ))
+        try:
+            result = self._runtime.execute(request.payload)
+        except Exception as exc:
+            raise TaskFailed(
+                f"task {task_id} failed on {self.name}: {exc}"
+            ) from exc
+        reply = decode_message(encode_message(
+            WireMessage(kind=RESULT, task_id=task_id, payload=result)
+        ))
+        return reply.payload
+
+
+class SocketTransport(WorkerClient):
+    """A persistent TCP connection to one :class:`WorkerServer`.
+
+    Connects and handshakes eagerly in the constructor (version mismatch
+    fails the run before any shard is dispatched, not mid-proof). While a
+    task runs the worker heartbeats every ``heartbeat_s``; a silence
+    longer than ``patience_s`` — no heartbeat, no result — means the
+    worker is dead or wedged, and :meth:`submit` raises
+    :class:`WorkerLost` so the coordinator can reassign.
+    """
+
+    def __init__(self, host: str, port: int,
+                 patience_s: float = DEFAULT_PATIENCE_S,
+                 connect_timeout_s: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.patience_s = patience_s
+        self.name = f"{host}:{port}"
+        self._sock: socket.socket | None = None
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout_s
+            )
+            self._sock.settimeout(patience_s)
+            send_message(self._sock,
+                         WireMessage(kind=HELLO, payload=hello_payload()),
+                         fmt=FORMAT_JSON)
+            reply = recv_message(self._sock)
+            if reply.kind == ERROR:
+                detail = (reply.payload or {}).get("traceback", "")
+                raise WireProtocolError(
+                    f"worker {self.name} rejected the handshake: {detail}"
+                )
+            if reply.kind != HELLO:
+                raise WireProtocolError(
+                    f"worker {self.name} answered hello with {reply.kind!r}"
+                )
+        except (OSError, WireProtocolError) as exc:
+            self.close()
+            raise WorkerLost(
+                f"cannot establish worker {self.name}: {exc}"
+            ) from exc
+
+    def submit(self, task_id: int, payload: Any) -> Any:
+        assert self._sock is not None, "transport is closed"
+        try:
+            send_message(self._sock, WireMessage(kind=TASK, task_id=task_id,
+                                                 payload=payload))
+            while True:
+                message = recv_message(self._sock)
+                if message.kind == HEARTBEAT:
+                    continue  # still alive; the recv timeout re-arms
+                if message.kind == RESULT:
+                    return message.payload
+                if message.kind == ERROR:
+                    detail = (message.payload or {}).get("traceback", "")
+                    raise TaskFailed(
+                        f"task {task_id} failed on worker {self.name}:\n"
+                        f"{detail}"
+                    )
+                raise WireProtocolError(
+                    f"unexpected {message.kind!r} while awaiting task"
+                    f" {task_id}"
+                )
+        except TaskFailed:
+            raise
+        except socket.timeout as exc:
+            raise WorkerLost(
+                f"worker {self.name} silent for {self.patience_s}s"
+            ) from exc
+        except (OSError, WireProtocolError) as exc:
+            raise WorkerLost(f"worker {self.name} lost: {exc}") from exc
+
+    def ping(self) -> bool:
+        """Cheap liveness probe outside any task."""
+        if self._sock is None:
+            return False
+        try:
+            send_message(self._sock, WireMessage(kind=PING),
+                         fmt=FORMAT_JSON)
+            return recv_message(self._sock).kind == PONG
+        except (OSError, WireProtocolError):
+            return False
+
+    def close(self, shutdown: bool = False) -> None:
+        if self._sock is None:
+            return
+        try:
+            if shutdown:
+                send_message(self._sock, WireMessage(kind=SHUTDOWN),
+                             fmt=FORMAT_JSON)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+
+class Coordinator:
+    """Fans task lists across workers; reassigns on worker loss.
+
+    Attributes:
+        max_reassignments: how many times one task may be re-dispatched
+            after worker deaths before the run is declared failed.
+    """
+
+    def __init__(self, clients: Sequence[WorkerClient],
+                 max_reassignments: int = DEFAULT_MAX_REASSIGNMENTS) -> None:
+        if not clients:
+            raise VerificationError("a coordinator needs at least one worker")
+        self._clients: list[WorkerClient] = list(clients)
+        self._retired: list[WorkerClient] = []
+        self.max_reassignments = max_reassignments
+
+    @property
+    def n_workers(self) -> int:
+        """Live workers — the shard count new dispatches will use."""
+        return len(self._clients)
+
+    @property
+    def lost_workers(self) -> list[str]:
+        """Names of workers retired after transport failures."""
+        return [client.name for client in self._retired]
+
+    def map(self, payloads: Sequence[Any]) -> list[Any]:
+        """Run every payload on some worker; results in payload order.
+
+        One dispatch thread per live worker pulls tasks from a shared
+        queue. A :class:`WorkerLost` retires that worker and requeues its
+        task (up to :attr:`max_reassignments` times) for the survivors; a
+        :class:`TaskFailed` aborts the whole map — the task is a pure
+        function of its payload, so it would fail anywhere.
+
+        Raises:
+            WorkerLost: every worker died, or a task exhausted its
+                reassignment budget.
+            TaskFailed: a task raised inside a worker.
+        """
+        if not payloads:
+            return []
+        if not self._clients:
+            raise WorkerLost("no live workers remain")
+        n_tasks = len(payloads)
+        results: list[Any] = [None] * n_tasks
+        pending: deque[tuple[int, int]] = deque(
+            (index, 0) for index in range(n_tasks)
+        )
+        completed = 0
+        failure: Exception | None = None
+        cond = threading.Condition()
+
+        def dispatch(client: WorkerClient) -> None:
+            nonlocal completed, failure
+            while True:
+                with cond:
+                    while (not pending and completed < n_tasks
+                           and failure is None):
+                        cond.wait()
+                    if failure is not None or completed == n_tasks:
+                        return
+                    index, attempts = pending.popleft()
+                try:
+                    value = client.submit(index, payloads[index])
+                except WorkerLost as exc:
+                    with cond:
+                        self._retire(client)
+                        if attempts >= self.max_reassignments:
+                            if failure is None:
+                                failure = WorkerLost(
+                                    f"task {index} lost {attempts + 1}"
+                                    f" workers (last: {exc})"
+                                )
+                        elif not self._clients:
+                            if failure is None:
+                                failure = WorkerLost(
+                                    f"all workers lost (last: {exc})"
+                                )
+                        else:
+                            pending.append((index, attempts + 1))
+                        cond.notify_all()
+                    return
+                except Exception as exc:
+                    with cond:
+                        # A TaskFailed recorded by another thread wins:
+                        # it names the deterministic in-task bug, which a
+                        # concurrent transport loss must not mask.
+                        if failure is None or not isinstance(
+                            failure, TaskFailed
+                        ):
+                            failure = exc
+                        cond.notify_all()
+                    return
+                with cond:
+                    results[index] = value
+                    completed += 1
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(target=dispatch, args=(client,), daemon=True)
+            for client in list(self._clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failure is not None:
+            raise failure
+        return results
+
+    def _retire(self, client: WorkerClient) -> None:
+        if client in self._clients:
+            self._clients.remove(client)
+            self._retired.append(client)
+        client.close()
+
+    def close(self, shutdown: bool = False) -> None:
+        """Close every live transport (optionally stopping the workers).
+
+        A clean close is not a failure: the closed clients do *not* join
+        :attr:`lost_workers`, which only ever names transport casualties.
+        """
+        for client in self._clients:
+            client.close(shutdown=shutdown)
+        self._clients = []
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class LocalWorkerPool:
+    """``N`` subprocess workers on localhost — the reference deployment.
+
+    Spawns ``python -m repro worker --listen 127.0.0.1:0`` subprocesses,
+    parses each worker's announcement line for its OS-assigned port, and
+    connects a :class:`SocketTransport` to each — so ``--distributed N``
+    exercises exactly the protocol a real multi-machine deployment uses,
+    TCP and all. Use as a context manager; exit shuts the workers down.
+    """
+
+    #: Seconds a spawned worker gets to announce its port before the
+    #: pool declares it wedged (covers slow imports on loaded hosts).
+    STARTUP_TIMEOUT_S = 60.0
+
+    def __init__(self, n_workers: int,
+                 patience_s: float = DEFAULT_PATIENCE_S,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        if n_workers < 1:
+            raise VerificationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.processes: list[subprocess.Popen] = []
+        self._stderr_files: list[Any] = []
+        clients: list[WorkerClient] = []
+        try:
+            for _ in range(n_workers):
+                # stderr goes to an unbounded temp file, not a pipe: a
+                # chatty worker must never block on a full pipe buffer
+                # mid-task (which would read as a heartbeat timeout),
+                # and the file stays readable for crash diagnostics.
+                stderr_file = tempfile.TemporaryFile(mode="w+")
+                process = subprocess.Popen(
+                    [sys.executable, "-m", "repro", "worker",
+                     "--listen", "127.0.0.1:0",
+                     "--heartbeat", str(heartbeat_s)],
+                    stdout=subprocess.PIPE,
+                    stderr=stderr_file,
+                    text=True,
+                    env=self._worker_env(),
+                )
+                self.processes.append(process)
+                self._stderr_files.append(stderr_file)
+            for process, stderr_file in zip(self.processes,
+                                            self._stderr_files):
+                clients.append(SocketTransport(
+                    "127.0.0.1", self._read_port(process, stderr_file),
+                    patience_s=patience_s,
+                ))
+        except BaseException:
+            for client in clients:
+                client.close()
+            self._terminate()
+            raise
+        self.coordinator = Coordinator(clients)
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        """Subprocess environment with this ``repro`` on the path."""
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)
+        ))
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else src_root + os.pathsep + existing
+        )
+        return env
+
+    @classmethod
+    def _read_port(cls, process: subprocess.Popen,
+                   stderr_file: Any) -> int:
+        """Parse ``listening on HOST:PORT`` from a worker's stdout.
+
+        Bounded by :attr:`STARTUP_TIMEOUT_S` (a worker that wedges
+        before announcing must fail the run, not hang it) via a reader
+        thread — portable to platforms where ``select`` cannot wait on
+        pipes — and quotes the worker's stderr on failure so a crashed
+        subprocess is diagnosable.
+        """
+        stdout = process.stdout
+        assert stdout is not None
+        box: list[str] = []
+
+        def read() -> None:
+            box.append(stdout.readline())
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(cls.STARTUP_TIMEOUT_S)
+        line = box[0] if box else ""
+        if "listening on" not in line:
+            diagnosis = f"said {line!r}" if box else (
+                f"no announcement within {cls.STARTUP_TIMEOUT_S}s"
+            )
+            try:
+                # A crashing worker EOFs stdout a beat before it exits
+                # and flushes stderr; give it that beat.
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                pass
+            if process.poll() is not None:
+                stderr_file.seek(0)
+                stderr_tail = stderr_file.read()[-2000:].strip()
+                if stderr_tail:
+                    diagnosis += f"; stderr: {stderr_tail}"
+            raise WorkerLost(
+                f"worker subprocess {process.pid} failed to start"
+                f" ({diagnosis})"
+            )
+        return int(line.rsplit(":", 1)[1])
+
+    def _terminate(self) -> None:
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+        for stderr_file in self._stderr_files:
+            try:
+                stderr_file.close()
+            except OSError:
+                pass
+        self._stderr_files = []
+
+    def __enter__(self) -> Coordinator:
+        return self.coordinator
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.coordinator.close(shutdown=True)
+        self._terminate()
+
+
+def connect_workers(endpoints: Iterable[str],
+                    patience_s: float = DEFAULT_PATIENCE_S) -> Coordinator:
+    """Coordinator over ``host:port`` endpoints (the ``--workers`` flag).
+
+    Raises:
+        VerificationError: malformed endpoint.
+        WorkerLost: an endpoint refused the connection or handshake.
+    """
+    clients: list[WorkerClient] = []
+    try:
+        for endpoint in endpoints:
+            host, port = parse_endpoint(endpoint)
+            clients.append(SocketTransport(host, port,
+                                           patience_s=patience_s))
+    except BaseException:
+        for client in clients:
+            client.close()
+        raise
+    return Coordinator(clients)
+
+
+# ---------------------------------------------------------------------------
+# drivers (mirror repro.verify.parallel's, one shard per worker)
+# ---------------------------------------------------------------------------
+
+
+def _map_expand(coordinator: Coordinator, config: CheckerConfig):
+    """``bfs_closure`` adapter: one batched exchange round per level."""
+    def map_expand(chunks, sequential):
+        return coordinator.map([
+            ExpandTask(config=config, states=tuple(chunk),
+                       sequential=sequential)
+            for chunk in chunks
+        ])
+
+    return map_expand
+
+
+def prove_work_conserving_distributed(
+    policy, scope: StateScope, coordinator: Coordinator,
+    choice_mode: str = "all", max_orders: int = DEFAULT_MAX_ORDERS,
+    symmetric: bool = False,
+) -> WorkConservationCertificate:
+    """The full §4 pipeline with one shard per remote worker.
+
+    Identical verdicts, counterexamples, and state counts to
+    :func:`~repro.verify.parallel.prove_work_conserving_parallel` at
+    ``jobs = n_workers`` and to the serial path — same specs, same BFS
+    striping, same reducers; only the transport differs.
+    """
+    n_shards = coordinator.n_workers
+    if n_shards < 1:
+        raise WorkerLost("no live workers to dispatch shards to")
+    specs = make_shard_specs(policy, scope, n_shards, choice_mode,
+                             max_orders, symmetric)
+    sweep_shards: list[SweepShardResult] = coordinator.map(
+        [SweepTask(spec=spec) for spec in specs]
+    )
+    live_shards: list[LivenessShardResult] = coordinator.map(
+        [LivenessTask(spec=spec) for spec in specs]
+    )
+
+    checker = ModelChecker(policy, choice_mode=choice_mode,
+                           max_orders=max_orders, symmetric=symmetric)
+    config = CheckerConfig(policy=policy, choice_mode=choice_mode,
+                           max_orders=max_orders, symmetric=symmetric)
+    with timed_check() as timer:
+        initial = iter_canonical_states(scope) if symmetric \
+            else iter_states(scope)
+        edges, truncated = bfs_closure(
+            _map_expand(coordinator, config), n_shards, initial, symmetric,
+            sequential=False,
+        )
+        analysis = checker.analyze_graph(scope, edges, truncated)
+    analysis.elapsed_s = timer.elapsed
+
+    return assemble_certificate(policy, sweep_shards, live_shards, analysis,
+                                symmetric=symmetric)
+
+
+def analyze_distributed(policy, scope: StateScope,
+                        coordinator: Coordinator, choice_mode: str = "all",
+                        max_orders: int = DEFAULT_MAX_ORDERS,
+                        symmetric: bool = False, sequential: bool = False,
+                        ) -> WorkConservationAnalysis:
+    """Distributed counterpart of :func:`~repro.verify.parallel.
+    analyze_parallel`: workers expand, the coordinator runs the cheap
+    deterministic graph algorithms once."""
+    n_shards = coordinator.n_workers
+    if n_shards < 1:
+        raise WorkerLost("no live workers to dispatch shards to")
+    checker = ModelChecker(policy, choice_mode=choice_mode,
+                           max_orders=max_orders, symmetric=symmetric)
+    config = CheckerConfig(policy=policy, choice_mode=choice_mode,
+                           max_orders=max_orders, symmetric=symmetric)
+    with timed_check() as timer:
+        initial = iter_canonical_states(scope) if symmetric \
+            else iter_states(scope)
+        edges, truncated = bfs_closure(
+            _map_expand(coordinator, config), n_shards, initial, symmetric,
+            sequential=sequential,
+        )
+        analysis = checker.analyze_graph(scope, edges, truncated,
+                                         sequential=sequential)
+    analysis.elapsed_s = timer.elapsed
+    return analysis
+
+
+def run_campaign_distributed(policy_factory,
+                             config: CampaignConfig | None = None,
+                             coordinator: Coordinator | None = None,
+                             ) -> CampaignReport:
+    """Fan a randomised campaign across remote workers.
+
+    Task slices come from the shared
+    :func:`~repro.verify.parallel.make_campaign_tasks`, so the merged
+    report is identical to the pool engine's at ``jobs = n_workers``
+    (coverage is a function of ``(seed, worker count)``, not of engine
+    or transport).
+    """
+    config = config or CampaignConfig()
+    if coordinator is None or coordinator.n_workers < 1:
+        raise WorkerLost("no live workers to dispatch campaign slices to")
+    tasks = make_campaign_tasks(policy_factory, config,
+                                coordinator.n_workers)
+    reports: list[CampaignReport] = coordinator.map([
+        CampaignTask(replicator=replicator, config=slice_config)
+        for replicator, slice_config in tasks
+    ])
+    return merge_campaign_reports(reports)

@@ -350,7 +350,7 @@ def check_lemma1_weighted_states(policy: Policy, scope: StateScope,
                         counterexample = Counterexample(
                             state=state,
                             detail=(
-                                f"weighted Lemma1 existence fails at task"
+                                "weighted Lemma1 existence fails at task"
                                 f" weight {weight} for idle thief"
                                 f" {thief.cid}"
                             ),
@@ -362,7 +362,7 @@ def check_lemma1_weighted_states(policy: Policy, scope: StateScope,
                         counterexample = Counterexample(
                             state=state,
                             detail=(
-                                f"weighted Lemma1 completeness fails at"
+                                "weighted Lemma1 completeness fails at"
                                 f" task weight {weight}: non-overloaded"
                                 f" victims {bad}"
                             ),

@@ -83,6 +83,7 @@ default everywhere) bypasses the pool entirely and is the serial path.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.context
 import os
 import pickle
 from dataclasses import dataclass, field, replace
@@ -146,11 +147,20 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer ``fork`` (cheap, shares the loaded modules) when available."""
+    """Prefer ``fork`` (cheap, shares the loaded modules) when available.
+
+    Falls back to ``spawn`` and finally the platform default, so runners
+    without ``fork`` (macOS with the 3.8+ default, Windows) degrade to a
+    slower-starting pool instead of crashing.
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
+    for method in ("fork", "spawn"):
+        if method in methods:
+            try:
+                return multiprocessing.get_context(method)
+            except ValueError:  # platform advertises but refuses it
+                continue
+    return multiprocessing.get_context()
 
 
 class PolicyReplicator:
@@ -371,13 +381,12 @@ def merge_proof_results(shards: list[ProofResult],
     refuted = [r for r in shards if r.status is ProofStatus.REFUTED]
     winner: ProofResult | None = None
     if refuted:
-        winner = min(
-            refuted,
-            key=lambda r: (
-                tuple(-v for v in r.counterexample.state)
-                if descending_states else tuple(r.counterexample.state)
-            ),
-        )
+        def serial_order(result: ProofResult) -> tuple[int, ...]:
+            assert result.counterexample is not None
+            state = tuple(result.counterexample.state)
+            return tuple(-v for v in state) if descending_states else state
+
+        winner = min(refuted, key=serial_order)
     return ProofResult(
         obligation=shards[0].obligation,
         policy_name=shards[0].policy_name,
@@ -436,13 +445,25 @@ def derive_campaign_seed(seed: int, shard: int) -> int:
 
 
 # ---------------------------------------------------------------------------
-# drivers
+# the engine-agnostic core: spec generation, BFS, certificate assembly
 # ---------------------------------------------------------------------------
+#
+# Everything below `drivers` dispatches work through either a
+# multiprocessing pool (this module) or a coordinator over remote
+# workers (repro.verify.distributed). The two engines share this core:
+# the same shard specs, the same frontier-exchange BFS (parameterised on
+# "map these chunks to (edges, truncated) pairs"), and the same
+# certificate assembly over the merged shard results — which is what
+# guarantees their verdicts are byte-identical to each other and to the
+# serial path.
 
 
-def _specs(policy: Policy, scope: StateScope, n_shards: int,
-           choice_mode: str, max_orders: int, symmetric: bool,
-           sequential: bool = False) -> list[ShardSpec]:
+def make_shard_specs(policy: Policy, scope: StateScope, n_shards: int,
+                     choice_mode: str = "all",
+                     max_orders: int = DEFAULT_MAX_ORDERS,
+                     symmetric: bool = False,
+                     sequential: bool = False) -> list[ShardSpec]:
+    """One :class:`ShardSpec` per shard, covering ``scope`` exactly."""
     return [
         ShardSpec(
             policy=policy, scope=scope, shard=shard, n_shards=n_shards,
@@ -453,18 +474,24 @@ def _specs(policy: Policy, scope: StateScope, n_shards: int,
     ]
 
 
-def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
-                 sequential: bool) -> tuple[TransitionGraph, bool]:
-    """Level-synchronous parallel BFS over the reachable closure.
+def bfs_closure(map_expand, n_shards: int, initial_states,
+                symmetric: bool,
+                sequential: bool = False) -> tuple[TransitionGraph, bool]:
+    """Level-synchronous BFS over the reachable closure, engine-agnostic.
 
-    The parent owns the ``seen`` set and the frontier; each level, the
-    sorted frontier is striped round-robin across the pool's workers and
-    their edge maps are unioned. Every state is expanded exactly once
-    globally (unlike closure-per-shard exploration, whose shards each
-    re-explore the overlap of their reachable sets), so expansion work —
-    the dominant cost of refuted policies with large closures — splits
-    ``jobs`` ways. The level structure, sorting, and pure successor
-    functions make the merged graph identical to a serial exploration.
+    The caller owns the ``seen`` set and the frontier; each level, the
+    sorted frontier is striped round-robin into ``n_shards`` chunks and
+    handed to ``map_expand(chunks, sequential)``, which must return one
+    ``(edges, truncated)`` pair per chunk (a pool maps them onto worker
+    processes; a coordinator ships them to remote workers as one batched
+    frontier-exchange round per level). Every state is expanded exactly
+    once globally (unlike closure-per-shard exploration, whose shards
+    each re-explore the overlap of their reachable sets), so expansion
+    work — the dominant cost of refuted policies with large closures —
+    splits ``n_shards`` ways, and each level costs one round trip
+    regardless of link latency. The level structure, sorting, and pure
+    successor functions make the merged graph identical to a serial
+    exploration.
     """
     if symmetric:
         frontier = sorted({canonical(s) for s in initial_states})
@@ -474,12 +501,9 @@ def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
     edges: TransitionGraph = {}
     truncated = False
     while frontier:
-        chunks = [frontier[shard::jobs] for shard in range(jobs)]
+        chunks = [frontier[shard::n_shards] for shard in range(n_shards)]
         chunks = [chunk for chunk in chunks if chunk]
-        for shard_edges, shard_truncated in pool.map(
-            expand_states_worker,
-            [(chunk, sequential) for chunk in chunks],
-        ):
+        for shard_edges, shard_truncated in map_expand(chunks, sequential):
             edges.update(shard_edges)
             truncated = truncated or shard_truncated
         next_frontier = {
@@ -493,49 +517,21 @@ def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
     return edges, truncated
 
 
-def prove_work_conserving_parallel(
-    policy: Policy, scope: StateScope, jobs: int | None = None,
-    choice_mode: str = "all", max_orders: int = DEFAULT_MAX_ORDERS,
+def assemble_certificate(
+    policy: Policy,
+    sweep_shards: list[SweepShardResult],
+    live_shards: list[LivenessShardResult],
+    analysis: WorkConservationAnalysis,
     symmetric: bool = False,
 ) -> WorkConservationCertificate:
-    """The full §4 pipeline of :func:`prove_work_conserving`, sharded.
+    """Merge per-shard results into the full §4 certificate.
 
-    With ``jobs`` workers the scope is split into ``jobs`` round-robin
-    shards; every sweep runs chunk-local in the pool and the per-shard
-    results are merged as described in the module docstring. Verdicts —
-    per-obligation statuses, the model checker's lasso / exact ``N``, the
-    potential bound, and ``proved`` — are identical to the serial path.
-
-    ``jobs=None``/``1`` delegates to the serial implementation.
+    The merge core both engines end on: sweep obligations merge with
+    :func:`merge_proof_results`, the liveness obligations likewise (in
+    descending state order under symmetry, matching the canonical
+    enumeration), and the potential bound is derived from the shard-local
+    ``min_decrease``/``max_potential`` extrema — no second global sweep.
     """
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1:
-        return prove_work_conserving(
-            policy, scope, choice_mode=choice_mode,
-            max_orders=max_orders, symmetric=symmetric,
-        )
-
-    specs = _specs(policy, scope, jobs, choice_mode, max_orders, symmetric)
-    ctx = _pool_context()
-    checker = ModelChecker(
-        policy, choice_mode=choice_mode, max_orders=max_orders,
-        symmetric=symmetric,
-    )
-    with ctx.Pool(
-        processes=jobs, initializer=_init_worker,
-        initargs=(policy, choice_mode, max_orders, symmetric),
-    ) as pool:
-        sweep_shards = pool.map(sweep_shard_worker, specs)
-        live_shards = pool.map(liveness_shard_worker, specs)
-        with timed_check() as timer:
-            initial = iter_canonical_states(scope) if symmetric \
-                else iter_states(scope)
-            edges, truncated = _explore_bfs(
-                pool, jobs, initial, symmetric, sequential=False
-            )
-            analysis = checker.analyze_graph(scope, edges, truncated)
-    analysis.elapsed_s = timer.elapsed
-
     report = ProofReport(policy_name=policy.name)
     for key in SWEEP_OBLIGATION_KEYS:
         report.add(merge_proof_results(
@@ -573,6 +569,95 @@ def prove_work_conserving_parallel(
         min_decrease=min_decrease,
         proved=proved,
     )
+
+
+def make_campaign_tasks(
+    policy_factory, config: CampaignConfig, jobs: int,
+) -> list[tuple[PolicyReplicator, CampaignConfig]]:
+    """Split a campaign into per-worker ``(replicator, slice)`` tasks.
+
+    The machine budget is split as evenly as possible (the first
+    ``n_machines % jobs`` workers take one extra machine); worker ``i``
+    fuzzes with seed :func:`derive_campaign_seed` ``(config.seed, i)``.
+    Both the pool and the distributed engine build their task lists here,
+    so a campaign's coverage is a function of ``(seed, worker count)``
+    alone — not of which engine ran it.
+    """
+    jobs = min(jobs, max(1, config.n_machines))
+    replicator = PolicyReplicator(policy_factory())
+    if jobs <= 1:
+        return [(replicator, config)]
+    base, extra = divmod(config.n_machines, jobs)
+    shares = [base + (1 if i < extra else 0) for i in range(jobs)]
+    return [
+        (replicator, replace(config, n_machines=share,
+                             seed=derive_campaign_seed(config.seed, i)))
+        for i, share in enumerate(shares) if share > 0
+    ]
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+
+
+def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
+                 sequential: bool) -> tuple[TransitionGraph, bool]:
+    """Pool-backed :func:`bfs_closure`: chunks map onto worker processes."""
+    def map_expand(chunks, seq):
+        return pool.map(expand_states_worker,
+                        [(chunk, seq) for chunk in chunks])
+
+    return bfs_closure(map_expand, jobs, initial_states, symmetric,
+                       sequential=sequential)
+
+
+def prove_work_conserving_parallel(
+    policy: Policy, scope: StateScope, jobs: int | None = None,
+    choice_mode: str = "all", max_orders: int = DEFAULT_MAX_ORDERS,
+    symmetric: bool = False,
+) -> WorkConservationCertificate:
+    """The full §4 pipeline of :func:`prove_work_conserving`, sharded.
+
+    With ``jobs`` workers the scope is split into ``jobs`` round-robin
+    shards; every sweep runs chunk-local in the pool and the per-shard
+    results are merged as described in the module docstring. Verdicts —
+    per-obligation statuses, the model checker's lasso / exact ``N``, the
+    potential bound, and ``proved`` — are identical to the serial path.
+
+    ``jobs=None``/``1`` delegates to the serial implementation.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return prove_work_conserving(
+            policy, scope, choice_mode=choice_mode,
+            max_orders=max_orders, symmetric=symmetric,
+        )
+
+    specs = make_shard_specs(policy, scope, jobs, choice_mode, max_orders,
+                             symmetric)
+    ctx = _pool_context()
+    checker = ModelChecker(
+        policy, choice_mode=choice_mode, max_orders=max_orders,
+        symmetric=symmetric,
+    )
+    with ctx.Pool(
+        processes=jobs, initializer=_init_worker,
+        initargs=(policy, choice_mode, max_orders, symmetric),
+    ) as pool:
+        sweep_shards = pool.map(sweep_shard_worker, specs)
+        live_shards = pool.map(liveness_shard_worker, specs)
+        with timed_check() as timer:
+            initial = iter_canonical_states(scope) if symmetric \
+                else iter_states(scope)
+            edges, truncated = _explore_bfs(
+                pool, jobs, initial, symmetric, sequential=False
+            )
+            analysis = checker.analyze_graph(scope, edges, truncated)
+    analysis.elapsed_s = timer.elapsed
+
+    return assemble_certificate(policy, sweep_shards, live_shards, analysis,
+                                symmetric=symmetric)
 
 
 def analyze_parallel(policy: Policy, scope: StateScope,
@@ -626,15 +711,7 @@ def run_campaign_parallel(policy_factory, config: CampaignConfig | None = None,
     jobs = resolve_jobs(jobs)
     if jobs <= 1:
         return run_campaign(policy_factory, config)
-    jobs = min(jobs, max(1, config.n_machines))
-    base, extra = divmod(config.n_machines, jobs)
-    shares = [base + (1 if i < extra else 0) for i in range(jobs)]
-    replicator = PolicyReplicator(policy_factory())
-    tasks = [
-        (replicator, replace(config, n_machines=share,
-                             seed=derive_campaign_seed(config.seed, i)))
-        for i, share in enumerate(shares) if share > 0
-    ]
+    tasks = make_campaign_tasks(policy_factory, config, jobs)
     ctx = _pool_context()
     with ctx.Pool(processes=len(tasks)) as pool:
         shard_reports = pool.map(campaign_shard_worker, tasks)

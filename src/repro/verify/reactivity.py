@@ -141,7 +141,7 @@ def audit_reactivity(policy_name: str, tracker: LatencyTracker,
                         state=(wait,),
                         detail=(
                             f"task {tid} has been waiting {wait} ticks"
-                            f" and is still not scheduled; bound is"
+                            " and is still not scheduled; bound is"
                             f" {bound.ticks}"
                         ),
                         data={"tid": tid, "wait": wait,

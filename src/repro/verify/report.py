@@ -78,7 +78,7 @@ class ZooReport:
             f"Verification matrix at scope: {self.scope}\n"
             f"{table}\n\n"
             f"{proved}/{len(self.certificates)} policies fully"
-            f" work-conserving at scope."
+            " work-conserving at scope."
         )
 
     @property
@@ -90,7 +90,8 @@ class ZooReport:
 def verify_zoo(policies: Sequence[Policy], scope: StateScope,
                choice_mode: str = "all",
                max_orders: int = 720,
-               jobs: int | None = None) -> ZooReport:
+               jobs: int | None = None,
+               coordinator=None) -> ZooReport:
     """Run the full pipeline for every policy and assemble the matrix.
 
     Args:
@@ -101,14 +102,30 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
         jobs: worker processes per policy; ``None``/``1`` runs serially,
             and any value yields a byte-identical matrix (see
             :mod:`repro.verify.parallel`).
+        coordinator: a :class:`~repro.verify.distributed.Coordinator`;
+            when given, every proof is sharded across its workers instead
+            of a local pool — again with a byte-identical matrix.
     """
-    certificates = [
-        prove_work_conserving_parallel(
-            policy, scope, jobs=jobs, choice_mode=choice_mode,
-            max_orders=max_orders,
+    if coordinator is not None:
+        from repro.verify.distributed import (
+            prove_work_conserving_distributed,
         )
-        for policy in policies
-    ]
+
+        certificates = [
+            prove_work_conserving_distributed(
+                policy, scope, coordinator, choice_mode=choice_mode,
+                max_orders=max_orders,
+            )
+            for policy in policies
+        ]
+    else:
+        certificates = [
+            prove_work_conserving_parallel(
+                policy, scope, jobs=jobs, choice_mode=choice_mode,
+                max_orders=max_orders,
+            )
+            for policy in policies
+        ]
     return ZooReport(scope=scope.describe(), certificates=certificates)
 
 

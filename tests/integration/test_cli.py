@@ -152,6 +152,61 @@ class TestDsl:
         assert code == 2
 
 
+class TestJobsValidation:
+    def test_jobs_zero_is_a_clean_argparse_error(self):
+        code, _ = run_cli("verify", "balance_count", "--jobs", "0")
+        assert code == 2
+
+    def test_jobs_negative_is_a_clean_argparse_error(self):
+        code, _ = run_cli("verify", "balance_count", "--jobs", "-3")
+        assert code == 2
+
+    def test_distributed_zero_is_a_clean_argparse_error(self):
+        code, _ = run_cli("verify", "balance_count", "--distributed", "0")
+        assert code == 2
+
+    def test_jobs_cannot_combine_with_distributed(self):
+        with pytest.raises(SystemExit, match="pick one engine"):
+            main(["verify", "balance_count", "--jobs", "2",
+                  "--distributed", "2"])
+
+    def test_workers_and_distributed_are_mutually_exclusive(self):
+        code, _ = run_cli("verify", "balance_count", "--distributed", "2",
+                          "--workers", "127.0.0.1:1")
+        assert code == 2  # argparse mutually exclusive group
+
+    def test_malformed_workers_endpoint_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["verify", "balance_count", "--workers", "nonsense"])
+
+    def test_worker_listen_requires_host_port(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--listen", "7070"])
+
+    def test_worker_listen_rejects_out_of_range_port(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--listen", "127.0.0.1:999999"])
+
+    def test_worker_heartbeat_must_be_positive(self):
+        code, _ = run_cli("worker", "--heartbeat", "0",
+                          "--listen", "127.0.0.1:0")
+        assert code == 2
+
+
+class TestDistributedVerify:
+    def test_verify_distributed_matches_serial_output(self):
+        """The acceptance smoke: subprocess workers, identical verdict."""
+        code_serial, out_serial = run_cli(
+            "verify", "balance_count", "--cores", "3", "--max-load", "2"
+        )
+        code_dist, out_dist = run_cli(
+            "verify", "balance_count", "--cores", "3", "--max-load", "2",
+            "--distributed", "2",
+        )
+        assert (code_serial, out_serial) == (code_dist, out_dist)
+        assert "WORK-CONSERVING" in out_dist
+
+
 class TestModuleInvocation:
     def test_python_dash_m_repro(self):
         result = subprocess.run(

@@ -1,0 +1,427 @@
+"""Tests for the distributed verification coordinator.
+
+The load-bearing property, inherited from the parallel engine and now
+carried across a transport: for any worker count and any transport —
+in-process, TCP sockets, subprocess pool — the merged outcome is
+*identical* to the serial path. On top of that, the coordinator must
+degrade gracefully: a dead worker means reassignment, not a hung or
+wrong proof.
+"""
+
+import contextlib
+import os
+import threading
+
+import pytest
+
+from repro.policies import BalanceCountPolicy
+from repro.policies.naive import GreedyReadyPolicy, NaiveOverloadedPolicy
+from repro.verify import (
+    CampaignConfig,
+    Coordinator,
+    InProcessTransport,
+    LocalWorkerPool,
+    ModelChecker,
+    SocketTransport,
+    StateScope,
+    TaskFailed,
+    WorkerLost,
+    WorkerRuntime,
+    WorkerServer,
+    analyze_distributed,
+    prove_work_conserving,
+    prove_work_conserving_distributed,
+    run_campaign_distributed,
+    run_campaign_parallel,
+)
+from repro.verify.distributed import connect_workers
+from repro.verify.wire import CheckerConfig, ExpandTask, SweepTask
+from repro.verify.parallel import make_shard_specs
+
+SCOPE = StateScope(n_cores=3, max_load=2)
+
+
+def assert_certificates_equal(ours, theirs):
+    """Field-by-field equality of two certificates, ignoring timings."""
+    assert ours.proved == theirs.proved
+    assert ours.exact_worst_rounds == theirs.exact_worst_rounds
+    assert ours.potential_bound == theirs.potential_bound
+    assert ours.min_decrease == theirs.min_decrease
+    assert ours.analysis.states_explored == theirs.analysis.states_explored
+    assert ours.analysis.bad_states == theirs.analysis.bad_states
+    for mine, other in zip(ours.report.results, theirs.report.results):
+        assert mine.obligation.key == other.obligation.key
+        assert mine.status == other.status
+        if other.ok:
+            # Refuted sweeps may count more states than the serial early
+            # exit (each shard stops at its own first counterexample) —
+            # the documented, verdict-preserving divergence.
+            assert mine.states_checked == other.states_checked
+        if other.counterexample is not None:
+            assert mine.counterexample.state == other.counterexample.state
+            assert mine.counterexample.detail == other.counterexample.detail
+
+
+def in_process_coordinator(n_workers: int = 2) -> Coordinator:
+    return Coordinator([
+        InProcessTransport(f"in-process-{index}")
+        for index in range(n_workers)
+    ])
+
+
+@contextlib.contextmanager
+def socket_coordinator(n_workers: int = 2, heartbeat_s: float = 0.2):
+    """Coordinator over ``n_workers`` WorkerServers in background threads.
+
+    Runs the full TCP protocol (handshake, framing, heartbeats) without
+    subprocesses, so these tests are fast and count toward coverage.
+    """
+    servers = []
+    threads = []
+    for _ in range(n_workers):
+        server = WorkerServer(host="127.0.0.1", port=0,
+                              heartbeat_s=heartbeat_s)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"announce": lambda line: None, "ready": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5), "worker server failed to bind"
+        servers.append(server)
+        threads.append(thread)
+    coordinator = Coordinator([
+        SocketTransport("127.0.0.1", server.bound_port, patience_s=10.0)
+        for server in servers
+    ])
+    try:
+        yield coordinator
+    finally:
+        coordinator.close(shutdown=True)
+        for server in servers:
+            server.shutdown()
+        for thread in threads:
+            thread.join(timeout=5)
+
+
+class TestInProcessEquivalence:
+    @pytest.mark.parametrize("policy_cls", [
+        BalanceCountPolicy,          # fully proved
+        NaiveOverloadedPolicy,       # refuted (ping-pong lasso)
+        GreedyReadyPolicy,           # refuted at the lemma layer
+    ])
+    def test_distributed_matches_serial(self, policy_cls):
+        serial = prove_work_conserving(policy_cls(), SCOPE)
+        distributed = prove_work_conserving_distributed(
+            policy_cls(), SCOPE, in_process_coordinator(2)
+        )
+        assert_certificates_equal(distributed, serial)
+
+    def test_symmetric_mode_matches(self):
+        serial = prove_work_conserving(BalanceCountPolicy(), SCOPE,
+                                       symmetric=True)
+        distributed = prove_work_conserving_distributed(
+            BalanceCountPolicy(), SCOPE, in_process_coordinator(3),
+            symmetric=True,
+        )
+        assert_certificates_equal(distributed, serial)
+
+    def test_more_workers_than_states(self):
+        tiny = StateScope(n_cores=2, max_load=1)
+        serial = prove_work_conserving(BalanceCountPolicy(), tiny)
+        distributed = prove_work_conserving_distributed(
+            BalanceCountPolicy(), tiny, in_process_coordinator(8)
+        )
+        assert_certificates_equal(distributed, serial)
+
+    def test_analyze_matches_serial_lasso(self):
+        serial = ModelChecker(NaiveOverloadedPolicy()).analyze(SCOPE)
+        distributed = analyze_distributed(
+            NaiveOverloadedPolicy(), SCOPE, in_process_coordinator(2)
+        )
+        assert distributed.violated and serial.violated
+        assert distributed.lasso.cycle == serial.lasso.cycle
+        assert distributed.states_explored == serial.states_explored
+
+
+class TestSocketEquivalence:
+    def test_proof_over_tcp_matches_serial(self):
+        serial = prove_work_conserving(BalanceCountPolicy(), SCOPE)
+        with socket_coordinator(2) as coordinator:
+            distributed = prove_work_conserving_distributed(
+                BalanceCountPolicy(), SCOPE, coordinator
+            )
+        assert_certificates_equal(distributed, serial)
+
+    def test_refuted_proof_over_tcp_matches_serial(self):
+        serial = prove_work_conserving(NaiveOverloadedPolicy(), SCOPE)
+        with socket_coordinator(2) as coordinator:
+            distributed = prove_work_conserving_distributed(
+                NaiveOverloadedPolicy(), SCOPE, coordinator
+            )
+        assert_certificates_equal(distributed, serial)
+
+    def test_campaign_over_tcp_matches_pool_engine(self):
+        config = CampaignConfig(n_machines=6, max_cores=5, max_load=4,
+                                rounds_per_machine=8, seed=11)
+        pooled = run_campaign_parallel(BalanceCountPolicy, config, jobs=2)
+        with socket_coordinator(2) as coordinator:
+            distributed = run_campaign_distributed(
+                BalanceCountPolicy, config, coordinator
+            )
+        assert distributed.describe() == pooled.describe()
+        assert distributed.machines == config.n_machines
+
+    def test_worker_survives_consecutive_coordinators(self):
+        """One long-lived worker terminal serves many proof runs."""
+        server = WorkerServer(host="127.0.0.1", port=0, heartbeat_s=0.2)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"announce": lambda line: None, "ready": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5)
+        try:
+            serial = prove_work_conserving(BalanceCountPolicy(), SCOPE)
+            for _ in range(2):
+                coordinator = connect_workers(
+                    [f"127.0.0.1:{server.bound_port}"]
+                )
+                try:
+                    cert = prove_work_conserving_distributed(
+                        BalanceCountPolicy(), SCOPE, coordinator
+                    )
+                finally:
+                    coordinator.close()
+                assert_certificates_equal(cert, serial)
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_ping(self):
+        with socket_coordinator(1) as coordinator:
+            client = coordinator._clients[0]
+            assert client.ping()
+
+
+class _FlakyTransport(InProcessTransport):
+    """Dies (transport-level) on its first ``fail_first`` submissions."""
+
+    def __init__(self, name="flaky", fail_first=1):
+        super().__init__(name)
+        self._failures_left = fail_first
+
+    def submit(self, task_id, payload):
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise WorkerLost(f"{self.name} dropped off the network")
+        return super().submit(task_id, payload)
+
+
+class TestReassignment:
+    def test_lost_worker_degrades_to_redispatch(self):
+        """A worker death mid-run reassigns its shard, verdict unchanged."""
+        serial = prove_work_conserving(BalanceCountPolicy(), SCOPE)
+        coordinator = Coordinator([
+            _FlakyTransport("flaky", fail_first=1),
+            InProcessTransport("steady"),
+        ])
+        cert = prove_work_conserving_distributed(
+            BalanceCountPolicy(), SCOPE, coordinator
+        )
+        assert_certificates_equal(cert, serial)
+        assert coordinator.lost_workers == ["flaky"]
+        assert coordinator.n_workers == 1
+
+    def test_all_workers_lost_raises(self):
+        coordinator = Coordinator([
+            _FlakyTransport("flaky-a", fail_first=99),
+            _FlakyTransport("flaky-b", fail_first=99),
+        ])
+        with pytest.raises(WorkerLost):
+            prove_work_conserving_distributed(
+                BalanceCountPolicy(), SCOPE, coordinator
+            )
+
+    def test_reassignment_budget_exhaustion_raises(self):
+        clients = [_FlakyTransport(f"flaky-{i}", fail_first=99)
+                   for i in range(6)]
+        coordinator = Coordinator(clients, max_reassignments=2)
+        with pytest.raises(WorkerLost):
+            coordinator.map([SweepTask(
+                spec=make_shard_specs(BalanceCountPolicy(), SCOPE, 1)[0]
+            )])
+
+    def test_task_failure_propagates_without_reassignment(self):
+        """In-task exceptions are deterministic: fail fast, don't retry."""
+        coordinator = in_process_coordinator(2)
+        with pytest.raises(TaskFailed):
+            coordinator.map(["not a task payload"])
+
+    def test_empty_map_is_a_noop(self):
+        assert in_process_coordinator(1).map([]) == []
+
+    def test_coordinator_requires_workers(self):
+        from repro.core.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            Coordinator([])
+
+
+class TestSubprocessPool:
+    """The reference deployment: real subprocesses, real TCP."""
+
+    def test_pool_proof_matches_serial(self):
+        serial = prove_work_conserving(BalanceCountPolicy(), SCOPE)
+        with LocalWorkerPool(2) as coordinator:
+            cert = prove_work_conserving_distributed(
+                BalanceCountPolicy(), SCOPE, coordinator
+            )
+        assert_certificates_equal(cert, serial)
+
+    def test_killed_subprocess_worker_is_reassigned(self):
+        serial = prove_work_conserving(BalanceCountPolicy(), SCOPE)
+        pool = LocalWorkerPool(2)
+        try:
+            pool.processes[0].kill()
+            pool.processes[0].wait()
+            cert = prove_work_conserving_distributed(
+                BalanceCountPolicy(), SCOPE, pool.coordinator
+            )
+            assert_certificates_equal(cert, serial)
+            assert len(pool.coordinator.lost_workers) == 1
+        finally:
+            pool.__exit__(None, None, None)
+
+    def test_rejects_nonpositive_worker_count(self):
+        from repro.core.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            LocalWorkerPool(0)
+
+    def test_startup_failure_quotes_worker_stderr(self):
+        """A worker that dies before announcing is diagnosable."""
+        from unittest import mock
+
+        broken_env = {"PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                      "PYTHONPATH": "/nonexistent"}
+        with mock.patch.object(LocalWorkerPool, "_worker_env",
+                               staticmethod(lambda: broken_env)):
+            with pytest.raises(WorkerLost, match="failed to start"):
+                LocalWorkerPool(1)
+
+
+class TestWorkerRuntime:
+    def test_checker_memo_is_shared_across_expand_tasks(self):
+        runtime = WorkerRuntime()
+        config = CheckerConfig(policy=BalanceCountPolicy())
+        runtime.execute(ExpandTask(config=config, states=((0, 1, 2),)))
+        runtime.execute(ExpandTask(config=config, states=((0, 2, 2),)))
+        assert len(runtime._checkers) == 1
+
+    def test_distinct_configs_get_distinct_checkers(self):
+        runtime = WorkerRuntime()
+        runtime.execute(ExpandTask(
+            config=CheckerConfig(policy=BalanceCountPolicy()),
+            states=((0, 1, 2),),
+        ))
+        runtime.execute(ExpandTask(
+            config=CheckerConfig(policy=BalanceCountPolicy(),
+                                 symmetric=True),
+            states=((2, 1, 0),),
+        ))
+        assert len(runtime._checkers) == 2
+
+    def test_unknown_payload_rejected(self):
+        from repro.verify.wire import WireProtocolError
+
+        with pytest.raises(WireProtocolError):
+            WorkerRuntime().execute(42)
+
+
+class TestConnectWorkers:
+    def test_malformed_endpoint_rejected(self):
+        from repro.core.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            connect_workers(["no-port-here"])
+
+    def test_unreachable_endpoint_raises_worker_lost(self):
+        with pytest.raises(WorkerLost):
+            connect_workers(["127.0.0.1:1"], patience_s=1.0)
+
+
+class TestParseEndpoint:
+    def test_accepts_host_port(self):
+        from repro.verify import parse_endpoint
+
+        assert parse_endpoint("10.0.0.5:7070") == ("10.0.0.5", 7070)
+        assert parse_endpoint(" localhost:0 ") == ("localhost", 0)
+
+    @pytest.mark.parametrize("bad", [
+        "no-port-here", ":7070", "host:", "host:port", "host:-1",
+        "host:999999",
+    ])
+    def test_rejects_malformed_endpoints(self, bad):
+        from repro.core.errors import VerificationError
+        from repro.verify import parse_endpoint
+
+        with pytest.raises(VerificationError):
+            parse_endpoint(bad)
+
+
+class TestCleanClose:
+    def test_clean_close_does_not_report_lost_workers(self):
+        coordinator = in_process_coordinator(2)
+        coordinator.map([SweepTask(
+            spec=make_shard_specs(BalanceCountPolicy(), SCOPE, 1)[0]
+        )])
+        coordinator.close()
+        assert coordinator.lost_workers == []
+        assert coordinator.n_workers == 0
+
+
+class TestHandshakeRejection:
+    def test_version_mismatch_is_reported_loudly(self):
+        """A worker names the version problem instead of just hanging up."""
+        import socket as socket_module
+
+        from repro.verify.wire import recv_message
+
+        server = WorkerServer(host="127.0.0.1", port=0, heartbeat_s=0.2)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"announce": lambda line: None, "ready": ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5)
+        try:
+            sock = socket_module.create_connection(
+                ("127.0.0.1", server.bound_port), timeout=5
+            )
+            sock.settimeout(5)
+            # A future-release hello: same framing, wrong version.
+            import json
+            import struct
+
+            body = b"J" + json.dumps(
+                {"v": 999, "kind": "hello", "task_id": -1, "payload": {}}
+            ).encode()
+            sock.sendall(struct.pack("!I", len(body)) + body)
+            reply = recv_message(sock)
+            assert reply.kind == "error"
+            assert "version" in reply.payload["traceback"]
+            sock.close()
+            # ... and a correct-version coordinator still works after.
+            transport = SocketTransport("127.0.0.1", server.bound_port,
+                                        patience_s=5.0)
+            assert transport.ping()
+            transport.close()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
