@@ -1,0 +1,142 @@
+"""Symmetry-quotient reduction: measured state counts and wall-clock.
+
+The artifact this PR (topology-aware symmetry engine) must keep
+producing: on the 2x2 NUMA scope (4 cores, loads 0..3), the model
+checker's closure exploration under
+
+* **no reduction** (trivial group),
+* the **flat group** (full core renaming — sound for load-only
+  policies only), and
+* the **NUMA group** (within-node swaps × distance-preserving node
+  swaps — sound for NUMA-aware choices and the hierarchical balancer)
+
+must agree on every verdict while the quotients shrink the explored
+state space (up to ``n! / ∏ cores_per_node!`` on a symmetric box). The
+recorded table shows states explored and wall-clock per group, for a
+flat policy, a NUMA-aware choice policy, and the hierarchical balancer.
+"""
+
+import time
+
+from repro.metrics import render_table
+from repro.policies import BalanceCountPolicy
+from repro.policies.numa_aware import NumaAwareChoicePolicy
+from repro.topology.numa import symmetric_numa
+from repro.verify import (
+    HierarchySpec,
+    ModelChecker,
+    NumaSymmetryGroup,
+    StateScope,
+    build_checker,
+)
+from repro.verify.symmetry import FlatSymmetryGroup, TrivialGroup
+
+from conftest import record_result
+
+TOPOLOGY = symmetric_numa(2, 2)
+SCOPE = StateScope(n_cores=4, max_load=3)
+
+
+def _run(label, group_label, checker):
+    start = time.perf_counter()
+    analysis = checker.analyze(SCOPE)
+    elapsed = time.perf_counter() - start
+    return {
+        "policy": label,
+        "group": group_label,
+        "analysis": analysis,
+        "wall_s": elapsed,
+    }
+
+
+def test_bench_symmetry_reduction(benchmark):
+    """Record the reduction table; assert verdict-preserving shrinkage."""
+    numa_group = NumaSymmetryGroup(TOPOLOGY)
+    spec = HierarchySpec(topology=TOPOLOGY)
+    runs = [
+        _run("balance_count", "none",
+             ModelChecker(BalanceCountPolicy())),
+        _run("balance_count", "flat",
+             ModelChecker(BalanceCountPolicy(),
+                          symmetry=FlatSymmetryGroup())),
+        _run("balance_count", "numa(2x2)",
+             ModelChecker(BalanceCountPolicy(), symmetry=numa_group)),
+        # choice_mode='all' — the only regime where quotienting a
+        # distance-based choice is sound (the checker refuses 'policy').
+        _run("numa_choice", "none",
+             ModelChecker(NumaAwareChoicePolicy(TOPOLOGY),
+                          choice_mode="all", topology=TOPOLOGY)),
+        _run("numa_choice", "numa(2x2)",
+             ModelChecker(NumaAwareChoicePolicy(TOPOLOGY),
+                          choice_mode="all", symmetry=numa_group)),
+        _run("hierarchical", "none",
+             build_checker(None, hierarchy=spec)),
+        _run("hierarchical", "domain(2x2)",
+             build_checker(None, hierarchy=spec,
+                           symmetry=spec.symmetry_group())),
+    ]
+
+    by_policy: dict[str, list[dict]] = {}
+    for run in runs:
+        by_policy.setdefault(run["policy"], []).append(run)
+
+    rows = []
+    for policy_runs in by_policy.values():
+        baseline = policy_runs[0]["analysis"]
+        for run in policy_runs:
+            analysis = run["analysis"]
+            # Quotients must never change a verdict or the exact N.
+            assert analysis.violated == baseline.violated
+            assert (analysis.worst_case_rounds
+                    == baseline.worst_case_rounds)
+            reduction = (baseline.states_explored
+                         / analysis.states_explored)
+            rows.append([
+                run["policy"], run["group"],
+                analysis.states_explored,
+                f"{reduction:.2f}x",
+                f"{run['wall_s'] * 1000:.1f}",
+                analysis.worst_case_rounds,
+            ])
+        # ... and every non-trivial group must actually shrink the space.
+        for run in policy_runs[1:]:
+            assert (run["analysis"].states_explored
+                    < baseline.states_explored)
+
+    record_result("symmetry_reduction", (
+        f"symmetry-quotient reduction at {SCOPE.describe()}"
+        f" on {TOPOLOGY.name}\n"
+        + render_table(
+            ["policy", "group", "states", "reduction", "wall ms",
+             "exact N"],
+            rows,
+        )
+    ))
+
+    # The timed central operation: the NUMA-quotiented NUMA-aware check.
+    benchmark(
+        lambda: ModelChecker(
+            NumaAwareChoicePolicy(TOPOLOGY),
+            symmetry=NumaSymmetryGroup(TOPOLOGY),
+        ).analyze(SCOPE)
+    )
+
+
+def test_bench_orbit_counting_is_closed_form():
+    """`count_representatives` sizes shards without enumerating states."""
+    group = NumaSymmetryGroup(symmetric_numa(2, 4))
+    big = StateScope(n_cores=8, max_load=4)
+    # 5**8 ≈ 390k raw states; the orbit count must come back instantly
+    # and match the (cheap but linear) representative enumeration.
+    start = time.perf_counter()
+    counted = group.count_representatives(big)
+    elapsed = time.perf_counter() - start
+    assert counted == sum(1 for _ in group.iter_representatives(big))
+    assert elapsed < 0.1
+    # Orbit sizes are closed-form too: they must tile the raw space.
+    from repro.verify import count_states
+
+    small = StateScope(n_cores=8, max_load=2)
+    total = sum(group.orbit_size(rep)
+                for rep in group.iter_representatives(small))
+    assert total == count_states(small)

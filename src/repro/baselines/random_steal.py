@@ -29,6 +29,9 @@ class RandomStealPolicy(Policy):
         seed: RNG seed (runs are reproducible).
     """
 
+    #: Seeded-random choice: equivariant under no renaming (see Policy).
+    choice_invariance = "none"
+
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
         self.seed = seed

@@ -22,6 +22,13 @@ processes anywhere on the network). Verdicts are identical under all of
 them — see :mod:`repro.verify.parallel` and
 :mod:`repro.verify.distributed`.
 
+The same four commands also accept ``--topology numa:NxM`` /
+``mesh:SxM``: the scope is sized to the layout's core count, the
+topology-aware policies (``numa_choice``, ``cache_choice``, and — for
+``hunt`` — ``hierarchical``) become available, and the state-space
+exploration is quotiented by the topology's automorphism group (see
+:mod:`repro.verify.symmetry` and ``docs/symmetry.md``).
+
 Every command exits 0 on success; ``verify`` exits 2 when the policy is
 refuted (so shell scripts can gate on proofs), and ``dsl`` exits 2 on
 compilation errors.
@@ -51,6 +58,10 @@ def _policy_registry() -> dict[str, Callable[[argparse.Namespace], Policy]]:
         InvertedFilterPolicy,
         OverStealingPolicy,
     )
+    from repro.policies.numa_aware import (
+        LeastMigrationsChoicePolicy,
+        NumaAwareChoicePolicy,
+    )
 
     return {
         "balance_count": lambda a: BalanceCountPolicy(margin=a.margin),
@@ -65,7 +76,108 @@ def _policy_registry() -> dict[str, Callable[[argparse.Namespace], Policy]]:
         "idle_random_steal": lambda a: IdleOnlyRandomStealPolicy(
             seed=a.seed
         ),
+        "numa_choice": lambda a: NumaAwareChoicePolicy(
+            _require_topology(a, "numa_choice"), margin=a.margin
+        ),
+        "cache_choice": lambda a: LeastMigrationsChoicePolicy(
+            _require_topology(a, "cache_choice"), margin=a.margin
+        ),
     }
+
+
+def _parse_topology(text: str):
+    """Parse a ``--topology`` spec into a :class:`NumaTopology`.
+
+    Accepted forms: ``flat`` (no topology), ``numa:NxM`` (N fully
+    connected nodes of M cores), ``mesh:SxM`` (an SxS 2D mesh of M-core
+    nodes).
+    """
+    from repro.topology import mesh_numa, symmetric_numa
+
+    text = text.strip().lower()
+    if text == "flat":
+        return None
+    kind, _, dims = text.partition(":")
+    parts = dims.split("x")
+    if kind in ("numa", "mesh") and len(parts) == 2 \
+            and all(p.isdigit() and int(p) > 0 for p in parts):
+        first, second = int(parts[0]), int(parts[1])
+        if kind == "numa":
+            return symmetric_numa(first, second)
+        return mesh_numa(first, second)
+    raise SystemExit(
+        f"bad --topology {text!r}: expected flat, numa:NxM, or mesh:SxM"
+    )
+
+
+def _require_topology(args: argparse.Namespace, policy_name: str):
+    """The parsed ``--topology``, mandatory for topology-aware policies."""
+    topology = _resolve_topology(args)
+    if topology is None:
+        raise SystemExit(
+            f"policy {policy_name!r} needs a machine layout: pass"
+            " --topology numa:NxM (or mesh:SxM)"
+        )
+    return topology
+
+
+def _resolve_topology(args: argparse.Namespace):
+    """Parse (once) and cache the namespace's ``--topology`` value."""
+    if not hasattr(args, "_topology_cache"):
+        spec = getattr(args, "topology", None)
+        args._topology_cache = (
+            _parse_topology(spec) if spec is not None else None
+        )
+    return args._topology_cache
+
+
+def _resolve_symmetry(args: argparse.Namespace):
+    """The symmetry group the CLI flags select, or ``None``.
+
+    ``--topology`` selects the topology's automorphism group (sound for
+    its NUMA-aware choices); ``--symmetric`` alone selects the flat
+    full-renaming group. Combining them is rejected: the flat group is
+    unsound for topology-aware choices, so the topology must win — ask
+    the user to drop one flag rather than silently overriding.
+    """
+    no_symmetry = getattr(args, "no_symmetry", False)
+    if no_symmetry and getattr(args, "symmetric", False):
+        raise SystemExit(
+            "--no-symmetry conflicts with --symmetric; pick one"
+        )
+    topology = _resolve_topology(args)
+    if topology is not None:
+        if getattr(args, "symmetric", False):
+            raise SystemExit(
+                "--symmetric (flat group) conflicts with --topology;"
+                " the topology's own symmetry group is already applied"
+            )
+        if no_symmetry:
+            return None
+        from repro.verify.symmetry import NumaSymmetryGroup
+
+        return NumaSymmetryGroup(topology)
+    return None
+
+
+def _scope_cores(args: argparse.Namespace, default: int = 3) -> int:
+    """Scope width: the topology's core count when one is given.
+
+    ``--cores`` defaults to ``None`` on topology-aware commands so an
+    *explicit* value can be distinguished and rejected alongside
+    ``--topology`` — silently verifying a different width than the user
+    asked for would be worse than an error.
+    """
+    topology = _resolve_topology(args)
+    if topology is not None:
+        if args.cores is not None:
+            raise SystemExit(
+                f"--cores {args.cores} conflicts with --topology"
+                f" (which fixes the scope at {topology.n_cores} cores);"
+                " drop one of the two"
+            )
+        return topology.n_cores
+    return args.cores if args.cores is not None else default
 
 
 def _add_policy_args(parser: argparse.ArgumentParser) -> None:
@@ -110,6 +222,26 @@ def _positive_float(text: str) -> float:
             f"must be a positive number of seconds (got {value})"
         )
     return value
+
+
+def _add_topology_arg(parser: argparse.ArgumentParser,
+                      help_text: str | None = None) -> None:
+    parser.add_argument(
+        "--topology", metavar="flat|numa:NxM|mesh:SxM", default=None,
+        help=help_text or (
+            "machine layout: enables the topology-aware policies"
+            " (numa_choice, cache_choice, hierarchical), sizes the"
+            " scope to its core count, and applies its symmetry group"
+            " to the state-space exploration"
+        ),
+    )
+    parser.add_argument(
+        "--no-symmetry", action="store_true",
+        help="explore the full state space even when --topology would"
+             " quotient it (required for --choice-mode policy with"
+             " topology-aware choices, whose tie-breaks make any"
+             " quotient unsound)",
+    )
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser,
@@ -199,35 +331,57 @@ def cmd_verify(args: argparse.Namespace) -> int:
         prove_work_conserving_parallel,
     )
 
+    if args.policy == "hierarchical":
+        raise SystemExit(
+            "the hierarchical balancer has no flat per-core round to"
+            " sweep; model-check it with: hunt hierarchical --topology"
+            " numa:NxM"
+        )
+    from repro.core.errors import VerificationError
+
     policy = _make_policy(args)
-    scope = StateScope(n_cores=args.cores, max_load=args.max_load)
-    with _open_coordinator(args) as coordinator:
-        if coordinator is not None:
-            cert = prove_work_conserving_distributed(
-                policy, scope, coordinator,
-                choice_mode=args.choice_mode,
-                symmetric=args.symmetric,
-            )
-        else:
-            cert = prove_work_conserving_parallel(
-                policy, scope,
-                jobs=args.jobs,
-                choice_mode=args.choice_mode,
-                symmetric=args.symmetric,
-            )
+    topology = _resolve_topology(args)
+    symmetry = _resolve_symmetry(args)
+    scope = StateScope(n_cores=_scope_cores(args), max_load=args.max_load)
+    try:
+        with _open_coordinator(args) as coordinator:
+            if coordinator is not None:
+                cert = prove_work_conserving_distributed(
+                    policy, scope, coordinator,
+                    choice_mode=args.choice_mode,
+                    symmetric=args.symmetric,
+                    symmetry=symmetry, topology=topology,
+                )
+            else:
+                cert = prove_work_conserving_parallel(
+                    policy, scope,
+                    jobs=args.jobs,
+                    choice_mode=args.choice_mode,
+                    symmetric=args.symmetric,
+                    symmetry=symmetry, topology=topology,
+                )
+    except VerificationError as exc:
+        # e.g. an unsound (group, choice_mode) combination — a clean
+        # one-line refusal, not a traceback.
+        raise SystemExit(str(exc)) from exc
     print(cert.render())
     return 0 if cert.proved else 2
 
 
 def cmd_zoo(args: argparse.Namespace) -> int:
     from repro.verify import StateScope, default_zoo, verify_zoo
+    from repro.verify.report import topology_zoo
 
+    topology = _resolve_topology(args)
+    policies = default_zoo() if topology is None else topology_zoo(topology)
     with _open_coordinator(args) as coordinator:
         report = verify_zoo(
-            default_zoo(),
-            StateScope(n_cores=args.cores, max_load=args.max_load),
+            policies,
+            StateScope(n_cores=_scope_cores(args), max_load=args.max_load),
             jobs=args.jobs,
             coordinator=coordinator,
+            symmetry=_resolve_symmetry(args),
+            topology=topology,
         )
     print(report.render())
     return 0
@@ -240,18 +394,34 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         analyze_parallel,
     )
 
-    policy = _make_policy(args)
-    scope = StateScope(n_cores=args.cores, max_load=args.max_load)
+    policy = None
+    hierarchy = None
+    symmetry = _resolve_symmetry(args)
+    if args.policy == "hierarchical":
+        from repro.verify.hierarchical import HierarchySpec
+
+        topology = _require_topology(args, "hierarchical")
+        hierarchy = HierarchySpec(topology=topology,
+                                  group_margin=args.margin,
+                                  intra_margin=args.margin)
+        if not args.no_symmetry:
+            symmetry = hierarchy.symmetry_group()
+    else:
+        policy = _make_policy(args)
+    topology = _resolve_topology(args)
+    scope = StateScope(n_cores=_scope_cores(args), max_load=args.max_load)
     with _open_coordinator(args) as coordinator:
         if coordinator is not None:
             analysis = analyze_distributed(
                 policy, scope, coordinator, symmetric=args.symmetric,
+                symmetry=symmetry, topology=topology, hierarchy=hierarchy,
             )
         else:
             analysis = analyze_parallel(
                 policy, scope,
                 jobs=args.jobs,
                 symmetric=args.symmetric,
+                symmetry=symmetry, topology=topology, hierarchy=hierarchy,
             )
     if analysis.violated:
         print(f"VIOLATION: {analysis.lasso.describe()}")
@@ -285,9 +455,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.verify.distributed import run_campaign_distributed
     from repro.verify.parallel import run_campaign_parallel
 
+    topology = _resolve_topology(args)
+    max_cores = args.max_cores if args.max_cores is not None else 12
+    if topology is not None:
+        # Topology-aware policies index node tables by core id, so
+        # fuzzed machines must not outgrow the declared layout — and an
+        # explicit larger request is a conflict, not a silent clamp.
+        if args.max_cores is not None and args.max_cores > topology.n_cores:
+            raise SystemExit(
+                f"--max-cores {args.max_cores} conflicts with --topology"
+                f" (which caps machines at {topology.n_cores} cores);"
+                " drop one of the two"
+            )
+        max_cores = min(max_cores, topology.n_cores)
     config = CampaignConfig(
         n_machines=args.machines,
-        max_cores=args.max_cores,
+        max_cores=max_cores,
         max_load=args.max_load,
         rounds_per_machine=args.rounds,
         seed=args.seed,
@@ -437,25 +620,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="run the full proof pipeline")
     _add_policy_args(verify)
-    verify.add_argument("--cores", type=int, default=3)
+    verify.add_argument("--cores", type=int, default=None,
+                        help="scope width (default 3; set by --topology)")
     verify.add_argument("--max-load", type=int, default=3)
     verify.add_argument("--choice-mode", choices=("all", "policy"),
                         default="all")
     verify.add_argument("--symmetric", action="store_true")
+    _add_topology_arg(verify)
     _add_jobs_arg(verify)
     _add_distributed_args(verify)
 
     zoo = sub.add_parser("zoo", help="verdict matrix over the policy zoo")
-    zoo.add_argument("--cores", type=int, default=3)
+    zoo.add_argument("--cores", type=int, default=None,
+                     help="scope width (default 3; set by --topology)")
     zoo.add_argument("--max-load", type=int, default=3)
+    _add_topology_arg(zoo)
     _add_jobs_arg(zoo)
     _add_distributed_args(zoo)
 
     hunt = sub.add_parser("hunt", help="model-check work conservation")
     _add_policy_args(hunt)
-    hunt.add_argument("--cores", type=int, default=3)
+    hunt.add_argument("--cores", type=int, default=None,
+                      help="scope width (default 3; set by --topology)")
     hunt.add_argument("--max-load", type=int, default=2)
     hunt.add_argument("--symmetric", action="store_true")
+    _add_topology_arg(hunt)
     _add_jobs_arg(hunt)
     _add_distributed_args(hunt)
 
@@ -469,9 +658,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="randomised fuzzing")
     _add_policy_args(campaign)
     campaign.add_argument("--machines", type=int, default=50)
-    campaign.add_argument("--max-cores", type=int, default=12)
+    campaign.add_argument("--max-cores", type=int, default=None,
+                          help="largest fuzzed machine (default 12;"
+                               " capped by --topology)")
     campaign.add_argument("--max-load", type=int, default=8)
     campaign.add_argument("--rounds", type=int, default=30)
+    _add_topology_arg(campaign, help_text=(
+        "machine layout: enables the topology-aware policies"
+        " (numa_choice, cache_choice) and caps fuzzed machines at the"
+        " layout's core count; campaigns sample states randomly, so no"
+        " symmetry quotient applies here"
+    ))
     _add_jobs_arg(campaign, help_text=(
         "worker processes, one derived fuzzing seed each (default 1 ="
         " serial); coverage depends on the (seed, workers) pair but"

@@ -101,6 +101,16 @@ class Policy(ABC):
     #: Identifier used in reports; subclasses override.
     name: str = "policy"
 
+    #: What the *choice* step may observe, which bounds the symmetry
+    #: quotients that are sound under ``choice_mode='policy'``:
+    #: ``"renaming"`` — choice depends only on loads (and deterministic
+    #: tie-breaks), invariant under any core renaming; ``"distance"`` —
+    #: choice consults NUMA distances, invariant only under
+    #: distance-preserving renamings; ``"none"`` — choice is stateful
+    #: (e.g. seeded-random), equivariant under no renaming at all.
+    #: Irrelevant in ``choice_mode='all'``, which never calls ``choose``.
+    choice_invariance: str = "renaming"
+
     def load(self, core: CoreView) -> float:
         """The user-defined load metric (Listing 1's ``load()``).
 

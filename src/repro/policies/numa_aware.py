@@ -38,6 +38,10 @@ class NumaAwareChoicePolicy(BalanceCountPolicy):
         margin: inherited Listing 1 margin.
     """
 
+    #: Distance-based choice: sound only under distance-preserving
+    #: renamings (the topology's own symmetry group).
+    choice_invariance = "distance"
+
     def __init__(self, topology: NumaTopology, margin: int = 2) -> None:
         super().__init__(margin=margin)
         self.topology = topology
@@ -69,6 +73,9 @@ class LeastMigrationsChoicePolicy(BalanceCountPolicy):
         topology: the machine layout used to compute distances.
     """
 
+    #: Distance-based choice (see NumaAwareChoicePolicy).
+    choice_invariance = "distance"
+
     def __init__(self, topology: NumaTopology, margin: int = 2) -> None:
         super().__init__(margin=margin)
         self.topology = topology
@@ -95,6 +102,9 @@ class RandomChoicePolicy(BalanceCountPolicy):
     choice-irrelevant they must hold for a uniformly random choice too.
     Deterministic given the seed, so verification runs are reproducible.
     """
+
+    #: Seeded-random choice: equivariant under no renaming.
+    choice_invariance = "none"
 
     def __init__(self, seed: int, margin: int = 2) -> None:
         super().__init__(margin=margin)

@@ -54,6 +54,17 @@ from repro.verify.model_checker import (
     Lasso,
     ModelChecker,
     WorkConservationAnalysis,
+    find_bad_lasso,
+    longest_bad_escape,
+)
+from repro.verify.symmetry import (
+    BlockSymmetryGroup,
+    FlatSymmetryGroup,
+    NumaSymmetryGroup,
+    SymmetryGroup,
+    TrivialGroup,
+    resolve_symmetry,
+    symmetry_from_domains,
 )
 from repro.verify.obligations import (
     ALL_OBLIGATIONS,
@@ -147,7 +158,12 @@ from repro.verify.convergence import (
 )
 from repro.verify.hierarchical import (
     HierarchicalAnalysis,
+    HierarchicalModelChecker,
+    HierarchySpec,
+    IntraGroupPolicy,
     analyze_hierarchical,
+    build_checker,
+    enumerate_hierarchical_round,
 )
 from repro.verify.refinement import (
     REFINEMENT,
@@ -156,6 +172,7 @@ from repro.verify.refinement import (
 from repro.verify.report import (
     ZooReport,
     default_zoo,
+    topology_zoo,
     verify_zoo,
 )
 from repro.verify.reactivity import (
@@ -226,6 +243,15 @@ __all__ = [
     "Lasso",
     "ModelChecker",
     "WorkConservationAnalysis",
+    "find_bad_lasso",
+    "longest_bad_escape",
+    "BlockSymmetryGroup",
+    "FlatSymmetryGroup",
+    "NumaSymmetryGroup",
+    "SymmetryGroup",
+    "TrivialGroup",
+    "resolve_symmetry",
+    "symmetry_from_domains",
     "ALL_OBLIGATIONS",
     "CHOICE_IRRELEVANCE",
     "FAILURE_ATTRIBUTION",
@@ -268,11 +294,17 @@ __all__ = [
     "potential_series",
     "rounds_to_balance",
     "HierarchicalAnalysis",
+    "HierarchicalModelChecker",
+    "HierarchySpec",
+    "IntraGroupPolicy",
     "analyze_hierarchical",
+    "build_checker",
+    "enumerate_hierarchical_round",
     "REFINEMENT",
     "check_refinement",
     "ZooReport",
     "default_zoo",
+    "topology_zoo",
     "verify_zoo",
     "REACTIVITY",
     "ReactivityBound",

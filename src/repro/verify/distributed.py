@@ -64,17 +64,16 @@ from collections import deque
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import VerificationError
+from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
-from repro.verify.enumeration import (
-    StateScope,
-    iter_canonical_states,
-    iter_states,
-)
+from repro.verify.enumeration import StateScope
+from repro.verify.hierarchical import HierarchySpec, build_checker
 from repro.verify.model_checker import (
     ModelChecker,
     TransitionGraph,
     WorkConservationAnalysis,
 )
+from repro.verify.symmetry import SymmetryGroup, resolve_symmetry
 from repro.verify.obligations import timed_check
 from repro.verify.parallel import (
     LivenessShardResult,
@@ -198,11 +197,14 @@ class WorkerRuntime:
         key = config.cache_key()
         checker = self._checkers.get(key)
         if checker is None:
-            checker = ModelChecker(
+            checker = build_checker(
                 config.policy,
                 choice_mode=config.choice_mode,
                 max_orders=config.max_orders,
                 symmetric=config.symmetric,
+                symmetry=config.symmetry,
+                topology=config.topology,
+                hierarchy=config.hierarchy,
             )
             self._checkers[key] = checker
         return checker
@@ -870,6 +872,8 @@ def prove_work_conserving_distributed(
     policy, scope: StateScope, coordinator: Coordinator,
     choice_mode: str = "all", max_orders: int = DEFAULT_MAX_ORDERS,
     symmetric: bool = False,
+    symmetry: SymmetryGroup | None = None,
+    topology: NumaTopology | None = None,
 ) -> WorkConservationCertificate:
     """The full §4 pipeline with one shard per remote worker.
 
@@ -881,8 +885,16 @@ def prove_work_conserving_distributed(
     n_shards = coordinator.n_workers
     if n_shards < 1:
         raise WorkerLost("no live workers to dispatch shards to")
+    group = resolve_symmetry(symmetric, symmetry)
+    # Built before any dispatch so invalid parameter combinations (e.g.
+    # an unsound symmetry/choice_mode pairing) fail with the same clean
+    # one-line error the serial path gives, not a worker traceback.
+    checker = ModelChecker(policy, choice_mode=choice_mode,
+                           max_orders=max_orders, symmetric=symmetric,
+                           symmetry=symmetry, topology=topology)
     specs = make_shard_specs(policy, scope, n_shards, choice_mode,
-                             max_orders, symmetric)
+                             max_orders, symmetric, symmetry=symmetry,
+                             topology=topology)
     sweep_shards: list[SweepShardResult] = coordinator.map(
         [SweepTask(spec=spec) for spec in specs]
     )
@@ -890,45 +902,52 @@ def prove_work_conserving_distributed(
         [LivenessTask(spec=spec) for spec in specs]
     )
 
-    checker = ModelChecker(policy, choice_mode=choice_mode,
-                           max_orders=max_orders, symmetric=symmetric)
     config = CheckerConfig(policy=policy, choice_mode=choice_mode,
-                           max_orders=max_orders, symmetric=symmetric)
+                           max_orders=max_orders, symmetric=symmetric,
+                           symmetry=symmetry, topology=topology)
     with timed_check() as timer:
-        initial = iter_canonical_states(scope) if symmetric \
-            else iter_states(scope)
+        initial = group.iter_representatives(scope)
         edges, truncated = bfs_closure(
             _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=False,
+            sequential=False, symmetry=symmetry,
         )
         analysis = checker.analyze_graph(scope, edges, truncated)
     analysis.elapsed_s = timer.elapsed
 
     return assemble_certificate(policy, sweep_shards, live_shards, analysis,
-                                symmetric=symmetric)
+                                symmetric=symmetric, symmetry=symmetry)
 
 
 def analyze_distributed(policy, scope: StateScope,
                         coordinator: Coordinator, choice_mode: str = "all",
                         max_orders: int = DEFAULT_MAX_ORDERS,
                         symmetric: bool = False, sequential: bool = False,
+                        symmetry: SymmetryGroup | None = None,
+                        topology: NumaTopology | None = None,
+                        hierarchy: HierarchySpec | None = None,
                         ) -> WorkConservationAnalysis:
     """Distributed counterpart of :func:`~repro.verify.parallel.
     analyze_parallel`: workers expand, the coordinator runs the cheap
-    deterministic graph algorithms once."""
+    deterministic graph algorithms once. A
+    :class:`~repro.verify.hierarchical.HierarchySpec` switches workers
+    and coordinator alike to the hierarchical round checker."""
     n_shards = coordinator.n_workers
     if n_shards < 1:
         raise WorkerLost("no live workers to dispatch shards to")
-    checker = ModelChecker(policy, choice_mode=choice_mode,
-                           max_orders=max_orders, symmetric=symmetric)
+    group = resolve_symmetry(symmetric, symmetry)
+    checker = build_checker(policy, choice_mode=choice_mode,
+                            max_orders=max_orders, symmetric=symmetric,
+                            symmetry=symmetry, topology=topology,
+                            hierarchy=hierarchy)
     config = CheckerConfig(policy=policy, choice_mode=choice_mode,
-                           max_orders=max_orders, symmetric=symmetric)
+                           max_orders=max_orders, symmetric=symmetric,
+                           symmetry=symmetry, topology=topology,
+                           hierarchy=hierarchy)
     with timed_check() as timer:
-        initial = iter_canonical_states(scope) if symmetric \
-            else iter_states(scope)
+        initial = group.iter_representatives(scope)
         edges, truncated = bfs_closure(
             _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=sequential,
+            sequential=sequential, symmetry=symmetry,
         )
         analysis = checker.analyze_graph(scope, edges, truncated,
                                          sequential=sequential)

@@ -239,18 +239,26 @@ def iter_canonical_states_chunk(scope: StateScope, shard: int,
 
 
 def canonical(state: Sequence[int]) -> LoadState:
-    """Canonical representative of a state under core renaming.
+    """Canonical representative of a state under *arbitrary* core renaming.
 
     Load vectors that are permutations of each other are equivalent for
     symmetric (topology-free, load-only) policies; canonicalising to the
     sorted descending form shrinks model-checking state spaces by up to
-    ``n_cores!``.
+    ``n_cores!``. This is the primitive behind
+    :class:`repro.verify.symmetry.FlatSymmetryGroup` — topology-aware
+    automorphism groups (NUMA node swaps, domain trees) live in
+    :mod:`repro.verify.symmetry` and delegate to these helpers for the
+    flat case.
     """
     return tuple(sorted(state, reverse=True))
 
 
 def iter_canonical_states(scope: StateScope) -> Iterator[LoadState]:
-    """Yield one representative per core-renaming equivalence class."""
+    """Yield one representative per core-renaming equivalence class.
+
+    Descending lexicographic order; the flat-group case of
+    :meth:`repro.verify.symmetry.SymmetryGroup.iter_representatives`.
+    """
     for state in itertools.combinations_with_replacement(
         range(scope.max_load, -1, -1), scope.n_cores
     ):

@@ -1,16 +1,25 @@
 """Verification of the hierarchical balancer (the §5 extension).
 
-The flat model checker quantifies over adversarial steal orders; the
-hierarchical balancer as implemented is *deterministic* per round
-(inter-group steals in group order, then per-group intra rounds), so its
-round function is a plain state-to-state map. That makes its liveness
-analysis simpler and exact:
+Two analyses live here:
 
-* iterate the round map from every state in scope;
-* a repeated state before reaching the no-wasted-core condition is a
-  violation cycle;
-* otherwise the iteration count is that state's N, and the scope maximum
-  is the hierarchical worst case.
+* :class:`HierarchicalModelChecker` — the **full adversarial** analysis.
+  One hierarchical round is modelled as a branching transition exactly
+  like the flat §4.3 round: the inter-group phase quantifies over every
+  victim-group choice and every execution order of the racing group
+  steals (each steal re-checked against live state, one task moved from
+  the victim group's most loaded donor to the thief group's least loaded
+  agent), and the intra-group phase is the ordinary flat adversarial
+  round under a policy whose filter is scoped to each thief's own group.
+  The checker then reuses the flat engine's closure exploration, lasso
+  detection, and exact worst-case ``N`` — under the domain tree's
+  :class:`~repro.verify.symmetry.SymmetryGroup`, so hierarchical
+  policies get the same quotient reduction flat ones do.
+* :func:`analyze_hierarchical` — the older **deterministic-round**
+  sweep, kept as a fast path: it iterates the concrete
+  :class:`~repro.policies.hierarchical.HierarchicalBalancer` round map
+  (one fixed resolution of the nondeterminism) from every scope state.
+  A clean adversarial verdict implies a clean deterministic one, never
+  the other way around; use the adversarial checker for claims.
 
 The obligations decompose per level exactly as the paper predicts:
 the *inter-group* filter is Listing 1's filter over group totals
@@ -23,24 +32,48 @@ really do clear the global wasted-core condition.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+from typing import Sequence
 
+from repro.core.cpu import CoreSnapshot, CoreView
+from repro.core.errors import VerificationError
 from repro.core.machine import Machine
-from repro.policies.hierarchical import HierarchicalBalancer
-from repro.topology.domains import SchedDomain, build_domain_tree
-from repro.topology.numa import symmetric_numa
+from repro.core.policy import Policy
+from repro.core.task import NICE_0_WEIGHT
+from repro.policies.balance_count import BalanceCountPolicy
+from repro.policies.hierarchical import GroupView, HierarchicalBalancer
+from repro.topology.domains import (
+    SchedDomain,
+    build_domain_tree,
+    flat_groups,
+)
+from repro.topology.numa import NumaTopology, symmetric_numa
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
     is_bad_state,
     iter_states,
 )
+from repro.verify.model_checker import ModelChecker
 from repro.verify.obligations import (
     WORK_CONSERVATION,
     Counterexample,
     ProofResult,
     ProofStatus,
     timed_check,
+)
+from repro.verify.symmetry import (
+    BlockSymmetryGroup,
+    SymmetryGroup,
+    symmetry_from_domains,
+)
+from repro.verify.transition import (
+    DEFAULT_MAX_ORDERS,
+    AbstractAttempt,
+    BranchEnumeration,
+    RoundBranch,
+    enumerate_round_branches,
 )
 
 
@@ -177,4 +210,380 @@ def analyze_hierarchical(scope: StateScope,
         worst_case_rounds=None if violated else worst,
         states_checked=checked,
         elapsed_s=timer.elapsed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# full adversarial hierarchical checking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A picklable description of one hierarchical balancer to check.
+
+    Carries primitives only (topology + margins), so the same spec can
+    rebuild an identical checker in a pool worker or on a remote
+    machine — the distributed engines key their per-worker checker
+    caches on its pickle.
+
+    Attributes:
+        topology: the machine layout; NUMA nodes are the (default)
+            balancing groups.
+        group_size: optional intra-node split, forwarded to
+            :func:`~repro.topology.domains.build_domain_tree`.
+        group_margin: Listing 1 margin of the inter-group filter.
+        intra_margin: Listing 1 margin of the intra-group filter.
+    """
+
+    topology: NumaTopology
+    group_size: int | None = None
+    group_margin: int = 2
+    intra_margin: int = 2
+
+    def domains(self) -> SchedDomain:
+        """The scheduling-domain tree this spec balances over."""
+        return build_domain_tree(self.topology, self.group_size)
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """Leaf-group core sets, the units of the inter-group phase."""
+        return tuple(flat_groups(self.domains()))
+
+    def symmetry_group(self) -> BlockSymmetryGroup:
+        """The domain tree's automorphism group (sound for this checker:
+        the balancer consults grouping only, never distances)."""
+        return symmetry_from_domains(self.domains())
+
+    def describe(self) -> str:
+        """Human-readable spec for reports."""
+        split = f", groups of {self.group_size}" if self.group_size else ""
+        return (
+            f"{self.topology.name}{split} (margins"
+            f" {self.group_margin}/{self.intra_margin})"
+        )
+
+
+class IntraGroupPolicy(Policy):
+    """A flat policy whose filter is scoped to each thief's own group.
+
+    Running one flat round under this policy models *all* intra-group
+    rounds happening in one phase: groups are disjoint and a thief can
+    only select victims inside its own group, so interleavings across
+    groups cannot interact — the successor states equal those of
+    running each group's round separately.
+
+    Attributes:
+        base: the intra-group policy being scoped.
+        core_to_group: per-core group index.
+    """
+
+    def __init__(self, base: Policy,
+                 core_to_group: Sequence[int]) -> None:
+        self.base = base
+        self.core_to_group = tuple(core_to_group)
+        self.name = f"intra({base.name})"
+        # choose() delegates to the base, so the symmetry-soundness
+        # guard must see the base's invariance class, not the default.
+        self.choice_invariance = getattr(base, "choice_invariance",
+                                         "renaming")
+
+    def load(self, core: CoreView) -> float:
+        return self.base.load(core)
+
+    def can_steal(self, thief: CoreView, stealee: CoreView) -> bool:
+        """Base filter, restricted to the thief's own group."""
+        return (
+            self.core_to_group[thief.cid] == self.core_to_group[stealee.cid]
+            and self.base.can_steal(thief, stealee)
+        )
+
+    def choose(self, thief: CoreView,
+               candidates: Sequence[CoreSnapshot]) -> CoreSnapshot:
+        return self.base.choose(thief, candidates)
+
+    def steal_amount(self, thief: CoreView, stealee: CoreView) -> int:
+        return self.base.steal_amount(thief, stealee)
+
+
+def _abstract_group_view(gid: int, cores: Sequence[int],
+                         loads: Sequence[int], node: int) -> GroupView:
+    """The :class:`GroupView` of an abstract state's group.
+
+    Mirrors the dispatch-eager convention: a core with load ``k > 0``
+    runs one task and queues ``k - 1``.
+    """
+    running = sum(1 for cid in cores if loads[cid] > 0)
+    total = sum(loads[cid] for cid in cores)
+    return GroupView(
+        cid=gid,
+        cores=tuple(cores),
+        nr_ready=total - running,
+        running=running,
+        weighted_load=total * NICE_0_WEIGHT,
+        node=node,
+    )
+
+
+def _execute_inter_phase(
+    group_policy: Policy,
+    groups: Sequence[tuple[int, ...]],
+    group_nodes: Sequence[int],
+    loads: Sequence[int],
+    assignment: dict[int, int],
+    order: Sequence[int],
+) -> tuple[LoadState, tuple[AbstractAttempt, ...], tuple[int, ...]]:
+    """Run the inter-group steals of one branch, in ``order``.
+
+    Mirrors :meth:`~repro.policies.hierarchical.HierarchicalBalancer.
+    _execute_group_steal`: the group filter is re-checked against live
+    group totals, the donor is the victim group's most loaded core with
+    a ready task, the agent is the thief group's least loaded core, and
+    exactly one task moves per successful steal.
+    """
+    live = list(loads)
+    attempts: list[AbstractAttempt] = []
+    agent_order: list[int] = []
+    for thief_gid in order:
+        victim_gid = assignment[thief_gid]
+        thief_cores = groups[thief_gid]
+        victim_cores = groups[victim_gid]
+        agent = min(thief_cores, key=lambda cid: (live[cid], cid))
+        agent_order.append(agent)
+        donors = [cid for cid in victim_cores if live[cid] >= 2]
+        donor = (
+            max(donors, key=lambda cid: (live[cid], -cid)) if donors
+            else max(victim_cores, key=lambda cid: (live[cid], -cid))
+        )
+        thief_view = _abstract_group_view(
+            thief_gid, thief_cores, live, group_nodes[thief_gid]
+        )
+        victim_view = _abstract_group_view(
+            victim_gid, victim_cores, live, group_nodes[victim_gid]
+        )
+        if not group_policy.can_steal(thief_view, victim_view) or not donors:
+            attempts.append(AbstractAttempt(agent, donor, False, 0))
+            continue
+        live[donor] -= 1
+        live[agent] += 1
+        attempts.append(AbstractAttempt(agent, donor, True, 1))
+    return tuple(live), tuple(attempts), tuple(agent_order)
+
+
+def enumerate_hierarchical_round(
+    group_policy: Policy,
+    intra_policy: IntraGroupPolicy,
+    groups: Sequence[tuple[int, ...]],
+    group_nodes: Sequence[int],
+    state: Sequence[int],
+    choice_mode: str = "all",
+    max_orders: int = DEFAULT_MAX_ORDERS,
+    nodes: Sequence[int] | None = None,
+) -> BranchEnumeration:
+    """Every resolution of one hierarchical round's nondeterminism.
+
+    Phase 1 branches over the inter-group selection (every filtered
+    victim group in ``choice_mode='all'``, the policy's own choice
+    otherwise) and over every execution order of the racing group
+    steals; phase 2 runs the flat adversarial round under the scoped
+    ``intra_policy`` from each phase-1 end state. A full branch is the
+    concatenation of both phases' attempts.
+    """
+    views = [
+        _abstract_group_view(gid, cores, state, group_nodes[gid])
+        for gid, cores in enumerate(groups)
+    ]
+    intents: list[tuple[int, tuple[int, ...]]] = []
+    for thief_view in views:
+        candidates = [
+            v for v in views
+            if v.cid != thief_view.cid
+            and group_policy.can_steal(thief_view, v)
+        ]
+        if not candidates:
+            continue
+        if choice_mode == "all":
+            victims = tuple(v.cid for v in candidates)
+        else:
+            victims = (group_policy.choose(thief_view, candidates).cid,)
+        intents.append((thief_view.cid, victims))
+
+    truncated = False
+    inter: list[tuple[LoadState, tuple[AbstractAttempt, ...],
+                      tuple[int, ...]]] = []
+    if not intents:
+        inter.append((tuple(state), (), ()))
+    else:
+        thieves = [thief for thief, _ in intents]
+        victim_sets = [victims for _, victims in intents]
+        for victim_combo in itertools.product(*victim_sets):
+            assignment = dict(zip(thieves, victim_combo))
+            for i, order in enumerate(itertools.permutations(thieves)):
+                if i >= max_orders:
+                    truncated = True
+                    break
+                inter.append(_execute_inter_phase(
+                    group_policy, groups, group_nodes, state,
+                    assignment, order,
+                ))
+
+    branches: list[RoundBranch] = []
+    # Commuting/failed inter steals often reach identical mid states;
+    # the intra enumeration depends only on the mid state, so memoize
+    # it per round instead of re-running the exponential enumeration.
+    intra_memo: dict[LoadState, BranchEnumeration] = {}
+    for mid_state, inter_attempts, inter_order in inter:
+        intra = intra_memo.get(mid_state)
+        if intra is None:
+            intra = enumerate_round_branches(
+                intra_policy, mid_state, choice_mode=choice_mode,
+                sequential=False, max_orders=max_orders, nodes=nodes,
+            )
+            intra_memo[mid_state] = intra
+        truncated = truncated or intra.truncated
+        for branch in intra.branches:
+            branches.append(RoundBranch(
+                state=branch.state,
+                attempts=inter_attempts + branch.attempts,
+                order=inter_order + branch.order,
+            ))
+    return BranchEnumeration(branches=branches, truncated=truncated)
+
+
+class HierarchicalModelChecker(ModelChecker):
+    """Adversarial model checking of the two-level hierarchical round.
+
+    Subclasses :class:`~repro.verify.model_checker.ModelChecker` and
+    replaces only the round-branch enumeration; closure exploration,
+    lasso search, exact worst-case ``N``, and the progress/closure
+    obligations are inherited unchanged — hierarchical policies get the
+    very same adversarial work-conservation checking flat policies do,
+    under the domain tree's symmetry group.
+
+    Attributes:
+        spec: the :class:`HierarchySpec` under analysis.
+        group_policy: the inter-group filter policy.
+        groups: leaf-group core sets.
+    """
+
+    def __init__(self, spec: HierarchySpec, choice_mode: str = "all",
+                 max_orders: int = DEFAULT_MAX_ORDERS,
+                 symmetric: bool = False,
+                 symmetry: SymmetryGroup | None = None) -> None:
+        self.spec = spec
+        self.group_policy: Policy = BalanceCountPolicy(
+            margin=spec.group_margin
+        )
+        intra_base = BalanceCountPolicy(margin=spec.intra_margin)
+        self.groups = spec.groups()
+        core_to_group = [0] * spec.topology.n_cores
+        for gid, cores in enumerate(self.groups):
+            for cid in cores:
+                core_to_group[cid] = gid
+        scoped = IntraGroupPolicy(intra_base, core_to_group)
+        super().__init__(
+            scoped, choice_mode=choice_mode, max_orders=max_orders,
+            symmetric=symmetric, symmetry=symmetry,
+            topology=spec.topology,
+        )
+        self._check_group_preservation(core_to_group)
+        self.policy.name = (
+            f"hierarchical({intra_base.name}, {spec.describe()})"
+        )
+        self._group_nodes = tuple(
+            spec.topology.node_of(cores[0]) for cores in self.groups
+        )
+
+    def _check_group_preservation(self, core_to_group: Sequence[int]) -> None:
+        """Refuse symmetry groups that break the balancing-group partition.
+
+        The hierarchical round observes which balancing group a core
+        belongs to (the scoped intra filter, the inter-group phase), so
+        a sound quotient may only swap cores *within* one balancing
+        group, or swap *entire* balancing groups — the flat ``S_n``
+        group (the legacy ``symmetric=True`` flag) merges states across
+        groups and silently changes verdicts.
+
+        Raises:
+            VerificationError: the group's blocks or classes move cores
+                between balancing groups.
+        """
+        if self.symmetry.is_trivial:
+            return
+        if not isinstance(self.symmetry, BlockSymmetryGroup):
+            raise VerificationError(
+                f"symmetry group {self.symmetry.name!r} does not"
+                " preserve the balancing-group partition; use the"
+                " hierarchy's own symmetry_group()"
+            )
+        whole_groups = {tuple(cores) for cores in self.groups}
+        for block in self.symmetry.blocks:
+            if len({core_to_group[cid] for cid in block}) != 1:
+                raise VerificationError(
+                    f"symmetry block {block} of {self.symmetry.name!r}"
+                    " spans balancing groups; quotient would be unsound"
+                )
+        for cls in self.symmetry.classes:
+            if len(cls) > 1 and any(
+                tuple(self.symmetry.blocks[b]) not in whole_groups
+                for b in cls
+            ):
+                raise VerificationError(
+                    f"symmetry class {cls} of {self.symmetry.name!r}"
+                    " swaps partial balancing groups; quotient would be"
+                    " unsound"
+                )
+
+    def branches(self, state: LoadState,
+                 sequential: bool = False) -> BranchEnumeration:
+        """Hierarchical round enumeration, memoized like the flat one.
+
+        Raises:
+            VerificationError: ``sequential=True`` — hierarchical rounds
+                have no §4.2 fresh-snapshot regime.
+        """
+        if sequential:
+            raise VerificationError(
+                "hierarchical rounds have no sequential (§4.2) regime"
+            )
+        key = (state, sequential)
+        cached = self._branch_cache.get(key)
+        if cached is None:
+            cached = enumerate_hierarchical_round(
+                self.group_policy, self.policy, self.groups,
+                self._group_nodes, state,
+                choice_mode=self.choice_mode,
+                max_orders=self.max_orders,
+                nodes=self._nodes,
+            )
+            if is_bad_state(state):
+                self._branch_cache[key] = cached
+        return cached
+
+
+def build_checker(policy: Policy | None, choice_mode: str = "all",
+                  max_orders: int = DEFAULT_MAX_ORDERS,
+                  symmetric: bool = False,
+                  symmetry: SymmetryGroup | None = None,
+                  topology: NumaTopology | None = None,
+                  hierarchy: HierarchySpec | None = None) -> ModelChecker:
+    """The one checker factory every engine builds through.
+
+    The serial path, the pool workers, and the remote workers all
+    construct their checker here from the same picklable parameters, so
+    a proof's transition semantics cannot drift between engines: a
+    :class:`HierarchySpec` selects the hierarchical checker (``policy``
+    is then ignored), anything else the flat one.
+    """
+    if hierarchy is not None:
+        return HierarchicalModelChecker(
+            hierarchy, choice_mode=choice_mode, max_orders=max_orders,
+            symmetric=symmetric, symmetry=symmetry,
+        )
+    if policy is None:
+        raise VerificationError(
+            "a policy is required unless a hierarchy spec is given"
+        )
+    return ModelChecker(
+        policy, choice_mode=choice_mode, max_orders=max_orders,
+        symmetric=symmetric, symmetry=symmetry, topology=topology,
     )

@@ -24,16 +24,17 @@ scope's per-core bound (over-stealing policies do that).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
+from repro.core.errors import VerificationError
 from repro.core.policy import Policy
+from repro.topology.numa import NumaTopology
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
     is_bad_state,
-    iter_canonical_states,
-    iter_states,
 )
+from repro.verify.symmetry import SymmetryGroup, resolve_symmetry
 from repro.verify.obligations import (
     GOOD_STATE_CLOSURE,
     PROGRESS,
@@ -138,29 +139,91 @@ class ModelChecker:
             (default — matches the ∀ in the definition); ``'policy'``
             fixes the policy's own deterministic choice.
         max_orders: cap on steal-order permutations per round.
-        symmetric: exploit core-renaming symmetry by canonicalising
-            states (sound for topology-free, load-only policies; cuts the
-            state space by up to n! — disable for NUMA-aware choices
-            combined with ``choice_mode='policy'``).
+        symmetry: the :class:`~repro.verify.symmetry.SymmetryGroup`
+            whose orbits the checker quotients by. Any group whose
+            elements the transition relation cannot observe is sound:
+            the flat group for load-only policies, a topology's
+            automorphism group in ``choice_mode='all'`` (where the
+            policy's ``choose`` is never consulted); the trivial group
+            disables reduction. Under ``choice_mode='policy'`` the
+            choice's tie-breaks must be equivariant too — enforced via
+            :attr:`~repro.core.policy.Policy.choice_invariance`.
+        symmetric: legacy boolean; ``True`` selects the flat group when
+            no explicit ``symmetry`` is given.
+        topology: optional machine layout; when given, snapshot views
+            carry real node ids so topology-aware policies see the
+            machine they were written for (defaults to the symmetry
+            group's topology, when it has one).
     """
 
     def __init__(self, policy: Policy, choice_mode: str = "all",
                  max_orders: int = DEFAULT_MAX_ORDERS,
-                 symmetric: bool = False) -> None:
+                 symmetric: bool = False,
+                 symmetry: SymmetryGroup | None = None,
+                 topology: NumaTopology | None = None) -> None:
         self.policy = policy
         self.choice_mode = choice_mode
         self.max_orders = max_orders
-        self.symmetric = symmetric
+        self.symmetry = resolve_symmetry(symmetric=symmetric,
+                                         symmetry=symmetry)
+        self.symmetric = not self.symmetry.is_trivial
+        self.topology = topology
+        if choice_mode == "policy" and not self.symmetry.is_trivial:
+            self._check_choice_equivariance(policy)
+        self._nodes: tuple[int, ...] | None = (
+            topology.core_to_node if topology is not None
+            else self.symmetry.core_nodes
+        )
         self._successor_cache: dict[
             tuple[LoadState, bool], tuple[frozenset[LoadState], bool]
         ] = {}
         self._branch_cache: dict[tuple[LoadState, bool],
                                  BranchEnumeration] = {}
 
+    def _check_choice_equivariance(self, policy: Policy) -> None:
+        """Refuse quotients that ``choice_mode='policy'`` makes unsound.
+
+        In policy mode the transition relation includes the policy's own
+        ``choose``, so the quotient is only sound when, whenever two
+        candidates tie under the choice's ranking, some group element
+        swaps exactly them (see
+        :attr:`~repro.core.policy.Policy.choice_invariance`). Load-only
+        choices with cid tie-breaks satisfy that under any renaming
+        group (the transposition of two tying cores is always in the
+        group). Distance-based choices do **not**, even under their own
+        topology's automorphism group: two candidates can tie at equal
+        distance in *different* interchangeable nodes, and the fix-up
+        there is a whole-node swap that moves other, unequal cores —
+        empirically the quotient then under-reports the exact ``N``
+        (e.g. ``numa_choice`` on ``numa:3x2``). Stateful (random)
+        choices are equivariant under nothing.
+
+        Raises:
+            VerificationError: the (group, choice) combination could
+                silently change verdicts.
+        """
+        invariance = getattr(policy, "choice_invariance", "renaming")
+        if invariance == "renaming":
+            return
+        if invariance == "distance":
+            raise VerificationError(
+                f"policy {policy.name!r} makes distance-based choices,"
+                " whose cross-node tie-breaks are not equivariant under"
+                " any symmetry group: quotients are unsound under"
+                " choice_mode='policy' — drop the symmetry group or use"
+                " choice_mode='all'"
+            )
+        raise VerificationError(
+            f"policy {policy.name!r} has a stateful (non-equivariant)"
+            " choice; symmetry quotients are unsound under"
+            " choice_mode='policy' — drop the symmetry group or use"
+            " choice_mode='all'"
+        )
+
     def _canon(self, state: LoadState) -> LoadState:
-        if not self.symmetric:
+        if self.symmetry.is_trivial:
             return state
-        return tuple(sorted(state, reverse=True))
+        return self.symmetry.canonicalize(state)
 
     def branches(self, state: LoadState,
                  sequential: bool = False) -> BranchEnumeration:
@@ -186,6 +249,7 @@ class ModelChecker:
                 choice_mode=self.choice_mode,
                 sequential=sequential,
                 max_orders=self.max_orders,
+                nodes=self._nodes,
             )
             if is_bad_state(state):
                 self._branch_cache[key] = cached
@@ -251,10 +315,10 @@ class ModelChecker:
         """
         seen = set(edges)
         bad = {s for s in seen if is_bad_state(s)}
-        lasso = _find_bad_lasso(edges, bad)
+        lasso = find_bad_lasso(edges, bad)
         worst = None
         if lasso is None:
-            worst = _longest_bad_escape(edges, bad)
+            worst = longest_bad_escape(edges, bad)
         return WorkConservationAnalysis(
             policy_name=self.policy.name,
             scope=scope.describe(),
@@ -282,8 +346,7 @@ class ModelChecker:
         """
         with timed_check() as timer:
             if initial_states is None:
-                initial_states = iter_canonical_states(scope) \
-                    if self.symmetric else iter_states(scope)
+                initial_states = self.symmetry.iter_representatives(scope)
             edges, truncated = self.explore(
                 initial_states, sequential=sequential
             )
@@ -308,8 +371,7 @@ class ModelChecker:
         counterexample: Counterexample | None = None
         with timed_check() as timer:
             if states is None:
-                states = iter_canonical_states(scope) if self.symmetric \
-                    else iter_states(scope)
+                states = self.symmetry.iter_representatives(scope)
             for state in states:
                 state = self._canon(state)
                 if is_bad_state(state):
@@ -356,8 +418,7 @@ class ModelChecker:
         counterexample: Counterexample | None = None
         with timed_check() as timer:
             if states is None:
-                states = iter_canonical_states(scope) if self.symmetric \
-                    else iter_states(scope)
+                states = self.symmetry.iter_representatives(scope)
             for state in states:
                 state = self._canon(state)
                 if not is_bad_state(state):
@@ -407,8 +468,8 @@ class ModelChecker:
 # ---------------------------------------------------------------------------
 
 
-def _find_bad_lasso(edges: dict[LoadState, frozenset[LoadState]],
-                    bad: set[LoadState]) -> Lasso | None:
+def find_bad_lasso(edges: dict[LoadState, frozenset[LoadState]],
+                   bad: set[LoadState]) -> Lasso | None:
     """Find a cycle lying wholly inside ``bad``, with an access path.
 
     Iterative DFS with colouring over the bad-only subgraph. Every bad
@@ -422,7 +483,7 @@ def _find_bad_lasso(edges: dict[LoadState, frozenset[LoadState]],
         if colour[root] != WHITE:
             continue
         path: list[LoadState] = []
-        stack: list[tuple[LoadState, iter]] = [
+        stack: list[tuple[LoadState, Iterator[LoadState]]] = [
             (root, iter(sorted(edges.get(root, frozenset()))))
         ]
         colour[root] = GREY
@@ -455,8 +516,8 @@ def _find_bad_lasso(edges: dict[LoadState, frozenset[LoadState]],
     return None
 
 
-def _longest_bad_escape(edges: dict[LoadState, frozenset[LoadState]],
-                        bad: set[LoadState]) -> int:
+def longest_bad_escape(edges: dict[LoadState, frozenset[LoadState]],
+                       bad: set[LoadState]) -> int:
     """Worst-case rounds to leave the (acyclic) bad region.
 
     ``escape(s)`` = 0 for good states; for bad states it is

@@ -87,18 +87,17 @@ import multiprocessing.context
 import os
 import pickle
 from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
 
 from repro.core.policy import Policy
+from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
-    canonical,
-    iter_canonical_states,
-    iter_canonical_states_chunk,
-    iter_states,
     iter_states_chunk,
 )
+from repro.verify.hierarchical import HierarchySpec, build_checker
 from repro.verify.lemmas import (
     check_choice_irrelevance,
     check_filter_soundness,
@@ -121,6 +120,7 @@ from repro.verify.potential import (
     max_potential,
     min_observed_decrease,
 )
+from repro.verify.symmetry import SymmetryGroup, resolve_symmetry
 from repro.verify.transition import DEFAULT_MAX_ORDERS
 from repro.verify.work_conservation import (
     WorkConservationCertificate,
@@ -197,9 +197,13 @@ class ShardSpec:
         n_shards: total number of shards.
         choice_mode: forwarded to the model checker.
         max_orders: forwarded to the model checker.
-        symmetric: forwarded to the model checker; also selects the
-            canonical chunk iterator for the liveness sweeps.
+        symmetric: legacy flat-group flag; forwarded to the model
+            checker and, with ``symmetry``, selects the representative
+            chunk iterator for the liveness sweeps.
         sequential: §4.2 regime flag for exploration workers.
+        symmetry: explicit symmetry group quotienting the liveness
+            sweeps (overrides ``symmetric``).
+        topology: machine layout for node-aware snapshot views.
     """
 
     policy: Policy
@@ -210,6 +214,8 @@ class ShardSpec:
     max_orders: int = DEFAULT_MAX_ORDERS
     symmetric: bool = False
     sequential: bool = False
+    symmetry: SymmetryGroup | None = None
+    topology: NumaTopology | None = None
 
 
 @dataclass
@@ -250,11 +256,10 @@ def _chunk(spec: ShardSpec) -> list[LoadState]:
 
 def _initial_chunk(spec: ShardSpec) -> list[LoadState]:
     """The shard's chunk of the model checker's initial-state sweep."""
-    if spec.symmetric:
-        return list(iter_canonical_states_chunk(
-            spec.scope, spec.shard, spec.n_shards
-        ))
-    return _chunk(spec)
+    group = resolve_symmetry(spec.symmetric, spec.symmetry)
+    return list(group.iter_representatives_chunk(
+        spec.scope, spec.shard, spec.n_shards
+    ))
 
 
 def sweep_shard_worker(spec: ShardSpec) -> SweepShardResult:
@@ -300,13 +305,17 @@ def liveness_shard_worker(spec: ShardSpec) -> LivenessShardResult:
 _WORKER_CHECKER: ModelChecker | None = None
 
 
-def _init_worker(policy: Policy, choice_mode: str, max_orders: int,
-                 symmetric: bool) -> None:
+def _init_worker(policy: Policy | None, choice_mode: str, max_orders: int,
+                 symmetric: bool,
+                 symmetry: SymmetryGroup | None = None,
+                 topology: NumaTopology | None = None,
+                 hierarchy: HierarchySpec | None = None) -> None:
     """Pool initializer: build this worker process's memoized checker."""
     global _WORKER_CHECKER
-    _WORKER_CHECKER = ModelChecker(
+    _WORKER_CHECKER = build_checker(
         policy, choice_mode=choice_mode, max_orders=max_orders,
-        symmetric=symmetric,
+        symmetric=symmetric, symmetry=symmetry, topology=topology,
+        hierarchy=hierarchy,
     )
 
 
@@ -314,9 +323,10 @@ def _worker_checker(spec: ShardSpec) -> ModelChecker:
     """The pool-installed checker, or a private one outside the pool."""
     if _WORKER_CHECKER is not None:
         return _WORKER_CHECKER
-    return ModelChecker(
+    return build_checker(
         spec.policy, choice_mode=spec.choice_mode,
         max_orders=spec.max_orders, symmetric=spec.symmetric,
+        symmetry=spec.symmetry, topology=spec.topology,
     )
 
 
@@ -356,19 +366,23 @@ def campaign_shard_worker(
 # ---------------------------------------------------------------------------
 
 
-def merge_proof_results(shards: list[ProofResult],
-                        descending_states: bool = False) -> ProofResult:
+def merge_proof_results(
+    shards: list[ProofResult],
+    order_key: "Callable[[tuple[int, ...]], tuple[int, ...]] | None" = None,
+) -> ProofResult:
     """Merge per-shard results of one obligation into the scope result.
 
     REFUTED dominates; among refuting shards the counterexample whose
-    state comes first in the serial iteration order wins (ascending
-    lexicographic for :func:`~repro.verify.enumeration.iter_states`,
-    descending for the canonical enumeration — ``descending_states``
-    selects which). Because shards partition the scope and each reports
-    the first counterexample of its own chunk, that winner is exactly the
+    state comes first in the serial iteration order wins. ``order_key``
+    is the symmetry group's
+    :meth:`~repro.verify.symmetry.SymmetryGroup.serial_order_key`
+    (``None`` means the plain ascending lexicographic order of
+    :func:`~repro.verify.enumeration.iter_states`, i.e. the trivial
+    group). Because shards partition the scope and each reports the
+    first counterexample of its own chunk, that winner is exactly the
     counterexample the serial sweep would have reported.
-    ``states_checked`` sums; ``elapsed_s`` is the max across shards (the
-    parallel wall-clock).
+    ``states_checked`` sums; ``elapsed_s`` is the max across shards
+    (the parallel wall-clock).
 
     Raises:
         ValueError: when ``shards`` is empty or mixes obligations.
@@ -384,7 +398,7 @@ def merge_proof_results(shards: list[ProofResult],
         def serial_order(result: ProofResult) -> tuple[int, ...]:
             assert result.counterexample is not None
             state = tuple(result.counterexample.state)
-            return tuple(-v for v in state) if descending_states else state
+            return state if order_key is None else order_key(state)
 
         winner = min(refuted, key=serial_order)
     return ProofResult(
@@ -462,21 +476,28 @@ def make_shard_specs(policy: Policy, scope: StateScope, n_shards: int,
                      choice_mode: str = "all",
                      max_orders: int = DEFAULT_MAX_ORDERS,
                      symmetric: bool = False,
-                     sequential: bool = False) -> list[ShardSpec]:
+                     sequential: bool = False,
+                     symmetry: SymmetryGroup | None = None,
+                     topology: NumaTopology | None = None,
+                     ) -> list[ShardSpec]:
     """One :class:`ShardSpec` per shard, covering ``scope`` exactly."""
     return [
         ShardSpec(
             policy=policy, scope=scope, shard=shard, n_shards=n_shards,
             choice_mode=choice_mode, max_orders=max_orders,
             symmetric=symmetric, sequential=sequential,
+            symmetry=symmetry, topology=topology,
         )
         for shard in range(n_shards)
     ]
 
 
-def bfs_closure(map_expand, n_shards: int, initial_states,
+def bfs_closure(map_expand: Callable, n_shards: int,
+                initial_states: Iterable[LoadState],
                 symmetric: bool,
-                sequential: bool = False) -> tuple[TransitionGraph, bool]:
+                sequential: bool = False,
+                symmetry: SymmetryGroup | None = None,
+                ) -> tuple[TransitionGraph, bool]:
     """Level-synchronous BFS over the reachable closure, engine-agnostic.
 
     The caller owns the ``seen`` set and the frontier; each level, the
@@ -493,10 +514,8 @@ def bfs_closure(map_expand, n_shards: int, initial_states,
     successor functions make the merged graph identical to a serial
     exploration.
     """
-    if symmetric:
-        frontier = sorted({canonical(s) for s in initial_states})
-    else:
-        frontier = sorted(set(initial_states))
+    group = resolve_symmetry(symmetric, symmetry)
+    frontier = sorted({group.canonicalize(s) for s in initial_states})
     seen = set(frontier)
     edges: TransitionGraph = {}
     truncated = False
@@ -523,15 +542,18 @@ def assemble_certificate(
     live_shards: list[LivenessShardResult],
     analysis: WorkConservationAnalysis,
     symmetric: bool = False,
+    symmetry: SymmetryGroup | None = None,
 ) -> WorkConservationCertificate:
     """Merge per-shard results into the full §4 certificate.
 
     The merge core both engines end on: sweep obligations merge with
     :func:`merge_proof_results`, the liveness obligations likewise (in
-    descending state order under symmetry, matching the canonical
-    enumeration), and the potential bound is derived from the shard-local
-    ``min_decrease``/``max_potential`` extrema — no second global sweep.
+    the symmetry group's representative-enumeration order, so the merged
+    counterexample is the serial sweep's), and the potential bound is
+    derived from the shard-local ``min_decrease``/``max_potential``
+    extrema — no second global sweep.
     """
+    group = resolve_symmetry(symmetric, symmetry)
     report = ProofReport(policy_name=policy.name)
     for key in SWEEP_OBLIGATION_KEYS:
         report.add(merge_proof_results(
@@ -539,11 +561,11 @@ def assemble_certificate(
         ))
     report.add(merge_proof_results(
         [shard.progress for shard in live_shards],
-        descending_states=symmetric,
+        order_key=group.serial_order_key,
     ))
     report.add(merge_proof_results(
         [shard.closure for shard in live_shards],
-        descending_states=symmetric,
+        order_key=group.serial_order_key,
     ))
     report.add(analysis.to_proof_result())
 
@@ -602,20 +624,24 @@ def make_campaign_tasks(
 
 
 def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
-                 sequential: bool) -> tuple[TransitionGraph, bool]:
+                 sequential: bool,
+                 symmetry: SymmetryGroup | None = None,
+                 ) -> tuple[TransitionGraph, bool]:
     """Pool-backed :func:`bfs_closure`: chunks map onto worker processes."""
     def map_expand(chunks, seq):
         return pool.map(expand_states_worker,
                         [(chunk, seq) for chunk in chunks])
 
     return bfs_closure(map_expand, jobs, initial_states, symmetric,
-                       sequential=sequential)
+                       sequential=sequential, symmetry=symmetry)
 
 
 def prove_work_conserving_parallel(
     policy: Policy, scope: StateScope, jobs: int | None = None,
     choice_mode: str = "all", max_orders: int = DEFAULT_MAX_ORDERS,
     symmetric: bool = False,
+    symmetry: SymmetryGroup | None = None,
+    topology: NumaTopology | None = None,
 ) -> WorkConservationCertificate:
     """The full §4 pipeline of :func:`prove_work_conserving`, sharded.
 
@@ -632,62 +658,75 @@ def prove_work_conserving_parallel(
         return prove_work_conserving(
             policy, scope, choice_mode=choice_mode,
             max_orders=max_orders, symmetric=symmetric,
+            symmetry=symmetry, topology=topology,
         )
 
+    group = resolve_symmetry(symmetric, symmetry)
     specs = make_shard_specs(policy, scope, jobs, choice_mode, max_orders,
-                             symmetric)
+                             symmetric, symmetry=symmetry,
+                             topology=topology)
     ctx = _pool_context()
     checker = ModelChecker(
         policy, choice_mode=choice_mode, max_orders=max_orders,
-        symmetric=symmetric,
+        symmetric=symmetric, symmetry=symmetry, topology=topology,
     )
     with ctx.Pool(
         processes=jobs, initializer=_init_worker,
-        initargs=(policy, choice_mode, max_orders, symmetric),
+        initargs=(policy, choice_mode, max_orders, symmetric, symmetry,
+                  topology),
     ) as pool:
         sweep_shards = pool.map(sweep_shard_worker, specs)
         live_shards = pool.map(liveness_shard_worker, specs)
         with timed_check() as timer:
-            initial = iter_canonical_states(scope) if symmetric \
-                else iter_states(scope)
+            initial = group.iter_representatives(scope)
             edges, truncated = _explore_bfs(
-                pool, jobs, initial, symmetric, sequential=False
+                pool, jobs, initial, symmetric, sequential=False,
+                symmetry=symmetry,
             )
             analysis = checker.analyze_graph(scope, edges, truncated)
     analysis.elapsed_s = timer.elapsed
 
     return assemble_certificate(policy, sweep_shards, live_shards, analysis,
-                                symmetric=symmetric)
+                                symmetric=symmetric, symmetry=symmetry)
 
 
-def analyze_parallel(policy: Policy, scope: StateScope,
+def analyze_parallel(policy: Policy | None, scope: StateScope,
                      jobs: int | None = None, choice_mode: str = "all",
                      max_orders: int = DEFAULT_MAX_ORDERS,
                      symmetric: bool = False, sequential: bool = False,
+                     symmetry: SymmetryGroup | None = None,
+                     topology: NumaTopology | None = None,
+                     hierarchy: HierarchySpec | None = None,
                      ) -> WorkConservationAnalysis:
     """Sharded :meth:`~repro.verify.model_checker.ModelChecker.analyze`.
 
     Workers explore disjoint chunks of the initial states; the parent
     unions the transition graphs and runs the (cheap, deterministic)
-    lasso/worst-case algorithms once — the ``hunt`` CLI path.
+    lasso/worst-case algorithms once — the ``hunt`` CLI path. Passing a
+    :class:`~repro.verify.hierarchical.HierarchySpec` model-checks the
+    two-level hierarchical round instead of the flat one (``policy`` is
+    then ignored).
     """
     jobs = resolve_jobs(jobs)
-    checker = ModelChecker(
+    checker = build_checker(
         policy, choice_mode=choice_mode, max_orders=max_orders,
-        symmetric=symmetric,
+        symmetric=symmetric, symmetry=symmetry, topology=topology,
+        hierarchy=hierarchy,
     )
     if jobs <= 1:
         return checker.analyze(scope, sequential=sequential)
+    group = resolve_symmetry(symmetric, symmetry)
     ctx = _pool_context()
     with timed_check() as timer:
         with ctx.Pool(
             processes=jobs, initializer=_init_worker,
-            initargs=(policy, choice_mode, max_orders, symmetric),
+            initargs=(policy, choice_mode, max_orders, symmetric, symmetry,
+                      topology, hierarchy),
         ) as pool:
-            initial = iter_canonical_states(scope) if symmetric \
-                else iter_states(scope)
+            initial = group.iter_representatives(scope)
             edges, truncated = _explore_bfs(
-                pool, jobs, initial, symmetric, sequential=sequential
+                pool, jobs, initial, symmetric, sequential=sequential,
+                symmetry=symmetry,
             )
         analysis = checker.analyze_graph(
             scope, edges, truncated, sequential=sequential

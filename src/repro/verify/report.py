@@ -91,7 +91,9 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
                choice_mode: str = "all",
                max_orders: int = 720,
                jobs: int | None = None,
-               coordinator=None) -> ZooReport:
+               coordinator=None,
+               symmetry=None,
+               topology=None) -> ZooReport:
     """Run the full pipeline for every policy and assemble the matrix.
 
     Args:
@@ -105,6 +107,9 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
         coordinator: a :class:`~repro.verify.distributed.Coordinator`;
             when given, every proof is sharded across its workers instead
             of a local pool — again with a byte-identical matrix.
+        symmetry: a :class:`~repro.verify.symmetry.SymmetryGroup`
+            quotienting every proof's liveness sweeps and closure.
+        topology: machine layout for node-aware snapshot views.
     """
     if coordinator is not None:
         from repro.verify.distributed import (
@@ -114,7 +119,8 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
         certificates = [
             prove_work_conserving_distributed(
                 policy, scope, coordinator, choice_mode=choice_mode,
-                max_orders=max_orders,
+                max_orders=max_orders, symmetry=symmetry,
+                topology=topology,
             )
             for policy in policies
         ]
@@ -122,11 +128,31 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
         certificates = [
             prove_work_conserving_parallel(
                 policy, scope, jobs=jobs, choice_mode=choice_mode,
-                max_orders=max_orders,
+                max_orders=max_orders, symmetry=symmetry,
+                topology=topology,
             )
             for policy in policies
         ]
     return ZooReport(scope=scope.describe(), certificates=certificates)
+
+
+def topology_zoo(topology) -> list[Policy]:
+    """The :func:`default_zoo` lineup plus the topology-aware choices.
+
+    Used by ``zoo --topology``: the NUMA- and cache-aware choice
+    policies join the matrix, verified under the same obligations as
+    every flat policy — the paper's claim that placement heuristics in
+    the choice step cost the proofs nothing, made checkable.
+    """
+    from repro.policies.numa_aware import (
+        LeastMigrationsChoicePolicy,
+        NumaAwareChoicePolicy,
+    )
+
+    return default_zoo() + [
+        NumaAwareChoicePolicy(topology),
+        LeastMigrationsChoicePolicy(topology),
+    ]
 
 
 def default_zoo() -> list[Policy]:

@@ -87,13 +87,19 @@ class _LiveState:
     tasks gained during the round stay queued until the next dispatch.
     """
 
-    __slots__ = ("running", "ready")
+    __slots__ = ("running", "ready", "nodes")
 
-    def __init__(self, state: Sequence[int]) -> None:
+    def __init__(self, state: Sequence[int],
+                 nodes: Sequence[int] | None = None) -> None:
         self.running = [1 if load > 0 else 0 for load in state]
         self.ready = [max(0, load - 1) for load in state]
+        self.nodes = nodes
 
-    def view(self, cid: int, node: int = 0) -> CoreSnapshot:
+    def views(self) -> list[CoreSnapshot]:
+        """Snapshot views of every core, carrying their node ids."""
+        return [self.view(cid) for cid in range(len(self.running))]
+
+    def view(self, cid: int) -> CoreSnapshot:
         from repro.core.task import NICE_0_WEIGHT
 
         return CoreSnapshot(
@@ -101,7 +107,7 @@ class _LiveState:
             nr_ready=self.ready[cid],
             has_current=self.running[cid] == 1,
             weighted_load=(self.running[cid] + self.ready[cid]) * NICE_0_WEIGHT,
-            node=node,
+            node=self.nodes[cid] if self.nodes is not None else 0,
             version=0,
         )
 
@@ -113,6 +119,7 @@ class _LiveState:
 
 def round_intents(policy: Policy, state: Sequence[int],
                   choice_mode: str = "all",
+                  nodes: Sequence[int] | None = None,
                   ) -> list[tuple[int, tuple[int, ...]]]:
     """Selection phase: per-thief victim possibilities.
 
@@ -121,13 +128,15 @@ def round_intents(policy: Policy, state: Sequence[int],
         state: round-start abstract state.
         choice_mode: ``'all'`` branches over every filtered candidate;
             ``'policy'`` asks the policy's own ``choose``.
+        nodes: optional per-core NUMA node ids carried into the
+            snapshot views (topology-aware policies may consult them).
 
     Returns:
         ``[(thief, victims)]`` for thieves with non-empty candidate sets,
         in thief order. ``victims`` is every branchable choice.
     """
-    live = _LiveState(state)
-    views = [live.view(cid) for cid in range(len(state))]
+    live = _LiveState(state, nodes=nodes)
+    views = live.views()
     intents: list[tuple[int, tuple[int, ...]]] = []
     for thief_view in views:
         candidates = [
@@ -146,9 +155,10 @@ def round_intents(policy: Policy, state: Sequence[int],
 
 def _execute_serialized(policy: Policy, state: Sequence[int],
                         assignment: Sequence[tuple[int, int]],
-                        order: Sequence[int]) -> RoundBranch:
+                        order: Sequence[int],
+                        nodes: Sequence[int] | None = None) -> RoundBranch:
     """Execute one branch: fixed victim assignment, fixed steal order."""
-    live = _LiveState(state)
+    live = _LiveState(state, nodes=nodes)
     victim_of = dict(assignment)
     attempts: list[AbstractAttempt] = []
     for thief in order:
@@ -175,7 +185,9 @@ def _execute_serialized(policy: Policy, state: Sequence[int],
 
 def _execute_sequential(policy: Policy, state: Sequence[int],
                         order: Sequence[int],
-                        choice_mode: str) -> Iterator[RoundBranch]:
+                        choice_mode: str,
+                        nodes: Sequence[int] | None = None,
+                        ) -> Iterator[RoundBranch]:
     """§4.2 regime: each core re-selects on fresh state, in ``order``.
 
     Still branches over choices when ``choice_mode='all'`` — the §4.2
@@ -190,7 +202,7 @@ def _execute_sequential(policy: Policy, state: Sequence[int],
             )
             return
         thief = order[position]
-        views = [live.view(cid) for cid in range(len(state))]
+        views = live.views()
         thief_view = views[thief]
         candidates = [
             v for v in views
@@ -204,7 +216,7 @@ def _execute_sequential(policy: Policy, state: Sequence[int],
         else:
             victims = [policy.choose(thief_view, candidates).cid]
         for victim in victims:
-            branch_live = _LiveState(live.loads())
+            branch_live = _LiveState(live.loads(), nodes=nodes)
             branch_live.running = list(live.running)
             branch_live.ready = list(live.ready)
             victim_view = branch_live.view(victim)
@@ -220,7 +232,7 @@ def _execute_sequential(policy: Policy, state: Sequence[int],
                 attempt = AbstractAttempt(thief, victim, False, 0)
             yield from step(branch_live, position + 1, attempts + (attempt,))
 
-    yield from step(_LiveState(state), 0, ())
+    yield from step(_LiveState(state, nodes=nodes), 0, ())
 
 
 @dataclass
@@ -245,6 +257,7 @@ def enumerate_round_branches(policy: Policy, state: Sequence[int],
                              choice_mode: str = "all",
                              sequential: bool = False,
                              max_orders: int = DEFAULT_MAX_ORDERS,
+                             nodes: Sequence[int] | None = None,
                              ) -> BranchEnumeration:
     """Enumerate every resolution of a round's nondeterminism.
 
@@ -255,6 +268,9 @@ def enumerate_round_branches(policy: Policy, state: Sequence[int],
         sequential: use the §4.2 fresh-snapshot regime instead of the
             §4.3 stale-snapshot regime.
         max_orders: cap on steal-order permutations per assignment.
+        nodes: optional per-core NUMA node ids for the snapshot views,
+            so topology-aware policies see the machine's real layout
+            instead of a flat node-0 machine.
 
     Returns:
         A :class:`BranchEnumeration`; when no core has candidates, the
@@ -270,11 +286,12 @@ def enumerate_round_branches(policy: Policy, state: Sequence[int],
                 truncated = True
                 break
             branches.extend(
-                _execute_sequential(policy, state, order, choice_mode)
+                _execute_sequential(policy, state, order, choice_mode,
+                                    nodes=nodes)
             )
         return BranchEnumeration(branches=branches, truncated=truncated)
 
-    intents = round_intents(policy, state, choice_mode)
+    intents = round_intents(policy, state, choice_mode, nodes=nodes)
     if not intents:
         return BranchEnumeration(
             branches=[RoundBranch(state=tuple(state), attempts=(), order=())]
@@ -288,7 +305,8 @@ def enumerate_round_branches(policy: Policy, state: Sequence[int],
                 truncated = True
                 break
             branches.append(
-                _execute_serialized(policy, state, assignment, order)
+                _execute_serialized(policy, state, assignment, order,
+                                    nodes=nodes)
             )
     return BranchEnumeration(branches=branches, truncated=truncated)
 
@@ -296,9 +314,10 @@ def enumerate_round_branches(policy: Policy, state: Sequence[int],
 def successors(policy: Policy, state: Sequence[int],
                choice_mode: str = "all",
                sequential: bool = False,
-               max_orders: int = DEFAULT_MAX_ORDERS) -> set[LoadState]:
+               max_orders: int = DEFAULT_MAX_ORDERS,
+               nodes: Sequence[int] | None = None) -> set[LoadState]:
     """Distinct end-of-round states reachable from ``state`` in one round."""
     return enumerate_round_branches(
         policy, state, choice_mode=choice_mode,
-        sequential=sequential, max_orders=max_orders,
+        sequential=sequential, max_orders=max_orders, nodes=nodes,
     ).successor_states()

@@ -56,13 +56,18 @@ from typing import Any
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
+from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig
 from repro.verify.enumeration import LoadState
+from repro.verify.hierarchical import HierarchySpec
 from repro.verify.parallel import PolicyReplicator, ShardSpec
+from repro.verify.symmetry import SymmetryGroup
 from repro.verify.transition import DEFAULT_MAX_ORDERS
 
 #: Protocol version; bump on any incompatible envelope or payload change.
-WIRE_VERSION = 1
+#: v2: ShardSpec/CheckerConfig grew symmetry-group, topology, and
+#: hierarchy fields (the topology-aware symmetry engine).
+WIRE_VERSION = 2
 
 #: Format byte for pickle-encoded envelopes (arbitrary Python payloads).
 FORMAT_PICKLE = b"P"
@@ -130,16 +135,25 @@ class CheckerConfig:
     sends them.
 
     Attributes:
-        policy: the policy under verification.
+        policy: the policy under verification (``None`` for hierarchical
+            checking, where ``hierarchy`` defines the round).
         choice_mode: forwarded to the model checker.
         max_orders: forwarded to the model checker.
-        symmetric: forwarded to the model checker.
+        symmetric: legacy flat-group flag, forwarded to the checker.
+        symmetry: explicit symmetry group (overrides ``symmetric``).
+        topology: machine layout for node-aware snapshot views.
+        hierarchy: when given, workers build a
+            :class:`~repro.verify.hierarchical.HierarchicalModelChecker`
+            instead of the flat checker.
     """
 
-    policy: Policy
+    policy: Policy | None
     choice_mode: str = "all"
     max_orders: int = DEFAULT_MAX_ORDERS
     symmetric: bool = False
+    symmetry: SymmetryGroup | None = None
+    topology: NumaTopology | None = None
+    hierarchy: HierarchySpec | None = None
 
     def cache_key(self) -> bytes:
         """Stable-enough key for the worker's per-config checker cache.

@@ -29,7 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.policy import Policy
+from repro.topology.numa import NumaTopology
 from repro.verify.enumeration import StateScope
+from repro.verify.symmetry import SymmetryGroup
 from repro.verify.lemmas import (
     check_choice_irrelevance,
     check_filter_soundness,
@@ -103,6 +105,8 @@ def prove_work_conserving(policy: Policy, scope: StateScope,
                           choice_mode: str = "all",
                           max_orders: int = 720,
                           symmetric: bool = False,
+                          symmetry: SymmetryGroup | None = None,
+                          topology: NumaTopology | None = None,
                           ) -> WorkConservationCertificate:
     """Run the full §4 pipeline for ``policy`` at ``scope``.
 
@@ -112,8 +116,12 @@ def prove_work_conserving(policy: Policy, scope: StateScope,
         choice_mode: ``'all'`` (default) quantifies over every candidate
             choice; ``'policy'`` fixes the policy's deterministic choice.
         max_orders: cap on racing-steal permutations per round.
-        symmetric: exploit core-renaming symmetry (sound for load-only
-            policies).
+        symmetric: exploit full core-renaming symmetry (sound for
+            load-only policies) — legacy flag for the flat group.
+        symmetry: explicit :class:`~repro.verify.symmetry.SymmetryGroup`
+            to quotient the liveness sweeps and closure exploration by
+            (overrides ``symmetric``).
+        topology: machine layout for node-aware snapshot views.
 
     Returns:
         The assembled :class:`WorkConservationCertificate`.
@@ -127,7 +135,7 @@ def prove_work_conserving(policy: Policy, scope: StateScope,
 
     checker = ModelChecker(
         policy, choice_mode=choice_mode, max_orders=max_orders,
-        symmetric=symmetric,
+        symmetric=symmetric, symmetry=symmetry, topology=topology,
     )
     report.add(checker.check_progress(scope))
     report.add(checker.check_good_state_closure(scope))

@@ -215,3 +215,111 @@ class TestModuleInvocation:
         )
         assert result.returncode == 0
         assert "balance_count" in result.stdout
+
+
+class TestTopology:
+    def test_verify_numa_choice_with_topology(self):
+        code, out = run_cli("verify", "numa_choice",
+                            "--topology", "numa:2x2", "--max-load", "2")
+        assert code == 0
+        assert "WORK-CONSERVING" in out
+
+    def test_hunt_hierarchical_with_topology(self):
+        code, out = run_cli("hunt", "hierarchical",
+                            "--topology", "numa:2x2", "--max-load", "3")
+        assert code == 0
+        assert "no violation" in out
+        # Quotiented: 55 orbits instead of the raw 4**4 = 256 states.
+        assert "over 55 states" in out
+
+    def test_hunt_topology_quotient_shrinks_state_space(self):
+        flat_code, flat_out = run_cli("hunt", "balance_count",
+                                      "--cores", "4", "--max-load", "2")
+        numa_code, numa_out = run_cli("hunt", "balance_count",
+                                      "--topology", "numa:2x2",
+                                      "--max-load", "2")
+        assert flat_code == numa_code == 0
+        flat_states = int(flat_out.split("over ")[1].split()[0])
+        numa_states = int(numa_out.split("over ")[1].split()[0])
+        assert numa_states < flat_states
+
+    def test_topology_policy_without_topology_errors(self):
+        with pytest.raises(SystemExit, match="--topology"):
+            main(["verify", "numa_choice"])
+
+    def test_verify_hierarchical_redirects_to_hunt(self):
+        with pytest.raises(SystemExit, match="hunt hierarchical"):
+            main(["verify", "hierarchical"])
+
+    def test_symmetric_conflicts_with_topology(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["verify", "balance_count", "--symmetric",
+                  "--topology", "numa:2x2"])
+
+    def test_malformed_topology_rejected(self):
+        with pytest.raises(SystemExit, match="bad --topology"):
+            main(["verify", "balance_count", "--topology", "numa:2"])
+
+    def test_mesh_topology_accepted(self):
+        code, out = run_cli("hunt", "balance_count",
+                            "--topology", "mesh:2x1", "--max-load", "2")
+        assert code == 0
+        assert "no violation" in out
+
+    def test_campaign_with_topology_caps_machines(self):
+        code, out = run_cli("campaign", "numa_choice",
+                            "--topology", "numa:2x2",
+                            "--machines", "5", "--rounds", "5")
+        assert code == 0
+        assert "no violation found" in out
+
+    def test_campaign_explicit_oversized_max_cores_conflicts(self):
+        with pytest.raises(SystemExit, match="--max-cores 12 conflicts"):
+            main(["campaign", "numa_choice", "--topology", "numa:2x2",
+                  "--machines", "5", "--max-cores", "12"])
+
+    def test_intra_group_policy_forwards_choice_invariance(self):
+        from repro.core.errors import VerificationError
+        from repro.policies.numa_aware import NumaAwareChoicePolicy
+        from repro.topology.numa import symmetric_numa
+        from repro.verify import IntraGroupPolicy, ModelChecker
+        from repro.verify.symmetry import NumaSymmetryGroup
+
+        topo = symmetric_numa(2, 2)
+        wrapped = IntraGroupPolicy(NumaAwareChoicePolicy(topo),
+                                   (0, 0, 1, 1))
+        assert wrapped.choice_invariance == "distance"
+        with pytest.raises(VerificationError):
+            ModelChecker(wrapped, choice_mode="policy",
+                         symmetry=NumaSymmetryGroup(topo))
+
+    def test_zoo_with_topology_includes_numa_policies(self):
+        code, out = run_cli("zoo", "--topology", "numa:2x2",
+                            "--max-load", "2")
+        assert code == 0
+        assert "numa_choice" in out
+        assert "cache_choice" in out
+
+    def test_explicit_cores_conflicts_with_topology(self):
+        with pytest.raises(SystemExit, match="--cores 8 conflicts"):
+            main(["verify", "balance_count", "--cores", "8",
+                  "--topology", "numa:2x2"])
+
+    def test_unsound_choice_mode_policy_combo_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="stateful"):
+            main(["verify", "random_steal", "--topology", "numa:2x2",
+                  "--choice-mode", "policy"])
+
+    def test_no_symmetry_reaches_policy_mode_for_topology_policies(self):
+        code, out = run_cli("verify", "numa_choice",
+                            "--topology", "numa:2x2", "--max-load", "2",
+                            "--choice-mode", "policy", "--no-symmetry")
+        assert code == 0
+        assert "WORK-CONSERVING" in out
+
+    def test_no_symmetry_disables_the_quotient(self):
+        code, out = run_cli("hunt", "hierarchical",
+                            "--topology", "numa:2x2", "--max-load", "3",
+                            "--no-symmetry")
+        assert code == 0
+        assert "over 256 states" in out

@@ -425,3 +425,40 @@ class TestHandshakeRejection:
         finally:
             server.shutdown()
             thread.join(timeout=5)
+
+
+class TestTopologySymmetryDistributed:
+    def test_numa_group_certificate_matches_serial(self):
+        from repro.policies.numa_aware import NumaAwareChoicePolicy
+        from repro.topology.numa import symmetric_numa
+        from repro.verify.symmetry import NumaSymmetryGroup
+
+        topo = symmetric_numa(2, 2)
+        group = NumaSymmetryGroup(topo)
+        scope = StateScope(n_cores=4, max_load=3)
+        serial = prove_work_conserving(
+            NumaAwareChoicePolicy(topo), scope, symmetry=group,
+            topology=topo,
+        )
+        distributed = prove_work_conserving_distributed(
+            NumaAwareChoicePolicy(topo), scope, in_process_coordinator(2),
+            symmetry=group, topology=topo,
+        )
+        assert_certificates_equal(distributed, serial)
+
+    def test_hierarchical_hunt_matches_pool_engine(self):
+        from repro.topology.numa import symmetric_numa
+        from repro.verify.hierarchical import HierarchySpec
+        from repro.verify.parallel import analyze_parallel
+
+        spec = HierarchySpec(topology=symmetric_numa(2, 2))
+        scope = StateScope(n_cores=4, max_load=3)
+        pooled = analyze_parallel(None, scope, jobs=2, hierarchy=spec,
+                                  symmetry=spec.symmetry_group())
+        distributed = analyze_distributed(
+            None, scope, in_process_coordinator(2), hierarchy=spec,
+            symmetry=spec.symmetry_group(),
+        )
+        assert not distributed.violated
+        assert distributed.worst_case_rounds == pooled.worst_case_rounds
+        assert distributed.states_explored == pooled.states_explored

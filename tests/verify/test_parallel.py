@@ -76,9 +76,11 @@ class TestMergeProofResults:
         assert merged.counterexample.state == (0, 2, 2)
 
     def test_descending_order_for_canonical_sweeps(self):
+        from repro.verify.symmetry import FlatSymmetryGroup
+
         merged = merge_proof_results(
             [_result(state=(1, 0)), _result(state=(2, 0))],
-            descending_states=True,
+            order_key=FlatSymmetryGroup().serial_order_key,
         )
         assert merged.counterexample.state == (2, 0)
 
@@ -248,3 +250,55 @@ class TestCampaignParallel:
             lambda: BalanceCountPolicy(margin=2), self.CONFIG, jobs=2
         )
         assert report.machines == self.CONFIG.n_machines
+
+
+class TestTopologySymmetryParallel:
+    """Engine equivalence under a NUMA symmetry group and topology."""
+
+    def _setup(self):
+        from repro.policies.numa_aware import NumaAwareChoicePolicy
+        from repro.topology.numa import symmetric_numa
+        from repro.verify.symmetry import NumaSymmetryGroup
+
+        topo = symmetric_numa(2, 2)
+        return topo, NumaSymmetryGroup(topo), NumaAwareChoicePolicy(topo)
+
+    def test_numa_group_certificate_matches_serial(self):
+        topo, group, policy = self._setup()
+        scope = StateScope(n_cores=4, max_load=3)
+        serial = prove_work_conserving(policy, scope, symmetry=group,
+                                       topology=topo)
+        parallel = prove_work_conserving_parallel(
+            policy, scope, jobs=2, symmetry=group, topology=topo
+        )
+        assert parallel.render() == serial.render()
+        assert parallel.proved
+
+    def test_hierarchical_analyze_matches_serial(self):
+        from repro.topology.numa import symmetric_numa
+        from repro.verify.hierarchical import HierarchySpec
+
+        spec = HierarchySpec(topology=symmetric_numa(2, 2))
+        scope = StateScope(n_cores=4, max_load=3)
+        serial = analyze_parallel(None, scope, jobs=1, hierarchy=spec,
+                                  symmetry=spec.symmetry_group())
+        parallel = analyze_parallel(None, scope, jobs=2, hierarchy=spec,
+                                    symmetry=spec.symmetry_group())
+        assert not serial.violated and not parallel.violated
+        assert parallel.worst_case_rounds == serial.worst_case_rounds
+        assert parallel.states_explored == serial.states_explored
+
+    def test_merge_order_key_for_numa_groups(self):
+        from repro.topology.numa import symmetric_numa
+        from repro.verify.symmetry import NumaSymmetryGroup
+
+        # The NUMA group's serial order is descending per node block:
+        # (2, 0, 0, 0) (load on node 0) precedes (0, 0, 2, 0) only
+        # after canonicalisation maps both to the same representative —
+        # use states in distinct orbits to pin the ordering.
+        group = NumaSymmetryGroup(symmetric_numa(2, 2))
+        merged = merge_proof_results(
+            [_result(state=(1, 1, 0, 0)), _result(state=(2, 0, 0, 0))],
+            order_key=group.serial_order_key,
+        )
+        assert merged.counterexample.state == (2, 0, 0, 0)
