@@ -1,0 +1,144 @@
+"""repro.api — the typed, engine-agnostic verification API.
+
+This package is the stable public surface of the verification stack.
+Everything the CLI can do — proofs, counterexample hunts, zoo matrices,
+fuzzing campaigns, on any engine — is expressible as data and driven
+through three nouns:
+
+* **Request** (:mod:`repro.api.request`): a frozen, validated
+  :class:`VerificationRequest` built from primitives (policy name,
+  scope, topology spec, engine spec), with a fluent builder.
+* **Session** (:mod:`repro.api.session`): runs requests on the engine
+  they name, emits structured :class:`ProgressEvent` values (levels
+  completed, shards reassigned, violations found) to subscribers.
+* **Result** (:mod:`repro.api.result`): a typed
+  :class:`VerificationResult` — verdict, certificate/analysis payload,
+  stats, timings — rendering byte-identically to the legacy CLI and
+  round-tripping losslessly through JSON (:mod:`repro.api.report`).
+
+Engines are adapters behind one protocol (:mod:`repro.api.engine`):
+``SerialEngine``, ``PoolEngine`` (``--jobs``), ``DistributedEngine``
+(``--distributed``/``--workers``) — callers never import
+:mod:`repro.verify.parallel` or :mod:`repro.verify.distributed`
+directly, and a future backend is one new ``Engine`` implementation.
+
+Declarative spec files (:mod:`repro.api.spec`, ``examples/specs/``)
+describe whole campaigns as reviewable JSON; the CLI's ``run-spec``
+command and :func:`run_spec` execute them.
+
+Quickstart::
+
+    from repro.api import Session, VerificationRequest
+
+    request = (VerificationRequest.builder("prove")
+               .policy("balance_count", margin=2)
+               .scope(cores=3, max_load=3)
+               .pool(jobs=4)
+               .build())
+    result = Session().run(request)
+    assert result.ok
+    print(result.render())          # the CLI's certificate, verbatim
+    blob = result.to_json()         # lossless; see repro.api.report
+"""
+
+from repro.api.engine import (
+    DistributedEngine,
+    Engine,
+    EngineError,
+    PoolEngine,
+    SerialEngine,
+    create_engine,
+)
+from repro.api.report import (
+    dumps_result,
+    loads_result,
+    request_from_dict,
+    request_to_dict,
+    result_from_dict,
+    result_to_dict,
+    strip_result_timings,
+)
+from repro.api.request import (
+    CampaignLimits,
+    EngineSpec,
+    PolicySpec,
+    RequestBuilder,
+    RequestError,
+    VerificationRequest,
+    build_policy,
+    parse_topology,
+    policy_names,
+    with_engine,
+)
+from repro.api.result import ResultStats, Verdict, VerificationResult
+from repro.api.session import (
+    LevelCompleted,
+    MachineChecked,
+    PolicyFinished,
+    PolicyStarted,
+    ProgressEvent,
+    RequestFailed,
+    RequestFinished,
+    RequestStarted,
+    Session,
+    ShardReassigned,
+    StatesExplored,
+    ViolationFound,
+    run_request,
+)
+from repro.api.spec import (
+    SpecError,
+    SpecFile,
+    SpecRun,
+    load_spec,
+    parse_spec,
+    run_spec,
+)
+
+__all__ = [
+    "CampaignLimits",
+    "DistributedEngine",
+    "Engine",
+    "EngineError",
+    "EngineSpec",
+    "LevelCompleted",
+    "MachineChecked",
+    "PolicyFinished",
+    "PolicySpec",
+    "PolicyStarted",
+    "PoolEngine",
+    "ProgressEvent",
+    "RequestBuilder",
+    "RequestError",
+    "RequestFailed",
+    "RequestFinished",
+    "RequestStarted",
+    "ResultStats",
+    "SerialEngine",
+    "Session",
+    "ShardReassigned",
+    "SpecError",
+    "SpecFile",
+    "SpecRun",
+    "StatesExplored",
+    "Verdict",
+    "VerificationRequest",
+    "VerificationResult",
+    "ViolationFound",
+    "build_policy",
+    "create_engine",
+    "dumps_result",
+    "load_spec",
+    "loads_result",
+    "parse_spec",
+    "parse_topology",
+    "policy_names",
+    "request_from_dict",
+    "request_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "run_request",
+    "run_spec",
+    "strip_result_timings",
+    "with_engine",
+]

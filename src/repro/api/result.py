@@ -1,0 +1,184 @@
+"""Typed verification results: what a session hands back.
+
+A :class:`VerificationResult` pairs the request that ran with the
+verdict, the kind-specific payload (certificate, analysis, zoo matrix,
+or campaign report — exactly one is set), summary statistics, and
+wall-clock timings. It renders byte-identically to what the legacy CLI
+printed for the same run (:meth:`VerificationResult.render` — CI diffs
+this against the pre-API output), and round-trips losslessly through
+JSON via :mod:`repro.api.report`.
+
+Timings are the one engine-dependent part of a result; everything else
+is a pure function of the request. :meth:`VerificationResult.normalized`
+zeroes every timing so results from different engines can be compared
+for exact equality — the engine-equivalence tests and the CI spec-diff
+both compare normalized results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.verify.campaign import CampaignReport
+from repro.verify.model_checker import WorkConservationAnalysis
+from repro.verify.report import ZooReport
+from repro.verify.work_conservation import WorkConservationCertificate
+
+from repro.api.request import VerificationRequest
+
+
+class Verdict(Enum):
+    """What a completed run established.
+
+    ``PROVED``/``REFUTED`` carry proof weight (the pipeline's
+    obligations all held / one was refuted); ``CLEAN``/``VIOLATED`` are
+    the model-check-only and fuzzing outcomes, which never claim a
+    proof.
+    """
+
+    PROVED = "proved"
+    REFUTED = "refuted"
+    CLEAN = "clean"
+    VIOLATED = "violated"
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing wrong."""
+        return self in (Verdict.PROVED, Verdict.CLEAN)
+
+
+@dataclass(frozen=True)
+class ResultStats:
+    """Summary counters of one run (``None`` = not applicable to the
+    kind).
+
+    Attributes:
+        states_explored: distinct abstract states the model checker
+            visited (``prove``/``hunt``).
+        bad_states: bad states among them.
+        policies: zoo lineup size.
+        policies_proved: fully proved zoo policies.
+        machines: campaign machines fuzzed.
+        rounds: campaign adversarial rounds.
+        steals: campaign successful steals.
+        failures: campaign optimistic failures.
+        violations: counterexamples found (refuted obligations, lasso,
+            or campaign violations).
+    """
+
+    states_explored: int | None = None
+    bad_states: int | None = None
+    policies: int | None = None
+    policies_proved: int | None = None
+    machines: int | None = None
+    rounds: int | None = None
+    steals: int | None = None
+    failures: int | None = None
+    violations: int = 0
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of running one :class:`VerificationRequest`.
+
+    Exactly one payload field is set, matching ``request.kind``:
+    ``certificate`` (prove), ``analysis`` (hunt), ``zoo`` (zoo), or
+    ``campaign`` (campaign).
+
+    Attributes:
+        request: the request that produced this result.
+        verdict: see :class:`Verdict`.
+        stats: summary counters.
+        timings: wall-clock seconds by phase (``"total_s"`` always
+            present). The only engine-dependent content of a result.
+        certificate: the full §4 certificate (prove).
+        analysis: the model checker's analysis (hunt).
+        zoo: the verdict matrix (zoo).
+        campaign: the fuzzing report (campaign).
+    """
+
+    request: VerificationRequest
+    verdict: Verdict
+    stats: ResultStats
+    timings: dict[str, float]
+    certificate: WorkConservationCertificate | None = None
+    analysis: WorkConservationAnalysis | None = None
+    zoo: ZooReport | None = None
+    campaign: CampaignReport | None = None
+
+    @property
+    def kind(self) -> str:
+        """The request kind this result answers."""
+        return self.request.kind
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing wrong."""
+        return self.verdict.ok
+
+    @property
+    def exit_code(self) -> int:
+        """The process exit code the CLI maps this result to.
+
+        ``prove`` and ``campaign`` gate shell scripts (2 on refutation /
+        violations); ``hunt`` and ``zoo`` are reporting commands and
+        always exit 0 — exactly the legacy behaviour.
+        """
+        if self.kind in ("prove", "campaign"):
+            return 0 if self.ok else 2
+        return 0
+
+    def render(self) -> str:
+        """The run's report, byte-identical to the legacy CLI output."""
+        if self.certificate is not None:
+            return self.certificate.render()
+        if self.analysis is not None:
+            analysis = self.analysis
+            if analysis.violated:
+                assert analysis.lasso is not None
+                return f"VIOLATION: {analysis.lasso.describe()}"
+            return (
+                "no violation; exact worst-case N ="
+                f" {analysis.worst_case_rounds}"
+                f" over {analysis.states_explored} states"
+            )
+        if self.zoo is not None:
+            return self.zoo.render()
+        assert self.campaign is not None
+        lines = [self.campaign.describe()]
+        lines.extend(
+            f"  {violation}"
+            for violation in self.campaign.violations[:10]
+        )
+        return "\n".join(lines)
+
+    def normalized(self) -> "VerificationResult":
+        """A copy with every timing zeroed.
+
+        Two runs of one request on different engines differ only in
+        wall-clock measurements (the determinism guarantee of
+        :mod:`repro.verify.parallel` / ``distributed``); their
+        normalized results compare equal, and the equivalence tests
+        assert exactly that.
+        """
+        from repro.api.report import strip_result_timings
+
+        return strip_result_timings(self)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise losslessly; see :func:`repro.api.report.dumps_result`."""
+        from repro.api.report import dumps_result
+
+        return dumps_result(self, indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "VerificationResult":
+        """Parse a result serialised by :meth:`to_json`."""
+        from repro.api.report import loads_result
+
+        return loads_result(text)
+
+    def with_timings(self, timings: dict[str, float]) -> "VerificationResult":
+        """A copy with replaced timings (results are frozen)."""
+        return replace(self, timings=dict(timings))

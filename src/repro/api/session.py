@@ -1,0 +1,412 @@
+"""Sessions: run a request on an engine, observe progress, get a result.
+
+A :class:`Session` is the one executor behind every entry point. It
+resolves a :class:`~repro.api.request.VerificationRequest` into runtime
+objects, acquires the requested engine, runs the request, and packages
+the outcome as a typed :class:`~repro.api.result.VerificationResult` —
+emitting structured :class:`ProgressEvent` values to subscribers along
+the way.
+
+Events are plain frozen dataclasses, not log lines: a caller can drive
+a progress bar off ``LevelCompleted``, alert on ``ShardReassigned``,
+or stream ``ViolationFound`` into an issue tracker. Guarantees:
+
+* Every run starts with ``RequestStarted`` and ends with exactly one
+  terminal event: ``RequestFinished`` (carrying the result) on success,
+  ``RequestFailed`` (carrying the error, which then propagates to the
+  caller) otherwise.
+* Events are observational only — unsubscribing cannot change a
+  verdict, and verdicts are byte-identical with zero subscribers.
+* Ordering is per-run; ``ShardReassigned`` may arrive from a
+  coordinator dispatch thread, so subscribers must be thread-safe when
+  running distributed requests.
+
+Usage::
+
+    from repro.api import Session, VerificationRequest
+
+    request = (VerificationRequest.builder("prove")
+               .policy("balance_count").pool(jobs=4).build())
+    session = Session(subscribers=[print])
+    result = session.run(request)
+    assert result.ok and result.certificate is not None
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.verify.campaign import CampaignReport
+from repro.verify.obligations import Counterexample
+from repro.verify.report import ZooReport, zoo_lineup
+from repro.verify.work_conservation import WorkConservationCertificate
+
+from repro.api.engine import DistributedEngine, Engine, create_engine
+from repro.api.request import RequestError, VerificationRequest
+from repro.api.result import ResultStats, Verdict, VerificationResult
+
+#: How many serial-engine expansions between ``StatesExplored`` events.
+DEFAULT_EXPAND_STRIDE = 1000
+
+
+# ---------------------------------------------------------------------------
+# progress events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Base class of everything a session emits."""
+
+
+@dataclass(frozen=True)
+class RequestStarted(ProgressEvent):
+    """A run began; ``engine`` is the engine's one-line description."""
+
+    request: VerificationRequest
+    engine: str
+
+
+@dataclass(frozen=True)
+class PolicyStarted(ProgressEvent):
+    """A zoo run reached policy ``index`` of ``total``."""
+
+    policy: str
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class PolicyFinished(ProgressEvent):
+    """A zoo run finished one policy's full pipeline."""
+
+    policy: str
+    index: int
+    total: int
+    proved: bool
+
+
+@dataclass(frozen=True)
+class LevelCompleted(ProgressEvent):
+    """The closure exploration finished one BFS level (pool and
+    distributed engines; the serial closure is depth-first and reports
+    :class:`StatesExplored` instead)."""
+
+    level: int
+    states_expanded: int
+    frontier: int
+
+
+@dataclass(frozen=True)
+class StatesExplored(ProgressEvent):
+    """Serial exploration progress, throttled to the session's stride."""
+
+    states: int
+
+
+@dataclass(frozen=True)
+class ShardReassigned(ProgressEvent):
+    """A distributed worker was lost and its in-flight task requeued.
+
+    May be emitted from a coordinator dispatch thread.
+    """
+
+    task_index: int
+    worker: str
+
+
+@dataclass(frozen=True)
+class MachineChecked(ProgressEvent):
+    """A (serial) campaign finished fuzzing one machine."""
+
+    machines: int
+    violations: int
+
+
+@dataclass(frozen=True)
+class ViolationFound(ProgressEvent):
+    """A refuted obligation, lasso, or campaign violation.
+
+    Emitted once per counterexample when the run's results are
+    assembled (engines running in worker processes cannot stream
+    counterexamples as they are found).
+    """
+
+    obligation: str
+    counterexample: Counterexample
+
+
+@dataclass(frozen=True)
+class RequestFinished(ProgressEvent):
+    """The run completed; ``result`` is what :meth:`Session.run`
+    returns."""
+
+    result: VerificationResult
+
+
+@dataclass(frozen=True)
+class RequestFailed(ProgressEvent):
+    """The run aborted — engine failure, checker refusal, or any other
+    exception (which propagates to the :meth:`Session.run` caller after
+    this event)."""
+
+    request: VerificationRequest
+    error: str
+
+
+Subscriber = Callable[[ProgressEvent], None]
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """Runs verification requests and reports structured progress.
+
+    Args:
+        subscribers: initial progress subscribers (more via
+            :meth:`subscribe`). A subscriber that raises aborts the
+            run — observers are trusted code.
+        engine: inject a pre-built engine (overriding each request's
+            ``engine`` spec) — how tests drive an in-process
+            coordinator through the public API. The session still
+            enters/exits it per run.
+        expand_stride: emit :class:`StatesExplored` every this many
+            serial expansions.
+    """
+
+    def __init__(self, subscribers: Iterable[Subscriber] = (),
+                 engine: Engine | None = None,
+                 expand_stride: int = DEFAULT_EXPAND_STRIDE) -> None:
+        self._subscribers: list[Subscriber] = list(subscribers)
+        self._engine = engine
+        if expand_stride < 1:
+            raise RequestError(
+                f"expand_stride must be >= 1, got {expand_stride}"
+            )
+        self.expand_stride = expand_stride
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Add a progress subscriber."""
+        self._subscribers.append(subscriber)
+
+    # -- event plumbing -------------------------------------------------
+
+    def _emit(self, event: ProgressEvent) -> None:
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def _on_level(self, level: int, expanded: int, frontier: int) -> None:
+        self._emit(LevelCompleted(level=level, states_expanded=expanded,
+                                  frontier=frontier))
+
+    def _on_expand(self, states: int) -> None:
+        if states % self.expand_stride == 0:
+            self._emit(StatesExplored(states=states))
+
+    def _on_machine(self, machines: int, violations: int) -> None:
+        self._emit(MachineChecked(machines=machines, violations=violations))
+
+    def _on_reassign(self, task_index: int, worker: str) -> None:
+        self._emit(ShardReassigned(task_index=task_index, worker=worker))
+
+    # -- running --------------------------------------------------------
+
+    def run(self, request: VerificationRequest) -> VerificationResult:
+        """Execute ``request`` and return its typed result.
+
+        Raises:
+            RequestError: the request is invalid (also raised eagerly
+                by the request's own constructor).
+            EngineError: the backend failed (worker loss, spawn
+                failure, ...).
+            VerificationError: an unsound parameter combination the
+                checkers refuse (e.g. a non-equivariant choice under a
+                symmetry quotient).
+        """
+        engine = self._engine if self._engine is not None \
+            else create_engine(request.engine)
+        if isinstance(engine, DistributedEngine):
+            # Entering the engine copies the hook onto the coordinator.
+            engine.on_reassign = self._on_reassign
+        self._emit(RequestStarted(request=request,
+                                  engine=engine.describe()))
+        start = time.perf_counter()
+        try:
+            with engine:
+                runner = {
+                    "prove": self._run_prove,
+                    "hunt": self._run_hunt,
+                    "zoo": self._run_zoo,
+                    "campaign": self._run_campaign,
+                }[request.kind]
+                result = runner(request, engine)
+        except BaseException as exc:
+            self._emit(RequestFailed(request=request, error=str(exc)))
+            raise
+        result = result.with_timings(
+            {**result.timings, "total_s": time.perf_counter() - start}
+        )
+        self._emit_violations(result)
+        self._emit(RequestFinished(result=result))
+        return result
+
+    def _emit_violations(self, result: VerificationResult) -> None:
+        certificates: list[WorkConservationCertificate] = []
+        if result.certificate is not None:
+            certificates.append(result.certificate)
+        if result.zoo is not None:
+            certificates.extend(result.zoo.certificates)
+        for cert in certificates:
+            for proof in cert.report.refuted:
+                if proof.counterexample is not None:
+                    self._emit(ViolationFound(
+                        obligation=proof.obligation.key,
+                        counterexample=proof.counterexample,
+                    ))
+        if result.analysis is not None and result.analysis.violated:
+            lasso_cx = result.analysis.to_proof_result().counterexample
+            if lasso_cx is not None:
+                self._emit(ViolationFound(obligation="work_conservation",
+                                          counterexample=lasso_cx))
+        if result.campaign is not None:
+            for violation in result.campaign.violations:
+                self._emit(ViolationFound(obligation="campaign",
+                                          counterexample=violation))
+
+    # -- per-kind runners ----------------------------------------------
+
+    def _run_prove(self, request: VerificationRequest,
+                   engine: Engine) -> VerificationResult:
+        resolved = request.resolve()
+        assert resolved.policy is not None  # guaranteed by request validation
+        cert = engine.prove(
+            resolved.policy, resolved.scope,
+            choice_mode=request.choice_mode,
+            max_orders=request.effective_max_orders,
+            symmetric=request.symmetric,
+            symmetry=resolved.symmetry,
+            topology=resolved.topology,
+            on_level=self._on_level,
+        )
+        return VerificationResult(
+            request=request,
+            verdict=Verdict.PROVED if cert.proved else Verdict.REFUTED,
+            stats=ResultStats(
+                states_explored=cert.analysis.states_explored,
+                bad_states=cert.analysis.bad_states,
+                violations=len(cert.report.refuted),
+            ),
+            timings={},
+            certificate=cert,
+        )
+
+    def _run_hunt(self, request: VerificationRequest,
+                  engine: Engine) -> VerificationResult:
+        from repro.api.engine import SerialEngine
+
+        resolved = request.resolve()
+        if isinstance(engine, SerialEngine):
+            # The serial closure is depth-first: exploration progress
+            # comes from the checker's per-expansion hook, not levels.
+            analysis = engine.analyze(
+                resolved.policy, resolved.scope,
+                choice_mode=request.choice_mode,
+                max_orders=request.effective_max_orders,
+                symmetric=request.symmetric,
+                symmetry=resolved.symmetry,
+                topology=resolved.topology,
+                hierarchy=resolved.hierarchy,
+                on_expand=self._on_expand,
+            )
+        else:
+            analysis = engine.analyze(
+                resolved.policy, resolved.scope,
+                choice_mode=request.choice_mode,
+                max_orders=request.effective_max_orders,
+                symmetric=request.symmetric,
+                symmetry=resolved.symmetry,
+                topology=resolved.topology,
+                hierarchy=resolved.hierarchy,
+                on_level=self._on_level,
+            )
+        return VerificationResult(
+            request=request,
+            verdict=Verdict.VIOLATED if analysis.violated else Verdict.CLEAN,
+            stats=ResultStats(
+                states_explored=analysis.states_explored,
+                bad_states=analysis.bad_states,
+                violations=1 if analysis.violated else 0,
+            ),
+            timings={"explore_s": analysis.elapsed_s},
+            analysis=analysis,
+        )
+
+    def _run_zoo(self, request: VerificationRequest,
+                 engine: Engine) -> VerificationResult:
+        resolved = request.resolve()
+        policies = zoo_lineup(resolved.topology)
+        certificates: list[WorkConservationCertificate] = []
+        for index, policy in enumerate(policies):
+            self._emit(PolicyStarted(policy=policy.name, index=index,
+                                     total=len(policies)))
+            cert = engine.prove(
+                policy, resolved.scope,
+                choice_mode=request.choice_mode,
+                max_orders=request.effective_max_orders,
+                symmetric=request.symmetric,
+                symmetry=resolved.symmetry,
+                topology=resolved.topology,
+                on_level=self._on_level,
+            )
+            certificates.append(cert)
+            self._emit(PolicyFinished(policy=policy.name, index=index,
+                                      total=len(policies),
+                                      proved=cert.proved))
+        report = ZooReport(scope=resolved.scope.describe(),
+                           certificates=certificates)
+        proved = sum(1 for c in certificates if c.proved)
+        return VerificationResult(
+            request=request,
+            verdict=(Verdict.PROVED if proved == len(certificates)
+                     else Verdict.REFUTED),
+            stats=ResultStats(
+                policies=len(certificates),
+                policies_proved=proved,
+                violations=sum(len(c.report.refuted) for c in certificates),
+            ),
+            timings={},
+            zoo=report,
+        )
+
+    def _run_campaign(self, request: VerificationRequest,
+                      engine: Engine) -> VerificationResult:
+        config = request.campaign_config()
+        report: CampaignReport = engine.run_campaign(
+            request.policy_factory(), config,
+            on_machine=self._on_machine,
+        )
+        return VerificationResult(
+            request=request,
+            verdict=Verdict.CLEAN if report.clean else Verdict.VIOLATED,
+            stats=ResultStats(
+                machines=report.machines,
+                rounds=report.rounds,
+                steals=report.steals,
+                failures=report.failures,
+                violations=len(report.violations),
+            ),
+            timings={},
+            campaign=report,
+        )
+
+
+def run_request(request: VerificationRequest,
+                subscribers: Iterable[Subscriber] = (),
+                ) -> VerificationResult:
+    """One-shot convenience: run ``request`` on a fresh session."""
+    return Session(subscribers=subscribers).run(request)

@@ -1,4 +1,5 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` — a thin client
+of :mod:`repro.api`.
 
 Commands mirror the workflow a scheduler developer would follow with the
 paper's toolchain:
@@ -7,6 +8,8 @@ paper's toolchain:
 * ``verify``        — run the full §4 proof pipeline on a policy;
 * ``hunt``          — model-check only, printing any counterexample lasso;
 * ``campaign``      — randomised fuzzing beyond exhaustive scopes;
+* ``run-spec``      — execute a declarative spec file (a whole campaign
+  of runs as one reviewable JSON document, see ``examples/specs/``);
 * ``simulate``      — run a workload under a chosen balancer and report
   wasted-core metrics;
 * ``dsl``           — compile a DSL policy file and emit Python proof
@@ -14,178 +17,27 @@ paper's toolchain:
 * ``worker``        — serve verification shards to a remote coordinator
   (the other end of ``--workers``/``--distributed``).
 
-``verify``, ``zoo``, ``hunt`` and ``campaign`` accept three engine
-selectors: ``--jobs N`` (local process pool), ``--distributed N``
-(spawn N localhost worker subprocesses and dispatch shards over TCP),
-and ``--workers HOST:PORT,...`` (dispatch to already-running ``worker``
-processes anywhere on the network). Verdicts are identical under all of
-them — see :mod:`repro.verify.parallel` and
-:mod:`repro.verify.distributed`.
+The four verification commands (``verify``/``zoo``/``hunt``/``campaign``)
+are pure argparse → :class:`~repro.api.VerificationRequest` translation:
+they build a request, hand it to a :class:`~repro.api.Session`, print
+``result.render()`` and exit ``result.exit_code``. All verification
+logic, engine selection, and validation live in :mod:`repro.api`; the
+flags are just the request's field names. ``--jobs N`` selects the pool
+engine, ``--distributed N`` / ``--workers HOST:PORT,...`` the
+distributed engine, and ``--topology numa:NxM`` / ``mesh:SxM`` the
+topology-aware policies plus the symmetry quotient — verdicts are
+identical under every engine.
 
-The same four commands also accept ``--topology numa:NxM`` /
-``mesh:SxM``: the scope is sized to the layout's core count, the
-topology-aware policies (``numa_choice``, ``cache_choice``, and — for
-``hunt`` — ``hierarchical``) become available, and the state-space
-exploration is quotiented by the topology's automorphism group (see
-:mod:`repro.verify.symmetry` and ``docs/symmetry.md``).
-
-Every command exits 0 on success; ``verify`` exits 2 when the policy is
-refuted (so shell scripts can gate on proofs), and ``dsl`` exits 2 on
-compilation errors.
+Every command exits 0 on success; ``verify``, ``campaign`` and
+``run-spec`` exit 2 when a policy is refuted (so shell scripts can gate
+on proofs), and ``dsl`` exits 2 on compilation errors.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
 import sys
-from typing import Callable, Iterator, Sequence
-
-from repro.core.policy import Policy
-
-
-def _policy_registry() -> dict[str, Callable[[argparse.Namespace], Policy]]:
-    from repro.baselines import IdleOnlyRandomStealPolicy, RandomStealPolicy
-    from repro.policies import (
-        BalanceCountPolicy,
-        GreedyHalvingPolicy,
-        NaiveOverloadedPolicy,
-        ProvableWeightedPolicy,
-        WeightedBalancePolicy,
-    )
-    from repro.policies.naive import (
-        GreedyReadyPolicy,
-        InvertedFilterPolicy,
-        OverStealingPolicy,
-    )
-    from repro.policies.numa_aware import (
-        LeastMigrationsChoicePolicy,
-        NumaAwareChoicePolicy,
-    )
-
-    return {
-        "balance_count": lambda a: BalanceCountPolicy(margin=a.margin),
-        "greedy_halving": lambda a: GreedyHalvingPolicy(margin=a.margin),
-        "weighted": lambda a: WeightedBalancePolicy(),
-        "provable_weighted": lambda a: ProvableWeightedPolicy(),
-        "naive": lambda a: NaiveOverloadedPolicy(),
-        "greedy_ready": lambda a: GreedyReadyPolicy(),
-        "inverted": lambda a: InvertedFilterPolicy(),
-        "over_stealing": lambda a: OverStealingPolicy(),
-        "random_steal": lambda a: RandomStealPolicy(seed=a.seed),
-        "idle_random_steal": lambda a: IdleOnlyRandomStealPolicy(
-            seed=a.seed
-        ),
-        "numa_choice": lambda a: NumaAwareChoicePolicy(
-            _require_topology(a, "numa_choice"), margin=a.margin
-        ),
-        "cache_choice": lambda a: LeastMigrationsChoicePolicy(
-            _require_topology(a, "cache_choice"), margin=a.margin
-        ),
-    }
-
-
-def _parse_topology(text: str):
-    """Parse a ``--topology`` spec into a :class:`NumaTopology`.
-
-    Accepted forms: ``flat`` (no topology), ``numa:NxM`` (N fully
-    connected nodes of M cores), ``mesh:SxM`` (an SxS 2D mesh of M-core
-    nodes).
-    """
-    from repro.topology import mesh_numa, symmetric_numa
-
-    text = text.strip().lower()
-    if text == "flat":
-        return None
-    kind, _, dims = text.partition(":")
-    parts = dims.split("x")
-    if kind in ("numa", "mesh") and len(parts) == 2 \
-            and all(p.isdigit() and int(p) > 0 for p in parts):
-        first, second = int(parts[0]), int(parts[1])
-        if kind == "numa":
-            return symmetric_numa(first, second)
-        return mesh_numa(first, second)
-    raise SystemExit(
-        f"bad --topology {text!r}: expected flat, numa:NxM, or mesh:SxM"
-    )
-
-
-def _require_topology(args: argparse.Namespace, policy_name: str):
-    """The parsed ``--topology``, mandatory for topology-aware policies."""
-    topology = _resolve_topology(args)
-    if topology is None:
-        raise SystemExit(
-            f"policy {policy_name!r} needs a machine layout: pass"
-            " --topology numa:NxM (or mesh:SxM)"
-        )
-    return topology
-
-
-def _resolve_topology(args: argparse.Namespace):
-    """Parse (once) and cache the namespace's ``--topology`` value."""
-    if not hasattr(args, "_topology_cache"):
-        spec = getattr(args, "topology", None)
-        args._topology_cache = (
-            _parse_topology(spec) if spec is not None else None
-        )
-    return args._topology_cache
-
-
-def _resolve_symmetry(args: argparse.Namespace):
-    """The symmetry group the CLI flags select, or ``None``.
-
-    ``--topology`` selects the topology's automorphism group (sound for
-    its NUMA-aware choices); ``--symmetric`` alone selects the flat
-    full-renaming group. Combining them is rejected: the flat group is
-    unsound for topology-aware choices, so the topology must win — ask
-    the user to drop one flag rather than silently overriding.
-    """
-    no_symmetry = getattr(args, "no_symmetry", False)
-    if no_symmetry and getattr(args, "symmetric", False):
-        raise SystemExit(
-            "--no-symmetry conflicts with --symmetric; pick one"
-        )
-    topology = _resolve_topology(args)
-    if topology is not None:
-        if getattr(args, "symmetric", False):
-            raise SystemExit(
-                "--symmetric (flat group) conflicts with --topology;"
-                " the topology's own symmetry group is already applied"
-            )
-        if no_symmetry:
-            return None
-        from repro.verify.symmetry import NumaSymmetryGroup
-
-        return NumaSymmetryGroup(topology)
-    return None
-
-
-def _scope_cores(args: argparse.Namespace, default: int = 3) -> int:
-    """Scope width: the topology's core count when one is given.
-
-    ``--cores`` defaults to ``None`` on topology-aware commands so an
-    *explicit* value can be distinguished and rejected alongside
-    ``--topology`` — silently verifying a different width than the user
-    asked for would be worse than an error.
-    """
-    topology = _resolve_topology(args)
-    if topology is not None:
-        if args.cores is not None:
-            raise SystemExit(
-                f"--cores {args.cores} conflicts with --topology"
-                f" (which fixes the scope at {topology.n_cores} cores);"
-                " drop one of the two"
-            )
-        return topology.n_cores
-    return args.cores if args.cores is not None else default
-
-
-def _add_policy_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("policy", help="policy name (see list-policies)")
-    parser.add_argument("--margin", type=int, default=2,
-                        help="margin for balance_count/greedy_halving")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="seed for randomised policies")
+from typing import Sequence
 
 
 def _positive_int(text: str) -> int:
@@ -224,9 +76,40 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def _add_topology_arg(parser: argparse.ArgumentParser,
-                      help_text: str | None = None) -> None:
-    parser.add_argument(
+# ---------------------------------------------------------------------------
+# shared flag groups (argparse parent parsers)
+#
+# Every verification subcommand shares the same policy/scope/topology/
+# engine vocabulary; each group is declared once here and attached via
+# ``parents=``, so a flag's type, default, and help text cannot drift
+# between subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _policy_parent() -> argparse.ArgumentParser:
+    """``policy`` positional plus its construction parameters."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("policy", help="policy name (see list-policies)")
+    parent.add_argument("--margin", type=int, default=2,
+                        help="margin for balance_count/greedy_halving")
+    parent.add_argument("--seed", type=int, default=0,
+                        help="seed for randomised policies")
+    return parent
+
+
+def _scope_parent(max_load_default: int) -> argparse.ArgumentParser:
+    """``--cores``/``--max-load`` (cores defaults via the topology)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--cores", type=int, default=None,
+                        help="scope width (default 3; set by --topology)")
+    parent.add_argument("--max-load", type=int, default=max_load_default)
+    return parent
+
+
+def _topology_parent(help_text: str | None = None) -> argparse.ArgumentParser:
+    """``--topology``/``--no-symmetry``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--topology", metavar="flat|numa:NxM|mesh:SxM", default=None,
         help=help_text or (
             "machine layout: enables the topology-aware policies"
@@ -235,28 +118,27 @@ def _add_topology_arg(parser: argparse.ArgumentParser,
             " to the state-space exploration"
         ),
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-symmetry", action="store_true",
         help="explore the full state space even when --topology would"
              " quotient it (required for --choice-mode policy with"
              " topology-aware choices, whose tie-breaks make any"
              " quotient unsound)",
     )
+    return parent
 
 
-def _add_jobs_arg(parser: argparse.ArgumentParser,
-                  help_text: str | None = None) -> None:
-    parser.add_argument(
+def _engine_parent(jobs_help: str | None = None) -> argparse.ArgumentParser:
+    """The engine selectors: ``--jobs``/``--distributed``/``--workers``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs", type=_positive_int, default=1,
-        help=help_text or (
+        help=jobs_help or (
             "worker processes for sharded verification (default 1 ="
             " serial); verdicts are identical at any value"
         ),
     )
-
-
-def _add_distributed_args(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group()
+    group = parent.add_mutually_exclusive_group()
     group.add_argument(
         "--distributed", type=_positive_int, metavar="N", default=None,
         help="spawn N localhost worker subprocesses and dispatch shards"
@@ -267,50 +149,104 @@ def _add_distributed_args(parser: argparse.ArgumentParser) -> None:
         help="dispatch shards to these already-running workers (start"
              " each with: python -m repro worker --listen HOST:PORT)",
     )
+    return parent
 
 
-@contextlib.contextmanager
-def _open_coordinator(args: argparse.Namespace) -> Iterator[object | None]:
-    """Yield a Coordinator per the CLI flags, or ``None`` for local runs.
+# ---------------------------------------------------------------------------
+# argparse -> repro.api translation
+# ---------------------------------------------------------------------------
 
-    Owns the whole distributed lifecycle: subprocess spawn/teardown for
-    ``--distributed``, connect/close for ``--workers``. Transport or
-    handshake failures become clean ``SystemExit`` messages.
-    """
+
+def _engine_spec(args: argparse.Namespace):
+    """Map the engine flags onto an :class:`~repro.api.EngineSpec`."""
+    from repro.api import EngineSpec
+
     distributed = getattr(args, "distributed", None)
     workers = getattr(args, "workers", None)
-    if distributed is None and workers is None:
-        yield None
-        return
-    if getattr(args, "jobs", 1) > 1:
-        raise SystemExit(
-            "--jobs cannot be combined with --distributed/--workers:"
-            " pick one engine"
-        )
+    if distributed is not None or workers is not None:
+        if getattr(args, "jobs", 1) > 1:
+            raise SystemExit(
+                "--jobs cannot be combined with --distributed/--workers:"
+                " pick one engine"
+            )
+        if workers is not None:
+            return EngineSpec(kind="distributed",
+                              endpoints=tuple(workers.split(",")))
+        return EngineSpec(kind="distributed", workers=distributed)
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        return EngineSpec(kind="pool", jobs=jobs)
+    return EngineSpec()
+
+
+def _build_request(kind: str, args: argparse.Namespace):
+    """Translate a verification subcommand's namespace into a request.
+
+    Pure translation: every validation rule (flag conflicts, unknown
+    policies, topology requirements) lives in the request itself, whose
+    :class:`~repro.api.RequestError` messages are phrased in terms of
+    these flags.
+    """
+    from repro.api import VerificationRequest
+
+    builder = VerificationRequest.builder(kind)
+    if kind != "zoo":
+        builder.policy(args.policy, margin=args.margin, seed=args.seed)
+    if kind == "campaign":
+        builder.campaign(machines=args.machines, max_cores=args.max_cores,
+                         rounds=args.rounds, seed=args.seed)
+        builder.scope(max_load=args.max_load)
+    else:
+        builder.scope(cores=args.cores, max_load=args.max_load)
+    builder.topology(getattr(args, "topology", None))
+    builder.no_symmetry(getattr(args, "no_symmetry", False))
+    builder.symmetric(getattr(args, "symmetric", False))
+    builder.choice_mode(getattr(args, "choice_mode", "all"))
+    builder.engine(_engine_spec(args))
+    return builder.build()
+
+
+def _progress_subscribers(args: argparse.Namespace) -> list:
+    """``--progress`` streams session events to stderr (stdout stays
+    byte-identical to the legacy reports)."""
+    if not getattr(args, "progress", False):
+        return []
+
+    def narrate(event) -> None:
+        print(f"[progress] {event}", file=sys.stderr)
+
+    return [narrate]
+
+
+def _run_request(kind: str, args: argparse.Namespace,
+                 clean_refusals: bool = False) -> int:
+    """Build, run, print, exit — the whole thin client.
+
+    ``clean_refusals`` additionally turns any
+    :class:`~repro.core.errors.VerificationError` (e.g. an unsound
+    (group, choice_mode) combination) into a one-line ``SystemExit``
+    instead of a traceback — ``verify``'s historical behaviour.
+    """
+    from repro.api import EngineError, RequestError, Session
     from repro.core.errors import VerificationError
-    from repro.verify.distributed import LocalWorkerPool, connect_workers
 
     try:
-        if workers is not None:
-            coordinator = connect_workers(workers.split(","))
-            try:
-                yield coordinator
-            finally:
-                coordinator.close()
-        else:
-            with LocalWorkerPool(distributed) as coordinator:
-                yield coordinator
+        request = _build_request(kind, args)
+    except RequestError as exc:
+        raise SystemExit(str(exc)) from exc
+    session = Session(subscribers=_progress_subscribers(args))
+    try:
+        result = session.run(request)
+    except EngineError as exc:
+        # Transport/spawn/dispatch failures: a clean one-liner, for
+        # every verification command.
+        raise SystemExit(str(exc)) from exc
     except VerificationError as exc:
-        raise SystemExit(f"distributed run failed: {exc}") from exc
-
-
-def _make_policy(args: argparse.Namespace) -> Policy:
-    registry = _policy_registry()
-    if args.policy not in registry:
-        raise SystemExit(
-            f"unknown policy {args.policy!r}; try: {', '.join(registry)}"
-        )
-    return registry[args.policy](args)
+        if clean_refusals:
+            raise SystemExit(str(exc)) from exc
+        raise
+    print(result.render())
+    return result.exit_code
 
 
 # ---------------------------------------------------------------------------
@@ -319,174 +255,107 @@ def _make_policy(args: argparse.Namespace) -> Policy:
 
 
 def cmd_list_policies(args: argparse.Namespace) -> int:
-    for name in sorted(_policy_registry()):
+    from repro.api import policy_names
+
+    for name in sorted(policy_names()):
         print(name)
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify import (
-        StateScope,
-        prove_work_conserving_distributed,
-        prove_work_conserving_parallel,
-    )
-
-    if args.policy == "hierarchical":
-        raise SystemExit(
-            "the hierarchical balancer has no flat per-core round to"
-            " sweep; model-check it with: hunt hierarchical --topology"
-            " numa:NxM"
-        )
-    from repro.core.errors import VerificationError
-
-    policy = _make_policy(args)
-    topology = _resolve_topology(args)
-    symmetry = _resolve_symmetry(args)
-    scope = StateScope(n_cores=_scope_cores(args), max_load=args.max_load)
-    try:
-        with _open_coordinator(args) as coordinator:
-            if coordinator is not None:
-                cert = prove_work_conserving_distributed(
-                    policy, scope, coordinator,
-                    choice_mode=args.choice_mode,
-                    symmetric=args.symmetric,
-                    symmetry=symmetry, topology=topology,
-                )
-            else:
-                cert = prove_work_conserving_parallel(
-                    policy, scope,
-                    jobs=args.jobs,
-                    choice_mode=args.choice_mode,
-                    symmetric=args.symmetric,
-                    symmetry=symmetry, topology=topology,
-                )
-    except VerificationError as exc:
-        # e.g. an unsound (group, choice_mode) combination — a clean
-        # one-line refusal, not a traceback.
-        raise SystemExit(str(exc)) from exc
-    print(cert.render())
-    return 0 if cert.proved else 2
+    return _run_request("prove", args, clean_refusals=True)
 
 
 def cmd_zoo(args: argparse.Namespace) -> int:
-    from repro.verify import StateScope, default_zoo, verify_zoo
-    from repro.verify.report import topology_zoo
-
-    topology = _resolve_topology(args)
-    policies = default_zoo() if topology is None else topology_zoo(topology)
-    with _open_coordinator(args) as coordinator:
-        report = verify_zoo(
-            policies,
-            StateScope(n_cores=_scope_cores(args), max_load=args.max_load),
-            jobs=args.jobs,
-            coordinator=coordinator,
-            symmetry=_resolve_symmetry(args),
-            topology=topology,
-        )
-    print(report.render())
-    return 0
+    return _run_request("zoo", args)
 
 
 def cmd_hunt(args: argparse.Namespace) -> int:
-    from repro.verify import (
-        StateScope,
-        analyze_distributed,
-        analyze_parallel,
-    )
-
-    policy = None
-    hierarchy = None
-    symmetry = _resolve_symmetry(args)
-    if args.policy == "hierarchical":
-        from repro.verify.hierarchical import HierarchySpec
-
-        topology = _require_topology(args, "hierarchical")
-        hierarchy = HierarchySpec(topology=topology,
-                                  group_margin=args.margin,
-                                  intra_margin=args.margin)
-        if not args.no_symmetry:
-            symmetry = hierarchy.symmetry_group()
-    else:
-        policy = _make_policy(args)
-    topology = _resolve_topology(args)
-    scope = StateScope(n_cores=_scope_cores(args), max_load=args.max_load)
-    with _open_coordinator(args) as coordinator:
-        if coordinator is not None:
-            analysis = analyze_distributed(
-                policy, scope, coordinator, symmetric=args.symmetric,
-                symmetry=symmetry, topology=topology, hierarchy=hierarchy,
-            )
-        else:
-            analysis = analyze_parallel(
-                policy, scope,
-                jobs=args.jobs,
-                symmetric=args.symmetric,
-                symmetry=symmetry, topology=topology, hierarchy=hierarchy,
-            )
-    if analysis.violated:
-        print(f"VIOLATION: {analysis.lasso.describe()}")
-    else:
-        print(
-            "no violation; exact worst-case N ="
-            f" {analysis.worst_case_rounds}"
-            f" over {analysis.states_explored} states"
-        )
-    return 0
-
-
-def cmd_refine(args: argparse.Namespace) -> int:
-    from repro.verify import StateScope, check_refinement
-
-    registry = _policy_registry()
-    if args.policy not in registry:
-        raise SystemExit(
-            f"unknown policy {args.policy!r}; try: {', '.join(registry)}"
-        )
-    result = check_refinement(
-        lambda: registry[args.policy](args),
-        StateScope(n_cores=args.cores, max_load=args.max_load),
-    )
-    print(result)
-    return 0 if result.ok else 2
+    return _run_request("hunt", args)
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.verify.campaign import CampaignConfig
-    from repro.verify.distributed import run_campaign_distributed
-    from repro.verify.parallel import run_campaign_parallel
+    return _run_request("campaign", args)
 
-    topology = _resolve_topology(args)
-    max_cores = args.max_cores if args.max_cores is not None else 12
-    if topology is not None:
-        # Topology-aware policies index node tables by core id, so
-        # fuzzed machines must not outgrow the declared layout — and an
-        # explicit larger request is a conflict, not a silent clamp.
-        if args.max_cores is not None and args.max_cores > topology.n_cores:
-            raise SystemExit(
-                f"--max-cores {args.max_cores} conflicts with --topology"
-                f" (which caps machines at {topology.n_cores} cores);"
-                " drop one of the two"
+
+def cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.api import EngineError, Session, SpecError, load_spec
+    from repro.core.errors import VerificationError
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.list:
+        for run in spec.runs:
+            print(f"{run.name}: {run.request.describe()}")
+        return 0
+    session = Session(subscribers=_progress_subscribers(args))
+    try:
+        selected = ([spec.run_named(args.only)] if args.only is not None
+                    else list(spec.runs))
+    except SpecError as exc:  # unknown --only name
+        raise SystemExit(str(exc)) from exc
+    # Results print as each run completes (a failure in run N cannot
+    # discard runs 1..N-1's reports) and are collected for --json.
+    outcomes = []
+    failure: SystemExit | None = None
+    multiple = len(selected) > 1
+    for index, run in enumerate(selected):
+        if multiple:
+            # Headers only between runs, so a single-run execution (or
+            # --only) stays byte-identical to the legacy command it
+            # replaces — CI diffs exactly that.
+            if index:
+                print()
+            print(f"# {run.name}")
+        try:
+            result = session.run(run.request)
+        except (EngineError, VerificationError) as exc:
+            # The same clean one-liner `verify` prints for refusals and
+            # transport failures — but only after flushing what ran.
+            failure = SystemExit(f"run {run.name!r} failed: {exc}")
+            break
+        outcomes.append((run, result))
+        print(result.render())
+    if args.json is not None and outcomes:
+        import json
+
+        from repro.api import result_to_dict
+
+        with open(args.json, "w") as handle:
+            json.dump(
+                [
+                    {"run": run.name, "result": result_to_dict(result)}
+                    for run, result in outcomes
+                ],
+                handle, indent=2, sort_keys=True,
             )
-        max_cores = min(max_cores, topology.n_cores)
-    config = CampaignConfig(
-        n_machines=args.machines,
-        max_cores=max_cores,
-        max_load=args.max_load,
-        rounds_per_machine=args.rounds,
-        seed=args.seed,
-    )
-    with _open_coordinator(args) as coordinator:
-        if coordinator is not None:
-            report = run_campaign_distributed(
-                lambda: _make_policy(args), config, coordinator
-            )
-        else:
-            report = run_campaign_parallel(lambda: _make_policy(args),
-                                           config, jobs=args.jobs)
-    print(report.describe())
-    for violation in report.violations[:10]:
-        print(f"  {violation}")
-    return 0 if report.clean else 2
+            handle.write("\n")
+    if failure is not None:
+        raise failure
+    return max(result.exit_code for _, result in outcomes)
+
+
+def cmd_refine(args: argparse.Namespace) -> int:
+    from repro.api import PolicySpec, RequestError, build_policy, policy_names
+    from repro.verify import StateScope, check_refinement
+
+    if args.policy not in policy_names():
+        raise SystemExit(
+            f"unknown policy {args.policy!r};"
+            f" try: {', '.join(policy_names())}"
+        )
+    spec = PolicySpec(name=args.policy, margin=args.margin, seed=args.seed)
+    try:
+        result = check_refinement(
+            lambda: build_policy(spec),
+            StateScope(n_cores=args.cores, max_load=args.max_load),
+        )
+    except RequestError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(result)
+    return 0 if result.ok else 2
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -618,63 +487,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-policies", help="list built-in policies")
 
-    verify = sub.add_parser("verify", help="run the full proof pipeline")
-    _add_policy_args(verify)
-    verify.add_argument("--cores", type=int, default=None,
-                        help="scope width (default 3; set by --topology)")
-    verify.add_argument("--max-load", type=int, default=3)
+    progress_parent = argparse.ArgumentParser(add_help=False)
+    progress_parent.add_argument(
+        "--progress", action="store_true",
+        help="stream structured progress events (levels completed, shard"
+             " reassignments, violations) to stderr",
+    )
+
+    verify = sub.add_parser(
+        "verify", help="run the full proof pipeline",
+        parents=[_policy_parent(), _scope_parent(3), _topology_parent(),
+                 _engine_parent(), progress_parent],
+    )
     verify.add_argument("--choice-mode", choices=("all", "policy"),
                         default="all")
     verify.add_argument("--symmetric", action="store_true")
-    _add_topology_arg(verify)
-    _add_jobs_arg(verify)
-    _add_distributed_args(verify)
 
-    zoo = sub.add_parser("zoo", help="verdict matrix over the policy zoo")
-    zoo.add_argument("--cores", type=int, default=None,
-                     help="scope width (default 3; set by --topology)")
-    zoo.add_argument("--max-load", type=int, default=3)
-    _add_topology_arg(zoo)
-    _add_jobs_arg(zoo)
-    _add_distributed_args(zoo)
+    sub.add_parser(
+        "zoo", help="verdict matrix over the policy zoo",
+        parents=[_scope_parent(3), _topology_parent(), _engine_parent(),
+                 progress_parent],
+    )
 
-    hunt = sub.add_parser("hunt", help="model-check work conservation")
-    _add_policy_args(hunt)
-    hunt.add_argument("--cores", type=int, default=None,
-                      help="scope width (default 3; set by --topology)")
-    hunt.add_argument("--max-load", type=int, default=2)
+    hunt = sub.add_parser(
+        "hunt", help="model-check work conservation",
+        parents=[_policy_parent(), _scope_parent(2), _topology_parent(),
+                 _engine_parent(), progress_parent],
+    )
     hunt.add_argument("--symmetric", action="store_true")
-    _add_topology_arg(hunt)
-    _add_jobs_arg(hunt)
-    _add_distributed_args(hunt)
 
     refine = sub.add_parser(
-        "refine", help="cross-validate model vs implementation"
+        "refine", help="cross-validate model vs implementation",
+        parents=[_policy_parent()],
     )
-    _add_policy_args(refine)
     refine.add_argument("--cores", type=int, default=3)
     refine.add_argument("--max-load", type=int, default=3)
 
-    campaign = sub.add_parser("campaign", help="randomised fuzzing")
-    _add_policy_args(campaign)
+    campaign = sub.add_parser(
+        "campaign", help="randomised fuzzing",
+        parents=[
+            _policy_parent(),
+            _topology_parent(help_text=(
+                "machine layout: enables the topology-aware policies"
+                " (numa_choice, cache_choice) and caps fuzzed machines at"
+                " the layout's core count; campaigns sample states"
+                " randomly, so no symmetry quotient applies here"
+            )),
+            _engine_parent(jobs_help=(
+                "worker processes, one derived fuzzing seed each (default"
+                " 1 = serial); coverage depends on the (seed, workers)"
+                " pair but reproduces exactly for fixed values"
+            )),
+            progress_parent,
+        ],
+    )
     campaign.add_argument("--machines", type=int, default=50)
     campaign.add_argument("--max-cores", type=int, default=None,
                           help="largest fuzzed machine (default 12;"
                                " capped by --topology)")
     campaign.add_argument("--max-load", type=int, default=8)
     campaign.add_argument("--rounds", type=int, default=30)
-    _add_topology_arg(campaign, help_text=(
-        "machine layout: enables the topology-aware policies"
-        " (numa_choice, cache_choice) and caps fuzzed machines at the"
-        " layout's core count; campaigns sample states randomly, so no"
-        " symmetry quotient applies here"
-    ))
-    _add_jobs_arg(campaign, help_text=(
-        "worker processes, one derived fuzzing seed each (default 1 ="
-        " serial); coverage depends on the (seed, workers) pair but"
-        " reproduces exactly for fixed values"
-    ))
-    _add_distributed_args(campaign)
+
+    run_spec = sub.add_parser(
+        "run-spec",
+        help="execute a declarative verification spec file",
+        parents=[progress_parent],
+    )
+    run_spec.add_argument("spec", help="path to a spec JSON document"
+                                       " (see examples/specs/)")
+    run_spec.add_argument("--only", metavar="NAME", default=None,
+                          help="execute just this named run (output is"
+                               " then byte-identical to the equivalent"
+                               " legacy command)")
+    run_spec.add_argument("--list", action="store_true",
+                          help="list the spec's runs without executing")
+    run_spec.add_argument("--json", metavar="PATH", default=None,
+                          help="also write every result as lossless JSON"
+                               " to this file")
 
     simulate = sub.add_parser("simulate", help="run a workload")
     simulate.add_argument("--workload",
@@ -720,6 +609,7 @@ COMMANDS = {
     "hunt": cmd_hunt,
     "refine": cmd_refine,
     "campaign": cmd_campaign,
+    "run-spec": cmd_run_spec,
     "simulate": cmd_simulate,
     "dsl": cmd_dsl,
     "worker": cmd_worker,

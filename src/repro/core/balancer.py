@@ -365,9 +365,9 @@ class LoadBalancer:
 
         if inter.fresh_snapshots:
             self._run_sequential(inter, cids, choice_oracle, attempts)
-        elif getattr(inter, "overlapped", False):
+        elif inter.overlapped:
             self._run_overlapped(inter, cids, choice_oracle, attempts)
-        elif getattr(inter, "pipelined", False):
+        elif inter.pipelined:
             self._run_pipelined(inter, cids, choice_oracle, attempts)
         else:
             self._run_concurrent(inter, cids, choice_oracle, attempts)
@@ -480,9 +480,13 @@ class LoadBalancer:
                     # in flight, not yet recorded as a success — plus any
                     # completed steal that touched our runqueues.
                     holders = {
-                        self.locks.lock_of(intent.thief).holder,
-                        self.locks.lock_of(intent.victim).holder,
-                    } - {None, cid}
+                        holder
+                        for holder in (
+                            self.locks.lock_of(intent.thief).holder,
+                            self.locks.lock_of(intent.victim).holder,
+                        )
+                        if holder is not None and holder != cid
+                    }
                     completed = {
                         a.thief for a in attempts
                         if a.succeeded

@@ -38,6 +38,14 @@ class Interleaving(ABC):
 
     fresh_snapshots: bool = False
 
+    #: True for the overlapped-critical-section regime; the balancer
+    #: then drives steals through :meth:`schedule_micro_ops`.
+    overlapped: bool = False
+
+    #: True for the op-level pipelined regime; the balancer then drives
+    #: the round through :meth:`op_schedule`.
+    pipelined: bool = False
+
     @abstractmethod
     def participant_order(self, round_index: int,
                           cids: Sequence[int]) -> list[int]:
@@ -66,6 +74,28 @@ class Interleaving(ABC):
             A permutation of ``thief_cids``.
         """
         return self.participant_order(round_index, thief_cids)
+
+    def op_schedule(self, round_index: int,
+                    cids: Sequence[int]) -> list[tuple[str, int]]:
+        """The (op, cid) schedule of a pipelined round.
+
+        Only meaningful when :attr:`pipelined` is True; the base class
+        has no op-level structure.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not an op-level interleaving"
+        )
+
+    def schedule_micro_ops(self, round_index: int,
+                           thief_cids: Sequence[int]) -> list[int]:
+        """The micro-op schedule of an overlapped round.
+
+        Only meaningful when :attr:`overlapped` is True; the base class
+        has no micro-op structure.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no overlapping critical sections"
+        )
 
 
 class SequentialInterleaving(Interleaving):

@@ -174,6 +174,7 @@ from repro.verify.report import (
     default_zoo,
     topology_zoo,
     verify_zoo,
+    zoo_lineup,
 )
 from repro.verify.reactivity import (
     REACTIVITY,
@@ -306,6 +307,7 @@ __all__ = [
     "default_zoo",
     "topology_zoo",
     "verify_zoo",
+    "zoo_lineup",
     "REACTIVITY",
     "ReactivityBound",
     "audit_reactivity",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.balancer import LoadBalancer
 from repro.core.machine import Machine
@@ -141,6 +142,7 @@ def _check_round(report: CampaignReport, loads_before: tuple[int, ...],
 
 
 def run_campaign(policy_factory, config: CampaignConfig | None = None,
+                 on_machine: "Callable[[int, int], None] | None" = None,
                  ) -> CampaignReport:
     """Fuzz a policy with random machines and adversarial interleavings.
 
@@ -148,6 +150,11 @@ def run_campaign(policy_factory, config: CampaignConfig | None = None,
         policy_factory: zero-argument callable producing a fresh policy
             (policies may hold RNG state, so each machine gets its own).
         config: campaign parameters.
+        on_machine: optional observer called after each machine with
+            ``(machines_done, violations_so_far)`` — the hook behind
+            :class:`repro.api.Session`'s campaign progress events. Only
+            the serial engine can observe per-machine progress; pool and
+            distributed campaigns report at merge time.
 
     Returns:
         The :class:`CampaignReport`; check ``report.clean``.
@@ -194,5 +201,7 @@ def run_campaign(policy_factory, config: CampaignConfig | None = None,
             report.max_rounds_to_quiescence = max(
                 report.max_rounds_to_quiescence, quiesced_at
             )
+        if on_machine is not None:
+            on_machine(report.machines, len(report.violations))
 
     return report

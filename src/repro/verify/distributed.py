@@ -561,6 +561,12 @@ class Coordinator:
     Attributes:
         max_reassignments: how many times one task may be re-dispatched
             after worker deaths before the run is declared failed.
+        on_reassign: optional observer called as ``on_reassign(task_index,
+            worker_name)`` whenever a lost worker's in-flight task is
+            requeued for the survivors — the hook behind
+            :class:`repro.api`'s ``ShardReassigned`` progress events.
+            Called from a dispatch thread; it must not block and cannot
+            influence scheduling.
     """
 
     def __init__(self, clients: Sequence[WorkerClient],
@@ -570,6 +576,7 @@ class Coordinator:
         self._clients: list[WorkerClient] = list(clients)
         self._retired: list[WorkerClient] = []
         self.max_reassignments = max_reassignments
+        self.on_reassign: Callable[[int, str], None] | None = None
 
     @property
     def n_workers(self) -> int:
@@ -621,6 +628,7 @@ class Coordinator:
                 try:
                     value = client.submit(index, payloads[index])
                 except WorkerLost as exc:
+                    requeued = False
                     with cond:
                         self._retire(client)
                         if attempts >= self.max_reassignments:
@@ -636,7 +644,12 @@ class Coordinator:
                                 )
                         else:
                             pending.append((index, attempts + 1))
+                            requeued = True
                         cond.notify_all()
+                    # Observer runs outside the lock: a slow callback
+                    # must not stall the surviving dispatch threads.
+                    if requeued and self.on_reassign is not None:
+                        self.on_reassign(index, client.name)
                     return
                 except Exception as exc:
                     with cond:
@@ -874,6 +887,7 @@ def prove_work_conserving_distributed(
     symmetric: bool = False,
     symmetry: SymmetryGroup | None = None,
     topology: NumaTopology | None = None,
+    on_level: Callable[[int, int, int], None] | None = None,
 ) -> WorkConservationCertificate:
     """The full §4 pipeline with one shard per remote worker.
 
@@ -909,7 +923,7 @@ def prove_work_conserving_distributed(
         initial = group.iter_representatives(scope)
         edges, truncated = bfs_closure(
             _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=False, symmetry=symmetry,
+            sequential=False, symmetry=symmetry, on_level=on_level,
         )
         analysis = checker.analyze_graph(scope, edges, truncated)
     analysis.elapsed_s = timer.elapsed
@@ -925,6 +939,7 @@ def analyze_distributed(policy, scope: StateScope,
                         symmetry: SymmetryGroup | None = None,
                         topology: NumaTopology | None = None,
                         hierarchy: HierarchySpec | None = None,
+                        on_level: Callable[[int, int, int], None] | None = None,
                         ) -> WorkConservationAnalysis:
     """Distributed counterpart of :func:`~repro.verify.parallel.
     analyze_parallel`: workers expand, the coordinator runs the cheap
@@ -947,7 +962,7 @@ def analyze_distributed(policy, scope: StateScope,
         initial = group.iter_representatives(scope)
         edges, truncated = bfs_closure(
             _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=sequential, symmetry=symmetry,
+            sequential=sequential, symmetry=symmetry, on_level=on_level,
         )
         analysis = checker.analyze_graph(scope, edges, truncated,
                                          sequential=sequential)

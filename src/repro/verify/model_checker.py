@@ -24,7 +24,7 @@ scope's per-core bound (over-stealing policies do that).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
@@ -275,7 +275,9 @@ class ModelChecker:
     # ------------------------------------------------------------------
 
     def explore(self, initial_states: Iterable[LoadState],
-                sequential: bool = False) -> tuple[TransitionGraph, bool]:
+                sequential: bool = False,
+                on_expand: Callable[[int], None] | None = None,
+                ) -> tuple[TransitionGraph, bool]:
         """Reachable closure of ``initial_states`` as a transition graph.
 
         Returns the edge map (every explored state mapped to its distinct
@@ -285,6 +287,11 @@ class ModelChecker:
         graphs by plain dict union, which is sound because the successor
         map of a state is a pure function of (policy, state, parameters) —
         two shards reaching the same state compute identical edges.
+
+        ``on_expand`` (when given) is called after every expansion with
+        the number of states explored so far — the progress hook behind
+        :class:`repro.api.Session`'s serial-engine events. Pure observer;
+        it cannot influence exploration.
         """
         frontier = [self._canon(s) for s in initial_states]
         seen: set[LoadState] = set(frontier)
@@ -296,6 +303,8 @@ class ModelChecker:
             succ, trunc = self.successors(state, sequential=sequential)
             truncated = truncated or trunc
             edges[state] = succ
+            if on_expand is not None:
+                on_expand(len(edges))
             for nxt in succ:
                 if nxt not in seen:
                     seen.add(nxt)
@@ -335,6 +344,7 @@ class ModelChecker:
     def analyze(self, scope: StateScope,
                 sequential: bool = False,
                 initial_states: Iterable[LoadState] | None = None,
+                on_expand: Callable[[int], None] | None = None,
                 ) -> WorkConservationAnalysis:
         """Model-check work conservation over every state in ``scope``.
 
@@ -342,13 +352,14 @@ class ModelChecker:
         lassos, and — absent a lasso — computes the exact worst-case
         number of rounds to escape the bad region. ``initial_states``
         optionally overrides the scope sweep (the parallel engine's
-        per-shard hook).
+        per-shard hook); ``on_expand`` observes exploration progress
+        (see :meth:`explore`).
         """
         with timed_check() as timer:
             if initial_states is None:
                 initial_states = self.symmetry.iter_representatives(scope)
             edges, truncated = self.explore(
-                initial_states, sequential=sequential
+                initial_states, sequential=sequential, on_expand=on_expand
             )
             analysis = self.analyze_graph(
                 scope, edges, truncated, sequential=sequential

@@ -497,6 +497,7 @@ def bfs_closure(map_expand: Callable, n_shards: int,
                 symmetric: bool,
                 sequential: bool = False,
                 symmetry: SymmetryGroup | None = None,
+                on_level: "Callable[[int, int, int], None] | None" = None,
                 ) -> tuple[TransitionGraph, bool]:
     """Level-synchronous BFS over the reachable closure, engine-agnostic.
 
@@ -513,12 +514,18 @@ def bfs_closure(map_expand: Callable, n_shards: int,
     regardless of link latency. The level structure, sorting, and pure
     successor functions make the merged graph identical to a serial
     exploration.
+
+    ``on_level`` (when given) is called after each completed level with
+    ``(level_index, states_expanded_this_level, next_frontier_size)`` —
+    the hook :class:`repro.api.Session` turns into ``LevelCompleted``
+    progress events. The callback cannot influence exploration.
     """
     group = resolve_symmetry(symmetric, symmetry)
     frontier = sorted({group.canonicalize(s) for s in initial_states})
     seen = set(frontier)
     edges: TransitionGraph = {}
     truncated = False
+    level = 0
     while frontier:
         chunks = [frontier[shard::n_shards] for shard in range(n_shards)]
         chunks = [chunk for chunk in chunks if chunk]
@@ -532,6 +539,9 @@ def bfs_closure(map_expand: Callable, n_shards: int,
             if successor not in seen
         }
         seen.update(next_frontier)
+        if on_level is not None:
+            on_level(level, len(frontier), len(next_frontier))
+        level += 1
         frontier = sorted(next_frontier)
     return edges, truncated
 
@@ -626,6 +636,7 @@ def make_campaign_tasks(
 def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
                  sequential: bool,
                  symmetry: SymmetryGroup | None = None,
+                 on_level: "Callable[[int, int, int], None] | None" = None,
                  ) -> tuple[TransitionGraph, bool]:
     """Pool-backed :func:`bfs_closure`: chunks map onto worker processes."""
     def map_expand(chunks, seq):
@@ -633,7 +644,8 @@ def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
                         [(chunk, seq) for chunk in chunks])
 
     return bfs_closure(map_expand, jobs, initial_states, symmetric,
-                       sequential=sequential, symmetry=symmetry)
+                       sequential=sequential, symmetry=symmetry,
+                       on_level=on_level)
 
 
 def prove_work_conserving_parallel(
@@ -642,6 +654,7 @@ def prove_work_conserving_parallel(
     symmetric: bool = False,
     symmetry: SymmetryGroup | None = None,
     topology: NumaTopology | None = None,
+    on_level: "Callable[[int, int, int], None] | None" = None,
 ) -> WorkConservationCertificate:
     """The full §4 pipeline of :func:`prove_work_conserving`, sharded.
 
@@ -681,7 +694,7 @@ def prove_work_conserving_parallel(
             initial = group.iter_representatives(scope)
             edges, truncated = _explore_bfs(
                 pool, jobs, initial, symmetric, sequential=False,
-                symmetry=symmetry,
+                symmetry=symmetry, on_level=on_level,
             )
             analysis = checker.analyze_graph(scope, edges, truncated)
     analysis.elapsed_s = timer.elapsed
@@ -697,6 +710,7 @@ def analyze_parallel(policy: Policy | None, scope: StateScope,
                      symmetry: SymmetryGroup | None = None,
                      topology: NumaTopology | None = None,
                      hierarchy: HierarchySpec | None = None,
+                     on_level: "Callable[[int, int, int], None] | None" = None,
                      ) -> WorkConservationAnalysis:
     """Sharded :meth:`~repro.verify.model_checker.ModelChecker.analyze`.
 
@@ -726,7 +740,7 @@ def analyze_parallel(policy: Policy | None, scope: StateScope,
             initial = group.iter_representatives(scope)
             edges, truncated = _explore_bfs(
                 pool, jobs, initial, symmetric, sequential=sequential,
-                symmetry=symmetry,
+                symmetry=symmetry, on_level=on_level,
             )
         analysis = checker.analyze_graph(
             scope, edges, truncated, sequential=sequential

@@ -136,6 +136,16 @@ def verify_zoo(policies: Sequence[Policy], scope: StateScope,
     return ZooReport(scope=scope.describe(), certificates=certificates)
 
 
+def zoo_lineup(topology=None) -> list[Policy]:
+    """The policy lineup a zoo run covers at a given layout.
+
+    The single chooser behind ``zoo`` everywhere — the legacy CLI path
+    and :class:`repro.api.Session` both call it, so "which policies does
+    the zoo mean" cannot drift between entry points.
+    """
+    return default_zoo() if topology is None else topology_zoo(topology)
+
+
 def topology_zoo(topology) -> list[Policy]:
     """The :func:`default_zoo` lineup plus the topology-aware choices.
 

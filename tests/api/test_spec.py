@@ -1,0 +1,162 @@
+"""Tests for declarative spec files: parsing, defaults, execution."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import (
+    SpecError,
+    load_spec,
+    parse_spec,
+    run_spec,
+)
+
+SPECS_DIR = (pathlib.Path(__file__).resolve().parents[2]
+             / "examples" / "specs")
+
+MINIMAL = {
+    "spec_version": 1,
+    "name": "minimal",
+    "runs": [
+        {"name": "hunt-clean", "kind": "hunt", "policy": "balance_count"},
+    ],
+}
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.name == "minimal"
+        assert [run.name for run in spec.runs] == ["hunt-clean"]
+        assert spec.runs[0].request.kind == "hunt"
+
+    def test_defaults_merge_one_level_deep(self):
+        spec = parse_spec({
+            "runs": [
+                {"kind": "prove", "policy": "balance_count",
+                 "scope": {"max_load": 2}},
+            ],
+            "defaults": {
+                "scope": {"cores": 4, "max_load": 3},
+                "engine": {"kind": "pool", "jobs": 2},
+            },
+        })
+        request = spec.runs[0].request
+        assert request.cores == 4          # inherited
+        assert request.max_load == 2       # overridden
+        assert request.engine.jobs == 2    # inherited wholesale
+
+    def test_run_names_default_from_kind_and_policy(self):
+        spec = parse_spec({"runs": [
+            {"kind": "hunt", "policy": "naive"},
+            {"kind": "zoo"},
+        ]})
+        assert [r.name for r in spec.runs] == ["run1-hunt-naive",
+                                               "run2-zoo-zoo"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError, match="duplicate run name"):
+            parse_spec({"runs": [
+                {"name": "x", "kind": "hunt", "policy": "naive"},
+                {"name": "x", "kind": "hunt", "policy": "naive"},
+            ]})
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec key"):
+            parse_spec({**MINIMAL, "runz": []})
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(SpecError, match="non-empty 'runs'"):
+            parse_spec({"runs": []})
+
+    def test_kind_cannot_be_defaulted(self):
+        with pytest.raises(SpecError, match="'kind' cannot be defaulted"):
+            parse_spec({"defaults": {"kind": "hunt"}, "runs": [{}]})
+
+    def test_invalid_run_names_the_culprit(self):
+        with pytest.raises(SpecError,
+                           match="invalid run 'bad'.*unknown policy"):
+            parse_spec({"runs": [
+                {"name": "bad", "kind": "hunt", "policy": "nope"},
+            ]})
+
+    def test_unsupported_version(self):
+        with pytest.raises(SpecError, match="unsupported spec_version"):
+            parse_spec({**MINIMAL, "spec_version": 99})
+
+    def test_validation_is_eager(self):
+        # The broken *last* run fails the load before anything runs.
+        with pytest.raises(SpecError, match="invalid run"):
+            parse_spec({"runs": [
+                {"kind": "hunt", "policy": "balance_count"},
+                {"kind": "prove", "policy": "hierarchical"},
+            ]})
+
+
+class TestLoading:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(MINIMAL))
+        spec = load_spec(str(path))
+        assert spec.path == str(path)
+        assert spec.name == "minimal"
+
+    def test_missing_file(self):
+        with pytest.raises(SpecError, match="cannot read spec"):
+            load_spec("/does/not/exist.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_spec(str(path))
+
+
+class TestExecution:
+    def test_runs_execute_in_order(self):
+        spec = parse_spec({"runs": [
+            {"name": "clean", "kind": "hunt", "policy": "balance_count"},
+            {"name": "dirty", "kind": "hunt", "policy": "naive"},
+        ]})
+        outcomes = run_spec(spec)
+        assert [run.name for run, _ in outcomes] == ["clean", "dirty"]
+        assert outcomes[0][1].ok and not outcomes[1][1].ok
+
+    def test_only_selects_one_run(self):
+        spec = parse_spec({"runs": [
+            {"name": "clean", "kind": "hunt", "policy": "balance_count"},
+            {"name": "dirty", "kind": "hunt", "policy": "naive"},
+        ]})
+        outcomes = run_spec(spec, only="dirty")
+        assert len(outcomes) == 1
+        assert outcomes[0][0].name == "dirty"
+
+    def test_only_unknown_name(self):
+        spec = parse_spec(MINIMAL)
+        with pytest.raises(SpecError, match="no run named 'nope'"):
+            run_spec(spec, only="nope")
+
+    def test_subscribers_attach_to_a_provided_session(self):
+        from repro.api import RequestFinished, Session
+
+        events = []
+        run_spec(parse_spec(MINIMAL), session=Session(),
+                 subscribers=(events.append,))
+        assert any(isinstance(e, RequestFinished) for e in events)
+
+
+class TestShippedSpecs:
+    """Every spec under examples/specs/ must at least load cleanly."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(SPECS_DIR.glob("*.json")), ids=lambda p: p.name
+    )
+    def test_example_spec_loads(self, path):
+        spec = load_spec(str(path))
+        assert spec.runs
+        assert spec.description
+
+    def test_examples_exist(self):
+        assert (SPECS_DIR / "quickstart.json").exists()
+        assert (SPECS_DIR / "topology_sweep.json").exists()

@@ -323,3 +323,139 @@ class TestTopology:
                             "--no-symmetry")
         assert code == 0
         assert "over 256 states" in out
+
+
+class TestRunSpec:
+    """The declarative spec-file client (`python -m repro run-spec`)."""
+
+    SPEC = {
+        "spec_version": 1,
+        "name": "cli-test",
+        "runs": [
+            {"name": "clean", "kind": "hunt", "policy": "balance_count"},
+            {"name": "dirty", "kind": "hunt", "policy": "naive"},
+            {"name": "prove", "kind": "prove",
+             "policy": {"name": "balance_count"},
+             "scope": {"cores": 3, "max_load": 2}},
+        ],
+    }
+
+    def write_spec(self, tmp_path, document=None):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(document or self.SPEC))
+        return str(path)
+
+    def test_runs_all_with_headers(self, tmp_path):
+        code, out = run_cli("run-spec", self.write_spec(tmp_path))
+        assert code == 0
+        assert "# clean" in out and "# dirty" in out and "# prove" in out
+        assert "VIOLATION" in out and "WORK-CONSERVING" in out
+
+    def test_only_is_byte_identical_to_the_legacy_command(self, tmp_path):
+        spec_path = self.write_spec(tmp_path)
+        code_spec, out_spec = run_cli("run-spec", spec_path,
+                                      "--only", "prove")
+        code_legacy, out_legacy = run_cli("verify", "balance_count",
+                                          "--cores", "3",
+                                          "--max-load", "2")
+        assert (code_spec, out_spec) == (code_legacy, out_legacy)
+
+    def test_list_shows_runs_without_executing(self, tmp_path):
+        code, out = run_cli("run-spec", self.write_spec(tmp_path), "--list")
+        assert code == 0
+        assert "clean: hunt balance_count" in out
+        assert "VIOLATION" not in out  # nothing ran
+
+    def test_exit_code_gates_on_the_worst_run(self, tmp_path):
+        gating = {
+            "runs": [
+                {"name": "ok", "kind": "prove", "policy": "balance_count",
+                 "scope": {"cores": 3, "max_load": 2}},
+                {"name": "bad", "kind": "prove", "policy": "naive",
+                 "scope": {"cores": 3, "max_load": 2}},
+            ],
+        }
+        code, out = run_cli("run-spec", self.write_spec(tmp_path, gating))
+        assert code == 2
+        assert "WORK-CONSERVING" in out and "NOT PROVED" in out
+
+    def test_json_output_roundtrips(self, tmp_path):
+        import json
+
+        from repro.api import result_from_dict
+
+        out_path = tmp_path / "results.json"
+        code, _ = run_cli("run-spec", self.write_spec(tmp_path),
+                          "--json", str(out_path))
+        assert code == 0
+        entries = json.loads(out_path.read_text())
+        assert [e["run"] for e in entries] == ["clean", "dirty", "prove"]
+        for entry in entries:
+            result = result_from_dict(entry["result"])
+            assert result.render()
+
+    def test_invalid_spec_is_a_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["run-spec", str(bad)])
+
+    def test_unknown_only_name_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run named"):
+            main(["run-spec", self.write_spec(tmp_path), "--only", "nope"])
+
+    def test_shipped_quickstart_spec_lists(self):
+        import pathlib
+
+        spec = str(pathlib.Path(__file__).resolve().parents[2]
+                   / "examples" / "specs" / "quickstart.json")
+        code, out = run_cli("run-spec", spec, "--list")
+        assert code == 0
+        assert "prove-balance-count" in out
+
+
+class TestProgressFlag:
+    def test_progress_streams_events_to_stderr_only(self, capsys):
+        code = main(["hunt", "balance_count", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no violation" in captured.out
+        assert "RequestStarted" in captured.err
+        assert "RequestFinished" in captured.err
+        # stdout stays byte-identical to a run without --progress
+        code2, plain = run_cli("hunt", "balance_count")
+        assert plain == captured.out
+
+
+class TestRunSpecFailureHandling:
+    def test_checker_refusal_is_a_clean_error_not_a_traceback(self, tmp_path):
+        import json
+
+        spec = tmp_path / "refusal.json"
+        spec.write_text(json.dumps({"runs": [
+            {"name": "unsound", "kind": "prove", "policy": "numa_choice",
+             "topology": "numa:3x2", "choice_mode": "policy"},
+        ]}))
+        with pytest.raises(SystemExit, match="run 'unsound' failed.*unsound"):
+            main(["run-spec", str(spec)])
+
+    def test_completed_runs_print_before_a_later_failure(self, tmp_path,
+                                                         capsys):
+        import json
+
+        spec = tmp_path / "partial.json"
+        spec.write_text(json.dumps({"runs": [
+            {"name": "good", "kind": "hunt", "policy": "balance_count"},
+            {"name": "bad", "kind": "prove", "policy": "numa_choice",
+             "topology": "numa:3x2", "choice_mode": "policy"},
+        ]}))
+        out_json = tmp_path / "partial_results.json"
+        with pytest.raises(SystemExit, match="run 'bad' failed"):
+            main(["run-spec", str(spec), "--json", str(out_json)])
+        captured = capsys.readouterr()
+        # the completed run's report was flushed, and its JSON written
+        assert "no violation" in captured.out
+        entries = json.loads(out_json.read_text())
+        assert [e["run"] for e in entries] == ["good"]

@@ -20,6 +20,7 @@ EXPECTED_OUTPUT = {
     "wasted_cores.py": "slowdown",
     "numa_placement.py": "hierarchical rounds",
     "verification_campaign.py": "no violation found",
+    "api_session.py": "work-conserving",
 }
 
 
