@@ -70,7 +70,15 @@ from repro.api.request import (
     policy_names,
     with_engine,
 )
-from repro.api.result import ResultStats, Verdict, VerificationResult
+from repro.api.result import (
+    ResultStats,
+    Verdict,
+    VerificationResult,
+    result_from_analysis,
+    result_from_campaign,
+    result_from_certificate,
+    result_from_zoo,
+)
 from repro.api.session import (
     LevelCompleted,
     MachineChecked,
@@ -80,6 +88,7 @@ from repro.api.session import (
     RequestFailed,
     RequestFinished,
     RequestStarted,
+    ResultReused,
     Session,
     ShardReassigned,
     StatesExplored,
@@ -113,6 +122,7 @@ __all__ = [
     "RequestFailed",
     "RequestFinished",
     "RequestStarted",
+    "ResultReused",
     "ResultStats",
     "SerialEngine",
     "Session",
@@ -135,7 +145,11 @@ __all__ = [
     "policy_names",
     "request_from_dict",
     "request_to_dict",
+    "result_from_analysis",
+    "result_from_campaign",
+    "result_from_certificate",
     "result_from_dict",
+    "result_from_zoo",
     "result_to_dict",
     "run_request",
     "run_spec",

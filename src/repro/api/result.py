@@ -182,3 +182,86 @@ class VerificationResult:
     def with_timings(self, timings: dict[str, float]) -> "VerificationResult":
         """A copy with replaced timings (results are frozen)."""
         return replace(self, timings=dict(timings))
+
+
+# ---------------------------------------------------------------------------
+# payload -> result assembly
+#
+# One function per request kind, mapping an engine's raw payload to the
+# typed result. The session and the proof store's caching engine both
+# assemble results, and byte-identical reports require them to agree on
+# every verdict and counter — so the mapping lives here, once.
+# ---------------------------------------------------------------------------
+
+
+def result_from_certificate(
+    request: VerificationRequest,
+    certificate: WorkConservationCertificate,
+) -> "VerificationResult":
+    """The ``prove`` result for a §4 pipeline certificate."""
+    return VerificationResult(
+        request=request,
+        verdict=Verdict.PROVED if certificate.proved else Verdict.REFUTED,
+        stats=ResultStats(
+            states_explored=certificate.analysis.states_explored,
+            bad_states=certificate.analysis.bad_states,
+            violations=len(certificate.report.refuted),
+        ),
+        timings={},
+        certificate=certificate,
+    )
+
+
+def result_from_analysis(
+    request: VerificationRequest,
+    analysis: WorkConservationAnalysis,
+) -> "VerificationResult":
+    """The ``hunt`` result for a model checker analysis."""
+    return VerificationResult(
+        request=request,
+        verdict=Verdict.VIOLATED if analysis.violated else Verdict.CLEAN,
+        stats=ResultStats(
+            states_explored=analysis.states_explored,
+            bad_states=analysis.bad_states,
+            violations=1 if analysis.violated else 0,
+        ),
+        timings={"explore_s": analysis.elapsed_s},
+        analysis=analysis,
+    )
+
+
+def result_from_zoo(request: VerificationRequest,
+                    zoo: ZooReport) -> "VerificationResult":
+    """The ``zoo`` result for a verdict matrix."""
+    proved = sum(1 for c in zoo.certificates if c.proved)
+    return VerificationResult(
+        request=request,
+        verdict=(Verdict.PROVED if proved == len(zoo.certificates)
+                 else Verdict.REFUTED),
+        stats=ResultStats(
+            policies=len(zoo.certificates),
+            policies_proved=proved,
+            violations=sum(len(c.report.refuted)
+                           for c in zoo.certificates),
+        ),
+        timings={},
+        zoo=zoo,
+    )
+
+
+def result_from_campaign(request: VerificationRequest,
+                         campaign: CampaignReport) -> "VerificationResult":
+    """The ``campaign`` result for a fuzzing report."""
+    return VerificationResult(
+        request=request,
+        verdict=Verdict.CLEAN if campaign.clean else Verdict.VIOLATED,
+        stats=ResultStats(
+            machines=campaign.machines,
+            rounds=campaign.rounds,
+            steals=campaign.steals,
+            failures=campaign.failures,
+            violations=len(campaign.violations),
+        ),
+        timings={},
+        campaign=campaign,
+    )

@@ -35,17 +35,28 @@ Usage::
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Iterable
 
 from repro.verify.campaign import CampaignReport
 from repro.verify.obligations import Counterexample
-from repro.verify.report import ZooReport, zoo_lineup
+from repro.verify.report import ZooReport, zoo_lineup, zoo_lineup_entries
 from repro.verify.work_conservation import WorkConservationCertificate
 
 from repro.api.engine import DistributedEngine, Engine, create_engine
 from repro.api.request import RequestError, VerificationRequest
-from repro.api.result import ResultStats, Verdict, VerificationResult
+from repro.api.result import (
+    VerificationResult,
+    result_from_analysis,
+    result_from_campaign,
+    result_from_certificate,
+    result_from_zoo,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - hints only; imported lazily
+    from repro.store.backends import ResultStore
+    from repro.store.caching import CachingEngine
 
 #: How many serial-engine expansions between ``StatesExplored`` events.
 DEFAULT_EXPAND_STRIDE = 1000
@@ -126,6 +137,26 @@ class MachineChecked(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class ResultReused(ProgressEvent):
+    """A stored result served in place of a fresh proof.
+
+    Emitted by sessions running with a result store
+    (:mod:`repro.store`): once per whole request served from the
+    store, or once per zoo row when a zoo run is partially warm —
+    dashboards and ``--progress`` can therefore distinguish cache
+    hits from fresh exploration.
+
+    Attributes:
+        request: the request (or derived per-policy prove request of a
+            zoo row) whose result was reused.
+        key: the content address it was served from.
+    """
+
+    request: VerificationRequest
+    key: str
+
+
+@dataclass(frozen=True)
 class ViolationFound(ProgressEvent):
     """A refuted obligation, lasso, or campaign violation.
 
@@ -177,11 +208,22 @@ class Session:
             enters/exits it per run.
         expand_stride: emit :class:`StatesExplored` every this many
             serial expansions.
+        store: a :class:`~repro.store.backends.ResultStore`; when
+            given, every run consults it before exploring anything and
+            stores what it freshly proves, emitting
+            :class:`ResultReused` for each hit. Zoo runs are cached at
+            both granularities — the whole matrix, and one derived
+            prove request per row, so a partially warm lineup only
+            re-proves its misses.
+        store_refresh: skip store lookups (but still store fresh
+            results) — ``--store-refresh``.
     """
 
     def __init__(self, subscribers: Iterable[Subscriber] = (),
                  engine: Engine | None = None,
-                 expand_stride: int = DEFAULT_EXPAND_STRIDE) -> None:
+                 expand_stride: int = DEFAULT_EXPAND_STRIDE,
+                 store: "ResultStore | None" = None,
+                 store_refresh: bool = False) -> None:
         self._subscribers: list[Subscriber] = list(subscribers)
         self._engine = engine
         if expand_stride < 1:
@@ -189,6 +231,8 @@ class Session:
                 f"expand_stride must be >= 1, got {expand_stride}"
             )
         self.expand_stride = expand_stride
+        self._store = store
+        self._store_refresh = store_refresh
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Add a progress subscriber."""
@@ -214,6 +258,9 @@ class Session:
     def _on_reassign(self, task_index: int, worker: str) -> None:
         self._emit(ShardReassigned(task_index=task_index, worker=worker))
 
+    def _on_reused(self, request: VerificationRequest, key: str) -> None:
+        self._emit(ResultReused(request=request, key=key))
+
     # -- running --------------------------------------------------------
 
     def run(self, request: VerificationRequest) -> VerificationResult:
@@ -226,25 +273,44 @@ class Session:
                 failure, ...).
             VerificationError: an unsound parameter combination the
                 checkers refuse (e.g. a non-equivariant choice under a
-                symmetry quotient).
+                symmetry quotient), or a store that cannot be written.
         """
         engine = self._engine if self._engine is not None \
             else create_engine(request.engine)
         if isinstance(engine, DistributedEngine):
             # Entering the engine copies the hook onto the coordinator.
             engine.on_reassign = self._on_reassign
+        caching: CachingEngine | None = None
+        if self._store is not None:
+            from repro.store.caching import CachingEngine
+
+            caching = CachingEngine(engine, self._store,
+                                    refresh=self._store_refresh,
+                                    on_reused=self._on_reused)
+            engine = caching
         self._emit(RequestStarted(request=request,
                                   engine=engine.describe()))
         start = time.perf_counter()
         try:
-            with engine:
-                runner = {
-                    "prove": self._run_prove,
-                    "hunt": self._run_hunt,
-                    "zoo": self._run_zoo,
-                    "campaign": self._run_campaign,
-                }[request.kind]
-                result = runner(request, engine)
+            result = None
+            if caching is not None:
+                # Whole-request fast path: a warm request acquires no
+                # backend at all (no pool, no worker fleet).
+                result = caching.load_result(request)
+            if result is None:
+                with engine:
+                    runner = {
+                        "prove": self._run_prove,
+                        "hunt": self._run_hunt,
+                        "zoo": self._run_zoo,
+                        "campaign": self._run_campaign,
+                    }[request.kind]
+                    result = runner(request, engine)
+                if caching is not None and request.kind == "zoo":
+                    # Engine-level binding stored the per-row results;
+                    # the assembled matrix gets its own entry so a
+                    # fully warm zoo is one lookup, not eleven.
+                    caching.save_result(request, result)
         except BaseException as exc:
             self._emit(RequestFailed(request=request, error=str(exc)))
             raise
@@ -254,6 +320,13 @@ class Session:
         self._emit_violations(result)
         self._emit(RequestFinished(result=result))
         return result
+
+    @staticmethod
+    def _bound(engine: Engine,
+               request: VerificationRequest) -> ContextManager[Any]:
+        """Bind ``request`` on a caching engine; no-op on a bare one."""
+        bind = getattr(engine, "bound", None)
+        return bind(request) if bind is not None else nullcontext()
 
     def _emit_violations(self, result: VerificationResult) -> None:
         certificates: list[WorkConservationCertificate] = []
@@ -284,125 +357,127 @@ class Session:
                    engine: Engine) -> VerificationResult:
         resolved = request.resolve()
         assert resolved.policy is not None  # guaranteed by request validation
-        cert = engine.prove(
-            resolved.policy, resolved.scope,
-            choice_mode=request.choice_mode,
-            max_orders=request.effective_max_orders,
-            symmetric=request.symmetric,
-            symmetry=resolved.symmetry,
-            topology=resolved.topology,
-            on_level=self._on_level,
-        )
-        return VerificationResult(
-            request=request,
-            verdict=Verdict.PROVED if cert.proved else Verdict.REFUTED,
-            stats=ResultStats(
-                states_explored=cert.analysis.states_explored,
-                bad_states=cert.analysis.bad_states,
-                violations=len(cert.report.refuted),
-            ),
-            timings={},
-            certificate=cert,
-        )
+        with self._bound(engine, request):
+            cert = engine.prove(
+                resolved.policy, resolved.scope,
+                choice_mode=request.choice_mode,
+                max_orders=request.effective_max_orders,
+                symmetric=request.symmetric,
+                symmetry=resolved.symmetry,
+                topology=resolved.topology,
+                on_level=self._on_level,
+            )
+        return result_from_certificate(request, cert)
 
     def _run_hunt(self, request: VerificationRequest,
                   engine: Engine) -> VerificationResult:
         from repro.api.engine import SerialEngine
 
         resolved = request.resolve()
-        if isinstance(engine, SerialEngine):
-            # The serial closure is depth-first: exploration progress
-            # comes from the checker's per-expansion hook, not levels.
-            analysis = engine.analyze(
-                resolved.policy, resolved.scope,
-                choice_mode=request.choice_mode,
-                max_orders=request.effective_max_orders,
-                symmetric=request.symmetric,
-                symmetry=resolved.symmetry,
-                topology=resolved.topology,
-                hierarchy=resolved.hierarchy,
-                on_expand=self._on_expand,
-            )
-        else:
-            analysis = engine.analyze(
-                resolved.policy, resolved.scope,
-                choice_mode=request.choice_mode,
-                max_orders=request.effective_max_orders,
-                symmetric=request.symmetric,
-                symmetry=resolved.symmetry,
-                topology=resolved.topology,
-                hierarchy=resolved.hierarchy,
-                on_level=self._on_level,
-            )
-        return VerificationResult(
-            request=request,
-            verdict=Verdict.VIOLATED if analysis.violated else Verdict.CLEAN,
-            stats=ResultStats(
-                states_explored=analysis.states_explored,
-                bad_states=analysis.bad_states,
-                violations=1 if analysis.violated else 0,
-            ),
-            timings={"explore_s": analysis.elapsed_s},
-            analysis=analysis,
-        )
+        # A caching engine is as serial as the backend it wraps.
+        backend = getattr(engine, "inner", engine)
+        with self._bound(engine, request):
+            if isinstance(backend, SerialEngine):
+                # The serial closure is depth-first: exploration
+                # progress comes from the checker's per-expansion hook,
+                # not levels.
+                analysis = engine.analyze(
+                    resolved.policy, resolved.scope,
+                    choice_mode=request.choice_mode,
+                    max_orders=request.effective_max_orders,
+                    symmetric=request.symmetric,
+                    symmetry=resolved.symmetry,
+                    topology=resolved.topology,
+                    hierarchy=resolved.hierarchy,
+                    on_expand=self._on_expand,
+                )
+            else:
+                analysis = engine.analyze(
+                    resolved.policy, resolved.scope,
+                    choice_mode=request.choice_mode,
+                    max_orders=request.effective_max_orders,
+                    symmetric=request.symmetric,
+                    symmetry=resolved.symmetry,
+                    topology=resolved.topology,
+                    hierarchy=resolved.hierarchy,
+                    on_level=self._on_level,
+                )
+        return result_from_analysis(request, analysis)
+
+    @staticmethod
+    def _zoo_row_request(request: VerificationRequest, name: str,
+                         kwargs: dict) -> VerificationRequest:
+        """The derived prove request addressing one zoo row.
+
+        Spelled with the zoo's *effective* scope and order cap, so the
+        row shares a store entry with any equivalent standalone prove
+        request on the same engine.
+        """
+        builder = (VerificationRequest.builder("prove")
+                   .policy(name, **kwargs)
+                   .scope(cores=request.cores,
+                          max_load=request.effective_max_load)
+                   .max_orders(request.effective_max_orders)
+                   .choice_mode(request.choice_mode)
+                   .symmetric(request.symmetric)
+                   .no_symmetry(request.no_symmetry)
+                   .topology(request.topology)
+                   .engine(request.engine))
+        return builder.build()
 
     def _run_zoo(self, request: VerificationRequest,
                  engine: Engine) -> VerificationResult:
         resolved = request.resolve()
         policies = zoo_lineup(resolved.topology)
+        # With a store attached, each row is dispatched under its own
+        # derived prove request: the lineup partitions into hits served
+        # from the store and misses fanned out to the backend.
+        entries = (zoo_lineup_entries(resolved.topology)
+                   if hasattr(engine, "bound") else None)
+        if entries is not None and len(entries) != len(policies):
+            # The request-level lineup drifted from the built one (a
+            # test pins their alignment, so this is belt-and-braces):
+            # misaligned rows would store certificates under the wrong
+            # addresses, so run this zoo uncached instead.
+            entries = None
         certificates: list[WorkConservationCertificate] = []
         for index, policy in enumerate(policies):
             self._emit(PolicyStarted(policy=policy.name, index=index,
                                      total=len(policies)))
-            cert = engine.prove(
-                policy, resolved.scope,
-                choice_mode=request.choice_mode,
-                max_orders=request.effective_max_orders,
-                symmetric=request.symmetric,
-                symmetry=resolved.symmetry,
-                topology=resolved.topology,
-                on_level=self._on_level,
-            )
+            if entries is not None:
+                name, kwargs = entries[index]
+                context: ContextManager[Any] = self._bound(
+                    engine, self._zoo_row_request(request, name, kwargs)
+                )
+            else:
+                context = nullcontext()
+            with context:
+                cert = engine.prove(
+                    policy, resolved.scope,
+                    choice_mode=request.choice_mode,
+                    max_orders=request.effective_max_orders,
+                    symmetric=request.symmetric,
+                    symmetry=resolved.symmetry,
+                    topology=resolved.topology,
+                    on_level=self._on_level,
+                )
             certificates.append(cert)
             self._emit(PolicyFinished(policy=policy.name, index=index,
                                       total=len(policies),
                                       proved=cert.proved))
         report = ZooReport(scope=resolved.scope.describe(),
                            certificates=certificates)
-        proved = sum(1 for c in certificates if c.proved)
-        return VerificationResult(
-            request=request,
-            verdict=(Verdict.PROVED if proved == len(certificates)
-                     else Verdict.REFUTED),
-            stats=ResultStats(
-                policies=len(certificates),
-                policies_proved=proved,
-                violations=sum(len(c.report.refuted) for c in certificates),
-            ),
-            timings={},
-            zoo=report,
-        )
+        return result_from_zoo(request, report)
 
     def _run_campaign(self, request: VerificationRequest,
                       engine: Engine) -> VerificationResult:
         config = request.campaign_config()
-        report: CampaignReport = engine.run_campaign(
-            request.policy_factory(), config,
-            on_machine=self._on_machine,
-        )
-        return VerificationResult(
-            request=request,
-            verdict=Verdict.CLEAN if report.clean else Verdict.VIOLATED,
-            stats=ResultStats(
-                machines=report.machines,
-                rounds=report.rounds,
-                steals=report.steals,
-                failures=report.failures,
-                violations=len(report.violations),
-            ),
-            timings={},
-            campaign=report,
-        )
+        with self._bound(engine, request):
+            report: CampaignReport = engine.run_campaign(
+                request.policy_factory(), config,
+                on_machine=self._on_machine,
+            )
+        return result_from_campaign(request, report)
 
 
 def run_request(request: VerificationRequest,

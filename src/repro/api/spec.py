@@ -35,6 +35,21 @@ within the spec; defaulted from the kind and policy when omitted).
 default ``cores``. A run that must *not* inherit a default engine or
 scope simply states its own.
 
+A run entry may instead carry a ``matrix`` stanza — request keys mapped
+to value lists — and expands into the cartesian product of runs, one
+per combination::
+
+    {"name": "sweep", "kind": "prove",
+     "matrix": {"policy": ["balance_count", "greedy_halving"],
+                "scope": [{"max_load": 2}, {"max_load": 3}]}}
+
+expands to four runs with deterministic generated names
+(``sweep-balance_count-max_load2``, ...): axes iterate in sorted key
+order, each axis in document order. The expanded documents then merge
+with ``defaults`` exactly like hand-written runs. One stanza replaces N
+near-identical entries — and, paired with ``--store``, editing one axis
+only re-proves the new cells.
+
 Validation is eager: :func:`load_spec` builds (and thereby validates)
 every request before anything runs, so a typo in run 7 fails fast
 instead of after an hour of run 1.
@@ -42,9 +57,10 @@ instead of after an hour of run 1.
 
 from __future__ import annotations
 
+import itertools
 import json
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.errors import VerificationError
 
@@ -52,6 +68,9 @@ from repro.api.report import request_from_dict
 from repro.api.request import RequestError, VerificationRequest
 from repro.api.result import VerificationResult
 from repro.api.session import Session, Subscriber
+
+if TYPE_CHECKING:  # pragma: no cover - hints only; imported lazily
+    from repro.store.backends import ResultStore
 
 #: The one spec format this loader understands.
 SPEC_VERSION = 1
@@ -122,6 +141,95 @@ def _default_name(request: VerificationRequest, index: int) -> str:
     return f"run{index + 1}-{request.kind}-{target}"
 
 
+# ---------------------------------------------------------------------------
+# matrix stanzas
+# ---------------------------------------------------------------------------
+
+#: Request-document keys a matrix stanza may use as axes.
+_MATRIX_AXES = frozenset({
+    "kind", "policy", "scope", "max_orders", "choice_mode", "symmetric",
+    "no_symmetry", "topology", "engine", "campaign",
+})
+
+
+def _slug(value: Any) -> str:
+    """A deterministic name fragment for one axis value.
+
+    Policy-style objects lead with their ``name`` so the generated run
+    names read naturally (``{"name": "balance_count", "margin": 1}``
+    becomes ``balance_count-margin1``).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float, str)):
+        return str(value)
+    if isinstance(value, Mapping):
+        parts = []
+        if "name" in value:
+            parts.append(_slug(value["name"]))
+        parts.extend(f"{key}{_slug(item)}"
+                     for key, item in sorted(value.items())
+                     if key != "name")
+        return "-".join(parts) if parts else "empty"
+    if isinstance(value, (list, tuple)):
+        return "-".join(_slug(item) for item in value) or "empty"
+    return str(value)
+
+
+def _expand_matrix(entry: Mapping[str, Any], matrix: Any, name: str | None,
+                   index: int) -> list[tuple[str, dict[str, Any]]]:
+    """Expand one matrix stanza into its cartesian product of runs.
+
+    Axes are iterated in sorted key order and each axis in document
+    order, so both the expansion order and the generated names
+    (``<base>-<axis slug>-...``) are deterministic functions of the
+    document.
+
+    Raises:
+        SpecError: a malformed stanza — non-object matrix, empty or
+            non-list axis, an unknown axis key, or an axis also set on
+            the run entry itself.
+    """
+    label = name if name is not None else f"runs[{index}]"
+    if not isinstance(matrix, Mapping) or not matrix:
+        raise SpecError(
+            f"run {label!r}: 'matrix' must be a non-empty object of"
+            " request keys to value lists"
+        )
+    unknown = sorted(set(matrix) - _MATRIX_AXES)
+    if unknown:
+        raise SpecError(
+            f"run {label!r}: unknown matrix axis"
+            f" {', '.join(map(repr, unknown))}; expected a subset of:"
+            f" {', '.join(sorted(_MATRIX_AXES))}"
+        )
+    overlap = sorted(set(matrix) & set(entry))
+    if overlap:
+        raise SpecError(
+            f"run {label!r}: matrix axis {', '.join(map(repr, overlap))}"
+            " is also set on the run itself; state each value in exactly"
+            " one place"
+        )
+    axes = sorted(matrix)
+    for axis in axes:
+        values = matrix[axis]
+        if not isinstance(values, list) or not values:
+            raise SpecError(
+                f"run {label!r}: matrix axis {axis!r} must be a"
+                " non-empty list of values"
+            )
+    base = name if name is not None else f"run{index + 1}"
+    expanded: list[tuple[str, dict[str, Any]]] = []
+    for combination in itertools.product(*(matrix[axis] for axis in axes)):
+        document = dict(entry)
+        document.update(zip(axes, combination))
+        suffix = "-".join(_slug(value) for value in combination)
+        expanded.append((f"{base}-{suffix}", document))
+    return expanded
+
+
 def parse_spec(document: Mapping[str, Any], *,
                path: str | None = None) -> SpecFile:
     """Parse (and fully validate) a spec document.
@@ -161,16 +269,11 @@ def parse_spec(document: Mapping[str, Any], *,
 
     runs: list[SpecRun] = []
     seen: set[str] = set()
-    for index, entry in enumerate(runs_doc):
-        if not isinstance(entry, Mapping):
-            raise SpecError(
-                f"runs[{index}] must be an object,"
-                f" got {type(entry).__name__}"
-            )
-        entry = dict(entry)
-        name = entry.pop("name", None)
+
+    def add_run(name: str | None, run_doc: dict[str, Any],
+                index: int) -> None:
         try:
-            request = request_from_dict(_merge_defaults(defaults, entry))
+            request = request_from_dict(_merge_defaults(defaults, run_doc))
         except RequestError as exc:
             label = name if name is not None else f"runs[{index}]"
             raise SpecError(f"invalid run {label!r}: {exc}") from exc
@@ -180,6 +283,22 @@ def parse_spec(document: Mapping[str, Any], *,
             raise SpecError(f"duplicate run name {name!r}")
         seen.add(name)
         runs.append(SpecRun(name=name, request=request))
+
+    for index, entry in enumerate(runs_doc):
+        if not isinstance(entry, Mapping):
+            raise SpecError(
+                f"runs[{index}] must be an object,"
+                f" got {type(entry).__name__}"
+            )
+        entry = dict(entry)
+        name = entry.pop("name", None)
+        matrix = entry.pop("matrix", None)
+        if matrix is not None:
+            for generated, run_doc in _expand_matrix(entry, matrix,
+                                                     name, index):
+                add_run(generated, run_doc, index)
+        else:
+            add_run(name, entry, index)
 
     return SpecFile(
         name=document.get("name", path or "unnamed"),
@@ -210,8 +329,16 @@ def load_spec(path: str) -> SpecFile:
 def run_spec(spec: SpecFile, *, only: str | None = None,
              session: Session | None = None,
              subscribers: tuple[Subscriber, ...] = (),
+             store: "ResultStore | None" = None,
+             store_refresh: bool = False,
              ) -> list[tuple[SpecRun, VerificationResult]]:
     """Execute a spec's runs in order.
+
+    With a ``store``, the spec's request set partitions into hits —
+    served straight from the store as
+    :class:`~repro.api.session.ResultReused` events — and misses, which
+    alone are dispatched to their engines: the incremental campaign
+    driver. Re-running an unchanged spec explores nothing.
 
     Args:
         spec: the loaded spec.
@@ -219,13 +346,27 @@ def run_spec(spec: SpecFile, *, only: str | None = None,
         session: the session to run on (one is created otherwise).
         subscribers: progress subscribers, attached to the created *or*
             provided session.
+        store: a :class:`~repro.store.backends.ResultStore` for the
+            created session (configure a provided ``session`` directly
+            instead of passing both).
+        store_refresh: skip store lookups but store fresh results.
 
     Returns:
         ``(run, result)`` pairs in execution order.
+
+    Raises:
+        RequestError: a ``session`` was given together with ``store``
+            or ``store_refresh`` (configure the session instead).
     """
     if session is None:
-        session = Session(subscribers=subscribers)
+        session = Session(subscribers=subscribers, store=store,
+                          store_refresh=store_refresh)
     else:
+        if store is not None or store_refresh:
+            raise RequestError(
+                "pass the store (and store_refresh) when constructing"
+                " the session, not to run_spec as well"
+            )
         for subscriber in subscribers:
             session.subscribe(subscriber)
     selected = [spec.run_named(only)] if only is not None else list(spec.runs)

@@ -10,6 +10,8 @@ paper's toolchain:
 * ``campaign``      — randomised fuzzing beyond exhaustive scopes;
 * ``run-spec``      — execute a declarative spec file (a whole campaign
   of runs as one reviewable JSON document, see ``examples/specs/``);
+* ``store``         — inspect and maintain the content-addressed proof
+  store behind ``--store`` (``ls``/``show``/``gc``/``verify-integrity``);
 * ``simulate``      — run a workload under a chosen balancer and report
   wasted-core metrics;
 * ``dsl``           — compile a DSL policy file and emit Python proof
@@ -26,7 +28,9 @@ flags are just the request's field names. ``--jobs N`` selects the pool
 engine, ``--distributed N`` / ``--workers HOST:PORT,...`` the
 distributed engine, and ``--topology numa:NxM`` / ``mesh:SxM`` the
 topology-aware policies plus the symmetry quotient — verdicts are
-identical under every engine.
+identical under every engine. ``--store [DIR]`` serves any request
+proven before straight from the content-addressed proof store
+(:mod:`repro.store`) with byte-identical output and zero exploration.
 
 Every command exits 0 on success; ``verify``, ``campaign`` and
 ``run-spec`` exit 2 when a policy is refuted (so shell scripts can gate
@@ -128,6 +132,30 @@ def _topology_parent(help_text: str | None = None) -> argparse.ArgumentParser:
     return parent
 
 
+def _store_parent() -> argparse.ArgumentParser:
+    """The proof-store selectors: ``--store``/``--no-store``/
+    ``--store-refresh``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument(
+        "--store", nargs="?", metavar="DIR", const="", default=None,
+        help="serve previously proven requests from the content-"
+             "addressed result store at DIR (default"
+             " ~/.cache/repro/store) and store fresh results; warm runs"
+             " render byte-identically without exploring any states",
+    )
+    group.add_argument(
+        "--no-store", action="store_true",
+        help="force the result store off",
+    )
+    parent.add_argument(
+        "--store-refresh", action="store_true",
+        help="re-run and overwrite store entries even when present"
+             " (implies --store)",
+    )
+    return parent
+
+
 def _engine_parent(jobs_help: str | None = None) -> argparse.ArgumentParser:
     """The engine selectors: ``--jobs``/``--distributed``/``--workers``."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -206,6 +234,33 @@ def _build_request(kind: str, args: argparse.Namespace):
     return builder.build()
 
 
+def _store_config(args: argparse.Namespace):
+    """Map the store flags onto ``(ResultStore | None, refresh)``."""
+    directory = getattr(args, "store", None)
+    refresh = getattr(args, "store_refresh", False)
+    if getattr(args, "no_store", False):
+        if refresh:
+            raise SystemExit(
+                "--no-store conflicts with --store-refresh: pick one"
+            )
+        return None, False
+    if directory is None and not refresh:
+        return None, False
+    from repro.store import FileStore
+
+    return FileStore(directory or None), refresh
+
+
+def _make_session(args: argparse.Namespace):
+    """The configured :class:`~repro.api.Session` for a verification
+    command: progress subscribers plus the result store, when asked."""
+    from repro.api import Session
+
+    store, refresh = _store_config(args)
+    return Session(subscribers=_progress_subscribers(args),
+                   store=store, store_refresh=refresh)
+
+
 def _progress_subscribers(args: argparse.Namespace) -> list:
     """``--progress`` streams session events to stderr (stdout stays
     byte-identical to the legacy reports)."""
@@ -227,14 +282,14 @@ def _run_request(kind: str, args: argparse.Namespace,
     (group, choice_mode) combination) into a one-line ``SystemExit``
     instead of a traceback — ``verify``'s historical behaviour.
     """
-    from repro.api import EngineError, RequestError, Session
+    from repro.api import EngineError, RequestError
     from repro.core.errors import VerificationError
 
     try:
         request = _build_request(kind, args)
     except RequestError as exc:
         raise SystemExit(str(exc)) from exc
-    session = Session(subscribers=_progress_subscribers(args))
+    session = _make_session(args)
     try:
         result = session.run(request)
     except EngineError as exc:
@@ -279,7 +334,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_run_spec(args: argparse.Namespace) -> int:
-    from repro.api import EngineError, Session, SpecError, load_spec
+    from repro.api import EngineError, SpecError, load_spec
     from repro.core.errors import VerificationError
 
     try:
@@ -290,7 +345,7 @@ def cmd_run_spec(args: argparse.Namespace) -> int:
         for run in spec.runs:
             print(f"{run.name}: {run.request.describe()}")
         return 0
-    session = Session(subscribers=_progress_subscribers(args))
+    session = _make_session(args)
     try:
         selected = ([spec.run_named(args.only)] if args.only is not None
                     else list(spec.runs))
@@ -453,6 +508,18 @@ def cmd_dsl(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.core.errors import VerificationError
+    from repro.store.cli import cmd_store as run_store_command
+
+    try:
+        return run_store_command(args)
+    except VerificationError as exc:
+        # Unwritable or corrupt store roots: the same clean one-liner
+        # every verification command prints, never a traceback.
+        raise SystemExit(str(exc)) from exc
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     from repro.core.errors import VerificationError
     from repro.verify.distributed import WorkerServer, parse_endpoint
@@ -497,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify", help="run the full proof pipeline",
         parents=[_policy_parent(), _scope_parent(3), _topology_parent(),
-                 _engine_parent(), progress_parent],
+                 _engine_parent(), _store_parent(), progress_parent],
     )
     verify.add_argument("--choice-mode", choices=("all", "policy"),
                         default="all")
@@ -506,13 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "zoo", help="verdict matrix over the policy zoo",
         parents=[_scope_parent(3), _topology_parent(), _engine_parent(),
-                 progress_parent],
+                 _store_parent(), progress_parent],
     )
 
     hunt = sub.add_parser(
         "hunt", help="model-check work conservation",
         parents=[_policy_parent(), _scope_parent(2), _topology_parent(),
-                 _engine_parent(), progress_parent],
+                 _engine_parent(), _store_parent(), progress_parent],
     )
     hunt.add_argument("--symmetric", action="store_true")
 
@@ -538,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
                 " 1 = serial); coverage depends on the (seed, workers)"
                 " pair but reproduces exactly for fixed values"
             )),
+            _store_parent(),
             progress_parent,
         ],
     )
@@ -551,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec = sub.add_parser(
         "run-spec",
         help="execute a declarative verification spec file",
-        parents=[progress_parent],
+        parents=[_store_parent(), progress_parent],
     )
     run_spec.add_argument("spec", help="path to a spec JSON document"
                                        " (see examples/specs/)")
@@ -585,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     dsl.add_argument("--cores", type=int, default=3)
     dsl.add_argument("--max-load", type=int, default=3)
 
+    from repro.store.cli import add_store_parser
+
+    add_store_parser(sub)
+
     worker = sub.add_parser(
         "worker",
         help="serve verification shards to a remote coordinator",
@@ -612,6 +684,7 @@ COMMANDS = {
     "run-spec": cmd_run_spec,
     "simulate": cmd_simulate,
     "dsl": cmd_dsl,
+    "store": cmd_store,
     "worker": cmd_worker,
 }
 

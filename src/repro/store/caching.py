@@ -1,0 +1,201 @@
+"""The caching engine: any backend, fronted by the proof store.
+
+:class:`CachingEngine` wraps an arbitrary
+:class:`~repro.api.engine.Engine` and consults a
+:class:`~repro.store.backends.ResultStore` before dispatching. The
+session binds the request a dispatch is *for* (:meth:`CachingEngine.
+bound`) — the whole request on ``prove``/``hunt``/``campaign`` runs,
+one derived per-policy prove request per zoo row — and the engine then
+serves the bound call from the store when it can, or runs it on the
+wrapped backend and stores the fresh result.
+
+Two properties make the wrapper invisible except for speed:
+
+* **Lazy acquisition.** Entering the caching engine does *not* enter
+  the wrapped engine; the backend is acquired on the first actual
+  dispatch. A fully warm ``--distributed 8`` run therefore spawns zero
+  workers — the whole point of never paying for the same proof twice.
+* **Payload identity.** A hit returns the exact payload a fresh run
+  would have produced (stored results are timing-stripped, and
+  wall-clock is the only engine-dependent field), so reports render
+  byte-identically whether they were proved or replayed.
+
+Cache traffic is observable: the session wires ``on_reused`` /
+``on_stored`` to its event stream, surfacing each hit as a
+:class:`~repro.api.session.ResultReused` event.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Any, Callable, Iterator
+
+from repro.api.engine import Engine
+from repro.api.request import VerificationRequest
+from repro.api.result import (
+    VerificationResult,
+    result_from_analysis,
+    result_from_campaign,
+    result_from_certificate,
+)
+from repro.core.policy import Policy
+from repro.verify.campaign import CampaignConfig, CampaignReport
+from repro.verify.enumeration import StateScope
+from repro.verify.model_checker import WorkConservationAnalysis
+from repro.verify.work_conservation import WorkConservationCertificate
+
+from repro.store.backends import ResultStore
+from repro.store.keys import store_key
+
+#: ``(request, key)`` observer for cache traffic.
+CacheCallback = Callable[[VerificationRequest, str], None]
+
+
+class CachingEngine:
+    """An :class:`~repro.api.engine.Engine` that reads the store first.
+
+    Args:
+        inner: the backend that runs actual proofs on a miss.
+        store: where results are looked up and kept.
+        refresh: when True, skip every lookup (but still store fresh
+            results) — the ``--store-refresh`` semantics.
+        on_reused: called with ``(request, key)`` for every hit.
+        on_stored: called with ``(request, key)`` for every fresh
+            result written.
+    """
+
+    def __init__(self, inner: Engine, store: ResultStore, *,
+                 refresh: bool = False,
+                 on_reused: CacheCallback | None = None,
+                 on_stored: CacheCallback | None = None) -> None:
+        self.inner = inner
+        self.store = store
+        self.refresh = refresh
+        self._on_reused = on_reused
+        self._on_stored = on_stored
+        self._bound: VerificationRequest | None = None
+        self._entered = False
+        self._inner_entered = False
+
+    def describe(self) -> str:
+        return f"cached[{self.inner.describe()}]"
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "CachingEngine":
+        # Deliberately does not enter the wrapped engine: a fully warm
+        # run must not spawn pools or worker fleets it will never use.
+        self._entered = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._entered = False
+        if self._inner_entered:
+            self._inner_entered = False
+            self.inner.__exit__(*exc_info)
+
+    def _acquire(self) -> Engine:
+        if self._entered and not self._inner_entered:
+            self.inner.__enter__()
+            self._inner_entered = True
+        return self.inner
+
+    # -- request binding ------------------------------------------------
+
+    @contextmanager
+    def bound(self, request: VerificationRequest) -> Iterator["CachingEngine"]:
+        """Attribute the dispatches inside the block to ``request``.
+
+        Dispatches outside any binding pass straight through to the
+        wrapped engine, uncached.
+        """
+        previous, self._bound = self._bound, request
+        try:
+            yield self
+        finally:
+            self._bound = previous
+
+    # -- whole-result access (the session's fast path) ------------------
+
+    def load_result(self, request: VerificationRequest,
+                    ) -> VerificationResult | None:
+        """The stored result for ``request``, re-pointed at it.
+
+        Returns ``None`` on a miss or under ``refresh``. Because a key
+        identifies a *semantic* request, the stored document may spell
+        the request differently (explicit defaults, topology casing);
+        the returned result carries the caller's spelling so
+        round-trips and ``--json`` documents stay faithful.
+        """
+        if self.refresh:
+            return None
+        key = store_key(request)
+        stored = self.store.load(key)
+        if stored is None:
+            return None
+        if self._on_reused is not None:
+            self._on_reused(request, key)
+        return replace(stored, request=request)
+
+    def save_result(self, request: VerificationRequest,
+                    result: VerificationResult) -> None:
+        """Store a fully assembled result under its request's key."""
+        key = store_key(request)
+        self.store.save(key, result)
+        if self._on_stored is not None:
+            self._on_stored(request, key)
+
+    def _reuse(self, request: VerificationRequest | None,
+               payload_of: Callable[[VerificationResult], Any]) -> Any:
+        """The bound request's stored payload, or ``None`` on a miss
+        (also when unbound, refreshing, or the entry lacks the payload
+        kind this dispatch needs)."""
+        if request is None or self.refresh:
+            return None
+        key = store_key(request)
+        hit = self.store.load(key)
+        if hit is None:
+            return None
+        payload = payload_of(hit)
+        if payload is not None and self._on_reused is not None:
+            self._on_reused(request, key)
+        return payload
+
+    # -- the engine protocol --------------------------------------------
+
+    def prove(self, policy: Policy, scope: StateScope,
+              **kwargs: Any) -> WorkConservationCertificate:
+        request = self._bound
+        cached = self._reuse(request, lambda hit: hit.certificate)
+        if cached is not None:
+            return cached
+        cert = self._acquire().prove(policy, scope, **kwargs)
+        if request is not None:
+            self.save_result(request, result_from_certificate(request, cert))
+        return cert
+
+    def analyze(self, policy: Policy | None, scope: StateScope,
+                **kwargs: Any) -> WorkConservationAnalysis:
+        request = self._bound
+        cached = self._reuse(request, lambda hit: hit.analysis)
+        if cached is not None:
+            return cached
+        analysis = self._acquire().analyze(policy, scope, **kwargs)
+        if request is not None:
+            self.save_result(request,
+                             result_from_analysis(request, analysis))
+        return analysis
+
+    def run_campaign(self, policy_factory: Callable[[], Policy],
+                     config: CampaignConfig,
+                     **kwargs: Any) -> CampaignReport:
+        request = self._bound
+        cached = self._reuse(request, lambda hit: hit.campaign)
+        if cached is not None:
+            return cached
+        report = self._acquire().run_campaign(policy_factory, config,
+                                              **kwargs)
+        if request is not None:
+            self.save_result(request, result_from_campaign(request, report))
+        return report

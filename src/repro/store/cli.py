@@ -1,0 +1,162 @@
+"""The ``python -m repro store`` maintenance commands.
+
+Thin, printable front-ends over :class:`~repro.store.backends.
+FileStore`: ``ls`` (the index as a table), ``show`` (one entry's
+metadata and rendered report, addressed by any unique key prefix),
+``gc`` (evict corrupt, version-skewed, and optionally stale entries),
+and ``verify-integrity`` (re-hash everything, evict what no longer
+verifies, rebuild the index). Wired into :mod:`repro.cli` like every
+other subcommand; kept here so the CLI module stays a thin client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only; imported lazily so
+    # that building the argument parser stays import-light
+    from repro.store.backends import FileStore, IntegrityReport
+
+
+def _open_store(args: argparse.Namespace) -> "FileStore":
+    from repro.store.backends import FileStore
+
+    return FileStore(getattr(args, "store", None) or None)
+
+
+def _resolve_prefix(store: "FileStore", prefix: str) -> str:
+    """The one stored key starting with ``prefix``.
+
+    Raises:
+        SystemExit: no match, or an ambiguous prefix.
+    """
+    matches = [key for key in store.keys() if key.startswith(prefix)]
+    if not matches:
+        raise SystemExit(
+            f"no store entry matches {prefix!r} under {store.root}"
+            " (try: python -m repro store ls)"
+        )
+    if len(matches) > 1:
+        raise SystemExit(
+            f"{prefix!r} is ambiguous: matches"
+            f" {', '.join(key[:12] for key in matches)}"
+        )
+    return matches[0]
+
+
+def _print_report(store: "FileStore", report: "IntegrityReport") -> None:
+    for key, reason in report.evicted:
+        print(f"evicted {key[:12]}: {reason}")
+    print(
+        f"{store.root}: checked {report.checked} entr"
+        f"{'y' if report.checked == 1 else 'ies'},"
+        f" kept {report.kept}, evicted {len(report.evicted)}"
+    )
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.metrics import render_table
+
+    store = _open_store(args)
+    records = store.records()
+    if not records:
+        print(f"store at {store.root} is empty")
+        return 0
+    rows = [
+        [
+            record.key[:12],
+            record.kind,
+            record.verdict,
+            time.strftime("%Y-%m-%d %H:%M",
+                          time.localtime(record.created_at)),
+            record.request,
+        ]
+        for record in records
+    ]
+    print(render_table(["key", "kind", "verdict", "created", "request"],
+                       rows))
+    print(f"{len(records)} entr{'y' if len(records) == 1 else 'ies'}"
+          f" at {store.root}")
+    return 0
+
+
+def cmd_store_show(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    key = _resolve_prefix(store, args.key)
+    result = store.load(key)
+    if result is None:
+        raise SystemExit(
+            f"entry {key[:12]} no longer verifies; run: python -m repro"
+            " store verify-integrity"
+        )
+    print(f"key:     {key}")
+    print(f"path:    {store.path_for(key)}")
+    print(f"request: {result.request.describe()}")
+    print(f"verdict: {result.verdict.value}")
+    print()
+    print(result.render())
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    report = store.gc(max_age_days=args.max_age_days)
+    _print_report(store, report)
+    return 0
+
+
+def cmd_store_verify_integrity(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    report = store.verify_integrity()
+    _print_report(store, report)
+    return 0
+
+
+STORE_COMMANDS = {
+    "ls": cmd_store_ls,
+    "show": cmd_store_show,
+    "gc": cmd_store_gc,
+    "verify-integrity": cmd_store_verify_integrity,
+}
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Dispatch ``python -m repro store <command>``."""
+    return STORE_COMMANDS[args.store_command](args)
+
+
+def add_store_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
+                     ) -> None:
+    """Attach the ``store`` subcommand tree to the CLI's subparsers."""
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain the content-addressed proof store",
+    )
+    store.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="store directory (default ~/.cache/repro/store)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser(
+        "ls", help="list stored results (key, kind, verdict, request)",
+    )
+    show = store_sub.add_parser(
+        "show", help="print one entry's metadata and rendered report",
+    )
+    show.add_argument("key", help="full key or any unique prefix")
+    gc = store_sub.add_parser(
+        "gc",
+        help="evict corrupt, version-skewed (and optionally stale)"
+             " entries; rebuild the index",
+    )
+    gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="also evict entries older than this many days",
+    )
+    store_sub.add_parser(
+        "verify-integrity",
+        help="re-hash every entry against its address, evicting any"
+             " that no longer verify",
+    )

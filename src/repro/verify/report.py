@@ -146,6 +146,38 @@ def zoo_lineup(topology=None) -> list[Policy]:
     return default_zoo() if topology is None else topology_zoo(topology)
 
 
+#: :func:`default_zoo`'s rows as ``(registry name, PolicySpec kwargs)``
+#: pairs — the request-level spelling of the same lineup, which the
+#: proof store uses to address each zoo row as its own prove request.
+#: Must stay aligned with :func:`default_zoo` (a test builds both and
+#: compares them policy for policy).
+DEFAULT_ZOO_ENTRIES = (
+    ("balance_count", {"margin": 2}),
+    ("greedy_halving", {}),
+    ("provable_weighted", {}),
+    ("weighted", {}),
+    ("naive", {}),
+    ("greedy_ready", {}),
+    ("random_steal", {"seed": 0}),
+    ("balance_count", {"margin": 1}),
+    ("balance_count", {"margin": 3}),
+)
+
+#: The rows :func:`topology_zoo` appends, same spelling.
+TOPOLOGY_ZOO_ENTRIES = (
+    ("numa_choice", {}),
+    ("cache_choice", {}),
+)
+
+
+def zoo_lineup_entries(topology=None) -> tuple[tuple[str, dict], ...]:
+    """The :func:`zoo_lineup` rows as ``(name, kwargs)`` pairs, aligned
+    index for index with the built policies."""
+    if topology is None:
+        return DEFAULT_ZOO_ENTRIES
+    return DEFAULT_ZOO_ENTRIES + TOPOLOGY_ZOO_ENTRIES
+
+
 def topology_zoo(topology) -> list[Policy]:
     """The :func:`default_zoo` lineup plus the topology-aware choices.
 

@@ -146,6 +146,144 @@ class TestExecution:
         assert any(isinstance(e, RequestFinished) for e in events)
 
 
+class TestMatrixStanza:
+    BASE = {
+        "spec_version": 1,
+        "name": "matrix",
+        "runs": [
+            {"name": "sweep", "kind": "prove",
+             "matrix": {
+                 "policy": [{"name": "balance_count", "margin": 1},
+                            "greedy_halving"],
+                 "scope": [{"cores": 3, "max_load": 2},
+                           {"cores": 3, "max_load": 3}],
+             }},
+        ],
+    }
+
+    def test_expands_the_cartesian_product(self):
+        spec = parse_spec(self.BASE)
+        assert len(spec.runs) == 4
+        assert [run.name for run in spec.runs] == [
+            "sweep-balance_count-margin1-cores3-max_load2",
+            "sweep-balance_count-margin1-cores3-max_load3",
+            "sweep-greedy_halving-cores3-max_load2",
+            "sweep-greedy_halving-cores3-max_load3",
+        ]
+        assert spec.runs[0].request.policy.margin == 1
+        assert spec.runs[0].request.max_load == 2
+        assert spec.runs[3].request.policy.name == "greedy_halving"
+        assert spec.runs[3].request.max_load == 3
+
+    def test_expansion_is_deterministic(self):
+        first = parse_spec(self.BASE)
+        second = parse_spec(json.loads(json.dumps(self.BASE)))
+        assert [r.name for r in first.runs] == [r.name
+                                                for r in second.runs]
+        assert [r.request for r in first.runs] == [r.request
+                                                   for r in second.runs]
+
+    def test_defaults_merge_under_expanded_runs(self):
+        document = dict(self.BASE)
+        document["defaults"] = {"engine": {"kind": "pool", "jobs": 2}}
+        spec = parse_spec(document)
+        assert all(run.request.engine.jobs == 2 for run in spec.runs)
+
+    def test_generated_name_defaults_to_the_position(self):
+        document = {
+            "spec_version": 1,
+            "runs": [{"kind": "hunt",
+                      "matrix": {"policy": ["naive", "greedy_ready"]}}],
+        }
+        spec = parse_spec(document)
+        assert [run.name for run in spec.runs] == [
+            "run1-naive", "run1-greedy_ready",
+        ]
+
+    def test_matrix_mixes_with_plain_runs(self):
+        document = {
+            "spec_version": 1,
+            "runs": [
+                {"name": "plain", "kind": "hunt",
+                 "policy": "balance_count"},
+                {"name": "m", "kind": "hunt",
+                 "matrix": {"policy": ["naive", "greedy_ready"]}},
+            ],
+        }
+        spec = parse_spec(document)
+        assert [run.name for run in spec.runs] == [
+            "plain", "m-naive", "m-greedy_ready",
+        ]
+
+    def test_empty_matrix_is_an_error(self):
+        document = {"spec_version": 1,
+                    "runs": [{"kind": "prove", "matrix": {}}]}
+        with pytest.raises(SpecError, match="non-empty object"):
+            parse_spec(document)
+
+    def test_non_list_axis_is_an_error(self):
+        document = {"spec_version": 1,
+                    "runs": [{"kind": "prove",
+                              "matrix": {"policy": "naive"}}]}
+        with pytest.raises(SpecError, match="non-empty list"):
+            parse_spec(document)
+
+    def test_unknown_axis_is_an_error(self):
+        document = {"spec_version": 1,
+                    "runs": [{"kind": "prove",
+                              "matrix": {"polcy": ["naive"]}}]}
+        with pytest.raises(SpecError, match="unknown matrix axis"):
+            parse_spec(document)
+
+    def test_axis_overlapping_the_entry_is_an_error(self):
+        document = {"spec_version": 1,
+                    "runs": [{"kind": "prove", "policy": "naive",
+                              "matrix": {"policy": ["naive"]}}]}
+        with pytest.raises(SpecError, match="also set on the run"):
+            parse_spec(document)
+
+    def test_invalid_cell_names_the_generated_run(self):
+        document = {"spec_version": 1,
+                    "runs": [{"name": "s", "kind": "prove",
+                              "matrix": {"policy": ["no_such"]}}]}
+        with pytest.raises(SpecError, match="invalid run 's-no_such'"):
+            parse_spec(document)
+
+    def test_matrix_execution(self):
+        document = {
+            "spec_version": 1,
+            "runs": [{"name": "h", "kind": "hunt",
+                      "scope": {"cores": 3, "max_load": 2},
+                      "matrix": {"policy": ["balance_count", "naive"]}}],
+        }
+        outcomes = run_spec(parse_spec(document))
+        assert [run.name for run, _ in outcomes] == [
+            "h-balance_count", "h-naive",
+        ]
+        assert outcomes[0][1].ok
+        assert not outcomes[1][1].ok
+
+    def test_matrix_with_store_is_incremental(self, tmp_path):
+        from repro.api import ResultReused
+        from repro.store import FileStore
+
+        document = {
+            "spec_version": 1,
+            "runs": [{"name": "h", "kind": "hunt",
+                      "scope": {"cores": 3, "max_load": 2},
+                      "matrix": {"policy": ["balance_count", "naive"]}}],
+        }
+        store = FileStore(tmp_path)
+        spec = parse_spec(document)
+        cold = run_spec(spec, store=store)
+        events = []
+        warm = run_spec(spec, store=store,
+                        subscribers=(events.append,))
+        assert sum(isinstance(e, ResultReused) for e in events) == 2
+        for (_, cold_result), (_, warm_result) in zip(cold, warm):
+            assert warm_result.render() == cold_result.render()
+
+
 class TestShippedSpecs:
     """Every spec under examples/specs/ must at least load cleanly."""
 

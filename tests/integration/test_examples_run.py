@@ -21,6 +21,7 @@ EXPECTED_OUTPUT = {
     "numa_placement.py": "hierarchical rounds",
     "verification_campaign.py": "no violation found",
     "api_session.py": "work-conserving",
+    "incremental_reuse.py": "byte-identical",
 }
 
 

@@ -1,0 +1,175 @@
+"""The store through the CLI: --store flags on the verification
+commands and the `python -m repro store` maintenance tree."""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        try:
+            code = main(list(argv))
+        except SystemExit as exc:
+            code = exc.code if isinstance(exc.code, int) else 1
+    return code, buffer.getvalue()
+
+
+class TestStoreFlags:
+    def test_warm_verify_is_byte_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, cold = run_cli("verify", "balance_count", "--cores", "3",
+                             "--max-load", "2", "--store", store)
+        assert code == 0
+        code, warm = run_cli("verify", "balance_count", "--cores", "3",
+                             "--max-load", "2", "--store", store)
+        assert code == 0
+        assert warm == cold
+
+    def test_warm_refuted_verify_keeps_the_exit_code(self, tmp_path):
+        store = str(tmp_path / "store")
+        code, cold = run_cli("verify", "naive", "--cores", "3",
+                             "--max-load", "2", "--store", store)
+        assert code == 2
+        code, warm = run_cli("verify", "naive", "--cores", "3",
+                             "--max-load", "2", "--store", store)
+        assert code == 2
+        assert warm == cold
+
+    def test_progress_reports_the_reuse(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        run_cli("hunt", "naive", "--store", store)
+        capsys.readouterr()
+        run_cli("hunt", "naive", "--store", store, "--progress")
+        err = capsys.readouterr().err
+        assert "ResultReused" in err
+
+    def test_store_refresh_implies_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "cache"))
+        code, _ = run_cli("verify", "balance_count", "--cores", "3",
+                          "--max-load", "2", "--store-refresh")
+        assert code == 0
+        default_dir = tmp_path / "cache" / "repro" / "store"
+        assert any(default_dir.rglob("*.json"))
+
+    def test_no_store_conflicts_with_refresh(self):
+        code, _ = run_cli("verify", "balance_count", "--no-store",
+                          "--store-refresh")
+        assert code != 0
+
+    def test_no_store_conflicts_with_store(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "balance_count", "--store", "x",
+                  "--no-store"])
+
+    def test_run_spec_twice_reuses_everything(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "spec_version": 1,
+            "name": "t",
+            "runs": [
+                {"name": "p", "kind": "prove",
+                 "policy": {"name": "balance_count"},
+                 "scope": {"cores": 3, "max_load": 2}},
+                {"name": "h", "kind": "hunt", "policy": "naive",
+                 "scope": {"cores": 3, "max_load": 2}},
+            ],
+        }))
+        store = str(tmp_path / "store")
+        code, cold = run_cli("run-spec", str(spec), "--store", store)
+        assert code == 0
+        capsys.readouterr()
+        code, warm = run_cli("run-spec", str(spec), "--store", store,
+                             "--progress")
+        assert code == 0
+        assert warm == cold
+        err = capsys.readouterr().err
+        assert err.count("ResultReused") == 2
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("verify", "balance_count", "--cores", "3",
+                "--max-load", "2", "--store", store)
+        return store
+
+    def test_ls_lists_the_entry(self, populated):
+        code, out = run_cli("store", "--store", populated, "ls")
+        assert code == 0
+        assert "prove" in out
+        assert "balance_count" in out
+        assert "1 entry" in out
+
+    def test_ls_on_an_empty_store(self, tmp_path):
+        code, out = run_cli("store", "--store", str(tmp_path / "none"),
+                            "ls")
+        assert code == 0
+        assert "empty" in out
+
+    def test_show_by_unique_prefix(self, populated):
+        from repro.store import FileStore
+
+        key = FileStore(populated).keys()[0]
+        code, out = run_cli("store", "--store", populated, "show",
+                            key[:10])
+        assert code == 0
+        assert key in out
+        assert "WORK-CONSERVING" in out
+
+    def test_show_unknown_prefix_errors(self, populated):
+        with pytest.raises(SystemExit, match="no store entry"):
+            main(["store", "--store", populated, "show", "ffff"])
+
+    def test_show_ambiguous_prefix_errors(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("verify", "balance_count", "--cores", "3",
+                "--max-load", "2", "--store", store)
+        run_cli("hunt", "naive", "--store", store)
+        with pytest.raises(SystemExit, match="ambiguous|no store entry"):
+            main(["store", "--store", store, "show", ""])
+
+    def test_verify_integrity_evicts_tampered_entries(self, populated):
+        from repro.store import FileStore
+
+        file_store = FileStore(populated)
+        key = file_store.keys()[0]
+        file_store.path_for(key).write_text("tampered")
+        code, out = run_cli("store", "--store", populated,
+                            "verify-integrity")
+        assert code == 0
+        assert "evicted 1" in out
+        assert file_store.keys() == ()
+
+    def test_gc_with_age(self, populated):
+        code, out = run_cli("store", "--store", populated, "gc",
+                            "--max-age-days", "0")
+        assert code == 0
+        assert "evicted 1" in out
+
+    def test_unwritable_index_is_a_clean_one_liner(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("verify", "balance_count", "--cores", "3",
+                "--max-load", "2", "--store", store)
+        # Plant a non-empty directory where index.json goes: the ls
+        # rebuild's atomic replace then fails even when running as
+        # root — and must surface as a one-liner, not a traceback.
+        blocker = tmp_path / "store" / "index.json"
+        (blocker / "x").mkdir(parents=True)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "--store", store, "ls"])
+        assert "cannot write store index" in str(excinfo.value)
+
+    def test_verify_integrity_on_a_missing_root_reports_nothing(
+            self, tmp_path):
+        code, out = run_cli("store", "--store",
+                            str(tmp_path / "typo"), "verify-integrity")
+        assert code == 0
+        assert "checked 0" in out
+        assert not (tmp_path / "typo").exists()
