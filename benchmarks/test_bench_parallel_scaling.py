@@ -86,13 +86,16 @@ def test_bench_parallel_scaling():
             jobs,
             f"{timings[jobs]:.2f}",
             f"{timings[job_counts[0]] / timings[jobs]:.2f}x",
+            f"{cert.analysis.states_explored / timings[jobs]:,.0f}",
             "REFUTED" if not cert.proved else "PROVED",
         ])
 
     record_result("parallel_scaling", (
         f"pipeline scaling for naive_overloaded at {scope.describe()}"
         f" ({CPUS} CPUs available)\n"
-        + render_table(["jobs", "wall s", "speedup", "verdict"], rows)
+        + render_table(
+            ["jobs", "wall s", "speedup", "states/s", "verdict"], rows
+        )
     ))
 
     if CPUS >= 4:

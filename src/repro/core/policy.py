@@ -111,6 +111,21 @@ class Policy(ABC):
     #: Irrelevant in ``choice_mode='all'``, which never calls ``choose``.
     choice_invariance: str = "renaming"
 
+    #: What the *filter* (and steal amount) may observe, which decides
+    #: whether the packed transition kernel
+    #: (:mod:`repro.verify.kernel`) may stand in for the tuple executor:
+    #: ``"loads"`` — ``can_steal``/``steal_amount`` depend only on the
+    #: scalar load fields of the two views (``nr_ready``,
+    #: ``has_current``, ``nr_threads``, ``weighted_load``), never on
+    #: ``cid``, ``node``, ``version``, task identities, or external
+    #: state — true of every policy in this library; ``"scoped-loads"``
+    #: — loads plus a static cid-based pair admission (the policy must
+    #: expose ``core_to_group``); ``"none"`` — anything else, which
+    #: disables the kernel. Subclasses whose filter consults cids,
+    #: nodes, or mutable state MUST override this, or the kernel would
+    #: silently compute wrong successors.
+    filter_invariance: str = "loads"
+
     def load(self, core: CoreView) -> float:
         """The user-defined load metric (Listing 1's ``load()``).
 

@@ -107,6 +107,22 @@ def evaluate(policy: "DslPolicy", expr: Expr,
     raise DslValidationError(f"unknown expression node {expr!r}")
 
 
+def _expr_attrs(expr: Expr) -> set[str]:
+    """Every core attribute an expression tree reads."""
+    if isinstance(expr, AttrRef):
+        return {expr.attr}
+    if isinstance(expr, UnaryOp):
+        return _expr_attrs(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return _expr_attrs(expr.lhs) | _expr_attrs(expr.rhs)
+    if isinstance(expr, CallFn):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= _expr_attrs(arg)
+        return out
+    return set()
+
+
 class DslPolicy(Policy):
     """A policy compiled from a DSL declaration.
 
@@ -118,6 +134,19 @@ class DslPolicy(Policy):
         validate_policy(decl)
         self.decl = decl
         self.name = f"dsl:{decl.name}"
+        # Derive the kernel-eligibility class from the declaration
+        # itself: the filter and steal amount run through `evaluate`,
+        # which can only observe scalar view attributes — so they are
+        # loads-invariant exactly when no reachable clause reads `node`
+        # (`load` references resolve through the load clause, which must
+        # then be node-free too). Anything else opts out of the packed
+        # kernel (see Policy.filter_invariance).
+        attrs: set[str] = _expr_attrs(decl.filter.expr)
+        if decl.steal is not None:
+            attrs |= _expr_attrs(decl.steal.expr)
+        if "load" in attrs and decl.load is not None:
+            attrs |= _expr_attrs(decl.load.expr)
+        self.filter_invariance = "none" if "node" in attrs else "loads"
 
     def load(self, core: CoreView) -> float:
         """The declared load metric; thread count when omitted."""

@@ -61,6 +61,10 @@ class ScopedPolicy(Policy):
         allowed: core ids a thief in this scope may steal from.
     """
 
+    #: The filter consults victim cids (``allowed``) asymmetrically —
+    #: not expressible as the kernel's symmetric pair mask.
+    filter_invariance = "none"
+
     def __init__(self, base: Policy, allowed: Sequence[int]) -> None:
         self.base = base
         self.allowed = frozenset(allowed)

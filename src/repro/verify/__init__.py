@@ -41,6 +41,18 @@ from repro.verify.enumeration import (
     snapshot_from_load,
     views_of,
 )
+from repro.verify.encoding import (
+    INT_FORM_MAX_BITS,
+    PackedState,
+    StateCodec,
+)
+from repro.verify.kernel import (
+    KERNEL_ENV,
+    KERNEL_MODES,
+    TransitionKernel,
+    build_kernel,
+    kernel_mode,
+)
 from repro.verify.lemmas import (
     check_choice_irrelevance,
     check_filter_soundness,
@@ -203,6 +215,14 @@ __all__ = [
     "overloaded_cores_of",
     "snapshot_from_load",
     "views_of",
+    "INT_FORM_MAX_BITS",
+    "PackedState",
+    "StateCodec",
+    "KERNEL_ENV",
+    "KERNEL_MODES",
+    "TransitionKernel",
+    "build_kernel",
+    "kernel_mode",
     "PolicyReplicator",
     "analyze_parallel",
     "assemble_certificate",

@@ -227,8 +227,12 @@ class WorkerRuntime:
             f"unknown task payload {type(task).__name__!r}"
         )
 
-    def _expand(self, task: ExpandTask) -> tuple[TransitionGraph, bool]:
+    def _expand(self, task: ExpandTask):
         checker = self._checker_for(task.config)
+        if task.codec is not None:
+            # Wire v3: packed frontier chunk in, packed graph out.
+            return checker.expand_packed(task.packed, task.codec,
+                                         sequential=task.sequential)
         edges: TransitionGraph = {}
         truncated = False
         for state in task.states:
@@ -871,9 +875,9 @@ def connect_workers(endpoints: Iterable[str],
 
 def _map_expand(coordinator: Coordinator, config: CheckerConfig):
     """``bfs_closure`` adapter: one batched exchange round per level."""
-    def map_expand(chunks, sequential):
+    def map_expand(codec, chunks, sequential):
         return coordinator.map([
-            ExpandTask(config=config, states=tuple(chunk),
+            ExpandTask(config=config, codec=codec, packed=tuple(chunk),
                        sequential=sequential)
             for chunk in chunks
         ])

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.cpu import CoreSnapshot, CoreView
 from repro.core.errors import VerificationError
@@ -49,6 +49,7 @@ from repro.topology.domains import (
     flat_groups,
 )
 from repro.topology.numa import NumaTopology, symmetric_numa
+from repro.verify.encoding import PackedState, StateCodec
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
@@ -277,6 +278,11 @@ class IntraGroupPolicy(Policy):
         core_to_group: per-core group index.
     """
 
+    #: The filter is the base's loads-only filter behind a static
+    #: same-group pair admission — exactly the contract the packed
+    #: kernel's pair mask captures (see :mod:`repro.verify.kernel`).
+    filter_invariance = "scoped-loads"
+
     def __init__(self, base: Policy,
                  core_to_group: Sequence[int]) -> None:
         self.base = base
@@ -369,24 +375,24 @@ def _execute_inter_phase(
     return tuple(live), tuple(attempts), tuple(agent_order)
 
 
-def enumerate_hierarchical_round(
+def _inter_outcomes(
     group_policy: Policy,
-    intra_policy: IntraGroupPolicy,
     groups: Sequence[tuple[int, ...]],
     group_nodes: Sequence[int],
     state: Sequence[int],
     choice_mode: str = "all",
     max_orders: int = DEFAULT_MAX_ORDERS,
-    nodes: Sequence[int] | None = None,
-) -> BranchEnumeration:
-    """Every resolution of one hierarchical round's nondeterminism.
+) -> tuple[list[tuple[LoadState, tuple[AbstractAttempt, ...],
+                      tuple[int, ...]]], bool]:
+    """Phase-1 outcomes of one hierarchical round.
 
-    Phase 1 branches over the inter-group selection (every filtered
-    victim group in ``choice_mode='all'``, the policy's own choice
-    otherwise) and over every execution order of the racing group
-    steals; phase 2 runs the flat adversarial round under the scoped
-    ``intra_policy`` from each phase-1 end state. A full branch is the
-    concatenation of both phases' attempts.
+    Branches over the inter-group selection (every filtered victim
+    group in ``choice_mode='all'``, the policy's own choice otherwise)
+    and over every execution order of the racing group steals, capped
+    at ``max_orders`` permutations per victim assignment. Shared by the
+    tuple enumeration (:func:`enumerate_hierarchical_round`) and the
+    packed fast path of :class:`HierarchicalModelChecker`, so the two
+    cannot drift.
     """
     views = [
         _abstract_group_view(gid, cores, state, group_nodes[gid])
@@ -425,6 +431,30 @@ def enumerate_hierarchical_round(
                     group_policy, groups, group_nodes, state,
                     assignment, order,
                 ))
+    return inter, truncated
+
+
+def enumerate_hierarchical_round(
+    group_policy: Policy,
+    intra_policy: IntraGroupPolicy,
+    groups: Sequence[tuple[int, ...]],
+    group_nodes: Sequence[int],
+    state: Sequence[int],
+    choice_mode: str = "all",
+    max_orders: int = DEFAULT_MAX_ORDERS,
+    nodes: Sequence[int] | None = None,
+) -> BranchEnumeration:
+    """Every resolution of one hierarchical round's nondeterminism.
+
+    Phase 1 branches over the inter-group selection and steal orders
+    (:func:`_inter_outcomes`); phase 2 runs the flat adversarial round
+    under the scoped ``intra_policy`` from each phase-1 end state. A
+    full branch is the concatenation of both phases' attempts.
+    """
+    inter, truncated = _inter_outcomes(
+        group_policy, groups, group_nodes, state,
+        choice_mode=choice_mode, max_orders=max_orders,
+    )
 
     branches: list[RoundBranch] = []
     # Commuting/failed inter steals often reach identical mid states;
@@ -492,6 +522,326 @@ class HierarchicalModelChecker(ModelChecker):
         self._group_nodes = tuple(
             spec.topology.node_of(cores[0]) for cores in self.groups
         )
+        # Cross-round memo for the packed fast path: mid-state ->
+        # (canonical packed intra successors, truncated). Commuting or
+        # failed inter steals reach the same mid states from *different*
+        # round-start states, so unlike the per-round memo inside
+        # enumerate_hierarchical_round this one pays off across the
+        # whole exploration.
+        self._intra_packed_memo: dict[
+            StateCodec, dict[LoadState, tuple[frozenset[PackedState], bool]]
+        ] = {}
+        # The inter-phase filter memo: the group policy is constructed
+        # above and fixed for the checker's lifetime, so when it is
+        # loads-invariant its ``can_steal`` over two group views factors
+        # through the (running, total) aggregates of the two groups —
+        # each distinct aggregate pair is probed once per checker.
+        self._group_can_memo: dict[tuple[int, int, int, int], bool] = {}
+        # core -> group indicator matrix (n_cores x n_groups), built on
+        # first use by the packed fast path to batch the per-state group
+        # aggregates of a whole frontier chunk into two matmuls.
+        self._group_mat_np: Any = None
+        self._group_loads_invariant = (
+            getattr(self.group_policy, "filter_invariance", "none")
+            == "loads"
+        )
+
+    def _inter_mid_states(
+        self, state: Sequence[int],
+        totals: list[int] | None = None,
+        runnings: list[int] | None = None,
+    ) -> tuple[set[LoadState], bool]:
+        """Distinct phase-1 end states of one round, with truncation.
+
+        A mid-state-only replay of :func:`_inter_outcomes` /
+        :func:`_execute_inter_phase` for the packed fast path: same
+        intent views, same victim-combination x steal-order
+        enumeration, same donor/agent selection and live re-checks —
+        but it skips the attempt/agent bookkeeping the certificate path
+        needs and tracks the per-group ``(running, total)`` aggregates
+        incrementally instead of re-summing cores per live view. A
+        successful steal moves one task from a donor with ``>= 2``
+        tasks, so the donor keeps running (victim running count is
+        unchanged) and only the agent can newly start running.
+        Equivalence with the tuple helper is pinned by
+        ``tests/verify/test_kernel.py``.
+
+        ``totals`` / ``runnings`` accept the per-group aggregates of
+        ``state`` precomputed by the caller (``_expand_fresh`` batches
+        them for a whole frontier chunk with two numpy matmuls); when
+        omitted they are derived here, identically.
+        """
+        policy = self.group_policy
+        groups = self.groups
+        nodes = self._group_nodes
+        if totals is None or runnings is None:
+            totals = []
+            runnings = []
+            for cores in groups:
+                total = 0
+                running = 0
+                for cid in cores:
+                    load = state[cid]
+                    total += load
+                    if load > 0:
+                        running += 1
+                totals.append(total)
+                runnings.append(running)
+
+        def view(gid: int, tot: Sequence[int],
+                 run: Sequence[int]) -> GroupView:
+            return GroupView(
+                cid=gid,
+                cores=groups[gid],
+                nr_ready=tot[gid] - run[gid],
+                running=run[gid],
+                weighted_load=tot[gid] * NICE_0_WEIGHT,
+                node=nodes[gid],
+            )
+
+        memo = (self._group_can_memo
+                if self._group_loads_invariant else None)
+
+        def can(t: int, v: int, tot: Sequence[int],
+                run: Sequence[int]) -> bool:
+            if memo is None:
+                return policy.can_steal(view(t, tot, run),
+                                        view(v, tot, run))
+            key = (run[t], tot[t], run[v], tot[v])
+            hit = memo.get(key)
+            if hit is None:
+                hit = policy.can_steal(view(t, tot, run),
+                                       view(v, tot, run))
+                memo[key] = hit
+            return hit
+
+        n_groups = len(groups)
+        intents: list[tuple[int, tuple[int, ...]]] = []
+        if self.choice_mode == "all":
+            if memo is None:
+                for t in range(n_groups):
+                    victims = tuple([
+                        v for v in range(n_groups)
+                        if v != t and can(t, v, totals, runnings)
+                    ])
+                    if victims:
+                        intents.append((t, victims))
+            else:
+                # Loads-invariant fast path: the memo lookup inlined,
+                # no closure call per (thief, victim) pair.
+                memo_get = memo.get
+                for t in range(n_groups):
+                    run_t = runnings[t]
+                    tot_t = totals[t]
+                    victims_list = []
+                    for v in range(n_groups):
+                        if v == t:
+                            continue
+                        key = (run_t, tot_t, runnings[v], totals[v])
+                        hit = memo_get(key)
+                        if hit is None:
+                            hit = policy.can_steal(
+                                view(t, totals, runnings),
+                                view(v, totals, runnings),
+                            )
+                            memo[key] = hit
+                        if hit:
+                            victims_list.append(v)
+                    if victims_list:
+                        intents.append((t, tuple(victims_list)))
+        else:
+            views = [view(gid, totals, runnings)
+                     for gid in range(n_groups)]
+            for thief_view in views:
+                candidates = [
+                    v for v in views
+                    if v.cid != thief_view.cid
+                    and policy.can_steal(thief_view, v)
+                ]
+                if not candidates:
+                    continue
+                intents.append((
+                    thief_view.cid,
+                    (policy.choose(thief_view, candidates).cid,),
+                ))
+
+        if not intents:
+            return {tuple(state)}, False
+
+        thieves = [thief for thief, _ in intents]
+        victim_sets = [victims for _, victims in intents]
+
+        if len(thieves) == 1:
+            # One racing group steal: a single permutation (never
+            # truncated — the packed path requires max_orders >= 1) and
+            # the live state equals the round-start state, so no
+            # aggregate copies are needed. The live re-check runs on
+            # those same round-start aggregates and the filter is
+            # deterministic, so it repeats the intent check verbatim —
+            # skip it. Donor: the most loaded core with >= 2 tasks
+            # (ties to the lowest cid); agent: the least loaded thief
+            # core (ties to the lowest cid) — manual scans, matching
+            # the keyed max/min of ``_execute_inter_phase``.
+            t = thieves[0]
+            t_cores = groups[t]
+            base = tuple(state)
+            mids = set()
+            for v in victim_sets[0]:
+                donor = -1
+                best = 1
+                for c in groups[v]:
+                    load = state[c]
+                    if load > best:
+                        best = load
+                        donor = c
+                if donor < 0:
+                    mids.add(base)
+                    continue
+                agent = t_cores[0]
+                low = state[agent]
+                for c in t_cores[1:]:
+                    load = state[c]
+                    if load < low:
+                        low = load
+                        agent = c
+                live = list(state)
+                live[donor] -= 1
+                live[agent] += 1
+                mids.add(tuple(live))
+            return mids, False
+
+        perms = list(itertools.permutations(thieves))
+        capped = perms[: self.max_orders]
+        truncated = len(perms) > self.max_orders
+        mids = set()
+        state_list = list(state)
+        for combo in itertools.product(*victim_sets):
+            assignment = dict(zip(thieves, combo))
+            for order in capped:
+                live = list(state_list)
+                tot = totals[:]
+                run = runnings[:]
+                for t in order:
+                    v = assignment[t]
+                    if memo is None:
+                        hit = can(t, v, tot, run)
+                    else:
+                        key = (run[t], tot[t], run[v], tot[v])
+                        hit = memo.get(key)
+                        if hit is None:
+                            hit = policy.can_steal(view(t, tot, run),
+                                                   view(v, tot, run))
+                            memo[key] = hit
+                    if not hit:
+                        continue
+                    donor = -1
+                    best = 1
+                    for c in groups[v]:
+                        load = live[c]
+                        if load > best:
+                            best = load
+                            donor = c
+                    if donor < 0:
+                        continue
+                    t_cores = groups[t]
+                    agent = t_cores[0]
+                    low = live[agent]
+                    for c in t_cores[1:]:
+                        load = live[c]
+                        if load < low:
+                            low = load
+                            agent = c
+                    live[donor] -= 1
+                    live[agent] += 1
+                    tot[v] -= 1
+                    tot[t] += 1
+                    if live[agent] == 1:
+                        run[t] += 1
+                mids.add(tuple(live))
+        return mids, truncated
+
+    def _expand_fresh(self, packed_states: Sequence[PackedState],
+                      codec: StateCodec, sequential: bool,
+                      ) -> list[tuple[frozenset[PackedState], bool]]:
+        """Packed hierarchical expansion: tuple inter, kernel intra.
+
+        The inter-group phase is cheap (a handful of groups) and stays
+        on the shared tuple helper; the intra-group phase — the
+        exponential flat round under the scoped policy — runs through
+        the transition kernel, memoized per distinct mid state. The
+        successor set of a round is exactly the union over phase-1 mid
+        states of the intra round's successors, so this equals the
+        tuple path state for state.
+        """
+        kernel = None if sequential else self._kernel_for(codec)
+        if kernel is None:
+            return super()._expand_fresh(packed_states, codec, sequential)
+        memo = self._intra_packed_memo.setdefault(codec, {})
+        per_state: list[tuple[set[LoadState], bool]] = []
+        missing: list[LoadState] = []
+        loads_batch = codec.decode_batch(packed_states)
+        np = kernel._np
+        tots_list: list[list[int]] | None = None
+        runs_list: list[list[int]] | None = None
+        if np is not None and len(loads_batch) > 8:
+            # Batch the per-group (total, running) aggregates of the
+            # whole chunk: two matmuls against the core->group
+            # indicator matrix replace a per-state per-core loop.
+            if self._group_mat_np is None:
+                mat = np.zeros(
+                    (len(loads_batch[0]), len(self.groups)),
+                    dtype=np.int64,
+                )
+                for gid, cores in enumerate(self.groups):
+                    for cid in cores:
+                        mat[cid, gid] = 1
+                self._group_mat_np = mat
+            arr = np.asarray(loads_batch, dtype=np.int64)
+            tots_list = (arr @ self._group_mat_np).tolist()
+            runs_list = ((arr > 0).astype(np.int64)
+                         @ self._group_mat_np).tolist()
+        for index, loads in enumerate(loads_batch):
+            if tots_list is None or runs_list is None:
+                mids, truncated = self._inter_mid_states(loads)
+            else:
+                mids, truncated = self._inter_mid_states(
+                    loads, tots_list[index], runs_list[index],
+                )
+            per_state.append((mids, truncated))
+            for mid in mids:
+                if mid not in memo:
+                    memo[mid] = None  # type: ignore[assignment]
+                    missing.append(mid)
+        if missing:
+            # One kernel batch for every mid state the chunk needs:
+            # lets the numpy tier vectorise the single-thief mids
+            # instead of running each through the Python executor.
+            group = self.symmetry
+            trivial = group.is_trivial
+            batched = kernel.expand_batch(codec.encode_batch(missing))
+            for mid, (raw, intra_truncated) in zip(missing, batched):
+                if trivial:
+                    canonical = frozenset(raw)
+                else:
+                    canonical = frozenset(
+                        group.canonicalize_packed(s, codec) for s in raw
+                    )
+                memo[mid] = (canonical, intra_truncated)
+        out: list[tuple[frozenset[PackedState], bool]] = []
+        for mids, truncated in per_state:
+            if len(mids) == 1:
+                # Common case (no inter steal, or one uncontested
+                # steal): reuse the memoized frozenset outright.
+                entry = memo[next(iter(mids))]
+                out.append((entry[0], truncated or entry[1]))
+                continue
+            successors: set[PackedState] = set()
+            for mid in mids:
+                entry = memo[mid]
+                successors |= entry[0]
+                truncated = truncated or entry[1]
+            out.append((frozenset(successors), truncated))
+        return out
 
     def _check_group_preservation(self, core_to_group: Sequence[int]) -> None:
         """Refuse symmetry groups that break the balancing-group partition.

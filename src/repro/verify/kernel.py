@@ -1,0 +1,528 @@
+"""Vectorised batch transition kernel over packed states.
+
+The serial transition executor (:mod:`repro.verify.transition`) spends
+its time building :class:`~repro.core.cpu.CoreSnapshot` objects and
+calling the policy's filter per (thief, victim) pair, per permutation,
+per state. For the policies this library proves — whose filters and
+steal amounts depend only on the *loads* of the two cores involved —
+all of that is table lookups in disguise: during a round a core is fully
+described by its round-start running bit and its current ready count,
+so ``can_steal``/``steal_amount`` over live views factor through a
+``(running_t, running_v, ready_t, ready_v)`` table probed once per
+codec from the *real* policy.
+
+:class:`TransitionKernel` exploits that factoring twice:
+
+* a **pure-Python executor** that replays the exact victim-combination x
+  steal-order enumeration of
+  :func:`~repro.verify.transition.enumerate_round_branches` — including
+  its per-combination permutation cap and truncation flag — on plain
+  integer lists, with no snapshot objects and no policy calls in the
+  hot loop;
+* a **numpy batch tier** that expands a whole frontier at once: intent
+  masks for every state via one advanced-indexing probe, single-thief
+  states (one permutation, never truncated) and two-thief states
+  (lanes over victim combinations x both steal orders) fully
+  vectorised; states with three or more racing thieves fall back to
+  the Python executor.
+
+Whether a kernel may stand in for the tuple executor at all is an
+eligibility question answered by
+:attr:`~repro.core.policy.Policy.filter_invariance` (``"loads"``,
+``"scoped-loads"`` with a static pair mask, or ``"none"`` to opt out)
+plus the checker parameters: only ``choice_mode='all'``, the
+stale-snapshot (non-sequential) regime, and ``max_orders >= 1``.
+
+The ``REPRO_KERNEL`` environment variable selects the tier:
+``off`` (tuple path everywhere), ``python``, ``numpy`` (error if numpy
+is unavailable — the CI smoke job relies on that), or the default
+``auto`` (numpy when importable, else python). Numpy is deliberately an
+optional dependency: nothing in this module imports it at module scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any, Sequence
+
+from repro.core.cpu import CoreSnapshot
+from repro.core.errors import VerificationError
+from repro.core.policy import Policy
+from repro.core.task import NICE_0_WEIGHT
+from repro.verify.encoding import PackedState, StateCodec
+from repro.verify.enumeration import LoadState
+from repro.verify.transition import DEFAULT_MAX_ORDERS
+
+#: Environment toggle for the kernel tier.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Accepted values of :data:`KERNEL_ENV`.
+KERNEL_MODES = ("off", "python", "numpy", "auto")
+
+
+def kernel_mode() -> str:
+    """The configured kernel tier (validated ``REPRO_KERNEL``)."""
+    mode = os.environ.get(KERNEL_ENV, "auto").strip().lower() or "auto"
+    if mode not in KERNEL_MODES:
+        raise VerificationError(
+            f"{KERNEL_ENV} must be one of {'|'.join(KERNEL_MODES)},"
+            f" got {mode!r}"
+        )
+    return mode
+
+
+def _import_numpy() -> Any:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def pair_mask_for(policy: Policy, n_cores: int) -> list[list[bool]] | None:
+    """The static thief/victim admission mask of a scoped policy.
+
+    ``None`` for plain ``"loads"`` policies (every off-diagonal pair is
+    admissible). For ``"scoped-loads"`` policies the mask comes from the
+    policy's ``core_to_group`` attribute: a pair is admissible exactly
+    when both cores share a group.
+    """
+    invariance = getattr(policy, "filter_invariance", "none")
+    if invariance != "scoped-loads":
+        return None
+    groups = getattr(policy, "core_to_group", None)
+    if groups is None or len(groups) != n_cores:
+        raise VerificationError(
+            f"policy {policy.name!r} declares scoped-loads invariance"
+            " but exposes no matching core_to_group"
+        )
+    return [
+        [t != v and groups[t] == groups[v] for v in range(n_cores)]
+        for t in range(n_cores)
+    ]
+
+
+def build_kernel(policy: Policy, codec: StateCodec,
+                 choice_mode: str = "all",
+                 max_orders: int = DEFAULT_MAX_ORDERS,
+                 n_cores: int | None = None) -> "TransitionKernel | None":
+    """A kernel for ``(policy, codec)``, or ``None`` when ineligible.
+
+    Eligibility: ``REPRO_KERNEL`` not ``off``; ``choice_mode='all'``
+    (policy mode consults ``choose``, which tables cannot capture);
+    ``max_orders >= 1``; and the policy declares a table-compatible
+    :attr:`~repro.core.policy.Policy.filter_invariance`.
+
+    Raises:
+        VerificationError: ``REPRO_KERNEL=numpy`` with numpy missing.
+    """
+    mode = kernel_mode()
+    if mode == "off":
+        return None
+    if choice_mode != "all" or max_orders < 1:
+        return None
+    invariance = getattr(policy, "filter_invariance", "none")
+    if invariance not in ("loads", "scoped-loads"):
+        return None
+    n = codec.n_cores if n_cores is None else n_cores
+    numpy = None
+    if mode in ("numpy", "auto"):
+        numpy = _import_numpy()
+        if numpy is None and mode == "numpy":
+            raise VerificationError(
+                f"{KERNEL_ENV}=numpy but numpy is not importable"
+            )
+    return TransitionKernel(
+        policy, codec,
+        max_orders=max_orders,
+        pair_mask=pair_mask_for(policy, n),
+        numpy=numpy,
+    )
+
+
+class TransitionKernel:
+    """Table-driven round expansion for loads-invariant policies.
+
+    Built once per ``(policy, codec)`` and cached by the checker; the
+    construction probes the real policy over the full
+    ``(running, ready)`` grid (bounded by the codec's conserved total),
+    after which no policy code runs during exploration.
+
+    Attributes:
+        policy: the policy the tables were probed from.
+        codec: the packed-state codec frontiers are expressed in.
+        max_orders: permutation cap, mirrored from the tuple executor.
+    """
+
+    def __init__(self, policy: Policy, codec: StateCodec,
+                 max_orders: int = DEFAULT_MAX_ORDERS,
+                 pair_mask: Sequence[Sequence[bool]] | None = None,
+                 numpy: Any = None) -> None:
+        self.policy = policy
+        self.codec = codec
+        self.max_orders = max_orders
+        self._pair_mask = (
+            None if pair_mask is None
+            else tuple(tuple(row) for row in pair_mask)
+        )
+        self._build_tables()
+        self._np = None
+        # The vectorised tier needs whole frontiers in int64 lanes, so
+        # it only engages for int-form codecs (the codec guarantees
+        # int form fits 63 bits).
+        if numpy is not None and codec.use_int:
+            self._np = numpy
+            self._build_numpy_tables()
+
+    # -- table construction ---------------------------------------------
+
+    def _probe_view(self, cid: int, running: int, ready: int) -> CoreSnapshot:
+        """A live view, constructed exactly like ``_LiveState.view``.
+
+        ``filter_invariance="loads"`` licenses ``node=0``: the filter
+        and amount may not consult cid or node, so any placement probes
+        the same table entry the real round would.
+        """
+        return CoreSnapshot(
+            cid=cid,
+            nr_ready=ready,
+            has_current=running == 1,
+            weighted_load=(running + ready) * NICE_0_WEIGHT,
+            node=0,
+            version=0,
+        )
+
+    def _probe_cids(self) -> tuple[int, int]:
+        """A representative admissible (thief, victim) cid pair."""
+        if self._pair_mask is not None:
+            for t, row in enumerate(self._pair_mask):
+                for v, admissible in enumerate(row):
+                    if admissible:
+                        return t, v
+            return -1, -1  # no admissible pair: tables stay all-False
+        return 0, 1
+
+    def _build_tables(self) -> None:
+        """Probe ``can_steal``/``steal_amount`` over the live-state grid.
+
+        A core's live view during a round is determined by its
+        round-start running bit (fixed for the whole round) and its
+        current ready count; ready counts are bounded by the conserved
+        total, i.e. by ``codec.max_value``. Tables are indexed
+        ``[running_t][running_v][ready_t][ready_v]``.
+        """
+        top = self.codec.max_value
+        t_cid, v_cid = self._probe_cids()
+        can = [[[[False] * (top + 1) for _ in range(top + 1)]
+                for _ in range(2)] for _ in range(2)]
+        amt = [[[[0] * (top + 1) for _ in range(top + 1)]
+                for _ in range(2)] for _ in range(2)]
+        if t_cid >= 0:
+            policy = self.policy
+            can_steal = policy.can_steal
+            steal_amount = policy.steal_amount
+            # Views are precreated per (running, ready) — 2(top+1) each
+            # side instead of one pair per grid cell.
+            t_views = [[self._probe_view(t_cid, r, q)
+                        for q in range(top + 1)] for r in (0, 1)]
+            v_views = [[self._probe_view(v_cid, r, q)
+                        for q in range(top + 1)] for r in (0, 1)]
+            for rt in (0, 1):
+                for rv in (0, 1):
+                    v_row = v_views[rv]
+                    for qt in range(top + 1):
+                        thief = t_views[rt][qt]
+                        can_row = can[rt][rv][qt]
+                        amt_row = amt[rt][rv][qt]
+                        # Ready counts on the two sides of a steal can
+                        # never sum past the conserved total, so the
+                        # triangle qt + qv > top is unreachable — leave
+                        # it unprobed (False / 0).
+                        for qv in range(top + 1 - qt):
+                            victim = v_row[qv]
+                            if can_steal(thief, victim):
+                                can_row[qv] = True
+                                amt_row[qv] = steal_amount(thief, victim)
+        self._can = can
+        self._amt = amt
+        # Merged executor table: the live re-check (`can` else skip)
+        # and the clamp source collapse into one lookup, because a
+        # filtered pair and a non-positive amount both execute as
+        # "nothing moves". Intent construction still reads `can` — an
+        # admissible pair with amount <= 0 must create a (no-op) branch.
+        self._step = [[[
+            [a if c else 0 for c, a in zip(can_row, amt_row)]
+            for can_row, amt_row in zip(can_q, amt_q)
+        ] for can_q, amt_q in zip(can_v, amt_v)]
+            for can_v, amt_v in zip(can, amt)]
+
+    def _build_numpy_tables(self) -> None:
+        np = self._np
+        self._can_np = np.asarray(self._can, dtype=bool)
+        self._amt_np = np.asarray(self._amt, dtype=np.int64)
+        self._step_np = np.asarray(self._step, dtype=np.int64)
+        self._mask_np = (
+            None if self._pair_mask is None
+            else np.asarray(self._pair_mask, dtype=bool)
+        )
+        n = self.codec.n_cores
+        self._eye_np = np.eye(n, dtype=bool)
+        self._shifts_np = np.asarray(
+            [self.codec.bits * (n - 1 - cid) for cid in range(n)],
+            dtype=np.int64,
+        )
+        self._weights_np = np.int64(1) << self._shifts_np
+        self._digit_mask = np.int64((1 << self.codec.bits) - 1)
+
+    # -- single-state executor (pure python) -----------------------------
+
+    def successors_loads(self,
+                         loads: Sequence[int]) -> tuple[set[LoadState], bool]:
+        """Raw (uncanonicalised) successor states of one load vector.
+
+        Replays ``enumerate_round_branches`` semantics exactly:
+        intents on round-start views in thief order, the product over
+        per-thief victim sets, every permutation of the racing thieves
+        up to ``max_orders`` per combination (setting the truncation
+        flag when capped), re-check + clamp per executed steal.
+        """
+        n = len(loads)
+        can = self._can
+        step = self._step
+        mask = self._pair_mask
+        running = [1 if load > 0 else 0 for load in loads]
+        ready0 = [load - r for load, r in zip(loads, running)]
+
+        thieves: list[int] = []
+        victim_sets: list[tuple[int, ...]] = []
+        for t in range(n):
+            row = can[running[t]]
+            qt = ready0[t]
+            mask_row = mask[t] if mask is not None else None
+            victims = tuple([
+                v for v in range(n)
+                if v != t
+                and (mask_row is None or mask_row[v])
+                and row[running[v]][qt][ready0[v]]
+            ])
+            if victims:
+                thieves.append(t)
+                victim_sets.append(victims)
+
+        if not thieves:
+            return {tuple(loads)}, False
+
+        perms = list(itertools.permutations(thieves))
+        capped = perms[: self.max_orders]
+        truncated = len(perms) > self.max_orders
+        first_order = capped[:1]
+        out: set[LoadState] = set()
+        loads_list = list(loads)
+        for combo in itertools.product(*victim_sets):
+            victim_of = dict(zip(thieves, combo))
+            # A steal reads and mutates only its own {thief, victim}
+            # cells, so when those pairs are pairwise disjoint every
+            # execution order produces the same state — run one order
+            # instead of all of them (the truncation flag above is
+            # order-count based and unaffected).
+            touched: set[int] = set()
+            disjoint = True
+            for t, v in victim_of.items():
+                if t in touched or v in touched:
+                    disjoint = False
+                    break
+                touched.add(t)
+                touched.add(v)
+            for order in (first_order if disjoint else capped):
+                ready = list(ready0)
+                live = list(loads_list)
+                for t in order:
+                    v = victim_of[t]
+                    qv = ready[v]
+                    # Merged re-check + clamp: filtered pairs and
+                    # non-positive amounts both move nothing.
+                    moved = step[running[t]][running[v]][ready[t]][qv]
+                    if moved <= 0:
+                        continue
+                    if moved > qv:
+                        moved = qv
+                        if moved <= 0:
+                            continue
+                    ready[v] = qv - moved
+                    ready[t] += moved
+                    live[v] -= moved
+                    live[t] += moved
+                out.add(tuple(live))
+        return out, truncated
+
+    def successors_packed(
+        self, packed: PackedState,
+    ) -> tuple[set[LoadState], bool]:
+        """Raw successor states of one packed state (decodes, executes)."""
+        return self.successors_loads(self.codec.decode(packed))
+
+    # -- batch tier -------------------------------------------------------
+
+    def expand_batch(
+        self, packed_states: Sequence[PackedState],
+    ) -> list[tuple[list[PackedState], bool]]:
+        """Raw packed successors of every state in a frontier chunk.
+
+        Returns one ``(successors, truncated)`` pair per input state, in
+        input order; successor lists may contain duplicates (callers
+        canonicalise and dedup). Uses the numpy tier when available:
+        zero-thief states self-loop, single-thief states (one
+        permutation each, never truncated) and two-thief states are
+        expanded fully vectorised, and only states with three or more
+        racing thieves run the Python executor.
+        """
+        if self._np is None:
+            codec = self.codec
+            return [
+                (codec.encode_batch(succ), truncated)
+                for succ, truncated in (
+                    self.successors_packed(p) for p in packed_states
+                )
+            ]
+        return self._expand_batch_numpy(packed_states)
+
+    def _expand_batch_numpy(
+        self, packed_states: Sequence[PackedState],
+    ) -> list[tuple[list[PackedState], bool]]:
+        np = self._np
+        codec = self.codec
+        packed = np.asarray(packed_states, dtype=np.int64)
+        # Decode the whole chunk: loads[s, cid].
+        loads = (packed[:, None] >> self._shifts_np) & self._digit_mask
+        running = (loads > 0).astype(np.int64)
+        ready = loads - running
+        # Intent mask: may thief t steal from victim v in state s?
+        intents = self._can_np[
+            running[:, :, None], running[:, None, :],
+            ready[:, :, None], ready[:, None, :],
+        ]
+        intents &= ~self._eye_np
+        if self._mask_np is not None:
+            intents &= self._mask_np
+        thief_counts = intents.any(axis=2).sum(axis=1)
+
+        results: list[tuple[list[PackedState], bool] | None] = (
+            [None] * len(packed_states)
+        )
+        for index in np.nonzero(thief_counts == 0)[0]:
+            results[index] = ([packed_states[index]], False)
+
+        single = np.nonzero(thief_counts == 1)[0]
+        if single.size:
+            s_local, t_idx, v_idx = np.nonzero(intents[single])
+            s_glob = single[s_local]
+            rt = running[s_glob, t_idx]
+            rv = running[s_glob, v_idx]
+            qt = ready[s_glob, t_idx]
+            qv = ready[s_glob, v_idx]
+            # One thief: the re-check runs on unmutated state and passes
+            # by construction; only the clamp matters.
+            moved = np.minimum(self._amt_np[rt, rv, qt, qv], qv)
+            np.clip(moved, 0, None, out=moved)
+            new_loads = loads[s_glob].copy()
+            rows = np.arange(len(s_glob))
+            new_loads[rows, t_idx] += moved
+            new_loads[rows, v_idx] -= moved
+            new_packed = (new_loads @ self._weights_np).tolist()
+            # ``np.nonzero`` emits rows in C order, so ``s_glob`` is
+            # non-decreasing with contiguous runs — slice one run per
+            # state instead of appending row by row.
+            glob_list = s_glob.tolist()
+            cuts = np.flatnonzero(s_glob[1:] != s_glob[:-1]) + 1
+            starts = [0, *cuts.tolist()]
+            stops = [*cuts.tolist(), len(glob_list)]
+            for start, stop in zip(starts, stops):
+                results[glob_list[start]] = (new_packed[start:stop], False)
+
+        double = np.nonzero(thief_counts == 2)[0]
+        if double.size:
+            self._expand_pairs_numpy(
+                double, intents, loads, running, ready, results
+            )
+
+        for index in np.nonzero(thief_counts >= 3)[0]:
+            succ, truncated = self.successors_loads(loads[index].tolist())
+            results[index] = (codec.encode_batch(succ), truncated)
+        return results  # type: ignore[return-value]
+
+    def _expand_pairs_numpy(self, double: Any, intents: Any, loads: Any,
+                            running: Any, ready: Any,
+                            results: list) -> None:
+        """Vectorised expansion of states with exactly two racing thieves.
+
+        Lanes run over state x (victim of thief 1) x (victim of thief 2),
+        each lane executing both steal orders (or just the first when
+        ``max_orders == 1``, which also sets the truncation flag — two
+        permutations against a cap of one, exactly like the tuple
+        executor). The disjoint-pair collapse of the scalar executor is
+        unnecessary here: commuting orders produce duplicate packed
+        values, which callers dedup anyway.
+        """
+        np = self._np
+        m = len(double)
+        sub = intents[double]
+        # Exactly two thief rows per state; ``nonzero`` yields them in
+        # ascending order, matching the tuple executor's thief order.
+        _, thieves = np.nonzero(sub.any(axis=2))
+        t1 = thieves[0::2]
+        t2 = thieves[1::2]
+        rows = np.arange(m)
+        r1, vv1 = np.nonzero(sub[rows, t1])
+        r2, vv2 = np.nonzero(sub[rows, t2])
+        c1 = np.bincount(r1, minlength=m)
+        c2 = np.bincount(r2, minlength=m)
+        # One lane per victim combination; every state has >= 1 lane
+        # because each thief admits >= 1 victim by construction.
+        lanes_per = c1 * c2
+        total = int(lanes_per.sum())
+        lane_state = np.repeat(rows, lanes_per)
+        pos = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(lanes_per)[:-1])), lanes_per
+        )
+        off1 = np.concatenate(([0], np.cumsum(c1)[:-1]))
+        off2 = np.concatenate(([0], np.cumsum(c2)[:-1]))
+        lane_c2 = c2[lane_state]
+        v1 = vv1[off1[lane_state] + pos // lane_c2]
+        v2 = vv2[off2[lane_state] + pos % lane_c2]
+        steal1 = (t1[lane_state], v1)
+        steal2 = (t2[lane_state], v2)
+        run = running[double][lane_state]
+        ready0 = ready[double][lane_state]
+        loads0 = loads[double][lane_state]
+        orders = ((steal1, steal2),)
+        if self.max_orders >= 2:
+            orders = ((steal1, steal2), (steal2, steal1))
+        truncated = self.max_orders < 2
+        lrow = np.arange(total)
+        per_order: list[list[int]] = []
+        for order in orders:
+            rdy = ready0.copy()
+            live = loads0.copy()
+            for t, v in order:
+                qv = rdy[lrow, v]
+                moved = np.minimum(
+                    self._step_np[run[lrow, t], run[lrow, v],
+                                  rdy[lrow, t], qv],
+                    qv,
+                )
+                np.clip(moved, 0, None, out=moved)
+                rdy[lrow, v] = qv - moved
+                rdy[lrow, t] += moved
+                live[lrow, v] -= moved
+                live[lrow, t] += moved
+            per_order.append((live @ self._weights_np).tolist())
+        lane_list = lane_state.tolist()
+        cuts = (np.flatnonzero(lane_state[1:] != lane_state[:-1]) + 1).tolist()
+        starts = [0, *cuts]
+        stops = [*cuts, total]
+        for start, stop in zip(starts, stops):
+            succ = per_order[0][start:stop]
+            for extra in per_order[1:]:
+                succ += extra[start:stop]
+            results[double[lane_list[start]]] = (succ, truncated)

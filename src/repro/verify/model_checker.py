@@ -24,16 +24,18 @@ scope's per-core bound (over-stealing policies do that).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
 from repro.topology.numa import NumaTopology
+from repro.verify.encoding import PackedState, StateCodec, decode_graph
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
     is_bad_state,
 )
+from repro.verify.kernel import TransitionKernel, build_kernel
 from repro.verify.symmetry import SymmetryGroup, resolve_symmetry
 from repro.verify.obligations import (
     GOOD_STATE_CLOSURE,
@@ -52,6 +54,14 @@ from repro.verify.transition import (
 
 #: An explored transition graph: state -> distinct successor states.
 TransitionGraph = dict["LoadState", frozenset["LoadState"]]
+
+#: The packed form the engines explore in: packed state -> packed
+#: successors. Decoded back to a :data:`TransitionGraph` before any
+#: certificate, rendering, or store-key code runs.
+PackedGraph = dict["PackedState", frozenset["PackedState"]]
+
+#: Sentinel distinguishing "never built" from "built as ineligible".
+_KERNEL_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -179,6 +189,11 @@ class ModelChecker:
         ] = {}
         self._branch_cache: dict[tuple[LoadState, bool],
                                  BranchEnumeration] = {}
+        self._kernel_cache: dict[StateCodec, TransitionKernel | None] = {}
+        self._packed_successor_cache: dict[
+            tuple[StateCodec, PackedState, bool],
+            tuple[frozenset[PackedState], bool],
+        ] = {}
 
     def _check_choice_equivariance(self, policy: Policy) -> None:
         """Refuse quotients that ``choice_mode='policy'`` makes unsound.
@@ -271,6 +286,98 @@ class ModelChecker:
         return result
 
     # ------------------------------------------------------------------
+    # packed expansion
+    # ------------------------------------------------------------------
+
+    def _kernel_for(self, codec: StateCodec) -> TransitionKernel | None:
+        """The (possibly ineligible) kernel for ``codec``, memoized."""
+        kernel = self._kernel_cache.get(codec, _KERNEL_UNSET)
+        if kernel is _KERNEL_UNSET:
+            kernel = build_kernel(
+                self.policy, codec,
+                choice_mode=self.choice_mode,
+                max_orders=self.max_orders,
+            )
+            self._kernel_cache[codec] = kernel
+        return kernel  # type: ignore[return-value]
+
+    def _expand_fresh(self, packed_states: Sequence[PackedState],
+                      codec: StateCodec, sequential: bool,
+                      ) -> list[tuple[frozenset[PackedState], bool]]:
+        """Uncached packed successors of a chunk, in input order.
+
+        Dispatches to the transition kernel when the policy and
+        parameters admit one, else decodes and runs the tuple executor
+        per state — the two paths produce identical (canonicalised)
+        successor sets, which the CI ``smoke-kernel`` job diffs
+        end-to-end.
+        """
+        kernel = None if sequential else self._kernel_for(codec)
+        if kernel is None:
+            out: list[tuple[frozenset[PackedState], bool]] = []
+            for packed in packed_states:
+                succ, truncated = self.successors(
+                    codec.decode(packed), sequential=sequential
+                )
+                out.append((
+                    frozenset(codec.encode(s) for s in succ), truncated
+                ))
+            return out
+        group = self.symmetry
+        if group.is_trivial:
+            # Identity canonicalisation: skip the per-successor call.
+            return [
+                (frozenset(raw), truncated)
+                for raw, truncated in kernel.expand_batch(packed_states)
+            ]
+        return [
+            (
+                frozenset(
+                    group.canonicalize_packed(s, codec) for s in raw
+                ),
+                truncated,
+            )
+            for raw, truncated in kernel.expand_batch(packed_states)
+        ]
+
+    def expand_packed(self, packed_states: Sequence[PackedState],
+                      codec: StateCodec, sequential: bool = False,
+                      ) -> tuple[PackedGraph, bool]:
+        """Packed successors of a frontier chunk, memoized per checker.
+
+        The batch analogue of :meth:`successors`: every engine's
+        expansion — serial levels, pool workers, remote workers — runs
+        through here, so the kernel/tuple dispatch and the per-checker
+        memo live in exactly one place.
+        """
+        edges: PackedGraph = {}
+        truncated = False
+        misses = [
+            packed for packed in packed_states
+            if (codec, packed, sequential) not in self._packed_successor_cache
+        ]
+        if misses:
+            fresh = self._expand_fresh(misses, codec, sequential)
+            for packed, entry in zip(misses, fresh):
+                self._packed_successor_cache[
+                    (codec, packed, sequential)
+                ] = entry
+        for packed in packed_states:
+            succ, trunc = self._packed_successor_cache[
+                (codec, packed, sequential)
+            ]
+            edges[packed] = succ
+            truncated = truncated or trunc
+        return edges, truncated
+
+    def successors_packed(self, packed: PackedState, codec: StateCodec,
+                          sequential: bool = False,
+                          ) -> tuple[frozenset[PackedState], bool]:
+        """Packed single-state successors (see :meth:`expand_packed`)."""
+        self.expand_packed((packed,), codec, sequential=sequential)
+        return self._packed_successor_cache[(codec, packed, sequential)]
+
+    # ------------------------------------------------------------------
     # work conservation
     # ------------------------------------------------------------------
 
@@ -288,28 +395,44 @@ class ModelChecker:
         map of a state is a pure function of (policy, state, parameters) —
         two shards reaching the same state compute identical edges.
 
-        ``on_expand`` (when given) is called after every expansion with
-        the number of states explored so far — the progress hook behind
-        :class:`repro.api.Session`'s serial-engine events. Pure observer;
-        it cannot influence exploration.
+        Internally the closure is computed level-synchronously over
+        *packed* states (:mod:`repro.verify.encoding`), expanding whole
+        levels through :meth:`expand_packed` so the transition kernel
+        can vectorise them; the finished graph is decoded back to tuple
+        form here, at the boundary, which keeps every downstream
+        consumer (graph algorithms, certificates, store keys, rendered
+        output) byte-identical to the historic tuple engine.
+
+        ``on_expand`` (when given) is called after each expanded level
+        with the cumulative number of states explored so far — the
+        progress hook behind :class:`repro.api.Session`'s serial-engine
+        events. Pure observer; it cannot influence exploration.
         """
-        frontier = [self._canon(s) for s in initial_states]
-        seen: set[LoadState] = set(frontier)
-        edges: TransitionGraph = {}
+        initial = [self._canon(s) for s in initial_states]
+        if not initial:
+            return {}, False
+        codec = StateCodec.for_states(len(initial[0]), initial)
+        frontier = sorted({codec.encode(s) for s in initial})
+        seen: set[PackedState] = set(frontier)
+        edges_packed: PackedGraph = {}
         truncated = False
-        stack = list(frontier)
-        while stack:
-            state = stack.pop()
-            succ, trunc = self.successors(state, sequential=sequential)
+        while frontier:
+            level_edges, trunc = self.expand_packed(
+                frontier, codec, sequential=sequential
+            )
             truncated = truncated or trunc
-            edges[state] = succ
+            edges_packed.update(level_edges)
             if on_expand is not None:
-                on_expand(len(edges))
-            for nxt in succ:
-                if nxt not in seen:
-                    seen.add(nxt)
-                    stack.append(nxt)
-        return edges, truncated
+                on_expand(len(edges_packed))
+            next_frontier = {
+                successor
+                for packed in frontier
+                for successor in level_edges[packed]
+                if successor not in seen
+            }
+            seen.update(next_frontier)
+            frontier = sorted(next_frontier)
+        return decode_graph(codec, edges_packed), truncated
 
     def analyze_graph(self, scope: StateScope, edges: TransitionGraph,
                       truncated: bool, sequential: bool = False,

@@ -104,8 +104,10 @@ from repro.verify.lemmas import (
     check_lemma1,
     check_steal_soundness,
 )
+from repro.verify.encoding import PackedState, StateCodec, decode_graph
 from repro.verify.model_checker import (
     ModelChecker,
+    PackedGraph,
     TransitionGraph,
     WorkConservationAnalysis,
 )
@@ -331,26 +333,22 @@ def _worker_checker(spec: ShardSpec) -> ModelChecker:
 
 
 def expand_states_worker(
-    args: tuple[list[LoadState], bool],
-) -> tuple[TransitionGraph, bool]:
-    """Expand one BFS chunk: successors of each state in the chunk.
+    args: tuple[StateCodec, list[PackedState], bool],
+) -> tuple[PackedGraph, bool]:
+    """Expand one packed BFS chunk: successors of each state.
 
     Runs inside the engine's pool (requires :func:`_init_worker`). The
     chunk's states were never expanded before — the parent's frontier
     bookkeeping guarantees global exactly-once expansion, which is what
     makes the BFS scale where naive closure-per-shard exploration would
-    re-explore overlapping reachable sets in every worker.
+    re-explore overlapping reachable sets in every worker. States
+    travel packed (:mod:`repro.verify.encoding`) and the result graph
+    stays packed; the parent decodes once at the end of the closure.
     """
-    states, sequential = args
+    codec, states, sequential = args
     assert _WORKER_CHECKER is not None, "pool must install the checker"
-    edges: TransitionGraph = {}
-    truncated = False
-    for state in states:
-        succ, trunc = _WORKER_CHECKER.successors(state,
-                                                 sequential=sequential)
-        truncated = truncated or trunc
-        edges[state] = succ
-    return edges, truncated
+    return _WORKER_CHECKER.expand_packed(states, codec,
+                                         sequential=sequential)
 
 
 def campaign_shard_worker(
@@ -501,19 +499,24 @@ def bfs_closure(map_expand: Callable, n_shards: int,
                 ) -> tuple[TransitionGraph, bool]:
     """Level-synchronous BFS over the reachable closure, engine-agnostic.
 
-    The caller owns the ``seen`` set and the frontier; each level, the
-    sorted frontier is striped round-robin into ``n_shards`` chunks and
-    handed to ``map_expand(chunks, sequential)``, which must return one
-    ``(edges, truncated)`` pair per chunk (a pool maps them onto worker
-    processes; a coordinator ships them to remote workers as one batched
-    frontier-exchange round per level). Every state is expanded exactly
-    once globally (unlike closure-per-shard exploration, whose shards
-    each re-explore the overlap of their reachable sets), so expansion
-    work — the dominant cost of refuted policies with large closures —
-    splits ``n_shards`` ways, and each level costs one round trip
-    regardless of link latency. The level structure, sorting, and pure
-    successor functions make the merged graph identical to a serial
-    exploration.
+    The caller owns the ``seen`` set and the frontier, both held in
+    *packed* form (:mod:`repro.verify.encoding`; the codec is derived
+    here from the initial states and shipped with every chunk). Each
+    level, the sorted packed frontier is striped round-robin into
+    ``n_shards`` chunks and handed to ``map_expand(codec, chunks,
+    sequential)``, which must return one packed ``(edges, truncated)``
+    pair per chunk (a pool maps them onto worker processes; a
+    coordinator ships them to remote workers as one batched
+    frontier-exchange round per level). The codec is order-preserving,
+    so the packed sort stripes states into exactly the chunks the tuple
+    engine built. Every state is expanded exactly once globally (unlike
+    closure-per-shard exploration, whose shards each re-explore the
+    overlap of their reachable sets), so expansion work — the dominant
+    cost of refuted policies with large closures — splits ``n_shards``
+    ways, and each level costs one round trip regardless of link
+    latency. The finished graph is decoded back to tuple form before
+    returning, keeping every downstream consumer byte-identical to the
+    tuple engine.
 
     ``on_level`` (when given) is called after each completed level with
     ``(level_index, states_expanded_this_level, next_frontier_size)`` —
@@ -521,15 +524,20 @@ def bfs_closure(map_expand: Callable, n_shards: int,
     progress events. The callback cannot influence exploration.
     """
     group = resolve_symmetry(symmetric, symmetry)
-    frontier = sorted({group.canonicalize(s) for s in initial_states})
+    canon = {group.canonicalize(s) for s in initial_states}
+    if not canon:
+        return {}, False
+    codec = StateCodec.for_states(len(next(iter(canon))), canon)
+    frontier = sorted(codec.encode(s) for s in canon)
     seen = set(frontier)
-    edges: TransitionGraph = {}
+    edges: PackedGraph = {}
     truncated = False
     level = 0
     while frontier:
         chunks = [frontier[shard::n_shards] for shard in range(n_shards)]
         chunks = [chunk for chunk in chunks if chunk]
-        for shard_edges, shard_truncated in map_expand(chunks, sequential):
+        for shard_edges, shard_truncated in map_expand(codec, chunks,
+                                                       sequential):
             edges.update(shard_edges)
             truncated = truncated or shard_truncated
         next_frontier = {
@@ -543,7 +551,7 @@ def bfs_closure(map_expand: Callable, n_shards: int,
             on_level(level, len(frontier), len(next_frontier))
         level += 1
         frontier = sorted(next_frontier)
-    return edges, truncated
+    return decode_graph(codec, edges), truncated
 
 
 def assemble_certificate(
@@ -639,9 +647,9 @@ def _explore_bfs(pool, jobs: int, initial_states, symmetric: bool,
                  on_level: "Callable[[int, int, int], None] | None" = None,
                  ) -> tuple[TransitionGraph, bool]:
     """Pool-backed :func:`bfs_closure`: chunks map onto worker processes."""
-    def map_expand(chunks, seq):
+    def map_expand(codec, chunks, seq):
         return pool.map(expand_states_worker,
-                        [(chunk, seq) for chunk in chunks])
+                        [(codec, chunk, seq) for chunk in chunks])
 
     return bfs_closure(map_expand, jobs, initial_states, symmetric,
                        sequential=sequential, symmetry=symmetry,

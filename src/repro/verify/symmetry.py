@@ -66,6 +66,7 @@ from typing import Iterator, Sequence
 from repro.core.errors import VerificationError
 from repro.topology.domains import SchedDomain
 from repro.topology.numa import NumaTopology
+from repro.verify.encoding import PackedState, StateCodec
 from repro.verify.enumeration import (
     LoadState,
     StateScope,
@@ -111,6 +112,19 @@ class SymmetryGroup:
         """The orbit's canonical representative containing ``state``."""
         raise NotImplementedError
 
+    def canonicalize_packed(self, packed: "PackedState",
+                            codec: "StateCodec") -> "PackedState":
+        """:meth:`canonicalize` directly on a packed state.
+
+        Base implementation round-trips through tuple form —
+        behaviourally identical by construction, so non-trivial groups
+        (block, numa, domain) stay correct without packed-aware
+        rewrites. The trivial and flat groups override with real fast
+        paths (identity; digit sort), which is where the packed engines
+        spend their time.
+        """
+        return codec.encode(self.canonicalize(codec.decode(packed)))
+
     def iter_representatives(self, scope: StateScope) -> Iterator[LoadState]:
         """Yield exactly one state per orbit intersecting ``scope``.
 
@@ -118,6 +132,18 @@ class SymmetryGroup:
         the iteration order is ascending in :meth:`serial_order_key`.
         """
         raise NotImplementedError
+
+    def iter_representatives_packed(self, scope: StateScope,
+                                    codec: "StateCodec",
+                                    ) -> "Iterator[PackedState]":
+        """:meth:`iter_representatives`, packed through ``codec``.
+
+        Packing preserves enumeration order (the codec is
+        order-preserving), so the packed stream shards identically to
+        the tuple stream.
+        """
+        for state in self.iter_representatives(scope):
+            yield codec.encode(state)
 
     def count_representatives(self, scope: StateScope) -> int:
         """Number of orbits in ``scope`` — no state enumeration."""
@@ -191,6 +217,10 @@ class TrivialGroup(SymmetryGroup):
     def canonicalize(self, state: Sequence[int]) -> LoadState:
         return tuple(state)
 
+    def canonicalize_packed(self, packed: PackedState,
+                            codec: StateCodec) -> PackedState:
+        return packed
+
     def iter_representatives(self, scope: StateScope) -> Iterator[LoadState]:
         return iter_states(scope)
 
@@ -222,6 +252,12 @@ class FlatSymmetryGroup(SymmetryGroup):
 
     def canonicalize(self, state: Sequence[int]) -> LoadState:
         return canonical(state)
+
+    def canonicalize_packed(self, packed: PackedState,
+                            codec: StateCodec) -> PackedState:
+        # Digit sort without rebuilding intermediate tuples per orbit
+        # member: descending digits == descending-sorted loads.
+        return codec.sort_desc(packed)
 
     def iter_representatives(self, scope: StateScope) -> Iterator[LoadState]:
         return iter_canonical_states(scope)

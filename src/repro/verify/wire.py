@@ -58,6 +58,7 @@ from repro.core.errors import VerificationError
 from repro.core.policy import Policy
 from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig
+from repro.verify.encoding import PackedState, StateCodec
 from repro.verify.enumeration import LoadState
 from repro.verify.hierarchical import HierarchySpec
 from repro.verify.parallel import PolicyReplicator, ShardSpec
@@ -67,7 +68,10 @@ from repro.verify.transition import DEFAULT_MAX_ORDERS
 #: Protocol version; bump on any incompatible envelope or payload change.
 #: v2: ShardSpec/CheckerConfig grew symmetry-group, topology, and
 #: hierarchy fields (the topology-aware symmetry engine).
-WIRE_VERSION = 2
+#: v3: ExpandTask grew codec/packed fields — BFS frontier batches travel
+#: in packed form (:mod:`repro.verify.encoding`) and results come back
+#: as packed graphs the coordinator decodes once at closure end.
+WIRE_VERSION = 3
 
 #: Format byte for pickle-encoded envelopes (arbitrary Python payloads).
 FORMAT_PICKLE = b"P"
@@ -182,13 +186,24 @@ class LivenessTask:
 class ExpandTask:
     """Expand one BFS frontier chunk: successors of each state.
 
+    Since wire v3 the coordinator ships frontier chunks in packed form
+    (``codec`` + ``packed``) and the worker answers with a packed graph;
+    ``states`` remains for tuple-form chunks (legacy payloads and
+    direct-runtime callers), used only when ``codec`` is ``None``.
+
     Attributes:
         config: checker parameters (workers memoize per config).
-        states: the chunk of never-before-expanded frontier states.
+        codec: the closure's :class:`~repro.verify.encoding.StateCodec`;
+            ``None`` selects the tuple-form ``states`` path.
+        packed: the chunk of never-before-expanded frontier states,
+            packed under ``codec``.
+        states: tuple-form chunk (only read when ``codec`` is ``None``).
         sequential: §4.2 regime flag.
     """
 
     config: CheckerConfig
+    codec: StateCodec | None = None
+    packed: tuple[PackedState, ...] = ()
     states: tuple[LoadState, ...] = ()
     sequential: bool = False
 

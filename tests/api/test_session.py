@@ -47,8 +47,13 @@ class TestEventStream:
                    .policy("balance_count").build())
         events, result = events_of(request, expand_stride=1)
         explored = [e for e in events if isinstance(e, StatesExplored)]
-        assert len(explored) == result.analysis.states_explored
-        assert explored[-1].states == result.analysis.states_explored
+        # The packed-state explorer expands level by level, emitting one
+        # cumulative progress event per BFS level rather than one per
+        # state: counts are strictly increasing and end at the total.
+        assert explored, "serial hunts must report exploration progress"
+        counts = [e.states for e in explored]
+        assert counts == sorted(set(counts))
+        assert counts[-1] == result.analysis.states_explored
 
     def test_distributed_hunt_reports_levels(self):
         request = (VerificationRequest.builder("hunt")

@@ -1,0 +1,201 @@
+"""Equivalence tests for the vectorised transition kernel.
+
+The kernel is only sound if it is *indistinguishable* from the tuple
+executor it replaces, so every test here is a differential one:
+
+* ``TransitionKernel`` successors and truncation flags versus
+  :func:`~repro.verify.transition.enumerate_round_branches`, across
+  policies, permutation caps, and both the Python and numpy tiers;
+* the hierarchical packed fast path's ``_inter_mid_states`` versus the
+  shared tuple helper ``_inter_outcomes`` (the docstring contract in
+  ``repro.verify.hierarchical`` points at this file);
+* the ``REPRO_KERNEL`` eligibility gates (mode parsing, opt-outs).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import VerificationError
+from repro.policies import (
+    BalanceCountPolicy,
+    GreedyHalvingPolicy,
+    GreedyReadyPolicy,
+    InvertedFilterPolicy,
+    NaiveOverloadedPolicy,
+    OverStealingPolicy,
+    ProvableWeightedPolicy,
+    WeightedBalancePolicy,
+)
+from repro.topology.numa import symmetric_numa
+from repro.verify import StateCodec, TransitionKernel, build_kernel
+from repro.verify.hierarchical import (
+    HierarchicalModelChecker,
+    HierarchySpec,
+    _inter_outcomes,
+)
+from repro.verify.kernel import kernel_mode
+from repro.verify.symmetry import TrivialGroup
+from repro.verify.transition import enumerate_round_branches
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+POLICIES = [
+    BalanceCountPolicy(),
+    GreedyHalvingPolicy(),
+    GreedyReadyPolicy(),
+    InvertedFilterPolicy(),
+    NaiveOverloadedPolicy(),
+    OverStealingPolicy(),
+    ProvableWeightedPolicy(),
+    WeightedBalancePolicy(),
+]
+
+TIERS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+def kernel_for(policy, codec, tier, max_orders=5040):
+    """Build a kernel pinned to one tier regardless of the environment."""
+    return TransitionKernel(
+        policy, codec, max_orders=max_orders,
+        numpy=numpy if tier == "numpy" else None,
+    )
+
+
+def assert_batch_matches_tuples(kernel, codec, states, max_orders):
+    batch = kernel.expand_batch(codec.encode_batch(states))
+    for state, (succ, truncated) in zip(states, batch):
+        reference = enumerate_round_branches(
+            kernel.policy, state, max_orders=max_orders
+        )
+        assert {codec.decode(p) for p in succ} \
+            == reference.successor_states(), state
+        assert truncated == reference.truncated, state
+
+
+class TestKernelMatchesTupleExecutor:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=lambda p: p.name,
+    )
+    def test_full_product_space(self, policy, tier):
+        """Every 4-core state with loads 0..3, uncapped permutations."""
+        states = list(itertools.product(range(4), repeat=4))
+        codec = StateCodec(n_cores=4, max_value=12)
+        kernel = kernel_for(policy, codec, tier)
+        assert_batch_matches_tuples(kernel, codec, states, 5040)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("max_orders", [1, 2, 3])
+    def test_truncation_caps_agree(self, tier, max_orders):
+        """The per-combination permutation cap and its truncation flag."""
+        states = list(itertools.product(range(4), repeat=4))
+        codec = StateCodec(n_cores=4, max_value=12)
+        kernel = kernel_for(
+            NaiveOverloadedPolicy(), codec, tier, max_orders=max_orders
+        )
+        assert_batch_matches_tuples(kernel, codec, states, max_orders)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_wider_states(self, tier, data):
+        """Sampled 5-core states — beyond the exhaustive 4-core grid."""
+        policy = data.draw(st.sampled_from(POLICIES))
+        states = data.draw(st.lists(
+            st.lists(st.integers(min_value=0, max_value=3),
+                     min_size=5, max_size=5).map(tuple),
+            min_size=1, max_size=8,
+        ))
+        codec = StateCodec(n_cores=5, max_value=15)
+        kernel = kernel_for(policy, codec, tier, max_orders=6)
+        assert_batch_matches_tuples(kernel, codec, states, 6)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_python_and_numpy_tiers_agree(self):
+        states = list(itertools.product(range(4), repeat=4))
+        codec = StateCodec(n_cores=4, max_value=12)
+        py = kernel_for(BalanceCountPolicy(), codec, "python")
+        np_ = kernel_for(BalanceCountPolicy(), codec, "numpy")
+        packed = codec.encode_batch(states)
+        for (a, ta), (b, tb) in zip(py.expand_batch(packed),
+                                    np_.expand_batch(packed)):
+            assert set(a) == set(b)
+            assert ta == tb
+
+
+class TestHierarchicalMidStates:
+    """``_inter_mid_states`` (packed fast path) vs ``_inter_outcomes``."""
+
+    @pytest.mark.parametrize("nodes,cores,top,max_orders", [
+        (2, 2, 3, 5040),
+        (2, 2, 2, 1),
+        (3, 2, 1, 2),
+    ])
+    def test_exhaustive_mid_state_equivalence(self, nodes, cores, top,
+                                              max_orders):
+        topo = symmetric_numa(nodes, cores)
+        checker = HierarchicalModelChecker(
+            HierarchySpec(topology=topo), symmetry=TrivialGroup(),
+            max_orders=max_orders,
+        )
+        n = nodes * cores
+        for state in itertools.product(range(top + 1), repeat=n):
+            mids, truncated = checker._inter_mid_states(state)
+            outcomes, ref_truncated = _inter_outcomes(
+                checker.group_policy, checker.groups,
+                checker._group_nodes, state,
+                choice_mode=checker.choice_mode, max_orders=max_orders,
+            )
+            assert mids == {mid for mid, _, _ in outcomes}, state
+            assert truncated == ref_truncated, state
+
+    def test_group_can_memo_only_for_loads_invariant_policies(self):
+        checker = HierarchicalModelChecker(
+            HierarchySpec(topology=symmetric_numa(2, 2)),
+            symmetry=TrivialGroup(),
+        )
+        assert checker._group_loads_invariant
+        checker._inter_mid_states((3, 0, 0, 0))
+        assert checker._group_can_memo  # populated by the fast path
+
+
+class TestEligibilityGates:
+    def test_mode_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernel_mode() == "auto"
+        monkeypatch.setenv("REPRO_KERNEL", " PYTHON ")
+        assert kernel_mode() == "python"
+        monkeypatch.setenv("REPRO_KERNEL", "vectorised")
+        with pytest.raises(VerificationError):
+            kernel_mode()
+
+    def test_off_disables_the_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        codec = StateCodec(n_cores=3, max_value=6)
+        assert build_kernel(BalanceCountPolicy(), codec) is None
+
+    def test_policy_and_checker_opt_outs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        codec = StateCodec(n_cores=3, max_value=6)
+        policy = BalanceCountPolicy()
+        assert build_kernel(policy, codec, choice_mode="policy") is None
+        assert build_kernel(policy, codec, max_orders=0) is None
+
+        class OpaquePolicy(BalanceCountPolicy):
+            filter_invariance = "none"
+
+        assert build_kernel(OpaquePolicy(), codec) is None
+
+    @pytest.mark.skipif(HAVE_NUMPY, reason="numpy is installed")
+    def test_numpy_mode_requires_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        codec = StateCodec(n_cores=3, max_value=6)
+        with pytest.raises(VerificationError):
+            build_kernel(BalanceCountPolicy(), codec)
