@@ -47,6 +47,16 @@ def test_bench_distributed_equivalence(benchmark):
     in_process = benchmark(in_process_proof)
 
     start = time.perf_counter()
+    async_coordinator = Coordinator([
+        InProcessTransport("bench-async-a"),
+        InProcessTransport("bench-async-b"),
+    ])
+    over_async = prove_work_conserving_distributed(
+        BalanceCountPolicy(), SEED_SCOPE, async_coordinator, mode="async",
+    )
+    async_s = time.perf_counter() - start
+
+    start = time.perf_counter()
     with LocalWorkerPool(2) as coordinator:
         spawn_s = time.perf_counter() - start
         start = time.perf_counter()
@@ -57,6 +67,7 @@ def test_bench_distributed_equivalence(benchmark):
 
     assert in_process.render() == serial.render()
     assert over_tcp.render() == serial.render()
+    assert over_async.render() == serial.render()
 
     start = time.perf_counter()
     prove_work_conserving(BalanceCountPolicy(), SEED_SCOPE)
@@ -65,6 +76,7 @@ def test_bench_distributed_equivalence(benchmark):
     rows = [
         ["serial", f"{serial_s:.3f}", "-"],
         ["distributed/in-process x2", "(benchmarked)", "-"],
+        ["distributed/async in-process x2", f"{async_s:.3f}", "-"],
         ["distributed/tcp x2 subprocess", f"{tcp_s:.3f}",
          f"{spawn_s:.3f}"],
     ]
@@ -73,6 +85,7 @@ def test_bench_distributed_equivalence(benchmark):
         "distributed_equivalence",
         "Distributed engine equivalence at seed scope"
         f" ({SEED_SCOPE.describe()}):\n"
-        "all three engines render byte-identical certificates.\n\n"
+        "all four engines render byte-identical certificates\n"
+        "(async = barrier-free hash-partitioned exploration).\n\n"
         + table,
     )

@@ -72,6 +72,7 @@ from repro.api.request import (
 )
 from repro.api.result import (
     ResultStats,
+    StoreProvenance,
     Verdict,
     VerificationResult,
     result_from_analysis,
@@ -80,8 +81,10 @@ from repro.api.result import (
     result_from_zoo,
 )
 from repro.api.session import (
+    EventStream,
     LevelCompleted,
     MachineChecked,
+    PartitionSplit,
     PolicyFinished,
     PolicyStarted,
     ProgressEvent,
@@ -110,8 +113,10 @@ __all__ = [
     "Engine",
     "EngineError",
     "EngineSpec",
+    "EventStream",
     "LevelCompleted",
     "MachineChecked",
+    "PartitionSplit",
     "PolicyFinished",
     "PolicySpec",
     "PolicyStarted",
@@ -131,6 +136,7 @@ __all__ = [
     "SpecFile",
     "SpecRun",
     "StatesExplored",
+    "StoreProvenance",
     "Verdict",
     "VerificationRequest",
     "VerificationResult",

@@ -56,6 +56,12 @@ MachineCallback = Callable[[int, int], None]
 #: ``on_reassign(task_index, lost_worker_name)`` dispatch hook.
 ReassignCallback = Callable[[int, str], None]
 
+#: ``on_expand(states_explored_so_far)`` cumulative progress hook.
+ExpandCallback = Callable[[int], None]
+
+#: ``on_partition_split(partition, source, target, pending)`` steal hook.
+SplitCallback = Callable[[int, str, str, int], None]
+
 
 class EngineError(VerificationError):
     """A backend failed to execute a request (transport loss, spawn
@@ -237,24 +243,33 @@ class DistributedEngine:
     def __init__(self, workers: int | None = None,
                  endpoints: Sequence[str] = (),
                  in_process: bool = False,
-                 coordinator: Coordinator | None = None) -> None:
+                 coordinator: Coordinator | None = None,
+                 mode: str = "level-sync",
+                 partitions: int | None = None) -> None:
         self._workers = workers
         self._endpoints = tuple(endpoints)
         self._in_process = in_process
         self._coordinator: Coordinator | None = coordinator
         self._owned_pool: LocalWorkerPool | None = None
         self._owns_coordinator = coordinator is None
+        #: ``"level-sync"`` (barriered BFS) or ``"async"`` (barrier-free
+        #: hash-partitioned exploration); see repro.verify.distributed.
+        self.mode = mode
+        self.partitions = partitions
         #: forwarded to the coordinator once open (ShardReassigned events).
         self.on_reassign: ReassignCallback | None = None
+        #: async-mode steal observer (PartitionSplit events).
+        self.on_partition_split: SplitCallback | None = None
 
     def describe(self) -> str:
+        suffix = ", async" if self.mode == "async" else ""
         if self._endpoints:
-            return f"distributed[{','.join(self._endpoints)}]"
+            return f"distributed[{','.join(self._endpoints)}{suffix}]"
         if self._in_process:
-            return f"distributed[{self._workers} in-process workers]"
+            return f"distributed[{self._workers} in-process workers{suffix}]"
         if self._workers is not None:
-            return f"distributed[{self._workers} tcp workers]"
-        return "distributed[injected coordinator]"
+            return f"distributed[{self._workers} tcp workers{suffix}]"
+        return f"distributed[injected coordinator{suffix}]"
 
     def __enter__(self) -> "DistributedEngine":
         if self._coordinator is not None:  # injected, or re-entered
@@ -312,6 +327,7 @@ class DistributedEngine:
     def prove(self, policy, scope, *, choice_mode="all",
               max_orders=DEFAULT_MAX_ORDERS, symmetric=False,
               symmetry=None, topology=None, on_level=None,
+              on_expand: ExpandCallback | None = None,
               ) -> WorkConservationCertificate:
         from repro.verify.distributed import prove_work_conserving_distributed
 
@@ -319,7 +335,10 @@ class DistributedEngine:
             return prove_work_conserving_distributed(
                 policy, scope, self.coordinator, choice_mode=choice_mode,
                 max_orders=max_orders, symmetric=symmetric,
-                symmetry=symmetry, topology=topology, on_level=on_level,
+                symmetry=symmetry, topology=topology,
+                mode=self.mode, partitions=self.partitions,
+                on_level=on_level, on_expand=on_expand,
+                on_partition_split=self.on_partition_split,
             )
         except EngineError:
             raise
@@ -330,6 +349,7 @@ class DistributedEngine:
                 max_orders=DEFAULT_MAX_ORDERS, symmetric=False,
                 sequential=False, symmetry=None, topology=None,
                 hierarchy=None, on_level=None,
+                on_expand: ExpandCallback | None = None,
                 ) -> WorkConservationAnalysis:
         from repro.verify.distributed import analyze_distributed
 
@@ -338,7 +358,10 @@ class DistributedEngine:
                 policy, scope, self.coordinator, choice_mode=choice_mode,
                 max_orders=max_orders, symmetric=symmetric,
                 sequential=sequential, symmetry=symmetry,
-                topology=topology, hierarchy=hierarchy, on_level=on_level,
+                topology=topology, hierarchy=hierarchy,
+                mode=self.mode, partitions=self.partitions,
+                on_level=on_level, on_expand=on_expand,
+                on_partition_split=self.on_partition_split,
             )
         except EngineError:
             raise
@@ -371,5 +394,7 @@ def create_engine(spec: EngineSpec) -> Engine:
     if spec.kind == "distributed":
         return DistributedEngine(workers=spec.workers,
                                  endpoints=spec.endpoints,
-                                 in_process=spec.in_process)
+                                 in_process=spec.in_process,
+                                 mode=spec.mode,
+                                 partitions=spec.partitions)
     raise RequestError(f"unknown engine kind {spec.kind!r}")

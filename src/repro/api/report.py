@@ -46,7 +46,12 @@ from repro.api.request import (
     RequestError,
     VerificationRequest,
 )
-from repro.api.result import ResultStats, Verdict, VerificationResult
+from repro.api.result import (
+    ResultStats,
+    StoreProvenance,
+    Verdict,
+    VerificationResult,
+)
 
 #: Format marker embedded in every serialised result.
 RESULT_FORMAT = "repro.api.result/v1"
@@ -123,7 +128,7 @@ _REQUEST_KEYS = frozenset({
 _POLICY_KEYS = frozenset({"name", "margin", "seed"})
 _SCOPE_KEYS = frozenset({"cores", "max_load"})
 _ENGINE_KEYS = frozenset({"kind", "jobs", "workers", "endpoints",
-                          "in_process"})
+                          "in_process", "mode", "partitions"})
 _CAMPAIGN_KEYS = frozenset({"machines", "max_cores", "rounds", "seed"})
 
 
@@ -167,6 +172,10 @@ def request_to_dict(request: VerificationRequest) -> dict[str, Any]:
                 encoded["endpoints"] = list(engine.endpoints)
             if engine.in_process:
                 encoded["in_process"] = True
+            if engine.mode != "level-sync":
+                encoded["mode"] = engine.mode
+            if engine.partitions is not None:
+                encoded["partitions"] = engine.partitions
         data["engine"] = encoded
     limits = request.campaign
     if limits is not None:
@@ -224,6 +233,8 @@ def request_from_dict(data: Mapping[str, Any]) -> VerificationRequest:
             workers=raw.get("workers"),
             endpoints=tuple(raw.get("endpoints", ())),
             in_process=raw.get("in_process", False),
+            mode=raw.get("mode", "level-sync"),
+            partitions=raw.get("partitions"),
         )
 
     campaign = None
@@ -432,9 +443,13 @@ def _campaign_from_dict(data: Mapping[str, Any]) -> CampaignReport:
 
 
 def result_to_dict(result: VerificationResult) -> dict[str, Any]:
-    """Encode a result as a JSON-safe document."""
+    """Encode a result as a JSON-safe document.
+
+    Store provenance is encoded only when present, so documents from
+    store-less runs are byte-identical to the pre-provenance format.
+    """
     stats = result.stats
-    return {
+    data = {
         "format": RESULT_FORMAT,
         "request": request_to_dict(result.request),
         "verdict": result.verdict.value,
@@ -464,6 +479,13 @@ def result_to_dict(result: VerificationResult) -> dict[str, Any]:
             if result.campaign is not None else None
         ),
     }
+    if result.provenance is not None:
+        data["provenance"] = {
+            "store_key": result.provenance.store_key,
+            "shards": result.provenance.shards,
+            "hit": result.provenance.hit,
+        }
+    return data
 
 
 def result_from_dict(data: Mapping[str, Any]) -> VerificationResult:
@@ -478,6 +500,12 @@ def result_from_dict(data: Mapping[str, Any]) -> VerificationResult:
             f" expected {RESULT_FORMAT!r}"
         )
     stats = data["stats"]
+    provenance = None
+    if data.get("provenance") is not None:
+        raw = data["provenance"]
+        provenance = StoreProvenance(store_key=raw["store_key"],
+                                     shards=raw["shards"],
+                                     hit=raw["hit"])
     return VerificationResult(
         request=request_from_dict(data["request"]),
         verdict=Verdict(data["verdict"]),
@@ -506,6 +534,7 @@ def result_from_dict(data: Mapping[str, Any]) -> VerificationResult:
             _campaign_from_dict(data["campaign"])
             if data["campaign"] is not None else None
         ),
+        provenance=provenance,
     )
 
 
@@ -559,4 +588,7 @@ def strip_result_timings(result: VerificationResult) -> VerificationResult:
 
     scrubbed = scrub(data)
     scrubbed["timings"] = {key: 0.0 for key in scrubbed["timings"]}
+    # Provenance is session metadata (hit/miss depends on store state,
+    # not on the request), so the normal form drops it too.
+    scrubbed.pop("provenance", None)
     return result_from_dict(scrubbed)

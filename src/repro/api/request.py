@@ -219,6 +219,14 @@ class EngineSpec:
             transports (every frame still round-trips the wire
             encoding) — the zero-setup deployment used by tests and
             engine-equivalence checks.
+        mode: distributed closure exploration: ``"level-sync"``
+            (barriered BFS, the historical behaviour) or ``"async"``
+            (barrier-free hash-partitioned exploration with work
+            stealing). Verdicts and certificates are identical either
+            way, so the mode is *not* part of the store coverage class
+            (see :mod:`repro.store.keys`).
+        partitions: async-mode hash partition count (``None`` = 4 per
+            worker). More partitions mean finer stealing granularity.
     """
 
     kind: str = "serial"
@@ -226,6 +234,8 @@ class EngineSpec:
     workers: int | None = None
     endpoints: tuple[str, ...] = ()
     in_process: bool = False
+    mode: str = "level-sync"
+    partitions: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("serial", "pool", "distributed"):
@@ -233,6 +243,27 @@ class EngineSpec:
                 f"unknown engine kind {self.kind!r}; expected serial,"
                 " pool, or distributed"
             )
+        if self.mode not in ("level-sync", "async"):
+            raise RequestError(
+                f"unknown engine mode {self.mode!r}; expected level-sync"
+                " or async"
+            )
+        if self.kind != "distributed":
+            if self.mode != "level-sync" or self.partitions is not None:
+                raise RequestError(
+                    f"mode/partitions only apply to the distributed"
+                    f" engine, not {self.kind!r}"
+                )
+        elif self.partitions is not None:
+            if self.mode != "async":
+                raise RequestError(
+                    "partitions only apply to mode='async': level-sync"
+                    " exploration shards by worker, not by partition"
+                )
+            if self.partitions < 1:
+                raise RequestError(
+                    f"partitions must be >= 1, got {self.partitions}"
+                )
         if self.kind == "pool" and self.jobs < 0:
             raise RequestError(
                 f"engine jobs must be >= 0 (0 = one per CPU), got {self.jobs}"
@@ -279,10 +310,11 @@ class EngineSpec:
             return "serial"
         if self.kind == "pool":
             return f"pool[jobs={self.jobs}]"
+        suffix = ", async" if self.mode == "async" else ""
         if self.endpoints:
-            return f"distributed[{','.join(self.endpoints)}]"
+            return f"distributed[{','.join(self.endpoints)}{suffix}]"
         transport = "in-process" if self.in_process else "tcp"
-        return f"distributed[{self.workers} {transport} workers]"
+        return f"distributed[{self.workers} {transport} workers{suffix}]"
 
 
 @dataclass(frozen=True)
@@ -636,13 +668,17 @@ class RequestBuilder:
 
     def distributed(self, workers: int | None = None, *,
                     endpoints: Sequence[str] = (),
-                    in_process: bool = False) -> "RequestBuilder":
+                    in_process: bool = False,
+                    mode: str = "level-sync",
+                    partitions: int | None = None) -> "RequestBuilder":
         """Run on the distributed engine (spawn ``workers`` local
         workers, connect to ``endpoints``, or use in-process
-        transports)."""
+        transports); ``mode="async"`` selects barrier-free
+        hash-partitioned exploration."""
         self._engine = EngineSpec(kind="distributed", workers=workers,
                                   endpoints=tuple(endpoints),
-                                  in_process=in_process)
+                                  in_process=in_process,
+                                  mode=mode, partitions=partitions)
         return self
 
     def engine(self, spec: EngineSpec) -> "RequestBuilder":

@@ -79,6 +79,32 @@ class ResultStats:
 
 
 @dataclass(frozen=True)
+class StoreProvenance:
+    """Where a result sits in the proof store's coverage space.
+
+    The session attaches one of these to every result that ran with a
+    store configured: the computed :func:`~repro.store.keys.store_key`,
+    the coverage class (the shard count that key folds the engine down
+    to — see :mod:`repro.store.keys`), and whether the run was served
+    from the store (``hit``) or computed fresh.
+
+    Provenance is session metadata, not proof content: stored entries
+    never carry it (the same entry can be a miss for one session and a
+    hit for the next), and :func:`~repro.api.report.strip_result_timings`
+    drops it alongside the timings.
+
+    Attributes:
+        store_key: the content hash the result is filed under.
+        shards: the coverage-class shard count (1 = serial-equivalent).
+        hit: True when the result was replayed from the store.
+    """
+
+    store_key: str
+    shards: int
+    hit: bool
+
+
+@dataclass(frozen=True)
 class VerificationResult:
     """Outcome of running one :class:`VerificationRequest`.
 
@@ -96,6 +122,9 @@ class VerificationResult:
         analysis: the model checker's analysis (hunt).
         zoo: the verdict matrix (zoo).
         campaign: the fuzzing report (campaign).
+        provenance: store-key provenance when a store was consulted
+            (``None`` otherwise). Like timings, engine/session-dependent
+            rather than proof content.
     """
 
     request: VerificationRequest
@@ -106,6 +135,7 @@ class VerificationResult:
     analysis: WorkConservationAnalysis | None = None
     zoo: ZooReport | None = None
     campaign: CampaignReport | None = None
+    provenance: StoreProvenance | None = None
 
     @property
     def kind(self) -> str:

@@ -17,9 +17,9 @@ or stream ``ViolationFound`` into an issue tracker. Guarantees:
   caller) otherwise.
 * Events are observational only — unsubscribing cannot change a
   verdict, and verdicts are byte-identical with zero subscribers.
-* Ordering is per-run; ``ShardReassigned`` may arrive from a
-  coordinator dispatch thread, so subscribers must be thread-safe when
-  running distributed requests.
+* Ordering is per-run; ``ShardReassigned`` and ``PartitionSplit`` may
+  arrive from a coordinator dispatch thread, so subscribers must be
+  thread-safe when running distributed requests.
 
 Usage::
 
@@ -30,14 +30,34 @@ Usage::
     session = Session(subscribers=[print])
     result = session.run(request)
     assert result.ok and result.certificate is not None
+
+Callers that want to *consume* progress rather than observe it use the
+streaming surface instead of subscribers: :meth:`Session.iter_events`
+returns an :class:`EventStream` (a plain iterator driving the run on a
+background thread, with the result available once exhausted),
+:meth:`Session.run_streaming` is the generator form (``result = yield
+from session.run_streaming(request)``), and :meth:`Session.aiter_events`
+adapts the stream to ``async for``. All three yield exactly the events
+a subscriber would see, in the same order.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, ContextManager, Iterable
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    AsyncIterator,
+    Callable,
+    ContextManager,
+    Generator,
+    Iterable,
+    Iterator,
+)
 
 from repro.verify.campaign import CampaignReport
 from repro.verify.obligations import Counterexample
@@ -47,6 +67,7 @@ from repro.verify.work_conservation import WorkConservationCertificate
 from repro.api.engine import DistributedEngine, Engine, create_engine
 from repro.api.request import RequestError, VerificationRequest
 from repro.api.result import (
+    StoreProvenance,
     VerificationResult,
     result_from_analysis,
     result_from_campaign,
@@ -126,6 +147,23 @@ class ShardReassigned(ProgressEvent):
 
     task_index: int
     worker: str
+
+
+@dataclass(frozen=True)
+class PartitionSplit(ProgressEvent):
+    """An async-mode partition moved between workers (work stealing).
+
+    Emitted when the coordinator re-routes a partition from ``source``
+    to ``target`` — because ``target`` went idle, or joined the fleet
+    mid-run — carrying ``pending`` queued states with it. Like
+    :class:`ShardReassigned`, may arrive from a coordinator dispatch
+    thread.
+    """
+
+    partition: int
+    source: str
+    target: str
+    pending: int
 
 
 @dataclass(frozen=True)
@@ -231,6 +269,7 @@ class Session:
                 f"expand_stride must be >= 1, got {expand_stride}"
             )
         self.expand_stride = expand_stride
+        self._expand_seen = 0
         self._store = store
         self._store_refresh = store_refresh
 
@@ -249,14 +288,25 @@ class Session:
                                   frontier=frontier))
 
     def _on_expand(self, states: int) -> None:
-        if states % self.expand_stride == 0:
+        # Emit whenever the count crosses a stride boundary. The serial
+        # checker reports every expansion (1, 2, 3, ...), so this emits
+        # exactly at the multiples, as it always has; the async explorer
+        # reports in merge-sized jumps, and a jump across a boundary
+        # still surfaces.
+        if states // self.expand_stride > self._expand_seen // self.expand_stride:
             self._emit(StatesExplored(states=states))
+        self._expand_seen = states
 
     def _on_machine(self, machines: int, violations: int) -> None:
         self._emit(MachineChecked(machines=machines, violations=violations))
 
     def _on_reassign(self, task_index: int, worker: str) -> None:
         self._emit(ShardReassigned(task_index=task_index, worker=worker))
+
+    def _on_partition_split(self, partition: int, source: str,
+                            target: str, pending: int) -> None:
+        self._emit(PartitionSplit(partition=partition, source=source,
+                                  target=target, pending=pending))
 
     def _on_reused(self, request: VerificationRequest, key: str) -> None:
         self._emit(ResultReused(request=request, key=key))
@@ -278,8 +328,10 @@ class Session:
         engine = self._engine if self._engine is not None \
             else create_engine(request.engine)
         if isinstance(engine, DistributedEngine):
-            # Entering the engine copies the hook onto the coordinator.
+            # Entering the engine copies the hooks onto the coordinator
+            # (on_reassign) and the async explorer (on_partition_split).
             engine.on_reassign = self._on_reassign
+            engine.on_partition_split = self._on_partition_split
         caching: CachingEngine | None = None
         if self._store is not None:
             from repro.store.caching import CachingEngine
@@ -291,12 +343,15 @@ class Session:
         self._emit(RequestStarted(request=request,
                                   engine=engine.describe()))
         start = time.perf_counter()
+        self._expand_seen = 0
+        hit = False
         try:
             result = None
             if caching is not None:
                 # Whole-request fast path: a warm request acquires no
                 # backend at all (no pool, no worker fleet).
                 result = caching.load_result(request)
+                hit = result is not None
             if result is None:
                 with engine:
                     runner = {
@@ -317,9 +372,87 @@ class Session:
         result = result.with_timings(
             {**result.timings, "total_s": time.perf_counter() - start}
         )
+        if caching is not None:
+            # Provenance rides on the returned result only — stored
+            # entries never carry it (the same entry is a miss once and
+            # a hit ever after).
+            from repro.store.keys import coverage_shards, store_key
+
+            result = replace(result, provenance=StoreProvenance(
+                store_key=store_key(request),
+                shards=coverage_shards(request),
+                hit=hit,
+            ))
         self._emit_violations(result)
         self._emit(RequestFinished(result=result))
         return result
+
+    # -- streaming ------------------------------------------------------
+
+    def iter_events(self, request: VerificationRequest) -> "EventStream":
+        """Run ``request`` on a background thread, streaming its events.
+
+        Returns an :class:`EventStream` — a plain iterator yielding
+        every event a subscriber would see, in the same order, ending
+        after the terminal event. Once exhausted, ``stream.result``
+        holds the run's :class:`~repro.api.result.VerificationResult`;
+        a failed run re-raises its error from the iterator after
+        yielding :class:`RequestFailed`.
+
+        One stream at a time per session: the stream feeds off the
+        session's subscriber path, so two overlapping streaming runs on
+        one session would interleave their events into both streams
+        (exactly as they would for a shared subscriber).
+        """
+        return EventStream(self, request)
+
+    def run_streaming(
+        self, request: VerificationRequest,
+    ) -> Generator[ProgressEvent, None, VerificationResult]:
+        """Generator form of :meth:`iter_events`.
+
+        Yields the run's events and *returns* the result, so a
+        delegating consumer writes::
+
+            result = yield from session.run_streaming(request)
+
+        Plain ``for`` loops read the result off the terminal
+        :class:`RequestFinished` event instead.
+        """
+        stream = self.iter_events(request)
+        yield from stream
+        return stream.result
+
+    async def aiter_events(
+        self, request: VerificationRequest,
+    ) -> AsyncIterator[ProgressEvent]:
+        """Asyncio adapter for :meth:`iter_events`.
+
+        Yields the same events ``async for``-style without blocking the
+        event loop (the stream's blocking reads run in the loop's
+        default executor while the run itself stays on the stream's
+        worker thread). The terminal :class:`RequestFinished` event
+        carries the result; a failed run raises its error after
+        :class:`RequestFailed`.
+        """
+        import asyncio
+
+        stream = self.iter_events(request)
+        loop = asyncio.get_running_loop()
+        while True:
+            event = await loop.run_in_executor(None, stream.next_event)
+            if event is None:
+                return
+            yield event
+
+    def _run_streamed(self, request: VerificationRequest,
+                      deliver: Subscriber) -> VerificationResult:
+        """Run with ``deliver`` temporarily subscribed (a stream's feed)."""
+        self._subscribers.append(deliver)
+        try:
+            return self.run(request)
+        finally:
+            self._subscribers.remove(deliver)
 
     @staticmethod
     def _bound(engine: Engine,
@@ -327,6 +460,22 @@ class Session:
         """Bind ``request`` on a caching engine; no-op on a bare one."""
         bind = getattr(engine, "bound", None)
         return bind(request) if bind is not None else nullcontext()
+
+    def _progress_hooks(self, engine: Engine) -> dict[str, Any]:
+        """The closure-progress kwargs this backend supports.
+
+        Level-synchronous backends report per-level
+        (:class:`LevelCompleted`); the async distributed mode has no
+        levels and reports a cumulative expansion count instead
+        (:class:`StatesExplored`, throttled by the session's stride,
+        exactly like the serial DFS). A caching engine reports as the
+        backend it wraps.
+        """
+        backend = getattr(engine, "inner", engine)
+        if (isinstance(backend, DistributedEngine)
+                and backend.mode == "async"):
+            return {"on_expand": self._on_expand}
+        return {"on_level": self._on_level}
 
     def _emit_violations(self, result: VerificationResult) -> None:
         certificates: list[WorkConservationCertificate] = []
@@ -365,7 +514,7 @@ class Session:
                 symmetric=request.symmetric,
                 symmetry=resolved.symmetry,
                 topology=resolved.topology,
-                on_level=self._on_level,
+                **self._progress_hooks(engine),
             )
         return result_from_certificate(request, cert)
 
@@ -400,7 +549,7 @@ class Session:
                     symmetry=resolved.symmetry,
                     topology=resolved.topology,
                     hierarchy=resolved.hierarchy,
-                    on_level=self._on_level,
+                    **self._progress_hooks(engine),
                 )
         return result_from_analysis(request, analysis)
 
@@ -459,7 +608,7 @@ class Session:
                     symmetric=request.symmetric,
                     symmetry=resolved.symmetry,
                     topology=resolved.topology,
-                    on_level=self._on_level,
+                    **self._progress_hooks(engine),
                 )
             certificates.append(cert)
             self._emit(PolicyFinished(policy=policy.name, index=index,
@@ -478,6 +627,89 @@ class Session:
                 on_machine=self._on_machine,
             )
         return result_from_campaign(request, report)
+
+
+# ---------------------------------------------------------------------------
+# streaming
+# ---------------------------------------------------------------------------
+
+_STREAM_DONE = object()  # queue sentinel: the run is over
+
+
+class EventStream:
+    """Iterator over one streaming run's progress events.
+
+    Created by :meth:`Session.iter_events`. The run executes on a
+    daemon worker thread; iterating yields every event the run emits —
+    including those arriving from coordinator dispatch threads — in
+    emission order, ending after the terminal event
+    (:class:`RequestFinished` or :class:`RequestFailed`). A failed run
+    re-raises its error from the iterator *after* yielding
+    :class:`RequestFailed`, so consumers always observe the complete
+    event sequence. Once exhausted, :attr:`result` holds the run's
+    result.
+    """
+
+    def __init__(self, session: Session,
+                 request: VerificationRequest) -> None:
+        self.request = request
+        self._queue: queue.SimpleQueue[Any] = queue.SimpleQueue()
+        self._result: VerificationResult | None = None
+        self._error: BaseException | None = None
+        self._finished = False
+        self._thread = threading.Thread(
+            target=self._run, args=(session,),
+            name="repro-event-stream", daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self, session: Session) -> None:
+        try:
+            self._result = session._run_streamed(self.request,
+                                                 self._queue.put)
+        except BaseException as exc:  # re-raised by the consumer
+            self._error = exc
+        finally:
+            self._queue.put(_STREAM_DONE)
+
+    def next_event(self) -> ProgressEvent | None:
+        """Block for the next event; ``None`` once the run is over.
+
+        A failed run raises its error here (once, after the final
+        :class:`RequestFailed` event has been returned) instead of
+        ever returning ``None``.
+        """
+        if self._finished:
+            return None
+        item = self._queue.get()
+        if item is _STREAM_DONE:
+            self._finished = True
+            self._thread.join()
+            if self._error is not None:
+                raise self._error
+            return None
+        return item
+
+    def __iter__(self) -> Iterator[ProgressEvent]:
+        return self
+
+    def __next__(self) -> ProgressEvent:
+        event = self.next_event()
+        if event is None:
+            raise StopIteration
+        return event
+
+    @property
+    def result(self) -> VerificationResult:
+        """The run's result; available once the stream is exhausted."""
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise RequestError(
+                "the stream's result is only available after iterating"
+                " it to the end"
+            )
+        return self._result
 
 
 def run_request(request: VerificationRequest,

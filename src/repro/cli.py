@@ -177,6 +177,19 @@ def _engine_parent(jobs_help: str | None = None) -> argparse.ArgumentParser:
         help="dispatch shards to these already-running workers (start"
              " each with: python -m repro worker --listen HOST:PORT)",
     )
+    parent.add_argument(
+        "--engine-mode", choices=("level-sync", "async"),
+        default="level-sync", dest="engine_mode",
+        help="distributed exploration mode: level-sync (barriered BFS"
+             " rounds, the default) or async (barrier-free hash-"
+             "partitioned exploration with work stealing); verdicts and"
+             " reports are byte-identical either way",
+    )
+    parent.add_argument(
+        "--partitions", type=_positive_int, metavar="N", default=None,
+        help="hash-partition count for --engine-mode async (default:"
+             " 4 per worker)",
+    )
     return parent
 
 
@@ -191,6 +204,8 @@ def _engine_spec(args: argparse.Namespace):
 
     distributed = getattr(args, "distributed", None)
     workers = getattr(args, "workers", None)
+    mode = getattr(args, "engine_mode", "level-sync")
+    partitions = getattr(args, "partitions", None)
     if distributed is not None or workers is not None:
         if getattr(args, "jobs", 1) > 1:
             raise SystemExit(
@@ -199,8 +214,15 @@ def _engine_spec(args: argparse.Namespace):
             )
         if workers is not None:
             return EngineSpec(kind="distributed",
-                              endpoints=tuple(workers.split(",")))
-        return EngineSpec(kind="distributed", workers=distributed)
+                              endpoints=tuple(workers.split(",")),
+                              mode=mode, partitions=partitions)
+        return EngineSpec(kind="distributed", workers=distributed,
+                          mode=mode, partitions=partitions)
+    if mode != "level-sync" or partitions is not None:
+        raise SystemExit(
+            "--engine-mode/--partitions only apply to the distributed"
+            " engine: add --distributed N or --workers HOST:PORT"
+        )
     jobs = getattr(args, "jobs", 1)
     if jobs > 1:
         return EngineSpec(kind="pool", jobs=jobs)
@@ -253,24 +275,34 @@ def _store_config(args: argparse.Namespace):
 
 def _make_session(args: argparse.Namespace):
     """The configured :class:`~repro.api.Session` for a verification
-    command: progress subscribers plus the result store, when asked."""
+    command: the result store, when asked (``--progress`` consumes the
+    session's streaming surface instead of subscribing)."""
     from repro.api import Session
 
     store, refresh = _store_config(args)
-    return Session(subscribers=_progress_subscribers(args),
-                   store=store, store_refresh=refresh)
+    return Session(store=store, store_refresh=refresh)
 
 
-def _progress_subscribers(args: argparse.Namespace) -> list:
-    """``--progress`` streams session events to stderr (stdout stays
-    byte-identical to the legacy reports)."""
+def _session_run(session, request, args: argparse.Namespace):
+    """Run one request; under ``--progress``, consume it as a stream.
+
+    ``--progress`` is the first consumer of
+    :meth:`~repro.api.Session.run_streaming`: each yielded event prints
+    to stderr exactly as the old subscriber did (same events, same
+    order, same rendering — stdout stays byte-identical to the legacy
+    reports), and a failed run re-raises its error after the final
+    ``RequestFailed`` event, which matches the subscriber path's
+    emit-then-propagate contract.
+    """
     if not getattr(args, "progress", False):
-        return []
-
-    def narrate(event) -> None:
+        return session.run(request)
+    stream = session.run_streaming(request)
+    while True:
+        try:
+            event = next(stream)
+        except StopIteration as stop:
+            return stop.value
         print(f"[progress] {event}", file=sys.stderr)
-
-    return [narrate]
 
 
 def _run_request(kind: str, args: argparse.Namespace,
@@ -291,7 +323,7 @@ def _run_request(kind: str, args: argparse.Namespace,
         raise SystemExit(str(exc)) from exc
     session = _make_session(args)
     try:
-        result = session.run(request)
+        result = _session_run(session, request, args)
     except EngineError as exc:
         # Transport/spawn/dispatch failures: a clean one-liner, for
         # every verification command.
@@ -365,7 +397,7 @@ def cmd_run_spec(args: argparse.Namespace) -> int:
                 print()
             print(f"# {run.name}")
         try:
-            result = session.run(run.request)
+            result = _session_run(session, run.request, args)
         except (EngineError, VerificationError) as exc:
             # The same clean one-liner `verify` prints for refusals and
             # transport failures — but only after flushing what ran.
@@ -377,11 +409,18 @@ def cmd_run_spec(args: argparse.Namespace) -> int:
         import json
 
         from repro.api import result_to_dict
+        from repro.store import store_key
 
+        # Every entry names its content address (and, inside the
+        # result, full provenance when a store ran) so downstream
+        # tooling can correlate documents with store entries without
+        # re-deriving keys.
         with open(args.json, "w") as handle:
             json.dump(
                 [
-                    {"run": run.name, "result": result_to_dict(result)}
+                    {"run": run.name,
+                     "store_key": store_key(run.request),
+                     "result": result_to_dict(result)}
                     for run, result in outcomes
                 ],
                 handle, indent=2, sort_keys=True,

@@ -65,6 +65,31 @@ def default_store_dir() -> Path:
     return base / "repro" / "store"
 
 
+def coverage_shards(request: VerificationRequest) -> int:
+    """The engine's coverage-class shard count — the one engine fact a
+    key carries.
+
+    ``--jobs N``, ``--distributed N``, and ``--workers`` with N
+    endpoints all key as N shards; one shard of anything is the serial
+    path. The distributed engine's *exploration mode* is deliberately
+    not part of the class: level-sync and async exploration build the
+    same closed state graph (the async-equivalence tests pin them
+    byte-identical), and the sweep/liveness shard split that coverage
+    artifacts depend on happens after the closure, independently of how
+    it was explored — so ``mode``/``partitions`` never reach the key
+    and an async fleet hits entries a level-sync run wrote.
+    """
+    engine = request.engine
+    if engine.kind == "pool":
+        from repro.verify.parallel import resolve_jobs
+
+        return resolve_jobs(engine.jobs)
+    if engine.kind == "distributed":
+        return (engine.workers if engine.workers is not None
+                else len(engine.endpoints))
+    return 1
+
+
 def key_document(request: VerificationRequest) -> dict[str, Any]:
     """The semantic normal form of ``request`` that gets hashed.
 
@@ -103,28 +128,21 @@ def key_document(request: VerificationRequest) -> dict[str, Any]:
             "max_load": request.effective_max_load,
         }
         data["max_orders"] = request.effective_max_orders
-    engine = request.engine
-    data.pop("engine", None)
     # Dispatch is deterministic in the shard count, not in which
     # engine or workers run it: --jobs N, --distributed N, and
     # --workers with N endpoints produce byte-identical results (the
     # engine-equivalence tests pin this at equal N), so the count is
     # all the key carries — a worker fleet reconnecting on new ports
-    # still hits its entries. One shard *is* the serial path, whoever
-    # provides it: a single pool job or distributed worker runs the
-    # same enumeration with the same master campaign seed
-    # (make_campaign_tasks returns the unsharded config at one shard),
-    # so shards == 1 keys as serial. jobs=0 resolves to this machine's
-    # CPU count, exactly as the driver will.
-    if engine.kind == "pool":
-        from repro.verify.parallel import resolve_jobs
-
-        shards = resolve_jobs(engine.jobs)
-    elif engine.kind == "distributed":
-        shards = (engine.workers if engine.workers is not None
-                  else len(engine.endpoints))
-    else:
-        shards = 1
+    # still hits its entries, and the async exploration mode (plus its
+    # partition count) never reaches the key (see coverage_shards).
+    # One shard *is* the serial path, whoever provides it: a single
+    # pool job or distributed worker runs the same enumeration with the
+    # same master campaign seed (make_campaign_tasks returns the
+    # unsharded config at one shard), so shards == 1 keys as serial.
+    # jobs=0 resolves to this machine's CPU count, exactly as the
+    # driver will.
+    data.pop("engine", None)
+    shards = coverage_shards(request)
     if shards != 1:
         data["engine"] = {"shards": shards}
     return data

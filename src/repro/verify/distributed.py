@@ -36,23 +36,45 @@ Architecture
   every task is a pure function of its payload: re-running shard ``k``
   elsewhere yields the identical shard result.
 
-* **BFS frontier exchange** — the model checker's closure exploration
-  reuses :func:`~repro.verify.parallel.bfs_closure` with chunks shipped
-  as :class:`~repro.verify.wire.ExpandTask` batches: one round trip per
+* **BFS frontier exchange** (``mode="level-sync"``) — the model
+  checker's closure exploration reuses
+  :func:`~repro.verify.parallel.bfs_closure` with chunks shipped as
+  :class:`~repro.verify.wire.ExpandTask` batches: one round trip per
   BFS level, with the coordinator deduplicating canonical states between
   levels, so exploration works over high-latency links (cost per level
   is one exchange, not one per state). Workers memoize one
   :class:`~repro.verify.model_checker.ModelChecker` per checker config,
   so their transition caches persist across every level of a proof.
 
+* **Async hash-partitioned exploration** (``mode="async"``) — the
+  barrier-free alternative: canonical packed states are partitioned by
+  a seed-independent hash (:func:`~repro.verify.parallel.partition_of`),
+  each worker drains its own partitions *transitively* (same-partition
+  successors never cross the wire) and streams cross-partition
+  successors back as pipelined ``forward`` frames while still
+  computing; the :class:`AsyncPartitionExplorer` routes them on,
+  detects quiescence with a central counting round (every route and
+  completion passes through one lock, the degenerate — and therefore
+  exact — form of a Mattern-style credit scheme), steals partitions
+  onto idle or late-joining workers, and reseeds migrated partitions so
+  no state is ever expanded twice. The successor map is a pure function
+  of the state set, so the merged graph — and every verdict and
+  certificate derived from it — is byte-identical to level-sync and to
+  serial regardless of partition count, scheduling, steals, or worker
+  deaths.
+
 Determinism: shard count is fixed at dispatch time (one shard per worker
 known at the start of the run), merge reducers are order-independent,
 and reassignment re-runs pure tasks — so worker deaths, scheduling, and
-network timing cannot change a verdict.
+network timing cannot change a verdict. The async mode keeps the same
+guarantee by a different route: its exploration *order* is timing-
+dependent, but the explored *set* (the reachable closure) and each
+state's successor set are not.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import socket
 import subprocess
@@ -60,16 +82,18 @@ import sys
 import tempfile
 import threading
 import traceback
-from collections import deque
+from collections import Counter, deque
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import VerificationError
 from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.verify.encoding import PackedState, StateCodec, decode_graph
 from repro.verify.enumeration import StateScope
 from repro.verify.hierarchical import HierarchySpec, build_checker
 from repro.verify.model_checker import (
     ModelChecker,
+    PackedGraph,
     TransitionGraph,
     WorkConservationAnalysis,
 )
@@ -84,12 +108,14 @@ from repro.verify.parallel import (
     make_campaign_tasks,
     make_shard_specs,
     merge_campaign_reports,
+    partition_of,
     sweep_shard_worker,
 )
 from repro.verify.transition import DEFAULT_MAX_ORDERS
 from repro.verify.wire import (
     ERROR,
     FORMAT_JSON,
+    FORWARD,
     HEARTBEAT,
     HELLO,
     PING,
@@ -101,7 +127,11 @@ from repro.verify.wire import (
     CheckerConfig,
     ConnectionClosed,
     ExpandTask,
+    ForwardBatch,
     LivenessTask,
+    PartitionControlTask,
+    PartitionExpandTask,
+    PartitionExpandResult,
     SweepTask,
     WireMessage,
     WireProtocolError,
@@ -121,6 +151,18 @@ DEFAULT_PATIENCE_S = 30.0
 
 #: Default cap on how many times one task may be reassigned.
 DEFAULT_MAX_REASSIGNMENTS = 3
+
+#: Exploration modes the distributed drivers accept.
+EXPLORATION_MODES = ("level-sync", "async")
+
+#: Default hash partitions per initial worker in async mode: enough
+#: headroom that idle workers and late joiners can be handed whole
+#: partitions (the cheap migration unit) without re-hashing any state.
+DEFAULT_PARTITIONS_PER_WORKER = 4
+
+#: Run-id source for async explorations (unique per coordinator process;
+#: verdicts never depend on it — it only namespaces worker-side state).
+_RUN_IDS = itertools.count()
 
 
 class WorkerLost(VerificationError):
@@ -192,6 +234,12 @@ class WorkerRuntime:
 
     def __init__(self) -> None:
         self._checkers: dict[bytes, ModelChecker] = {}
+        # Async-mode visited sets, keyed (run_id, partition): the states
+        # this worker has already expanded (or been seeded with) for a
+        # partition it owns. Seeding REPLACES an entry wholesale — on
+        # migration the coordinator knows exactly which states already
+        # have merged edges, and stale local history must not survive.
+        self._partitions: dict[tuple[str, int], set[PackedState]] = {}
 
     def _checker_for(self, config: CheckerConfig) -> ModelChecker:
         key = config.cache_key()
@@ -209,8 +257,15 @@ class WorkerRuntime:
             self._checkers[key] = checker
         return checker
 
-    def execute(self, task: Any) -> Any:
+    def execute(self, task: Any,
+                emit: Callable[[ForwardBatch], None] | None = None) -> Any:
         """Run one task payload and return its (picklable) result.
+
+        Args:
+            task: a :data:`~repro.verify.wire.TASK_TYPES` payload.
+            emit: mid-task frame sink (transports with a live back
+                channel stream :class:`ForwardBatch` frames through it;
+                without one, forwards ride home in the task result).
 
         Raises:
             WireProtocolError: payload is not a known task type.
@@ -221,6 +276,10 @@ class WorkerRuntime:
             return liveness_shard_worker(task.spec)
         if isinstance(task, ExpandTask):
             return self._expand(task)
+        if isinstance(task, PartitionExpandTask):
+            return self._expand_partition(task, emit)
+        if isinstance(task, PartitionControlTask):
+            return self._control(task)
         if isinstance(task, CampaignTask):
             return run_campaign(task.replicator, task.config)
         raise WireProtocolError(
@@ -241,6 +300,88 @@ class WorkerRuntime:
             truncated = truncated or trunc
             edges[state] = succ
         return edges, truncated
+
+    def _expand_partition(
+        self, task: PartitionExpandTask,
+        emit: Callable[[ForwardBatch], None] | None,
+    ) -> PartitionExpandResult:
+        """Drain one batch transitively inside its hash partition.
+
+        Same-partition successors feed the next local chunk without
+        touching the wire; cross-partition successors are streamed out
+        as :class:`ForwardBatch` frames *between* chunks, so the
+        coordinator routes them (and other workers expand them) while
+        this worker is still computing. The per-partition visited set
+        persists across tasks on the same connection, so later batches
+        of the same partition never re-expand a state.
+        """
+        checker = self._checker_for(task.config)
+        codec = task.codec
+        visited = self._partitions.setdefault(
+            (task.run_id, task.partition), set()
+        )
+        # A batch state may already be visited: the coordinator routes a
+        # state the moment another partition forwards it, which can race
+        # with this worker having discovered it locally.
+        pending = {state for state in task.batch if state not in visited}
+        edges: PackedGraph = {}
+        truncated = False
+        forwards: dict[int, set[PackedState]] = {}
+        forwarded: set[PackedState] = set()
+        while pending:
+            chunk = tuple(sorted(pending))
+            visited.update(chunk)
+            chunk_edges, chunk_truncated = checker.expand_packed(
+                chunk, codec, sequential=task.sequential
+            )
+            truncated = truncated or chunk_truncated
+            edges.update(chunk_edges)
+            pending = set()
+            fresh: dict[int, set[PackedState]] = {}
+            for successors in chunk_edges.values():
+                for successor in successors:
+                    target = partition_of(successor, codec,
+                                          task.n_partitions)
+                    if target == task.partition:
+                        if successor not in visited:
+                            pending.add(successor)
+                    elif successor not in forwarded:
+                        forwarded.add(successor)
+                        fresh.setdefault(target, set()).add(successor)
+            if not fresh:
+                continue
+            if emit is not None:
+                emit(ForwardBatch(
+                    run_id=task.run_id, partition=task.partition,
+                    targets={target: tuple(sorted(states))
+                             for target, states in fresh.items()},
+                ))
+            else:
+                for target, states in fresh.items():
+                    forwards.setdefault(target, set()).update(states)
+        return PartitionExpandResult(
+            partition=task.partition,
+            edges=edges,
+            truncated=truncated,
+            forwards={target: tuple(sorted(states))
+                      for target, states in forwards.items()},
+        )
+
+    def _control(self, task: PartitionControlTask) -> bool:
+        """Apply a partition lifecycle op; returns an ack."""
+        if task.op == "seed":
+            self._partitions[(task.run_id, task.partition)] = set(
+                task.visited
+            )
+            return True
+        if task.op == "drop-run":
+            for key in [key for key in self._partitions
+                        if key[0] == task.run_id]:
+                del self._partitions[key]
+            return True
+        raise WireProtocolError(
+            f"unknown partition control op {task.op!r}"
+        )
 
 
 class WorkerServer:
@@ -323,6 +464,11 @@ class WorkerServer:
         Python compute cannot be cancelled preemptively.)
         """
         runtime = WorkerRuntime()
+        # One writer lock per connection: during an async partition task
+        # the task thread streams FORWARD frames while the serving
+        # thread heartbeats — interleaved frame bytes would corrupt the
+        # stream, so every send on this socket takes the lock.
+        send_lock = threading.Lock()
         while True:
             try:
                 message = recv_message(conn)
@@ -356,20 +502,33 @@ class WorkerServer:
                     self._shutdown.set()
                     return
                 elif message.kind == TASK:
-                    self._serve_task(conn, message, runtime)
+                    self._serve_task(conn, message, runtime, send_lock)
                 else:
                     return  # kinds a worker never receives
             except (ConnectionClosed, OSError):
                 return
 
     def _serve_task(self, conn: socket.socket, message: WireMessage,
-                    runtime: WorkerRuntime) -> None:
-        """Execute one task, heartbeating until the result is ready."""
+                    runtime: WorkerRuntime,
+                    send_lock: threading.Lock) -> None:
+        """Execute one task, heartbeating until the result is ready.
+
+        Async partition tasks additionally stream :data:`FORWARD`
+        frames through ``emit`` while running; the shared ``send_lock``
+        keeps them whole against concurrent heartbeats.
+        """
         box: list[tuple[str, Any]] = []
+
+        def emit(frame: ForwardBatch) -> None:
+            with send_lock:
+                send_message(conn, WireMessage(kind=FORWARD,
+                                               task_id=message.task_id,
+                                               payload=frame))
 
         def run() -> None:
             try:
-                box.append((RESULT, runtime.execute(message.payload)))
+                box.append((RESULT,
+                            runtime.execute(message.payload, emit=emit)))
             except BaseException:
                 box.append((ERROR, traceback.format_exc()))
 
@@ -379,23 +538,26 @@ class WorkerServer:
             thread.join(self.heartbeat_s)
             if not thread.is_alive():
                 break
-            send_message(
-                conn,
-                WireMessage(kind=HEARTBEAT, task_id=message.task_id),
-                fmt=FORMAT_JSON,
-            )
+            with send_lock:
+                send_message(
+                    conn,
+                    WireMessage(kind=HEARTBEAT, task_id=message.task_id),
+                    fmt=FORMAT_JSON,
+                )
         kind, value = box[0]
         if kind == RESULT:
-            send_message(conn, WireMessage(kind=RESULT,
-                                           task_id=message.task_id,
-                                           payload=value))
+            with send_lock:
+                send_message(conn, WireMessage(kind=RESULT,
+                                               task_id=message.task_id,
+                                               payload=value))
         else:
-            send_message(
-                conn,
-                WireMessage(kind=ERROR, task_id=message.task_id,
-                            payload={"traceback": value}),
-                fmt=FORMAT_JSON,
-            )
+            with send_lock:
+                send_message(
+                    conn,
+                    WireMessage(kind=ERROR, task_id=message.task_id,
+                                payload={"traceback": value}),
+                    fmt=FORMAT_JSON,
+                )
 
 
 # ---------------------------------------------------------------------------
@@ -410,9 +572,18 @@ class WorkerClient:
     completion, raising :class:`WorkerLost` on transport death and
     :class:`TaskFailed` on an in-task exception) and :meth:`close`.
     A client is used by at most one coordinator thread at a time.
+
+    Attributes:
+        on_forward: mid-task frame sink. When set, transports deliver
+            each :class:`~repro.verify.wire.ForwardBatch` the worker
+            streams *during* :meth:`submit` to this callable (from the
+            submitting thread); the async explorer points it at its
+            router. When ``None``, frames are dropped (level-sync tasks
+            never emit any).
     """
 
     name = "worker"
+    on_forward: Callable[[ForwardBatch], None] | None = None
 
     def submit(self, task_id: int, payload: Any) -> Any:
         raise NotImplementedError
@@ -442,8 +613,17 @@ class InProcessTransport(WorkerClient):
         request = decode_message(encode_message(
             WireMessage(kind=TASK, task_id=task_id, payload=payload)
         ))
+
+        def emit(frame: ForwardBatch) -> None:
+            if self.on_forward is None:
+                return
+            hop = decode_message(encode_message(
+                WireMessage(kind=FORWARD, task_id=task_id, payload=frame)
+            ))
+            self.on_forward(hop.payload)
+
         try:
-            result = self._runtime.execute(request.payload)
+            result = self._runtime.execute(request.payload, emit=emit)
         except Exception as exc:
             raise TaskFailed(
                 f"task {task_id} failed on {self.name}: {exc}"
@@ -506,6 +686,12 @@ class SocketTransport(WorkerClient):
                 message = recv_message(self._sock)
                 if message.kind == HEARTBEAT:
                     continue  # still alive; the recv timeout re-arms
+                if message.kind == FORWARD:
+                    # Mid-task stream: route and keep waiting (a forward
+                    # frame proves liveness just like a heartbeat).
+                    if self.on_forward is not None:
+                        self.on_forward(message.payload)
+                    continue
                 if message.kind == RESULT:
                     return message.payload
                 if message.kind == ERROR:
@@ -581,6 +767,9 @@ class Coordinator:
         self._retired: list[WorkerClient] = []
         self.max_reassignments = max_reassignments
         self.on_reassign: Callable[[int, str], None] | None = None
+        self._membership_listeners: list[
+            Callable[[WorkerClient], None]
+        ] = []
 
     @property
     def n_workers(self) -> int:
@@ -588,9 +777,43 @@ class Coordinator:
         return len(self._clients)
 
     @property
+    def clients(self) -> tuple[WorkerClient, ...]:
+        """Snapshot of the live workers."""
+        return tuple(self._clients)
+
+    @property
     def lost_workers(self) -> list[str]:
         """Names of workers retired after transport failures."""
         return [client.name for client in self._retired]
+
+    def add_worker(self, client: WorkerClient) -> None:
+        """Admit a worker mid-run (dynamic membership).
+
+        Level-synchronous :meth:`map` calls snapshot their worker set at
+        dispatch time, so a late joiner only helps from the *next* map
+        onward; an in-progress async exploration subscribes through
+        :meth:`add_membership_listener` and puts the newcomer to work
+        immediately (it starts by stealing a partition).
+        """
+        self._clients.append(client)
+        for listener in list(self._membership_listeners):
+            listener(client)
+
+    def retire(self, client: WorkerClient) -> None:
+        """Retire a worker after a transport failure (idempotent)."""
+        self._retire(client)
+
+    def add_membership_listener(
+        self, listener: Callable[[WorkerClient], None]
+    ) -> None:
+        """Register a callback fired with each :meth:`add_worker` client."""
+        self._membership_listeners.append(listener)
+
+    def remove_membership_listener(
+        self, listener: Callable[[WorkerClient], None]
+    ) -> None:
+        if listener in self._membership_listeners:
+            self._membership_listeners.remove(listener)
 
     def map(self, payloads: Sequence[Any]) -> list[Any]:
         """Run every payload on some worker; results in payload order.
@@ -869,6 +1092,405 @@ def connect_workers(endpoints: Iterable[str],
 
 
 # ---------------------------------------------------------------------------
+# async hash-partitioned exploration
+# ---------------------------------------------------------------------------
+
+
+class AsyncPartitionExplorer:
+    """Barrier-free closure exploration over hash partitions.
+
+    The reachable state space is split into ``n_partitions`` by
+    :func:`~repro.verify.parallel.partition_of`; every partition has
+    exactly one owning worker at any moment, and workers drain their
+    partitions continuously — there is no BFS level and no barrier.
+    All coordinator-side state lives behind one condition variable:
+
+    * ``inbox[p]`` — routed-but-undispatched states of partition ``p``;
+    * ``routed`` — every state ever placed in an inbox *or* already
+      expanded (the global dedup set);
+    * ``edges`` / ``expanded[p]`` — the merged packed graph and its
+      per-partition key sets (the seed payload for migrations);
+    * ``in_flight[p]`` — the batch currently on the wire for ``p``.
+
+    **Termination** is a counting round in the Mattern style collapsed
+    to its exact central case: every route (+) and every merged result
+    (−) passes through the one lock, so "all inboxes empty and nothing
+    in flight" *is* global quiescence, with no probe messages needed.
+
+    **Work stealing / dynamic membership**: a worker with no pending
+    partition of its own takes the fullest pending partition from an
+    owner that still keeps ≥ 2 non-empty ones; a worker added through
+    :meth:`Coordinator.add_worker` mid-run joins the same way. A stolen
+    or reassigned partition is *re-seeded* — the heir's visited set is
+    replaced with the partition's already-expanded keys — so migration
+    never re-expands a state and never loses one.
+
+    **Fault tolerance** mirrors :meth:`Coordinator.map`: a lost worker
+    is retired, its in-flight batch re-queued, and its partitions
+    spread over the survivors, budgeted per partition by
+    ``max_reassignments``; a :class:`TaskFailed` aborts the run
+    (deterministic — it would fail anywhere).
+    """
+
+    #: States per expand batch. Small enough to pipeline (forwards for
+    #: an early batch route while later ones are still queued), large
+    #: enough that framing never dominates.
+    BATCH_CAP = 512
+
+    def __init__(self, coordinator: Coordinator, config: CheckerConfig,
+                 codec: StateCodec, n_partitions: int,
+                 sequential: bool = False,
+                 on_expand: Callable[[int], None] | None = None,
+                 on_partition_split:
+                     "Callable[[int, str, str, int], None] | None" = None,
+                 ) -> None:
+        if n_partitions < 1:
+            raise VerificationError(
+                f"n_partitions must be >= 1, got {n_partitions}"
+            )
+        self.coordinator = coordinator
+        self.config = config
+        self.codec = codec
+        self.n_partitions = n_partitions
+        self.sequential = sequential
+        self.on_expand = on_expand
+        self.on_partition_split = on_partition_split
+        self.run_id = f"async-{os.getpid()}-{next(_RUN_IDS)}"
+        self._cond = threading.Condition()
+        self._inbox: dict[int, set[PackedState]] = {
+            p: set() for p in range(n_partitions)
+        }
+        self._routed: set[PackedState] = set()
+        self._edges: PackedGraph = {}
+        self._expanded: dict[int, set[PackedState]] = {
+            p: set() for p in range(n_partitions)
+        }
+        self._truncated = False
+        self._assignment: dict[int, WorkerClient] = {}
+        self._needs_seed: set[int] = set()
+        self._in_flight: dict[int, tuple[WorkerClient,
+                                         tuple[PackedState, ...]]] = {}
+        self._attempts: dict[int, int] = {p: 0 for p in range(n_partitions)}
+        self._live: list[WorkerClient] = []
+        self._threads: list[threading.Thread] = []
+        self._failure: Exception | None = None
+        self._finished = False
+        self._task_ids = itertools.count()
+        self._expand_lock = threading.Lock()
+        self._reported = 0
+
+    # -- routing (callers hold self._cond) ------------------------------
+
+    def _route(self, states: Iterable[PackedState]) -> None:
+        """Place never-before-seen states in their partition inboxes."""
+        for packed in states:
+            if packed in self._routed:
+                continue
+            self._routed.add(packed)
+            partition = partition_of(packed, self.codec, self.n_partitions)
+            self._inbox[partition].add(packed)
+
+    def _on_forward(self, frame: ForwardBatch) -> None:
+        """Transport sink for mid-task forward frames."""
+        if frame.run_id != self.run_id:
+            return  # a stale frame from a previous run on this worker
+        with self._cond:
+            for states in frame.targets.values():
+                self._route(states)
+            self._cond.notify_all()
+
+    def _quiescent(self) -> bool:
+        return not self._in_flight and not any(self._inbox.values())
+
+    # -- scheduling (callers hold self._cond) ---------------------------
+
+    def _pick(self, client: WorkerClient) -> int | None:
+        """The client's own next dispatchable partition, if any."""
+        mine = [p for p, owner in self._assignment.items()
+                if owner is client and self._inbox[p]
+                and p not in self._in_flight]
+        return min(mine) if mine else None
+
+    def _steal(self, client: WorkerClient) -> tuple[int, str] | None:
+        """Move one pending partition from a loaded owner to ``client``.
+
+        Only owners that would keep at least one non-empty partition
+        are victims (otherwise two idle workers would trade the last
+        partition back and forth); among eligible partitions the
+        fullest inbox moves, since it buys the thief the most runway.
+        """
+        candidates = [p for p, owner in self._assignment.items()
+                      if owner is not client and self._inbox[p]
+                      and p not in self._in_flight]
+        if not candidates:
+            return None
+        loads = Counter(
+            self._assignment[p] for p in range(self.n_partitions)
+            if self._inbox[p] or p in self._in_flight
+        )
+        eligible = [p for p in candidates
+                    if loads[self._assignment[p]] >= 2]
+        if not eligible:
+            return None
+        partition = max(eligible, key=lambda p: (len(self._inbox[p]), -p))
+        source = self._assignment[partition]
+        self._assignment[partition] = client
+        self._needs_seed.add(partition)
+        return partition, source.name
+
+    # -- dispatch threads ------------------------------------------------
+
+    def _dispatch(self, client: WorkerClient) -> None:
+        while True:
+            split_event: tuple[int, str, str, int] | None = None
+            seed_task: PartitionControlTask | None = None
+            with self._cond:
+                while True:
+                    if self._failure is not None or self._finished:
+                        return
+                    partition = self._pick(client)
+                    if partition is None:
+                        stolen = self._steal(client)
+                        if stolen is not None:
+                            partition, source_name = stolen
+                            split_event = (partition, source_name,
+                                           client.name,
+                                           len(self._inbox[partition]))
+                    if partition is not None:
+                        break
+                    if self._quiescent():
+                        self._finished = True
+                        self._cond.notify_all()
+                        return
+                    self._cond.wait()
+                batch = tuple(sorted(
+                    self._inbox[partition]
+                ))[:self.BATCH_CAP]
+                self._inbox[partition].difference_update(batch)
+                self._in_flight[partition] = (client, batch)
+                if partition in self._needs_seed:
+                    seed_task = PartitionControlTask(
+                        run_id=self.run_id, op="seed", partition=partition,
+                        visited=tuple(sorted(self._expanded[partition])),
+                    )
+            # Hooks fire outside the lock: a slow observer must not
+            # stall routing or the other dispatch threads.
+            if split_event is not None and self.on_partition_split:
+                self.on_partition_split(*split_event)
+            try:
+                if seed_task is not None:
+                    client.submit(next(self._task_ids), seed_task)
+                    with self._cond:
+                        self._needs_seed.discard(partition)
+                result = client.submit(
+                    next(self._task_ids),
+                    PartitionExpandTask(
+                        config=self.config, codec=self.codec,
+                        run_id=self.run_id, partition=partition,
+                        n_partitions=self.n_partitions, batch=batch,
+                        sequential=self.sequential,
+                    ),
+                )
+            except WorkerLost as exc:
+                self._handle_loss(client, partition, batch, exc)
+                return
+            except Exception as exc:
+                with self._cond:
+                    # A TaskFailed recorded by another thread wins: it
+                    # names the deterministic in-task bug.
+                    if self._failure is None or not isinstance(
+                        self._failure, TaskFailed
+                    ):
+                        self._failure = exc
+                    self._cond.notify_all()
+                return
+            self._merge(partition, result)
+
+    def _merge(self, partition: int,
+               result: PartitionExpandResult) -> None:
+        with self._cond:
+            self._in_flight.pop(partition, None)
+            self._edges.update(result.edges)
+            self._expanded[partition].update(result.edges.keys())
+            self._truncated = self._truncated or result.truncated
+            # Everything just expanded counts as routed (forwards from
+            # other partitions must not re-queue it) and leaves the
+            # inbox (a racing forward may have re-queued it already).
+            self._routed.update(result.edges.keys())
+            self._inbox[partition].difference_update(result.edges.keys())
+            for states in result.forwards.values():
+                self._route(states)
+            self._attempts[partition] = 0
+            count = len(self._edges)
+            self._cond.notify_all()
+        if self.on_expand is not None:
+            # Serialise and monotonise progress reports: merges race,
+            # and a cumulative counter must never appear to go back.
+            with self._expand_lock:
+                if count > self._reported:
+                    self._reported = count
+                    self.on_expand(count)
+
+    def _handle_loss(self, client: WorkerClient, partition: int,
+                     batch: tuple[PackedState, ...],
+                     exc: WorkerLost) -> None:
+        reassign_events: list[tuple[int, str]] = []
+        with self._cond:
+            self._in_flight.pop(partition, None)
+            self._inbox[partition].update(batch)
+            self._attempts[partition] += 1
+            if client in self._live:
+                self._live.remove(client)
+            self.coordinator.retire(client)
+            if self._attempts[partition] > self.coordinator.max_reassignments:
+                if self._failure is None:
+                    self._failure = WorkerLost(
+                        f"partition {partition} lost"
+                        f" {self._attempts[partition]} workers"
+                        f" (last: {exc})"
+                    )
+            elif not self._live:
+                if self._failure is None:
+                    self._failure = WorkerLost(
+                        f"all workers lost (last: {exc})"
+                    )
+            else:
+                orphans = sorted(
+                    p for p, owner in self._assignment.items()
+                    if owner is client
+                )
+                for index, orphan in enumerate(orphans):
+                    heir = self._live[index % len(self._live)]
+                    self._assignment[orphan] = heir
+                    self._needs_seed.add(orphan)
+                reassign_events = [(orphan, client.name)
+                                   for orphan in orphans]
+            self._cond.notify_all()
+        if self.coordinator.on_reassign is not None:
+            for orphan, name in reassign_events:
+                self.coordinator.on_reassign(orphan, name)
+
+    def _on_worker_added(self, client: WorkerClient) -> None:
+        with self._cond:
+            if self._finished or self._failure is not None:
+                return
+            client.on_forward = self._on_forward
+            self._live.append(client)
+            thread = threading.Thread(target=self._dispatch,
+                                      args=(client,), daemon=True)
+            self._threads.append(thread)
+            self._cond.notify_all()
+        thread.start()
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self, initial_packed: Iterable[PackedState]
+            ) -> tuple[PackedGraph, bool]:
+        """Explore the closure of ``initial_packed``; packed graph out.
+
+        Raises:
+            WorkerLost: every worker died, or a partition exhausted the
+                coordinator's reassignment budget.
+            TaskFailed: a task raised inside a worker.
+        """
+        clients = list(self.coordinator.clients)
+        if not clients:
+            raise WorkerLost("no live workers to dispatch partitions to")
+        for client in clients:
+            client.on_forward = self._on_forward
+        self._live = list(clients)
+        for partition in range(self.n_partitions):
+            self._assignment[partition] = clients[partition % len(clients)]
+        with self._cond:
+            self._route(initial_packed)
+        self.coordinator.add_membership_listener(self._on_worker_added)
+        try:
+            self._threads = [
+                threading.Thread(target=self._dispatch, args=(client,),
+                                 daemon=True)
+                for client in clients
+            ]
+            for thread in self._threads:
+                thread.start()
+            while True:
+                with self._cond:
+                    threads = list(self._threads)
+                alive = [t for t in threads if t.is_alive()]
+                if not alive:
+                    break
+                for thread in alive:
+                    thread.join()
+        finally:
+            self.coordinator.remove_membership_listener(
+                self._on_worker_added
+            )
+            for client in list(self.coordinator.clients):
+                client.on_forward = None
+        if self._failure is not None:
+            raise self._failure
+        self._drop_run()
+        return dict(self._edges), self._truncated
+
+    def _drop_run(self) -> None:
+        """Best-effort worker-side cleanup; failure cannot matter now."""
+        for client in list(self.coordinator.clients):
+            try:
+                client.submit(
+                    next(self._task_ids),
+                    PartitionControlTask(run_id=self.run_id, op="drop-run"),
+                )
+            except (WorkerLost, TaskFailed):
+                pass
+
+
+def async_closure(coordinator: Coordinator, config: CheckerConfig,
+                  initial_states, symmetric: bool,
+                  n_partitions: int | None = None,
+                  sequential: bool = False,
+                  symmetry: SymmetryGroup | None = None,
+                  on_expand: Callable[[int], None] | None = None,
+                  on_partition_split:
+                      "Callable[[int, str, str, int], None] | None" = None,
+                  ) -> tuple[TransitionGraph, bool]:
+    """Async counterpart of :func:`~repro.verify.parallel.bfs_closure`.
+
+    Same contract — canonical initial states in, decoded tuple graph
+    out — with the level loop replaced by an
+    :class:`AsyncPartitionExplorer` run. The canonicalisation, codec
+    derivation, and final decode are copied from ``bfs_closure`` verbatim
+    so both modes feed byte-identical graphs to every downstream
+    consumer.
+    """
+    group = resolve_symmetry(symmetric, symmetry)
+    canon = {group.canonicalize(s) for s in initial_states}
+    if not canon:
+        return {}, False
+    codec = StateCodec.for_states(len(next(iter(canon))), canon)
+    if n_partitions is None:
+        n_partitions = max(
+            1, DEFAULT_PARTITIONS_PER_WORKER * coordinator.n_workers
+        )
+    explorer = AsyncPartitionExplorer(
+        coordinator, config, codec, n_partitions, sequential=sequential,
+        on_expand=on_expand, on_partition_split=on_partition_split,
+    )
+    edges, truncated = explorer.run(
+        sorted(codec.encode(state) for state in canon)
+    )
+    return decode_graph(codec, edges), truncated
+
+
+def resolve_mode(mode: str) -> str:
+    """Validate an exploration mode name (one-line error on typos)."""
+    if mode not in EXPLORATION_MODES:
+        raise VerificationError(
+            f"unknown exploration mode {mode!r}:"
+            f" expected one of {', '.join(EXPLORATION_MODES)}"
+        )
+    return mode
+
+
+# ---------------------------------------------------------------------------
 # drivers (mirror repro.verify.parallel's, one shard per worker)
 # ---------------------------------------------------------------------------
 
@@ -891,7 +1513,12 @@ def prove_work_conserving_distributed(
     symmetric: bool = False,
     symmetry: SymmetryGroup | None = None,
     topology: NumaTopology | None = None,
+    mode: str = "level-sync",
+    partitions: int | None = None,
     on_level: Callable[[int, int, int], None] | None = None,
+    on_expand: Callable[[int], None] | None = None,
+    on_partition_split:
+        "Callable[[int, str, str, int], None] | None" = None,
 ) -> WorkConservationCertificate:
     """The full §4 pipeline with one shard per remote worker.
 
@@ -899,7 +1526,17 @@ def prove_work_conserving_distributed(
     :func:`~repro.verify.parallel.prove_work_conserving_parallel` at
     ``jobs = n_workers`` and to the serial path — same specs, same BFS
     striping, same reducers; only the transport differs.
+
+    ``mode`` selects how the closure phase runs: ``"level-sync"`` (the
+    barriered :func:`~repro.verify.parallel.bfs_closure`, reporting
+    through ``on_level``) or ``"async"`` (the barrier-free
+    :func:`async_closure` over ``partitions`` hash partitions,
+    reporting cumulative progress through ``on_expand`` and steals
+    through ``on_partition_split``). The sweep and liveness phases are
+    mode-independent — their shard split stays one per worker either
+    way, which is why both modes share one store coverage class.
     """
+    resolve_mode(mode)
     n_shards = coordinator.n_workers
     if n_shards < 1:
         raise WorkerLost("no live workers to dispatch shards to")
@@ -925,10 +1562,19 @@ def prove_work_conserving_distributed(
                            symmetry=symmetry, topology=topology)
     with timed_check() as timer:
         initial = group.iter_representatives(scope)
-        edges, truncated = bfs_closure(
-            _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=False, symmetry=symmetry, on_level=on_level,
-        )
+        if mode == "async":
+            edges, truncated = async_closure(
+                coordinator, config, initial, symmetric,
+                n_partitions=partitions, sequential=False,
+                symmetry=symmetry, on_expand=on_expand,
+                on_partition_split=on_partition_split,
+            )
+        else:
+            edges, truncated = bfs_closure(
+                _map_expand(coordinator, config), n_shards, initial,
+                symmetric, sequential=False, symmetry=symmetry,
+                on_level=on_level,
+            )
         analysis = checker.analyze_graph(scope, edges, truncated)
     analysis.elapsed_s = timer.elapsed
 
@@ -943,13 +1589,22 @@ def analyze_distributed(policy, scope: StateScope,
                         symmetry: SymmetryGroup | None = None,
                         topology: NumaTopology | None = None,
                         hierarchy: HierarchySpec | None = None,
+                        mode: str = "level-sync",
+                        partitions: int | None = None,
                         on_level: Callable[[int, int, int], None] | None = None,
+                        on_expand: Callable[[int], None] | None = None,
+                        on_partition_split:
+                            "Callable[[int, str, str, int], None] | None" = None,
                         ) -> WorkConservationAnalysis:
     """Distributed counterpart of :func:`~repro.verify.parallel.
     analyze_parallel`: workers expand, the coordinator runs the cheap
     deterministic graph algorithms once. A
     :class:`~repro.verify.hierarchical.HierarchySpec` switches workers
-    and coordinator alike to the hierarchical round checker."""
+    and coordinator alike to the hierarchical round checker. ``mode``
+    selects barriered (``"level-sync"``) or barrier-free (``"async"``)
+    closure exploration; see
+    :func:`prove_work_conserving_distributed`."""
+    resolve_mode(mode)
     n_shards = coordinator.n_workers
     if n_shards < 1:
         raise WorkerLost("no live workers to dispatch shards to")
@@ -964,10 +1619,19 @@ def analyze_distributed(policy, scope: StateScope,
                            hierarchy=hierarchy)
     with timed_check() as timer:
         initial = group.iter_representatives(scope)
-        edges, truncated = bfs_closure(
-            _map_expand(coordinator, config), n_shards, initial, symmetric,
-            sequential=sequential, symmetry=symmetry, on_level=on_level,
-        )
+        if mode == "async":
+            edges, truncated = async_closure(
+                coordinator, config, initial, symmetric,
+                n_partitions=partitions, sequential=sequential,
+                symmetry=symmetry, on_expand=on_expand,
+                on_partition_split=on_partition_split,
+            )
+        else:
+            edges, truncated = bfs_closure(
+                _map_expand(coordinator, config), n_shards, initial,
+                symmetric, sequential=sequential, symmetry=symmetry,
+                on_level=on_level,
+            )
         analysis = checker.analyze_graph(scope, edges, truncated,
                                          sequential=sequential)
     analysis.elapsed_s = timer.elapsed

@@ -137,6 +137,26 @@ class StateCodec:
             (packed >> shift) & mask for shift in self._shifts
         )
 
+    @property
+    def packed_bytes(self) -> int:
+        """Width of the fixed-length big-endian byte form, in bytes."""
+        return (self.n_cores * self.bits + 7) // 8
+
+    def canonical_bytes(self, packed: PackedState) -> bytes:
+        """The packed state's canonical byte representation.
+
+        Identical for the int and bytes forms of the same state: the
+        int form is re-serialised as fixed-length big-endian, which is
+        exactly how the bytes form packs in the first place. This is
+        the form the distributed engines hash when partitioning states
+        across workers — a codec that flips between forms (e.g. a wider
+        replay of the same scope) must not move states between
+        partitions.
+        """
+        if isinstance(packed, bytes):
+            return packed
+        return packed.to_bytes(self.packed_bytes, "big")
+
     def sort_desc(self, packed: PackedState) -> PackedState:
         """Repack with the digits sorted descending.
 

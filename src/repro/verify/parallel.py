@@ -82,6 +82,7 @@ default everywhere) bypasses the pool entirely and is the serial path.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import multiprocessing.context
 import os
@@ -488,6 +489,29 @@ def make_shard_specs(policy: Policy, scope: StateScope, n_shards: int,
         )
         for shard in range(n_shards)
     ]
+
+
+def partition_of(packed: PackedState, codec: StateCodec,
+                 n_partitions: int) -> int:
+    """The hash partition a canonical packed state belongs to.
+
+    The asynchronous distributed engine owns each reachable state at
+    exactly one partition, chosen here. Two properties matter:
+
+    * **Seed-independent.** The hash is blake2b over the state's
+      canonical byte form — never the builtin ``hash()``, which
+      ``PYTHONHASHSEED`` perturbs per process; workers and coordinator
+      must agree on ownership across process and host boundaries.
+    * **Form-stable.** ``StateCodec.canonical_bytes`` re-serialises the
+      int form as fixed-length big-endian, which is byte-for-byte the
+      codec's bytes form, so a state maps to the same partition whether
+      the scope packed into an ``int`` or ``bytes``
+      (property-tested in ``tests/verify/test_async_partition.py``).
+    """
+    digest = hashlib.blake2b(
+        codec.canonical_bytes(packed), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % n_partitions
 
 
 def bfs_closure(map_expand: Callable, n_shards: int,

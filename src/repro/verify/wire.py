@@ -71,7 +71,12 @@ from repro.verify.transition import DEFAULT_MAX_ORDERS
 #: v3: ExpandTask grew codec/packed fields — BFS frontier batches travel
 #: in packed form (:mod:`repro.verify.encoding`) and results come back
 #: as packed graphs the coordinator decodes once at closure end.
-WIRE_VERSION = 3
+#: v4: asynchronous hash-partitioned exploration — the ``forward``
+#: message kind (mid-task cross-partition successor frames), plus the
+#: :class:`PartitionExpandTask`/:class:`PartitionControlTask` payloads
+#: and their :class:`PartitionExpandResult`/:class:`ForwardBatch`
+#: companions.
+WIRE_VERSION = 4
 
 #: Format byte for pickle-encoded envelopes (arbitrary Python payloads).
 FORMAT_PICKLE = b"P"
@@ -92,10 +97,11 @@ HEARTBEAT = "heartbeat"  #: worker -> coordinator while a task runs
 PING = "ping"            #: liveness probe
 PONG = "pong"            #: liveness probe response
 SHUTDOWN = "shutdown"    #: coordinator -> worker; exit after this frame
+FORWARD = "forward"      #: worker -> coordinator mid-task; a ForwardBatch
 
 #: Kinds a conforming peer may send (decode rejects everything else).
 ALL_KINDS = frozenset({
-    HELLO, TASK, RESULT, ERROR, HEARTBEAT, PING, PONG, SHUTDOWN,
+    HELLO, TASK, RESULT, ERROR, HEARTBEAT, PING, PONG, SHUTDOWN, FORWARD,
 })
 
 
@@ -221,9 +227,109 @@ class CampaignTask:
     config: CampaignConfig = field(default_factory=CampaignConfig)
 
 
+@dataclass(frozen=True)
+class PartitionExpandTask:
+    """Asynchronously drain one hash partition's pending states (v4).
+
+    Unlike :class:`ExpandTask` (one chunk of a coordinator-owned BFS
+    level), a partition task makes the *worker* own exploration state:
+    the worker keeps a visited set per ``(run_id, partition)``, expands
+    the batch *transitively* — same-partition successors never leave
+    the worker — and streams cross-partition successors back to the
+    coordinator as :data:`FORWARD` frames while it is still computing,
+    so the coordinator can route them to other workers with no level
+    barrier in between.
+
+    Attributes:
+        config: checker parameters (workers memoize per config).
+        codec: the run's :class:`~repro.verify.encoding.StateCodec`.
+        run_id: namespaces the worker-side visited sets; one proof run.
+        partition: which hash partition this batch belongs to.
+        n_partitions: the run's fixed partition count (the hash
+            modulus; fixed at run start, never renegotiated).
+        batch: never-before-routed states of ``partition``, packed.
+        sequential: §4.2 regime flag.
+    """
+
+    config: CheckerConfig
+    codec: StateCodec
+    run_id: str
+    partition: int
+    n_partitions: int
+    batch: tuple[PackedState, ...] = ()
+    sequential: bool = False
+
+
+@dataclass(frozen=True)
+class PartitionControlTask:
+    """Seed or drop worker-side partition state (v4).
+
+    Sent when a partition migrates (work stealing, worker loss, a late
+    join) or when a run finishes:
+
+    * ``op="seed"`` — replace the worker's visited set for ``(run_id,
+      partition)`` with ``visited`` (the states the coordinator has
+      already merged edges for), so the new owner never re-expands
+      finished work;
+    * ``op="drop-run"`` — forget every partition of ``run_id`` (end of
+      run cleanup; ``partition`` is ignored).
+    """
+
+    run_id: str
+    op: str
+    partition: int = -1
+    visited: tuple[PackedState, ...] = ()
+
+
+@dataclass(frozen=True)
+class PartitionExpandResult:
+    """What a :class:`PartitionExpandTask` answers with.
+
+    Attributes:
+        partition: echoes the task's partition.
+        edges: packed successor map of every state this task expanded —
+            the batch plus all same-partition states discovered while
+            draining it (all keys hash to ``partition``).
+        truncated: whether any enumeration was truncated.
+        forwards: cross-partition successors *not* already streamed as
+            :data:`FORWARD` frames (transports without a mid-task
+            channel fall back to returning them here), keyed by target
+            partition.
+    """
+
+    partition: int
+    edges: dict[PackedState, frozenset[PackedState]]
+    truncated: bool = False
+    forwards: dict[int, tuple[PackedState, ...]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
+class ForwardBatch:
+    """One mid-task forwarding frame: cross-partition successors.
+
+    Emitted by a worker while a :class:`PartitionExpandTask` is still
+    running, so forwarding pipelines with expansion instead of waiting
+    for the task result.
+
+    Attributes:
+        run_id: the run the states belong to.
+        partition: the source partition (the one being drained).
+        targets: successor states grouped by their target partition.
+    """
+
+    run_id: str
+    partition: int
+    targets: dict[int, tuple[PackedState, ...]] = field(
+        default_factory=dict
+    )
+
+
 #: Task payload types :func:`repro.verify.distributed.WorkerRuntime`
 #: accepts; anything else in a TASK message is a protocol error.
-TASK_TYPES = (SweepTask, LivenessTask, ExpandTask, CampaignTask)
+TASK_TYPES = (SweepTask, LivenessTask, ExpandTask, CampaignTask,
+              PartitionExpandTask, PartitionControlTask)
 
 
 # ---------------------------------------------------------------------------

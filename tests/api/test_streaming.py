@@ -1,0 +1,314 @@
+"""Tests for the streaming Session surface and store provenance.
+
+``Session.iter_events`` / ``run_streaming`` / ``aiter_events`` are the
+pull-based view of the same subscriber event stream: same events, same
+order, with the result delivered at the end instead of through a
+callback. Store provenance (``VerificationResult.provenance``) is
+session metadata riding on results run through a store — never part of
+the stored entries or the proof content itself.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import (
+    EngineError,
+    EngineSpec,
+    EventStream,
+    PartitionSplit,
+    RequestError,
+    RequestFailed,
+    RequestFinished,
+    RequestStarted,
+    Session,
+    StatesExplored,
+    StoreProvenance,
+    VerificationRequest,
+    result_from_dict,
+    result_to_dict,
+    strip_result_timings,
+    with_engine,
+)
+from repro.store import MemoryStore, store_key
+
+
+HUNT = (VerificationRequest.builder("hunt")
+        .policy("balance_count").build())
+PROVE = (VerificationRequest.builder("prove")
+         .policy("balance_count").scope(cores=3, max_load=2).build())
+DEAD_ENDPOINT = (VerificationRequest.builder("hunt")
+                 .policy("balance_count")
+                 .distributed(endpoints=["127.0.0.1:1"]).build())
+
+
+def subscriber_events(request, **session_kwargs):
+    events = []
+    result = Session(subscribers=[events.append],
+                     **session_kwargs).run(request)
+    return events, result
+
+
+# ---------------------------------------------------------------------------
+# iter_events / run_streaming / aiter_events
+# ---------------------------------------------------------------------------
+
+
+class TestIterEvents:
+    def test_stream_matches_subscriber_path_exactly(self):
+        pushed, pushed_result = subscriber_events(HUNT, expand_stride=1)
+        stream = Session(expand_stride=1).iter_events(HUNT)
+        pulled = list(stream)
+        assert [type(e) for e in pulled] == [type(e) for e in pushed]
+        # Everything but the request/result-bearing brackets compares
+        # by value; the brackets carry equivalent payloads.
+        assert pulled[1:-1] == pushed[1:-1]
+        assert isinstance(pulled[0], RequestStarted)
+        assert pulled[0].request == pushed[0].request
+        assert isinstance(pulled[-1], RequestFinished)
+        assert (pulled[-1].result.normalized()
+                == pushed_result.normalized())
+
+    def test_result_available_after_exhaustion(self):
+        stream = Session().iter_events(HUNT)
+        events = list(stream)
+        assert stream.result is events[-1].result
+        assert stream.result.ok
+
+    def test_result_before_exhaustion_raises(self):
+        # Hold the run inside its terminal emit so the result provably
+        # does not exist yet when we ask for it.
+        gate = threading.Event()
+
+        def hold_finish(event):
+            if isinstance(event, RequestFinished):
+                gate.wait()
+
+        session = Session(subscribers=[hold_finish])
+        stream = session.iter_events(HUNT)
+        first = next(iter(stream))
+        assert isinstance(first, RequestStarted)
+        with pytest.raises(RequestError, match="after iterating"):
+            stream.result
+        gate.set()
+        list(stream)  # drain so the daemon thread finishes cleanly
+        assert stream.result.ok
+
+    def test_exhausted_stream_stays_exhausted(self):
+        stream = Session().iter_events(HUNT)
+        list(stream)
+        assert stream.next_event() is None
+        assert list(stream) == []
+
+    def test_returns_eventstream_type(self):
+        stream = Session().iter_events(HUNT)
+        assert isinstance(stream, EventStream)
+        list(stream)
+
+    def test_failed_run_yields_requestfailed_then_raises(self):
+        stream = Session().iter_events(DEAD_ENDPOINT)
+        events = []
+        with pytest.raises(EngineError, match="distributed run failed"):
+            for event in stream:
+                events.append(event)
+        assert isinstance(events[0], RequestStarted)
+        assert isinstance(events[-1], RequestFailed)
+        assert "distributed run failed" in events[-1].error
+        # The error is sticky: .result re-raises it too.
+        with pytest.raises(EngineError, match="distributed run failed"):
+            stream.result
+
+
+class TestRunStreaming:
+    def test_generator_returns_result(self):
+        gen = Session().run_streaming(HUNT)
+        events = []
+        try:
+            while True:
+                events.append(next(gen))
+        except StopIteration as stop:
+            result = stop.value
+        assert isinstance(events[0], RequestStarted)
+        assert isinstance(events[-1], RequestFinished)
+        assert result is events[-1].result
+        assert result.ok
+
+    def test_yield_from_delegation(self):
+        session = Session()
+
+        def consumer():
+            result = yield from session.run_streaming(HUNT)
+            return result
+
+        gen = consumer()
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            assert stop.value.ok
+
+
+class TestAiterEvents:
+    def test_async_iteration_yields_full_stream(self):
+        async def collect():
+            events = []
+            async for event in Session().aiter_events(HUNT):
+                events.append(event)
+            return events
+
+        events = asyncio.run(collect())
+        assert isinstance(events[0], RequestStarted)
+        assert isinstance(events[-1], RequestFinished)
+        assert events[-1].result.ok
+
+    def test_async_failure_raises_after_requestfailed(self):
+        async def collect():
+            events = []
+            async for event in Session().aiter_events(DEAD_ENDPOINT):
+                events.append(event)
+            return events
+
+        with pytest.raises(EngineError, match="distributed run failed"):
+            asyncio.run(collect())
+
+
+class TestAsyncModeProgress:
+    def test_async_engine_streams_exploration_counts(self):
+        request = (VerificationRequest.builder("hunt")
+                   .policy("balance_count")
+                   .distributed(2, in_process=True, mode="async",
+                                partitions=6).build())
+        events, result = subscriber_events(request, expand_stride=1)
+        explored = [e for e in events if isinstance(e, StatesExplored)]
+        assert explored, "async runs must report exploration progress"
+        counts = [e.states for e in explored]
+        assert counts == sorted(counts)
+        assert counts[-1] == result.analysis.states_explored
+
+    def test_expand_stride_throttles_on_boundary_crossings(self):
+        request = (VerificationRequest.builder("hunt")
+                   .policy("balance_count")
+                   .distributed(2, in_process=True,
+                                mode="async").build())
+        events, result = subscriber_events(request, expand_stride=10_000)
+        explored = [e for e in events if isinstance(e, StatesExplored)]
+        # Far fewer events than states: only stride crossings emit.
+        assert len(explored) <= result.analysis.states_explored // 10_000 + 1
+
+    def test_partition_splits_are_well_formed_when_present(self):
+        request = (VerificationRequest.builder("hunt")
+                   .policy("balance_count")
+                   .distributed(2, in_process=True, mode="async",
+                                partitions=8).build())
+        events, _ = subscriber_events(request)
+        for event in events:
+            if isinstance(event, PartitionSplit):
+                assert event.partition >= 0
+                assert event.source != event.target
+                assert event.pending >= 0
+
+
+# ---------------------------------------------------------------------------
+# store provenance
+# ---------------------------------------------------------------------------
+
+
+class TestStoreProvenance:
+    def test_cold_then_warm_hit_flags(self):
+        store = MemoryStore()
+        session = Session(store=store)
+        cold = session.run(PROVE)
+        warm = session.run(PROVE)
+        assert cold.provenance == StoreProvenance(
+            store_key=store_key(PROVE), shards=1, hit=False)
+        assert warm.provenance == StoreProvenance(
+            store_key=store_key(PROVE), shards=1, hit=True)
+
+    def test_storeless_runs_carry_no_provenance(self):
+        result = Session().run(PROVE)
+        assert result.provenance is None
+        assert "provenance" not in result_to_dict(result)
+
+    def test_async_and_level_sync_share_store_keys(self):
+        sync = with_engine(PROVE, EngineSpec(
+            kind="distributed", workers=2, in_process=True))
+        async_ = with_engine(PROVE, EngineSpec(
+            kind="distributed", workers=2, in_process=True,
+            mode="async", partitions=5))
+        assert store_key(sync) == store_key(async_)
+        store = MemoryStore()
+        session = Session(store=store)
+        cold = session.run(sync)
+        warm = session.run(async_)
+        assert cold.provenance.hit is False
+        assert cold.provenance.shards == 2
+        assert warm.provenance.hit is True
+        assert warm.provenance.store_key == cold.provenance.store_key
+
+    def test_provenance_round_trips_through_json(self):
+        store = MemoryStore()
+        result = Session(store=store).run(PROVE)
+        data = result_to_dict(result)
+        assert data["provenance"] == {
+            "store_key": store_key(PROVE), "shards": 1, "hit": False}
+        decoded = result_from_dict(data)
+        assert decoded.provenance == result.provenance
+
+    def test_strip_result_timings_drops_provenance(self):
+        store = MemoryStore()
+        result = Session(store=store).run(PROVE)
+        assert result.provenance is not None
+        stripped = strip_result_timings(result)
+        assert stripped.provenance is None
+
+    def test_normalized_result_drops_provenance(self):
+        store = MemoryStore()
+        result = Session(store=store).run(PROVE)
+        bare = Session().run(PROVE)
+        assert result.normalized() == bare.normalized()
+
+    def test_stored_entries_never_carry_provenance(self):
+        store = MemoryStore()
+        Session(store=store).run(PROVE)
+        entry = store.load(store_key(PROVE))
+        assert entry is not None
+        assert entry.provenance is None
+
+
+# ---------------------------------------------------------------------------
+# EngineSpec mode/partitions validation
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSpecValidation:
+    def test_serial_rejects_mode(self):
+        with pytest.raises(RequestError,
+                           match="only apply to the distributed"):
+            EngineSpec(kind="serial", mode="async")
+
+    def test_pool_rejects_partitions(self):
+        with pytest.raises(RequestError,
+                           match="only apply to the distributed"):
+            EngineSpec(kind="pool", jobs=2, partitions=4)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RequestError, match="unknown engine mode"):
+            EngineSpec(kind="distributed", workers=2, mode="bfs")
+
+    def test_level_sync_rejects_partitions(self):
+        with pytest.raises(RequestError,
+                           match="only apply to mode='async'"):
+            EngineSpec(kind="distributed", workers=2, partitions=4)
+
+    def test_nonpositive_partitions_rejected(self):
+        with pytest.raises(RequestError, match="partitions must be >= 1"):
+            EngineSpec(kind="distributed", workers=2, mode="async",
+                       partitions=0)
+
+    def test_async_describe_mentions_mode(self):
+        spec = EngineSpec(kind="distributed", workers=2,
+                          in_process=True, mode="async")
+        assert "async" in spec.describe()
+        assert "async" not in EngineSpec(kind="distributed",
+                                         workers=2).describe()

@@ -207,6 +207,48 @@ class TestDistributedVerify:
         assert "WORK-CONSERVING" in out_dist
 
 
+class TestAsyncEngineFlags:
+    def test_async_verify_matches_level_sync_output(self):
+        """Barrier-free exploration, byte-identical certificate."""
+        code_sync, out_sync = run_cli(
+            "verify", "balance_count", "--cores", "3", "--max-load", "2",
+            "--distributed", "2",
+        )
+        code_async, out_async = run_cli(
+            "verify", "balance_count", "--cores", "3", "--max-load", "2",
+            "--distributed", "2", "--engine-mode", "async",
+            "--partitions", "6",
+        )
+        assert (code_sync, out_sync) == (code_async, out_async)
+        assert "WORK-CONSERVING" in out_async
+
+    def test_engine_mode_requires_distributed(self):
+        with pytest.raises(SystemExit,
+                           match="only apply to the distributed engine"):
+            main(["verify", "balance_count", "--engine-mode", "async"])
+
+    def test_partitions_require_distributed(self):
+        with pytest.raises(SystemExit,
+                           match="only apply to the distributed engine"):
+            main(["verify", "balance_count", "--partitions", "4"])
+
+    def test_partitions_require_async_mode(self):
+        with pytest.raises(SystemExit,
+                           match="only apply to mode='async'"):
+            main(["verify", "balance_count", "--distributed", "2",
+                  "--partitions", "4"])
+
+    def test_unknown_engine_mode_is_a_clean_argparse_error(self):
+        code, _ = run_cli("verify", "balance_count", "--distributed", "2",
+                          "--engine-mode", "bfs")
+        assert code == 2  # argparse choices
+
+    def test_partitions_zero_is_a_clean_argparse_error(self):
+        code, _ = run_cli("verify", "balance_count", "--distributed", "2",
+                          "--engine-mode", "async", "--partitions", "0")
+        assert code == 2
+
+
 class TestModuleInvocation:
     def test_python_dash_m_repro(self):
         result = subprocess.run(
@@ -395,6 +437,20 @@ class TestRunSpec:
         for entry in entries:
             result = result_from_dict(entry["result"])
             assert result.render()
+
+    def test_json_output_carries_store_keys(self, tmp_path):
+        import json
+
+        from repro.api import request_from_dict
+        from repro.store import store_key
+
+        out_path = tmp_path / "results.json"
+        code, _ = run_cli("run-spec", self.write_spec(tmp_path),
+                          "--json", str(out_path))
+        assert code == 0
+        for entry in json.loads(out_path.read_text()):
+            request = request_from_dict(entry["result"]["request"])
+            assert entry["store_key"] == store_key(request)
 
     def test_invalid_spec_is_a_clean_error(self, tmp_path):
         bad = tmp_path / "bad.json"
