@@ -36,10 +36,16 @@ from conftest import record_result
 TOPOLOGY = symmetric_numa(2, 2)
 SCOPE = StateScope(n_cores=4, max_load=3)
 
+#: Deeper scope exercising the array pipeline where per-state costs
+#: dominate: 3 nodes x 2 cores, loads 0..4 — 15 625 raw states, up to
+#: five racing thieves per state through the n-thief kernel expansion.
+DEEP_TOPOLOGY = symmetric_numa(3, 2)
+DEEP_SCOPE = StateScope(n_cores=6, max_load=4)
 
-def _run(label, group_label, checker):
+
+def _run(label, group_label, checker, scope=SCOPE):
     start = time.perf_counter()
-    analysis = checker.analyze(SCOPE)
+    analysis = checker.analyze(scope)
     elapsed = time.perf_counter() - start
     return {
         "policy": label,
@@ -81,41 +87,71 @@ def test_bench_symmetry_reduction(benchmark):
                            symmetry=spec.symmetry_group())),
     ]
 
-    by_policy: dict[str, list[dict]] = {}
-    for run in runs:
-        by_policy.setdefault(run["policy"], []).append(run)
+    deep_spec = HierarchySpec(topology=DEEP_TOPOLOGY)
+    deep_numa = NumaSymmetryGroup(DEEP_TOPOLOGY)
+    deep_runs = [
+        _run("balance_count", "none",
+             ModelChecker(BalanceCountPolicy(), choice_mode="all"),
+             scope=DEEP_SCOPE),
+        _run("balance_count", "numa(3x2)",
+             ModelChecker(BalanceCountPolicy(), choice_mode="all",
+                          symmetry=deep_numa),
+             scope=DEEP_SCOPE),
+        _run("numa_choice", "none",
+             ModelChecker(NumaAwareChoicePolicy(DEEP_TOPOLOGY),
+                          choice_mode="all", topology=DEEP_TOPOLOGY),
+             scope=DEEP_SCOPE),
+        _run("numa_choice", "numa(3x2)",
+             ModelChecker(NumaAwareChoicePolicy(DEEP_TOPOLOGY),
+                          choice_mode="all", symmetry=deep_numa),
+             scope=DEEP_SCOPE),
+        _run("hierarchical", "none",
+             build_checker(None, hierarchy=deep_spec),
+             scope=DEEP_SCOPE),
+        _run("hierarchical", "domain(3x2)",
+             build_checker(None, hierarchy=deep_spec,
+                           symmetry=deep_spec.symmetry_group()),
+             scope=DEEP_SCOPE),
+    ]
 
-    rows = []
-    for policy_runs in by_policy.values():
-        baseline = policy_runs[0]["analysis"]
-        for run in policy_runs:
-            analysis = run["analysis"]
-            # Quotients must never change a verdict or the exact N.
-            assert analysis.violated == baseline.violated
-            assert (analysis.worst_case_rounds
-                    == baseline.worst_case_rounds)
-            reduction = (baseline.states_explored
-                         / analysis.states_explored)
-            rows.append([
-                run["policy"], run["group"],
-                analysis.states_explored,
-                f"{reduction:.2f}x",
-                f"{run['wall_s'] * 1000:.1f}",
-                analysis.worst_case_rounds,
-            ])
-        # ... and every non-trivial group must actually shrink the space.
-        for run in policy_runs[1:]:
-            assert (run["analysis"].states_explored
-                    < baseline.states_explored)
+    def reduction_rows(table_runs):
+        by_policy: dict[str, list[dict]] = {}
+        for run in table_runs:
+            by_policy.setdefault(run["policy"], []).append(run)
+        rows = []
+        for policy_runs in by_policy.values():
+            baseline = policy_runs[0]["analysis"]
+            for run in policy_runs:
+                analysis = run["analysis"]
+                # Quotients must never change a verdict or the exact N.
+                assert analysis.violated == baseline.violated
+                assert (analysis.worst_case_rounds
+                        == baseline.worst_case_rounds)
+                reduction = (baseline.states_explored
+                             / analysis.states_explored)
+                rows.append([
+                    run["policy"], run["group"],
+                    analysis.states_explored,
+                    f"{reduction:.2f}x",
+                    f"{run['wall_s'] * 1000:.1f}",
+                    f"{analysis.states_explored / run['wall_s']:,.0f}",
+                    analysis.worst_case_rounds,
+                ])
+            # ... and every non-trivial group must shrink the space.
+            for run in policy_runs[1:]:
+                assert (run["analysis"].states_explored
+                        < baseline.states_explored)
+        return rows
 
+    header = ["policy", "group", "states", "reduction", "wall ms",
+              "states/s", "exact N"]
     record_result("symmetry_reduction", (
         f"symmetry-quotient reduction at {SCOPE.describe()}"
         f" on {TOPOLOGY.name}\n"
-        + render_table(
-            ["policy", "group", "states", "reduction", "wall ms",
-             "exact N"],
-            rows,
-        )
+        + render_table(header, reduction_rows(runs))
+        + f"\n\ndeeper scope: {DEEP_SCOPE.describe()}"
+        f" on {DEEP_TOPOLOGY.name}\n"
+        + render_table(header, reduction_rows(deep_runs))
     ))
 
     # The timed central operation: the NUMA-quotiented NUMA-aware check.

@@ -328,26 +328,34 @@ class WorkerRuntime:
         truncated = False
         forwards: dict[int, set[PackedState]] = {}
         forwarded: set[PackedState] = set()
+        # blake2b routing runs once per *distinct* successor per task —
+        # the flat successor stream is deduped per chunk and the
+        # computed target memoized across chunks — instead of once per
+        # edge occurrence.
+        target_of: dict[PackedState, int] = {}
         while pending:
             chunk = tuple(sorted(pending))
             visited.update(chunk)
-            chunk_edges, chunk_truncated = checker.expand_packed(
+            chunk_edges, chunk_truncated, flat = checker.expand_level(
                 chunk, codec, sequential=task.sequential
             )
             truncated = truncated or chunk_truncated
             edges.update(chunk_edges)
             pending = set()
             fresh: dict[int, set[PackedState]] = {}
-            for successors in chunk_edges.values():
-                for successor in successors:
+            values = flat if isinstance(flat, list) else flat.tolist()
+            for successor in set(values):
+                target = target_of.get(successor)
+                if target is None:
                     target = partition_of(successor, codec,
                                           task.n_partitions)
-                    if target == task.partition:
-                        if successor not in visited:
-                            pending.add(successor)
-                    elif successor not in forwarded:
-                        forwarded.add(successor)
-                        fresh.setdefault(target, set()).add(successor)
+                    target_of[successor] = target
+                if target == task.partition:
+                    if successor not in visited:
+                        pending.add(successor)
+                elif successor not in forwarded:
+                    forwarded.add(successor)
+                    fresh.setdefault(target, set()).add(successor)
             if not fresh:
                 continue
             if emit is not None:
@@ -1190,13 +1198,30 @@ class AsyncPartitionExplorer:
             partition = partition_of(packed, self.codec, self.n_partitions)
             self._inbox[partition].add(packed)
 
+    def _route_to(self, partition: int,
+                  states: Iterable[PackedState]) -> None:
+        """:meth:`_route` for states the sender already hashed.
+
+        Forward frames and task results arrive grouped by target
+        partition, computed worker-side with the same pure
+        ``partition_of`` over the same codec and partition count —
+        re-hashing each state here would be pure coordinator overhead,
+        paid under the one condition lock.
+        """
+        inbox = self._inbox[partition]
+        routed = self._routed
+        for packed in states:
+            if packed not in routed:
+                routed.add(packed)
+                inbox.add(packed)
+
     def _on_forward(self, frame: ForwardBatch) -> None:
         """Transport sink for mid-task forward frames."""
         if frame.run_id != self.run_id:
             return  # a stale frame from a previous run on this worker
         with self._cond:
-            for states in frame.targets.values():
-                self._route(states)
+            for target, states in frame.targets.items():
+                self._route_to(target, states)
             self._cond.notify_all()
 
     def _quiescent(self) -> bool:
@@ -1318,8 +1343,8 @@ class AsyncPartitionExplorer:
             # inbox (a racing forward may have re-queued it already).
             self._routed.update(result.edges.keys())
             self._inbox[partition].difference_update(result.edges.keys())
-            for states in result.forwards.values():
-                self._route(states)
+            for target, states in result.forwards.items():
+                self._route_to(target, states)
             self._attempts[partition] = 0
             count = len(self._edges)
             self._cond.notify_all()

@@ -762,16 +762,19 @@ class HierarchicalModelChecker(ModelChecker):
 
     def _expand_fresh(self, packed_states: Sequence[PackedState],
                       codec: StateCodec, sequential: bool,
-                      ) -> list[tuple[frozenset[PackedState], bool]]:
+                      ) -> tuple[list[tuple[frozenset[PackedState], bool]], Any]:
         """Packed hierarchical expansion: tuple inter, kernel intra.
 
         The inter-group phase is cheap (a handful of groups) and stays
         on the shared tuple helper; the intra-group phase — the
         exponential flat round under the scoped policy — runs through
-        the transition kernel, memoized per distinct mid state. The
-        successor set of a round is exactly the union over phase-1 mid
-        states of the intra round's successors, so this equals the
-        tuple path state for state.
+        the transition kernel, memoized per distinct mid state, with
+        one batch canonicalisation call covering every missing mid's
+        successors. The successor set of a round is exactly the union
+        over phase-1 mid states of the intra round's successors, so
+        this equals the tuple path state for state. The flat result is
+        ``None``: successors are unions over memoized mid entries, so
+        the BFS driver collects them from the frozensets.
         """
         kernel = None if sequential else self._kernel_for(codec)
         if kernel is None:
@@ -814,19 +817,24 @@ class HierarchicalModelChecker(ModelChecker):
                     missing.append(mid)
         if missing:
             # One kernel batch for every mid state the chunk needs:
-            # lets the numpy tier vectorise the single-thief mids
+            # lets the numpy tier vectorise the multi-thief mids
             # instead of running each through the Python executor.
             group = self.symmetry
-            trivial = group.is_trivial
             batched = kernel.expand_batch(codec.encode_batch(missing))
-            for mid, (raw, intra_truncated) in zip(missing, batched):
-                if trivial:
-                    canonical = frozenset(raw)
-                else:
-                    canonical = frozenset(
-                        group.canonicalize_packed(s, codec) for s in raw
+            if group.is_trivial:
+                for mid, (raw, intra_truncated) in zip(missing, batched):
+                    memo[mid] = (frozenset(raw), intra_truncated)
+            else:
+                flat_raw = [s for raw, _ in batched for s in raw]
+                canon = group.canonicalize_batch(flat_raw, codec)
+                cursor = 0
+                for mid, (raw, intra_truncated) in zip(missing, batched):
+                    count = len(raw)
+                    memo[mid] = (
+                        frozenset(canon[cursor:cursor + count]),
+                        intra_truncated,
                     )
-                memo[mid] = (canonical, intra_truncated)
+                    cursor += count
         out: list[tuple[frozenset[PackedState], bool]] = []
         for mids, truncated in per_state:
             if len(mids) == 1:
@@ -841,7 +849,7 @@ class HierarchicalModelChecker(ModelChecker):
                 successors |= entry[0]
                 truncated = truncated or entry[1]
             out.append((frozenset(successors), truncated))
-        return out
+        return out, None
 
     def _check_group_preservation(self, core_to_group: Sequence[int]) -> None:
         """Refuse symmetry groups that break the balancing-group partition.

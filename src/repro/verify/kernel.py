@@ -20,11 +20,14 @@ codec from the *real* policy.
   integer lists, with no snapshot objects and no policy calls in the
   hot loop;
 * a **numpy batch tier** that expands a whole frontier at once: intent
-  masks for every state via one advanced-indexing probe, single-thief
-  states (one permutation, never truncated) and two-thief states
-  (lanes over victim combinations x both steal orders) fully
-  vectorised; states with three or more racing thieves fall back to
-  the Python executor.
+  masks for every state via one advanced-indexing probe, zero- and
+  single-thief states handled directly, and every state with ``k >= 2``
+  racing thieves expanded through lanes over its victim combinations
+  (a per-state mixed-radix decomposition) with each permutation of the
+  ``k`` thieves executed as ``k`` sequential table-indexed array
+  steals. No state falls back to per-state Python; the array form
+  (:meth:`TransitionKernel.expand_batch_arrays`) feeds the engines'
+  array pipeline without materialising per-state lists.
 
 Whether a kernel may stand in for the tuple executor at all is an
 eligibility question answered by
@@ -43,6 +46,7 @@ optional dependency: nothing in this module imports it at module scope.
 from __future__ import annotations
 
 import itertools
+import math
 import os
 from typing import Any, Sequence
 
@@ -78,6 +82,45 @@ def _import_numpy() -> Any:
     except ImportError:
         return None
     return numpy
+
+
+#: Prefix trees of capped thief permutations, keyed ``(k, n_orders)``.
+_PERM_TREES: dict[tuple[int, int], tuple[list[list[int]], list[list[int]]]] \
+    = {}
+
+
+def _perm_tree(k: int,
+               n_orders: int) -> tuple[list[list[int]], list[list[int]]]:
+    """Shared-prefix tree of the first ``n_orders`` thief permutations.
+
+    Two steal orders that agree on their first ``d`` steals produce the
+    same intermediate state, so the k-thief executor walks the orders
+    as a tree instead of replaying each full permutation: depth ``d``
+    holds one node per distinct length-``d+1`` prefix. Returns
+    ``(parents, cols)`` — per depth, ``cols[d][j]`` is the thief column
+    node ``j`` steals with and ``parents[d][j]`` the index of its
+    prefix's node at depth ``d - 1`` (zeros at depth 0, where the
+    parent is the shared root state). Leaves at depth ``k - 1``
+    enumerate ``itertools.permutations(range(k))`` order, truncated to
+    ``n_orders`` — exactly the tuple executor's universe.
+    """
+    cached = _PERM_TREES.get((k, n_orders))
+    if cached is not None:
+        return cached
+    perms = itertools.islice(itertools.permutations(range(k)), n_orders)
+    index: dict[tuple[int, ...], int] = {(): 0}
+    parents: list[list[int]] = [[] for _ in range(k)]
+    cols: list[list[int]] = [[] for _ in range(k)]
+    for perm in perms:
+        for depth in range(k):
+            prefix = perm[:depth + 1]
+            if prefix in index:
+                continue
+            index[prefix] = len(cols[depth])
+            parents[depth].append(index[prefix[:-1]])
+            cols[depth].append(perm[depth])
+    _PERM_TREES[(k, n_orders)] = (parents, cols)
+    return parents, cols
 
 
 def pair_mask_for(policy: Policy, n_cores: int) -> list[list[bool]] | None:
@@ -364,6 +407,10 @@ class TransitionKernel:
 
     # -- batch tier -------------------------------------------------------
 
+    #: Peak rows (state x victim-combination x permutation) materialised
+    #: at once by the k-thief expansion; larger groups run in slices.
+    _ROW_CAP = 1 << 17
+
     def expand_batch(
         self, packed_states: Sequence[PackedState],
     ) -> list[tuple[list[PackedState], bool]]:
@@ -371,11 +418,9 @@ class TransitionKernel:
 
         Returns one ``(successors, truncated)`` pair per input state, in
         input order; successor lists may contain duplicates (callers
-        canonicalise and dedup). Uses the numpy tier when available:
-        zero-thief states self-loop, single-thief states (one
-        permutation each, never truncated) and two-thief states are
-        expanded fully vectorised, and only states with three or more
-        racing thieves run the Python executor.
+        canonicalise and dedup). The numpy tier rides
+        :meth:`expand_batch_arrays` and slices its flat result; the
+        Python tier loops the scalar executor.
         """
         if self._np is None:
             codec = self.codec
@@ -385,14 +430,39 @@ class TransitionKernel:
                     self.successors_packed(p) for p in packed_states
                 )
             ]
-        return self._expand_batch_numpy(packed_states)
-
-    def _expand_batch_numpy(
-        self, packed_states: Sequence[PackedState],
-    ) -> list[tuple[list[PackedState], bool]]:
         np = self._np
-        codec = self.codec
-        packed = np.asarray(packed_states, dtype=np.int64)
+        values, counts, truncated = self.expand_batch_arrays(
+            np.asarray(packed_states, dtype=np.int64)
+        )
+        flat = values.tolist()
+        flags = truncated.tolist()
+        out: list[tuple[list[PackedState], bool]] = []
+        cursor = 0
+        for index, count in enumerate(counts.tolist()):
+            out.append((flat[cursor:cursor + count], flags[index]))
+            cursor += count
+        return out
+
+    def expand_batch_arrays(self, packed: Any) -> tuple[Any, Any, Any]:
+        """Array-native raw expansion of an ``int64`` frontier chunk.
+
+        The numpy tier's native surface: takes a packed ``int64`` array
+        and returns ``(values, counts, truncated)`` arrays — state ``i``
+        owns the run of ``counts[i]`` successors inside ``values``
+        (input order, duplicates possible; callers canonicalise and
+        dedup), and ``truncated[i]`` flags a capped permutation
+        enumeration. Zero-thief states self-loop, single-thief states
+        execute one clamped steal, and every ``k >= 2`` group runs the
+        general mixed-radix lane expansion — no per-state Python.
+        """
+        np = self._np
+        n_states = len(packed)
+        if n_states == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+            )
         # Decode the whole chunk: loads[s, cid].
         loads = (packed[:, None] >> self._shifts_np) & self._digit_mask
         running = (loads > 0).astype(np.int64)
@@ -407,11 +477,14 @@ class TransitionKernel:
             intents &= self._mask_np
         thief_counts = intents.any(axis=2).sum(axis=1)
 
-        results: list[tuple[list[PackedState], bool] | None] = (
-            [None] * len(packed_states)
-        )
-        for index in np.nonzero(thief_counts == 0)[0]:
-            results[index] = ([packed_states[index]], False)
+        truncated = np.zeros(n_states, dtype=bool)
+        piece_idx: list[Any] = []
+        piece_vals: list[Any] = []
+
+        zero = np.nonzero(thief_counts == 0)[0]
+        if zero.size:
+            piece_idx.append(zero)
+            piece_vals.append(packed[zero])
 
         single = np.nonzero(thief_counts == 1)[0]
         if single.size:
@@ -429,100 +502,151 @@ class TransitionKernel:
             rows = np.arange(len(s_glob))
             new_loads[rows, t_idx] += moved
             new_loads[rows, v_idx] -= moved
-            new_packed = (new_loads @ self._weights_np).tolist()
-            # ``np.nonzero`` emits rows in C order, so ``s_glob`` is
-            # non-decreasing with contiguous runs — slice one run per
-            # state instead of appending row by row.
-            glob_list = s_glob.tolist()
-            cuts = np.flatnonzero(s_glob[1:] != s_glob[:-1]) + 1
-            starts = [0, *cuts.tolist()]
-            stops = [*cuts.tolist(), len(glob_list)]
-            for start, stop in zip(starts, stops):
-                results[glob_list[start]] = (new_packed[start:stop], False)
+            piece_idx.append(s_glob)
+            piece_vals.append(new_loads @ self._weights_np)
 
-        double = np.nonzero(thief_counts == 2)[0]
-        if double.size:
-            self._expand_pairs_numpy(
-                double, intents, loads, running, ready, results
+        for k in np.unique(thief_counts[thief_counts >= 2]).tolist():
+            group = np.nonzero(thief_counts == k)[0]
+            k_idx, k_vals, k_trunc = self._expand_multi_numpy(
+                int(k), group, intents, running, ready
             )
+            piece_idx.append(k_idx)
+            piece_vals.append(k_vals)
+            truncated[group] = k_trunc
 
-        for index in np.nonzero(thief_counts >= 3)[0]:
-            succ, truncated = self.successors_loads(loads[index].tolist())
-            results[index] = (codec.encode_batch(succ), truncated)
-        return results  # type: ignore[return-value]
+        all_idx = np.concatenate(piece_idx)
+        all_vals = np.concatenate(piece_vals)
+        # Stable sort groups each state's successors into one contiguous
+        # run, in input order — the flat layout the array pipeline eats.
+        order = np.argsort(all_idx, kind="stable")
+        counts = np.bincount(all_idx, minlength=n_states)
+        return all_vals[order], counts, truncated
 
-    def _expand_pairs_numpy(self, double: Any, intents: Any, loads: Any,
-                            running: Any, ready: Any,
-                            results: list) -> None:
-        """Vectorised expansion of states with exactly two racing thieves.
+    def _expand_multi_numpy(self, k: int, group: Any, intents: Any,
+                            running: Any,
+                            ready: Any) -> tuple[Any, Any, bool]:
+        """Vectorised expansion of states with exactly ``k >= 2`` thieves.
 
-        Lanes run over state x (victim of thief 1) x (victim of thief 2),
-        each lane executing both steal orders (or just the first when
-        ``max_orders == 1``, which also sets the truncation flag — two
-        permutations against a cap of one, exactly like the tuple
-        executor). The disjoint-pair collapse of the scalar executor is
-        unnecessary here: commuting orders produce duplicate packed
-        values, which callers dedup anyway.
+        Lanes run over state x victim combination: each thief's victim
+        set forms one digit of a per-state mixed-radix number (last
+        thief varies fastest, matching ``itertools.product``), so a
+        combination index decodes to one victim per thief with two
+        integer ops per digit. The permutations of the ``k`` thieves —
+        ascending per state, exactly the tuple executor's permutation
+        universe, capped at ``max_orders`` with the same truncation
+        flag — execute as a shared-prefix tree (:func:`_perm_tree`):
+        orders agreeing on their first ``d`` steals share one array row
+        until depth ``d``, so the work is ``sum_d k!/(k-d)!`` steals
+        per lane instead of ``k! * k``. Steals use flattened 1-D table
+        gathers, and loads are never materialised in the loop — steals
+        move only ready tasks, so ``loads = ready + running`` is
+        reconstructed at the leaves. The scalar executor's
+        disjoint-pair collapse is skipped: commuting orders produce
+        duplicate packed values, which callers dedup anyway. State
+        slices cap the leaf rows materialised at once at
+        :data:`_ROW_CAP`.
+
+        Returns ``(state_indices, packed_values, truncated)`` where the
+        index array maps each produced value back to its source state.
         """
         np = self._np
-        m = len(double)
-        sub = intents[double]
-        # Exactly two thief rows per state; ``nonzero`` yields them in
-        # ascending order, matching the tuple executor's thief order.
-        _, thieves = np.nonzero(sub.any(axis=2))
-        t1 = thieves[0::2]
-        t2 = thieves[1::2]
+        n = self.codec.n_cores
+        m = len(group)
+        sub = intents[group]
+        # Exactly k thief rows per state, ascending within each row.
+        _, tcol = np.nonzero(sub.any(axis=2))
+        thieves = tcol.reshape(m, k)
         rows = np.arange(m)
-        r1, vv1 = np.nonzero(sub[rows, t1])
-        r2, vv2 = np.nonzero(sub[rows, t2])
-        c1 = np.bincount(r1, minlength=m)
-        c2 = np.bincount(r2, minlength=m)
-        # One lane per victim combination; every state has >= 1 lane
-        # because each thief admits >= 1 victim by construction.
-        lanes_per = c1 * c2
-        total = int(lanes_per.sum())
-        lane_state = np.repeat(rows, lanes_per)
-        pos = np.arange(total) - np.repeat(
-            np.concatenate(([0], np.cumsum(lanes_per)[:-1])), lanes_per
-        )
-        off1 = np.concatenate(([0], np.cumsum(c1)[:-1]))
-        off2 = np.concatenate(([0], np.cumsum(c2)[:-1]))
-        lane_c2 = c2[lane_state]
-        v1 = vv1[off1[lane_state] + pos // lane_c2]
-        v2 = vv2[off2[lane_state] + pos % lane_c2]
-        steal1 = (t1[lane_state], v1)
-        steal2 = (t2[lane_state], v2)
-        run = running[double][lane_state]
-        ready0 = ready[double][lane_state]
-        loads0 = loads[double][lane_state]
-        orders = ((steal1, steal2),)
-        if self.max_orders >= 2:
-            orders = ((steal1, steal2), (steal2, steal1))
-        truncated = self.max_orders < 2
-        lrow = np.arange(total)
-        per_order: list[list[int]] = []
-        for order in orders:
-            rdy = ready0.copy()
-            live = loads0.copy()
-            for t, v in order:
-                qv = rdy[lrow, v]
-                moved = np.minimum(
-                    self._step_np[run[lrow, t], run[lrow, v],
-                                  rdy[lrow, t], qv],
-                    qv,
-                )
+        # Per-thief ragged victim lists (CSR-style) and radix counts.
+        vic_vals: list[Any] = []
+        offs: list[Any] = []
+        counts = np.empty((m, k), dtype=np.int64)
+        for j in range(k):
+            rj, vj = np.nonzero(sub[rows, thieves[:, j]])
+            cj = np.bincount(rj, minlength=m)
+            counts[:, j] = cj
+            offs.append(np.concatenate(([0], np.cumsum(cj)[:-1])))
+            vic_vals.append(vj)
+        strides = np.empty((m, k), dtype=np.int64)
+        strides[:, k - 1] = 1
+        for j in range(k - 2, -1, -1):
+            strides[:, j] = strides[:, j + 1] * counts[:, j + 1]
+        # Every state has >= 1 lane: each thief admits >= 1 victim.
+        lanes_per = strides[:, 0] * counts[:, 0]
+        n_orders = math.factorial(k)
+        truncated = n_orders > self.max_orders
+        n_orders = min(n_orders, self.max_orders)
+        tree_parents, tree_cols = _perm_tree(k, n_orders)
+        rows_per = lanes_per * n_orders
+        cum = np.cumsum(rows_per)
+        # Flat strides of the 4-D step table for 1-D gathers below.
+        dim_b, dim_c, dim_d = self._step_np.shape[1:]
+        step_flat = self._step_np.reshape(-1)
+
+        piece_idx: list[Any] = []
+        piece_vals: list[Any] = []
+        start = 0
+        while start < m:
+            before = 0 if start == 0 else int(cum[start - 1])
+            stop = int(np.searchsorted(
+                cum, before + self._ROW_CAP, side="right"
+            ))
+            stop = min(max(stop, start + 1), m)
+            lp = lanes_per[start:stop]
+            n_lanes = int(lp.sum())
+            lane_state = np.repeat(np.arange(start, stop), lp)
+            local_starts = np.concatenate(([0], np.cumsum(lp)[:-1]))
+            pos = np.arange(n_lanes) - np.repeat(local_starts, lp)
+            victims = np.empty((n_lanes, k), dtype=np.int64)
+            for j in range(k):
+                digit = (pos // strides[lane_state, j]) \
+                    % counts[lane_state, j]
+                victims[:, j] = vic_vals[j][offs[j][lane_state] + digit]
+            th = thieves[lane_state]
+            glob_l = group[lane_state]
+            run_l = running[glob_l]
+            run_f = run_l.reshape(-1)
+            lane_off = np.arange(n_lanes) * n
+            # Walk the prefix tree: at depth d, ``rdy`` holds one row
+            # per (node, lane) in node-major blocks; expanding to
+            # depth d+1 gathers each node's parent block and applies
+            # that node's single steal over all lanes at once.
+            rdy = ready[glob_l][None]
+            for parents, node_cols in zip(tree_parents, tree_cols):
+                rdy = rdy[parents]
+                n_nodes = len(parents)
+                total = n_nodes * n_lanes
+                # Thief/victim core ids per row (node-major layout).
+                t = th[:, node_cols].T.reshape(-1)
+                v = victims[:, node_cols].T.reshape(-1)
+                rdy_f = rdy.reshape(-1)
+                base = np.arange(total) * n
+                lane_n = np.tile(lane_off, n_nodes)
+                tf = base + t
+                vf = base + v
+                qv = rdy_f[vf]
+                # Merged re-check + clamp, exactly like the scalar
+                # executor: filtered pairs and non-positive amounts
+                # both move nothing. Running counts never change —
+                # steals move ready tasks — so the run gathers index
+                # the lane-level snapshot.
+                idx = (run_f[lane_n + t] * dim_b
+                       + run_f[lane_n + v]) * dim_c
+                idx += rdy_f[tf]
+                idx *= dim_d
+                idx += qv
+                moved = np.minimum(step_flat[idx], qv)
                 np.clip(moved, 0, None, out=moved)
-                rdy[lrow, v] = qv - moved
-                rdy[lrow, t] += moved
-                live[lrow, v] -= moved
-                live[lrow, t] += moved
-            per_order.append((live @ self._weights_np).tolist())
-        lane_list = lane_state.tolist()
-        cuts = (np.flatnonzero(lane_state[1:] != lane_state[:-1]) + 1).tolist()
-        starts = [0, *cuts]
-        stops = [*cuts, total]
-        for start, stop in zip(starts, stops):
-            succ = per_order[0][start:stop]
-            for extra in per_order[1:]:
-                succ += extra[start:stop]
-            results[double[lane_list[start]]] = (succ, truncated)
+                rdy_f[vf] = qv - moved
+                rdy_f[tf] += moved
+            # Leaves enumerate the capped orders; loads = ready+running.
+            piece_idx.append(np.tile(glob_l, n_orders))
+            piece_vals.append(
+                ((rdy + run_l).reshape(-1, n)) @ self._weights_np
+            )
+            start = stop
+        return (
+            np.concatenate(piece_idx),
+            np.concatenate(piece_vals),
+            truncated,
+        )

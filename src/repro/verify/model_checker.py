@@ -24,7 +24,7 @@ scope's per-core bound (over-stealing policies do that).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
@@ -35,7 +35,7 @@ from repro.verify.enumeration import (
     StateScope,
     is_bad_state,
 )
-from repro.verify.kernel import TransitionKernel, build_kernel
+from repro.verify.kernel import TransitionKernel, _import_numpy, build_kernel
 from repro.verify.symmetry import SymmetryGroup, resolve_symmetry
 from repro.verify.obligations import (
     GOOD_STATE_CLOSURE,
@@ -190,9 +190,13 @@ class ModelChecker:
         self._branch_cache: dict[tuple[LoadState, bool],
                                  BranchEnumeration] = {}
         self._kernel_cache: dict[StateCodec, TransitionKernel | None] = {}
+        # Keyed per (codec, sequential) with a plain packed-state inner
+        # dict: frontier states hash one machine int each instead of a
+        # three-element tuple, and a fresh run skips per-state lookups
+        # entirely (the empty inner dict short-circuits).
         self._packed_successor_cache: dict[
-            tuple[StateCodec, PackedState, bool],
-            tuple[frozenset[PackedState], bool],
+            tuple[StateCodec, bool],
+            dict[PackedState, tuple[frozenset[PackedState], bool]],
         ] = {}
 
     def _check_choice_equivariance(self, policy: Policy) -> None:
@@ -301,18 +305,35 @@ class ModelChecker:
             self._kernel_cache[codec] = kernel
         return kernel  # type: ignore[return-value]
 
+    def _packed_memo(self, codec: StateCodec, sequential: bool,
+                     ) -> dict[PackedState, tuple[frozenset[PackedState], bool]]:
+        """The per-``(codec, sequential)`` successor memo sub-dict."""
+        key = (codec, sequential)
+        memo = self._packed_successor_cache.get(key)
+        if memo is None:
+            memo = self._packed_successor_cache[key] = {}
+        return memo
+
     def _expand_fresh(self, packed_states: Sequence[PackedState],
                       codec: StateCodec, sequential: bool,
-                      ) -> list[tuple[frozenset[PackedState], bool]]:
+                      ) -> tuple[list[tuple[frozenset[PackedState], bool]], Any]:
         """Uncached packed successors of a chunk, in input order.
 
         Dispatches to the transition kernel when the policy and
         parameters admit one, else decodes and runs the tuple executor
-        per state — the two paths produce identical (canonicalised)
+        per state — the paths produce identical (canonicalised)
         successor sets, which the CI ``smoke-kernel`` job diffs
         end-to-end.
+
+        Returns the per-state ``(successors, truncated)`` entries plus
+        the chunk's flat successor values (each state's deduped
+        successors concatenated in input order): a numpy ``int64``
+        array on the vectorised path, else ``None``. The flat form
+        lets BFS drivers build the next frontier with array merges
+        instead of per-state set unions.
         """
         kernel = None if sequential else self._kernel_for(codec)
+        group = self.symmetry
         if kernel is None:
             out: list[tuple[frozenset[PackedState], bool]] = []
             for packed in packed_states:
@@ -322,23 +343,65 @@ class ModelChecker:
                 out.append((
                     frozenset(codec.encode(s) for s in succ), truncated
                 ))
-            return out
-        group = self.symmetry
-        if group.is_trivial:
-            # Identity canonicalisation: skip the per-successor call.
-            return [
-                (frozenset(raw), truncated)
-                for raw, truncated in kernel.expand_batch(packed_states)
-            ]
-        return [
-            (
-                frozenset(
-                    group.canonicalize_packed(s, codec) for s in raw
-                ),
-                truncated,
-            )
-            for raw, truncated in kernel.expand_batch(packed_states)
-        ]
+            return out, None
+        if kernel._np is None:
+            # Python tier: per-state successor lists, one batch
+            # canonicalisation call for the whole chunk.
+            batched = kernel.expand_batch(packed_states)
+            if group.is_trivial:
+                return [
+                    (frozenset(raw), truncated)
+                    for raw, truncated in batched
+                ], None
+            flat_raw = [s for raw, _ in batched for s in raw]
+            canon = group.canonicalize_batch(flat_raw, codec)
+            entries = []
+            cursor = 0
+            for raw, truncated in batched:
+                count = len(raw)
+                entries.append((
+                    frozenset(canon[cursor:cursor + count]), truncated
+                ))
+                cursor += count
+            return entries, None
+        # Vectorised tier: expansion, canonicalisation, and per-state
+        # dedup all stay in int64 arrays; Python objects materialise
+        # only at the memo boundary below (one bulk tolist).
+        np = kernel._np
+
+        def dedup(values: Any, owner: Any) -> tuple[Any, Any]:
+            order = np.lexsort((values, owner))
+            values = values[order]
+            owner = owner[order]
+            keep = np.empty(len(values), dtype=bool)
+            keep[0] = True
+            keep[1:] = (owner[1:] != owner[:-1]) \
+                | (values[1:] != values[:-1])
+            return values[keep], owner[keep]
+
+        values, counts, trunc_flags = kernel.expand_batch_arrays(
+            np.asarray(packed_states, dtype=np.int64)
+        )
+        owner = np.repeat(np.arange(len(packed_states)), counts)
+        # Dedup raw values first: commuting steal orders produce many
+        # duplicate packed states, and canonicalising them before
+        # collapsing would pay the (comparatively pricey) per-element
+        # canonicalisation for each copy.
+        values, owner = dedup(values, owner)
+        if not group.is_trivial:
+            values = group.canonicalize_batch(values, codec)
+            values, owner = dedup(values, owner)
+        dedup_counts = np.bincount(owner, minlength=len(packed_states))
+        flat_list = values.tolist()
+        entries = []
+        cursor = 0
+        for count, truncated in zip(dedup_counts.tolist(),
+                                    trunc_flags.tolist()):
+            entries.append((
+                frozenset(flat_list[cursor:cursor + count]), truncated
+            ))
+            cursor += count
+        return entries, values
 
     def expand_packed(self, packed_states: Sequence[PackedState],
                       codec: StateCodec, sequential: bool = False,
@@ -350,32 +413,50 @@ class ModelChecker:
         through here, so the kernel/tuple dispatch and the per-checker
         memo live in exactly one place.
         """
+        edges, truncated, _ = self.expand_level(
+            packed_states, codec, sequential=sequential
+        )
+        return edges, truncated
+
+    def expand_level(self, packed_states: Sequence[PackedState],
+                     codec: StateCodec, sequential: bool = False,
+                     ) -> tuple[PackedGraph, bool, Any]:
+        """:meth:`expand_packed` plus the level's flat successor values.
+
+        The third result concatenates every state's (deduped)
+        successors: a numpy ``int64`` array when the whole chunk ran
+        the vectorised pipeline, else a plain list. BFS drivers use it
+        to build the next frontier with one ``np.unique`` + merge
+        instead of per-state set unions; the edge dict is unchanged
+        and remains the wire/store form.
+        """
+        memo = self._packed_memo(codec, sequential)
+        if memo:
+            misses = [p for p in packed_states if p not in memo]
+        else:
+            misses = list(packed_states)
+        flat: Any = None
+        if misses:
+            fresh, flat = self._expand_fresh(misses, codec, sequential)
+            memo.update(zip(misses, fresh))
         edges: PackedGraph = {}
         truncated = False
-        misses = [
-            packed for packed in packed_states
-            if (codec, packed, sequential) not in self._packed_successor_cache
-        ]
-        if misses:
-            fresh = self._expand_fresh(misses, codec, sequential)
-            for packed, entry in zip(misses, fresh):
-                self._packed_successor_cache[
-                    (codec, packed, sequential)
-                ] = entry
         for packed in packed_states:
-            succ, trunc = self._packed_successor_cache[
-                (codec, packed, sequential)
-            ]
+            succ, trunc = memo[packed]
             edges[packed] = succ
             truncated = truncated or trunc
-        return edges, truncated
+        if flat is None or len(misses) != len(packed_states):
+            # Tuple/python tiers, or memo hits whose successors are not
+            # in the fresh flat array: collect from the frozensets.
+            flat = [s for succ in edges.values() for s in succ]
+        return edges, truncated, flat
 
     def successors_packed(self, packed: PackedState, codec: StateCodec,
                           sequential: bool = False,
                           ) -> tuple[frozenset[PackedState], bool]:
         """Packed single-state successors (see :meth:`expand_packed`)."""
         self.expand_packed((packed,), codec, sequential=sequential)
-        return self._packed_successor_cache[(codec, packed, sequential)]
+        return self._packed_memo(codec, sequential)[packed]
 
     # ------------------------------------------------------------------
     # work conservation
@@ -408,14 +489,53 @@ class ModelChecker:
         progress hook behind :class:`repro.api.Session`'s serial-engine
         events. Pure observer; it cannot influence exploration.
         """
-        initial = [self._canon(s) for s in initial_states]
-        if not initial:
+        raw = list(initial_states)
+        if not raw:
             return {}, False
-        codec = StateCodec.for_states(len(initial[0]), initial)
-        frontier = sorted({codec.encode(s) for s in initial})
-        seen: set[PackedState] = set(frontier)
+        # Canonicalisation permutes loads, so the codec fitted to the
+        # raw states fits their canonical forms too — which lets the
+        # array path below canonicalise the whole initial set in one
+        # packed batch instead of one Python call per state.
+        codec = StateCodec.for_states(len(raw[0]), raw)
+        numpy = _import_numpy() if codec.use_int else None
         edges_packed: PackedGraph = {}
         truncated = False
+        if numpy is not None:
+            # Array-native frontier: visited membership is a sorted
+            # int64 array probed with one searchsorted merge per level
+            # instead of a Python set probed per successor. The fresh
+            # frontier comes out ascending, exactly the order
+            # ``sorted(next_frontier)`` produced, so expansion order —
+            # and therefore every downstream byte — is unchanged.
+            frontier_arr = numpy.unique(self.symmetry.canonicalize_batch(
+                numpy.asarray(codec.encode_batch(raw), dtype=numpy.int64),
+                codec,
+            ))
+            seen_arr = frontier_arr
+            while frontier_arr.size:
+                level_edges, trunc, flat = self.expand_level(
+                    frontier_arr.tolist(), codec, sequential=sequential
+                )
+                truncated = truncated or trunc
+                edges_packed.update(level_edges)
+                if on_expand is not None:
+                    on_expand(len(edges_packed))
+                candidates = numpy.unique(numpy.asarray(
+                    flat, dtype=numpy.int64
+                ))
+                pos = numpy.searchsorted(seen_arr, candidates)
+                clipped = numpy.minimum(pos, seen_arr.size - 1)
+                fresh = candidates[
+                    (pos == seen_arr.size) | (seen_arr[clipped] != candidates)
+                ]
+                seen_arr = numpy.insert(
+                    seen_arr, numpy.searchsorted(seen_arr, fresh), fresh
+                )
+                frontier_arr = fresh
+            return decode_graph(codec, edges_packed), truncated
+        initial = [self._canon(s) for s in raw]
+        frontier = sorted({codec.encode(s) for s in initial})
+        seen: set[PackedState] = set(frontier)
         while frontier:
             level_edges, trunc = self.expand_packed(
                 frontier, codec, sequential=sequential

@@ -106,6 +106,7 @@ from repro.verify.lemmas import (
     check_steal_soundness,
 )
 from repro.verify.encoding import PackedState, StateCodec, decode_graph
+from repro.verify.kernel import _import_numpy
 from repro.verify.model_checker import (
     ModelChecker,
     PackedGraph,
@@ -552,11 +553,51 @@ def bfs_closure(map_expand: Callable, n_shards: int,
     if not canon:
         return {}, False
     codec = StateCodec.for_states(len(next(iter(canon))), canon)
-    frontier = sorted(codec.encode(s) for s in canon)
-    seen = set(frontier)
+    numpy = _import_numpy() if codec.use_int else None
     edges: PackedGraph = {}
     truncated = False
     level = 0
+    if numpy is not None:
+        # Array-native frontier bookkeeping: visited membership is a
+        # sorted int64 array probed with one searchsorted merge per
+        # level. Shard edge dicts stay the wire form; their successor
+        # frozensets drain through one ``fromiter`` pass instead of
+        # per-successor set probes. The fresh frontier comes out
+        # ascending — exactly ``sorted(next_frontier)`` — so striping
+        # and every downstream byte are unchanged.
+        frontier_arr = numpy.unique(numpy.asarray(
+            codec.encode_batch(list(canon)), dtype=numpy.int64
+        ))
+        seen_arr = frontier_arr
+        while frontier_arr.size:
+            frontier = frontier_arr.tolist()
+            chunks = [frontier[shard::n_shards]
+                      for shard in range(n_shards)]
+            chunks = [chunk for chunk in chunks if chunk]
+            for shard_edges, shard_truncated in map_expand(
+                codec, chunks, sequential
+            ):
+                edges.update(shard_edges)
+                truncated = truncated or shard_truncated
+            candidates = numpy.unique(numpy.fromiter(
+                (s for state in frontier for s in edges[state]),
+                dtype=numpy.int64,
+            ))
+            pos = numpy.searchsorted(seen_arr, candidates)
+            clipped = numpy.minimum(pos, seen_arr.size - 1)
+            fresh = candidates[
+                (pos == seen_arr.size) | (seen_arr[clipped] != candidates)
+            ]
+            seen_arr = numpy.insert(
+                seen_arr, numpy.searchsorted(seen_arr, fresh), fresh
+            )
+            if on_level is not None:
+                on_level(level, len(frontier), int(fresh.size))
+            level += 1
+            frontier_arr = fresh
+        return decode_graph(codec, edges), truncated
+    frontier = sorted(codec.encode(s) for s in canon)
+    seen = set(frontier)
     while frontier:
         chunks = [frontier[shard::n_shards] for shard in range(n_shards)]
         chunks = [chunk for chunk in chunks if chunk]

@@ -199,3 +199,116 @@ class TestEligibilityGates:
         codec = StateCodec(n_cores=3, max_value=6)
         with pytest.raises(VerificationError):
             build_kernel(BalanceCountPolicy(), codec)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+class TestManyThiefExpansion:
+    """The n-thief array expansion versus the tuple executor.
+
+    The numpy tier executes *every* thief count through the mixed-radix
+    shared-prefix-tree expansion — there is no per-state fallback — so
+    states with three, four, and five racing thieves must reproduce the
+    tuple executor's successor sets and truncation flags exactly, caps
+    included.
+    """
+
+    #: 6-core states with known many-thief structure under
+    #: ``BalanceCountPolicy`` (idle cores race for the loaded ones).
+    MANY_THIEF_STATES = [
+        (0, 0, 0, 4, 4, 4),    # three racing thieves
+        (0, 0, 0, 0, 4, 4),    # four
+        (0, 0, 0, 0, 0, 5),    # five
+        (1, 0, 2, 0, 5, 4),    # mixed running/ready victims
+        (2, 0, 0, 0, 6, 6),    # four thieves, unequal victims
+    ]
+
+    @staticmethod
+    def thief_count(kernel, packed):
+        """Number of cores with at least one admissible victim."""
+        np = kernel._np
+        arr = np.asarray([packed], dtype=np.int64)
+        loads = (arr[:, None] >> kernel._shifts_np) & kernel._digit_mask
+        running = (loads > 0).astype(np.int64)
+        ready = loads - running
+        intents = kernel._can_np[
+            running[:, :, None], running[:, None, :],
+            ready[:, :, None], ready[:, None, :],
+        ]
+        intents &= ~kernel._eye_np
+        if kernel._mask_np is not None:
+            intents &= kernel._mask_np
+        return int(intents.any(axis=2).sum())
+
+    def test_handpicked_states_cover_three_to_five_thieves(self):
+        codec = StateCodec(n_cores=6, max_value=20)
+        kernel = kernel_for(BalanceCountPolicy(), codec, "numpy")
+        counts = {
+            self.thief_count(kernel, codec.encode(s))
+            for s in self.MANY_THIEF_STATES
+        }
+        assert {3, 4, 5} <= counts
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+    def test_many_thief_states_match_tuples(self, policy):
+        """Every policy, capped at 30 orders (truncates 5! mid-tree) —
+        permissive policies make the uncapped tuple oracle enumerate
+        hundreds of thousands of orders per state."""
+        codec = StateCodec(n_cores=6, max_value=20)
+        kernel = kernel_for(policy, codec, "numpy", max_orders=30)
+        assert_batch_matches_tuples(
+            kernel, codec, self.MANY_THIEF_STATES, 30
+        )
+
+    def test_many_thief_uncapped_universe(self):
+        """The full k! = 120 order universe, no truncation anywhere."""
+        codec = StateCodec(n_cores=6, max_value=20)
+        kernel = kernel_for(BalanceCountPolicy(), codec, "numpy")
+        assert_batch_matches_tuples(
+            kernel, codec, self.MANY_THIEF_STATES, 5040
+        )
+
+    @pytest.mark.parametrize("max_orders", [1, 2, 7, 23])
+    def test_many_thief_truncation_caps(self, max_orders):
+        """Caps that truncate 3!, 4! and 5! mid-tree, flag included."""
+        codec = StateCodec(n_cores=6, max_value=20)
+        kernel = kernel_for(
+            BalanceCountPolicy(), codec, "numpy", max_orders=max_orders
+        )
+        assert_batch_matches_tuples(
+            kernel, codec, self.MANY_THIEF_STATES, max_orders
+        )
+
+    def test_six_core_grid_matches_tuples(self):
+        """A dense 6-core sweep — thief counts 0 through 5 mixed.
+
+        Capped at 24 orders to keep the tuple-executor oracle fast:
+        the cap truncates five-thief states mid-tree (24 < 5!), so the
+        sweep still pins the truncated-tree walk; the uncapped k = 5
+        universe is pinned by ``MANY_THIEF_STATES`` above.
+        """
+        states = list(itertools.product((0, 2, 3), repeat=6))
+        codec = StateCodec(n_cores=6, max_value=18)
+        kernel = kernel_for(BalanceCountPolicy(), codec, "numpy",
+                            max_orders=24)
+        assert_batch_matches_tuples(kernel, codec, states, 24)
+
+    def test_expand_batch_arrays_layout(self):
+        """The flat (values, counts, truncated) contract: state ``i``
+        owns the run ``values[sum(counts[:i]):][:counts[i]]``, matching
+        ``expand_batch`` exactly."""
+        codec = StateCodec(n_cores=6, max_value=20)
+        kernel = kernel_for(BalanceCountPolicy(), codec, "numpy")
+        packed = codec.encode_batch(self.MANY_THIEF_STATES)
+        values, counts, truncated = kernel.expand_batch_arrays(
+            numpy.asarray(packed, dtype=numpy.int64)
+        )
+        assert len(values) == int(counts.sum())
+        flat = values.tolist()
+        cursor = 0
+        for (succ, trunc), count, tflag in zip(
+            kernel.expand_batch(packed), counts.tolist(),
+            truncated.tolist(),
+        ):
+            assert flat[cursor:cursor + count] == succ
+            assert trunc == tflag
+            cursor += count

@@ -326,3 +326,91 @@ class TestChoiceEquivarianceGuard:
         # is sound even for a stateful choice — must not be rejected.
         ModelChecker(RandomStealPolicy(seed=0), choice_mode="all",
                      symmetric=True)
+
+
+try:
+    import numpy
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is present in CI
+    HAVE_NUMPY = False
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.encoding import StateCodec
+
+#: Every group shape the engines can hand to ``canonicalize_batch``:
+#: identity, full renaming, single-class blocks, multi-class blocks
+#: (distance-inequivalent mesh nodes), and a domain-tree group.
+BATCH_GROUPS = [
+    ("trivial", 4, TrivialGroup()),
+    ("flat", 4, FlatSymmetryGroup()),
+    ("numa-2x2", 4, NumaSymmetryGroup(symmetric_numa(2, 2))),
+    ("numa-3x2", 6, NumaSymmetryGroup(symmetric_numa(3, 2))),
+    ("mesh-2x2", 8, NumaSymmetryGroup(mesh_numa(2, 2))),
+    ("domain-2x2", 4,
+     symmetry_from_domains(build_domain_tree(symmetric_numa(2, 2)))),
+]
+
+
+def states_batch(n_cores, max_value):
+    return st.lists(
+        st.lists(st.integers(min_value=0, max_value=max_value),
+                 min_size=n_cores, max_size=n_cores).map(tuple),
+        min_size=0, max_size=12,
+    )
+
+
+class TestBatchCanonicalisation:
+    """``canonicalize_batch`` is pointwise ``canonicalize_packed``.
+
+    The array pipeline's soundness rests on this equality: the closure
+    engines canonicalise whole successor arrays in one call, and any
+    divergence from the scalar path would silently change verdicts.
+    Pinned for every group shape and both codec forms (int and bytes —
+    the latter exercising the scalar fallback).
+    """
+
+    @pytest.mark.parametrize("label,n_cores,group", BATCH_GROUPS,
+                             ids=[g[0] for g in BATCH_GROUPS])
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_on_int_codec(self, label, n_cores, group,
+                                         data):
+        states = data.draw(states_batch(n_cores, 6))
+        codec = StateCodec(n_cores=n_cores, max_value=6)
+        assert codec.use_int
+        packed = codec.encode_batch(states)
+        expected = [group.canonicalize_packed(p, codec) for p in packed]
+        assert list(group.canonicalize_batch(packed, codec)) == expected
+        if HAVE_NUMPY:
+            arr = numpy.asarray(packed, dtype=numpy.int64)
+            out = group.canonicalize_batch(arr, codec)
+            assert isinstance(out, numpy.ndarray)
+            assert out.tolist() == expected
+
+    @pytest.mark.parametrize("label,n_cores,group", BATCH_GROUPS,
+                             ids=[g[0] for g in BATCH_GROUPS])
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scalar_on_bytes_codec(self, label, n_cores, group,
+                                           data):
+        max_value = 1 << 20
+        states = data.draw(states_batch(n_cores, max_value))
+        codec = StateCodec(n_cores=n_cores, max_value=max_value)
+        assert not codec.use_int
+        packed = codec.encode_batch(states)
+        expected = [group.canonicalize_packed(p, codec) for p in packed]
+        assert list(group.canonicalize_batch(packed, codec)) == expected
+
+    @pytest.mark.parametrize("label,n_cores,group", BATCH_GROUPS,
+                             ids=[g[0] for g in BATCH_GROUPS])
+    def test_exhaustive_small_grid(self, label, n_cores, group):
+        """Every state of a small grid — no sampling gaps."""
+        max_load = 2 if n_cores > 4 else 3
+        codec = StateCodec(n_cores=n_cores, max_value=3 * n_cores)
+        states = list(itertools.product(range(max_load + 1),
+                                        repeat=n_cores))
+        packed = codec.encode_batch(states)
+        expected = [group.canonicalize_packed(p, codec) for p in packed]
+        assert list(group.canonicalize_batch(packed, codec)) == expected
