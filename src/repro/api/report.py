@@ -485,6 +485,11 @@ def result_to_dict(result: VerificationResult) -> dict[str, Any]:
             "shards": result.provenance.shards,
             "hit": result.provenance.hit,
         }
+        # Encoded only when set, so documents from exact-hit and
+        # store-less runs keep their established byte shape.
+        if result.provenance.served_from is not None:
+            data["provenance"]["served_from"] = \
+                result.provenance.served_from
     return data
 
 
@@ -505,7 +510,8 @@ def result_from_dict(data: Mapping[str, Any]) -> VerificationResult:
         raw = data["provenance"]
         provenance = StoreProvenance(store_key=raw["store_key"],
                                      shards=raw["shards"],
-                                     hit=raw["hit"])
+                                     hit=raw["hit"],
+                                     served_from=raw.get("served_from"))
     return VerificationResult(
         request=request_from_dict(data["request"]),
         verdict=Verdict(data["verdict"]),

@@ -97,11 +97,16 @@ class StoreProvenance:
         store_key: the content hash the result is filed under.
         shards: the coverage-class shard count (1 = serial-equivalent).
         hit: True when the result was replayed from the store.
+        served_from: on a hit, the key of the entry that answered —
+            equal to ``store_key`` for exact hits, the engine-normalised
+            proof key or a subsuming entry's key otherwise (``None``
+            on a miss).
     """
 
     store_key: str
     shards: int
     hit: bool
+    served_from: str | None = None
 
 
 @dataclass(frozen=True)

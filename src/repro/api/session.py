@@ -255,13 +255,18 @@ class Session:
             re-proves its misses.
         store_refresh: skip store lookups (but still store fresh
             results) — ``--store-refresh``.
+        store_subsume: let a stored *proved* entry whose scope subsumes
+            the request answer it (``--store-subsume``).
+            Verdict-preserving but not byte-preserving — see
+            :class:`~repro.store.caching.CachingEngine`.
     """
 
     def __init__(self, subscribers: Iterable[Subscriber] = (),
                  engine: Engine | None = None,
                  expand_stride: int = DEFAULT_EXPAND_STRIDE,
                  store: "ResultStore | None" = None,
-                 store_refresh: bool = False) -> None:
+                 store_refresh: bool = False,
+                 store_subsume: bool = False) -> None:
         self._subscribers: list[Subscriber] = list(subscribers)
         self._engine = engine
         if expand_stride < 1:
@@ -272,6 +277,7 @@ class Session:
         self._expand_seen = 0
         self._store = store
         self._store_refresh = store_refresh
+        self._store_subsume = store_subsume
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Add a progress subscriber."""
@@ -338,6 +344,7 @@ class Session:
 
             caching = CachingEngine(engine, self._store,
                                     refresh=self._store_refresh,
+                                    subsume=self._store_subsume,
                                     on_reused=self._on_reused)
             engine = caching
         self._emit(RequestStarted(request=request,
@@ -382,6 +389,7 @@ class Session:
                 store_key=store_key(request),
                 shards=coverage_shards(request),
                 hit=hit,
+                served_from=caching.last_hit_key if hit else None,
             ))
         self._emit_violations(result)
         self._emit(RequestFinished(result=result))

@@ -141,7 +141,8 @@ def _store_parent() -> argparse.ArgumentParser:
         "--store", nargs="?", metavar="DIR", const="", default=None,
         help="serve previously proven requests from the content-"
              "addressed result store at DIR (default"
-             " ~/.cache/repro/store) and store fresh results; warm runs"
+             " ~/.cache/repro/store) or from a store server"
+             " (tcp://HOST:PORT) and store fresh results; warm runs"
              " render byte-identically without exploring any states",
     )
     group.add_argument(
@@ -152,6 +153,16 @@ def _store_parent() -> argparse.ArgumentParser:
         "--store-refresh", action="store_true",
         help="re-run and overwrite store entries even when present"
              " (implies --store)",
+    )
+    parent.add_argument(
+        "--store-auth", metavar="SECRET", default=None,
+        help="shared secret for a tcp:// store server",
+    )
+    parent.add_argument(
+        "--store-subsume", action="store_true",
+        help="let a stored proved entry whose scope subsumes this"
+             " request answer it (verdict-preserving, not"
+             " byte-preserving)",
     )
     return parent
 
@@ -268,6 +279,15 @@ def _store_config(args: argparse.Namespace):
         return None, False
     if directory is None and not refresh:
         return None, False
+    if directory:
+        from repro.service.netstore import is_store_url
+
+        if is_store_url(directory):
+            from repro.service.netstore import NetworkStore
+
+            return NetworkStore.from_url(
+                directory, secret=getattr(args, "store_auth", None),
+            ), refresh
     from repro.store import FileStore
 
     return FileStore(directory or None), refresh
@@ -280,7 +300,8 @@ def _make_session(args: argparse.Namespace):
     from repro.api import Session
 
     store, refresh = _store_config(args)
-    return Session(store=store, store_refresh=refresh)
+    return Session(store=store, store_refresh=refresh,
+                   store_subsume=getattr(args, "store_subsume", False))
 
 
 def _session_run(session, request, args: argparse.Namespace):
@@ -710,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between heartbeat frames while a task runs",
     )
 
+    from repro.service.cli import add_service_parsers
+
+    add_service_parsers(sub)
+
     return parser
 
 
@@ -731,4 +756,10 @@ COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    if args.command in COMMANDS:
+        return COMMANDS[args.command](args)
+    # The service commands (serve-store, serve) live in their own
+    # package and register lazily, keeping `--help` startup light.
+    from repro.service.cli import SERVICE_COMMANDS
+
+    return SERVICE_COMMANDS[args.command](args)

@@ -52,8 +52,11 @@ from repro.store.keys import (
     canonical_key_json,
     default_store_dir,
     key_document,
+    proof_key,
+    proof_request,
     storage_request,
     store_key,
+    subsumes,
 )
 
 __all__ = [
@@ -71,6 +74,9 @@ __all__ = [
     "default_store_dir",
     "encode_entry",
     "key_document",
+    "proof_key",
+    "proof_request",
     "storage_request",
     "store_key",
+    "subsumes",
 ]

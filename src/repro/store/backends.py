@@ -52,10 +52,19 @@ from repro.store.keys import (
     default_store_dir,
     storage_request,
     store_key,
+    subsumes,
 )
 
 #: Name of the human-readable summary file at the store root.
 INDEX_NAME = "index.json"
+
+#: Name of the last-access stamp sidecar at the store root. Kept out
+#: of ``index.json`` deliberately: the index is an mtime-validated
+#: cache of entry *content*, and folding access times into it would
+#: invalidate it on every read. Stamps are best-effort — a lost stamp
+#: only makes ``gc --max-entries`` fall back to the entry's creation
+#: time.
+ACCESS_NAME = "access.json"
 
 
 class StoreError(VerificationError):
@@ -186,6 +195,37 @@ class ResultStore(Protocol):
 
 
 # ---------------------------------------------------------------------------
+# raw-entry access (the store service's transport format)
+# ---------------------------------------------------------------------------
+#
+# The store server and NetworkStore move *entry documents*, not decoded
+# results: the client re-validates every document it receives exactly
+# as it would a local file (decode_entry re-hashes the embedded request
+# against the key), so a hostile or skewed server can cause misses but
+# never wrong answers. Backends that can serve raw text expose
+# load_text/save_text; save_text validates before writing so a store
+# never persists a document it would refuse to read back.
+
+
+class TextStore(Protocol):
+    """The raw-entry-document face of a backend (what the store server
+    fronts)."""
+
+    def load_text(self, key: str) -> str | None:
+        """The raw entry document for ``key``, or ``None``."""
+        ...
+
+    def save_text(self, key: str, text: str) -> None:
+        """Validate and store one raw entry document.
+
+        Raises:
+            StoreError: ``text`` does not decode to an entry addressed
+                by ``key``.
+        """
+        ...
+
+
+# ---------------------------------------------------------------------------
 # backends
 # ---------------------------------------------------------------------------
 
@@ -215,6 +255,7 @@ class MemoryStore:
 
     def __init__(self) -> None:
         self._entries: dict[str, str] = {}
+        self._accesses: dict[str, float] = {}
 
     def describe(self) -> str:
         return f"memory[{len(self._entries)} entries]"
@@ -235,7 +276,24 @@ class MemoryStore:
         return tuple(sorted(self._entries))
 
     def remove(self, key: str) -> bool:
+        self._accesses.pop(key, None)
         return self._entries.pop(key, None) is not None
+
+    def load_text(self, key: str) -> str | None:
+        return self._entries.get(key)
+
+    def save_text(self, key: str, text: str) -> None:
+        decode_entry(key, text)  # refuse documents we could not read back
+        self._entries[key] = text
+
+    def touch(self, key: str, *, now: float | None = None) -> None:
+        """Stamp ``key``'s last access (``gc --max-entries`` ranking)."""
+        if key in self._entries:
+            self._accesses[key] = time.time() if now is None else now
+
+    def accesses(self) -> dict[str, float]:
+        """Last-access stamps by key (unstamped entries absent)."""
+        return dict(self._accesses)
 
 
 @dataclass(frozen=True)
@@ -347,9 +405,79 @@ class FileStore:
     def remove(self, key: str) -> bool:
         try:
             self.path_for(key).unlink()
-            return True
         except OSError:
             return False
+        stamps = self._read_accesses()
+        if stamps.pop(key, None) is not None:
+            self._write_accesses(stamps)
+        return True
+
+    def load_text(self, key: str) -> str | None:
+        """The raw entry document for ``key`` (what the store server
+        sends over the wire), or ``None``."""
+        try:
+            return self.path_for(key).read_text()
+        except OSError:
+            return None
+
+    def save_text(self, key: str, text: str) -> None:
+        """Validate and store one raw entry document (a network
+        ``put``); refuses anything :func:`decode_entry` would."""
+        decode_entry(key, text)
+        try:
+            self._write_atomic(self.path_for(key), text)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write store entry under {self.root}: {exc}"
+            ) from exc
+
+    # -- last-access stamps ---------------------------------------------
+
+    def touch(self, key: str, *, now: float | None = None) -> None:
+        """Stamp ``key``'s last access in the ``access.json`` sidecar.
+
+        Best-effort: an unwritable store root silently drops the stamp
+        (reads must never fail because bookkeeping could not be
+        written), and concurrent touchers may lose each other's stamps
+        — ``gc --max-entries`` falls back to ``created_at`` for any
+        entry without one.
+        """
+        if not self.root.is_dir() or not self.path_for(key).is_file():
+            return
+        stamps = self._read_accesses()
+        stamps[key] = time.time() if now is None else now
+        self._write_accesses(stamps)
+
+    def accesses(self) -> dict[str, float]:
+        """Last-access stamps by key (unstamped entries absent)."""
+        return self._read_accesses()
+
+    def _read_accesses(self) -> dict[str, float]:
+        try:
+            document = json.loads((self.root / ACCESS_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        stamps = document.get("accesses") if isinstance(document, dict) \
+            else None
+        if not isinstance(stamps, dict):
+            return {}
+        return {
+            key: float(value)
+            for key, value in stamps.items()
+            if isinstance(key, str)
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+
+    def _write_accesses(self, stamps: dict[str, float]) -> None:
+        document = {"format": STORE_FORMAT, "accesses": stamps}
+        try:
+            self._write_atomic(
+                self.root / ACCESS_NAME,
+                json.dumps(document, sort_keys=True, indent=2) + "\n",
+            )
+        except (OSError, StoreError):
+            pass
 
     # -- the index ------------------------------------------------------
     #
@@ -459,6 +587,8 @@ class FileStore:
 
     def verify_integrity(self, *,
                          max_age_s: float | None = None,
+                         max_entries: int | None = None,
+                         subsume: bool = False,
                          now: float | None = None) -> IntegrityReport:
         """Re-hash every entry; evict what no longer verifies.
 
@@ -466,13 +596,27 @@ class FileStore:
         against its address; corrupt, format- or wire-version-skewed,
         and mis-addressed entries are deleted. With ``max_age_s``,
         entries older than that are evicted too (``gc``'s age policy).
-        The index is rebuilt from the surviving entries.
+
+        Two request-aware policies stack on top, each opt-in:
+
+        * ``subsume=True`` evicts every *proved* ``prove`` entry whose
+          scope another surviving proved entry subsumes
+          (:func:`~repro.store.keys.subsumes`) — the superset proof
+          answers for it, so keeping both is pure redundancy. Only
+          proved entries participate on either side: refutations are
+          never evicted this way and never subsume anything.
+        * ``max_entries=N`` then keeps the N most recently *used*
+          entries, ranked by :meth:`touch` stamps with ``created_at``
+          as the fallback for never-stamped entries.
+
+        The index is rebuilt from (and access stamps pruned to) the
+        surviving entries.
 
         Returns:
             An :class:`IntegrityReport` of what was kept and evicted.
         """
         clock = time.time() if now is None else now
-        entries: dict[str, Any] = {}
+        survivors: dict[str, tuple[VerificationResult, float]] = {}
         evicted: list[tuple[str, str]] = []
         checked = 0
         for path in self._entry_paths():
@@ -495,22 +639,85 @@ class FileStore:
                 evicted.append((key, f"expired ({age_days:.1f} days old)"))
                 self._discard(path)
                 continue
-            entries[key] = self._stamp(self._index_row(result, created),
-                                       path)
+            survivors[key] = (result, created)
+        if subsume:
+            for key, reason in self._subsumed(survivors):
+                evicted.append((key, reason))
+                self._discard(self.path_for(key))
+                del survivors[key]
+        if max_entries is not None and len(survivors) > max_entries:
+            stamps = self._read_accesses()
+            by_staleness = sorted(
+                survivors,
+                key=lambda key: (stamps.get(key, survivors[key][1]), key),
+            )
+            for key in by_staleness[:len(survivors) - max_entries]:
+                evicted.append((key, "least recently used"
+                                     f" (keeping {max_entries} entries)"))
+                self._discard(self.path_for(key))
+                del survivors[key]
         if self.root.is_dir():
             # A nonexistent root stays nonexistent: pointing
             # verify-integrity at a typo'd path must not conjure an
             # empty store there.
-            self._write_index(entries)
-        return IntegrityReport(checked=checked, kept=len(entries),
+            self._write_index({
+                key: self._stamp(self._index_row(result, created),
+                                 self.path_for(key))
+                for key, (result, created) in survivors.items()
+            })
+            stamps = self._read_accesses()
+            pruned = {key: stamp for key, stamp in stamps.items()
+                      if key in survivors}
+            if pruned != stamps:
+                self._write_accesses(pruned)
+        return IntegrityReport(checked=checked, kept=len(survivors),
                                evicted=tuple(evicted))
 
-    def gc(self, *, max_age_days: float | None = None) -> IntegrityReport:
-        """Evict corrupt and version-skewed entries (and, with
-        ``max_age_days``, stale ones); rebuild the index."""
+    @staticmethod
+    def _subsumed(
+        survivors: Mapping[str, tuple[VerificationResult, float]],
+    ) -> list[tuple[str, str]]:
+        """The proved entries another surviving proved entry answers
+        for, as ``(key, reason)`` pairs (see :func:`subsumes`)."""
+        from repro.api.result import Verdict
+
+        proved = [
+            (key, result) for key, (result, _) in sorted(survivors.items())
+            if result.verdict is Verdict.PROVED
+            and result.request.kind == "prove"
+        ]
+        doomed: list[tuple[str, str]] = []
+        for key, result in proved:
+            for other_key, other in proved:
+                if other_key == key:
+                    continue
+                if not subsumes(other.request, result.request):
+                    continue
+                if subsumes(result.request, other.request) \
+                        and key < other_key:
+                    # Equivalent scopes under different keys (e.g. a
+                    # legacy shard-spelled proof next to its serial
+                    # twin): exactly one — the smaller key — survives.
+                    continue
+                doomed.append((
+                    key,
+                    f"subsumed by {other_key[:12]}"
+                    f" ({other.request.describe()})",
+                ))
+                break
+        return doomed
+
+    def gc(self, *, max_age_days: float | None = None,
+           max_entries: int | None = None,
+           subsume: bool = False) -> IntegrityReport:
+        """Evict corrupt and version-skewed entries (and, per the
+        opt-in policies, stale / subsumed / least-recently-used ones);
+        rebuild the index."""
         max_age_s = (max_age_days * 86_400
                      if max_age_days is not None else None)
-        return self.verify_integrity(max_age_s=max_age_s)
+        return self.verify_integrity(max_age_s=max_age_s,
+                                     max_entries=max_entries,
+                                     subsume=subsume)
 
     @staticmethod
     def _discard(path: Path) -> None:

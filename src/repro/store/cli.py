@@ -23,7 +23,27 @@ if TYPE_CHECKING:  # pragma: no cover - hints only; imported lazily so
 def _open_store(args: argparse.Namespace) -> "FileStore":
     from repro.store.backends import FileStore
 
-    return FileStore(getattr(args, "store", None) or None)
+    root = getattr(args, "store", None) or None
+    if root is not None and root.strip().lower().startswith("tcp://"):
+        raise SystemExit(
+            f"store maintenance commands operate on a directory, not a"
+            f" store server: run them on the host serving {root}"
+        )
+    return FileStore(root)
+
+
+def _require_entries(store: "FileStore") -> None:
+    """One-line error (nonzero exit) for a missing or empty root —
+    maintenance on a store that is not there is always a mistake worth
+    flagging, usually a mistyped ``--store``.
+
+    Raises:
+        SystemExit: the root does not exist or holds no entries.
+    """
+    if not store.root.is_dir():
+        raise SystemExit(f"no store at {store.root}")
+    if not store.keys():
+        raise SystemExit(f"store at {store.root} is empty")
 
 
 def _resolve_prefix(store: "FileStore", prefix: str) -> str:
@@ -60,10 +80,8 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
     from repro.metrics import render_table
 
     store = _open_store(args)
+    _require_entries(store)
     records = store.records()
-    if not records:
-        print(f"store at {store.root} is empty")
-        return 0
     rows = [
         [
             record.key[:12],
@@ -84,6 +102,7 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
 
 def cmd_store_show(args: argparse.Namespace) -> int:
     store = _open_store(args)
+    _require_entries(store)
     key = _resolve_prefix(store, args.key)
     result = store.load(key)
     if result is None:
@@ -102,7 +121,10 @@ def cmd_store_show(args: argparse.Namespace) -> int:
 
 def cmd_store_gc(args: argparse.Namespace) -> int:
     store = _open_store(args)
-    report = store.gc(max_age_days=args.max_age_days)
+    _require_entries(store)
+    report = store.gc(max_age_days=args.max_age_days,
+                      max_entries=args.max_entries,
+                      subsume=args.subsume)
     _print_report(store, report)
     return 0
 
@@ -154,6 +176,17 @@ def add_store_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]",
     gc.add_argument(
         "--max-age-days", type=float, default=None, metavar="DAYS",
         help="also evict entries older than this many days",
+    )
+    gc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="then keep only the N most recently used entries (last-"
+             "access stamps, falling back to creation time)",
+    )
+    gc.add_argument(
+        "--subsume", action="store_true",
+        help="evict proved entries whose scope another surviving"
+             " proved entry subsumes (the superset proof answers for"
+             " them)",
     )
     store_sub.add_parser(
         "verify-integrity",

@@ -190,3 +190,66 @@ def store_key(request: VerificationRequest) -> str:
     """
     digest = hashlib.sha256(canonical_key_json(request).encode("utf-8"))
     return digest.hexdigest()
+
+
+def proof_request(request: VerificationRequest) -> VerificationRequest:
+    """``request`` re-spelled on the serial engine — the address of an
+    engine-independent *proof*.
+
+    The coverage class stays in :func:`store_key` because two coverage
+    artifacts of *negative* results depend on the shard count (refuted
+    sweeps stop at their own chunk's first counterexample; campaign
+    coverage is a function of the ``(seed, shards)`` pair). A **proved**
+    result has no such artifact: every shard ran to completion, and the
+    engine-equivalence suites pin serial / ``--jobs N`` /
+    ``--distributed N`` proved outputs byte-identical. So proved
+    entries are stored — and looked up — under this serial spelling,
+    and any engine shape shares one proof.
+    """
+    from dataclasses import replace
+
+    from repro.api.request import EngineSpec
+
+    if request.engine.kind == "serial":
+        return request
+    return replace(request, engine=EngineSpec())
+
+
+def proof_key(request: VerificationRequest) -> str:
+    """The engine-normalised content address proved entries live under
+    (equal to :func:`store_key` for serial-engine requests)."""
+    return store_key(proof_request(request))
+
+
+def subsumes(general: VerificationRequest,
+             specific: VerificationRequest) -> bool:
+    """Whether a *proved* result for ``general`` answers ``specific``.
+
+    True when both are ``prove`` requests that agree on everything but
+    the scope's load bound and the steal-order cap, explore the same
+    number of cores, and ``general`` covers at least every state and
+    order of ``specific`` — a proof over loads ``0..4`` sweeps every
+    state of a ``0..3`` request, so work conservation proved there
+    holds a fortiori on the smaller scope.
+
+    The transfer is *verdict*-preserving, not byte-preserving: the
+    superset certificate reports its own (larger) state counts, so
+    subsumption serving is opt-in (``Session(store_subsume=True)``,
+    ``--store-subsume``) and the caller must additionally check the
+    stored entry's verdict is ``PROVED`` — a refutation at the larger
+    scope says nothing about the smaller one (the counterexample may
+    live in the difference).
+    """
+    if general.kind != "prove" or specific.kind != "prove":
+        return False
+    general_doc = key_document(proof_request(general))
+    specific_doc = key_document(proof_request(specific))
+    general_scope = general_doc.pop("scope")
+    specific_scope = specific_doc.pop("scope")
+    general_orders = general_doc.pop("max_orders")
+    specific_orders = specific_doc.pop("max_orders")
+    if general_doc != specific_doc:
+        return False
+    return (general_scope["cores"] == specific_scope["cores"]
+            and general_scope["max_load"] >= specific_scope["max_load"]
+            and general_orders >= specific_orders)

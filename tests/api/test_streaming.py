@@ -223,7 +223,8 @@ class TestStoreProvenance:
         assert cold.provenance == StoreProvenance(
             store_key=store_key(PROVE), shards=1, hit=False)
         assert warm.provenance == StoreProvenance(
-            store_key=store_key(PROVE), shards=1, hit=True)
+            store_key=store_key(PROVE), shards=1, hit=True,
+            served_from=store_key(PROVE))
 
     def test_storeless_runs_carry_no_provenance(self):
         result = Session().run(PROVE)

@@ -250,3 +250,178 @@ class TestMaintenance:
                                      created_at=2_000.0))
         os.utime(path, (2_000.0, 2_000.0))
         assert store.records()[0].created_at == 2_000.0
+
+
+@pytest.fixture(scope="module")
+def wide_proved_result():
+    request = (VerificationRequest.builder("prove")
+               .policy("balance_count").scope(cores=3, max_load=4)
+               .build())
+    return Session().run(request)
+
+
+@pytest.fixture(scope="module")
+def refuted_result():
+    request = (VerificationRequest.builder("prove")
+               .policy("naive").scope(cores=3, max_load=2).build())
+    return Session().run(request)
+
+
+@pytest.fixture(scope="module")
+def refuted_wide_result():
+    request = (VerificationRequest.builder("prove")
+               .policy("naive").scope(cores=3, max_load=4).build())
+    return Session().run(request)
+
+
+class TestAccessStamps:
+    def test_touch_stamps_and_accesses_reads_back(self, tmp_path,
+                                                  proved_result):
+        for store in stores(tmp_path):
+            key = store_key(proved_result.request)
+            store.save(key, proved_result)
+            assert store.accesses() == {}
+            store.touch(key, now=123.0)
+            assert store.accesses() == {key: 123.0}
+            store.touch(key, now=456.0)
+            assert store.accesses() == {key: 456.0}
+
+    def test_touching_a_missing_key_stamps_nothing(self, tmp_path):
+        for store in stores(tmp_path):
+            store.touch("ab" * 32, now=1.0)
+            assert store.accesses() == {}
+
+    def test_remove_drops_the_stamp(self, tmp_path, proved_result):
+        for store in stores(tmp_path):
+            key = store_key(proved_result.request)
+            store.save(key, proved_result)
+            store.touch(key, now=1.0)
+            store.remove(key)
+            assert store.accesses() == {}
+
+    def test_stamps_live_beside_the_entries_not_in_the_index(
+            self, tmp_path, proved_result):
+        # Reads must not invalidate the mtime-validated index cache.
+        store = FileStore(tmp_path)
+        key = store_key(proved_result.request)
+        store.save(key, proved_result)
+        store.records()  # materialise the index cache
+        index_before = (tmp_path / "index.json").read_text()
+        store.touch(key, now=9.0)
+        assert (tmp_path / "index.json").read_text() == index_before
+        document = json.loads((tmp_path / "access.json").read_text())
+        assert document["accesses"] == {key: 9.0}
+
+    def test_a_warm_session_hit_touches_the_entry(self, tmp_path):
+        request = (VerificationRequest.builder("prove")
+                   .policy("balance_count").scope(cores=3, max_load=2)
+                   .build())
+        store = FileStore(tmp_path)
+        Session(store=store).run(request)
+        assert store.accesses() == {}
+        Session(store=store).run(request)
+        assert store_key(request) in store.accesses()
+
+    def test_garbage_access_sidecar_is_ignored(self, tmp_path,
+                                               proved_result):
+        store = FileStore(tmp_path)
+        store.save(store_key(proved_result.request), proved_result)
+        (tmp_path / "access.json").write_text("not json")
+        assert store.accesses() == {}
+        (tmp_path / "access.json").write_text('{"k": "soon"}')
+        assert store.accesses() == {}
+
+
+class TestRequestAwareEviction:
+    def test_gc_caps_entries_by_least_recent_use(self, tmp_path,
+                                                 proved_result,
+                                                 hunt_result):
+        store = FileStore(tmp_path)
+        prove_key = store_key(proved_result.request)
+        hunt_key = store_key(hunt_result.request)
+        store.save(prove_key, proved_result)
+        store.save(hunt_key, hunt_result)
+        store.touch(prove_key, now=1.0)
+        store.touch(hunt_key, now=2.0)
+
+        report = store.gc(max_entries=1)
+        assert store.keys() == (hunt_key,)
+        (eviction,) = report.evicted
+        assert eviction[0] == prove_key
+        assert "least recently used" in eviction[1]
+
+    def test_touch_reorders_the_eviction_queue(self, tmp_path,
+                                               proved_result,
+                                               hunt_result):
+        store = FileStore(tmp_path)
+        prove_key = store_key(proved_result.request)
+        hunt_key = store_key(hunt_result.request)
+        store.save(prove_key, proved_result)
+        store.save(hunt_key, hunt_result)
+        store.touch(prove_key, now=2.0)
+        store.touch(hunt_key, now=1.0)
+        store.gc(max_entries=1)
+        assert store.keys() == (prove_key,)
+
+    def test_never_touched_entries_rank_by_creation_time(
+            self, tmp_path, proved_result, hunt_result):
+        store = FileStore(tmp_path)
+        old_key = store_key(proved_result.request)
+        path = store.path_for(old_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(encode_entry(old_key, proved_result,
+                                     created_at=1_000.0))
+        fresh_key = store_key(hunt_result.request)
+        store.save(fresh_key, hunt_result)
+        store.gc(max_entries=1)
+        assert store.keys() == (fresh_key,)
+
+    def test_gc_prunes_stamps_to_the_survivors(self, tmp_path,
+                                               proved_result,
+                                               hunt_result):
+        store = FileStore(tmp_path)
+        prove_key = store_key(proved_result.request)
+        hunt_key = store_key(hunt_result.request)
+        store.save(prove_key, proved_result)
+        store.save(hunt_key, hunt_result)
+        store.touch(prove_key, now=1.0)
+        store.touch(hunt_key, now=2.0)
+        store.gc(max_entries=1)
+        assert store.accesses() == {hunt_key: 2.0}
+
+    def test_subsume_gc_folds_narrower_proofs_into_wider(
+            self, tmp_path, proved_result, wide_proved_result):
+        store = FileStore(tmp_path)
+        narrow_key = store_key(proved_result.request)
+        wide_key = store_key(wide_proved_result.request)
+        store.save(narrow_key, proved_result)
+        store.save(wide_key, wide_proved_result)
+
+        report = store.gc(subsume=True)
+        assert store.keys() == (wide_key,)
+        (eviction,) = report.evicted
+        assert eviction[0] == narrow_key
+        assert "subsumed by" in eviction[1]
+
+    def test_subsume_gc_never_evicts_refutations(
+            self, tmp_path, refuted_result, refuted_wide_result,
+            wide_proved_result):
+        # A wide refutation says nothing about the narrow scope, and
+        # a wide proof never answers for a narrow refutation: only
+        # proved-for-proved redundancy is folded.
+        store = FileStore(tmp_path)
+        for result in (refuted_result, refuted_wide_result,
+                       wide_proved_result):
+            store.save(store_key(result.request), result)
+        report = store.gc(subsume=True)
+        assert report.evicted == ()
+        assert len(store.keys()) == 3
+
+    def test_subsume_gc_is_off_by_default(self, tmp_path, proved_result,
+                                          wide_proved_result):
+        store = FileStore(tmp_path)
+        store.save(store_key(proved_result.request), proved_result)
+        store.save(store_key(wide_proved_result.request),
+                   wide_proved_result)
+        report = store.gc()
+        assert report.kept == 2

@@ -194,14 +194,31 @@ class TestEngineEquivalenceWithStore:
         assert warm.render() == cold.render()
         assert warm.normalized() == cold.normalized()
 
-    def test_engines_key_separately(self):
-        # Keys carry the engine's coverage class; a serial entry must
-        # not masquerade as a pool result (refuted-sweep states_checked
-        # and campaign coverage are engine-dependent).
+    def test_proved_entries_are_shared_across_engines(self):
+        # Proved results are engine-independent (the engine-equivalence
+        # suites pin serial/pool/distributed proved outputs
+        # byte-identical), so a serial proof answers the pooled
+        # spelling via its engine-normalised proof key — and the pooled
+        # run stores nothing new.
         store = MemoryStore()
         Session(store=store).run(PROVE)
         events = []
         pooled = with_engine(PROVE, self.ENGINES["pool"])
+        result = Session(subscribers=[events.append],
+                         store=store).run(pooled)
+        assert len(reused(events)) == 1
+        assert store.keys() == (store_key(PROVE),)
+        assert result.provenance is not None and result.provenance.hit
+        assert result.provenance.served_from == store_key(PROVE)
+
+    def test_campaigns_key_separately_by_engine(self):
+        # Campaign coverage is a function of (seed, shard count), so
+        # the coverage class stays in the key and a serial campaign
+        # must not masquerade as a pooled one.
+        store = MemoryStore()
+        Session(store=store).run(CAMPAIGN)
+        events = []
+        pooled = with_engine(CAMPAIGN, self.ENGINES["pool"])
         Session(subscribers=[events.append], store=store).run(pooled)
         assert not reused(events)
         assert len(store.keys()) == 2
@@ -270,3 +287,77 @@ class TestCachingEngineDirectly:
         loaded = engine.load_result(spelled_differently)
         assert loaded is not None
         assert loaded.request == spelled_differently
+
+
+WIDE_PROVE = (VerificationRequest.builder("prove")
+              .policy("balance_count").scope(cores=3, max_load=4).build())
+REFUTED_WIDE = (VerificationRequest.builder("prove")
+                .policy("naive").scope(cores=3, max_load=4).build())
+REFUTED_NARROW = (VerificationRequest.builder("prove")
+                  .policy("naive").scope(cores=3, max_load=2).build())
+
+
+class TestSubsumption:
+    """Opt-in serving of narrower prove requests from wider proofs."""
+
+    def test_subsumption_is_off_by_default(self):
+        store = MemoryStore()
+        run_with_store(WIDE_PROVE, store)
+        _result, events, engine = run_with_store(PROVE, store)
+        # Byte-identity default: the narrower request explores.
+        assert engine.dispatches == 1
+        assert not reused(events)
+
+    def test_wider_proof_answers_a_narrower_request_when_opted_in(self):
+        store = MemoryStore()
+        run_with_store(WIDE_PROVE, store)
+        result, events, engine = run_with_store(PROVE, store,
+                                                store_subsume=True)
+        assert engine.dispatches == 0
+        assert not explored(events)
+        assert len(reused(events)) == 1
+        assert result.verdict.value == "proved"
+        assert result.provenance is not None
+        assert result.provenance.hit
+        assert result.provenance.served_from == store_key(WIDE_PROVE)
+        # The verdict transfers; the certificate keeps the superset's
+        # own counts (verdict-preserving, not byte-preserving).
+        assert result.request == PROVE
+
+    def test_exact_hit_wins_over_a_subsuming_entry(self):
+        store = MemoryStore()
+        run_with_store(WIDE_PROVE, store)
+        run_with_store(PROVE, store)
+        result, _events, engine = run_with_store(PROVE, store,
+                                                 store_subsume=True)
+        assert engine.dispatches == 0
+        assert result.provenance.served_from == store_key(PROVE)
+
+    def test_tightest_subsuming_proof_is_chosen(self):
+        widest = (VerificationRequest.builder("prove")
+                  .policy("balance_count").scope(cores=3, max_load=5)
+                  .build())
+        store = MemoryStore()
+        run_with_store(widest, store)
+        run_with_store(WIDE_PROVE, store)
+        result, _events, _engine = run_with_store(PROVE, store,
+                                                  store_subsume=True)
+        assert result.provenance.served_from == store_key(WIDE_PROVE)
+
+    def test_refutations_never_transfer_to_a_narrower_scope(self):
+        # The wider scope's counterexample may live outside the
+        # narrower scope entirely: a cached refutation answers only
+        # its exact request.
+        store = MemoryStore()
+        run_with_store(REFUTED_WIDE, store)
+        _result, events, engine = run_with_store(REFUTED_NARROW, store,
+                                                 store_subsume=True)
+        assert engine.dispatches == 1
+        assert not reused(events)
+
+    def test_subsumption_never_widens(self):
+        store = MemoryStore()
+        run_with_store(PROVE, store)
+        _result, _events, engine = run_with_store(WIDE_PROVE, store,
+                                                  store_subsume=True)
+        assert engine.dispatches == 1

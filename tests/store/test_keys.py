@@ -7,7 +7,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import EngineSpec, VerificationRequest, with_engine
-from repro.store import STORE_FORMAT, canonical_key_json, key_document, store_key
+from repro.store import (
+    STORE_FORMAT,
+    canonical_key_json,
+    key_document,
+    proof_key,
+    proof_request,
+    store_key,
+    subsumes,
+)
 
 
 def prove_request(**kwargs):
@@ -244,3 +252,87 @@ def test_store_key_is_invariant_under_builder_call_order(
     shuffled = build(order)
     assert shuffled == reference
     assert store_key(shuffled) == store_key(reference)
+
+
+class TestProofKeys:
+    """Engine-normalised addresses for proved entries, and when one
+    proof may answer a smaller request."""
+
+    def test_proof_request_strips_the_engine(self):
+        pooled = with_engine(prove_request(),
+                             EngineSpec(kind="pool", jobs=4))
+        assert proof_request(pooled).engine == EngineSpec()
+        assert proof_request(pooled) == prove_request()
+
+    def test_proof_request_is_identity_on_serial(self):
+        request = prove_request()
+        assert proof_request(request) is request
+
+    def test_every_engine_shape_shares_one_proof_key(self):
+        serial = prove_request()
+        keys = {
+            proof_key(serial),
+            proof_key(with_engine(serial, EngineSpec(kind="pool",
+                                                     jobs=2))),
+            proof_key(with_engine(serial, EngineSpec(kind="pool",
+                                                     jobs=8))),
+            proof_key(with_engine(serial, EngineSpec(kind="distributed",
+                                                     workers=3))),
+        }
+        assert keys == {store_key(serial)}
+
+    def test_wider_load_scope_subsumes_narrower(self):
+        wide = (VerificationRequest.builder("prove")
+                .policy("balance_count").scope(cores=3, max_load=4)
+                .build())
+        narrow = (VerificationRequest.builder("prove")
+                  .policy("balance_count").scope(cores=3, max_load=2)
+                  .build())
+        assert subsumes(wide, narrow)
+        assert subsumes(wide, wide)
+        assert not subsumes(narrow, wide)
+
+    def test_higher_order_cap_subsumes_lower(self):
+        generous = (VerificationRequest.builder("prove")
+                    .policy("balance_count").scope(cores=3, max_load=2)
+                    .max_orders(10_000).build())
+        tight = (VerificationRequest.builder("prove")
+                 .policy("balance_count").scope(cores=3, max_load=2)
+                 .max_orders(100).build())
+        assert subsumes(generous, tight)
+        assert not subsumes(tight, generous)
+
+    def test_different_core_counts_never_subsume(self):
+        # More cores is NOT a superset scope: thief/victim structure
+        # changes, so neither direction transfers.
+        three = prove_request()
+        four = (VerificationRequest.builder("prove")
+                .policy("balance_count").scope(cores=4, max_load=3)
+                .build())
+        assert not subsumes(four, three)
+        assert not subsumes(three, four)
+
+    def test_policy_differences_never_subsume(self):
+        wide = (VerificationRequest.builder("prove")
+                .policy("balance_count", margin=3)
+                .scope(cores=3, max_load=4).build())
+        narrow = prove_request()  # margin=2
+        assert not subsumes(wide, narrow)
+
+    def test_only_prove_requests_subsume(self):
+        hunt_wide = (VerificationRequest.builder("hunt")
+                     .policy("balance_count").scope(cores=3, max_load=4)
+                     .build())
+        hunt_narrow = (VerificationRequest.builder("hunt")
+                       .policy("balance_count").scope(cores=3, max_load=2)
+                       .build())
+        assert not subsumes(hunt_wide, hunt_narrow)
+
+    def test_subsumption_ignores_engine_spelling(self):
+        wide = with_engine(
+            (VerificationRequest.builder("prove")
+             .policy("balance_count").scope(cores=3, max_load=4)
+             .build()),
+            EngineSpec(kind="pool", jobs=2))
+        narrow = prove_request()
+        assert subsumes(wide, narrow)

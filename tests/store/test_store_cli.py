@@ -107,11 +107,47 @@ class TestStoreCommands:
         assert "balance_count" in out
         assert "1 entry" in out
 
-    def test_ls_on_an_empty_store(self, tmp_path):
-        code, out = run_cli("store", "--store", str(tmp_path / "none"),
-                            "ls")
+    def test_ls_on_a_missing_root_is_a_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store at"):
+            main(["store", "--store", str(tmp_path / "none"), "ls"])
+
+    def test_ls_on_an_empty_root_is_a_one_line_error(self, tmp_path):
+        root = tmp_path / "empty"
+        root.mkdir()
+        with pytest.raises(SystemExit, match="is empty"):
+            main(["store", "--store", str(root), "ls"])
+
+    def test_gc_on_a_missing_root_is_a_one_line_error(self, tmp_path):
+        missing = tmp_path / "typo"
+        with pytest.raises(SystemExit, match="no store at"):
+            main(["store", "--store", str(missing), "gc"])
+        assert not missing.exists()
+
+    def test_show_on_a_missing_root_is_a_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store at"):
+            main(["store", "--store", str(tmp_path / "none"), "show",
+                  "ab"])
+
+    def test_maintenance_refuses_a_tcp_root(self):
+        with pytest.raises(SystemExit, match="directory, not a store"
+                                             " server"):
+            main(["store", "--store", "tcp://cache:7000", "ls"])
+
+    def test_ls_is_sorted_and_stable(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli("verify", "balance_count", "--cores", "3",
+                "--max-load", "2", "--store", store)
+        run_cli("hunt", "naive", "--store", store)
+        code, first = run_cli("store", "--store", store, "ls")
         assert code == 0
-        assert "empty" in out
+        code, second = run_cli("store", "--store", store, "ls")
+        assert code == 0
+        assert first == second
+        from repro.store import FileStore
+
+        records = FileStore(store).records()
+        assert list(records) == sorted(
+            records, key=lambda r: (r.created_at, r.key))
 
     def test_show_by_unique_prefix(self, populated):
         from repro.store import FileStore
