@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only; imported lazily at runtime
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
+from repro.obs.trace import TRACER
 from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.verify.enumeration import StateScope
@@ -283,16 +284,18 @@ class DistributedEngine:
         )
 
         try:
-            if self._endpoints:
-                self._coordinator = connect_workers(self._endpoints)
-            elif self._in_process:
-                self._coordinator = Coordinator([
-                    InProcessTransport(name=f"in-process-{i}")
-                    for i in range(self._workers or 1)
-                ])
-            else:
-                self._owned_pool = LocalWorkerPool(self._workers or 1)
-                self._coordinator = self._owned_pool.__enter__()
+            with TRACER.span("engine.acquire", "engine",
+                             engine=self.describe()):
+                if self._endpoints:
+                    self._coordinator = connect_workers(self._endpoints)
+                elif self._in_process:
+                    self._coordinator = Coordinator([
+                        InProcessTransport(name=f"in-process-{i}")
+                        for i in range(self._workers or 1)
+                    ])
+                else:
+                    self._owned_pool = LocalWorkerPool(self._workers or 1)
+                    self._coordinator = self._owned_pool.__enter__()
         except VerificationError as exc:
             self._close()
             raise EngineError(f"distributed run failed: {exc}") from exc

@@ -59,6 +59,7 @@ from typing import (
     Iterator,
 )
 
+from repro.obs.trace import TRACER
 from repro.verify.campaign import CampaignReport
 from repro.verify.obligations import Counterexample
 from repro.verify.report import ZooReport, zoo_lineup, zoo_lineup_entries
@@ -353,26 +354,30 @@ class Session:
         self._expand_seen = 0
         hit = False
         try:
-            result = None
-            if caching is not None:
-                # Whole-request fast path: a warm request acquires no
-                # backend at all (no pool, no worker fleet).
-                result = caching.load_result(request)
-                hit = result is not None
-            if result is None:
-                with engine:
-                    runner = {
-                        "prove": self._run_prove,
-                        "hunt": self._run_hunt,
-                        "zoo": self._run_zoo,
-                        "campaign": self._run_campaign,
-                    }[request.kind]
-                    result = runner(request, engine)
-                if caching is not None and request.kind == "zoo":
-                    # Engine-level binding stored the per-row results;
-                    # the assembled matrix gets its own entry so a
-                    # fully warm zoo is one lookup, not eleven.
-                    caching.save_result(request, result)
+            with TRACER.span("request." + request.kind, "session",
+                             engine=engine.describe()) as root:
+                result = None
+                if caching is not None:
+                    # Whole-request fast path: a warm request acquires
+                    # no backend at all (no pool, no worker fleet).
+                    result = caching.load_result(request)
+                    hit = result is not None
+                root.set(store_hit=hit)
+                if result is None:
+                    with engine:
+                        runner = {
+                            "prove": self._run_prove,
+                            "hunt": self._run_hunt,
+                            "zoo": self._run_zoo,
+                            "campaign": self._run_campaign,
+                        }[request.kind]
+                        result = runner(request, engine)
+                    if caching is not None and request.kind == "zoo":
+                        # Engine-level binding stored the per-row
+                        # results; the assembled matrix gets its own
+                        # entry so a fully warm zoo is one lookup, not
+                        # eleven.
+                        caching.save_result(request, result)
         except BaseException as exc:
             self._emit(RequestFailed(request=request, error=str(exc)))
             raise

@@ -40,8 +40,9 @@ on proofs), and ``dsl`` exits 2 on compilation errors.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 
 def _positive_int(text: str) -> int:
@@ -163,6 +164,25 @@ def _store_parent() -> argparse.ArgumentParser:
         help="let a stored proved entry whose scope subsumes this"
              " request answer it (verdict-preserving, not"
              " byte-preserving)",
+    )
+    return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    """The tracing selectors: ``--trace``/``--trace-summary``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace of the whole run (checker phases,"
+             " closure levels, store lookups, worker dispatch) and"
+             " write it as Chrome trace-event JSON, loadable in"
+             " Perfetto or chrome://tracing; verdicts and stdout are"
+             " byte-identical with or without tracing",
+    )
+    parent.add_argument(
+        "--trace-summary", action="store_true",
+        help="print a per-category span profile (count/total/mean/p95)"
+             " to stderr after the run",
     )
     return parent
 
@@ -304,26 +324,98 @@ def _make_session(args: argparse.Namespace):
                    store_subsume=getattr(args, "store_subsume", False))
 
 
+class _ProgressPrinter:
+    """Formats ``--progress`` stderr lines with a timing prefix.
+
+    Each line leads with the wall time elapsed since the printer was
+    built and a cumulative states-per-second rate, both measured on the
+    tracer's monotonic clock so ``--progress`` and ``--trace`` agree on
+    every timestamp. The rate column shows ``-`` until an event has
+    carried a state count. Pinned format (one test relies on it)::
+
+        [progress +12.34s 5678/s] LevelCompleted(...)
+    """
+
+    def __init__(self, clock=None) -> None:
+        from repro.obs.trace import trace_clock
+
+        self._clock = clock if clock is not None else trace_clock
+        self._start = self._clock()
+        # StatesExplored carries a cumulative count, LevelCompleted a
+        # per-level increment; track both and report whichever ran
+        # ahead so no engine's event mix double-counts.
+        self._explored = 0
+        self._expanded = 0
+
+    def format(self, event) -> str:
+        states = getattr(event, "states", None)
+        if states is not None:
+            self._explored = max(self._explored, int(states))
+        expanded = getattr(event, "states_expanded", None)
+        if expanded is not None:
+            self._expanded += int(expanded)
+        total = max(self._explored, self._expanded)
+        elapsed = self._clock() - self._start
+        rate = f"{total / elapsed:.0f}" if total and elapsed > 0 else "-"
+        return f"[progress +{elapsed:.2f}s {rate}/s] {event}"
+
+
 def _session_run(session, request, args: argparse.Namespace):
     """Run one request; under ``--progress``, consume it as a stream.
 
     ``--progress`` is the first consumer of
     :meth:`~repro.api.Session.run_streaming`: each yielded event prints
-    to stderr exactly as the old subscriber did (same events, same
-    order, same rendering — stdout stays byte-identical to the legacy
+    to stderr (same events, same order, prefixed with elapsed time and
+    a states/s rate — stdout stays byte-identical to the legacy
     reports), and a failed run re-raises its error after the final
     ``RequestFailed`` event, which matches the subscriber path's
     emit-then-propagate contract.
     """
     if not getattr(args, "progress", False):
         return session.run(request)
+    printer = _ProgressPrinter()
     stream = session.run_streaming(request)
     while True:
         try:
             event = next(stream)
         except StopIteration as stop:
             return stop.value
-        print(f"[progress] {event}", file=sys.stderr)
+        print(printer.format(event), file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Enable the tracer for a command body when ``--trace`` or
+    ``--trace-summary`` asked for it; export on the way out.
+
+    Exports run in a ``finally`` so a refuted policy (exit 2) or an
+    engine failure still leaves the trace file behind — that is
+    exactly when a timeline is worth reading. Everything lands on
+    stderr or the ``--trace`` file; stdout is untouched.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_summary = getattr(args, "trace_summary", False)
+    if trace_path is None and not want_summary:
+        yield
+        return
+    from repro.obs.trace import TRACER
+
+    TRACER.enable()
+    try:
+        yield
+    finally:
+        TRACER.disable()
+        spans = TRACER.drain()
+        if trace_path is not None:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(trace_path, spans)
+            print(f"[trace] {len(spans)} spans -> {trace_path}",
+                  file=sys.stderr)
+        if want_summary:
+            from repro.obs.export import summarize
+
+            print(summarize(spans).render(), file=sys.stderr)
 
 
 def _run_request(kind: str, args: argparse.Namespace,
@@ -344,7 +436,8 @@ def _run_request(kind: str, args: argparse.Namespace,
         raise SystemExit(str(exc)) from exc
     session = _make_session(args)
     try:
-        result = _session_run(session, request, args)
+        with _tracing(args):
+            result = _session_run(session, request, args)
     except EngineError as exc:
         # Transport/spawn/dispatch failures: a clean one-liner, for
         # every verification command.
@@ -409,23 +502,25 @@ def cmd_run_spec(args: argparse.Namespace) -> int:
     outcomes = []
     failure: SystemExit | None = None
     multiple = len(selected) > 1
-    for index, run in enumerate(selected):
-        if multiple:
-            # Headers only between runs, so a single-run execution (or
-            # --only) stays byte-identical to the legacy command it
-            # replaces — CI diffs exactly that.
-            if index:
-                print()
-            print(f"# {run.name}")
-        try:
-            result = _session_run(session, run.request, args)
-        except (EngineError, VerificationError) as exc:
-            # The same clean one-liner `verify` prints for refusals and
-            # transport failures — but only after flushing what ran.
-            failure = SystemExit(f"run {run.name!r} failed: {exc}")
-            break
-        outcomes.append((run, result))
-        print(result.render())
+    with _tracing(args):
+        for index, run in enumerate(selected):
+            if multiple:
+                # Headers only between runs, so a single-run execution
+                # (or --only) stays byte-identical to the legacy
+                # command it replaces — CI diffs exactly that.
+                if index:
+                    print()
+                print(f"# {run.name}")
+            try:
+                result = _session_run(session, run.request, args)
+            except (EngineError, VerificationError) as exc:
+                # The same clean one-liner `verify` prints for refusals
+                # and transport failures — but only after flushing what
+                # ran.
+                failure = SystemExit(f"run {run.name!r} failed: {exc}")
+                break
+            outcomes.append((run, result))
+            print(result.render())
     if args.json is not None and outcomes:
         import json
 
@@ -624,7 +719,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify", help="run the full proof pipeline",
         parents=[_policy_parent(), _scope_parent(3), _topology_parent(),
-                 _engine_parent(), _store_parent(), progress_parent],
+                 _engine_parent(), _store_parent(), progress_parent,
+                 _trace_parent()],
     )
     verify.add_argument("--choice-mode", choices=("all", "policy"),
                         default="all")
@@ -633,13 +729,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "zoo", help="verdict matrix over the policy zoo",
         parents=[_scope_parent(3), _topology_parent(), _engine_parent(),
-                 _store_parent(), progress_parent],
+                 _store_parent(), progress_parent, _trace_parent()],
     )
 
     hunt = sub.add_parser(
         "hunt", help="model-check work conservation",
         parents=[_policy_parent(), _scope_parent(2), _topology_parent(),
-                 _engine_parent(), _store_parent(), progress_parent],
+                 _engine_parent(), _store_parent(), progress_parent,
+                 _trace_parent()],
     )
     hunt.add_argument("--symmetric", action="store_true")
 
@@ -667,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
             )),
             _store_parent(),
             progress_parent,
+            _trace_parent(),
         ],
     )
     campaign.add_argument("--machines", type=int, default=50)
@@ -679,7 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec = sub.add_parser(
         "run-spec",
         help="execute a declarative verification spec file",
-        parents=[_store_parent(), progress_parent],
+        parents=[_store_parent(), progress_parent, _trace_parent()],
     )
     run_spec.add_argument("spec", help="path to a spec JSON document"
                                        " (see examples/specs/)")

@@ -1,0 +1,54 @@
+"""repro.obs — engine-wide tracing, span profiling, and metrics.
+
+Two stdlib-only instruments:
+
+- :data:`TRACER` / :class:`Tracer` (:mod:`repro.obs.trace`): structured
+  spans on the monotonic clock, recorded everywhere from kernel batch
+  expansion to HTTP request handling, merged across processes, and
+  exported as Chrome trace-event JSON (``--trace``) or a per-category
+  summary table (``--trace-summary``).
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`): labelled
+  counters/gauges/histograms with Prometheus text exposition, backing
+  the service's ``GET /metrics``.
+
+Tracing is strictly observational: with the tracer disabled (the
+default) every instrumented call site pays one attribute check, and
+with it enabled no verdict, certificate, or CLI stdout byte changes —
+CI diffs a traced run against an untraced one to keep it that way.
+"""
+
+from repro.obs.export import (
+    CategoryStats,
+    TraceSummary,
+    chrome_trace_document,
+    summarize,
+    write_chrome_trace,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Metric, MetricsRegistry
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    Tracer,
+    span_from_dict,
+    span_to_dict,
+    spans_to_payload,
+    trace_clock,
+)
+
+__all__ = [
+    "CategoryStats",
+    "DEFAULT_BUCKETS",
+    "Metric",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "TraceSummary",
+    "chrome_trace_document",
+    "span_from_dict",
+    "span_to_dict",
+    "spans_to_payload",
+    "summarize",
+    "trace_clock",
+    "write_chrome_trace",
+]

@@ -58,6 +58,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import VerificationService
 
     host, port = _parse_listen(args.listen)
+    if args.trace is not None:
+        from repro.obs.trace import TRACER
+
+        TRACER.enable()
     store = None
     if not args.no_store:
         from repro.service.netstore import NetworkStore, is_store_url
@@ -87,6 +91,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     except OSError as exc:
         raise SystemExit(f"cannot bind {host}:{port}: {exc}") from exc
+    finally:
+        if args.trace is not None:
+            import sys
+
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.trace import TRACER
+
+            TRACER.disable()
+            spans = TRACER.drain()
+            write_chrome_trace(args.trace, spans)
+            print(f"[trace] {len(spans)} spans -> {args.trace}",
+                  file=sys.stderr)
     return 0
 
 
@@ -147,6 +163,12 @@ def add_service_parsers(sub: argparse._SubParsersAction) -> None:
     serve.add_argument(
         "--auth", metavar="SECRET", default=None,
         help="require 'Authorization: Bearer SECRET' on every POST",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="trace request handling and spec execution for the"
+             " service's lifetime; the Chrome trace-event JSON is"
+             " written to FILE at shutdown",
     )
 
 

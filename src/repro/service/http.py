@@ -16,7 +16,10 @@ that turns the streaming Session API into a service:
   session's lazy caching engine acquires no backend at all, so a fully
   warm ``POST`` explores nothing and returns in store-lookup time.
 * ``GET /healthz`` answers liveness; ``GET /metrics`` exposes the
-  hit/miss/inflight/eviction counters.
+  hit/miss/inflight/eviction counters — as the historical JSON document
+  by default, or as Prometheus text exposition (including run-latency,
+  store-round-trip, and streamed-event histograms/counters) when the
+  client sends ``Accept: text/plain``.
 * ``POST /gc`` runs the store's eviction pass (age / LRU-size /
   subsumption policies from the JSON body) and feeds the eviction
   counter.
@@ -40,6 +43,8 @@ from typing import Any, AsyncIterator, Mapping
 from repro.api.request import VerificationRequest
 from repro.api.result import VerificationResult
 from repro.api.session import ProgressEvent, Session
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 
 #: Largest accepted request body (a spec document; far below this).
 MAX_BODY_BYTES = 1 << 22
@@ -47,6 +52,7 @@ MAX_BODY_BYTES = 1 << 22
 _JSON = "application/json"
 _NDJSON = "application/x-ndjson"
 _SSE = "text/event-stream"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
@@ -80,27 +86,70 @@ def event_to_dict(event: ProgressEvent) -> dict[str, Any]:
 
 
 class ServiceMetrics:
-    """The ``/metrics`` counters, shared across request handlers."""
+    """The ``/metrics`` instruments, shared across request handlers.
+
+    Built on :class:`~repro.obs.metrics.MetricsRegistry` so one set of
+    instruments serves both wire formats: :meth:`snapshot` keeps the
+    historical flat-integer JSON document byte-for-byte, while
+    :meth:`render_prometheus` exposes the same families — plus the
+    run-latency, store-round-trip, and streamed-event instruments that
+    have no flat-integer shape — as Prometheus text exposition.
+    """
+
+    _COUNTERS = (
+        ("requests", "POST /run-spec requests accepted."),
+        ("runs", "Spec runs executed (hit or miss)."),
+        ("hits", "Runs answered straight from the store."),
+        ("misses", "Runs that actually explored."),
+        ("evictions", "Store entries removed via POST /gc."),
+        ("failures", "Spec executions that raised."),
+    )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.counters = {
-            "requests": 0,    # POST /run-spec accepted
-            "runs": 0,        # spec runs executed (hit or miss)
-            "hits": 0,        # runs served from the store
-            "misses": 0,      # runs that actually explored
-            "inflight": 0,    # specs currently executing
-            "evictions": 0,   # entries removed via POST /gc
-            "failures": 0,    # specs that raised
+        self.registry = MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"repro_service_{name}_total",
+                                        help_text)
+            for name, help_text in self._COUNTERS
         }
+        self._inflight = self.registry.gauge(
+            "repro_service_inflight", "Specs currently executing.")
+        self.run_seconds = self.registry.histogram(
+            "repro_service_run_seconds",
+            "Wall time of one spec run, by store outcome.",
+            labelnames=("outcome",))
+        self.stream_events = self.registry.counter(
+            "repro_service_stream_events_total",
+            "Progress-event documents streamed to clients.")
+        self.store_rpc_seconds = self.registry.histogram(
+            "repro_service_store_rpc_seconds",
+            "NetworkStore round-trips, by request kind.",
+            labelnames=("kind",))
 
     def bump(self, counter: str, by: int = 1) -> None:
-        with self._lock:
-            self.counters[counter] += by
+        if counter == "inflight":
+            self._inflight.inc(by)
+        else:
+            self._counters[counter].inc(by)
+
+    def observe_run(self, seconds: float, hit: bool) -> None:
+        outcome = "hit" if hit else "miss"
+        self.run_seconds.labels(outcome=outcome).observe(seconds)
+
+    def observe_store_rpc(self, kind: str, seconds: float,
+                          request_bytes: int) -> None:
+        """The :attr:`NetworkStore.on_rpc` hook signature."""
+        del request_bytes  # latency is the axis worth a histogram
+        self.store_rpc_seconds.labels(kind=kind).observe(seconds)
 
     def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self.counters)
+        snap = {name: int(child.value)
+                for name, child in self._counters.items()}
+        snap["inflight"] = int(self._inflight.value)
+        return snap
+
+    def render_prometheus(self) -> str:
+        return self.registry.render()
 
 
 class VerificationService:
@@ -125,6 +174,10 @@ class VerificationService:
         self.store_subsume = store_subsume
         self.secret = secret
         self.metrics = ServiceMetrics()
+        # A network-backed store reports every round-trip into the
+        # store-RPC histogram; local backends have no such hook.
+        if store is not None and hasattr(store, "on_rpc"):
+            store.on_rpc = self.metrics.observe_store_rpc
         self._server: asyncio.Server | None = None
 
     # -- lifecycle ------------------------------------------------------
@@ -233,10 +286,22 @@ class VerificationService:
                         path: str, headers: Mapping[str, str],
                         body: bytes) -> None:
         path = path.split("?", 1)[0]
+        with TRACER.span("http.request", "service", method=method,
+                         path=path, bytes=len(body)):
+            await self._route(writer, method, path, headers, body)
+
+    async def _route(self, writer: asyncio.StreamWriter, method: str,
+                     path: str, headers: Mapping[str, str],
+                     body: bytes) -> None:
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200,
                                 self._json_bytes({"status": "ok"}))
         elif path == "/metrics" and method == "GET":
+            if "text/plain" in headers.get("accept", ""):
+                body = self.metrics.render_prometheus().encode("utf-8")
+                await self._respond(writer, 200, body,
+                                    content_type=_PROMETHEUS)
+                return
             document = dict(self.metrics.snapshot())
             document["store"] = (self.store.describe()
                                  if self.store is not None else None)
@@ -344,10 +409,10 @@ class VerificationService:
 
     def _count_run(self, result: VerificationResult) -> None:
         self.metrics.bump("runs")
-        if result.provenance is not None and result.provenance.hit:
-            self.metrics.bump("hits")
-        else:
-            self.metrics.bump("misses")
+        hit = result.provenance is not None and result.provenance.hit
+        self.metrics.bump("hits" if hit else "misses")
+        self.metrics.observe_run(
+            float(result.timings.get("total_s", 0.0)), hit)
 
     @staticmethod
     def _report_entry(run: Any,
@@ -398,12 +463,12 @@ class VerificationService:
         )
         await writer.drain()
         async for document in self._spec_events(spec):
+            payload = json.dumps(document, sort_keys=True)
             if mode == _SSE:
-                payload = json.dumps(document, sort_keys=True)
                 writer.write(f"data: {payload}\n\n".encode("utf-8"))
             else:
-                payload = json.dumps(document, sort_keys=True)
                 writer.write(f"{payload}\n".encode("utf-8"))
+            self.metrics.stream_events.inc()
             await writer.drain()
 
     async def _spec_events(self, spec: Any,

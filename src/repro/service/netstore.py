@@ -35,6 +35,7 @@ from typing import Any, Callable
 
 from repro.api.result import VerificationResult
 from repro.core.errors import VerificationError
+from repro.obs.trace import TRACER, trace_clock
 from repro.store.backends import StoreError, decode_entry, encode_entry
 
 from repro.service import wire
@@ -138,6 +139,11 @@ class NetworkStore:
         # Injectable for fault-injection tests.
         self._sleep: Callable[[float], None] = time.sleep
         self._clock: Callable[[], float] = time.monotonic
+        #: RPC observer: called after every exchange with ``(kind,
+        #: seconds, request_bytes)`` — success or failure, bytes 0 when
+        #: the frame never left. The HTTP service hooks its round-trip
+        #: histogram here.
+        self.on_rpc: Callable[[str, float, int], None] | None = None
 
     @classmethod
     def from_url(cls, url: str, **kwargs: Any) -> "NetworkStore":
@@ -259,26 +265,45 @@ class NetworkStore:
         persistent socket may simply have been idled out); a second
         failure propagates as :class:`StoreUnavailable`.
 
+        Observability: the exchange is traced as a ``store.rpc`` span
+        (kind, attempts, bytes on the wire) and reported to
+        :attr:`on_rpc` whether it succeeds or fails.
+
         Raises:
             StoreUnavailable: the server cannot be reached or answered
                 unusably.
         """
-        with self._lock:
-            for attempt in range(2):
-                sock = self._ensure_connected()
-                try:
-                    wire.send_frame(sock, kind, payload)
-                    return wire.recv_frame(sock)
-                except (OSError, wire.ServiceProtocolError) as exc:
-                    self._drop()
-                    if attempt:
-                        self._down_until = (self._clock()
-                                            + self.cooldown_s)
-                        raise StoreUnavailable(
-                            f"store server {self.host}:{self.port}"
-                            f" failed mid-request: {exc}"
-                        ) from exc
-            raise AssertionError("unreachable")
+        started = trace_clock()
+        sent_bytes = 0
+        with TRACER.span("store.rpc", "netstore", kind=kind) as span:
+            try:
+                with self._lock:
+                    for attempt in range(2):
+                        sock = self._ensure_connected()
+                        try:
+                            frame = wire.encode_frame(kind, payload)
+                            sent_bytes = len(frame)
+                            sock.sendall(frame)
+                            reply = wire.recv_frame(sock)
+                            span.set(attempts=attempt + 1,
+                                     sent_bytes=sent_bytes)
+                            return reply
+                        except (OSError,
+                                wire.ServiceProtocolError) as exc:
+                            self._drop()
+                            if attempt:
+                                self._down_until = (self._clock()
+                                                    + self.cooldown_s)
+                                raise StoreUnavailable(
+                                    f"store server"
+                                    f" {self.host}:{self.port}"
+                                    f" failed mid-request: {exc}"
+                                ) from exc
+                    raise AssertionError("unreachable")
+            finally:
+                if self.on_rpc is not None:
+                    self.on_rpc(kind, trace_clock() - started,
+                                sent_bytes)
 
     # -- the ResultStore protocol (degrading) ---------------------------
 

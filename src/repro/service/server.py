@@ -28,6 +28,7 @@ import socket
 import threading
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.store.backends import StoreError
 
 from repro.service import wire
@@ -61,10 +62,21 @@ class StoreServer:
         self._listener.settimeout(0.1)
         self._closed = threading.Event()
         self._accept_thread: threading.Thread | None = None
-        self._lock = threading.Lock()
+        # Counters live in a MetricsRegistry so the server can be
+        # scraped (via registry.render()) next to the HTTP front end;
+        # stats() keeps serving the flat dict GET_STATS always carried.
+        self.registry = MetricsRegistry()
         self._stats = {
-            "hits": 0, "misses": 0, "puts": 0, "removals": 0,
-            "connections": 0, "denied": 0,
+            name: self.registry.counter(f"repro_store_{name}_total",
+                                        help_text)
+            for name, help_text in (
+                ("hits", "GET frames answered with an entry."),
+                ("misses", "GET frames answered with a miss."),
+                ("puts", "PUT frames accepted."),
+                ("removals", "REMOVE frames that deleted an entry."),
+                ("connections", "TCP connections accepted."),
+                ("denied", "Connections refused at the handshake."),
+            )
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -110,12 +122,11 @@ class StoreServer:
 
     def stats(self) -> dict[str, int]:
         """A snapshot of the request counters."""
-        with self._lock:
-            return dict(self._stats)
+        return {name: int(counter.value)
+                for name, counter in self._stats.items()}
 
     def _count(self, counter: str) -> None:
-        with self._lock:
-            self._stats[counter] += 1
+        self._stats[counter].inc()
 
     # -- the accept loop ------------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.api.report import (
 )
 from repro.api.result import VerificationResult
 from repro.core.errors import VerificationError
+from repro.obs.trace import TRACER
 from repro.verify.wire import WIRE_VERSION
 
 from repro.store.keys import (
@@ -381,23 +382,31 @@ class FileStore:
     # -- the protocol ---------------------------------------------------
 
     def load(self, key: str) -> VerificationResult | None:
-        path = self.path_for(key)
-        try:
-            text = path.read_text()
-        except OSError:
-            return None
-        try:
-            return decode_entry(key, text)
-        except StoreError:
-            return None
+        with TRACER.span("store.read", "store", backend="file") as span:
+            path = self.path_for(key)
+            try:
+                text = path.read_text()
+            except OSError:
+                span.set(hit=False)
+                return None
+            try:
+                entry = decode_entry(key, text)
+            except StoreError:
+                span.set(hit=False)
+                return None
+            span.set(hit=True, bytes=len(text))
+            return entry
 
     def save(self, key: str, result: VerificationResult) -> None:
-        try:
-            self._write_atomic(self.path_for(key), encode_entry(key, result))
-        except OSError as exc:
-            raise StoreError(
-                f"cannot write store entry under {self.root}: {exc}"
-            ) from exc
+        with TRACER.span("store.write", "store", backend="file") as span:
+            text = encode_entry(key, result)
+            span.set(bytes=len(text))
+            try:
+                self._write_atomic(self.path_for(key), text)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot write store entry under {self.root}: {exc}"
+                ) from exc
 
     def keys(self) -> tuple[str, ...]:
         return tuple(path.stem for path in self._entry_paths())

@@ -41,6 +41,7 @@ from repro.api.result import (
     result_from_certificate,
 )
 from repro.core.policy import Policy
+from repro.obs.trace import TRACER
 from repro.verify.campaign import CampaignConfig, CampaignReport
 from repro.verify.enumeration import StateScope
 from repro.verify.model_checker import WorkConservationAnalysis
@@ -190,26 +191,33 @@ class CachingEngine:
         """Walk the lookup chain; ``(stored result, key served from)``
         or ``None``. Hits stamp the entry's last access when the
         backend keeps such stamps."""
-        key = store_key(request)
-        stored = self.store.load(key)
-        served_from = key
-        if stored is None:
-            alternate = proof_key(request)
-            if alternate != key and request.kind != "campaign":
-                candidate = self.store.load(alternate)
-                if candidate is not None \
-                        and candidate.verdict is Verdict.PROVED:
-                    stored, served_from = candidate, alternate
-        if stored is None and self.subsume:
-            subsuming = self._find_subsuming(request)
-            if subsuming is not None:
-                stored, served_from = subsuming
-        if stored is None:
-            return None
-        toucher = getattr(self.store, "touch", None)
-        if toucher is not None:
-            toucher(served_from)
-        return stored, served_from
+        with TRACER.span("store.lookup", "store",
+                         kind=request.kind) as span:
+            key = store_key(request)
+            stored = self.store.load(key)
+            served_from = key
+            outcome = "exact"
+            if stored is None:
+                alternate = proof_key(request)
+                if alternate != key and request.kind != "campaign":
+                    candidate = self.store.load(alternate)
+                    if candidate is not None \
+                            and candidate.verdict is Verdict.PROVED:
+                        stored, served_from = candidate, alternate
+                        outcome = "proof-key"
+            if stored is None and self.subsume:
+                subsuming = self._find_subsuming(request)
+                if subsuming is not None:
+                    stored, served_from = subsuming
+                    outcome = "subsumed"
+            if stored is None:
+                span.set(outcome="miss")
+                return None
+            span.set(outcome=outcome)
+            toucher = getattr(self.store, "touch", None)
+            if toucher is not None:
+                toucher(served_from)
+            return stored, served_from
 
     def _find_subsuming(self, request: VerificationRequest,
                         ) -> tuple[VerificationResult, str] | None:

@@ -86,6 +86,7 @@ from collections import Counter, deque
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.errors import VerificationError
+from repro.obs.trace import TRACER, spans_to_payload, trace_clock
 from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.verify.encoding import PackedState, StateCodec, decode_graph
@@ -133,6 +134,7 @@ from repro.verify.wire import (
     PartitionExpandTask,
     PartitionExpandResult,
     SweepTask,
+    TracedResult,
     WireMessage,
     WireProtocolError,
     decode_message,
@@ -217,6 +219,22 @@ def _enable_keepalive(sock: socket.socket) -> None:
         pass  # keepalive is an optimisation, never a requirement
 
 
+def _ingest_traced(value: Any, worker: str) -> Any:
+    """Unwrap a :class:`TracedResult`, merging its spans.
+
+    The single point worker results re-enter the coordinator: spans
+    captured remotely land on the local timeline (clock-offset rebased,
+    attributed to ``worker``) and callers only ever see the inner
+    result. Plain results pass through untouched, so the reducers are
+    oblivious to tracing either way.
+    """
+    if isinstance(value, TracedResult):
+        TRACER.ingest(value.spans, clock=value.clock, worker=worker,
+                      pid=value.pid)
+        return value.value
+    return value
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -261,6 +279,14 @@ class WorkerRuntime:
                 emit: Callable[[ForwardBatch], None] | None = None) -> Any:
         """Run one task payload and return its (picklable) result.
 
+        A ``trace=True`` task asks this worker to capture spans while
+        executing and return them wrapped in
+        :class:`~repro.verify.wire.TracedResult` — but only when this
+        process's tracer is *off*, i.e. we really are a remote worker.
+        In-process transports run inside the coordinator, where the
+        tracer is already recording straight onto the merged timeline
+        and wrapping would double-count.
+
         Args:
             task: a :data:`~repro.verify.wire.TASK_TYPES` payload.
             emit: mid-task frame sink (transports with a live back
@@ -270,6 +296,26 @@ class WorkerRuntime:
         Raises:
             WireProtocolError: payload is not a known task type.
         """
+        if getattr(task, "trace", False) and not TRACER.enabled:
+            TRACER.enable(worker=f"worker-pid-{os.getpid()}")
+            try:
+                value = self._execute(task, emit)
+            finally:
+                spans = TRACER.drain()
+                TRACER.disable()
+            return TracedResult(value=value,
+                                spans=spans_to_payload(spans),
+                                clock=trace_clock(), pid=os.getpid())
+        return self._execute(task, emit)
+
+    def _execute(self, task: Any,
+                 emit: Callable[[ForwardBatch], None] | None) -> Any:
+        with TRACER.span("worker." + type(task).__name__, "worker"):
+            return self._dispatch_task(task, emit)
+
+    def _dispatch_task(self, task: Any,
+                       emit: Callable[[ForwardBatch], None] | None,
+                       ) -> Any:
         if isinstance(task, SweepTask):
             return sweep_shard_worker(task.spec)
         if isinstance(task, LivenessTask):
@@ -861,7 +907,14 @@ class Coordinator:
                         return
                     index, attempts = pending.popleft()
                 try:
-                    value = client.submit(index, payloads[index])
+                    with TRACER.span("coordinator.dispatch",
+                                     "coordinator", task=index,
+                                     worker=client.name,
+                                     kind=type(payloads[index]).__name__):
+                        value = _ingest_traced(
+                            client.submit(index, payloads[index]),
+                            client.name,
+                        )
                 except WorkerLost as exc:
                     requeued = False
                     with cond:
@@ -1219,6 +1272,13 @@ class AsyncPartitionExplorer:
         """Transport sink for mid-task forward frames."""
         if frame.run_id != self.run_id:
             return  # a stale frame from a previous run on this worker
+        if TRACER.enabled:
+            TRACER.instant(
+                "async.forward", "async", partition=frame.partition,
+                targets=len(frame.targets),
+                states=sum(len(states)
+                           for states in frame.targets.values()),
+            )
         with self._cond:
             for target, states in frame.targets.items():
                 self._route_to(target, states)
@@ -1302,20 +1362,39 @@ class AsyncPartitionExplorer:
             # stall routing or the other dispatch threads.
             if split_event is not None and self.on_partition_split:
                 self.on_partition_split(*split_event)
+            if split_event is not None and TRACER.enabled:
+                TRACER.instant("async.steal", "async",
+                               partition=split_event[0],
+                               source=split_event[1],
+                               thief=split_event[2],
+                               pending=split_event[3])
             try:
                 if seed_task is not None:
-                    client.submit(next(self._task_ids), seed_task)
+                    _ingest_traced(
+                        client.submit(next(self._task_ids), seed_task),
+                        client.name,
+                    )
                     with self._cond:
                         self._needs_seed.discard(partition)
-                result = client.submit(
-                    next(self._task_ids),
-                    PartitionExpandTask(
-                        config=self.config, codec=self.codec,
-                        run_id=self.run_id, partition=partition,
-                        n_partitions=self.n_partitions, batch=batch,
-                        sequential=self.sequential,
-                    ),
-                )
+                with TRACER.span("async.expand", "async",
+                                 partition=partition, batch=len(batch),
+                                 worker=client.name) as span:
+                    result = _ingest_traced(
+                        client.submit(
+                            next(self._task_ids),
+                            PartitionExpandTask(
+                                config=self.config, codec=self.codec,
+                                run_id=self.run_id, partition=partition,
+                                n_partitions=self.n_partitions,
+                                batch=batch,
+                                sequential=self.sequential,
+                                trace=TRACER.enabled,
+                            ),
+                        ),
+                        client.name,
+                    )
+                    span.set(edges=len(result.edges),
+                             inbox=len(self._inbox[partition]))
             except WorkerLost as exc:
                 self._handle_loss(client, partition, batch, exc)
                 return
@@ -1525,7 +1604,7 @@ def _map_expand(coordinator: Coordinator, config: CheckerConfig):
     def map_expand(codec, chunks, sequential):
         return coordinator.map([
             ExpandTask(config=config, codec=codec, packed=tuple(chunk),
-                       sequential=sequential)
+                       sequential=sequential, trace=TRACER.enabled)
             for chunk in chunks
         ])
 
@@ -1576,10 +1655,10 @@ def prove_work_conserving_distributed(
                              max_orders, symmetric, symmetry=symmetry,
                              topology=topology)
     sweep_shards: list[SweepShardResult] = coordinator.map(
-        [SweepTask(spec=spec) for spec in specs]
+        [SweepTask(spec=spec, trace=TRACER.enabled) for spec in specs]
     )
     live_shards: list[LivenessShardResult] = coordinator.map(
-        [LivenessTask(spec=spec) for spec in specs]
+        [LivenessTask(spec=spec, trace=TRACER.enabled) for spec in specs]
     )
 
     config = CheckerConfig(policy=policy, choice_mode=choice_mode,
@@ -1681,7 +1760,8 @@ def run_campaign_distributed(policy_factory,
     tasks = make_campaign_tasks(policy_factory, config,
                                 coordinator.n_workers)
     reports: list[CampaignReport] = coordinator.map([
-        CampaignTask(replicator=replicator, config=slice_config)
+        CampaignTask(replicator=replicator, config=slice_config,
+                     trace=TRACER.enabled)
         for replicator, slice_config in tasks
     ])
     return merge_campaign_reports(reports)

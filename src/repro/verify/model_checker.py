@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.errors import VerificationError
 from repro.core.policy import Policy
+from repro.obs.trace import TRACER
 from repro.topology.numa import NumaTopology
 from repro.verify.encoding import PackedState, StateCodec, decode_graph
 from repro.verify.enumeration import (
@@ -336,25 +337,32 @@ class ModelChecker:
         group = self.symmetry
         if kernel is None:
             out: list[tuple[frozenset[PackedState], bool]] = []
-            for packed in packed_states:
-                succ, truncated = self.successors(
-                    codec.decode(packed), sequential=sequential
-                )
-                out.append((
-                    frozenset(codec.encode(s) for s in succ), truncated
-                ))
+            with TRACER.span("checker.expand", "checker", tier="tuple",
+                             states=len(packed_states)):
+                for packed in packed_states:
+                    succ, truncated = self.successors(
+                        codec.decode(packed), sequential=sequential
+                    )
+                    out.append((
+                        frozenset(codec.encode(s) for s in succ),
+                        truncated,
+                    ))
             return out, None
         if kernel._np is None:
             # Python tier: per-state successor lists, one batch
             # canonicalisation call for the whole chunk.
-            batched = kernel.expand_batch(packed_states)
+            with TRACER.span("checker.expand", "checker", tier="python",
+                             states=len(packed_states)):
+                batched = kernel.expand_batch(packed_states)
             if group.is_trivial:
                 return [
                     (frozenset(raw), truncated)
                     for raw, truncated in batched
                 ], None
             flat_raw = [s for raw, _ in batched for s in raw]
-            canon = group.canonicalize_batch(flat_raw, codec)
+            with TRACER.span("checker.canonicalise", "checker",
+                             tier="python", values=len(flat_raw)):
+                canon = group.canonicalize_batch(flat_raw, codec)
             entries = []
             cursor = 0
             for raw, truncated in batched:
@@ -379,18 +387,27 @@ class ModelChecker:
                 | (values[1:] != values[:-1])
             return values[keep], owner[keep]
 
-        values, counts, trunc_flags = kernel.expand_batch_arrays(
-            np.asarray(packed_states, dtype=np.int64)
-        )
+        with TRACER.span("checker.kernel", "checker", tier="numpy",
+                         states=len(packed_states)) as kernel_span:
+            values, counts, trunc_flags = kernel.expand_batch_arrays(
+                np.asarray(packed_states, dtype=np.int64)
+            )
+            kernel_span.set(values=int(values.size))
         owner = np.repeat(np.arange(len(packed_states)), counts)
         # Dedup raw values first: commuting steal orders produce many
         # duplicate packed states, and canonicalising them before
         # collapsing would pay the (comparatively pricey) per-element
         # canonicalisation for each copy.
-        values, owner = dedup(values, owner)
-        if not group.is_trivial:
-            values = group.canonicalize_batch(values, codec)
+        with TRACER.span("checker.dedup", "checker",
+                         values=int(values.size)):
             values, owner = dedup(values, owner)
+        if not group.is_trivial:
+            with TRACER.span("checker.canonicalise", "checker",
+                             tier="numpy", values=int(values.size)):
+                values = group.canonicalize_batch(values, codec)
+            with TRACER.span("checker.dedup", "checker",
+                             values=int(values.size)):
+                values, owner = dedup(values, owner)
         dedup_counts = np.bincount(owner, minlength=len(packed_states))
         flat_list = values.tolist()
         entries = []
@@ -512,10 +529,15 @@ class ModelChecker:
                 codec,
             ))
             seen_arr = frontier_arr
+            level = 0
             while frontier_arr.size:
-                level_edges, trunc, flat = self.expand_level(
-                    frontier_arr.tolist(), codec, sequential=sequential
-                )
+                with TRACER.span("closure.level", "closure", level=level,
+                                 frontier=int(frontier_arr.size)):
+                    level_edges, trunc, flat = self.expand_level(
+                        frontier_arr.tolist(), codec,
+                        sequential=sequential,
+                    )
+                level += 1
                 truncated = truncated or trunc
                 edges_packed.update(level_edges)
                 if on_expand is not None:
@@ -536,10 +558,14 @@ class ModelChecker:
         initial = [self._canon(s) for s in raw]
         frontier = sorted({codec.encode(s) for s in initial})
         seen: set[PackedState] = set(frontier)
+        level = 0
         while frontier:
-            level_edges, trunc = self.expand_packed(
-                frontier, codec, sequential=sequential
-            )
+            with TRACER.span("closure.level", "closure", level=level,
+                             frontier=len(frontier)):
+                level_edges, trunc = self.expand_packed(
+                    frontier, codec, sequential=sequential
+                )
+            level += 1
             truncated = truncated or trunc
             edges_packed.update(level_edges)
             if on_expand is not None:

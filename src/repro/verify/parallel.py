@@ -91,6 +91,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
 
 from repro.core.policy import Policy
+from repro.obs.trace import TRACER
 from repro.topology.numa import NumaTopology
 from repro.verify.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.verify.enumeration import (
@@ -574,11 +575,14 @@ def bfs_closure(map_expand: Callable, n_shards: int,
             chunks = [frontier[shard::n_shards]
                       for shard in range(n_shards)]
             chunks = [chunk for chunk in chunks if chunk]
-            for shard_edges, shard_truncated in map_expand(
-                codec, chunks, sequential
-            ):
-                edges.update(shard_edges)
-                truncated = truncated or shard_truncated
+            with TRACER.span("closure.level", "closure", level=level,
+                             frontier=len(frontier),
+                             chunks=len(chunks)):
+                for shard_edges, shard_truncated in map_expand(
+                    codec, chunks, sequential
+                ):
+                    edges.update(shard_edges)
+                    truncated = truncated or shard_truncated
             candidates = numpy.unique(numpy.fromiter(
                 (s for state in frontier for s in edges[state]),
                 dtype=numpy.int64,
@@ -601,10 +605,12 @@ def bfs_closure(map_expand: Callable, n_shards: int,
     while frontier:
         chunks = [frontier[shard::n_shards] for shard in range(n_shards)]
         chunks = [chunk for chunk in chunks if chunk]
-        for shard_edges, shard_truncated in map_expand(codec, chunks,
-                                                       sequential):
-            edges.update(shard_edges)
-            truncated = truncated or shard_truncated
+        with TRACER.span("closure.level", "closure", level=level,
+                         frontier=len(frontier), chunks=len(chunks)):
+            for shard_edges, shard_truncated in map_expand(codec, chunks,
+                                                           sequential):
+                edges.update(shard_edges)
+                truncated = truncated or shard_truncated
         next_frontier = {
             successor
             for state in frontier

@@ -76,7 +76,12 @@ from repro.verify.transition import DEFAULT_MAX_ORDERS
 #: :class:`PartitionExpandTask`/:class:`PartitionControlTask` payloads
 #: and their :class:`PartitionExpandResult`/:class:`ForwardBatch`
 #: companions.
-WIRE_VERSION = 4
+#: v5: observability — work-carrying tasks grew a ``trace`` flag, and a
+#: worker asked to trace wraps its result in :class:`TracedResult`
+#: (captured spans + the worker's clock reading, for coordinator-side
+#: timeline merging). Incompatible because a v4 peer would hand the
+#: wrapper to its reducers as if it were the result.
+WIRE_VERSION = 5
 
 #: Format byte for pickle-encoded envelopes (arbitrary Python payloads).
 FORMAT_PICKLE = b"P"
@@ -176,9 +181,16 @@ class CheckerConfig:
 
 @dataclass(frozen=True)
 class SweepTask:
-    """Run the five state-sweep obligations over one shard's chunk."""
+    """Run the five state-sweep obligations over one shard's chunk.
+
+    ``trace`` (v5, and on every other work-carrying task): ask the
+    worker to record spans while executing and ship them back wrapped
+    in :class:`TracedResult`. Strictly observational — the inner result
+    is byte-identical either way.
+    """
 
     spec: ShardSpec
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -186,6 +198,7 @@ class LivenessTask:
     """Run progress and good-state closure over one shard's chunk."""
 
     spec: ShardSpec
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -205,6 +218,7 @@ class ExpandTask:
             packed under ``codec``.
         states: tuple-form chunk (only read when ``codec`` is ``None``).
         sequential: §4.2 regime flag.
+        trace: ship worker spans back (see :class:`SweepTask`).
     """
 
     config: CheckerConfig
@@ -212,6 +226,7 @@ class ExpandTask:
     packed: tuple[PackedState, ...] = ()
     states: tuple[LoadState, ...] = ()
     sequential: bool = False
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -225,6 +240,7 @@ class CampaignTask:
 
     replicator: PolicyReplicator
     config: CampaignConfig = field(default_factory=CampaignConfig)
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -249,6 +265,7 @@ class PartitionExpandTask:
             modulus; fixed at run start, never renegotiated).
         batch: never-before-routed states of ``partition``, packed.
         sequential: §4.2 regime flag.
+        trace: ship worker spans back (see :class:`SweepTask`).
     """
 
     config: CheckerConfig
@@ -258,6 +275,7 @@ class PartitionExpandTask:
     n_partitions: int
     batch: tuple[PackedState, ...] = ()
     sequential: bool = False
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -324,6 +342,31 @@ class ForwardBatch:
     targets: dict[int, tuple[PackedState, ...]] = field(
         default_factory=dict
     )
+
+
+@dataclass(frozen=True)
+class TracedResult:
+    """A task result with the worker's captured spans riding along (v5).
+
+    Workers answer a ``trace=True`` task with their ordinary result
+    wrapped in this envelope; the coordinator unwraps it at the single
+    point results re-enter the merge path, ingesting the spans with a
+    clock-offset rebase (see :meth:`repro.obs.trace.Tracer.ingest`) so
+    reducers only ever see the inner value.
+
+    Attributes:
+        value: the unmodified task result.
+        spans: the worker's spans in dict form
+            (:func:`repro.obs.trace.spans_to_payload`).
+        clock: the worker's monotonic-clock reading at packaging time —
+            the coordinator's offset anchor.
+        pid: the worker's OS pid, for trace process attribution.
+    """
+
+    value: Any
+    spans: tuple[dict[str, Any], ...] = ()
+    clock: float = 0.0
+    pid: int = -1
 
 
 #: Task payload types :func:`repro.verify.distributed.WorkerRuntime`

@@ -1,0 +1,16 @@
+"""The obs suite toggles the process-wide TRACER; always reset it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture(autouse=True)
+def reset_tracer():
+    TRACER.disable()
+    TRACER.drain()
+    yield
+    TRACER.disable()
+    TRACER.drain()

@@ -92,6 +92,27 @@ class TestRouting:
         assert document["requests"] == 0
         assert document["store"].startswith("file[")
 
+    def test_metrics_serves_prometheus_text_on_accept(self, service):
+        service.request("POST", "/run-spec", body=SPEC)
+        status, body = service.request(
+            "GET", "/metrics", headers={"Accept": "text/plain"})
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "repro_service_requests_total 1" in text
+        assert "# TYPE repro_service_inflight gauge" in text
+        assert "repro_service_inflight 0" in text
+        assert "# TYPE repro_service_run_seconds histogram" in text
+        assert 'repro_service_run_seconds_count{outcome="miss"} 1' \
+            in text
+        assert "repro_service_stream_events_total" in text
+
+    def test_metrics_json_unchanged_by_prometheus_scrapes(self, service):
+        before = service.request("GET", "/metrics")[1]
+        service.request("GET", "/metrics",
+                        headers={"Accept": "text/plain"})
+        assert service.request("GET", "/metrics")[1] == before
+
     def test_unknown_path_is_404(self, service):
         status, body = service.request("GET", "/nope")
         assert status == 404
